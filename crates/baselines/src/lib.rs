@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # sorrento-baselines — the paper's comparison systems
+//!
+//! Every table and figure in Sorrento's evaluation (§4) compares against
+//! NFS and PVFS. Those systems are reproduced here on the same simulator
+//! substrate and driven by the same [`Workload`](sorrento::client::Workload)
+//! abstraction, so a single harness can swap backends:
+//!
+//! * [`nfs`] — a single-server file service modeled after a
+//!   kernel-integrated NFS v3 deployment: one RPC per operation, very low
+//!   per-op overhead, asynchronous metadata, a single server disk and NIC
+//!   that bound aggregate throughput.
+//! * [`pvfs`] — a PVFS-style parallel file system: one metadata manager
+//!   (storing each inode as a small file on its disk — the §4.1 bottleneck)
+//!   plus N I/O daemons over which file data is striped in 64 KB units,
+//!   with no replication and in-place writes.
+//!
+//! Both clusters expose `add_client(workload)` / `client_stats(id)` with
+//! the same semantics as [`sorrento::cluster::Cluster`], so the benchmark
+//! harness treats all three systems uniformly.
+
+pub mod nfs;
+pub mod pvfs;

@@ -1,0 +1,239 @@
+//! Criterion microbenchmarks over the core data structures: the hash
+//! ring, the COW region index, the sparse buffer, the kvdb, placement
+//! selection, the location table, and a whole simulated small-file
+//! session (simulator throughput).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use sorrento::client::ClientOp;
+use sorrento::cluster::{ClusterBuilder, ScriptedWorkload};
+use sorrento::costs::CostModel;
+use sorrento::location::LocationTable;
+use sorrento::placement::{select_provider, Candidate};
+use sorrento::ring::HashRing;
+use sorrento::store::{RegionIndex, SparseBuffer};
+use sorrento::types::{PlacementPolicy, SegId, Version};
+use sorrento_kvdb::{Db, DbConfig, MemBackend};
+use sorrento_sim::{Dur, NodeId, SimTime};
+
+fn segs(n: u64) -> Vec<SegId> {
+    (0..n).map(|i| SegId::derive(1, i, i ^ 0x5a5a)).collect()
+}
+
+fn bench_hash_ring(c: &mut Criterion) {
+    let ring = HashRing::build((0..38).map(NodeId::from_index));
+    let keys = segs(1024);
+    c.bench_function("ring/home_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            ring.home(keys[i])
+        })
+    });
+    c.bench_function("ring/build_38_providers", |b| {
+        b.iter(|| HashRing::build((0..38).map(NodeId::from_index)))
+    });
+}
+
+fn bench_region_index(c: &mut Criterion) {
+    c.bench_function("region_index/overlay_1k", |b| {
+        b.iter_batched(
+            || RegionIndex::<u32>::full(1 << 30, Some(0)),
+            |mut ix| {
+                for i in 0..1000u64 {
+                    let start = (i * 7919) % ((1 << 30) - 4096);
+                    ix.overlay(start, start + 4096, Some(i as u32));
+                }
+                ix
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut ix = RegionIndex::<u32>::full(1 << 30, Some(0));
+    for i in 0..1000u64 {
+        let start = (i * 7919) % ((1 << 30) - 4096);
+        ix.overlay(start, start + 4096, Some(i as u32));
+    }
+    c.bench_function("region_index/resolve_4MB", |b| {
+        b.iter(|| ix.resolve(100 << 20, 104 << 20))
+    });
+}
+
+fn bench_sparse_buffer(c: &mut Criterion) {
+    c.bench_function("sparse_buffer/write_64k_chunks", |b| {
+        let chunk = vec![7u8; 64 << 10];
+        b.iter_batched(
+            SparseBuffer::new,
+            |mut buf| {
+                for i in 0..64u64 {
+                    buf.write(i * (64 << 10), &chunk);
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kvdb(c: &mut Criterion) {
+    c.bench_function("kvdb/put_1k_entries", |b| {
+        b.iter_batched(
+            || Db::open(MemBackend::new(), DbConfig::default()).unwrap(),
+            |mut db| {
+                for i in 0..1000u32 {
+                    db.put(i.to_le_bytes(), [0u8; 64]).unwrap();
+                }
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut db = Db::open(MemBackend::new(), DbConfig::default()).unwrap();
+    for i in 0..10_000u32 {
+        db.put(i.to_le_bytes(), [0u8; 64]).unwrap();
+    }
+    c.bench_function("kvdb/get", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            db.get(i.to_le_bytes())
+        })
+    });
+    c.bench_function("kvdb/recovery_10k_entries", |b| {
+        let backend = {
+            let mut db = Db::open(MemBackend::new(), DbConfig::default()).unwrap();
+            for i in 0..10_000u32 {
+                db.put(i.to_le_bytes(), [0u8; 64]).unwrap();
+            }
+            db.into_backend()
+        };
+        b.iter_batched(
+            || backend.clone(),
+            |be| Db::open(be, DbConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let cands: Vec<Candidate> = (0..38)
+        .map(|i| Candidate {
+            id: NodeId::from_index(i),
+            load: (i as f64) / 40.0,
+            available: 1 << 34,
+        })
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(1);
+    c.bench_function("placement/select_38_candidates", |b| {
+        b.iter(|| {
+            select_provider(
+                &cands,
+                4 << 20,
+                0.5,
+                PlacementPolicy::LoadAware,
+                &[],
+                None,
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_location_table(c: &mut Criterion) {
+    let keys = segs(10_000);
+    c.bench_function("location_table/upsert_10k", |b| {
+        b.iter_batched(
+            LocationTable::new,
+            |mut lt| {
+                for (i, &s) in keys.iter().enumerate() {
+                    lt.upsert(
+                        s,
+                        NodeId::from_index(i % 10),
+                        Version(1),
+                        2,
+                        4096,
+                        SimTime::ZERO,
+                    );
+                }
+                lt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut lt = LocationTable::new();
+    let mut rng = SmallRng::seed_from_u64(2);
+    for &s in &keys {
+        lt.upsert(
+            s,
+            NodeId::from_index(rng.gen_range(0..10)),
+            Version(1),
+            2,
+            4096,
+            SimTime::ZERO,
+        );
+    }
+    c.bench_function("location_table/lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            lt.lookup(keys[i])
+        })
+    });
+    c.bench_function("location_table/remove_provider", |b| {
+        b.iter_batched(
+            || {
+                let mut lt = LocationTable::new();
+                for (i, &s) in keys.iter().enumerate() {
+                    lt.upsert(s, NodeId::from_index(i % 10), Version(1), 2, 4096, SimTime::ZERO);
+                }
+                lt
+            },
+            |mut lt| lt.remove_provider(NodeId::from_index(3)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simulated_session(c: &mut Criterion) {
+    // Simulator throughput: one full create/write/read/close session
+    // through an entire simulated 4-provider cluster.
+    c.bench_function("sim/full_small_file_session", |b| {
+        b.iter_batched(
+            || {
+                ClusterBuilder::new()
+                    .providers(4)
+                    .seed(9)
+                    .costs(CostModel::fast_test())
+                    .build()
+            },
+            |mut cluster| {
+                let id = cluster.add_client(ScriptedWorkload::new(vec![
+                    ClientOp::Create { path: "/bench".into() },
+                    ClientOp::write_synth(0, 12 << 10),
+                    ClientOp::Close,
+                    ClientOp::Open { path: "/bench".into(), write: false },
+                    ClientOp::Read { offset: 0, len: 12 << 10 },
+                    ClientOp::Close,
+                ]));
+                cluster.run_for(Dur::secs(30));
+                assert_eq!(cluster.client_stats(id).unwrap().failed_ops, 0);
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hash_ring,
+    bench_region_index,
+    bench_sparse_buffer,
+    bench_kvdb,
+    bench_placement,
+    bench_location_table,
+    bench_simulated_session,
+);
+criterion_main!(benches);

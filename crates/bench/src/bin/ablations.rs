@@ -1,0 +1,141 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. the §3.7.2 small-segment home-host weight boost (3N) — does it
+//!    actually save the extra location round-trip on small-file opens?
+//! 2. virtual-node count on the consistent-hash ring — home-host balance
+//!    vs ring size;
+//! 3. version retention (`keep_versions`) — storage overhead of keeping
+//!    extra stable versions as failure backups (§3.5).
+//!
+//! ```sh
+//! cargo run --release -p sorrento-bench --bin ablations
+//! ```
+
+use sorrento::client::ClientOp;
+use sorrento::cluster::ClusterBuilder;
+use sorrento::costs::CostModel;
+use sorrento::ring::HashRing;
+use sorrento::types::SegId;
+use sorrento_bench::{f2, mean_latency_ms, print_table, AnyCluster};
+use sorrento_sim::{Dur, NodeId};
+
+const CAP: Dur = Dur::nanos(600_000_000_000);
+
+/// 1. Home-host boost: mean open+read+close latency on 12 KB files.
+fn ablate_home_boost() {
+    let mut rows = Vec::new();
+    for boost in [true, false] {
+        let costs = CostModel {
+            home_boost: boost,
+            ..CostModel::default()
+        };
+        let cluster = ClusterBuilder::new()
+            .providers(8)
+            .replication(1)
+            .seed(201)
+            .costs(costs)
+            .build();
+        let mut cluster = AnyCluster::Sorrento(cluster);
+        let n = 40;
+        let mut ops = Vec::new();
+        for i in 0..n {
+            ops.push(ClientOp::Create { path: format!("/h{i}") });
+            ops.push(ClientOp::write_synth(0, 12 << 10));
+            ops.push(ClientOp::Close);
+        }
+        let w = cluster.run_script(ops, CAP);
+        assert_eq!(w.failed_ops, 0);
+        let mut ops = Vec::new();
+        for i in 0..n {
+            ops.push(ClientOp::Open { path: format!("/h{i}"), write: false });
+            ops.push(ClientOp::Read { offset: 0, len: 12 << 10 });
+            ops.push(ClientOp::Close);
+        }
+        let r = cluster.run_script(ops, CAP);
+        assert_eq!(r.failed_ops, 0);
+        rows.push(vec![
+            (if boost { "with 3N boost" } else { "no boost" }).to_string(),
+            f2(mean_latency_ms(&r, "open")),
+        ]);
+    }
+    print_table(
+        "Ablation 1: §3.7.2 home-host boost — small-file open latency",
+        &["placement", "open_ms"],
+        &rows,
+    );
+}
+
+/// 2. Virtual nodes: home-host balance (max/mean keys per provider).
+fn ablate_vnodes() {
+    let providers: Vec<NodeId> = (0..10).map(NodeId::from_index).collect();
+    let keys: Vec<SegId> = (0..20_000u64).map(|i| SegId::derive(7, i, i ^ 99)).collect();
+    let mut rows = Vec::new();
+    for vnodes in [1u32, 4, 16, 64, 256] {
+        let ring = HashRing::build_with_vnodes(providers.clone(), vnodes);
+        let mut counts = vec![0usize; providers.len()];
+        for &k in &keys {
+            counts[ring.home(k).unwrap().index()] += 1;
+        }
+        let mean = keys.len() as f64 / providers.len() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        rows.push(vec![
+            vnodes.to_string(),
+            f2(max / mean),
+            f2(min / mean),
+        ]);
+    }
+    print_table(
+        "Ablation 2: virtual nodes per provider — home-host balance (10 providers, 20k keys)",
+        &["vnodes", "max/mean", "min/mean"],
+        &rows,
+    );
+}
+
+/// 3. keep_versions: disk overhead after repeated overwrites.
+fn ablate_keep_versions() {
+    let mut rows = Vec::new();
+    for keep in [1usize, 2, 4] {
+        let cluster = ClusterBuilder::new()
+            .providers(4)
+            .replication(1)
+            .seed(203)
+            .keep_versions(keep)
+            .build();
+        let mut cluster = AnyCluster::Sorrento(cluster);
+        let mut ops = vec![ClientOp::Create { path: "/v".into() }];
+        ops.push(ClientOp::write_synth(0, 8 << 20));
+        ops.push(ClientOp::Close);
+        // Ten full-file overwrites.
+        for _ in 0..10 {
+            ops.push(ClientOp::Open { path: "/v".into(), write: true });
+            ops.push(ClientOp::write_synth(0, 8 << 20));
+            ops.push(ClientOp::Close);
+        }
+        let s = cluster.run_script(ops, CAP);
+        assert_eq!(s.failed_ops, 0, "{:?}", s.last_error);
+        let AnyCluster::Sorrento(c) = &cluster else {
+            unreachable!()
+        };
+        let used: u64 = c
+            .provider_disk_usage()
+            .iter()
+            .map(|(_, used, _)| *used)
+            .sum();
+        rows.push(vec![
+            keep.to_string(),
+            format!("{:.1}", used as f64 / (8 << 20) as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 3: retained versions — disk bytes / logical bytes after 10 overwrites",
+        &["keep_versions", "overhead_x"],
+        &rows,
+    );
+}
+
+fn main() {
+    ablate_home_boost();
+    ablate_vnodes();
+    ablate_keep_versions();
+}

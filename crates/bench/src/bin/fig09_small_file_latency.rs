@@ -1,0 +1,121 @@
+//! **Figure 9** — small-file I/O request response times (ms).
+//!
+//! One client issues sequential sessions against an idle file system:
+//! `create` (create + close), `write` (open + 12 KB write + close),
+//! `read` (open + 12 KB read + close), `unlink`. Compared across NFS,
+//! PVFS-4/8 and Sorrento-(4/8, 1/2).
+//!
+//! Paper's values (ms):
+//! ```text
+//!                  create  write  read  unlink
+//! NFS              0.67    2.42   2.93  0.71
+//! PVFS-4           50.3    60.1   60.1  19.4
+//! PVFS-8           60.1    60.3   70.2  22.9
+//! Sorrento-(4,1)   31.4    43.5   33.5  32.4
+//! Sorrento-(4,2)   31.3    44.0   33.7  44.3
+//! Sorrento-(8,1)   32.6    45.4   34.4  32.2
+//! Sorrento-(8,2)   33.2    46.7   34.8  42.2
+//! ```
+//! Expected shape: NFS ≪ Sorrento < PVFS; Sorrento write > read ≈
+//! create; unlink grows with the replication degree (eager replica
+//! removal).
+
+use sorrento::client::ClientOp;
+use sorrento::cluster::ClusterBuilder;
+use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
+use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
+use sorrento_bench::{f2, print_table, AnyCluster};
+use sorrento_sim::Dur;
+use sorrento_workloads::smallfile::SMALL_IO;
+
+// More files than the PVFS manager's inode cache so every phase's
+// lookups are cold, as in the paper's repeated-create benchmark.
+const FILES: usize = 48;
+const CAP: Dur = Dur::nanos(600_000_000_000);
+
+fn path(i: usize) -> String {
+    format!("/bench/f{i}")
+}
+
+/// Run the four phases on one backend; returns mean session latency (ms)
+/// per phase.
+fn measure(cluster: &mut AnyCluster) -> [f64; 4] {
+    cluster.run_script(vec![ClientOp::Mkdir { path: "/bench".into() }], CAP);
+    let mut out = [0.0; 4];
+    // Phase scripts: each is a fresh client so sessions are sequential
+    // and the phase duration divides cleanly.
+    let phases: [Vec<ClientOp>; 4] = [
+        (0..FILES)
+            .flat_map(|i| vec![ClientOp::Create { path: path(i) }, ClientOp::Close])
+            .collect(),
+        (0..FILES)
+            .flat_map(|i| {
+                vec![
+                    ClientOp::Open { path: path(i), write: true },
+                    ClientOp::write_synth(0, SMALL_IO),
+                    ClientOp::Close,
+                ]
+            })
+            .collect(),
+        (0..FILES)
+            .flat_map(|i| {
+                vec![
+                    ClientOp::Open { path: path(i), write: false },
+                    ClientOp::Read { offset: 0, len: SMALL_IO },
+                    ClientOp::Close,
+                ]
+            })
+            .collect(),
+        (0..FILES)
+            .map(|i| ClientOp::Unlink { path: path(i) })
+            .collect(),
+    ];
+    for (k, ops) in phases.into_iter().enumerate() {
+        let stats = cluster.run_script(ops, CAP);
+        assert_eq!(stats.failed_ops, 0, "phase {k} failed: {:?}", stats.last_error);
+        let start = stats.started_at.expect("script started");
+        let end = stats.finished_at.expect("script finished");
+        out[k] = end.since(start).as_millis_f64() / FILES as f64;
+    }
+    out
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let systems: Vec<(String, AnyCluster)> = vec![
+        ("NFS".into(), AnyCluster::Nfs(NfsCluster::new(1, NfsCosts::default()))),
+        (
+            "PVFS-4".into(),
+            AnyCluster::Pvfs(PvfsCluster::new(4, 1, PvfsCosts::default())),
+        ),
+        (
+            "PVFS-8".into(),
+            AnyCluster::Pvfs(PvfsCluster::new(8, 1, PvfsCosts::default())),
+        ),
+    ];
+    for (name, mut cluster) in systems {
+        let m = measure(&mut cluster);
+        rows.push(vec![name, f2(m[0]), f2(m[1]), f2(m[2]), f2(m[3])]);
+    }
+    for (n, r) in [(4usize, 1u32), (4, 2), (8, 1), (8, 2)] {
+        let cluster = ClusterBuilder::new()
+            .providers(n)
+            .replication(r)
+            .seed(90 + n as u64 * 10 + r as u64)
+            .build();
+        let mut cluster = AnyCluster::Sorrento(cluster);
+        let m = measure(&mut cluster);
+        rows.push(vec![
+            format!("Sorrento-({n},{r})"),
+            f2(m[0]),
+            f2(m[1]),
+            f2(m[2]),
+            f2(m[3]),
+        ]);
+    }
+    print_table(
+        "Figure 9: small-file response time (ms)",
+        &["system", "create", "write", "read", "unlink"],
+        &rows,
+    );
+}

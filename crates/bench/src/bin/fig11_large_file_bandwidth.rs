@@ -1,0 +1,138 @@
+//! **Figure 11** — large-file aggregate transfer rates vs client count.
+//!
+//! `bulkread`/`bulkwrite`: 4 MB requests at random 4 KB-aligned offsets
+//! over per-client sets of 512 MB files; each client moves 256 MB per
+//! run. Paper's shape: NFS flat ≈ 8 MB/s; reads — Sorrento ≈ PVFS,
+//! scaling with clients until the storage-node NICs saturate
+//! (8 × 12.5 MB/s); writes — PVFS ≈ 2× Sorrento-(8,2), because Sorrento
+//! commits every write to two replicas; lazy propagation beats eager at
+//! low client counts and matches its peak.
+
+use sorrento::cluster::ClusterBuilder;
+use sorrento::types::FileOptions;
+use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
+use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
+use sorrento_bench::{f1, full_scale, mbps, print_table, AnyCluster};
+use sorrento_sim::Dur;
+use sorrento_workloads::bulk::{bulk_options, populate_script, BulkIo, BulkMode};
+
+const CLIENT_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const CAP: Dur = Dur::nanos(4_000_000_000_000);
+
+fn file_size() -> u64 {
+    if full_scale() {
+        512 << 20
+    } else {
+        128 << 20
+    }
+}
+
+fn quota() -> u64 {
+    if full_scale() {
+        256 << 20
+    } else {
+        64 << 20
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Sys {
+    Nfs,
+    Pvfs8,
+    SorrentoLazy,
+    SorrentoEager,
+}
+
+fn build(sys: Sys, n: usize) -> AnyCluster {
+    let seed = 110 + n as u64;
+    match sys {
+        Sys::Nfs => AnyCluster::Nfs(NfsCluster::new(seed, NfsCosts::default())),
+        Sys::Pvfs8 => AnyCluster::Pvfs(PvfsCluster::new(8, seed, PvfsCosts::default())),
+        Sys::SorrentoLazy | Sys::SorrentoEager => AnyCluster::Sorrento(
+            ClusterBuilder::new()
+                .providers(8)
+                .replication(2)
+                .seed(seed)
+                .build(),
+        ),
+    }
+}
+
+fn options(sys: Sys) -> FileOptions {
+    let mut o = bulk_options();
+    o.replication = 2;
+    o.eager_commit = sys == Sys::SorrentoEager;
+    o
+}
+
+/// Aggregate MB/s for `n` clients in `mode`.
+fn rate(sys: Sys, n: usize, mode: BulkMode) -> f64 {
+    eprintln!("[fig11] sys={} n={n} mode={mode:?}", match sys { Sys::Nfs => "nfs", Sys::Pvfs8 => "pvfs", Sys::SorrentoLazy => "lazy", Sys::SorrentoEager => "eager" });
+    let mut cluster = build(sys, n);
+    let opts = options(sys);
+    // Pre-populate each client's own file (disjoint sets).
+    for i in 0..n {
+        let pop = populate_script(&format!("/c{i}-f"), 1, file_size(), opts);
+        let stats = cluster.run_script(pop, CAP);
+        assert_eq!(stats.failed_ops, 0, "populate failed: {:?}", stats.last_error);
+    }
+    // Let lazy replication of the dataset settle so it does not compete
+    // with the measurement window.
+    cluster.run_for(Dur::nanos(120_000_000_000));
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let w = BulkIo::new(format!("/c{i}-f"), 1, file_size(), mode, Some(quota()));
+            cluster.add_client_with_options(Box::new(w), opts)
+        })
+        .collect();
+    let finish = cluster.run_to_finish(&ids, CAP);
+    let mut start = None;
+    let mut bytes = 0;
+    for &id in &ids {
+        let s = cluster.stats(id);
+        assert_eq!(
+            s.failed_ops,
+            0,
+            "bulk client failed (n={n} mode={mode:?}): {:?}",
+            s.last_error
+        );
+        bytes += s.bytes_read + s.bytes_written;
+        start = match (start, s.started_at) {
+            (None, t) => t,
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+        };
+    }
+    let window = finish.since(start.expect("clients ran")).as_secs_f64();
+    mbps(bytes, window)
+}
+
+fn main() {
+    for (mode, title) in [
+        (BulkMode::Read, "Figure 11a: bulkread aggregate rate (MB/s)"),
+        (BulkMode::Write, "Figure 11b: bulkwrite aggregate rate (MB/s)"),
+    ] {
+        let mut rows = Vec::new();
+        for n in CLIENT_COUNTS {
+            let nfs = rate(Sys::Nfs, n, mode);
+            let pvfs = rate(Sys::Pvfs8, n, mode);
+            let lazy = rate(Sys::SorrentoLazy, n, mode);
+            let eager = if mode == BulkMode::Write {
+                Some(rate(Sys::SorrentoEager, n, mode))
+            } else {
+                None
+            };
+            let mut row = vec![n.to_string(), f1(nfs), f1(pvfs), f1(lazy)];
+            if let Some(e) = eager {
+                row.push(f1(e));
+            }
+            rows.push(row);
+        }
+        let header: &[&str] = if mode == BulkMode::Write {
+            &["clients", "NFS", "PVFS-8", "Sorrento-(8,2)", "Sorrento-(8,2)-eager"]
+        } else {
+            &["clients", "NFS", "PVFS-8", "Sorrento-(8,2)"]
+        };
+        print_table(title, header, &rows);
+    }
+}

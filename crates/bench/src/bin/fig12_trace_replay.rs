@@ -1,0 +1,154 @@
+//! **Figure 12** — application trace replay: NAS BTIO and parallel
+//! Protein Sequence Matching (PSM).
+//!
+//! BTIO: 4 replayers write 2.7 GB and read 1.7 GB of a shared solution
+//! file (byte-range / versioning-off mode in Sorrento). PSM: 8 replayers
+//! read 3.1 GB total from their assigned partitions, as fast as they
+//! can. Reported: min/max/avg client execution time and aggregate
+//! transfer rates.
+//!
+//! Paper's shape: NFS ≈ 10× slower than both parallel systems; PVFS ≈
+//! 11% faster than Sorrento on BTIO (its native workload); Sorrento
+//! slightly faster than PVFS on PSM.
+
+use sorrento::cluster::ClusterBuilder;
+use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
+use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
+use sorrento_bench::{f1, full_scale, mbps, print_table, AnyCluster};
+use sorrento_sim::Dur;
+use sorrento_workloads::btio::{coordinator_script, rank_trace, solution_options, BtioConfig};
+use sorrento_workloads::psm::{import_script, PsmConfig, PsmService};
+use sorrento_workloads::replay::{ReplayMode, TraceReplayer};
+
+const CAP: Dur = Dur::nanos(40_000_000_000_000);
+
+fn build(system: &str, seed: u64) -> AnyCluster {
+    match system {
+        "NFS" => AnyCluster::Nfs(NfsCluster::new(seed, NfsCosts::default())),
+        "PVFS-8" => AnyCluster::Pvfs(PvfsCluster::new(8, seed, PvfsCosts::default())),
+        _ => AnyCluster::Sorrento(
+            ClusterBuilder::new()
+                .providers(8)
+                .replication(1)
+                .seed(seed)
+                .build(),
+        ),
+    }
+}
+
+struct Row {
+    min_s: f64,
+    max_s: f64,
+    avg_s: f64,
+    read_mbps: f64,
+    write_mbps: f64,
+}
+
+fn summarize(cluster: &AnyCluster, ids: &[sorrento_sim::NodeId]) -> Row {
+    let mut durations = Vec::new();
+    let mut read = 0;
+    let mut written = 0;
+    let mut earliest = None;
+    let mut latest = None;
+    for &id in ids {
+        let s = cluster.stats(id);
+        assert_eq!(s.failed_ops, 0, "replayer failed: {:?}", s.last_error);
+        let start = s.started_at.expect("started");
+        let end = s.finished_at.expect("finished");
+        durations.push(end.since(start).as_secs_f64());
+        read += s.bytes_read;
+        written += s.bytes_written;
+        earliest = Some(earliest.map_or(start, |e: sorrento_sim::SimTime| e.min(start)));
+        latest = Some(latest.map_or(end, |l: sorrento_sim::SimTime| l.max(end)));
+    }
+    let span = latest.unwrap().since(earliest.unwrap()).as_secs_f64();
+    Row {
+        min_s: durations.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_s: durations.iter().cloned().fold(0.0, f64::max),
+        avg_s: durations.iter().sum::<f64>() / durations.len() as f64,
+        read_mbps: mbps(read, span),
+        write_mbps: mbps(written, span),
+    }
+}
+
+fn btio(system: &str) -> Row {
+    let div = if full_scale() { 1 } else { 16 };
+    let cfg = BtioConfig {
+        write_total: (2_700 << 20) / div,
+        read_total: (1_700 << 20) / div,
+        ..BtioConfig::default()
+    };
+    let mut cluster = build(system, 120);
+    // Rank 0's coordinator pre-sizes the shared file (Sorrento gets the
+    // versioning-off striped options; the baselines just see the ops).
+    let coord = if matches!(cluster, AnyCluster::Sorrento(_)) {
+        coordinator_script(&cfg, 8)
+    } else {
+        // Baselines pre-size through a plain create + write.
+        let mut ops = coordinator_script(&cfg, 8);
+        if let sorrento::client::ClientOp::CreateWith { path, .. } = &ops[0] {
+            ops[0] = sorrento::client::ClientOp::Create { path: path.clone() };
+        }
+        ops
+    };
+    let stats = cluster.run_script(coord, CAP);
+    assert_eq!(stats.failed_ops, 0, "coordinator failed: {:?}", stats.last_error);
+    let opts = solution_options(&cfg, 8);
+    let ids: Vec<_> = (0..cfg.ranks)
+        .map(|r| {
+            let replayer = TraceReplayer::new(rank_trace(&cfg, r), ReplayMode::AsFast);
+            cluster.add_client_with_options(Box::new(replayer), opts)
+        })
+        .collect();
+    cluster.run_to_finish(&ids, CAP);
+    summarize(&cluster, &ids)
+}
+
+fn psm(system: &str) -> Row {
+    let div = if full_scale() { 1 } else { 16 };
+    let cfg = PsmConfig {
+        min_partition: (1 << 30) / div,
+        max_partition: (3 << 29) / div,
+        scan_per_query: (256 << 10).min((1 << 30) / div / 4),
+        query_gap: Dur::ZERO, // as fast as they can (§4.2.2)
+        queries: Some(((3_100 << 20) / div / 8) / (256 << 10) / 3 + 1),
+        ..PsmConfig::default()
+    };
+    let mut cluster = build(system, 121);
+    let stats = cluster.run_script(import_script(&cfg, None), CAP);
+    assert_eq!(stats.failed_ops, 0, "import failed: {:?}", stats.last_error);
+    let ids: Vec<_> = (0..8)
+        .map(|p| {
+            let parts: Vec<usize> = (0..3).map(|k| p * 3 + k).collect();
+            cluster.add_client(Box::new(PsmService::new(cfg.clone(), parts)))
+        })
+        .collect();
+    cluster.run_to_finish(&ids, CAP);
+    summarize(&cluster, &ids)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for (app, runner) in [
+        ("BTIO", btio as fn(&str) -> Row),
+        ("PSM", psm as fn(&str) -> Row),
+    ] {
+        for system in ["NFS", "PVFS-8", "Sorrento-(8,1)"] {
+            let r = runner(system);
+            rows.push(vec![
+                app.to_string(),
+                system.to_string(),
+                f1(r.min_s),
+                f1(r.max_s),
+                f1(r.avg_s),
+                f1(r.read_mbps),
+                f1(r.write_mbps),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 12: BTIO + PSM trace replay",
+        &["app", "system", "min_s", "max_s", "avg_s", "read_MB/s", "write_MB/s"],
+        &rows,
+    );
+}

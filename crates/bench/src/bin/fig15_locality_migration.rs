@@ -1,0 +1,129 @@
+//! **Figure 15** — locality-driven data placement and migration.
+//!
+//! The PSM dataset (24 partitions) is imported onto an 8-node volume
+//! with no knowledge of which service process will read which partition;
+//! 8 PSM service processes run co-located with the 8 providers, each
+//! statically assigned 3 partitions. Under the locality-driven policy
+//! (threshold > 50% of recent traffic from one machine) the partitions
+//! migrate to their consumers without service interruption.
+//!
+//! Paper's shape: per-query I/O time starts ≈ 62 ms (only 4 partitions
+//! local), rises ≈ 75 ms while migration traffic competes, and settles
+//! ≈ 46 ms once all partitions are co-located (−26%).
+
+use sorrento::cluster::{Cluster, ClusterBuilder};
+use sorrento::types::{FileOptions, PlacementPolicy};
+use sorrento_bench::{full_scale, print_series};
+use sorrento_sim::{Dur, SimTime};
+use sorrento_workloads::psm::{import_script, partition_path, PsmConfig, PsmService};
+
+fn main() {
+    let div = if full_scale() { 1 } else { 16 };
+    let cfg = PsmConfig {
+        partitions: 24,
+        per_process: 3,
+        min_partition: (1u64 << 30) / div,
+        max_partition: (3u64 << 29) / div,
+        scan_per_query: 256 << 10,
+        chunk: 128 << 10,
+        query_gap: Dur::millis(400),
+        queries: None,
+    };
+    let mut cluster: Cluster = ClusterBuilder::new()
+        .providers(8)
+        .replication(1)
+        .seed(150)
+        .build();
+    // Import without locality knowledge (loader is its own machine).
+    let import = import_script(&cfg, Some(0.6));
+    let loader = cluster.add_client(sorrento::cluster::ScriptedWorkload::new(import));
+    loop {
+        cluster.run_for(Dur::secs(5));
+        if cluster.client_stats(loader).unwrap().finished_at.is_some() {
+            break;
+        }
+        assert!(cluster.now().as_secs_f64() < 40_000.0, "import stalled");
+    }
+    assert_eq!(cluster.client_stats(loader).unwrap().failed_ops, 0);
+    println!(
+        "# imported {} partitions by t={:.0}s",
+        cfg.partitions,
+        cluster.now().as_secs_f64()
+    );
+
+    // 8 co-located service processes, 3 partitions each.
+    let options = FileOptions {
+        placement: PlacementPolicy::LocalityDriven { threshold: 0.6 },
+        ..FileOptions::default()
+    };
+    let mut services = Vec::new();
+    for p in 0..8usize {
+        let parts: Vec<usize> = (0..3).map(|k| p * 3 + k).collect();
+        let svc = PsmService::new(cfg.clone(), parts);
+        services.push(cluster.add_client_on_provider_with_options(svc, p, options));
+    }
+    let _t0 = cluster.now();
+    // Sample the mean per-query I/O time in 30 s buckets for ~35 min
+    // (the paper's migration completes around t = 1410 s).
+    let horizon = if full_scale() { 2100 } else { 1500 };
+    let mut series: Vec<(SimTime, f64)> = Vec::new();
+    let mut consumed = vec![0usize; services.len()];
+    let mut elapsed = 0u64;
+    while elapsed < horizon {
+        cluster.run_for(Dur::secs(30));
+        elapsed += 30;
+        let mut total = Dur::ZERO;
+        let mut count = 0u32;
+        for (k, &id) in services.iter().enumerate() {
+            let svc = cluster
+                .sim
+                .node_ref::<sorrento::client::SorrentoClient>(id)
+                .expect("service exists");
+            let _ = svc;
+            // Pull fresh query_io entries out of the workload.
+            let q = query_io_of(&cluster, id);
+            for &(_, io) in &q[consumed[k]..] {
+                total += io;
+                count += 1;
+            }
+            consumed[k] = q.len();
+        }
+        if count > 0 {
+            series.push((
+                SimTime::from_nanos(elapsed * 1_000_000_000),
+                total.as_millis_f64() / count as f64,
+            ));
+        }
+    }
+    print_series(
+        "Figure 15: PSM per-query I/O time under locality-driven migration",
+        "ms/query",
+        &series,
+    );
+    println!(
+        "# migrations completed: {}",
+        cluster.metrics().counter("sorrento.migrations_done")
+    );
+    // How many partitions ended up co-located with their consumers?
+    let mut local = 0;
+    for p in 0..8usize {
+        for k in 0..3 {
+            let _ = partition_path(p * 3 + k);
+        }
+        local += 3; // reported via disk usage below
+    }
+    let _ = local;
+    for (i, (node, used, _)) in cluster.provider_disk_usage().iter().enumerate() {
+        println!("# provider {i} ({node}): {} MB", used >> 20);
+    }
+}
+
+/// Extract a PSM service's per-query I/O series from its client node.
+fn query_io_of(cluster: &Cluster, id: sorrento_sim::NodeId) -> Vec<(SimTime, Dur)> {
+    cluster
+        .sim
+        .node_ref::<sorrento::client::SorrentoClient>(id)
+        .and_then(|c| c.workload_ref::<PsmService>())
+        .map(|s| s.query_io.clone())
+        .unwrap_or_default()
+}

@@ -1,0 +1,345 @@
+//! The handle-based API layer (§2.3).
+//!
+//! "The basic Sorrento API layer exports an NFS-style interface, in
+//! which operations are based on opaque file and directory handles.
+//! Upon this layer, we have implemented another library interface that
+//! is similar to the UNIX file-system calls."
+//!
+//! [`FsScript`] is that library interface for this reproduction: it
+//! builds a validated operation program against opaque [`FileHandle`]s
+//! and compiles it into the [`ClientOp`] stream a simulated client
+//! executes. Validation happens at build time — double closes, I/O on
+//! closed or read-only handles, and interleaved sessions (the client
+//! stub holds one open file at a time, like one `FILE*` per thread) are
+//! rejected before anything runs.
+//!
+//! ```
+//! use sorrento::api::FsScript;
+//!
+//! let mut fs = FsScript::new();
+//! fs.mkdir("/data").unwrap();
+//! let h = fs.create("/data/report").unwrap();
+//! fs.write(h, 0, b"quarterly numbers".to_vec()).unwrap();
+//! fs.close(h).unwrap();
+//! let h = fs.open("/data/report", false).unwrap();
+//! fs.read(h, 0, 17).unwrap();
+//! fs.close(h).unwrap();
+//! let ops = fs.into_ops();
+//! assert_eq!(ops.len(), 7);
+//! ```
+
+use crate::client::ClientOp;
+use crate::store::WritePayload;
+use crate::types::{Error, FileOptions, Result};
+use sorrento_sim::Dur;
+
+/// An opaque handle to an open file within an [`FsScript`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HandleState {
+    OpenRead,
+    OpenWrite,
+    Closed,
+}
+
+/// A validated, handle-based operation program (§2.3's UNIX-like library
+/// interface), compiled to [`ClientOp`]s via [`FsScript::into_ops`].
+#[derive(Debug, Default)]
+pub struct FsScript {
+    ops: Vec<ClientOp>,
+    handles: Vec<HandleState>,
+    /// The handle currently holding the (single) open-file slot.
+    current: Option<FileHandle>,
+}
+
+impl FsScript {
+    /// An empty program.
+    pub fn new() -> FsScript {
+        FsScript::default()
+    }
+
+    fn alloc(&mut self, state: HandleState) -> FileHandle {
+        let h = FileHandle(self.handles.len() as u64);
+        self.handles.push(state);
+        self.current = Some(h);
+        h
+    }
+
+    fn check_current(&self, h: FileHandle, need_write: bool) -> Result<()> {
+        if self.current != Some(h) {
+            // Either closed, or another handle holds the open slot.
+            return Err(match self.handles.get(h.0 as usize) {
+                Some(HandleState::Closed) | None => Error::NotFound,
+                Some(_) => Error::InvalidMode,
+            });
+        }
+        if need_write && self.handles[h.0 as usize] != HandleState::OpenWrite {
+            return Err(Error::InvalidMode);
+        }
+        Ok(())
+    }
+
+    /// Create a directory.
+    pub fn mkdir(&mut self, path: impl Into<String>) -> Result<()> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode); // close the open file first
+        }
+        self.ops.push(ClientOp::Mkdir { path: path.into() });
+        Ok(())
+    }
+
+    /// Create a file (default options) and open it for writing.
+    pub fn create(&mut self, path: impl Into<String>) -> Result<FileHandle> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode);
+        }
+        self.ops.push(ClientOp::Create { path: path.into() });
+        Ok(self.alloc(HandleState::OpenWrite))
+    }
+
+    /// Create a file with explicit options and open it for writing.
+    pub fn create_with(
+        &mut self,
+        path: impl Into<String>,
+        options: FileOptions,
+    ) -> Result<FileHandle> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode);
+        }
+        self.ops.push(ClientOp::CreateWith {
+            path: path.into(),
+            options,
+        });
+        Ok(self.alloc(HandleState::OpenWrite))
+    }
+
+    /// Open an existing file.
+    pub fn open(&mut self, path: impl Into<String>, write: bool) -> Result<FileHandle> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode);
+        }
+        self.ops.push(ClientOp::Open {
+            path: path.into(),
+            write,
+        });
+        Ok(self.alloc(if write {
+            HandleState::OpenWrite
+        } else {
+            HandleState::OpenRead
+        }))
+    }
+
+    /// Read a byte range through a handle.
+    pub fn read(&mut self, h: FileHandle, offset: u64, len: u64) -> Result<()> {
+        self.check_current(h, false)?;
+        self.ops.push(ClientOp::Read { offset, len });
+        Ok(())
+    }
+
+    /// Write real bytes through a writable handle.
+    pub fn write(&mut self, h: FileHandle, offset: u64, data: Vec<u8>) -> Result<()> {
+        self.check_current(h, true)?;
+        self.ops.push(ClientOp::Write {
+            offset,
+            payload: WritePayload::Real(data),
+        });
+        Ok(())
+    }
+
+    /// Write a modeled (synthetic) length through a writable handle.
+    pub fn write_synth(&mut self, h: FileHandle, offset: u64, len: u64) -> Result<()> {
+        self.check_current(h, true)?;
+        self.ops.push(ClientOp::write_synth(offset, len));
+        Ok(())
+    }
+
+    /// Append through a writable handle.
+    pub fn append(&mut self, h: FileHandle, data: Vec<u8>) -> Result<()> {
+        self.check_current(h, true)?;
+        self.ops.push(ClientOp::Append {
+            payload: WritePayload::Real(data),
+        });
+        Ok(())
+    }
+
+    /// Atomic append (retry-on-conflict) through a writable handle.
+    pub fn atomic_append(&mut self, h: FileHandle, data: Vec<u8>) -> Result<()> {
+        self.check_current(h, true)?;
+        self.ops.push(ClientOp::AtomicAppend {
+            payload: WritePayload::Real(data),
+        });
+        Ok(())
+    }
+
+    /// Commit pending changes without closing (the implicit commit of a
+    /// `sync` call, §3.5).
+    pub fn sync(&mut self, h: FileHandle) -> Result<()> {
+        self.check_current(h, true)?;
+        self.ops.push(ClientOp::Sync);
+        Ok(())
+    }
+
+    /// Close the handle (commits pending changes — the implicit commit
+    /// of a `close` call, §3.5).
+    pub fn close(&mut self, h: FileHandle) -> Result<()> {
+        self.check_current(h, false)?;
+        self.handles[h.0 as usize] = HandleState::Closed;
+        self.current = None;
+        self.ops.push(ClientOp::Close);
+        Ok(())
+    }
+
+    /// Remove a file (no handle may be open on it).
+    pub fn unlink(&mut self, path: impl Into<String>) -> Result<()> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode);
+        }
+        self.ops.push(ClientOp::Unlink { path: path.into() });
+        Ok(())
+    }
+
+    /// Look up a path.
+    pub fn stat(&mut self, path: impl Into<String>) -> Result<()> {
+        self.ops.push(ClientOp::Stat { path: path.into() });
+        Ok(())
+    }
+
+    /// List a directory.
+    pub fn list(&mut self, path: impl Into<String>) -> Result<()> {
+        self.ops.push(ClientOp::List { path: path.into() });
+        Ok(())
+    }
+
+    /// Idle for a duration.
+    pub fn think(&mut self, dur: Dur) {
+        self.ops.push(ClientOp::Think { dur });
+    }
+
+    /// Number of compiled operations so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finish the program. Fails if a handle is still open (leaked
+    /// handles would leave dangling shadow copies until their TTL).
+    pub fn finish(self) -> Result<Vec<ClientOp>> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode);
+        }
+        Ok(self.ops)
+    }
+
+    /// Finish the program, auto-closing any open handle.
+    pub fn into_ops(mut self) -> Vec<ClientOp> {
+        if self.current.take().is_some() {
+            self.ops.push(ClientOp::Close);
+        }
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_compiles_in_order() {
+        let mut fs = FsScript::new();
+        fs.mkdir("/d").unwrap();
+        let h = fs.create("/d/f").unwrap();
+        fs.write(h, 0, vec![1, 2, 3]).unwrap();
+        fs.sync(h).unwrap();
+        fs.close(h).unwrap();
+        let g = fs.open("/d/f", false).unwrap();
+        fs.read(g, 0, 3).unwrap();
+        fs.close(g).unwrap();
+        fs.unlink("/d/f").unwrap();
+        let kinds: Vec<&str> = fs.finish().unwrap().iter().map(|o| o.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["mkdir", "create", "write", "sync", "close", "open", "read", "close", "unlink"]
+        );
+    }
+
+    #[test]
+    fn writes_on_readonly_handles_are_rejected() {
+        let mut fs = FsScript::new();
+        let h = fs.open("/f", false).unwrap();
+        assert_eq!(fs.write(h, 0, vec![1]).unwrap_err(), Error::InvalidMode);
+        assert_eq!(fs.sync(h).unwrap_err(), Error::InvalidMode);
+        fs.read(h, 0, 1).unwrap();
+        fs.close(h).unwrap();
+    }
+
+    #[test]
+    fn closed_handles_are_dead() {
+        let mut fs = FsScript::new();
+        let h = fs.create("/f").unwrap();
+        fs.close(h).unwrap();
+        assert_eq!(fs.read(h, 0, 1).unwrap_err(), Error::NotFound);
+        assert_eq!(fs.close(h).unwrap_err(), Error::NotFound);
+    }
+
+    #[test]
+    fn interleaved_sessions_are_rejected() {
+        let mut fs = FsScript::new();
+        let _a = fs.create("/a").unwrap();
+        // Cannot open /b while /a is open (one open file per client).
+        assert_eq!(fs.open("/b", false).unwrap_err(), Error::InvalidMode);
+        assert_eq!(fs.create("/b").unwrap_err(), Error::InvalidMode);
+        assert_eq!(fs.unlink("/c").unwrap_err(), Error::InvalidMode);
+    }
+
+    #[test]
+    fn stale_handle_while_another_is_open() {
+        let mut fs = FsScript::new();
+        let a = fs.create("/a").unwrap();
+        fs.close(a).unwrap();
+        let b = fs.create("/b").unwrap();
+        // `a` is closed, `b` holds the slot.
+        assert_eq!(fs.read(a, 0, 1).unwrap_err(), Error::NotFound);
+        fs.write(b, 0, vec![9]).unwrap();
+        fs.close(b).unwrap();
+    }
+
+    #[test]
+    fn finish_rejects_leaked_handles() {
+        let mut fs = FsScript::new();
+        let _h = fs.create("/leak").unwrap();
+        assert!(fs.finish().is_err());
+        // into_ops auto-closes instead.
+        let mut fs = FsScript::new();
+        let _h = fs.create("/leak").unwrap();
+        let ops = fs.into_ops();
+        assert_eq!(ops.last().unwrap().kind(), "close");
+    }
+
+    #[test]
+    fn runs_against_a_cluster() {
+        use crate::cluster::{ClusterBuilder, ScriptedWorkload};
+        let mut fs = FsScript::new();
+        let h = fs.create("/api-demo").unwrap();
+        fs.write(h, 0, b"handle layer".to_vec()).unwrap();
+        fs.close(h).unwrap();
+        let g = fs.open("/api-demo", false).unwrap();
+        fs.read(g, 0, 12).unwrap();
+        fs.close(g).unwrap();
+        let mut cluster = ClusterBuilder::new()
+            .providers(3)
+            .seed(5)
+            .costs(crate::costs::CostModel::fast_test())
+            .build();
+        let id = cluster.add_client(ScriptedWorkload::new(fs.finish().unwrap()));
+        cluster.run_for(sorrento_sim::Dur::secs(60));
+        let stats = cluster.client_stats(id).unwrap();
+        assert_eq!(stats.failed_ops, 0, "{:?}", stats.last_error);
+        assert_eq!(stats.last_read.as_deref(), Some(&b"handle layer"[..]));
+    }
+}

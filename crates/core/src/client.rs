@@ -1,0 +1,2518 @@
+//! The Sorrento client stub (§2.3, §3.5, Figure 6/7): executes file
+//! operations against the cluster — pathname resolution through the
+//! namespace server, index-segment reads through home hosts (with
+//! redirect), parallel data-segment I/O, shadow-copy writes, two-phase
+//! commit, eager or lazy replica propagation, and failover through
+//! timeouts and the multicast backup query.
+//!
+//! A client node is driven by a [`Workload`]: whenever the previous
+//! operation completes, the workload supplies the next [`ClientOp`] and
+//! observes its [`OpResult`].
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sorrento_sim::{Ctx, Dur, Node, NodeId, SimTime};
+
+use crate::costs::CostModel;
+use crate::layout::{Extent, IndexSegment, WritePlan};
+use crate::membership::MembershipView;
+use crate::placement::{candidates_from_view, select_provider};
+use crate::proto::{decode_index, encode_index, FileEntry, Msg, ReadReply, ReqId, Tick};
+use crate::ring::HashRing;
+use crate::store::{SegMeta, ShadowId, WritePayload};
+use crate::types::{Error, FileId, FileOptions, PlacementPolicy, SegId, Version};
+
+/// Maximum whole-op retries after timeouts/failovers before the op fails.
+const MAX_ATTEMPTS: u32 = 5;
+/// Maximum commit retries for [`ClientOp::AtomicAppend`].
+const MAX_APPEND_RETRIES: u32 = 16;
+
+/// One file operation issued by a workload.
+#[derive(Debug, Clone)]
+pub enum ClientOp {
+    /// Create a directory.
+    Mkdir {
+        /// Absolute pathname of the new directory.
+        path: String,
+    },
+    /// Create a file with default options and open it for writing.
+    Create {
+        /// Absolute pathname of the new file.
+        path: String,
+    },
+    /// Create a file with explicit options and open it for writing.
+    CreateWith {
+        /// Absolute pathname of the new file.
+        path: String,
+        /// Per-file tunables (replication, organization, placement, ...).
+        options: FileOptions,
+    },
+    /// Open an existing file.
+    Open {
+        /// Absolute pathname.
+        path: String,
+        /// Open writable (enables Write/Append/commit).
+        write: bool,
+    },
+    /// Read from the open file.
+    Read {
+        /// Byte offset within the file.
+        offset: u64,
+        /// Byte count (clamped to file size).
+        len: u64,
+    },
+    /// Write to the open file.
+    Write {
+        /// Byte offset within the file.
+        offset: u64,
+        /// The bytes (real or modeled).
+        payload: WritePayload,
+    },
+    /// Append to the open file.
+    Append {
+        /// The bytes (real or modeled).
+        payload: WritePayload,
+    },
+    /// Atomic append (§3.5 Figure 4): append + commit, retrying the whole
+    /// cycle on version conflicts.
+    AtomicAppend {
+        /// The record to append (real or modeled).
+        payload: WritePayload,
+    },
+    /// Commit pending changes and keep the file open.
+    Sync,
+    /// Commit pending changes (if any) and close the file.
+    Close,
+    /// Remove a file, eagerly deleting all segment replicas.
+    Unlink {
+        /// Absolute pathname.
+        path: String,
+    },
+    /// Look up a path.
+    Stat {
+        /// Absolute pathname.
+        path: String,
+    },
+    /// List a directory.
+    List {
+        /// Absolute pathname of the directory.
+        path: String,
+    },
+    /// Idle for a duration (think time / emulated external latency).
+    Think {
+        /// How long to stay idle.
+        dur: Dur,
+    },
+}
+
+impl ClientOp {
+    /// Write real bytes at an offset.
+    pub fn write_bytes(offset: u64, data: Vec<u8>) -> ClientOp {
+        ClientOp::Write {
+            offset,
+            payload: WritePayload::Real(data),
+        }
+    }
+
+    /// Write a modeled (synthetic) length at an offset.
+    pub fn write_synth(offset: u64, len: u64) -> ClientOp {
+        ClientOp::Write {
+            offset,
+            payload: WritePayload::Synthetic { len },
+        }
+    }
+
+    /// Append a modeled (synthetic) length.
+    pub fn append_synth(len: u64) -> ClientOp {
+        ClientOp::Append {
+            payload: WritePayload::Synthetic { len },
+        }
+    }
+
+    /// Short name for stats.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClientOp::Mkdir { .. } => "mkdir",
+            ClientOp::Create { .. } | ClientOp::CreateWith { .. } => "create",
+            ClientOp::Open { .. } => "open",
+            ClientOp::Read { .. } => "read",
+            ClientOp::Write { .. } => "write",
+            ClientOp::Append { .. } => "append",
+            ClientOp::AtomicAppend { .. } => "atomic_append",
+            ClientOp::Sync => "sync",
+            ClientOp::Close => "close",
+            ClientOp::Unlink { .. } => "unlink",
+            ClientOp::Stat { .. } => "stat",
+            ClientOp::List { .. } => "list",
+            ClientOp::Think { .. } => "think",
+        }
+    }
+}
+
+/// Outcome of one completed operation.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    /// `None` on success, the error otherwise.
+    pub error: Option<Error>,
+    /// Bytes read or written.
+    pub bytes: u64,
+    /// Wall-clock (virtual) latency of the op.
+    pub latency: Dur,
+    /// Read data, when the file carries real bytes.
+    pub data: Option<Vec<u8>>,
+}
+
+impl OpResult {
+    /// Whether the op succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Supplies a client with operations and observes their results.
+pub trait Workload: std::any::Any {
+    /// The next operation, or `None` when the workload is exhausted.
+    fn next_op(&mut self, now: SimTime, rng: &mut rand::rngs::SmallRng) -> Option<ClientOp>;
+    /// Observe a completed operation.
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, now: SimTime) {
+        let _ = (op, result, now);
+    }
+}
+
+impl Workload for Box<dyn Workload> {
+    fn next_op(&mut self, now: SimTime, rng: &mut rand::rngs::SmallRng) -> Option<ClientOp> {
+        (**self).next_op(now, rng)
+    }
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, now: SimTime) {
+        (**self).on_result(op, result, now)
+    }
+}
+
+/// Aggregate statistics maintained by every client.
+#[derive(Debug, Default, Clone)]
+pub struct ClientStats {
+    /// Successfully completed operations (excluding `Think`).
+    pub completed_ops: u64,
+    /// Failed operations.
+    pub failed_ops: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Data returned by the most recent successful read (real mode).
+    pub last_read: Option<Vec<u8>>,
+    /// Most recent error.
+    pub last_error: Option<Error>,
+    /// `(op kind, latency)` log of completed ops.
+    pub latencies: Vec<(&'static str, Dur)>,
+    /// When the first operation was issued (excludes provider-discovery
+    /// wait before heartbeats arrive).
+    pub started_at: Option<SimTime>,
+    /// When the workload ran out of operations.
+    pub finished_at: Option<SimTime>,
+    /// Version conflicts observed (atomic-append retries etc.).
+    pub conflicts: u64,
+}
+
+/// A shadow created during the current write session.
+#[derive(Debug, Clone, Copy)]
+struct ShadowRef {
+    provider: NodeId,
+    shadow: ShadowId,
+    target: Version,
+}
+
+/// Client-side state of the open file.
+#[derive(Debug, Clone)]
+struct OpenFile {
+    path: String,
+    entry: FileEntry,
+    index: IndexSegment,
+    writable: bool,
+    dirty: bool,
+    /// Known owners per data segment (from redirects and LocQuery).
+    owners: HashMap<SegId, Vec<(NodeId, Version)>>,
+    /// Shadows opened this session, by segment.
+    shadows: HashMap<SegId, ShadowRef>,
+    /// Provider serving the index segment (owner we read it from or
+    /// placed it on).
+    index_owner: Option<NodeId>,
+    /// Target file version of the in-progress commit (chosen once per
+    /// attempt, entropy-disambiguated).
+    commit_target: Option<Version>,
+    /// Inline content for attached real files.
+    attached_buf: Vec<u8>,
+    /// Whether file payloads are synthetic.
+    synthetic: bool,
+}
+
+/// What an in-flight request is for.
+#[derive(Debug, Clone)]
+enum Pending {
+    Ns,
+    IndexRead { owner_known: bool },
+    LocQuery { seg: SegId },
+    DataRead { extent: usize },
+    ShadowCreate { seg: SegId, provider: NodeId, target: Version },
+    ShadowWrite { extent: usize },
+    DirectWrite,
+    Prepare,
+    Commit2,
+    CommitBegin,
+    CommitEnd,
+    Backup { seg: SegId },
+    Delete,
+    EagerSync,
+}
+
+/// Current stage of the active operation.
+#[derive(Debug)]
+enum Phase {
+    /// Waiting on a single namespace RPC (mkdir/stat/list/create/lookup).
+    NsSimple,
+    /// Open flow: read the index segment (possibly via redirect/backup).
+    OpenIndex,
+    /// Read flow: resolving owners then fetching extents.
+    Reading {
+        extents: Vec<Extent>,
+        /// Buffer for real data (request-relative).
+        buf: Option<Vec<u8>>,
+        req_offset: u64,
+        /// Extents whose owner is still being resolved (indices).
+        unresolved: Vec<usize>,
+        /// Outstanding data fetches.
+        outstanding: usize,
+        bytes: u64,
+    },
+    /// Write flow: ensure shadows exist, then issue the writes.
+    Writing {
+        extents: Vec<Extent>,
+        /// Extent indices still needing owner resolution or shadows.
+        todo: Vec<usize>,
+        outstanding: usize,
+        detach_bytes: u64,
+        write_offset: u64,
+        write_len: u64,
+    },
+    /// Commit flow.
+    Committing(CommitStage),
+    /// Unlink flow.
+    Unlinking {
+        entry: Option<FileEntry>,
+        index: Option<IndexSegment>,
+        /// Segments whose owners still need resolving.
+        to_locate: Vec<SegId>,
+        /// (seg, owner) pairs to delete.
+        deletes: Vec<(SegId, NodeId)>,
+        outstanding: usize,
+    },
+    /// Think timer running.
+    Thinking,
+}
+
+/// Sub-stages of the commit flow (Figure 6 steps 6–12).
+#[derive(Debug)]
+enum CommitStage {
+    /// Creating the shadow of the index segment (step 6).
+    IndexShadow,
+    /// Writing the new index contents into its shadow.
+    IndexWrite,
+    /// Namespace approval (step 7).
+    Begin,
+    /// 2PC prepare (step 8).
+    Prepare { outstanding: usize, failed: bool },
+    /// 2PC commit (step 8).
+    Commit { outstanding: usize },
+    /// Namespace completion (step 9).
+    End,
+    /// Eager propagation: waiting for replica syncs (§3.6 synchronous
+    /// commitment).
+    Eager { outstanding: usize },
+}
+
+/// The client node.
+pub struct SorrentoClient {
+    costs: CostModel,
+    ns: NodeId,
+    /// Options applied to files created with [`ClientOp::Create`].
+    pub default_options: FileOptions,
+    workload: Box<dyn Workload>,
+    /// Aggregate statistics.
+    pub stats: ClientStats,
+    view: MembershipView,
+    ring: HashRing,
+    file: Option<OpenFile>,
+    op: Option<(ClientOp, SimTime, Phase, u32 /* attempts */)>,
+    pending: HashMap<ReqId, (NodeId, Pending)>,
+    /// Backup-query responders for the request id that triggered it.
+    backup_hits: HashMap<ReqId, Vec<(NodeId, Version)>>,
+    next_req: ReqId,
+    seg_counter: u64,
+    my_machine: u32,
+    /// Remaining atomic-append retries for the current op.
+    append_retries: u32,
+    /// Pending append payload being retried.
+    append_payload: Option<WritePayload>,
+    /// Total bytes the current op moves (scatter-wide timeout budget:
+    /// one piece of a large scatter legitimately queues behind the rest
+    /// of the op's own traffic).
+    scatter_bytes: u64,
+}
+
+impl SorrentoClient {
+    /// A client of the volume whose namespace server is `ns`.
+    pub fn new(ns: NodeId, costs: CostModel, workload: Box<dyn Workload>) -> SorrentoClient {
+        SorrentoClient {
+            costs,
+            ns,
+            default_options: FileOptions::default(),
+            workload,
+            stats: ClientStats::default(),
+            view: MembershipView::new(),
+            ring: HashRing::default(),
+            file: None,
+            op: None,
+            pending: HashMap::new(),
+            backup_hits: HashMap::new(),
+            next_req: 1,
+            seg_counter: 0,
+            my_machine: 0,
+            append_retries: 0,
+            append_payload: None,
+            scatter_bytes: 0,
+        }
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Inspect the concrete workload driving this client (post-run
+    /// analysis: e.g. reading a [`Workload`] implementation's recorded
+    /// series). Only works when the workload was passed unboxed.
+    pub fn workload_ref<W: Workload>(&self) -> Option<&W> {
+        let w: &dyn Workload = &*self.workload;
+        (w as &dyn std::any::Any).downcast_ref::<W>()
+    }
+
+    fn fresh_seg(&mut self, ctx: &mut Ctx<'_, Msg>) -> SegId {
+        self.seg_counter += 1;
+        SegId::derive(ctx.id().index() as u32, self.seg_counter, ctx.rng().gen())
+    }
+
+    /// Issue an RPC with a timeout guard.
+    fn rpc(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg, pending: Pending) -> ReqId {
+        let req = match &msg {
+            Msg::NsLookup { req, .. }
+            | Msg::NsCreate { req, .. }
+            | Msg::NsMkdir { req, .. }
+            | Msg::NsRemove { req, .. }
+            | Msg::NsList { req, .. }
+            | Msg::NsCommitBegin { req, .. }
+            | Msg::NsCommitEnd { req, .. }
+            | Msg::LocQuery { req, .. }
+            | Msg::ReadSeg { req, .. }
+            | Msg::CreateShadow { req, .. }
+            | Msg::WriteShadow { req, .. }
+            | Msg::ReadShadow { req, .. }
+            | Msg::Prepare { req, .. }
+            | Msg::Commit { req, .. }
+            | Msg::DirectWrite { req, .. }
+            | Msg::DeleteSeg { req, .. }
+            | Msg::SyncRequest { req, .. } => *req,
+            _ => unreachable!("rpc() called with a non-request message"),
+        };
+        // Bulk transfers need proportionally longer timeouts: a 4 MB
+        // write behind a dozen queued peers is not a failure. Budget a
+        // conservative 1 MB/s floor for the expected transfer volume.
+        let transfer = match &msg {
+            Msg::WriteShadow { payload, .. } => payload.len().max(self.scatter_bytes),
+            Msg::DirectWrite { payload, .. } => payload.len().max(self.scatter_bytes),
+            Msg::ReadSeg { len, .. } | Msg::ReadShadow { len, .. } => {
+                (*len).min(512 << 20).max(self.scatter_bytes)
+            }
+            _ => 0,
+        };
+        let timeout = self.costs.rpc_timeout + Dur::for_bytes(transfer, 1.5e6);
+        self.pending.insert(req, (to, pending));
+        ctx.send(to, msg);
+        ctx.set_timer(timeout, Msg::Tick(Tick::RpcTimeout(req)));
+        req
+    }
+
+    /// Pick an owner for a segment: co-located first, then random
+    /// up-to-date owner.
+    fn choose_owner(
+        &self,
+        owners: &[(NodeId, Version)],
+        min_version: Option<Version>,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Option<NodeId> {
+        // Never pick an owner the membership view considers dead.
+        let live: Vec<(NodeId, Version)> = owners
+            .iter()
+            .filter(|(id, _)| self.view.is_live(*id))
+            .copied()
+            .collect();
+        let owners: &[(NodeId, Version)] = &live;
+        let best: Vec<NodeId> = owners
+            .iter()
+            .filter(|(_, v)| min_version.is_none_or(|m| *v >= m))
+            .map(|(id, _)| *id)
+            .collect();
+        let pool = if best.is_empty() {
+            // Fall back to any owner (it may have caught up since).
+            owners.iter().map(|(id, _)| *id).collect()
+        } else {
+            best
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        for &id in &pool {
+            if self
+                .view
+                .info(id)
+                .is_some_and(|i| i.heartbeat.machine == self.my_machine)
+            {
+                return Some(id);
+            }
+        }
+        pool.choose(rng).copied()
+    }
+
+    /// Pick a provider for a brand-new segment via the placement
+    /// algorithm (§3.7.1), with the home-host boost for small segments.
+    fn place_segment(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        seg: SegId,
+        size_hint: u64,
+        alpha: f64,
+        policy: PlacementPolicy,
+    ) -> Option<NodeId> {
+        let cands = candidates_from_view(&self.view);
+        let home = if self.costs.home_boost {
+            self.ring.home(seg)
+        } else {
+            None
+        };
+        select_provider(&cands, size_hint, alpha, policy, &[], home, ctx.rng())
+    }
+
+    fn seg_meta(&self, opts: &FileOptions, synthetic: bool) -> SegMeta {
+        SegMeta::from_options(opts, synthetic)
+    }
+
+    // ------------------------------------------------------------------
+    // Operation lifecycle
+    // ------------------------------------------------------------------
+
+    fn pull_next_op(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.op.is_some() {
+            return;
+        }
+        // Without a provider view we cannot place or locate anything;
+        // wait for heartbeats.
+        if self.view.is_empty() {
+            ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::NextOp));
+            return;
+        }
+        let Some(op) = self.workload.next_op(ctx.now(), ctx.rng()) else {
+            if self.stats.finished_at.is_none() {
+                self.stats.finished_at = Some(ctx.now());
+            }
+            return;
+        };
+        self.start_op(ctx, op);
+    }
+
+    fn start_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: ClientOp) {
+        let now = ctx.now();
+        if self.stats.started_at.is_none() {
+            self.stats.started_at = Some(now);
+        }
+        self.append_retries = MAX_APPEND_RETRIES;
+        match &op {
+            ClientOp::Think { dur } => {
+                let dur = *dur;
+                self.op = Some((op, now, Phase::Thinking, 0));
+                ctx.set_timer(dur, Msg::Tick(Tick::NextOp));
+            }
+            _ => {
+                self.op = Some((op, now, Phase::NsSimple, 0));
+                self.dispatch_stage(ctx);
+            }
+        }
+    }
+
+    /// (Re-)issue the first request of the current op's current stage.
+    fn dispatch_stage(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some((op, _, _, _)) = &self.op else {
+            return;
+        };
+        let op = op.clone();
+        match op {
+            ClientOp::Mkdir { path } => {
+                let req = self.fresh_req();
+                self.rpc(ctx, self.ns, Msg::NsMkdir { req, path }, Pending::Ns);
+            }
+            ClientOp::Stat { path } => {
+                let req = self.fresh_req();
+                self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
+            }
+            ClientOp::List { path } => {
+                let req = self.fresh_req();
+                self.rpc(ctx, self.ns, Msg::NsList { req, path }, Pending::Ns);
+            }
+            ClientOp::Create { path } => {
+                let options = self.default_options;
+                self.start_create(ctx, path, options);
+            }
+            ClientOp::CreateWith { path, options } => {
+                self.start_create(ctx, path, options);
+            }
+            ClientOp::Open { path, .. } => {
+                let req = self.fresh_req();
+                self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
+            }
+            ClientOp::Read { offset, len } => self.start_read(ctx, offset, len),
+            ClientOp::Write { offset, payload } => self.start_write(ctx, offset, payload),
+            ClientOp::Append { payload } => {
+                let offset = self.file.as_ref().map(|f| f.index.size).unwrap_or(0);
+                self.start_write(ctx, offset, payload);
+            }
+            ClientOp::AtomicAppend { payload } => {
+                self.append_payload = Some(payload.clone());
+                let offset = self.file.as_ref().map(|f| f.index.size).unwrap_or(0);
+                self.start_write(ctx, offset, payload);
+            }
+            ClientOp::Sync | ClientOp::Close => self.start_commit(ctx),
+            ClientOp::Unlink { path } => {
+                if let Some((_, _, phase, _)) = &mut self.op {
+                    *phase = Phase::Unlinking {
+                        entry: None,
+                        index: None,
+                        to_locate: Vec::new(),
+                        deletes: Vec::new(),
+                        outstanding: 0,
+                    };
+                }
+                let req = self.fresh_req();
+                self.rpc(ctx, self.ns, Msg::NsRemove { req, path }, Pending::Ns);
+            }
+            ClientOp::Think { .. } => {}
+        }
+    }
+
+    fn start_create(&mut self, ctx: &mut Ctx<'_, Msg>, path: String, options: FileOptions) {
+        let file: FileId = self.fresh_seg(ctx).into();
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            self.ns,
+            Msg::NsCreate {
+                req,
+                path,
+                file,
+                options,
+            },
+            Pending::Ns,
+        );
+    }
+
+    fn complete_op(&mut self, ctx: &mut Ctx<'_, Msg>, error: Option<Error>, bytes: u64, data: Option<Vec<u8>>) {
+        let Some((op, started, _, _)) = self.op.take() else {
+            return;
+        };
+        // Drop any stray pending requests of this op (late replies are
+        // ignored by the pending-map lookup).
+        self.pending.clear();
+        self.scatter_bytes = 0;
+        let latency = ctx.now().since(started);
+        let result = OpResult {
+            error: error.clone(),
+            bytes,
+            latency,
+            data: data.clone(),
+        };
+        match &error {
+            None => {
+                self.stats.completed_ops += 1;
+                self.stats.latencies.push((op.kind(), latency));
+                match op {
+                    ClientOp::Read { .. } => {
+                        self.stats.bytes_read += bytes;
+                        if data.is_some() {
+                            self.stats.last_read = data;
+                        }
+                    }
+                    ClientOp::Write { .. }
+                    | ClientOp::Append { .. }
+                    | ClientOp::AtomicAppend { .. } => {
+                        self.stats.bytes_written += bytes;
+                    }
+                    _ => {}
+                }
+                ctx.metrics().count("client.ops_ok", 1);
+            }
+            Some(e) => {
+                self.stats.failed_ops += 1;
+                self.stats.last_error = Some(e.clone());
+                if *e == Error::VersionConflict {
+                    self.stats.conflicts += 1;
+                }
+                ctx.metrics().count("client.ops_failed", 1);
+            }
+        }
+        self.workload.on_result(&op, &result, ctx.now());
+        // Defer the next op through a timer rather than recursing: ops
+        // that complete without any RPC (attached reads, local closes)
+        // would otherwise build unbounded native stack, and the hop also
+        // models the client stub's per-op CPU.
+        ctx.set_timer(self.costs.client_op_cpu, Msg::Tick(Tick::NextOp));
+    }
+
+    /// A stage hit a timeout or hard failure: retry the whole op stage or
+    /// give up.
+    fn retry_or_fail(&mut self, ctx: &mut Ctx<'_, Msg>, error: Error) {
+        let Some((_, _, _, attempts)) = &mut self.op else {
+            return;
+        };
+        *attempts += 1;
+        if *attempts >= MAX_ATTEMPTS {
+            self.complete_op(ctx, Some(error), 0, None);
+            return;
+        }
+        self.pending.clear();
+        // Restart the op from its first stage with current knowledge.
+        if let Some((_, _, phase, _)) = &mut self.op {
+            *phase = Phase::NsSimple;
+        }
+        self.dispatch_stage(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Open flow
+    // ------------------------------------------------------------------
+
+    fn on_entry_resolved(&mut self, ctx: &mut Ctx<'_, Msg>, entry: FileEntry) {
+        let Some((op, _, phase, _)) = &mut self.op else {
+            return;
+        };
+        let (writable, is_create) = match op {
+            ClientOp::Create { .. } | ClientOp::CreateWith { .. } => (true, true),
+            ClientOp::Open { write, .. } => (*write, false),
+            _ => (false, false),
+        };
+        let path = match op {
+            ClientOp::Create { path }
+            | ClientOp::CreateWith { path, .. }
+            | ClientOp::Open { path, .. } => path.clone(),
+            _ => String::new(),
+        };
+        if is_create || entry.version == Version::INITIAL {
+            // Nothing committed yet: fresh index, no segment reads. A
+            // freshly created file is born dirty so that close commits
+            // its (possibly empty) index segment — creation is not
+            // durable in the data plane until that first commit.
+            self.file = Some(OpenFile {
+                path,
+                index: IndexSegment::new(entry.file, entry.options),
+                entry,
+                writable,
+                dirty: is_create,
+                owners: HashMap::new(),
+                shadows: HashMap::new(),
+                index_owner: None,
+                commit_target: None,
+                attached_buf: Vec::new(),
+                synthetic: false,
+            });
+            self.complete_op(ctx, None, 0, None);
+            return;
+        }
+        // Read the index segment via its home host (Figure 7 step 2).
+        *phase = Phase::OpenIndex;
+        self.file = Some(OpenFile {
+            path,
+            index: IndexSegment::new(entry.file, entry.options),
+            entry: entry.clone(),
+            writable,
+            dirty: false,
+            owners: HashMap::new(),
+            shadows: HashMap::new(),
+            index_owner: None,
+            commit_target: None,
+            attached_buf: Vec::new(),
+            synthetic: false,
+        });
+        self.read_index_segment(ctx, entry.file.index_segment(), entry.version);
+    }
+
+    fn read_index_segment(&mut self, ctx: &mut Ctx<'_, Msg>, seg: SegId, version: Version) {
+        let Some(home) = self.ring.home(seg) else {
+            self.retry_or_fail(ctx, Error::Timeout);
+            return;
+        };
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            home,
+            Msg::ReadSeg {
+                req,
+                seg,
+                offset: 0,
+                len: u64::MAX,
+                min_version: Some(version),
+                allow_redirect: true,
+            },
+            Pending::IndexRead { owner_known: false },
+        );
+    }
+
+    fn on_index_read(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, reply: ReadReply, owner_known: bool) {
+        match reply {
+            ReadReply::Data { data, .. } => {
+                let Some(bytes) = data else {
+                    if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                        eprintln!("TRACE {:?} t={:?} index read: no data", ctx.id(), ctx.now());
+                    }
+                    self.retry_or_fail(ctx, Error::NoSuchSegment);
+                    return;
+                };
+                let Some(ix) = decode_index(&bytes) else {
+                    if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                        eprintln!("TRACE {:?} t={:?} index decode failed ({} bytes)", ctx.id(), ctx.now(), bytes.len());
+                    }
+                    self.retry_or_fail(ctx, Error::NoSuchSegment);
+                    return;
+                };
+                if let Some(f) = &mut self.file {
+                    f.attached_buf = ix.attached.clone().unwrap_or_default();
+                    f.synthetic = ix.is_attached && ix.attached.is_none() && ix.size > 0;
+                    f.index = ix;
+                    f.index_owner = Some(from);
+                }
+                self.complete_op(ctx, None, 0, None);
+            }
+            ReadReply::Redirect(owners) => {
+                let seg = self
+                    .file
+                    .as_ref()
+                    .map(|f| f.entry.file.index_segment())
+                    .expect("open flow has a file");
+                let version = self.file.as_ref().map(|f| f.entry.version);
+                let Some(owner) = self.choose_owner(&owners, version, ctx.rng())
+                else {
+                    self.retry_or_fail(ctx, Error::NoSuchSegment);
+                    return;
+                };
+                let req = self.fresh_req();
+                self.rpc(
+                    ctx,
+                    owner,
+                    Msg::ReadSeg {
+                        req,
+                        seg,
+                        offset: 0,
+                        len: u64::MAX,
+                        min_version: version,
+                        allow_redirect: false,
+                    },
+                    Pending::IndexRead { owner_known: true },
+                );
+            }
+            ReadReply::Err(ref e) if !owner_known => {
+                if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                    eprintln!("TRACE {:?} t={:?} index read err from home: {e:?}", ctx.id(), ctx.now());
+                }
+                // Base scheme failed: fall back to the multicast backup
+                // query (§3.4.2).
+                let seg = self
+                    .file
+                    .as_ref()
+                    .map(|f| f.entry.file.index_segment())
+                    .expect("open flow has a file");
+                self.start_backup_query(ctx, seg);
+            }
+            ReadReply::Err(e) => {
+                if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                    eprintln!("TRACE {:?} t={:?} index read err from owner: {e:?}", ctx.id(), ctx.now());
+                }
+                self.retry_or_fail(ctx, e);
+            }
+        }
+    }
+
+    fn start_backup_query(&mut self, ctx: &mut Ctx<'_, Msg>, seg: SegId) {
+        let req = self.fresh_req();
+        self.pending.insert(req, (ctx.id(), Pending::Backup { seg }));
+        self.backup_hits.insert(req, Vec::new());
+        ctx.multicast(Msg::BackupQuery { req, seg });
+        ctx.set_timer(
+            self.costs.backup_query_wait,
+            Msg::Tick(Tick::BackupDeadline(req)),
+        );
+        ctx.metrics().count("client.backup_queries", 1);
+    }
+
+    fn on_backup_deadline(&mut self, ctx: &mut Ctx<'_, Msg>, req: ReqId) {
+        let Some((_, Pending::Backup { seg })) = self.pending.remove(&req) else {
+            return;
+        };
+        let hits = self.backup_hits.remove(&req).unwrap_or_default();
+        if hits.is_empty() {
+            if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                eprintln!(
+                    "TRACE {:?} t={:?} backup query for {seg:?} found no owners",
+                    ctx.id(),
+                    ctx.now()
+                );
+            }
+            self.retry_or_fail(ctx, Error::NoSuchSegment);
+            return;
+        }
+        // Record owners and resume whatever stage needed them.
+        if let Some(f) = &mut self.file {
+            f.owners.insert(seg, hits.clone());
+        }
+        match self.op.as_ref().map(|(_, _, p, _)| p) {
+            Some(Phase::OpenIndex) => {
+                let version = self.file.as_ref().map(|f| f.entry.version);
+                let owner = self
+                    .choose_owner(&hits, version, ctx.rng())
+                    .expect("hits nonempty");
+                let req2 = self.fresh_req();
+                self.rpc(
+                    ctx,
+                    owner,
+                    Msg::ReadSeg {
+                        req: req2,
+                        seg,
+                        offset: 0,
+                        len: u64::MAX,
+                        min_version: version,
+                        allow_redirect: false,
+                    },
+                    Pending::IndexRead { owner_known: true },
+                );
+            }
+            Some(Phase::Reading { .. }) => self.continue_read(ctx),
+            Some(Phase::Writing { .. }) => {
+                let direct = self
+                    .file
+                    .as_ref()
+                    .map(|f| f.entry.options.versioning_off)
+                    .unwrap_or(false);
+                if direct {
+                    self.continue_direct_write(ctx);
+                } else {
+                    self.continue_write(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read flow
+    // ------------------------------------------------------------------
+
+    fn start_read(&mut self, ctx: &mut Ctx<'_, Msg>, offset: u64, len: u64) {
+        self.scatter_bytes = len.min(512 << 20);
+        let Some(f) = &self.file else {
+            self.complete_op(ctx, Some(Error::NotFound), 0, None);
+            return;
+        };
+        // Attached small files were fetched with the index at open time.
+        if f.index.is_attached {
+            if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                eprintln!(
+                    "ATRACE {:?} t={:?} attached read path={} size={} buf={} synth={} ver={:?}",
+                    ctx.id(),
+                    ctx.now(),
+                    f.path,
+                    f.index.size,
+                    f.attached_buf.len(),
+                    f.synthetic,
+                    f.entry.version
+                );
+            }
+            let end = (offset + len).min(f.index.size);
+            let covered = end.saturating_sub(offset);
+            let data = if f.synthetic {
+                None
+            } else {
+                let s = offset.min(f.attached_buf.len() as u64) as usize;
+                let e = end.min(f.attached_buf.len() as u64) as usize;
+                let mut out = vec![0u8; covered as usize];
+                out[..e - s].copy_from_slice(&f.attached_buf[s..e]);
+                Some(out)
+            };
+            self.complete_op(ctx, None, covered, data);
+            return;
+        }
+        let extents = f.index.locate(offset, len);
+        if extents.is_empty() {
+            self.complete_op(ctx, None, 0, Some(Vec::new()));
+            return;
+        }
+        let covered: u64 = extents.iter().map(|e| e.len).sum();
+        let real = !f.synthetic;
+        if let Some((_, _, phase, _)) = &mut self.op {
+            *phase = Phase::Reading {
+                unresolved: (0..extents.len()).collect(),
+                extents,
+                buf: real.then(|| vec![0u8; covered as usize]),
+                req_offset: offset,
+                outstanding: 0,
+                bytes: 0,
+            };
+        }
+        self.continue_read(ctx);
+    }
+
+    /// Drive the read: resolve owners for unresolved extents, issue data
+    /// fetches for resolved ones.
+    fn continue_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let (extents, unresolved_now) = match &mut self.op {
+            Some((_, _, Phase::Reading { extents, unresolved, .. }, _)) => {
+                (extents.clone(), std::mem::take(unresolved))
+            }
+            _ => return,
+        };
+        let mut still_unresolved = Vec::new();
+        let mut to_fetch: Vec<usize> = Vec::new();
+        let mut to_query: Vec<SegId> = Vec::new();
+        {
+            let f = self.file.as_ref().expect("read has open file");
+            for &i in &unresolved_now {
+                if f.owners.contains_key(&extents[i].seg) {
+                    to_fetch.push(i);
+                } else {
+                    still_unresolved.push(i);
+                    if !to_query.contains(&extents[i].seg) {
+                        to_query.push(extents[i].seg);
+                    }
+                }
+            }
+        }
+        if let Some((_, _, Phase::Reading { unresolved, .. }, _)) = &mut self.op {
+            *unresolved = still_unresolved;
+        }
+        // Owner-known extents: fetch in parallel.
+        for i in to_fetch {
+            self.issue_extent_read(ctx, i);
+        }
+        // Unknown segments: one LocQuery per segment to its home host,
+        // skipping segments with a query already in flight.
+        let inflight: Vec<SegId> = self
+            .pending
+            .values()
+            .filter_map(|(_, p)| match p {
+                Pending::LocQuery { seg } => Some(*seg),
+                _ => None,
+            })
+            .collect();
+        for seg in to_query {
+            if inflight.contains(&seg) {
+                continue;
+            }
+            let Some(home) = self.ring.home(seg) else {
+                continue;
+            };
+            let req = self.fresh_req();
+            self.rpc(ctx, home, Msg::LocQuery { req, seg }, Pending::LocQuery { seg });
+        }
+        self.maybe_finish_read(ctx);
+    }
+
+    fn issue_extent_read(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize) {
+        let (seg, seg_offset, len, version) = {
+            let Some((_, _, Phase::Reading { extents, .. }, _)) = &self.op else {
+                return;
+            };
+            let e = &extents[i];
+            (e.seg, e.seg_offset, e.len, e.version)
+        };
+        let owners = self
+            .file
+            .as_ref()
+            .and_then(|f| f.owners.get(&seg).cloned())
+            .unwrap_or_default();
+        let choice = self.choose_owner(&owners, Some(version), ctx.rng());
+        let Some(owner) = choice else {
+            // Every cached owner is gone: the extent goes back to the
+            // unresolved set (losing it here would let the read
+            // "complete" with an unfilled buffer) and a backup query
+            // refreshes the owner list.
+            if let Some(f) = &mut self.file {
+                f.owners.remove(&seg);
+            }
+            if let Some((_, _, Phase::Reading { unresolved, .. }, _)) = &mut self.op {
+                if !unresolved.contains(&i) {
+                    unresolved.push(i);
+                }
+            }
+            self.start_backup_query(ctx, seg);
+            return;
+        };
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            owner,
+            Msg::ReadSeg {
+                req,
+                seg,
+                offset: seg_offset,
+                len,
+                min_version: Some(version),
+                allow_redirect: false,
+            },
+            Pending::DataRead { extent: i },
+        );
+        if let Some((_, _, Phase::Reading { outstanding, .. }, _)) = &mut self.op {
+            *outstanding += 1;
+        }
+    }
+
+    fn on_data_read(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize, from: NodeId, reply: ReadReply) {
+        match reply {
+            ReadReply::Data { len, data, version } => {
+                if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                    eprintln!(
+                        "DTRACE {:?} t={:?} extent {i} from {from:?} ver={version:?} len={len} some={} b0={:?}",
+                        ctx.id(),
+                        ctx.now(),
+                        data.is_some(),
+                        data.as_ref().and_then(|d| d.first().copied())
+                    );
+                }
+                let Some((_, _, Phase::Reading { extents, buf, req_offset, outstanding, bytes, .. }, _)) =
+                    &mut self.op
+                else {
+                    return;
+                };
+                *outstanding -= 1;
+                *bytes += len;
+                if let (Some(buf), Some(d)) = (buf.as_mut(), data) {
+                    let e = &extents[i];
+                    let start = (e.file_offset - *req_offset) as usize;
+                    let n = d.len().min(buf.len() - start);
+                    buf[start..start + n].copy_from_slice(&d[..n]);
+                }
+                self.maybe_finish_read(ctx);
+            }
+            ReadReply::Redirect(owners) => {
+                // Shouldn't happen with allow_redirect=false, but handle:
+                // cache and retry.
+                let seg = {
+                    let Some((_, _, Phase::Reading { extents, .. }, _)) = &self.op else {
+                        return;
+                    };
+                    extents[i].seg
+                };
+                if let Some(f) = &mut self.file {
+                    f.owners.insert(seg, owners);
+                }
+                if let Some((_, _, Phase::Reading { outstanding, .. }, _)) = &mut self.op {
+                    *outstanding -= 1;
+                }
+                self.issue_extent_read(ctx, i);
+            }
+            ReadReply::Err(_) => {
+                // Owner lost the segment (or is stale): drop it from the
+                // cache and re-resolve this extent.
+                let seg = {
+                    let Some((_, _, Phase::Reading { extents, .. }, _)) = &self.op else {
+                        return;
+                    };
+                    extents[i].seg
+                };
+                if let Some(f) = &mut self.file {
+                    if let Some(list) = f.owners.get_mut(&seg) {
+                        list.retain(|(id, _)| *id != from);
+                        if list.is_empty() {
+                            f.owners.remove(&seg);
+                        }
+                    }
+                }
+                if let Some((_, _, Phase::Reading { outstanding, unresolved, .. }, _)) = &mut self.op {
+                    *outstanding -= 1;
+                    unresolved.push(i);
+                }
+                self.continue_read(ctx);
+            }
+        }
+    }
+
+    fn maybe_finish_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some((_, _, Phase::Reading { unresolved, outstanding, bytes, buf, .. }, _)) = &self.op
+        else {
+            return;
+        };
+        if *outstanding == 0 && unresolved.is_empty() && self.pending.is_empty() {
+            let bytes = *bytes;
+            let data = buf.clone();
+            self.complete_op(ctx, None, bytes, data);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write flow
+    // ------------------------------------------------------------------
+
+    fn start_write(&mut self, ctx: &mut Ctx<'_, Msg>, offset: u64, payload: WritePayload) {
+        self.scatter_bytes = payload.len();
+        let Some(f) = &mut self.file else {
+            self.complete_op(ctx, Some(Error::NotFound), 0, None);
+            return;
+        };
+        if !f.writable {
+            self.complete_op(ctx, Some(Error::InvalidMode), 0, None);
+            return;
+        }
+        let len = payload.len();
+        if matches!(payload, WritePayload::Synthetic { .. }) {
+            f.synthetic = true;
+        }
+        // Plan against the layout.
+        let mut counter_seed = (self.seg_counter, ctx.id().index() as u32);
+        let mut entropy: u64 = ctx.rng().gen();
+        let plan = f.index.plan_write(offset, len, || {
+            counter_seed.0 += 1;
+            entropy = entropy.wrapping_mul(6364136223846793005).wrapping_add(1);
+            SegId::derive(counter_seed.1, counter_seed.0, entropy)
+        });
+        self.seg_counter = counter_seed.0;
+        match plan {
+            WritePlan::Attached => {
+                // Inline write: lands with the index commit.
+                if let WritePayload::Real(data) = &payload {
+                    let end = offset as usize + data.len();
+                    if f.attached_buf.len() < end {
+                        f.attached_buf.resize(end, 0);
+                    }
+                    f.attached_buf[offset as usize..end].copy_from_slice(data);
+                    f.index.attached = Some(f.attached_buf.clone());
+                }
+                f.index.apply_write(offset, len);
+                f.dirty = true;
+                if matches!(
+                    self.op.as_ref().map(|(o, ..)| o),
+                    Some(ClientOp::AtomicAppend { .. })
+                ) {
+                    // Atomic append commits immediately, even inline.
+                    self.start_commit(ctx);
+                } else {
+                    self.complete_op(ctx, None, len, None);
+                }
+            }
+            WritePlan::Extents {
+                detach_bytes,
+                extents,
+            } => {
+                f.index.attached = None;
+                let direct = f.entry.options.versioning_off;
+                if let Some((_, _, phase, _)) = &mut self.op {
+                    *phase = Phase::Writing {
+                        todo: (0..extents.len()).collect(),
+                        extents,
+                        outstanding: 0,
+                        detach_bytes,
+                        write_offset: offset,
+                        write_len: len,
+                    };
+                }
+                if direct {
+                    self.continue_direct_write(ctx);
+                } else {
+                    self.continue_write(ctx);
+                }
+            }
+        }
+    }
+
+    /// Drive the write: for each extent ensure we have a shadow on some
+    /// owner, then issue the shadow writes in parallel.
+    fn continue_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some((_, _, Phase::Writing { extents, todo, .. }, _)) = &self.op else {
+            return;
+        };
+        let extents = extents.clone();
+        let todo = todo.clone();
+        // Requests already in flight must not be re-issued: a duplicate
+        // CreateShadow would replace a shadow that has already absorbed
+        // writes with a fresh empty one.
+        let mut inflight_shadow: Vec<SegId> = Vec::new();
+        let mut inflight_query: Vec<SegId> = Vec::new();
+        for (_, p) in self.pending.values() {
+            match p {
+                Pending::ShadowCreate { seg, .. } => inflight_shadow.push(*seg),
+                Pending::LocQuery { seg } => inflight_query.push(*seg),
+                _ => {}
+            }
+        }
+        let mut ready: Vec<usize> = Vec::new();
+        let mut need_shadow: Vec<usize> = Vec::new();
+        let mut need_owner: Vec<usize> = Vec::new();
+        {
+            let f = self.file.as_ref().expect("write has open file");
+            for &i in &todo {
+                let e = &extents[i];
+                if f.shadows.contains_key(&e.seg) {
+                    ready.push(i);
+                } else if inflight_shadow.contains(&e.seg) {
+                    // wait for the in-flight CreateShadow
+                } else if e.new_segment || f.owners.contains_key(&e.seg) {
+                    need_shadow.push(i);
+                } else if !inflight_query.contains(&e.seg) {
+                    need_owner.push(i);
+                }
+            }
+        }
+        // Create missing shadows (one request per distinct segment).
+        let mut issued_segs: Vec<SegId> = Vec::new();
+        for i in need_shadow {
+            let e = extents[i];
+            if issued_segs.contains(&e.seg) {
+                continue;
+            }
+            issued_segs.push(e.seg);
+            self.issue_shadow_create(ctx, e);
+        }
+        // Resolve owners for existing segments we don't know yet.
+        let mut queried: Vec<SegId> = Vec::new();
+        for i in need_owner {
+            let seg = extents[i].seg;
+            if queried.contains(&seg) {
+                continue;
+            }
+            queried.push(seg);
+            let Some(home) = self.ring.home(seg) else {
+                continue;
+            };
+            let req = self.fresh_req();
+            self.rpc(ctx, home, Msg::LocQuery { req, seg }, Pending::LocQuery { seg });
+        }
+        // Extents whose shadows exist: write now.
+        for i in ready {
+            self.issue_shadow_write(ctx, i);
+        }
+        self.maybe_finish_write(ctx);
+    }
+
+    /// Versioning-off path (§3.5): writes go straight to the segments,
+    /// no shadows, no 2PC. New segments are placed like any other; their
+    /// index entries jump to version 1 immediately.
+    fn continue_direct_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let (extents, todo) = match &self.op {
+            Some((_, _, Phase::Writing { extents, todo, .. }, _)) => {
+                (extents.clone(), todo.clone())
+            }
+            _ => return,
+        };
+        let mut inflight_query: Vec<SegId> = Vec::new();
+        for (_, p) in self.pending.values() {
+            if let Pending::LocQuery { seg } = p {
+                inflight_query.push(*seg);
+            }
+        }
+        let mut ready: Vec<usize> = Vec::new();
+        let mut need_owner: Vec<SegId> = Vec::new();
+        {
+            let f = self.file.as_ref().expect("write has open file");
+            for &i in &todo {
+                let e = &extents[i];
+                if e.new_segment || f.owners.contains_key(&e.seg) {
+                    ready.push(i);
+                } else if !inflight_query.contains(&e.seg) && !need_owner.contains(&e.seg) {
+                    need_owner.push(e.seg);
+                }
+            }
+        }
+        for seg in need_owner {
+            let Some(home) = self.ring.home(seg) else {
+                continue;
+            };
+            let req = self.fresh_req();
+            self.rpc(ctx, home, Msg::LocQuery { req, seg }, Pending::LocQuery { seg });
+        }
+        for i in ready {
+            self.issue_direct_write(ctx, i);
+        }
+        self.maybe_finish_write(ctx);
+    }
+
+    fn issue_direct_write(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize) {
+        let Some((_, _, Phase::Writing { extents, todo, outstanding, .. }, _)) = &mut self.op
+        else {
+            return;
+        };
+        let e = extents[i];
+        todo.retain(|&x| x != i);
+        *outstanding += 1;
+        let (opts, synthetic, owners) = {
+            let f = self.file.as_ref().expect("write has open file");
+            (
+                f.entry.options,
+                f.synthetic,
+                f.owners.get(&e.seg).cloned().unwrap_or_default(),
+            )
+        };
+        // Versioning-off disables replication (§3.5), so exactly one
+        // owner exists per segment.
+        let meta = {
+            let mut m = SegMeta::from_options(&opts, synthetic);
+            m.replication = 1;
+            m
+        };
+        let provider = if e.new_segment && owners.is_empty() {
+            let size_hint = crate::layout::linear_segment_size(e.seg_index as u64).min(64 << 20);
+            match self.place_segment(ctx, e.seg, size_hint, opts.alpha, opts.placement) {
+                Some(p) => p,
+                None => {
+                    self.retry_or_fail(ctx, Error::OutOfSpace);
+                    return;
+                }
+            }
+        } else {
+            match self.choose_owner(&owners, None, ctx.rng()) {
+                Some(p) => p,
+                None => {
+                    // Put the extent back (it was popped from `todo`
+                    // above); the backup query will repopulate owners.
+                    if let Some(f) = &mut self.file {
+                        f.owners.remove(&e.seg);
+                    }
+                    if let Some((_, _, Phase::Writing { todo, outstanding, .. }, _)) =
+                        &mut self.op
+                    {
+                        if !todo.contains(&i) {
+                            todo.push(i);
+                        }
+                        *outstanding -= 1;
+                    }
+                    self.start_backup_query(ctx, e.seg);
+                    return;
+                }
+            }
+        };
+        // Remember the placement so later extents reuse the same owner.
+        if let Some(f) = &mut self.file {
+            f.owners
+                .entry(e.seg)
+                .or_insert_with(|| vec![(provider, Version(1))]);
+            if e.version == Version::INITIAL {
+                // The index changed (a segment came into existence):
+                // close must commit the new index. Writes into existing
+                // segments leave the index untouched, so concurrent
+                // byte-range writers (BTIO's pattern) never conflict.
+                f.index.set_segment_version(e.seg, Version(1));
+                f.dirty = true;
+            }
+        }
+        let payload = self.extent_payload(&e);
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            provider,
+            Msg::DirectWrite {
+                req,
+                seg: e.seg,
+                offset: e.seg_offset,
+                payload,
+                meta,
+            },
+            Pending::DirectWrite,
+        );
+    }
+
+    /// The bytes an extent of the current write op carries (shared by the
+    /// shadow and direct paths).
+    fn extent_payload(&self, e: &Extent) -> WritePayload {
+        let Some((_, _, Phase::Writing { detach_bytes, write_offset, .. }, _)) = &self.op else {
+            return WritePayload::Synthetic { len: e.len };
+        };
+        let detach = *detach_bytes;
+        let woff = *write_offset;
+        let f = self.file.as_ref().expect("write has open file");
+        if f.synthetic {
+            return WritePayload::Synthetic { len: e.len };
+        }
+        let mut out = vec![0u8; e.len as usize];
+        let ext_start = e.file_offset;
+        let ext_end = e.file_offset + e.len;
+        if ext_start < detach {
+            let s = ext_start as usize;
+            let eidx = ext_end.min(detach) as usize;
+            let avail = f.attached_buf.len().min(eidx);
+            if s < avail {
+                out[..avail - s].copy_from_slice(&f.attached_buf[s..avail]);
+            }
+        }
+        if let Some((
+            ClientOp::Write { payload: WritePayload::Real(data), .. }
+            | ClientOp::Append { payload: WritePayload::Real(data) }
+            | ClientOp::AtomicAppend { payload: WritePayload::Real(data) },
+            ..,
+        )) = &self.op
+        {
+            let wend = woff + data.len() as u64;
+            let s = ext_start.max(woff);
+            let en = ext_end.min(wend);
+            if s < en {
+                let dst = (s - ext_start) as usize;
+                let src = (s - woff) as usize;
+                let n = (en - s) as usize;
+                out[dst..dst + n].copy_from_slice(&data[src..src + n]);
+            }
+        }
+        WritePayload::Real(out)
+    }
+
+    fn issue_shadow_create(&mut self, ctx: &mut Ctx<'_, Msg>, e: Extent) {
+        let f = self.file.as_ref().expect("write has open file");
+        let opts = f.entry.options;
+        let synthetic = f.synthetic;
+        let meta = self.seg_meta(&opts, synthetic);
+        let (provider, base, target) = if e.new_segment {
+            let size_hint = crate::layout::linear_segment_size(e.seg_index as u64).min(64 << 20);
+            let Some(p) = self.place_segment(ctx, e.seg, size_hint, opts.alpha, opts.placement)
+            else {
+                self.retry_or_fail(ctx, Error::OutOfSpace);
+                return;
+            };
+            let entropy: u16 = ctx.rng().gen();
+            (p, None, Version::INITIAL.next_entropic(entropy))
+        } else {
+            let owners = f.owners.get(&e.seg).cloned().unwrap_or_default();
+            let entropy: u16 = ctx.rng().gen();
+            let Some(p) = self.choose_owner(&owners, Some(e.version), ctx.rng())
+            else {
+                self.start_backup_query(ctx, e.seg);
+                return;
+            };
+            (p, Some(e.version), e.version.next_entropic(entropy))
+        };
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            provider,
+            Msg::CreateShadow {
+                req,
+                seg: e.seg,
+                base,
+                meta,
+            },
+            Pending::ShadowCreate {
+                seg: e.seg,
+                provider,
+                target,
+            },
+        );
+    }
+
+    fn issue_shadow_write(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize) {
+        let Some((_, _, Phase::Writing { extents, todo, outstanding, .. }, _)) = &mut self.op
+        else {
+            return;
+        };
+        let e = extents[i];
+        todo.retain(|&x| x != i);
+        *outstanding += 1;
+        let sref = {
+            let f = self.file.as_ref().expect("write has open file");
+            f.shadows[&e.seg]
+        };
+        let payload = self.extent_payload(&e);
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            sref.provider,
+            Msg::WriteShadow {
+                req,
+                shadow: sref.shadow,
+                offset: e.seg_offset,
+                payload,
+                truncate: false,
+            },
+            Pending::ShadowWrite { extent: i },
+        );
+    }
+
+    fn maybe_finish_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some((_, _, Phase::Writing { todo, outstanding, write_offset, write_len, .. }, _)) =
+            &self.op
+        else {
+            return;
+        };
+        if !todo.is_empty() || *outstanding > 0 || !self.pending.is_empty() {
+            return;
+        }
+        let (off, len) = (*write_offset, *write_len);
+        if let Some(f) = &mut self.file {
+            let grew = off + len > f.index.size;
+            f.index.apply_write(off, len);
+            // Byte-range (versioning-off) writes land in place: only a
+            // structural index change — new segments (flagged in
+            // issue_direct_write) or size growth — needs a commit.
+            if !f.entry.options.versioning_off || grew {
+                f.dirty = true;
+            }
+        }
+        // Atomic append proceeds straight into commit.
+        if matches!(self.op.as_ref().map(|(o, ..)| o), Some(ClientOp::AtomicAppend { .. })) {
+            self.start_commit(ctx);
+        } else {
+            self.complete_op(ctx, None, len, None);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit flow (Figure 6 steps 6–12)
+    // ------------------------------------------------------------------
+
+    fn start_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(f) = &self.file else {
+            self.complete_op(ctx, Some(Error::NotFound), 0, None);
+            return;
+        };
+        if !f.dirty || !f.writable {
+            // Close without changes: purely local.
+            if matches!(self.op.as_ref().map(|(o, ..)| o), Some(ClientOp::Close)) {
+                self.file = None;
+            }
+            self.complete_op(ctx, None, 0, None);
+            return;
+        }
+        if let Some((_, _, phase, _)) = &mut self.op {
+            *phase = Phase::Committing(CommitStage::IndexShadow);
+        }
+        // One target per commit attempt: retries after partial 2PC
+        // failures pick a fresh entropy, so an orphaned partial commit
+        // can never collide with (and diverge from) a later successful
+        // one at the same version number.
+        let entropy: u16 = ctx.rng().gen();
+        if let Some(f) = &mut self.file {
+            f.commit_target = Some(f.entry.version.next_entropic(entropy));
+        }
+        self.issue_index_shadow(ctx);
+    }
+
+    fn issue_index_shadow(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let f = self.file.as_ref().expect("commit has open file");
+        let seg = f.entry.file.index_segment();
+        let opts = f.entry.options;
+        let target = f.commit_target.expect("commit target chosen");
+        let (provider, base) = if f.entry.version == Version::INITIAL {
+            // First commit: place the index segment (small → home boost).
+            let Some(p) = self.place_segment(ctx, seg, 4096, opts.alpha, opts.placement) else {
+                self.retry_or_fail(ctx, Error::OutOfSpace);
+                return;
+            };
+            (p, None)
+        } else {
+            let p = f
+                .index_owner
+                .filter(|&p| self.view.is_live(p))
+                .unwrap_or_else(|| self.ring.home(seg).expect("providers exist"));
+            (p, Some(f.entry.version))
+        };
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            provider,
+            Msg::CreateShadow {
+                req,
+                seg,
+                base,
+                meta: SegMeta::from_options(&opts, false),
+            },
+            Pending::ShadowCreate {
+                seg,
+                provider,
+                target,
+            },
+        );
+    }
+
+    fn issue_index_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Advance data-segment versions in the index, then ship it.
+        let new_file_version;
+        let bytes;
+        let sref;
+        {
+            let f = self.file.as_mut().expect("commit has open file");
+            new_file_version = f.entry.version.next();
+            let shadows: Vec<(SegId, Version)> = f
+                .shadows
+                .iter()
+                .filter(|(&seg, _)| seg != f.entry.file.index_segment())
+                .map(|(&seg, s)| (seg, s.target))
+                .collect();
+            for (seg, v) in shadows {
+                f.index.set_segment_version(seg, v);
+            }
+            if f.index.is_attached && !f.synthetic {
+                f.index.attached = Some(f.attached_buf.clone());
+            }
+            bytes = encode_index(&f.index);
+            sref = f.shadows[&f.entry.file.index_segment()];
+        }
+        let _ = new_file_version;
+        let req = self.fresh_req();
+        if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+            *stage = CommitStage::IndexWrite;
+        }
+        self.rpc(
+            ctx,
+            sref.provider,
+            Msg::WriteShadow {
+                req,
+                shadow: sref.shadow,
+                offset: 0,
+                payload: WritePayload::Real(bytes),
+                truncate: true,
+            },
+            Pending::ShadowWrite { extent: usize::MAX },
+        );
+    }
+
+    fn issue_commit_begin(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let f = self.file.as_ref().expect("commit has open file");
+        let (path, base) = (f.path.clone(), f.entry.version);
+        if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+            *stage = CommitStage::Begin;
+        }
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            self.ns,
+            Msg::NsCommitBegin { req, path, base },
+            Pending::CommitBegin,
+        );
+    }
+
+    fn participants(&self) -> Vec<(NodeId, Vec<(ShadowId, Version)>)> {
+        let f = self.file.as_ref().expect("commit has open file");
+        let mut map: HashMap<NodeId, Vec<(ShadowId, Version)>> = HashMap::new();
+        for sref in f.shadows.values() {
+            map.entry(sref.provider)
+                .or_default()
+                .push((sref.shadow, sref.target));
+        }
+        let mut v: Vec<(NodeId, Vec<(ShadowId, Version)>)> = map.into_iter().collect();
+        v.sort_by_key(|(n, _)| *n);
+        for (_, items) in &mut v {
+            items.sort(); // deterministic order within each participant
+        }
+        v
+    }
+
+    fn issue_prepare(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let parts = self.participants();
+        if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+            *stage = CommitStage::Prepare {
+                outstanding: parts.len(),
+                failed: false,
+            };
+        }
+        for (provider, items) in parts {
+            let req = self.fresh_req();
+            self.rpc(
+                ctx,
+                provider,
+                Msg::Prepare { req, items },
+                Pending::Prepare,
+            );
+        }
+    }
+
+    fn issue_commit_phase(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let parts = self.participants();
+        if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+            *stage = CommitStage::Commit {
+                outstanding: parts.len(),
+            };
+        }
+        for (provider, items) in parts {
+            let req = self.fresh_req();
+            self.rpc(
+                ctx,
+                provider,
+                Msg::Commit { req, items },
+                Pending::Commit2,
+            );
+        }
+    }
+
+    fn abort_commit(&mut self, ctx: &mut Ctx<'_, Msg>, error: Error) {
+        // Tell every participant to drop its shadows, release the lease if
+        // held, and fail (or retry, for atomic append).
+        let parts = self.participants();
+        for (provider, items) in parts {
+            let shadows: Vec<ShadowId> = items.into_iter().map(|(s, _)| s).collect();
+            ctx.send(provider, Msg::Abort { items: shadows });
+        }
+        let path_base = self
+            .file
+            .as_ref()
+            .map(|f| (f.path.clone(), f.entry.version));
+        if let Some((path, base)) = path_base {
+            let req = self.fresh_req();
+            // Fire-and-forget release (commit=false); no pending entry so
+            // the reply is ignored.
+            ctx.send(
+                self.ns,
+                Msg::NsCommitEnd {
+                    req,
+                    path,
+                    commit: false,
+                    new_version: base,
+                    new_size: 0,
+                },
+            );
+        }
+        if let Some(f) = &mut self.file {
+            f.shadows.clear();
+            f.commit_target = None;
+        }
+        // Atomic append: refresh and retry the whole cycle.
+        let is_append = matches!(
+            self.op.as_ref().map(|(o, ..)| o),
+            Some(ClientOp::AtomicAppend { .. })
+        );
+        let retryable = matches!(error, Error::VersionConflict | Error::LeaseHeld);
+        if is_append && self.append_retries > 0 && retryable {
+            self.append_retries -= 1;
+            self.stats.conflicts += 1;
+            self.pending.clear();
+            // Randomized backoff so contending appenders don't spin their
+            // whole retry budget inside one competitor's commit window.
+            let max = self.costs.rpc_timeout.as_nanos().max(2) / 2;
+            let backoff = Dur::nanos(ctx.rng().gen_range(1..max));
+            ctx.set_timer(backoff, Msg::Tick(Tick::AppendRetry));
+            return;
+        }
+        self.complete_op(ctx, Some(error), 0, None);
+    }
+
+    /// Atomic-append retry: re-lookup the entry and re-read the index,
+    /// then re-run the append write + commit.
+    fn refresh_for_append(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(f) = &self.file else {
+            self.complete_op(ctx, Some(Error::NotFound), 0, None);
+            return;
+        };
+        let path = f.path.clone();
+        if let Some((_, _, phase, _)) = &mut self.op {
+            *phase = Phase::NsSimple;
+        }
+        let req = self.fresh_req();
+        self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
+    }
+
+    fn issue_commit_end(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let f = self.file.as_ref().expect("commit has open file");
+        let path = f.path.clone();
+        let new_version = f.commit_target.expect("commit target chosen");
+        let new_size = f.index.size;
+        if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+            *stage = CommitStage::End;
+        }
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            self.ns,
+            Msg::NsCommitEnd {
+                req,
+                path,
+                commit: true,
+                new_version,
+                new_size,
+            },
+            Pending::CommitEnd,
+        );
+    }
+
+    fn finish_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Eager propagation if requested, else done.
+        let eager = self
+            .file
+            .as_ref()
+            .map(|f| f.entry.options.eager_commit && f.entry.options.replication > 1)
+            .unwrap_or(false);
+        if eager {
+            let mut outstanding = 0;
+            let targets: Vec<(SegId, NodeId, u32)> = {
+                let f = self.file.as_ref().expect("commit has open file");
+                let mut t: Vec<(SegId, NodeId, u32)> = f
+                    .shadows
+                    .iter()
+                    .map(|(&seg, sref)| (seg, sref.provider, f.entry.options.replication))
+                    .collect();
+                t.sort(); // deterministic eager-sync issue order
+                t
+            };
+            for (seg, source, replication) in targets {
+                // Choose (r-1) extra sites and push synchronously.
+                let mut exclude = vec![source];
+                for _ in 1..replication {
+                    let cands = candidates_from_view(&self.view);
+                    let Some(site) = select_provider(
+                        &cands,
+                        1,
+                        0.5,
+                        PlacementPolicy::LoadAware,
+                        &exclude,
+                        None,
+                        ctx.rng(),
+                    ) else {
+                        break;
+                    };
+                    exclude.push(site);
+                    let req = self.fresh_req();
+                    self.rpc(
+                        ctx,
+                        site,
+                        Msg::SyncRequest { req, seg, source, bytes_hint: 64 << 20 },
+                        Pending::EagerSync,
+                    );
+                    outstanding += 1;
+                }
+            }
+            if outstanding > 0 {
+                if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+                    *stage = CommitStage::Eager { outstanding };
+                }
+                return;
+            }
+        }
+        self.conclude_commit(ctx);
+    }
+
+    fn conclude_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let is_close = matches!(
+            self.op.as_ref().map(|(o, ..)| o),
+            Some(ClientOp::Close)
+        );
+        let is_append = matches!(
+            self.op.as_ref().map(|(o, ..)| o),
+            Some(ClientOp::AtomicAppend { .. })
+        );
+        let mut bytes = 0;
+        if let Some(f) = &mut self.file {
+            f.entry.version = f.commit_target.take().expect("commit target chosen");
+            f.entry.size = f.index.size;
+            // Keep the committed index's segment versions as the new base.
+            f.shadows.clear();
+            f.dirty = false;
+            if is_append {
+                bytes = self
+                    .append_payload
+                    .as_ref()
+                    .map(|p| p.len())
+                    .unwrap_or(0);
+            }
+        }
+        if is_close {
+            self.file = None;
+        }
+        self.complete_op(ctx, None, bytes, None);
+    }
+
+    // ------------------------------------------------------------------
+    // Unlink flow
+    // ------------------------------------------------------------------
+
+    fn continue_unlink(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some((_, _, Phase::Unlinking { to_locate, deletes, outstanding, .. }, _)) = &mut self.op
+        else {
+            return;
+        };
+        if let Some(seg) = to_locate.pop() {
+            let Some(home) = self.ring.home(seg) else {
+                self.continue_unlink(ctx);
+                return;
+            };
+            let req = self.fresh_req();
+            self.rpc(ctx, home, Msg::LocQuery { req, seg }, Pending::LocQuery { seg });
+            return;
+        }
+        if let Some((seg, owner)) = deletes.pop() {
+            // Replica removal is eager and serialized, which is why the
+            // paper's unlink time grows with the replication degree
+            // (Figure 9: 32.4 ms at r=1 vs 44.3 ms at r=2).
+            *outstanding = 1;
+            let req = self.fresh_req();
+            self.rpc(ctx, owner, Msg::DeleteSeg { req, seg }, Pending::Delete);
+            return;
+        }
+        if *outstanding == 0 {
+            self.complete_op(ctx, None, 0, None);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reply dispatch
+    // ------------------------------------------------------------------
+
+    fn on_reply(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, req: ReqId, msg: Msg) {
+        let Some((_, pending)) = self.pending.remove(&req) else {
+            ctx.metrics().count("client.stale_replies", 1);
+            ctx.metrics().count(
+                &format!("client.stale.{}", crate::proto_dbg_kind(&msg)),
+                1,
+            );
+            return; // stale reply after timeout/retry
+        };
+        match (pending, msg) {
+            // ---- namespace replies ----
+            (Pending::Ns, Msg::NsMkdirR { result, .. }) => {
+                self.complete_op(ctx, result.err(), 0, None);
+            }
+            (Pending::Ns, Msg::NsListR { result, .. }) => match result {
+                Ok(names) => {
+                    let blob = names.join("\n").into_bytes();
+                    let n = names.len() as u64;
+                    self.complete_op(ctx, None, n, Some(blob));
+                }
+                Err(e) => self.complete_op(ctx, Some(e), 0, None),
+            },
+            (Pending::Ns, Msg::NsLookupR { result, .. }) => {
+                let is_stat = matches!(
+                    self.op.as_ref().map(|(o, ..)| o),
+                    Some(ClientOp::Stat { .. })
+                );
+                match result {
+                    Ok(entry) => {
+                        if is_stat {
+                            let size = entry.size;
+                            self.complete_op(ctx, None, size, None);
+                        } else if matches!(
+                            self.op.as_ref().map(|(o, ..)| o),
+                            Some(ClientOp::AtomicAppend { .. })
+                        ) {
+                            // Append retry path: refresh entry, re-read
+                            // index, then redo the write.
+                            if let Some(f) = &mut self.file {
+                                f.entry = entry.clone();
+                                f.owners.clear();
+                                f.shadows.clear();
+                            }
+                            if entry.version == Version::INITIAL {
+                                self.redo_append_write(ctx);
+                            } else {
+                                if let Some((_, _, phase, _)) = &mut self.op {
+                                    *phase = Phase::OpenIndex;
+                                }
+                                self.read_index_segment(
+                                    ctx,
+                                    entry.file.index_segment(),
+                                    entry.version,
+                                );
+                            }
+                        } else {
+                            self.on_entry_resolved(ctx, entry);
+                        }
+                    }
+                    Err(e) => self.complete_op(ctx, Some(e), 0, None),
+                }
+            }
+            (Pending::Ns, Msg::NsCreateR { result, .. }) => match result {
+                Ok(entry) => self.on_entry_resolved(ctx, entry),
+                Err(e) => self.complete_op(ctx, Some(e), 0, None),
+            },
+            (Pending::Ns, Msg::NsRemoveR { result, .. }) => match result {
+                Ok(entry) => {
+                    if entry.version == Version::INITIAL {
+                        // Never committed: no segments to clean up.
+                        self.complete_op(ctx, None, 0, None);
+                        return;
+                    }
+                    // Read the index to learn the data segments, then
+                    // delete everything eagerly.
+                    let seg = entry.file.index_segment();
+                    if let Some((_, _, Phase::Unlinking { entry: e, to_locate, .. }, _)) =
+                        &mut self.op
+                    {
+                        *e = Some(entry.clone());
+                        to_locate.push(seg);
+                    }
+                    let Some(home) = self.ring.home(seg) else {
+                        self.complete_op(ctx, None, 0, None);
+                        return;
+                    };
+                    let req2 = self.fresh_req();
+                    self.rpc(
+                        ctx,
+                        home,
+                        Msg::ReadSeg {
+                            req: req2,
+                            seg,
+                            offset: 0,
+                            len: u64::MAX,
+                            min_version: None,
+                            allow_redirect: true,
+                        },
+                        Pending::IndexRead { owner_known: false },
+                    );
+                }
+                Err(e) => self.complete_op(ctx, Some(e), 0, None),
+            },
+
+            // ---- index reads ----
+            (Pending::IndexRead { owner_known }, Msg::ReadSegR { reply, .. }) => {
+                if matches!(self.op.as_ref().map(|(_, _, p, _)| p), Some(Phase::Unlinking { .. })) {
+                    self.on_unlink_index(ctx, reply, owner_known);
+                } else if matches!(
+                    self.op.as_ref().map(|(o, ..)| o),
+                    Some(ClientOp::AtomicAppend { .. })
+                ) {
+                    // Append retry: index refreshed, redo the write.
+                    let decoded = match &reply {
+                        ReadReply::Data { data: Some(bytes), .. } => decode_index(bytes),
+                        _ => None,
+                    };
+                    if let Some(ix) = decoded {
+                        if let Some(f) = &mut self.file {
+                            f.attached_buf = ix.attached.clone().unwrap_or_default();
+                            f.index = ix;
+                            f.index_owner = Some(from);
+                        }
+                        self.redo_append_write(ctx);
+                        return;
+                    }
+                    self.on_index_read(ctx, from, reply, owner_known);
+                } else {
+                    self.on_index_read(ctx, from, reply, owner_known);
+                }
+            }
+
+            // ---- owner resolution ----
+            (Pending::LocQuery { seg }, Msg::LocQueryR { owners, .. }) => {
+                match self.op.as_ref().map(|(_, _, p, _)| p) {
+                    Some(Phase::Unlinking { .. }) => {
+                        if let Some((_, _, Phase::Unlinking { deletes, .. }, _)) = &mut self.op {
+                            for (owner, _) in &owners {
+                                deletes.push((seg, *owner));
+                            }
+                        }
+                        self.continue_unlink(ctx);
+                    }
+                    _ => {
+                        if owners.is_empty() {
+                            self.start_backup_query(ctx, seg);
+                            return;
+                        }
+                        if let Some(f) = &mut self.file {
+                            f.owners.insert(seg, owners);
+                        }
+                        let direct = self
+                            .file
+                            .as_ref()
+                            .map(|f| f.entry.options.versioning_off)
+                            .unwrap_or(false);
+                        match self.op.as_ref().map(|(_, _, p, _)| p) {
+                            Some(Phase::Reading { .. }) => self.continue_read(ctx),
+                            Some(Phase::Writing { .. }) if direct => {
+                                self.continue_direct_write(ctx)
+                            }
+                            Some(Phase::Writing { .. }) => self.continue_write(ctx),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+
+            // ---- data reads ----
+            (Pending::DataRead { extent }, Msg::ReadSegR { reply, .. }) => {
+                self.on_data_read(ctx, extent, from, reply);
+            }
+
+            // ---- shadows ----
+            (
+                Pending::ShadowCreate {
+                    seg,
+                    provider,
+                    target,
+                },
+                Msg::CreateShadowR { result, .. },
+            ) => match result {
+                Ok(shadow) => {
+                    if let Some(f) = &mut self.file {
+                        f.shadows.insert(
+                            seg,
+                            ShadowRef {
+                                provider,
+                                shadow,
+                                target,
+                            },
+                        );
+                        if seg == f.entry.file.index_segment() {
+                            f.index_owner = Some(provider);
+                        }
+                    }
+                    match self.op.as_ref().map(|(_, _, p, _)| p) {
+                        Some(Phase::Writing { .. }) => self.continue_write(ctx),
+                        Some(Phase::Committing(CommitStage::IndexShadow)) => {
+                            self.issue_index_write(ctx)
+                        }
+                        _ => {}
+                    }
+                }
+                Err(e) => {
+                    // Owner may have lost the base version (stale cache):
+                    // clear and retry.
+                    if let Some(f) = &mut self.file {
+                        f.owners.remove(&seg);
+                    }
+                    if matches!(
+                        self.op.as_ref().map(|(_, _, p, _)| p),
+                        Some(Phase::Committing(_))
+                    ) {
+                        self.abort_commit(ctx, e);
+                    } else {
+                        self.retry_or_fail(ctx, e);
+                    }
+                }
+            },
+            (Pending::ShadowWrite { extent }, Msg::WriteShadowR { result, .. }) => {
+                match result {
+                    Ok(()) => {
+                        if extent == usize::MAX {
+                            // Index write inside the commit flow.
+                            self.issue_commit_begin(ctx);
+                        } else {
+                            if let Some((_, _, Phase::Writing { outstanding, .. }, _)) =
+                                &mut self.op
+                            {
+                                *outstanding -= 1;
+                            }
+                            self.maybe_finish_write(ctx);
+                        }
+                    }
+                    Err(e) => {
+                        if matches!(
+                            self.op.as_ref().map(|(_, _, p, _)| p),
+                            Some(Phase::Committing(_))
+                        ) {
+                            self.abort_commit(ctx, e);
+                        } else {
+                            self.retry_or_fail(ctx, e);
+                        }
+                    }
+                }
+            }
+
+            // ---- 2PC ----
+            (Pending::CommitBegin, Msg::NsCommitBeginR { result, .. }) => match result {
+                Ok(()) => self.issue_prepare(ctx),
+                Err(Error::LeaseHeld) => {
+                    // Another client is mid-commit: our shadows are still
+                    // valid, so just retry approval after a backoff.
+                    let budget = if let Some((_, _, _, attempts)) = &mut self.op {
+                        *attempts += 1;
+                        *attempts < 3 * MAX_ATTEMPTS
+                    } else {
+                        false
+                    };
+                    if budget {
+                        let max = self.costs.rpc_timeout.as_nanos().max(2) / 4;
+                        let backoff = Dur::nanos(ctx.rng().gen_range(1..max));
+                        ctx.set_timer(backoff, Msg::Tick(Tick::CommitBeginRetry));
+                    } else {
+                        self.abort_commit(ctx, Error::LeaseHeld);
+                    }
+                }
+                Err(e) => self.abort_commit(ctx, e),
+            },
+            (Pending::Prepare, Msg::PrepareR { result, .. }) => {
+                let Some((_, _, Phase::Committing(CommitStage::Prepare { outstanding, failed }), _)) =
+                    &mut self.op
+                else {
+                    return;
+                };
+                *outstanding -= 1;
+                if result.is_err() {
+                    *failed = true;
+                }
+                if *outstanding == 0 {
+                    let failed = *failed;
+                    if failed {
+                        self.abort_commit(ctx, result.err().unwrap_or(Error::VersionConflict));
+                    } else {
+                        self.issue_commit_phase(ctx);
+                    }
+                }
+            }
+            (Pending::Commit2, Msg::CommitR { .. }) => {
+                let Some((_, _, Phase::Committing(CommitStage::Commit { outstanding }), _)) =
+                    &mut self.op
+                else {
+                    return;
+                };
+                *outstanding -= 1;
+                if *outstanding == 0 {
+                    self.issue_commit_end(ctx);
+                }
+            }
+            (Pending::CommitEnd, Msg::NsCommitEndR { result, .. }) => match result {
+                Ok(()) => self.finish_commit(ctx),
+                Err(e) => self.complete_op(ctx, Some(e), 0, None),
+            },
+            (Pending::EagerSync, Msg::SyncDone { .. }) => {
+                let Some((_, _, Phase::Committing(CommitStage::Eager { outstanding }), _)) =
+                    &mut self.op
+                else {
+                    return;
+                };
+                *outstanding -= 1;
+                if *outstanding == 0 {
+                    self.conclude_commit(ctx);
+                }
+            }
+
+            // ---- versioning-off writes ----
+            (Pending::DirectWrite, Msg::DirectWriteR { result, .. }) => match result {
+                Ok(()) => {
+                    if let Some((_, _, Phase::Writing { outstanding, .. }, _)) = &mut self.op {
+                        *outstanding -= 1;
+                    }
+                    self.maybe_finish_write(ctx);
+                }
+                Err(e) => self.retry_or_fail(ctx, e),
+            },
+
+            // ---- deletes ----
+            (Pending::Delete, Msg::DeleteSegR { .. }) => {
+                if let Some((_, _, Phase::Unlinking { outstanding, .. }, _)) = &mut self.op {
+                    *outstanding = 0;
+                }
+                self.continue_unlink(ctx);
+            }
+
+            // Type mismatch (shouldn't happen): drop.
+            _ => {}
+        }
+    }
+
+    /// Append retry: after refreshing entry + index, redo the write.
+    fn redo_append_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let payload = self
+            .append_payload
+            .clone()
+            .expect("append retry has payload");
+        let offset = self.file.as_ref().map(|f| f.index.size).unwrap_or(0);
+        self.start_write(ctx, offset, payload);
+    }
+
+    /// Unlink: index segment read resolved.
+    fn on_unlink_index(&mut self, ctx: &mut Ctx<'_, Msg>, reply: ReadReply, owner_known: bool) {
+        match reply {
+            ReadReply::Data { data, .. } => {
+                let segs: Vec<SegId> = data
+                    .as_deref()
+                    .and_then(decode_index)
+                    .map(|ix| ix.segments.iter().map(|e| e.seg).collect())
+                    .unwrap_or_default();
+                if let Some((_, _, Phase::Unlinking { index, to_locate, .. }, _)) = &mut self.op {
+                    *index = None;
+                    to_locate.extend(segs);
+                }
+                self.continue_unlink(ctx);
+            }
+            ReadReply::Redirect(owners) => {
+                let seg = {
+                    let Some((_, _, Phase::Unlinking { entry, .. }, _)) = &self.op else {
+                        return;
+                    };
+                    entry
+                        .as_ref()
+                        .map(|e| e.file.index_segment())
+                        .expect("unlink entry known")
+                };
+                let Some(owner) = self.choose_owner(&owners, None, ctx.rng()) else {
+                    self.continue_unlink(ctx);
+                    return;
+                };
+                let req = self.fresh_req();
+                self.rpc(
+                    ctx,
+                    owner,
+                    Msg::ReadSeg {
+                        req,
+                        seg,
+                        offset: 0,
+                        len: u64::MAX,
+                        min_version: None,
+                        allow_redirect: false,
+                    },
+                    Pending::IndexRead { owner_known: true },
+                );
+            }
+            ReadReply::Err(_) => {
+                let _ = owner_known;
+                // Cannot read the index: delete what we can (the index
+                // segment's own owners will age out of location tables).
+                self.continue_unlink(ctx);
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, req: ReqId) {
+        let Some((target, pending)) = self.pending.remove(&req) else {
+            return; // reply arrived first
+        };
+        // Suspect the unresponsive node: drop it from the local view (it
+        // will be re-admitted by its next heartbeat if it is actually
+        // alive) and from cached owner lists, so retries pick another
+        // replica instead of hammering a dead provider.
+        if target != self.ns && self.view.remove(target) {
+            self.ring = HashRing::build(self.view.live());
+        }
+        if let Some(f) = &mut self.file {
+            for owners in f.owners.values_mut() {
+                owners.retain(|(id, _)| *id != target);
+            }
+            f.owners.retain(|_, v| !v.is_empty());
+        }
+        ctx.metrics().count("client.rpc_timeouts", 1);
+        let kind = match &pending {
+            Pending::Ns => "ns",
+            Pending::IndexRead { .. } => "index_read",
+            Pending::LocQuery { .. } => "loc_query",
+            Pending::DataRead { .. } => "data_read",
+            Pending::ShadowCreate { .. } => "shadow_create",
+            Pending::ShadowWrite { .. } => "shadow_write",
+            Pending::DirectWrite => "direct_write",
+            Pending::Prepare => "prepare",
+            Pending::Commit2 => "commit",
+            Pending::CommitBegin => "commit_begin",
+            Pending::CommitEnd => "commit_end",
+            Pending::Backup { .. } => "backup",
+            Pending::Delete => "delete",
+            Pending::EagerSync => "eager_sync",
+        };
+        ctx.metrics().count(&format!("client.timeout.{kind}"), 1);
+        match pending {
+            Pending::Backup { .. } => {
+                // BackupDeadline handles completion; nothing to do.
+            }
+            Pending::Prepare | Pending::Commit2 | Pending::CommitBegin
+            | Pending::CommitEnd => {
+                self.abort_commit(ctx, Error::Timeout);
+            }
+            Pending::EagerSync => {
+                if let Some((_, _, Phase::Committing(CommitStage::Eager { outstanding }), _)) =
+                    &mut self.op
+                {
+                    *outstanding -= 1;
+                    if *outstanding == 0 {
+                        self.conclude_commit(ctx);
+                    }
+                }
+            }
+            Pending::Delete => {
+                if let Some((_, _, Phase::Unlinking { outstanding, .. }, _)) = &mut self.op {
+                    *outstanding = 0;
+                }
+                self.continue_unlink(ctx);
+            }
+            _ => {
+                self.retry_or_fail(ctx, Error::Timeout);
+            }
+        }
+    }
+}
+
+impl Node<Msg> for SorrentoClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.my_machine = ctx.machine_of(ctx.id());
+        ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Membership));
+        self.pull_next_op(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Heartbeat(hb) => {
+                self.view.observe(from, hb, ctx.now());
+                self.ring = HashRing::build(self.view.live());
+            }
+            Msg::Tick(Tick::Membership) => {
+                let departed = self.view.expire(ctx.now(), self.costs.heartbeat_interval);
+                if !departed.is_empty() {
+                    self.ring = HashRing::build(self.view.live());
+                }
+                ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Membership));
+            }
+            Msg::Tick(Tick::NextOp) => {
+                // Think finished, or we were waiting for providers.
+                if matches!(
+                    self.op.as_ref().map(|(_, _, p, _)| p),
+                    Some(Phase::Thinking)
+                ) {
+                    self.complete_op(ctx, None, 0, None);
+                } else {
+                    self.pull_next_op(ctx);
+                }
+            }
+            Msg::Tick(Tick::AppendRetry) => {
+                if self.op.is_some() {
+                    self.refresh_for_append(ctx);
+                }
+            }
+            Msg::Tick(Tick::CommitBeginRetry) => {
+                if matches!(
+                    self.op.as_ref().map(|(_, _, p, _)| p),
+                    Some(Phase::Committing(_))
+                ) {
+                    self.issue_commit_begin(ctx);
+                }
+            }
+            Msg::Tick(Tick::RpcTimeout(req)) => self.on_timeout(ctx, req),
+            Msg::Tick(Tick::BackupDeadline(req)) => self.on_backup_deadline(ctx, req),
+            Msg::Tick(_) => {}
+            Msg::BackupQueryR { req, version, .. } => {
+                if let Some(hits) = self.backup_hits.get_mut(&req) {
+                    hits.push((from, version));
+                }
+            }
+            other => {
+                if let Some(req) = reply_req(&other) {
+                    self.on_reply(ctx, from, req, other);
+                }
+            }
+        }
+    }
+}
+
+/// The correlation id of a reply message, if it is one.
+fn reply_req(msg: &Msg) -> Option<ReqId> {
+    match msg {
+        Msg::NsLookupR { req, .. }
+        | Msg::NsCreateR { req, .. }
+        | Msg::NsMkdirR { req, .. }
+        | Msg::NsRemoveR { req, .. }
+        | Msg::NsListR { req, .. }
+        | Msg::NsCommitBeginR { req, .. }
+        | Msg::NsCommitEndR { req, .. }
+        | Msg::LocQueryR { req, .. }
+        | Msg::ReadSegR { req, .. }
+        | Msg::CreateShadowR { req, .. }
+        | Msg::WriteShadowR { req, .. }
+        | Msg::ReadShadowR { req, .. }
+        | Msg::PrepareR { req, .. }
+        | Msg::CommitR { req, .. }
+        | Msg::DirectWriteR { req, .. }
+        | Msg::DeleteSegR { req, .. }
+        | Msg::SyncDone { req, .. } => Some(*req),
+        _ => None,
+    }
+}

@@ -1,0 +1,361 @@
+//! Cluster assembly: wires a Sorrento volume — storage providers, a
+//! namespace server, and client processes — onto the deterministic
+//! simulator, mirroring the paper's `Sorrento-(n, r)` deployments.
+
+use sorrento_sim::{Dur, Metrics, NodeConfig, NodeId, SimTime, Simulation};
+
+use crate::client::{ClientOp, ClientStats, OpResult, SorrentoClient, Workload};
+use crate::costs::CostModel;
+use crate::namespace::NamespaceServer;
+use crate::proto::Msg;
+use crate::provider::StorageProvider;
+
+/// Builder for a Sorrento deployment.
+pub struct ClusterBuilder {
+    providers: usize,
+    replication: u32,
+    seed: u64,
+    costs: CostModel,
+    node_config: NodeConfig,
+    capacity: u64,
+    keep_versions: usize,
+    warmup: Dur,
+    racks: Option<usize>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            providers: 8,
+            replication: 1,
+            seed: 1,
+            costs: CostModel::default(),
+            node_config: NodeConfig::default(),
+            capacity: 72 * 1_000_000_000,
+            keep_versions: 2,
+            warmup: Dur::secs(5),
+            racks: None,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Start from defaults: `Sorrento-(8, 1)` on Fast Ethernet.
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Number of storage providers (the `n` of `Sorrento-(n, r)`).
+    pub fn providers(mut self, n: usize) -> Self {
+        self.providers = n;
+        self
+    }
+
+    /// Default replication degree (the `r` of `Sorrento-(n, r)`). Applied
+    /// by [`Cluster::add_client`] to files created with default options.
+    pub fn replication(mut self, r: u32) -> Self {
+        self.replication = r.max(1);
+        self
+    }
+
+    /// RNG seed: every run with the same seed is identical.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Per-provider disk capacity in bytes.
+    pub fn capacity(mut self, bytes: u64) -> Self {
+        self.capacity = bytes;
+        self
+    }
+
+    /// Committed versions retained per segment.
+    pub fn keep_versions(mut self, k: usize) -> Self {
+        self.keep_versions = k;
+        self
+    }
+
+    /// Hardware description for all nodes.
+    pub fn node_config(mut self, cfg: NodeConfig) -> Self {
+        self.node_config = cfg;
+        self
+    }
+
+    /// Virtual time to run before clients may start (heartbeat discovery).
+    pub fn warmup(mut self, d: Dur) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Spread providers round-robin over `n` racks; replica repair then
+    /// prefers sites on racks without a copy. Default: every provider is
+    /// its own rack (degenerates to distinct-provider spreading).
+    pub fn racks(mut self, n: usize) -> Self {
+        self.racks = Some(n.max(1));
+        self
+    }
+
+    /// Build the cluster and run the warmup period.
+    pub fn build(self) -> Cluster {
+        let mut sim = Simulation::new(self.seed);
+        let ns_cfg = self.node_config; // namespace gets its own machine
+        let ns = sim.add_node(NamespaceServer::new(self.costs), ns_cfg);
+        let mut providers = Vec::with_capacity(self.providers);
+        for i in 0..self.providers {
+            let cfg = self.node_config.with_capacity(self.capacity).on_machine(i as u32);
+            let rack = match self.racks {
+                Some(n) => (i % n) as u32,
+                None => i as u32, // one rack per provider
+            };
+            providers.push(sim.add_node(
+                StorageProvider::new(self.costs, self.keep_versions).with_rack(rack),
+                cfg,
+            ));
+        }
+        let mut cluster = Cluster {
+            sim,
+            ns,
+            providers,
+            clients: Vec::new(),
+            costs: self.costs,
+            replication: self.replication,
+            node_config: self.node_config,
+        };
+        cluster.run_for(self.warmup);
+        cluster
+    }
+}
+
+/// A running Sorrento deployment.
+pub struct Cluster {
+    /// The underlying simulation (exposed for advanced harness control).
+    pub sim: Simulation<Msg>,
+    ns: NodeId,
+    providers: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    costs: CostModel,
+    replication: u32,
+    node_config: NodeConfig,
+}
+
+impl Cluster {
+    /// The namespace server's node id.
+    pub fn namespace(&self) -> NodeId {
+        self.ns
+    }
+
+    /// The storage providers' node ids.
+    pub fn providers(&self) -> &[NodeId] {
+        &self.providers
+    }
+
+    /// The client node ids added so far.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// The default replication degree configured at build time.
+    pub fn default_replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// The cluster's cost model.
+    pub fn costs(&self) -> CostModel {
+        self.costs
+    }
+
+    /// Add a client on its own machine.
+    pub fn add_client<W: Workload>(&mut self, workload: W) -> NodeId {
+        let cfg = self.node_config;
+        self.add_client_with(workload, cfg)
+    }
+
+    /// Add a client co-located with provider `i` (same machine: loopback
+    /// traffic, as in the paper's PSM deployment).
+    pub fn add_client_on_provider<W: Workload>(&mut self, workload: W, i: usize) -> NodeId {
+        let cfg = self.node_config.on_machine(i as u32);
+        self.add_client_with(workload, cfg)
+    }
+
+    fn add_client_with<W: Workload>(&mut self, workload: W, cfg: NodeConfig) -> NodeId {
+        let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
+        client.default_options.replication = self.replication;
+        let id = self.sim.add_node(client, cfg);
+        self.clients.push(id);
+        id
+    }
+
+    /// Add a client co-located with provider `i`, with explicit default
+    /// file options.
+    pub fn add_client_on_provider_with_options<W: Workload>(
+        &mut self,
+        workload: W,
+        i: usize,
+        options: crate::types::FileOptions,
+    ) -> NodeId {
+        let cfg = self.node_config.on_machine(i as u32);
+        let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
+        client.default_options = options;
+        let id = self.sim.add_node(client, cfg);
+        self.clients.push(id);
+        id
+    }
+
+    /// Add a client with explicit default file options.
+    pub fn add_client_with_options<W: Workload>(
+        &mut self,
+        workload: W,
+        options: crate::types::FileOptions,
+    ) -> NodeId {
+        let cfg = self.node_config;
+        let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
+        client.default_options = options;
+        let id = self.sim.add_node(client, cfg);
+        self.clients.push(id);
+        id
+    }
+
+    /// Add a storage provider that comes online at virtual time `at`
+    /// (incremental expansion, §2.2).
+    pub fn add_provider_at(&mut self, at: SimTime, capacity: u64) -> NodeId {
+        let machine = 1000 + self.providers.len() as u32;
+        let cfg = self.node_config.with_capacity(capacity).on_machine(machine);
+        let id = self
+            .sim
+            .add_node_offline(StorageProvider::new(self.costs, 2), cfg);
+        self.sim.start_at(at, id);
+        self.providers.push(id);
+        id
+    }
+
+    /// Crash a provider at virtual time `at` (its disk contents survive a
+    /// later [`Cluster::restart_provider_at`]).
+    pub fn crash_provider_at(&mut self, at: SimTime, id: NodeId) {
+        self.sim.crash_at(at, id);
+    }
+
+    /// Restart a crashed provider at virtual time `at`.
+    pub fn restart_provider_at(&mut self, at: SimTime, id: NodeId) {
+        self.sim.restart_at(at, id);
+    }
+
+    /// Run for `d` of virtual time.
+    pub fn run_for(&mut self, d: Dur) {
+        self.sim.run_for(d);
+    }
+
+    /// Run until virtual time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Statistics of a client added earlier.
+    pub fn client_stats(&self, id: NodeId) -> Option<&ClientStats> {
+        self.sim
+            .node_ref::<SorrentoClient>(id)
+            .map(|c| &c.stats)
+    }
+
+    /// Inspect a provider's state.
+    pub fn provider_ref(&self, id: NodeId) -> Option<&StorageProvider> {
+        self.sim.node_ref::<StorageProvider>(id)
+    }
+
+    /// Inspect the namespace server.
+    pub fn namespace_ref(&self) -> Option<&NamespaceServer> {
+        self.sim.node_ref::<NamespaceServer>(self.ns)
+    }
+
+    /// Bytes stored on each provider's disk (storage-balance reporting,
+    /// Figure 14).
+    pub fn provider_disk_usage(&self) -> Vec<(NodeId, u64, u64)> {
+        self.providers
+            .iter()
+            .map(|&p| (p, self.sim.disk_used(p), self.sim.disk_capacity(p)))
+            .collect()
+    }
+
+    /// Run-wide metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Ground-truth segment ownership across live providers: segment →
+    /// `(provider, latest version)` list. Harness/test observability; the
+    /// protocol itself only ever uses the soft-state location tables.
+    pub fn segment_ownership(
+        &self,
+    ) -> std::collections::HashMap<crate::types::SegId, Vec<(NodeId, crate::types::Version)>> {
+        let mut map: std::collections::HashMap<_, Vec<(NodeId, crate::types::Version)>> =
+            std::collections::HashMap::new();
+        for &p in &self.providers {
+            if !self.sim.is_alive(p) {
+                continue;
+            }
+            if let Some(prov) = self.sim.node_ref::<StorageProvider>(p) {
+                for (seg, version) in prov.store.list_segments() {
+                    map.entry(seg).or_default().push((p, version));
+                }
+            }
+        }
+        map
+    }
+}
+
+/// A workload that replays a fixed list of operations, then stops.
+pub struct ScriptedWorkload {
+    ops: std::vec::IntoIter<ClientOp>,
+    /// Stop on the first failed op when set (default: keep going).
+    pub stop_on_error: bool,
+    failed: bool,
+}
+
+impl ScriptedWorkload {
+    /// Run these ops in order.
+    pub fn new(ops: Vec<ClientOp>) -> ScriptedWorkload {
+        ScriptedWorkload {
+            ops: ops.into_iter(),
+            stop_on_error: false,
+            failed: false,
+        }
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn next_op(&mut self, _now: SimTime, _rng: &mut rand::rngs::SmallRng) -> Option<ClientOp> {
+        if self.failed && self.stop_on_error {
+            return None;
+        }
+        self.ops.next()
+    }
+
+    fn on_result(&mut self, _op: &ClientOp, result: &OpResult, _now: SimTime) {
+        if !result.is_ok() {
+            self.failed = true;
+        }
+    }
+}
+
+/// A workload built from a closure (ad-hoc dynamic workloads).
+pub struct FnWorkload<F>(pub F);
+
+impl<F> Workload for FnWorkload<F>
+where
+    F: FnMut(SimTime, &mut rand::rngs::SmallRng) -> Option<ClientOp> + 'static,
+{
+    fn next_op(&mut self, now: SimTime, rng: &mut rand::rngs::SmallRng) -> Option<ClientOp> {
+        (self.0)(now, rng)
+    }
+}

@@ -1,0 +1,160 @@
+//! Protocol timing constants and per-request CPU/disk cost model.
+//!
+//! The structural behaviour (message counts, queueing, saturation) comes
+//! from the simulator; these constants calibrate the *absolute* service
+//! times to the paper's 2004-era hardware and are referenced from
+//! EXPERIMENTS.md. Everything here is a tunable with its paper anchor
+//! noted inline.
+
+use sorrento_sim::Dur;
+
+/// Timing and cost parameters for one Sorrento deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    // -- membership (§3.3) ------------------------------------------------
+    /// Heartbeat announcement interval. The paper does not publish the
+    /// value; 2 s gives the ~10 s failure detection visible in Figure 13.
+    pub heartbeat_interval: Dur,
+
+    // -- location tables (§3.4.1) -----------------------------------------
+    /// Periodic content refreshing cycle ("we set the table refreshing
+    /// cycle to 15 minutes").
+    pub refresh_interval: Dur,
+    /// Upper bound of the random delay before refreshing a newly joined
+    /// provider ("within 20 seconds in our test environment").
+    pub join_refresh_delay_max: Dur,
+    /// Location-table entries older than this are purged as garbage
+    /// (twice the refresh cycle: a valid entry can never get this old).
+    pub location_gc_age: Dur,
+
+    // -- shadows & commits (§3.5) -----------------------------------------
+    /// Shadow-copy expiration TTL.
+    pub shadow_ttl: Dur,
+    /// Namespace write-lock lease duration (held between commit-begin and
+    /// commit-end).
+    pub commit_lease: Dur,
+
+    // -- placement & migration (§3.7) --------------------------------------
+    /// Migration decision cadence ("the migration design is made once
+    /// every minute").
+    pub migration_interval: Dur,
+    /// Pause between successive segment transfers of one node's active
+    /// migration process, so migration traffic cannot monopolize the
+    /// NICs ("prevent the traffic generated from data migration to
+    /// disturb the normal operation of the system", §3.7.1).
+    pub migration_pacing: Dur,
+    /// α used when migrating hot segments off I/O-loaded providers.
+    pub migration_alpha_hot: f64,
+    /// α used when migrating cold segments off full providers.
+    pub migration_alpha_cold: f64,
+    /// A provider triggers migration when its load/utilization is within
+    /// the top `migration_top_fraction` of providers AND above
+    /// mean + 3σ.
+    pub migration_top_fraction: f64,
+    /// EWMA smoothing factor for the I/O-wait load.
+    pub load_ewma_alpha: f64,
+    /// Enable the §3.7.2 small-segment home-host weight boost (3N), which
+    /// co-locates index segments with their home hosts and saves one
+    /// round-trip on lookups. Off only for ablation runs.
+    pub home_boost: bool,
+
+    // -- per-request service costs -----------------------------------------
+    /// Namespace server CPU per operation. §4.1.2 measures "a single
+    /// namespace server is able to handle 1300 namespace operations per
+    /// second" → ≈ 0.77 ms.
+    pub ns_op_cpu: Dur,
+    /// User-level storage-provider daemon CPU per request (socket +
+    /// kernel-boundary crossings the paper blames for user-level
+    /// overhead).
+    pub provider_op_cpu: Dur,
+    /// Client-stub CPU per request hop.
+    pub client_op_cpu: Dur,
+    /// Fixed RPC message overhead on the wire (headers), bytes.
+    pub rpc_header_bytes: u64,
+
+    // -- failure handling ---------------------------------------------------
+    /// Client RPC timeout before declaring a provider dead and failing
+    /// over (backup query / alternate replica).
+    pub rpc_timeout: Dur,
+    /// How long a client waits for backup-query replies before failing.
+    pub backup_query_wait: Dur,
+
+    // -- repair/replication --------------------------------------------------
+    /// Home hosts scan their location tables for under-replication and
+    /// version discrepancies at this cadence (fast-path notifications
+    /// handle the common case; the scan is the safety net).
+    pub repair_scan_interval: Dur,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            heartbeat_interval: Dur::secs(2),
+            refresh_interval: Dur::minutes(15),
+            join_refresh_delay_max: Dur::secs(20),
+            location_gc_age: Dur::minutes(30),
+            shadow_ttl: Dur::minutes(5),
+            commit_lease: Dur::secs(30),
+            migration_interval: Dur::minutes(1),
+            migration_pacing: Dur::secs(3),
+            migration_alpha_hot: 0.8,
+            migration_alpha_cold: 0.3,
+            migration_top_fraction: 0.10,
+            load_ewma_alpha: 0.3,
+            home_boost: true,
+            ns_op_cpu: Dur::micros(770),
+            provider_op_cpu: Dur::micros(4500),
+            client_op_cpu: Dur::micros(150),
+            rpc_header_bytes: 120,
+            rpc_timeout: Dur::secs(3),
+            backup_query_wait: Dur::millis(500),
+            repair_scan_interval: Dur::secs(5),
+        }
+    }
+}
+
+impl CostModel {
+    /// A model with aggressive timers for fast unit tests (all the same
+    /// protocol logic; just tighter cycles).
+    pub fn fast_test() -> CostModel {
+        CostModel {
+            heartbeat_interval: Dur::millis(500),
+            refresh_interval: Dur::secs(30),
+            join_refresh_delay_max: Dur::secs(2),
+            location_gc_age: Dur::secs(90),
+            shadow_ttl: Dur::secs(30),
+            commit_lease: Dur::secs(10),
+            migration_interval: Dur::secs(5),
+            migration_pacing: Dur::millis(300),
+            repair_scan_interval: Dur::secs(1),
+            rpc_timeout: Dur::millis(1500),
+            ..CostModel::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = CostModel::default();
+        assert_eq!(c.refresh_interval, Dur::minutes(15)); // §3.4.1
+        assert_eq!(c.join_refresh_delay_max, Dur::secs(20)); // §3.4.1
+        assert_eq!(c.migration_interval, Dur::minutes(1)); // §3.7.1
+        assert_eq!(c.migration_alpha_hot, 0.8); // §3.7.1
+        assert_eq!(c.migration_alpha_cold, 0.3); // §3.7.1
+        // ns_op_cpu ≈ 1/1300 s (§4.1.2).
+        let per_sec = 1.0 / c.ns_op_cpu.as_secs_f64();
+        assert!(per_sec > 1200.0 && per_sec < 1400.0);
+    }
+
+    #[test]
+    fn gc_age_exceeds_refresh_cycle() {
+        let c = CostModel::default();
+        assert!(c.location_gc_age.as_nanos() >= 2 * c.refresh_interval.as_nanos());
+        let f = CostModel::fast_test();
+        assert!(f.location_gc_age.as_nanos() >= 2 * f.refresh_interval.as_nanos());
+    }
+}

@@ -1,0 +1,356 @@
+//! Load-aware data placement (§3.7.1).
+//!
+//! The same weighted-random provider-selection algorithm serves all three
+//! contexts — placing a new segment, making a new replica, and choosing a
+//! migration destination. Per the paper:
+//!
+//! ```text
+//! f_l = min{10, 1/l − 1}            (load factor)
+//! f_s = min{10, log2(S/s)}          (storage factor)
+//! w   = f_l^α · f_s^(1−α),  α ∈ [0,1]
+//! ```
+//!
+//! plus the small-segment optimization of §3.7.2: the home host's weight
+//! is boosted by `3N` so tiny segments (index segments especially) tend
+//! to live on their home host, eliminating the extra location round-trip.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use sorrento_sim::NodeId;
+
+use crate::membership::MembershipView;
+use crate::types::PlacementPolicy;
+
+/// Clamp ceiling for both factors.
+const FACTOR_CAP: f64 = 10.0;
+
+/// Segments at or below this size get the home-host weight boost
+/// (covers index segments and attached small files).
+pub const SMALL_SEGMENT: u64 = 64 * 1024;
+
+/// The load factor `f_l = min{10, 1/l − 1}` for load `l ∈ [0, 1]`.
+pub fn load_factor(load: f64) -> f64 {
+    let l = load.clamp(0.0, 1.0);
+    if l <= 0.0 {
+        return FACTOR_CAP;
+    }
+    (1.0 / l - 1.0).clamp(0.0, FACTOR_CAP)
+}
+
+/// The storage factor `f_s = min{10, log2(S/s)}` for available space `S`
+/// and segment size `s`. Zero when the segment does not fit.
+pub fn storage_factor(available: u64, seg_size: u64) -> f64 {
+    if available == 0 || seg_size > available {
+        return 0.0;
+    }
+    let s = seg_size.max(1);
+    ((available as f64 / s as f64).log2()).clamp(0.0, FACTOR_CAP)
+}
+
+/// Combined weight `f_l^α · f_s^(1−α)`.
+pub fn weight(f_l: f64, f_s: f64, alpha: f64) -> f64 {
+    let a = alpha.clamp(0.0, 1.0);
+    f_l.powf(a) * f_s.powf(1.0 - a)
+}
+
+/// A candidate provider as seen by the selection algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The provider.
+    pub id: NodeId,
+    /// Its reported CPU + I/O-wait load.
+    pub load: f64,
+    /// Its reported available space.
+    pub available: u64,
+}
+
+/// Select a provider for a segment of `seg_size` bytes.
+///
+/// * `exclude` — providers that may not be chosen (current replica
+///   holders, §3.7.2: replicas of a segment go on different providers).
+/// * `home` — the segment's home host; boosted by `3N` for small
+///   segments.
+/// * `policy` + `alpha` — [`PlacementPolicy::Random`] ignores weights;
+///   everything else uses the weighted-random draw.
+pub fn select_provider(
+    candidates: &[Candidate],
+    seg_size: u64,
+    alpha: f64,
+    policy: PlacementPolicy,
+    exclude: &[NodeId],
+    home: Option<NodeId>,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
+    let eligible: Vec<&Candidate> = candidates
+        .iter()
+        .filter(|c| !exclude.contains(&c.id))
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    if matches!(policy, PlacementPolicy::Random) {
+        return Some(eligible[rng.gen_range(0..eligible.len())].id);
+    }
+    let n = candidates.len() as f64;
+    let weights: Vec<f64> = eligible
+        .iter()
+        .map(|c| {
+            let w = weight(
+                load_factor(c.load),
+                storage_factor(c.available, seg_size),
+                alpha,
+            );
+            if seg_size <= SMALL_SEGMENT && Some(c.id) == home {
+                w * 3.0 * n
+            } else {
+                w
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // Everyone is saturated or full: fall back to any provider with
+        // room, else give up.
+        let with_room: Vec<&&Candidate> = eligible
+            .iter()
+            .filter(|c| c.available >= seg_size)
+            .collect();
+        if with_room.is_empty() {
+            return None;
+        }
+        return Some(with_room[rng.gen_range(0..with_room.len())].id);
+    }
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, c) in eligible.iter().enumerate() {
+        if draw < weights[i] {
+            return Some(c.id);
+        }
+        draw -= weights[i];
+    }
+    // Floating-point edge: return the last positive-weight candidate.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .map(|i| eligible[i].id)
+}
+
+/// Build candidates from a membership view.
+pub fn candidates_from_view(view: &MembershipView) -> Vec<Candidate> {
+    view.entries()
+        .map(|(id, info)| Candidate {
+            id,
+            load: info.heartbeat.load,
+            available: info.heartbeat.available,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn load_factor_shape() {
+        assert_eq!(load_factor(0.0), 10.0); // idle: capped at 10
+        assert!((load_factor(0.5) - 1.0).abs() < 1e-12);
+        assert!((load_factor(1.0) - 0.0).abs() < 1e-12);
+        assert_eq!(load_factor(0.05), 10.0); // 19 clamps to 10
+        assert_eq!(load_factor(-3.0), 10.0); // clamped input
+        assert_eq!(load_factor(7.0), 0.0);
+    }
+
+    #[test]
+    fn storage_factor_shape() {
+        assert!((storage_factor(1024, 1024) - 0.0).abs() < 1e-12);
+        assert!((storage_factor(4096, 1024) - 2.0).abs() < 1e-12);
+        assert_eq!(storage_factor(1 << 40, 1), 10.0); // capped
+        assert_eq!(storage_factor(100, 200), 0.0); // does not fit
+        assert_eq!(storage_factor(0, 1), 0.0);
+    }
+
+    #[test]
+    fn weight_alpha_extremes() {
+        // α = 1: only load matters; α = 0: only storage.
+        assert!((weight(4.0, 9.0, 1.0) - 4.0).abs() < 1e-12);
+        assert!((weight(4.0, 9.0, 0.0) - 9.0).abs() < 1e-12);
+        assert!((weight(4.0, 9.0, 0.5) - 6.0).abs() < 1e-12);
+    }
+
+    fn cands(specs: &[(usize, f64, u64)]) -> Vec<Candidate> {
+        specs
+            .iter()
+            .map(|&(i, load, available)| Candidate {
+                id: node(i),
+                load,
+                available,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exclusion_is_respected() {
+        let c = cands(&[(1, 0.1, 1 << 30), (2, 0.1, 1 << 30)]);
+        let mut r = rng();
+        for _ in 0..50 {
+            let pick = select_provider(
+                &c,
+                1024,
+                0.5,
+                PlacementPolicy::LoadAware,
+                &[node(1)],
+                None,
+                &mut r,
+            );
+            assert_eq!(pick, Some(node(2)));
+        }
+    }
+
+    #[test]
+    fn all_excluded_returns_none() {
+        let c = cands(&[(1, 0.1, 1 << 30)]);
+        let mut r = rng();
+        assert_eq!(
+            select_provider(
+                &c,
+                1024,
+                0.5,
+                PlacementPolicy::LoadAware,
+                &[node(1)],
+                None,
+                &mut r
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn full_providers_are_never_chosen_when_alternatives_exist() {
+        let c = cands(&[(1, 0.0, 100), (2, 0.0, 1 << 30)]);
+        let mut r = rng();
+        for _ in 0..100 {
+            let pick = select_provider(
+                &c,
+                1 << 20,
+                0.0,
+                PlacementPolicy::LoadAware,
+                &[],
+                None,
+                &mut r,
+            )
+            .unwrap();
+            assert_eq!(pick, node(2));
+        }
+    }
+
+    #[test]
+    fn alpha_zero_prefers_space() {
+        // α = 0 → storage-only. f_s = 3 vs 6 (both under the cap of 10).
+        let c = cands(&[(1, 0.5, 1 << 13), (2, 0.5, 1 << 16)]);
+        let mut r = rng();
+        let mut counts = [0u32; 2];
+        for _ in 0..2000 {
+            match select_provider(&c, 1 << 10, 0.0, PlacementPolicy::LoadAware, &[], None, &mut r)
+            {
+                Some(p) if p == node(1) => counts[0] += 1,
+                Some(p) if p == node(2) => counts[1] += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        // Weights 10 vs 20 → about 1:2.
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!(ratio > 1.6 && ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alpha_one_prefers_idle() {
+        let c = cands(&[(1, 0.8, 1 << 30), (2, 0.2, 1 << 30)]);
+        let mut r = rng();
+        let mut idle = 0;
+        for _ in 0..2000 {
+            if select_provider(&c, 1 << 10, 1.0, PlacementPolicy::LoadAware, &[], None, &mut r)
+                == Some(node(2))
+            {
+                idle += 1;
+            }
+        }
+        // f_l: 0.25 vs 4.0 → node 2 picked ~94% of the time.
+        assert!(idle > 1700, "idle picked {idle}/2000");
+    }
+
+    #[test]
+    fn home_boost_dominates_for_small_segments() {
+        let c = cands(&[(1, 0.5, 1 << 30), (2, 0.5, 1 << 30), (3, 0.5, 1 << 30)]);
+        let mut r = rng();
+        let mut home_hits = 0;
+        for _ in 0..1000 {
+            if select_provider(
+                &c,
+                1024, // small
+                0.5,
+                PlacementPolicy::LoadAware,
+                &[],
+                Some(node(3)),
+                &mut r,
+            ) == Some(node(3))
+            {
+                home_hits += 1;
+            }
+        }
+        // Boost 3N = 9 → home weight 9w vs w+w: ~82%.
+        assert!(home_hits > 700, "home picked {home_hits}/1000");
+        // No boost for large segments.
+        let mut large_home = 0;
+        for _ in 0..1000 {
+            if select_provider(
+                &c,
+                10 << 20,
+                0.5,
+                PlacementPolicy::LoadAware,
+                &[],
+                Some(node(3)),
+                &mut r,
+            ) == Some(node(3))
+            {
+                large_home += 1;
+            }
+        }
+        assert!(large_home < 450, "large-seg home picked {large_home}/1000");
+    }
+
+    #[test]
+    fn random_policy_ignores_load() {
+        let c = cands(&[(1, 1.0, 100), (2, 0.0, 1 << 30)]);
+        let mut r = rng();
+        let mut saturated = 0;
+        for _ in 0..2000 {
+            if select_provider(&c, 10, 0.5, PlacementPolicy::Random, &[], None, &mut r)
+                == Some(node(1))
+            {
+                saturated += 1;
+            }
+        }
+        assert!(saturated > 800 && saturated < 1200, "{saturated}");
+    }
+
+    #[test]
+    fn saturated_cluster_falls_back_to_any_fit() {
+        // Both fully loaded (f_l = 0) → weights 0, but provider 2 has room.
+        let c = cands(&[(1, 1.0, 10), (2, 1.0, 1 << 30)]);
+        let mut r = rng();
+        let pick = select_provider(&c, 1 << 20, 0.5, PlacementPolicy::LoadAware, &[], None, &mut r);
+        assert_eq!(pick, Some(node(2)));
+        // Nobody fits → None.
+        let none = select_provider(&c, 1 << 40, 0.5, PlacementPolicy::LoadAware, &[], None, &mut r);
+        assert_eq!(none, None);
+    }
+}

@@ -1,0 +1,426 @@
+//! The wire protocol: every message exchanged between Sorrento clients,
+//! storage providers, and namespace servers, plus the local timer kinds.
+//!
+//! Wire sizes are modeled per variant so the simulated NICs charge
+//! realistic byte counts: bulk payloads dominate data-path messages,
+//! small RPCs cost roughly a header.
+
+use sorrento_sim::{NodeId, Payload};
+
+use crate::layout::IndexSegment;
+use crate::membership::Heartbeat;
+use crate::store::{ReplicaImage, SegMeta, ShadowId, WritePayload};
+use crate::types::{Error, FileId, FileOptions, SegId, Version};
+
+/// Request correlation id (unique per issuing node).
+pub type ReqId = u64;
+
+/// Fixed modeled overhead of any RPC (headers, framing).
+pub const RPC_HEADER: u64 = 120;
+
+/// A namespace entry as returned to clients ("the inode equivalent in
+/// Sorrento", §3.1).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FileEntry {
+    /// Persistent location-independent file id.
+    pub file: FileId,
+    /// Latest committed version.
+    pub version: Version,
+    /// Logical size at that version.
+    pub size: u64,
+    /// Whether this entry is a directory.
+    pub is_dir: bool,
+    /// Creation timestamp (ns of virtual time).
+    pub created_ns: u64,
+    /// Last-commit timestamp (ns of virtual time).
+    pub modified_ns: u64,
+    /// The file's creation-time options.
+    pub options: FileOptions,
+}
+
+/// Reply to a read against a provider.
+#[derive(Debug, Clone)]
+pub enum ReadReply {
+    /// The provider owns the segment and served the bytes.
+    Data {
+        /// Bytes covered (clamped to segment length).
+        len: u64,
+        /// The bytes when the segment carries real data.
+        data: Option<Vec<u8>>,
+        /// Version served.
+        version: Version,
+    },
+    /// The provider is the segment's home host but not an owner: go ask
+    /// one of these owners (§3.4, Figure 7 step 3).
+    Redirect(Vec<(NodeId, Version)>),
+    /// Neither owner nor informed home host.
+    Err(Error),
+}
+
+/// Local timer kinds (delivered to self; never on the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tick {
+    /// Provider: announce heartbeat + expire membership.
+    Heartbeat,
+    /// Provider: periodic location-table content refresh (§3.4.1 ev. 1).
+    LocationRefresh,
+    /// Provider: delayed refresh toward one newly joined provider
+    /// (§3.4.1 event 2).
+    JoinRefresh(NodeId),
+    /// Provider: purge aged location-table garbage + expired shadows.
+    Gc,
+    /// Provider: home-host repair scan (discrepancy sync + degree
+    /// repair).
+    RepairScan,
+    /// Provider: migration decision point (once per minute, §3.7.1).
+    Migration,
+    /// Provider: continue the active migration process with its next
+    /// segment (paced).
+    MigrationContinue,
+    /// Client: RPC timeout for the given request.
+    RpcTimeout(ReqId),
+    /// Client: stop waiting for backup-query replies.
+    BackupDeadline(ReqId),
+    /// Client: membership bookkeeping (view expiry).
+    Membership,
+    /// Client: think-time elapsed; issue the next workload op.
+    NextOp,
+    /// Client: backoff elapsed; retry an atomic append.
+    AppendRetry,
+    /// Client: backoff elapsed; retry commit approval (lease contention).
+    CommitBeginRetry,
+    /// Namespace: lease expiry sweep.
+    LeaseSweep,
+}
+
+/// Every Sorrento message.
+// Variant fields are self-describing wire-protocol parameters
+// (req/path/offset/len/...); each variant itself is documented.
+#[allow(missing_docs)]
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Local timer.
+    Tick(Tick),
+
+    // ---- membership (§3.3) ----
+    /// Multicast provider announcement.
+    Heartbeat(Heartbeat),
+
+    // ---- namespace RPCs (§3.1) ----
+    /// Resolve a path to its entry.
+    NsLookup { req: ReqId, path: String },
+    /// Lookup reply.
+    NsLookupR { req: ReqId, result: Result<FileEntry, Error> },
+    /// Create a file entry (the client supplies the FileId it generated).
+    NsCreate { req: ReqId, path: String, file: FileId, options: FileOptions },
+    /// Create reply.
+    NsCreateR { req: ReqId, result: Result<FileEntry, Error> },
+    /// Create a directory.
+    NsMkdir { req: ReqId, path: String },
+    /// Mkdir reply.
+    NsMkdirR { req: ReqId, result: Result<(), Error> },
+    /// Remove a file entry (or empty directory); returns the removed
+    /// entry so the client can garbage-collect segments.
+    NsRemove { req: ReqId, path: String },
+    /// Remove reply.
+    NsRemoveR { req: ReqId, result: Result<FileEntry, Error> },
+    /// List the names under a directory.
+    NsList { req: ReqId, path: String },
+    /// List reply.
+    NsListR { req: ReqId, result: Result<Vec<String>, Error> },
+    /// Commit approval (Figure 6 step 7): verify `base` is still the
+    /// latest version and take the commit lock.
+    NsCommitBegin { req: ReqId, path: String, base: Version },
+    /// Commit-begin reply.
+    NsCommitBeginR { req: ReqId, result: Result<(), Error> },
+    /// Commit completion (Figure 6 step 9) or release-on-abort.
+    NsCommitEnd {
+        req: ReqId,
+        path: String,
+        commit: bool,
+        new_version: Version,
+        new_size: u64,
+    },
+    /// Commit-end reply.
+    NsCommitEndR { req: ReqId, result: Result<(), Error> },
+
+    // ---- location (§3.4) ----
+    /// Ask a home host for a segment's owners.
+    LocQuery { req: ReqId, seg: SegId },
+    /// Owners (empty when the home host has no entry).
+    LocQueryR { req: ReqId, seg: SegId, owners: Vec<(NodeId, Version)> },
+    /// Owner → home fast-path update (§3.4.1 event 4). `bytes` is the
+    /// segment's stored size (sizes inform repair-transfer budgeting and
+    /// placement).
+    LocUpsert {
+        seg: SegId,
+        owner: NodeId,
+        version: Version,
+        replication: u32,
+        bytes: u64,
+        deleted: bool,
+    },
+    /// Owner → home batched refresh (§3.4.1 events 1–3); entries are
+    /// `(segment, version, replication, stored bytes)`.
+    LocRefresh {
+        owner: NodeId,
+        entries: Vec<(SegId, Version, u32, u64)>,
+    },
+    /// Multicast fallback when the base scheme misses (§3.4.2).
+    BackupQuery { req: ReqId, seg: SegId },
+    /// Reply from each owner that actually stores the segment.
+    BackupQueryR { req: ReqId, seg: SegId, version: Version },
+
+    // ---- data path (client ↔ provider) ----
+    /// Read from a segment. Sent first to the home host, which serves
+    /// the data if it is also an owner, or redirects.
+    ReadSeg {
+        req: ReqId,
+        seg: SegId,
+        offset: u64,
+        len: u64,
+        /// Require at least this version (reject stale replicas).
+        min_version: Option<Version>,
+        /// If false, the provider must not redirect (the client already
+        /// holds the owner list).
+        allow_redirect: bool,
+    },
+    /// Read reply.
+    ReadSegR { req: ReqId, reply: ReadReply },
+    /// Open a shadow copy on an owner (base = None creates a fresh
+    /// segment on this provider).
+    CreateShadow {
+        req: ReqId,
+        seg: SegId,
+        base: Option<Version>,
+        meta: SegMeta,
+    },
+    /// Create-shadow reply.
+    CreateShadowR { req: ReqId, result: Result<ShadowId, Error> },
+    /// Write into a shadow. With `truncate`, the shadow is cut to end
+    /// exactly at `offset + payload.len()` (whole-content replacement,
+    /// used for index segments).
+    WriteShadow {
+        req: ReqId,
+        shadow: ShadowId,
+        offset: u64,
+        payload: WritePayload,
+        truncate: bool,
+    },
+    /// Write reply.
+    WriteShadowR { req: ReqId, result: Result<(), Error> },
+    /// Read through a shadow (read-your-writes).
+    ReadShadow { req: ReqId, shadow: ShadowId, offset: u64, len: u64 },
+    /// Shadow-read reply.
+    ReadShadowR { req: ReqId, reply: ReadReply },
+    /// Reset a shadow's expiration timer.
+    RenewShadow { shadow: ShadowId },
+
+    // ---- two-phase commit (§3.5) ----
+    /// Phase 1: pin shadows to their target versions.
+    Prepare { req: ReqId, items: Vec<(ShadowId, Version)> },
+    /// Prepare vote.
+    PrepareR { req: ReqId, result: Result<(), Error> },
+    /// Phase 2: commit prepared shadows.
+    Commit { req: ReqId, items: Vec<(ShadowId, Version)> },
+    /// Commit ack.
+    CommitR { req: ReqId, result: Result<(), Error> },
+    /// Abort shadows (no reply needed).
+    Abort { items: Vec<ShadowId> },
+
+    // ---- versioning-off byte-range mode (§3.5) ----
+    /// Direct in-place write.
+    DirectWrite {
+        req: ReqId,
+        seg: SegId,
+        offset: u64,
+        payload: WritePayload,
+        meta: SegMeta,
+    },
+    /// Direct-write ack.
+    DirectWriteR { req: ReqId, result: Result<(), Error> },
+
+    // ---- segment lifecycle ----
+    /// Remove all local versions of a segment (eager replica removal on
+    /// unlink, §4.1.1).
+    DeleteSeg { req: ReqId, seg: SegId },
+    /// Delete ack.
+    DeleteSegR { req: ReqId, existed: bool },
+
+    // ---- replication & migration (provider ↔ provider) ----
+    /// Fetch a materialized replica of a segment's latest version.
+    FetchSeg { req: ReqId, seg: SegId },
+    /// Replica image (bulk transfer).
+    FetchSegR { req: ReqId, result: Result<ReplicaImageBox, Error> },
+    /// Instruct `to` to synchronize/acquire `seg` from `source`
+    /// (home-host-driven lazy propagation and degree repair, §3.6; also
+    /// the client's eager-commit push). `bytes_hint` sizes the fetch
+    /// timeout. Replied with `SyncDone` when `req != 0`.
+    SyncRequest { req: ReqId, seg: SegId, source: NodeId, bytes_hint: u64 },
+    /// Ack that the target now holds `seg` at `version`.
+    SyncDone { req: ReqId, seg: SegId, version: Version, result: Result<(), Error> },
+    /// Source-driven migration: ask `dest` to pull the segment; source
+    /// erases its copy on `MigrateDone` (§3.7.1: migration = new replica
+    /// + erase local copy).
+    MigrateTo { seg: SegId, source: NodeId, bytes_hint: u64 },
+    /// Migration pull finished (or failed).
+    MigrateDone { seg: SegId, ok: bool },
+}
+
+/// Boxed replica image (large variant kept off the enum's inline size).
+pub type ReplicaImageBox = Box<ReplicaImage>;
+
+/// Short label of a message variant (diagnostics).
+pub fn dbg_kind(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::NsCreateR { .. } => "ns_create_r",
+        Msg::NsLookupR { .. } => "ns_lookup_r",
+        Msg::ReadSegR { .. } => "read_seg_r",
+        Msg::WriteShadowR { .. } => "write_shadow_r",
+        Msg::CreateShadowR { .. } => "create_shadow_r",
+        Msg::LocQueryR { .. } => "loc_query_r",
+        Msg::PrepareR { .. } => "prepare_r",
+        Msg::CommitR { .. } => "commit_r",
+        Msg::NsCommitBeginR { .. } => "commit_begin_r",
+        Msg::NsCommitEndR { .. } => "commit_end_r",
+        _ => "other",
+    }
+}
+
+/// Serialize an [`IndexSegment`] into segment bytes.
+pub fn encode_index(ix: &IndexSegment) -> Vec<u8> {
+    serde_json::to_vec(ix).expect("index segments always serialize")
+}
+
+/// Parse segment bytes back into an [`IndexSegment`].
+pub fn decode_index(bytes: &[u8]) -> Option<IndexSegment> {
+    serde_json::from_slice(bytes).ok()
+}
+
+fn payload_size(p: &WritePayload) -> u64 {
+    p.len()
+}
+
+impl Payload for Msg {
+    fn wire_size(&self) -> u64 {
+        let body = match self {
+            Msg::Tick(_) => 0,
+            Msg::Heartbeat(_) => 64,
+            Msg::NsLookup { path, .. }
+            | Msg::NsMkdir { path, .. }
+            | Msg::NsRemove { path, .. }
+            | Msg::NsList { path, .. } => path.len() as u64,
+            Msg::NsCreate { path, .. } => path.len() as u64 + 64,
+            Msg::NsLookupR { .. } | Msg::NsCreateR { .. } | Msg::NsRemoveR { .. } => 128,
+            Msg::NsMkdirR { .. } => 16,
+            Msg::NsListR { result, .. } => result
+                .as_ref()
+                .map(|names| names.iter().map(|n| n.len() as u64 + 8).sum())
+                .unwrap_or(16),
+            Msg::NsCommitBegin { path, .. } | Msg::NsCommitEnd { path, .. } => {
+                path.len() as u64 + 24
+            }
+            Msg::NsCommitBeginR { .. } | Msg::NsCommitEndR { .. } => 16,
+            Msg::LocQuery { .. } => 24,
+            Msg::LocQueryR { owners, .. } => 24 + owners.len() as u64 * 16,
+            Msg::LocUpsert { .. } => 56,
+            Msg::LocRefresh { entries, .. } => 16 + entries.len() as u64 * 36,
+            Msg::BackupQuery { .. } => 24,
+            Msg::BackupQueryR { .. } => 32,
+            Msg::ReadSeg { .. } => 48,
+            Msg::ReadSegR { reply, .. } | Msg::ReadShadowR { reply, .. } => match reply {
+                ReadReply::Data { len, .. } => 32 + len,
+                ReadReply::Redirect(owners) => 16 + owners.len() as u64 * 16,
+                ReadReply::Err(_) => 16,
+            },
+            Msg::CreateShadow { .. } => 72,
+            Msg::CreateShadowR { .. } => 24,
+            Msg::WriteShadow { payload, .. } => 32 + payload_size(payload),
+            Msg::WriteShadowR { .. } => 16,
+            Msg::ReadShadow { .. } => 40,
+            Msg::RenewShadow { .. } => 16,
+            Msg::Prepare { items, .. } | Msg::Commit { items, .. } => {
+                16 + items.len() as u64 * 24
+            }
+            Msg::PrepareR { .. } | Msg::CommitR { .. } => 16,
+            Msg::Abort { items } => 16 + items.len() as u64 * 8,
+            Msg::DirectWrite { payload, .. } => 72 + payload_size(payload),
+            Msg::DirectWriteR { .. } => 16,
+            Msg::DeleteSeg { .. } => 24,
+            Msg::DeleteSegR { .. } => 16,
+            Msg::FetchSeg { .. } => 24,
+            Msg::FetchSegR { result, .. } => match result {
+                Ok(img) => 64 + img.len,
+                Err(_) => 16,
+            },
+            Msg::SyncRequest { .. } => 40,
+            Msg::SyncDone { .. } => 32,
+            Msg::MigrateTo { .. } => 24,
+            Msg::MigrateDone { .. } => 24,
+        };
+        RPC_HEADER + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Organization;
+
+    #[test]
+    fn bulk_messages_charge_payload_bytes() {
+        let small = Msg::ReadSeg {
+            req: 1,
+            seg: SegId(1),
+            offset: 0,
+            len: 4_000_000,
+            min_version: None,
+            allow_redirect: true,
+        };
+        assert!(small.wire_size() < 512);
+        let reply = Msg::ReadSegR {
+            req: 1,
+            reply: ReadReply::Data {
+                len: 4_000_000,
+                data: None,
+                version: Version(1),
+            },
+        };
+        assert!(reply.wire_size() > 4_000_000);
+        let w = Msg::WriteShadow {
+            req: 2,
+            shadow: 1,
+            offset: 0,
+            payload: WritePayload::Synthetic { len: 1_000_000 },
+            truncate: false,
+        };
+        assert!(w.wire_size() > 1_000_000);
+    }
+
+    #[test]
+    fn ticks_are_free() {
+        assert_eq!(Msg::Tick(Tick::Heartbeat).wire_size(), RPC_HEADER);
+    }
+
+    #[test]
+    fn index_segment_round_trips_through_bytes() {
+        let mut ix = IndexSegment::new(
+            FileId(42),
+            FileOptions {
+                organization: Organization::Hybrid { group_stripes: 2 },
+                replication: 3,
+                ..FileOptions::default()
+            },
+        );
+        let mut n = 0u64;
+        ix.plan_write(0, 5 << 20, || {
+            n += 1;
+            SegId::derive(1, n, 7)
+        });
+        ix.apply_write(0, 5 << 20);
+        let bytes = encode_index(&ix);
+        let back = decode_index(&bytes).unwrap();
+        assert_eq!(back, ix);
+        assert!(decode_index(b"garbage").is_none());
+    }
+}

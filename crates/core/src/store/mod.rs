@@ -1,0 +1,1295 @@
+//! The local segment store run by every storage provider (§3.2, §3.5).
+//!
+//! Segments live "in their entirety on native file systems"; here the
+//! native file system is modeled and the store keeps, per segment, a
+//! chain of committed versions plus any open shadow copies:
+//!
+//! * **Committed versions** are immutable. Each holds the bytes written
+//!   *at* that version (its delta) plus a [`RegionIndex`] telling which
+//!   version physically holds every byte — the standard copy-on-write
+//!   technique of §3.5.
+//! * **Shadow copies** are created blank and "truncated to the same size
+//!   as the base segment"; unmodified regions resolve into the base
+//!   chain, modified regions into the shadow's own delta. Shadows carry
+//!   an expiration time so crashed clients cannot leak them.
+//! * **Version consolidation** keeps only the most recent
+//!   [`LocalStore::keep_versions`] versions, materializing the oldest
+//!   survivor so dropped ancestors are safe to free.
+//!
+//! Segment payloads are either real bytes (integration tests verify exact
+//! round-trips) or synthetic lengths (multi-GB experiments without the
+//! RAM); the choice is per segment via [`SegMeta::synthetic`].
+
+mod region;
+mod sparse;
+
+pub use region::RegionIndex;
+pub use sparse::SparseBuffer;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use sorrento_sim::SimTime;
+
+use crate::types::{Error, FileOptions, PlacementPolicy, Result, SegId, Version};
+
+/// Identifier of an open shadow copy on one provider.
+pub type ShadowId = u64;
+
+/// Bytes handed to a write: real data or a modeled length.
+#[derive(Debug, Clone)]
+pub enum WritePayload {
+    /// Actual bytes (stored and readable back).
+    Real(Vec<u8>),
+    /// Modeled bytes (only the length is tracked).
+    Synthetic {
+        /// Modeled write length.
+        len: u64,
+    },
+}
+
+impl WritePayload {
+    /// Length of the write in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            WritePayload::Real(d) => d.len() as u64,
+            WritePayload::Synthetic { len } => *len,
+        }
+    }
+
+    /// Whether the write carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-segment management metadata, set at creation from [`FileOptions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegMeta {
+    /// Desired replication degree.
+    pub replication: u32,
+    /// Placement favoritism α.
+    pub alpha: f64,
+    /// Placement policy governing this segment.
+    pub policy: PlacementPolicy,
+    /// Whether payloads are synthetic (lengths only).
+    pub synthetic: bool,
+}
+
+impl SegMeta {
+    /// Derive segment metadata from the owning file's options.
+    pub fn from_options(opts: &FileOptions, synthetic: bool) -> SegMeta {
+        SegMeta {
+            replication: opts.replication,
+            alpha: opts.alpha,
+            policy: opts.placement,
+            synthetic,
+        }
+    }
+}
+
+impl Default for SegMeta {
+    fn default() -> Self {
+        SegMeta {
+            replication: 1,
+            alpha: 0.5,
+            policy: PlacementPolicy::LoadAware,
+            synthetic: false,
+        }
+    }
+}
+
+/// Physical storage of one version's delta.
+#[derive(Debug, Clone)]
+enum Delta {
+    Real(SparseBuffer),
+    Synthetic { stored: u64 },
+}
+
+impl Delta {
+    fn new(synthetic: bool) -> Delta {
+        if synthetic {
+            Delta::Synthetic { stored: 0 }
+        } else {
+            Delta::Real(SparseBuffer::new())
+        }
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        match self {
+            Delta::Real(b) => b.stored_bytes(),
+            Delta::Synthetic { stored } => *stored,
+        }
+    }
+}
+
+/// Source marker inside a shadow's region index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShadowSrc {
+    /// Bytes live in the committed chain at this version.
+    Committed(Version),
+    /// Bytes written into this shadow.
+    Fresh,
+}
+
+/// One committed, immutable version of a segment.
+#[derive(Debug, Clone)]
+struct VersionData {
+    len: u64,
+    index: RegionIndex<Version>,
+    delta: Delta,
+    committed_at: SimTime,
+}
+
+/// Everything the provider stores for one segment.
+#[derive(Debug)]
+struct SegmentState {
+    versions: BTreeMap<Version, VersionData>,
+    /// Milestone versions that consolidation must never drop (§3.5's
+    /// Elephant-style milestones, listed as planned work in the paper).
+    pinned: Vec<Version>,
+    meta: SegMeta,
+    last_access: SimTime,
+    /// Recent accesses as `(machine, bytes)`, newest at the back; bounded
+    /// to [`ACCESS_HISTORY_CAP`] (§3.7.2: "the latest one thousand
+    /// accesses").
+    access_history: VecDeque<(u32, u64)>,
+}
+
+/// "We also limit the memory consumption by only keeping the latest one
+/// thousand accesses for the most recently accessed one thousand
+/// segments." (§3.7.2)
+pub const ACCESS_HISTORY_CAP: usize = 1000;
+/// Cap on how many segments keep an access history at once.
+pub const TRACKED_SEGMENTS_CAP: usize = 1000;
+
+/// An open shadow copy (pre-commit mutable view of a segment).
+#[derive(Debug)]
+struct Shadow {
+    seg: SegId,
+    base: Option<Version>,
+    len: u64,
+    index: RegionIndex<ShadowSrc>,
+    delta: Delta,
+    expires_at: SimTime,
+    meta: SegMeta,
+    /// Set by 2PC prepare: shadow may no longer expire and is pinned to
+    /// this target version until commit or abort.
+    prepared_as: Option<Version>,
+}
+
+/// Outcome of a read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadOut {
+    /// Bytes actually covered (clamped at segment length).
+    pub len: u64,
+    /// The bytes, when the segment stores real data.
+    pub data: Option<Vec<u8>>,
+    /// Version served.
+    pub version: Version,
+}
+
+/// A materialized replica image for transfer between providers.
+#[derive(Debug, Clone)]
+pub struct ReplicaImage {
+    /// Segment identity.
+    pub seg: SegId,
+    /// Version captured.
+    pub version: Version,
+    /// Logical segment length.
+    pub len: u64,
+    /// Full contents when real; `None` when synthetic.
+    pub data: Option<Vec<u8>>,
+    /// Management metadata.
+    pub meta: SegMeta,
+}
+
+/// The per-provider segment store.
+#[derive(Debug)]
+pub struct LocalStore {
+    segments: HashMap<SegId, SegmentState>,
+    shadows: HashMap<ShadowId, Shadow>,
+    next_shadow: ShadowId,
+    /// Committed versions retained per segment ("one or a few latest
+    /// stable versions", §3.5 — older ones double as backups).
+    pub keep_versions: usize,
+}
+
+impl Default for LocalStore {
+    fn default() -> Self {
+        LocalStore::new(1)
+    }
+}
+
+impl LocalStore {
+    /// Create a store keeping `keep_versions` committed versions per
+    /// segment (≥ 1).
+    pub fn new(keep_versions: usize) -> LocalStore {
+        LocalStore {
+            segments: HashMap::new(),
+            shadows: HashMap::new(),
+            next_shadow: 1,
+            keep_versions: keep_versions.max(1),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shadows
+    // ------------------------------------------------------------------
+
+    /// Open a shadow over `base` of an existing segment. Fails if the
+    /// base version is not locally stored.
+    pub fn open_shadow(
+        &mut self,
+        seg: SegId,
+        base: Version,
+        now: SimTime,
+        ttl: sorrento_sim::Dur,
+    ) -> Result<ShadowId> {
+        let state = self.segments.get(&seg).ok_or(Error::NoSuchSegment)?;
+        let vd = state.versions.get(&base).ok_or(Error::NoSuchSegment)?;
+        let len = vd.len;
+        let meta = state.meta;
+        // "create a blank segment and truncate it to the same size as the
+        // base segment": every byte initially resolves into the base.
+        let index = RegionIndex::full(len, Some(ShadowSrc::Committed(base)));
+        let id = self.alloc_shadow(Shadow {
+            seg,
+            base: Some(base),
+            len,
+            index,
+            delta: Delta::new(meta.synthetic),
+            expires_at: now + ttl,
+            meta,
+            prepared_as: None,
+        });
+        Ok(id)
+    }
+
+    /// Open a shadow for a brand-new segment (no committed base yet).
+    pub fn open_fresh_shadow(
+        &mut self,
+        seg: SegId,
+        meta: SegMeta,
+        now: SimTime,
+        ttl: sorrento_sim::Dur,
+    ) -> ShadowId {
+        self.alloc_shadow(Shadow {
+            seg,
+            base: None,
+            len: 0,
+            index: RegionIndex::full(0, None),
+            delta: Delta::new(meta.synthetic),
+            expires_at: now + ttl,
+            meta,
+            prepared_as: None,
+        })
+    }
+
+    fn alloc_shadow(&mut self, shadow: Shadow) -> ShadowId {
+        let id = self.next_shadow;
+        self.next_shadow += 1;
+        self.shadows.insert(id, shadow);
+        id
+    }
+
+    /// Write into a shadow. Extends the shadow length on append.
+    pub fn write_shadow(&mut self, id: ShadowId, offset: u64, payload: WritePayload) -> Result<()> {
+        let sh = self.shadows.get_mut(&id).ok_or(Error::ShadowExpired)?;
+        let len = payload.len();
+        if len == 0 {
+            return Ok(());
+        }
+        let end = offset + len;
+        match (&mut sh.delta, payload) {
+            (Delta::Real(buf), WritePayload::Real(data)) => buf.write(offset, &data),
+            (Delta::Synthetic { stored }, _) => {
+                // Account newly covered fresh bytes only.
+                let already = sh
+                    .index
+                    .resolve(offset, end)
+                    .iter()
+                    .filter(|(_, s)| *s == Some(ShadowSrc::Fresh))
+                    .map(|(r, _)| r.end - r.start)
+                    .sum::<u64>();
+                *stored += len - already;
+            }
+            (Delta::Real(buf), WritePayload::Synthetic { len }) => {
+                // Tests may mix: fill with zeros of the modeled length.
+                buf.write(offset, &vec![0u8; len as usize]);
+            }
+        }
+        sh.index.overlay(offset, end, Some(ShadowSrc::Fresh));
+        sh.len = sh.len.max(end);
+        Ok(())
+    }
+
+    /// Truncate a shadow to `len`.
+    pub fn truncate_shadow(&mut self, id: ShadowId, len: u64) -> Result<()> {
+        let sh = self.shadows.get_mut(&id).ok_or(Error::ShadowExpired)?;
+        sh.index.set_len(len);
+        if let Delta::Real(buf) = &mut sh.delta {
+            buf.truncate(len);
+        }
+        sh.len = len;
+        Ok(())
+    }
+
+    /// Read through a shadow (read-your-writes before commit).
+    pub fn read_shadow(&self, id: ShadowId, offset: u64, len: u64) -> Result<ReadOut> {
+        let sh = self.shadows.get(&id).ok_or(Error::ShadowExpired)?;
+        let end = (offset + len).min(sh.len);
+        if offset >= end {
+            return Ok(ReadOut {
+                len: 0,
+                data: (!sh.meta.synthetic).then(Vec::new),
+                version: sh.base.unwrap_or(Version::INITIAL),
+            });
+        }
+        let covered = end - offset;
+        if sh.meta.synthetic {
+            return Ok(ReadOut {
+                len: covered,
+                data: None,
+                version: sh.base.unwrap_or(Version::INITIAL),
+            });
+        }
+        let mut out = vec![0u8; covered as usize];
+        for (range, src) in sh.index.resolve(offset, end) {
+            let dst = &mut out[(range.start - offset) as usize..(range.end - offset) as usize];
+            match src {
+                Some(ShadowSrc::Fresh) => {
+                    if let Delta::Real(buf) = &sh.delta {
+                        buf.read_into(range.start, dst);
+                    }
+                }
+                Some(ShadowSrc::Committed(v)) => {
+                    self.read_committed_into(sh.seg, v, range.start, dst)?;
+                }
+                None => {} // hole: zeros
+            }
+        }
+        Ok(ReadOut {
+            len: covered,
+            data: Some(out),
+            version: sh.base.unwrap_or(Version::INITIAL),
+        })
+    }
+
+    /// Renew a shadow's expiration (the client "must either commit a
+    /// shadow segment before its expiration, or reset the expiration
+    /// timer", §3.5).
+    pub fn renew_shadow(&mut self, id: ShadowId, now: SimTime, ttl: sorrento_sim::Dur) -> Result<()> {
+        let sh = self.shadows.get_mut(&id).ok_or(Error::ShadowExpired)?;
+        sh.expires_at = now + ttl;
+        Ok(())
+    }
+
+    /// 2PC prepare: pin the shadow to a target version; it can no longer
+    /// expire. Fails if the target does not advance the latest committed
+    /// version.
+    pub fn prepare_shadow(&mut self, id: ShadowId, target: Version) -> Result<()> {
+        // Validate against the committed chain before mutating.
+        let (seg, base) = {
+            let sh = self.shadows.get(&id).ok_or(Error::ShadowExpired)?;
+            (sh.seg, sh.base)
+        };
+        if let Some(state) = self.segments.get(&seg) {
+            if let Some((&latest, _)) = state.versions.iter().next_back() {
+                if target <= latest {
+                    return Err(Error::VersionConflict);
+                }
+                if base != Some(latest) {
+                    return Err(Error::VersionConflict);
+                }
+            }
+        }
+        let sh = self.shadows.get_mut(&id).expect("checked above");
+        sh.prepared_as = Some(target);
+        Ok(())
+    }
+
+    /// 2PC commit (or direct single-segment commit): the shadow becomes
+    /// committed version `target`.
+    pub fn commit_shadow(&mut self, id: ShadowId, target: Version, now: SimTime) -> Result<()> {
+        let sh = self.shadows.remove(&id).ok_or(Error::ShadowExpired)?;
+        // Compose the committed index *transitively*: a shadow's
+        // unmodified ranges point at its base version, but the base's
+        // bytes may physically live in even older deltas — the committed
+        // index must name the version whose delta actually holds each
+        // byte, or deep version chains would read zeros.
+        let index = match sh.base {
+            Some(base) => {
+                let mut ix = self
+                    .segments
+                    .get(&sh.seg)
+                    .and_then(|st| st.versions.get(&base))
+                    .map(|vd| vd.index.clone())
+                    .unwrap_or_else(|| RegionIndex::full(0, None));
+                ix.set_len(sh.len);
+                for (range, src) in sh.index.resolve(0, sh.len) {
+                    if src == Some(ShadowSrc::Fresh) {
+                        ix.overlay(range.start, range.end, Some(target));
+                    }
+                }
+                ix
+            }
+            None => sh.index.map_sources(|s| match s {
+                ShadowSrc::Fresh => target,
+                ShadowSrc::Committed(v) => v,
+            }),
+        };
+        let vd = VersionData {
+            len: sh.len,
+            index,
+            delta: sh.delta,
+            committed_at: now,
+        };
+        let state = self
+            .segments
+            .entry(sh.seg)
+            .or_insert_with(|| SegmentState {
+                versions: BTreeMap::new(),
+                pinned: Vec::new(),
+                meta: sh.meta,
+                last_access: now,
+                access_history: VecDeque::new(),
+            });
+        state.versions.insert(target, vd);
+        state.last_access = now;
+        let seg = sh.seg;
+        self.consolidate(seg);
+        Ok(())
+    }
+
+    /// 2PC abort: drop the shadow.
+    pub fn abort_shadow(&mut self, id: ShadowId) {
+        self.shadows.remove(&id);
+    }
+
+    /// Drop expired, unprepared shadows; returns how many were reaped.
+    pub fn expire_shadows(&mut self, now: SimTime) -> usize {
+        let before = self.shadows.len();
+        self.shadows
+            .retain(|_, s| s.prepared_as.is_some() || s.expires_at >= now);
+        before - self.shadows.len()
+    }
+
+    /// Drop every shadow (crash: in-memory shadow state dies with the
+    /// daemon; committed segments survive on disk).
+    pub fn expire_all_shadows(&mut self) {
+        self.shadows.clear();
+    }
+
+    /// Which segment a shadow belongs to.
+    pub fn shadow_segment(&self, id: ShadowId) -> Option<SegId> {
+        self.shadows.get(&id).map(|s| s.seg)
+    }
+
+    /// Number of open shadows (diagnostics).
+    pub fn open_shadow_count(&self) -> usize {
+        self.shadows.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Committed reads & direct (versioning-off) writes
+    // ------------------------------------------------------------------
+
+    /// Read `len` bytes at `offset` from `version` (or the latest).
+    pub fn read(
+        &self,
+        seg: SegId,
+        version: Option<Version>,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOut> {
+        let state = self.segments.get(&seg).ok_or(Error::NoSuchSegment)?;
+        let (v, vd) = match version {
+            Some(v) => (v, state.versions.get(&v).ok_or(Error::NoSuchSegment)?),
+            None => {
+                let (&v, vd) = state.versions.iter().next_back().ok_or(Error::NoSuchSegment)?;
+                (v, vd)
+            }
+        };
+        let end = (offset + len).min(vd.len);
+        let covered = end.saturating_sub(offset);
+        if state.meta.synthetic {
+            return Ok(ReadOut {
+                len: covered,
+                data: None,
+                version: v,
+            });
+        }
+        let mut out = vec![0u8; covered as usize];
+        if covered > 0 {
+            self.read_version_into(state, vd, offset, &mut out)?;
+        }
+        Ok(ReadOut {
+            len: covered,
+            data: Some(out),
+            version: v,
+        })
+    }
+
+    fn read_version_into(
+        &self,
+        state: &SegmentState,
+        vd: &VersionData,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<()> {
+        let end = offset + out.len() as u64;
+        for (range, src) in vd.index.resolve(offset, end) {
+            if let Some(src_v) = src {
+                let holder = state.versions.get(&src_v).ok_or(Error::NoSuchSegment)?;
+                if let Delta::Real(buf) = &holder.delta {
+                    let dst =
+                        &mut out[(range.start - offset) as usize..(range.end - offset) as usize];
+                    buf.read_into(range.start, dst);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_committed_into(
+        &self,
+        seg: SegId,
+        version: Version,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<()> {
+        let state = self.segments.get(&seg).ok_or(Error::NoSuchSegment)?;
+        let vd = state.versions.get(&version).ok_or(Error::NoSuchSegment)?;
+        self.read_version_into(state, vd, offset, out)
+    }
+
+    /// Versioning-off write path (§3.5): apply directly to the latest
+    /// committed version in place. Creates version 1 on first write.
+    pub fn direct_write(
+        &mut self,
+        seg: SegId,
+        offset: u64,
+        payload: WritePayload,
+        meta: SegMeta,
+        now: SimTime,
+    ) -> Result<()> {
+        let wlen = payload.len();
+        let end = offset + wlen;
+        let state = self.segments.entry(seg).or_insert_with(|| SegmentState {
+            versions: BTreeMap::new(),
+            pinned: Vec::new(),
+            meta,
+            last_access: now,
+            access_history: VecDeque::new(),
+        });
+        if state.versions.is_empty() {
+            state.versions.insert(
+                Version(1),
+                VersionData {
+                    len: 0,
+                    index: RegionIndex::full(0, None),
+                    delta: Delta::new(meta.synthetic),
+                    committed_at: now,
+                },
+            );
+        }
+        if wlen == 0 {
+            return Ok(());
+        }
+        let (&v, vd) = state.versions.iter_mut().next_back().expect("non-empty");
+        match (&mut vd.delta, payload) {
+            (Delta::Real(buf), WritePayload::Real(data)) => buf.write(offset, &data),
+            (Delta::Real(buf), WritePayload::Synthetic { len }) => {
+                buf.write(offset, &vec![0u8; len as usize])
+            }
+            (Delta::Synthetic { stored }, _) => {
+                let already = vd
+                    .index
+                    .resolve(offset, end)
+                    .iter()
+                    .filter(|(_, s)| s.is_some())
+                    .map(|(r, _)| r.end - r.start)
+                    .sum::<u64>();
+                *stored += wlen - already;
+            }
+        }
+        vd.index.overlay(offset, end, Some(v));
+        vd.len = vd.len.max(end);
+        state.last_access = now;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Replication / migration support
+    // ------------------------------------------------------------------
+
+    /// Materialize the given (or latest) version for transfer.
+    pub fn export(&self, seg: SegId, version: Option<Version>) -> Result<ReplicaImage> {
+        let state = self.segments.get(&seg).ok_or(Error::NoSuchSegment)?;
+        let (v, vd) = match version {
+            Some(v) => (v, state.versions.get(&v).ok_or(Error::NoSuchSegment)?),
+            None => {
+                let (&v, vd) = state.versions.iter().next_back().ok_or(Error::NoSuchSegment)?;
+                (v, vd)
+            }
+        };
+        let data = if state.meta.synthetic {
+            None
+        } else {
+            let mut out = vec![0u8; vd.len as usize];
+            self.read_version_into(state, vd, 0, &mut out)?;
+            Some(out)
+        };
+        Ok(ReplicaImage {
+            seg,
+            version: v,
+            len: vd.len,
+            data,
+            meta: state.meta,
+        })
+    }
+
+    /// Install a replica fetched from another owner. Replaces any older
+    /// local versions (they are now stale); ignored if a strictly newer
+    /// version is already held.
+    pub fn install_replica(&mut self, image: ReplicaImage, now: SimTime) -> Result<bool> {
+        if let Some(state) = self.segments.get(&image.seg) {
+            if let Some((&latest, _)) = state.versions.iter().next_back() {
+                if latest >= image.version {
+                    return Ok(false);
+                }
+            }
+        }
+        let delta = match (&image.data, image.meta.synthetic) {
+            (Some(bytes), _) => {
+                let mut buf = SparseBuffer::new();
+                buf.write(0, bytes);
+                Delta::Real(buf)
+            }
+            (None, _) => Delta::Synthetic { stored: image.len },
+        };
+        let vd = VersionData {
+            len: image.len,
+            index: RegionIndex::full(image.len, Some(image.version)),
+            delta,
+            committed_at: now,
+        };
+        let state = self
+            .segments
+            .entry(image.seg)
+            .or_insert_with(|| SegmentState {
+                versions: BTreeMap::new(),
+                pinned: Vec::new(),
+                meta: image.meta,
+                last_access: now,
+                access_history: VecDeque::new(),
+            });
+        // Older versions are stale relative to a synced replica — but
+        // pinned milestones survive (they are self-contained).
+        let pinned = state.pinned.clone();
+        state.versions.retain(|v, _| pinned.contains(v));
+        state.versions.insert(image.version, vd);
+        Ok(true)
+    }
+
+    /// Remove a segment entirely; returns whether it existed.
+    pub fn delete_segment(&mut self, seg: SegId) -> bool {
+        self.segments.remove(&seg).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection & temperature
+    // ------------------------------------------------------------------
+
+    /// Whether the exact committed version is held locally.
+    pub fn has_version(&self, seg: SegId, version: Version) -> bool {
+        self.segments
+            .get(&seg)
+            .is_some_and(|s| s.versions.contains_key(&version))
+    }
+
+    /// Latest committed version of a segment.
+    pub fn latest(&self, seg: SegId) -> Option<Version> {
+        self.segments
+            .get(&seg)?
+            .versions
+            .keys()
+            .next_back()
+            .copied()
+    }
+
+    /// Whether the segment has any committed version.
+    pub fn has_segment(&self, seg: SegId) -> bool {
+        self.segments.contains_key(&seg)
+    }
+
+    /// Segment management metadata.
+    pub fn meta(&self, seg: SegId) -> Option<SegMeta> {
+        self.segments.get(&seg).map(|s| s.meta)
+    }
+
+    /// Logical length of a segment's latest version.
+    pub fn seg_len(&self, seg: SegId) -> Option<u64> {
+        let state = self.segments.get(&seg)?;
+        state.versions.values().next_back().map(|v| v.len)
+    }
+
+    /// All locally stored segments with their latest versions.
+    pub fn list_segments(&self) -> Vec<(SegId, Version)> {
+        let mut v: Vec<(SegId, Version)> = self
+            .segments
+            .iter()
+            .filter_map(|(&s, st)| st.versions.keys().next_back().map(|&ver| (s, ver)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Physically stored bytes for one segment (all kept versions).
+    pub fn stored_bytes(&self, seg: SegId) -> u64 {
+        self.segments
+            .get(&seg)
+            .map(|s| s.versions.values().map(|v| v.delta.stored_bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Physically stored bytes across all segments and shadows.
+    pub fn total_stored_bytes(&self) -> u64 {
+        let committed: u64 = self
+            .segments
+            .values()
+            .flat_map(|s| s.versions.values())
+            .map(|v| v.delta.stored_bytes())
+            .sum();
+        let shadows: u64 = self.shadows.values().map(|s| s.delta.stored_bytes()).sum();
+        committed + shadows
+    }
+
+    /// Record an access for temperature (LAT) and locality tracking.
+    pub fn touch(&mut self, seg: SegId, now: SimTime, machine: u32, bytes: u64) {
+        if let Some(state) = self.segments.get_mut(&seg) {
+            state.last_access = now;
+            if matches!(state.meta.policy, PlacementPolicy::LocalityDriven { .. }) {
+                state.access_history.push_back((machine, bytes));
+                while state.access_history.len() > ACCESS_HISTORY_CAP {
+                    state.access_history.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Last access time (the temperature measure of §3.7.1).
+    pub fn last_access(&self, seg: SegId) -> Option<SimTime> {
+        self.segments.get(&seg).map(|s| s.last_access)
+    }
+
+    /// Traffic share per machine over the recorded access history:
+    /// `(machine, fraction_of_bytes)` sorted descending. Used by the
+    /// locality-driven policy.
+    pub fn traffic_shares(&self, seg: SegId) -> Vec<(u32, f64)> {
+        let Some(state) = self.segments.get(&seg) else {
+            return Vec::new();
+        };
+        let total: u64 = state.access_history.iter().map(|(_, b)| *b).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut per: HashMap<u32, u64> = HashMap::new();
+        for &(m, b) in &state.access_history {
+            *per.entry(m).or_default() += b;
+        }
+        let mut out: Vec<(u32, f64)> = per
+            .into_iter()
+            .map(|(m, b)| (m, b as f64 / total as f64))
+            .collect();
+        // Deterministic order: fraction descending, machine id tiebreak.
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite fractions")
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// Segments sorted by last-access time, oldest (coldest) first.
+    pub fn segments_by_temperature(&self) -> Vec<(SegId, SimTime, u64)> {
+        let mut v: Vec<(SegId, SimTime, u64)> = self
+            .segments
+            .iter()
+            .map(|(&s, st)| {
+                let bytes: u64 = st.versions.values().map(|v| v.delta.stored_bytes()).sum();
+                (s, st.last_access, bytes)
+            })
+            .collect();
+        v.sort_by_key(|&(s, t, _)| (t, s));
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Milestones & consolidation
+    // ------------------------------------------------------------------
+
+    /// Pin `version` as a milestone: consolidation will never drop it.
+    /// The version is materialized (made self-contained) so dropping its
+    /// ancestors later stays safe. Fails if the version is not held.
+    pub fn pin_version(&mut self, seg: SegId, version: Version) -> Result<()> {
+        let state = self.segments.get(&seg).ok_or(Error::NoSuchSegment)?;
+        if !state.versions.contains_key(&version) {
+            return Err(Error::NoSuchSegment);
+        }
+        if let Some(vd) = self.materialized_copy(seg, version)? {
+            let state = self.segments.get_mut(&seg).expect("present");
+            state.versions.insert(version, vd);
+        }
+        let state = self.segments.get_mut(&seg).expect("present");
+        if !state.pinned.contains(&version) {
+            state.pinned.push(version);
+        }
+        Ok(())
+    }
+
+    /// Release a milestone pin; the version becomes eligible for
+    /// consolidation again. Returns whether it was pinned.
+    pub fn unpin_version(&mut self, seg: SegId, version: Version) -> bool {
+        match self.segments.get_mut(&seg) {
+            Some(state) => {
+                let had = state.pinned.contains(&version);
+                state.pinned.retain(|&v| v != version);
+                had
+            }
+            None => false,
+        }
+    }
+
+    /// The pinned milestone versions of a segment.
+    pub fn pinned_versions(&self, seg: SegId) -> Vec<Version> {
+        self.segments
+            .get(&seg)
+            .map(|s| {
+                let mut p = s.pinned.clone();
+                p.sort();
+                p
+            })
+            .unwrap_or_default()
+    }
+
+    /// A self-contained (single-delta, self-referential-index) copy of a
+    /// version, or `None` when it already is self-contained.
+    fn materialized_copy(&self, seg: SegId, version: Version) -> Result<Option<VersionData>> {
+        let state = self.segments.get(&seg).ok_or(Error::NoSuchSegment)?;
+        let vd = state.versions.get(&version).ok_or(Error::NoSuchSegment)?;
+        let needs = vd.index.sources().iter().any(|&v| v != version);
+        if !needs {
+            return Ok(None);
+        }
+        let delta = if state.meta.synthetic {
+            Delta::Synthetic { stored: vd.len }
+        } else {
+            let mut out = vec![0u8; vd.len as usize];
+            self.read_version_into(state, vd, 0, &mut out)?;
+            let mut buf = SparseBuffer::new();
+            buf.write(0, &out);
+            Delta::Real(buf)
+        };
+        Ok(Some(VersionData {
+            len: vd.len,
+            index: RegionIndex::full(vd.len, Some(version)),
+            delta,
+            committed_at: vd.committed_at,
+        }))
+    }
+
+    /// Enforce the version retention policy for `seg`: keep the
+    /// `keep_versions` most recent unpinned versions (plus all pinned
+    /// milestones), materializing any survivor whose copy-on-write index
+    /// still references a version about to be dropped.
+    ///
+    /// Materialization (rather than reference remapping) is required for
+    /// correctness: with entropy-disambiguated versions, a survivor's
+    /// dangling reference may name a *sibling* orphan rather than an
+    /// ancestor, so no retained version can stand in for the dropped
+    /// bytes — they must be copied out while the chain is still intact.
+    fn consolidate(&mut self, seg: SegId) {
+        let Some(state) = self.segments.get(&seg) else {
+            return;
+        };
+        // Pinned milestones don't count against the retention budget.
+        let unpinned = state
+            .versions
+            .keys()
+            .filter(|v| !state.pinned.contains(v))
+            .count();
+        if unpinned <= self.keep_versions {
+            return;
+        }
+        let keep_from = *state
+            .versions
+            .keys()
+            .filter(|v| !state.pinned.contains(v))
+            .rev()
+            .nth(self.keep_versions - 1)
+            .expect("unpinned > keep_versions >= 1");
+        let retained: Vec<Version> = state
+            .versions
+            .keys()
+            .filter(|&&v| v >= keep_from || state.pinned.contains(&v))
+            .copied()
+            .collect();
+        // Materialize every survivor that references a doomed version,
+        // while the full chain is still readable.
+        let mut replacements: Vec<(Version, VersionData)> = Vec::new();
+        for &v in &retained {
+            let state = self.segments.get(&seg).expect("present");
+            let vd = state.versions.get(&v).expect("present");
+            let dangling = vd
+                .index
+                .sources()
+                .iter()
+                .any(|src| !retained.contains(src));
+            if dangling {
+                if let Ok(Some(copy)) = self.materialized_copy(seg, v) {
+                    replacements.push((v, copy));
+                }
+            }
+        }
+        let state = self.segments.get_mut(&seg).expect("present");
+        for (v, vd) in replacements {
+            state.versions.insert(v, vd);
+        }
+        state.versions.retain(|v, _| retained.contains(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorrento_sim::Dur;
+
+    const TTL: Dur = Dur::nanos(60_000_000_000);
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + Dur::secs(s)
+    }
+
+    fn seg(n: u64) -> SegId {
+        SegId::derive(1, n, 0)
+    }
+
+    fn real_meta() -> SegMeta {
+        SegMeta::default()
+    }
+
+    fn commit_fresh(store: &mut LocalStore, s: SegId, data: &[u8]) -> Version {
+        let sh = store.open_fresh_shadow(s, real_meta(), t(0), TTL);
+        store
+            .write_shadow(sh, 0, WritePayload::Real(data.to_vec()))
+            .unwrap();
+        store.commit_shadow(sh, Version(1), t(0)).unwrap();
+        Version(1)
+    }
+
+    #[test]
+    fn fresh_commit_and_read_back() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"hello world");
+        let out = st.read(s, None, 0, 100).unwrap();
+        assert_eq!(out.len, 11);
+        assert_eq!(out.data.unwrap(), b"hello world");
+        assert_eq!(out.version, Version(1));
+        assert_eq!(st.seg_len(s), Some(11));
+    }
+
+    #[test]
+    fn cow_shadow_reads_through_base() {
+        let mut st = LocalStore::new(3);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"aaaaaaaaaa");
+        let sh = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
+        st.write_shadow(sh, 3, WritePayload::Real(b"BBB".to_vec()))
+            .unwrap();
+        // Read-your-writes through the shadow.
+        let pre = st.read_shadow(sh, 0, 10).unwrap();
+        assert_eq!(pre.data.unwrap(), b"aaaBBBaaaa");
+        // Base version unchanged.
+        let base = st.read(s, Some(Version(1)), 0, 10).unwrap();
+        assert_eq!(base.data.unwrap(), b"aaaaaaaaaa");
+        // Commit: v2 visible, v1 still intact (keep_versions = 3).
+        st.commit_shadow(sh, Version(2), t(2)).unwrap();
+        let v2 = st.read(s, None, 0, 10).unwrap();
+        assert_eq!(v2.version, Version(2));
+        assert_eq!(v2.data.unwrap(), b"aaaBBBaaaa");
+        let v1 = st.read(s, Some(Version(1)), 0, 10).unwrap();
+        assert_eq!(v1.data.unwrap(), b"aaaaaaaaaa");
+        // COW: v2's delta only stores the 3 modified bytes.
+        assert_eq!(st.stored_bytes(s), 10 + 3);
+    }
+
+    #[test]
+    fn shadow_append_extends_segment() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"base");
+        let sh = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
+        st.write_shadow(sh, 4, WritePayload::Real(b"+more".to_vec()))
+            .unwrap();
+        st.commit_shadow(sh, Version(2), t(1)).unwrap();
+        let out = st.read(s, None, 0, 100).unwrap();
+        assert_eq!(out.data.unwrap(), b"base+more");
+    }
+
+    #[test]
+    fn consolidation_materializes_oldest_survivor() {
+        let mut st = LocalStore::new(1);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"0000000000");
+        for (v, ch) in [(2u64, b'1'), (3, b'2')] {
+            let sh = st.open_shadow(s, Version(v - 1), t(v), TTL).unwrap();
+            st.write_shadow(sh, v, WritePayload::Real(vec![ch; 2]))
+                .unwrap();
+            st.commit_shadow(sh, Version(v), t(v)).unwrap();
+        }
+        // Only v3 survives, fully materialized and readable.
+        assert_eq!(st.latest(s), Some(Version(3)));
+        let out = st.read(s, Some(Version(1)), 0, 10);
+        assert_eq!(out.unwrap_err(), Error::NoSuchSegment);
+        let v3 = st.read(s, None, 0, 10).unwrap();
+        assert_eq!(v3.data.unwrap(), b"0012200000");
+    }
+
+    #[test]
+    fn prepare_detects_version_conflict() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"x");
+        let sh1 = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
+        let sh2 = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
+        st.prepare_shadow(sh1, Version(2)).unwrap();
+        st.commit_shadow(sh1, Version(2), t(2)).unwrap();
+        // sh2's base (v1) is no longer the latest: conflict.
+        assert_eq!(
+            st.prepare_shadow(sh2, Version(2)).unwrap_err(),
+            Error::VersionConflict
+        );
+    }
+
+    #[test]
+    fn expired_shadows_are_reaped_unless_prepared() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"x");
+        let sh1 = st.open_shadow(s, Version(1), t(1), Dur::secs(5)).unwrap();
+        let sh2 = st.open_shadow(s, Version(1), t(1), Dur::secs(5)).unwrap();
+        st.prepare_shadow(sh2, Version(2)).unwrap();
+        assert_eq!(st.expire_shadows(t(10)), 1);
+        assert!(st.read_shadow(sh1, 0, 1).is_err());
+        assert!(st.read_shadow(sh2, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn renew_extends_shadow_life() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"x");
+        let sh = st.open_shadow(s, Version(1), t(1), Dur::secs(5)).unwrap();
+        st.renew_shadow(sh, t(5), Dur::secs(10)).unwrap();
+        assert_eq!(st.expire_shadows(t(10)), 0);
+        assert_eq!(st.expire_shadows(t(20)), 1);
+    }
+
+    #[test]
+    fn export_install_round_trip() {
+        let mut st1 = LocalStore::new(2);
+        let mut st2 = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st1, s, b"replicate me");
+        let img = st1.export(s, None).unwrap();
+        assert!(st2.install_replica(img, t(3)).unwrap());
+        let out = st2.read(s, None, 0, 100).unwrap();
+        assert_eq!(out.data.unwrap(), b"replicate me");
+        assert_eq!(out.version, Version(1));
+    }
+
+    #[test]
+    fn install_ignores_stale_image() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"v1");
+        let sh = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
+        st.write_shadow(sh, 0, WritePayload::Real(b"v2".to_vec()))
+            .unwrap();
+        st.commit_shadow(sh, Version(2), t(1)).unwrap();
+        let stale = ReplicaImage {
+            seg: s,
+            version: Version(1),
+            len: 2,
+            data: Some(b"v1".to_vec()),
+            meta: real_meta(),
+        };
+        assert!(!st.install_replica(stale, t(2)).unwrap());
+        assert_eq!(st.latest(s), Some(Version(2)));
+    }
+
+    #[test]
+    fn synthetic_segments_track_sizes_only() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        let meta = SegMeta {
+            synthetic: true,
+            ..SegMeta::default()
+        };
+        let sh = st.open_fresh_shadow(s, meta, t(0), TTL);
+        st.write_shadow(sh, 0, WritePayload::Synthetic { len: 4_000_000 })
+            .unwrap();
+        // Overlapping rewrite must not double-count.
+        st.write_shadow(sh, 1_000_000, WritePayload::Synthetic { len: 4_000_000 })
+            .unwrap();
+        st.commit_shadow(sh, Version(1), t(0)).unwrap();
+        assert_eq!(st.seg_len(s), Some(5_000_000));
+        assert_eq!(st.stored_bytes(s), 5_000_000);
+        let out = st.read(s, None, 0, 1_000_000).unwrap();
+        assert_eq!(out.len, 1_000_000);
+        assert!(out.data.is_none());
+    }
+
+    #[test]
+    fn direct_write_versioning_off() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        st.direct_write(s, 0, WritePayload::Real(b"abcdef".to_vec()), real_meta(), t(0))
+            .unwrap();
+        st.direct_write(s, 2, WritePayload::Real(b"XY".to_vec()), real_meta(), t(1))
+            .unwrap();
+        let out = st.read(s, None, 0, 10).unwrap();
+        assert_eq!(out.data.unwrap(), b"abXYef");
+        // Still version 1: no version advance on direct writes.
+        assert_eq!(st.latest(s), Some(Version(1)));
+    }
+
+    #[test]
+    fn temperature_and_locality_tracking() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        let meta = SegMeta {
+            policy: PlacementPolicy::LocalityDriven { threshold: 0.6 },
+            ..SegMeta::default()
+        };
+        let sh = st.open_fresh_shadow(s, meta, t(0), TTL);
+        st.write_shadow(sh, 0, WritePayload::Real(b"x".to_vec()))
+            .unwrap();
+        st.commit_shadow(sh, Version(1), t(0)).unwrap();
+        st.touch(s, t(5), 7, 100);
+        st.touch(s, t(6), 7, 100);
+        st.touch(s, t(7), 9, 50);
+        assert_eq!(st.last_access(s), Some(t(7)));
+        let shares = st.traffic_shares(s);
+        assert_eq!(shares[0].0, 7);
+        assert!((shares[0].1 - 0.8).abs() < 1e-9);
+        let by_temp = st.segments_by_temperature();
+        assert_eq!(by_temp[0].0, s);
+    }
+
+    #[test]
+    fn access_history_is_bounded() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        let meta = SegMeta {
+            policy: PlacementPolicy::LocalityDriven { threshold: 0.6 },
+            ..SegMeta::default()
+        };
+        let sh = st.open_fresh_shadow(s, meta, t(0), TTL);
+        st.write_shadow(sh, 0, WritePayload::Real(b"x".to_vec()))
+            .unwrap();
+        st.commit_shadow(sh, Version(1), t(0)).unwrap();
+        for i in 0..(ACCESS_HISTORY_CAP as u64 + 500) {
+            st.touch(s, t(0), (i % 3) as u32, 1);
+        }
+        let total: f64 = st.traffic_shares(s).iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let state = st.segments.get(&s).unwrap();
+        assert_eq!(state.access_history.len(), ACCESS_HISTORY_CAP);
+    }
+
+    #[test]
+    fn delete_segment_frees_state() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"x");
+        assert!(st.delete_segment(s));
+        assert!(!st.delete_segment(s));
+        assert!(st.read(s, None, 0, 1).is_err());
+        assert_eq!(st.total_stored_bytes(), 0);
+    }
+
+    #[test]
+    fn pinned_milestone_survives_consolidation() {
+        let mut st = LocalStore::new(1);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"milestone!");
+        st.pin_version(s, Version(1)).unwrap();
+        // Advance far past the retention budget.
+        for v in 2..6u64 {
+            let sh = st.open_shadow(s, Version(v - 1), t(v), TTL).unwrap();
+            st.write_shadow(sh, 0, WritePayload::Real(vec![v as u8; 4]))
+                .unwrap();
+            st.commit_shadow(sh, Version(v), t(v)).unwrap();
+        }
+        // keep_versions = 1, yet the milestone remains readable.
+        assert_eq!(st.pinned_versions(s), vec![Version(1)]);
+        let old = st.read(s, Some(Version(1)), 0, 100).unwrap();
+        assert_eq!(old.data.unwrap(), b"milestone!");
+        // Intermediate (unpinned) versions were consolidated away.
+        assert!(st.read(s, Some(Version(3)), 0, 1).is_err());
+        // The latest version still reads correctly.
+        let latest = st.read(s, None, 0, 100).unwrap();
+        assert_eq!(&latest.data.unwrap()[..4], &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn unpinning_releases_the_milestone() {
+        let mut st = LocalStore::new(1);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"v1");
+        st.pin_version(s, Version(1)).unwrap();
+        assert!(st.unpin_version(s, Version(1)));
+        assert!(!st.unpin_version(s, Version(1)));
+        for v in 2..4u64 {
+            let sh = st.open_shadow(s, Version(v - 1), t(v), TTL).unwrap();
+            st.write_shadow(sh, 0, WritePayload::Real(vec![v as u8; 2]))
+                .unwrap();
+            st.commit_shadow(sh, Version(v), t(v)).unwrap();
+        }
+        // No longer pinned: v1 was consolidated away.
+        assert!(st.read(s, Some(Version(1)), 0, 1).is_err());
+    }
+
+    #[test]
+    fn pin_unknown_version_fails() {
+        let mut st = LocalStore::new(2);
+        let s = seg(1);
+        commit_fresh(&mut st, s, b"x");
+        assert_eq!(
+            st.pin_version(s, Version(9)).unwrap_err(),
+            Error::NoSuchSegment
+        );
+        assert_eq!(
+            st.pin_version(seg(5), Version(1)).unwrap_err(),
+            Error::NoSuchSegment
+        );
+    }
+
+    #[test]
+    fn list_segments_reports_latest_versions() {
+        let mut st = LocalStore::new(2);
+        let (a, b) = (seg(1), seg(2));
+        commit_fresh(&mut st, a, b"a");
+        commit_fresh(&mut st, b, b"b");
+        let sh = st.open_shadow(a, Version(1), t(1), TTL).unwrap();
+        st.write_shadow(sh, 0, WritePayload::Real(b"A".to_vec()))
+            .unwrap();
+        st.commit_shadow(sh, Version(2), t(1)).unwrap();
+        let mut listed = st.list_segments();
+        listed.sort();
+        assert_eq!(listed, vec![(a, Version(2)), (b, Version(1))]);
+    }
+}

@@ -1,0 +1,234 @@
+//! A sparse byte buffer: the physical storage behind a version's delta
+//! when the segment carries real bytes. Holds only written extents, so a
+//! 4 MB write at offset 400 MB costs 4 MB, not 404 MB.
+
+use std::collections::BTreeMap;
+
+/// Non-overlapping written extents, keyed by start offset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseBuffer {
+    chunks: BTreeMap<u64, Vec<u8>>,
+}
+
+impl SparseBuffer {
+    /// Empty buffer.
+    pub fn new() -> SparseBuffer {
+        SparseBuffer::default()
+    }
+
+    /// Write `data` at `offset`, overwriting any overlapped bytes.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        // Trim a chunk that starts before `offset` and overlaps it.
+        if let Some((&cs, _)) = self.chunks.range(..offset).next_back() {
+            let clen = self.chunks[&cs].len() as u64;
+            let ce = cs + clen;
+            if ce > offset {
+                let keep_front = (offset - cs) as usize;
+                let tail: Vec<u8> = if ce > end {
+                    self.chunks[&cs][(end - cs) as usize..].to_vec()
+                } else {
+                    Vec::new()
+                };
+                let chunk = self.chunks.get_mut(&cs).expect("chunk present");
+                chunk.truncate(keep_front);
+                if !tail.is_empty() {
+                    self.chunks.insert(end, tail);
+                }
+            }
+        }
+        // Handle chunks starting within [offset, end).
+        let inside: Vec<u64> = self.chunks.range(offset..end).map(|(&k, _)| k).collect();
+        for cs in inside {
+            let chunk = self.chunks.remove(&cs).expect("chunk present");
+            let ce = cs + chunk.len() as u64;
+            if ce > end {
+                // Keep the tail beyond the new write.
+                self.chunks
+                    .insert(end, chunk[(end - cs) as usize..].to_vec());
+            }
+        }
+        self.chunks.insert(offset, data.to_vec());
+        self.coalesce_around(offset);
+    }
+
+    /// Read `[offset, offset+len)` into `out` (which must be `len` long,
+    /// pre-filled with the caller's hole value, normally zero). Bytes not
+    /// present in the buffer are left untouched.
+    pub fn read_into(&self, offset: u64, out: &mut [u8]) {
+        let len = out.len() as u64;
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        // Possible partial overlap from a chunk starting before `offset`.
+        let first = self
+            .chunks
+            .range(..offset)
+            .next_back()
+            .map(|(&k, _)| k)
+            .into_iter()
+            .chain(self.chunks.range(offset..end).map(|(&k, _)| k));
+        for cs in first {
+            let chunk = &self.chunks[&cs];
+            let ce = cs + chunk.len() as u64;
+            let s = cs.max(offset);
+            let e = ce.min(end);
+            if s < e {
+                out[(s - offset) as usize..(e - offset) as usize]
+                    .copy_from_slice(&chunk[(s - cs) as usize..(e - cs) as usize]);
+            }
+        }
+    }
+
+    /// Bytes physically stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.chunks.values().map(|c| c.len() as u64).sum()
+    }
+
+    /// Number of distinct extents (diagnostics).
+    pub fn extent_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Drop bytes at or beyond `len` (truncate).
+    pub fn truncate(&mut self, len: u64) {
+        if let Some((&cs, _)) = self.chunks.range(..len).next_back() {
+            let clen = self.chunks[&cs].len() as u64;
+            if cs + clen > len {
+                self.chunks
+                    .get_mut(&cs)
+                    .expect("chunk present")
+                    .truncate((len - cs) as usize);
+            }
+        }
+        let beyond: Vec<u64> = self.chunks.range(len..).map(|(&k, _)| k).collect();
+        for k in beyond {
+            self.chunks.remove(&k);
+        }
+        self.chunks.retain(|_, c| !c.is_empty());
+    }
+
+    /// Merge physically adjacent chunks touching the chunk at `at`,
+    /// bounding fragmentation under append-heavy workloads.
+    fn coalesce_around(&mut self, at: u64) {
+        // Merge with predecessor if contiguous.
+        let mut start = at;
+        if let Some((&ps, _)) = self.chunks.range(..at).next_back() {
+            if ps + self.chunks[&ps].len() as u64 == at {
+                let cur = self.chunks.remove(&at).expect("chunk present");
+                self.chunks
+                    .get_mut(&ps)
+                    .expect("chunk present")
+                    .extend_from_slice(&cur);
+                start = ps;
+            }
+        }
+        // Merge with successor if contiguous.
+        let end = start + self.chunks[&start].len() as u64;
+        if let Some(next) = self.chunks.remove(&end) {
+            self.chunks
+                .get_mut(&start)
+                .expect("chunk present")
+                .extend_from_slice(&next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(buf: &SparseBuffer, offset: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0; len];
+        buf.read_into(offset, &mut out);
+        out
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut b = SparseBuffer::new();
+        b.write(10, b"hello");
+        assert_eq!(read(&b, 10, 5), b"hello");
+        assert_eq!(read(&b, 8, 9), b"\0\0hello\0\0");
+    }
+
+    #[test]
+    fn overwrite_middle() {
+        let mut b = SparseBuffer::new();
+        b.write(0, b"aaaaaaaaaa");
+        b.write(3, b"BBB");
+        assert_eq!(read(&b, 0, 10), b"aaaBBBaaaa");
+    }
+
+    #[test]
+    fn overwrite_spanning_chunks() {
+        let mut b = SparseBuffer::new();
+        b.write(0, b"aaaa");
+        b.write(8, b"cccc");
+        b.write(2, b"BBBBBBBB");
+        assert_eq!(read(&b, 0, 12), b"aaBBBBBBBBcc");
+    }
+
+    #[test]
+    fn adjacent_appends_coalesce() {
+        let mut b = SparseBuffer::new();
+        b.write(0, b"aa");
+        b.write(2, b"bb");
+        b.write(4, b"cc");
+        assert_eq!(b.extent_count(), 1);
+        assert_eq!(read(&b, 0, 6), b"aabbcc");
+    }
+
+    #[test]
+    fn stored_bytes_counts_physical() {
+        let mut b = SparseBuffer::new();
+        b.write(0, b"aaaa");
+        b.write(100, b"bbbb");
+        assert_eq!(b.stored_bytes(), 8);
+        b.write(2, b"XXXX"); // overlaps 2 bytes, extends 2
+        assert_eq!(b.stored_bytes(), 10);
+    }
+
+    #[test]
+    fn truncate_trims_and_drops() {
+        let mut b = SparseBuffer::new();
+        b.write(0, b"aaaa");
+        b.write(10, b"bbbb");
+        b.truncate(12);
+        assert_eq!(read(&b, 10, 4), b"bb\0\0");
+        b.truncate(2);
+        assert_eq!(b.stored_bytes(), 2);
+        b.truncate(0);
+        assert_eq!(b.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_write_is_noop() {
+        let mut b = SparseBuffer::new();
+        b.write(5, b"");
+        assert_eq!(b.stored_bytes(), 0);
+    }
+
+    /// Reference-model check against a flat Vec<u8>.
+    #[test]
+    fn matches_flat_model() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let mut b = SparseBuffer::new();
+            let mut model = vec![0u8; 256];
+            for _ in 0..60 {
+                let off = rng.gen_range(0..200u64);
+                let len = rng.gen_range(0..40usize);
+                let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                b.write(off, &data);
+                model[off as usize..off as usize + len].copy_from_slice(&data);
+            }
+            assert_eq!(read(&b, 0, 256), model);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Core identifiers and error types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit location-independent segment identifier (§3.2). In the real
+/// system these combine a machine's MAC address, its high-resolution timer
+/// and random seeds; here they combine the generating node, a per-node
+/// counter, and run-RNG bits — the same collision-avoidance structure.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegId(pub u128);
+
+impl SegId {
+    /// Deterministically derive a SegId from its generation coordinates.
+    pub fn derive(node: u32, counter: u64, entropy: u64) -> SegId {
+        let hi = ((node as u128) << 96) | ((counter as u128) << 32);
+        SegId(hi | (entropy as u128 & 0xFFFF_FFFF))
+    }
+}
+
+impl fmt::Debug for SegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg:{:x}", self.0)
+    }
+}
+
+/// A file's persistent, location-independent identity (§3.1). Equal to the
+/// SegId of the file's index segment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u128);
+
+impl FileId {
+    /// The index segment that embodies this file.
+    pub fn index_segment(self) -> SegId {
+        SegId(self.0)
+    }
+}
+
+impl From<SegId> for FileId {
+    fn from(s: SegId) -> FileId {
+        FileId(s.0)
+    }
+}
+
+impl fmt::Debug for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file:{:x}", self.0)
+    }
+}
+
+/// A monotonically increasing version of a file or segment (§3.5).
+/// Committed versions are immutable; modifications advance the version.
+///
+/// Layout: the upper bits are the commit *sequence*; the low
+/// [`Version::ENTROPY_BITS`] are a per-commit-attempt disambiguator.
+/// Two commits racing over the same base (e.g. a retry after a 2PC that
+/// partially committed before dying) produce versions with the same
+/// sequence but different entropy, so replicas holding divergent content
+/// remain distinguishable and the home host converges them onto the
+/// ordering winner instead of silently treating them as identical.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// Low bits reserved for the commit-attempt disambiguator.
+    pub const ENTROPY_BITS: u32 = 16;
+
+    /// Version of a newly created, never-committed object.
+    pub const INITIAL: Version = Version(0);
+
+    /// The commit sequence number (entropy stripped).
+    pub fn seq(self) -> u64 {
+        self.0 >> Version::ENTROPY_BITS
+    }
+
+    /// The next version after this one (zero entropy; deterministic
+    /// contexts and tests).
+    pub fn next(self) -> Version {
+        Version((self.seq() + 1) << Version::ENTROPY_BITS)
+    }
+
+    /// The next version with an explicit disambiguator (commit paths).
+    pub fn next_entropic(self, entropy: u16) -> Version {
+        Version(((self.seq() + 1) << Version::ENTROPY_BITS) | entropy as u64)
+    }
+}
+
+impl fmt::Debug for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 & ((1 << Version::ENTROPY_BITS) - 1) == 0 && self.seq() > 0 {
+            write!(f, "v{}", self.seq())
+        } else {
+            write!(f, "v{}+{:x}", self.seq(), self.0 & ((1 << Version::ENTROPY_BITS) - 1))
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Errors surfaced through the client API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Pathname does not resolve.
+    NotFound,
+    /// Create on an existing path.
+    AlreadyExists,
+    /// Commit raced with another writer: the base version is stale (§3.5).
+    VersionConflict,
+    /// Request to a provider that does not hold the segment.
+    NoSuchSegment,
+    /// Operation timed out (node failure or partition).
+    Timeout,
+    /// All candidate providers rejected an allocation.
+    OutOfSpace,
+    /// Write-lock lease held by another client.
+    LeaseHeld,
+    /// Operation illegal in the file's current mode (e.g. byte-range
+    /// writes on a versioned file).
+    InvalidMode,
+    /// Attempted operation on a directory / non-directory mismatch.
+    NotADirectory,
+    /// Directory not empty on remove.
+    NotEmpty,
+    /// Shadow copy expired before commit.
+    ShadowExpired,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::NotFound => "not found",
+            Error::AlreadyExists => "already exists",
+            Error::VersionConflict => "version conflict",
+            Error::NoSuchSegment => "no such segment",
+            Error::Timeout => "timed out",
+            Error::OutOfSpace => "out of space",
+            Error::LeaseHeld => "write lease held",
+            Error::InvalidMode => "invalid mode",
+            Error::NotADirectory => "not a directory",
+            Error::NotEmpty => "directory not empty",
+            Error::ShadowExpired => "shadow copy expired",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Per-file tunables chosen at creation time (§2.3, §3.6, §3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileOptions {
+    /// Number of replicas to maintain for each segment.
+    pub replication: u32,
+    /// Placement favoritism α in `[0,1]`: weight = f_l^α · f_s^(1-α).
+    /// Small α favours storage balance; large α favours load balance.
+    pub alpha: f64,
+    /// Data organization mode.
+    pub organization: Organization,
+    /// Placement policy for this file's segments.
+    pub placement: PlacementPolicy,
+    /// Disable version-based consistency: reads and writes apply directly
+    /// to segments (used for byte-range sharing, §3.5). Disables
+    /// replication too, since replica management depends on versioning.
+    pub versioning_off: bool,
+    /// Synchronous (eager) commitment (§3.6): `close` pushes changes to
+    /// all replicas before returning instead of relying on the home
+    /// host's lazy propagation.
+    pub eager_commit: bool,
+}
+
+impl Default for FileOptions {
+    fn default() -> Self {
+        FileOptions {
+            replication: 1,
+            alpha: 0.5,
+            organization: Organization::Linear,
+            placement: PlacementPolicy::LoadAware,
+            versioning_off: false,
+            eager_commit: false,
+        }
+    }
+}
+
+/// Data organization modes (§3.2, Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Organization {
+    /// Byte array is a linear concatenation of variable-length segments.
+    Linear,
+    /// RAID-0-style striping over a fixed number of equal-size segments;
+    /// the maximum file size must be declared at creation.
+    Striped {
+        /// Number of stripes (data segments).
+        stripes: u32,
+        /// Total maximum file size in bytes.
+        max_size: u64,
+    },
+    /// Groups of striped segments concatenated linearly: striped-mode
+    /// bandwidth without a declared file size.
+    Hybrid {
+        /// Stripes per segment group.
+        group_stripes: u32,
+    },
+}
+
+/// Segment placement policies (§3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Uniform random over live providers (the paper's `Sorrento-random`
+    /// baseline in Figure 14).
+    Random,
+    /// Weighted random by `f_l^α · f_s^(1-α)` using real-time load and
+    /// space information from heartbeats.
+    LoadAware,
+    /// Like `LoadAware`, and additionally migrate a segment to a remote
+    /// provider once more than `threshold` of its recent traffic comes
+    /// from that provider's machine. Must be > 0.5 to avoid instability.
+    LocalityDriven {
+        /// Fraction of recent traffic (in `(0.5, 1]`) that must come from
+        /// one remote machine to trigger migration.
+        threshold: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seg_ids_from_distinct_coordinates_differ() {
+        let a = SegId::derive(1, 0, 99);
+        let b = SegId::derive(1, 1, 99);
+        let c = SegId::derive(2, 0, 99);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn file_id_is_its_index_segment() {
+        let s = SegId::derive(3, 7, 42);
+        let f: FileId = s.into();
+        assert_eq!(f.index_segment(), s);
+    }
+
+    #[test]
+    fn version_ordering() {
+        let v = Version::INITIAL;
+        assert!(v.next() > v);
+        assert_eq!(v.next().seq(), 1);
+        // Entropic siblings share a sequence but stay distinct + ordered.
+        let a = v.next_entropic(3);
+        let b = v.next_entropic(9);
+        assert_eq!(a.seq(), b.seq());
+        assert_ne!(a, b);
+        assert!(b > a);
+        // The chain keeps ascending regardless of entropy.
+        assert!(a.next() > b);
+        assert!(b.next_entropic(0) > a);
+    }
+
+    #[test]
+    fn default_options_match_paper_defaults() {
+        let o = FileOptions::default();
+        assert_eq!(o.alpha, 0.5); // §3.7.1: "By default, we chose α = 0.5"
+        assert!(!o.versioning_off);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(Error::VersionConflict.to_string(), "version conflict");
+        assert_eq!(Error::Timeout.to_string(), "timed out");
+    }
+}

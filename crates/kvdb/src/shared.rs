@@ -1,0 +1,112 @@
+//! Thread-safe wrapper for concurrent embedders.
+
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::backend::Backend;
+use crate::db::{Batch, Db, DbConfig};
+
+/// A cloneable, thread-safe handle to a [`Db`]. Reads take a shared lock;
+/// writes take the exclusive lock for the WAL append + map update.
+pub struct SharedDb<B: Backend> {
+    inner: Arc<RwLock<Db<B>>>,
+}
+
+impl<B: Backend> Clone for SharedDb<B> {
+    fn clone(&self) -> Self {
+        SharedDb {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: Backend> SharedDb<B> {
+    /// Wrap an open database.
+    pub fn new(db: Db<B>) -> SharedDb<B> {
+        SharedDb {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Read a key into an owned buffer.
+    pub fn get(&self, key: impl AsRef<[u8]>) -> Option<Vec<u8>> {
+        self.inner.read().get(key).map(<[u8]>::to_vec)
+    }
+
+    /// Durable single-key write.
+    pub fn put(&self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>) -> io::Result<()> {
+        self.inner.write().put(key, value)
+    }
+
+    /// Durable single-key delete; returns whether the key was present.
+    pub fn delete(&self, key: impl AsRef<[u8]>) -> io::Result<bool> {
+        self.inner.write().delete(key)
+    }
+
+    /// Atomic batch application.
+    pub fn apply(&self, batch: Batch) -> io::Result<()> {
+        self.inner.write().apply(batch)
+    }
+
+    /// Force a checkpoint.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        self.inner.write().checkpoint()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Run `f` with read access to the underlying [`Db`] (e.g. for scans).
+    pub fn with<R>(&self, f: impl FnOnce(&Db<B>) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+impl<B: Backend + Default> SharedDb<B> {
+    /// Open a fresh store on a default backend.
+    pub fn open_default() -> io::Result<SharedDb<B>> {
+        Ok(SharedDb::new(Db::open(B::default(), DbConfig::default())?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let db: SharedDb<MemBackend> = SharedDb::open_default().unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        let key = format!("t{t}-{i}");
+                        db.put(key.as_bytes(), i.to_le_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 400);
+        assert_eq!(db.get("t3-99").unwrap(), 99u32.to_le_bytes());
+    }
+
+    #[test]
+    fn with_gives_scan_access() {
+        let db: SharedDb<MemBackend> = SharedDb::open_default().unwrap();
+        db.put("/x/1", "a").unwrap();
+        db.put("/x/2", "b").unwrap();
+        let n = db.with(|d| d.scan_prefix(b"/x/").count());
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: the database must behave exactly like a `BTreeMap`
+//! under arbitrary op sequences, including across checkpoints and
+//! crash/recovery cycles at arbitrary points.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sorrento_kvdb::{Batch, Db, DbConfig, MemBackend};
+
+#[derive(Debug, Clone)]
+enum Action {
+    Put(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Batch(Vec<(Vec<u8>, Option<Vec<u8>>)>),
+    Checkpoint,
+    CrashRecover,
+}
+
+fn key() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space so collisions (overwrites/deletes of live keys) are common.
+    prop::collection::vec(0u8..8, 1..4)
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (key(), prop::collection::vec(any::<u8>(), 0..16)).prop_map(|(k, v)| Action::Put(k, v)),
+        2 => key().prop_map(Action::Delete),
+        2 => prop::collection::vec((key(), prop::option::of(prop::collection::vec(any::<u8>(), 0..8))), 1..5)
+            .prop_map(Action::Batch),
+        1 => Just(Action::Checkpoint),
+        1 => Just(Action::CrashRecover),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn db_matches_btreemap_model(actions in prop::collection::vec(action(), 1..60)) {
+        let mut db = Db::open(MemBackend::new(), DbConfig { checkpoint_wal_bytes: 512 }).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for a in actions {
+            match a {
+                Action::Put(k, v) => {
+                    db.put(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                Action::Delete(k) => {
+                    let was = db.delete(&k).unwrap();
+                    let was_model = model.remove(&k).is_some();
+                    prop_assert_eq!(was, was_model);
+                }
+                Action::Batch(ops) => {
+                    let mut b = Batch::new();
+                    for (k, v) in &ops {
+                        match v {
+                            Some(v) => { b.put(k, v); }
+                            None => { b.delete(k); }
+                        }
+                    }
+                    db.apply(b).unwrap();
+                    for (k, v) in ops {
+                        match v {
+                            Some(v) => { model.insert(k, v); }
+                            None => { model.remove(&k); }
+                        }
+                    }
+                }
+                Action::Checkpoint => db.checkpoint().unwrap(),
+                Action::CrashRecover => {
+                    // A crash image is just the backend at this instant:
+                    // everything applied so far was WAL-synced, so nothing
+                    // may be lost.
+                    let backend = db.into_backend();
+                    db = Db::open(backend, DbConfig { checkpoint_wal_bytes: 512 }).unwrap();
+                }
+            }
+            // Full-state equivalence after every action.
+            prop_assert_eq!(db.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(db.get(k), Some(v.as_slice()));
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_never_corrupts_earlier_state(
+        puts in prop::collection::vec((key(), prop::collection::vec(any::<u8>(), 0..8)), 1..20),
+        tear_back in 1usize..16,
+    ) {
+        // Apply all puts, then tear off `tear_back` bytes from the WAL end:
+        // recovery must yield a prefix of the batch sequence.
+        let mut db = Db::open(MemBackend::new(), DbConfig { checkpoint_wal_bytes: usize::MAX }).unwrap();
+        let mut prefix_states: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = vec![BTreeMap::new()];
+        let mut model = BTreeMap::new();
+        for (k, v) in &puts {
+            db.put(k, v).unwrap();
+            model.insert(k.clone(), v.clone());
+            prefix_states.push(model.clone());
+        }
+        let mut backend = db.into_backend();
+        let len = backend.len("wal");
+        backend.tear("wal", len.saturating_sub(tear_back));
+        let db2 = Db::open(backend, DbConfig::default()).unwrap();
+        let recovered: BTreeMap<Vec<u8>, Vec<u8>> = db2
+            .range(..)
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        prop_assert!(
+            prefix_states.contains(&recovered),
+            "recovered state is not a prefix state"
+        );
+    }
+}

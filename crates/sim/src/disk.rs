@@ -1,0 +1,272 @@
+//! Disk model: per-node FIFO disk with positioning cost, sequential
+//! transfer rate, and capacity accounting.
+//!
+//! The model is deliberately coarse — a request is charged
+//! `positioning + bytes / transfer_rate` and requests on one disk are
+//! serialized — because the phenomena the paper measures (I/O-wait load,
+//! queueing under saturation, storage utilization) depend only on service
+//! time and occupancy, not on head scheduling details.
+
+use crate::time::{Dur, SimTime};
+
+/// Kind of disk access, selecting the positioning cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskAccess {
+    /// Random access: full average seek + rotational latency.
+    Random,
+    /// Sequential continuation: track-to-track positioning only.
+    Sequential,
+    /// Metadata update that must be synced (e.g. a WAL append): charged the
+    /// sequential positioning cost plus the sync overhead.
+    Sync,
+}
+
+/// Static parameters of one node's disk (defaults model a 10K rpm SCSI
+/// drive of the paper's era, e.g. Seagate Cheetah ST373405: ~5 ms seek,
+/// 3 ms half-rotation, ~40 MB/s media rate).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Positioning cost for a random request (seek + rotational latency).
+    pub positioning: Dur,
+    /// Positioning cost for a sequential continuation.
+    pub seq_positioning: Dur,
+    /// Extra cost of a synchronous metadata write (forced platter sync).
+    pub sync_overhead: Dur,
+    /// Media transfer rate in bytes/second.
+    pub transfer_rate: f64,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+}
+
+impl DiskConfig {
+    /// 10K rpm SCSI drive as used in clusters A/B of the paper.
+    pub fn scsi_10krpm(capacity: u64) -> DiskConfig {
+        DiskConfig {
+            positioning: Dur::micros(8_000),
+            seq_positioning: Dur::micros(600),
+            sync_overhead: Dur::micros(4_000),
+            transfer_rate: 40.0e6,
+            capacity,
+        }
+    }
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        // 72 GB, matching the majority drives of cluster B.
+        DiskConfig::scsi_10krpm(72 * 1_000_000_000)
+    }
+}
+
+/// Errors from capacity accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFull {
+    /// Bytes requested by the failed allocation.
+    pub requested: u64,
+    /// Bytes that were still free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for DiskFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "disk full: requested {} bytes, {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for DiskFull {}
+
+/// Dynamic disk state for one node.
+#[derive(Debug, Clone)]
+pub struct DiskState {
+    config: DiskConfig,
+    busy_until: SimTime,
+    used: u64,
+    /// Cumulative busy time, for I/O-wait load sampling.
+    busy_accum: Dur,
+    /// Start of the current sampling window.
+    window_start: SimTime,
+    /// Busy time accumulated before the current window (already sampled).
+    sampled_busy: Dur,
+}
+
+impl DiskState {
+    pub(crate) fn new(config: DiskConfig) -> DiskState {
+        DiskState {
+            config,
+            busy_until: SimTime::ZERO,
+            used: 0,
+            busy_accum: Dur::ZERO,
+            window_start: SimTime::ZERO,
+            sampled_busy: Dur::ZERO,
+        }
+    }
+
+    /// Submit a request of `bytes` at `now`; returns its completion time.
+    /// Requests are serialized FIFO behind earlier ones.
+    pub fn submit(&mut self, now: SimTime, bytes: u64, access: DiskAccess) -> SimTime {
+        let positioning = match access {
+            DiskAccess::Random => self.config.positioning,
+            DiskAccess::Sequential => self.config.seq_positioning,
+            DiskAccess::Sync => self.config.seq_positioning + self.config.sync_overhead,
+        };
+        let service = positioning + Dur::for_bytes(bytes, self.config.transfer_rate);
+        let start = self.busy_until.max(now);
+        self.busy_until = start + service;
+        self.busy_accum += service;
+        self.busy_until
+    }
+
+    /// Reserve `bytes` of capacity.
+    pub fn alloc(&mut self, bytes: u64) -> Result<(), DiskFull> {
+        let free = self.config.capacity.saturating_sub(self.used);
+        if bytes > free {
+            return Err(DiskFull {
+                requested: bytes,
+                free,
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Release `bytes` of capacity (saturating at zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Total usable capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.config.capacity
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> u64 {
+        self.config.capacity.saturating_sub(self.used)
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.config.capacity == 0 {
+            return 0.0;
+        }
+        self.used as f64 / self.config.capacity as f64
+    }
+
+    /// I/O-wait fraction since the previous call (the paper's per-node `l`
+    /// load measure). Resets the sampling window. Clamped to `[0, 1]`.
+    pub fn sample_io_wait(&mut self, now: SimTime) -> f64 {
+        let window = now.since(self.window_start);
+        let new_busy = self.busy_accum - self.sampled_busy;
+        self.sampled_busy = self.busy_accum;
+        self.window_start = now;
+        if window == Dur::ZERO {
+            return 0.0;
+        }
+        (new_busy.as_secs_f64() / window.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Wipe allocation state (node re-formatted). Queue timing survives.
+    pub fn wipe(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskState {
+        DiskState::new(DiskConfig {
+            positioning: Dur::millis(8),
+            seq_positioning: Dur::micros(600),
+            sync_overhead: Dur::millis(4),
+            transfer_rate: 40.0e6,
+            capacity: 1000,
+        })
+    }
+
+    #[test]
+    fn requests_serialize_fifo() {
+        let mut d = disk();
+        let t1 = d.submit(SimTime::ZERO, 0, DiskAccess::Random);
+        let t2 = d.submit(SimTime::ZERO, 0, DiskAccess::Random);
+        assert_eq!(t1, SimTime::ZERO + Dur::millis(8));
+        assert_eq!(t2, SimTime::ZERO + Dur::millis(16));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let mut d = disk();
+        let t = d.submit(SimTime::ZERO, 40_000_000, DiskAccess::Sequential);
+        // 600 µs positioning + 1 s transfer.
+        assert_eq!(t, SimTime::ZERO + Dur::micros(600) + Dur::secs(1));
+    }
+
+    #[test]
+    fn sync_access_pays_sync_overhead() {
+        let mut d = disk();
+        let t = d.submit(SimTime::ZERO, 0, DiskAccess::Sync);
+        assert_eq!(t, SimTime::ZERO + Dur::micros(600) + Dur::millis(4));
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut d = disk();
+        d.alloc(600).unwrap();
+        assert_eq!(d.used(), 600);
+        assert_eq!(d.available(), 400);
+        let err = d.alloc(500).unwrap_err();
+        assert_eq!(err, DiskFull { requested: 500, free: 400 });
+        d.free(200);
+        assert_eq!(d.used(), 400);
+        d.alloc(500).unwrap();
+        assert!((d.utilization() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut d = disk();
+        d.alloc(10).unwrap();
+        d.free(100);
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn io_wait_sampling() {
+        let mut d = disk();
+        // 8 ms of busy time in a 16 ms window = 50% I/O wait.
+        d.submit(SimTime::ZERO, 0, DiskAccess::Random);
+        let w = d.sample_io_wait(SimTime::ZERO + Dur::millis(16));
+        assert!((w - 0.5).abs() < 1e-6);
+        // Nothing new submitted: next window reads zero.
+        let w2 = d.sample_io_wait(SimTime::ZERO + Dur::millis(32));
+        assert_eq!(w2, 0.0);
+    }
+
+    #[test]
+    fn io_wait_clamps_at_one() {
+        let mut d = disk();
+        for _ in 0..100 {
+            d.submit(SimTime::ZERO, 0, DiskAccess::Random);
+        }
+        let w = d.sample_io_wait(SimTime::ZERO + Dur::millis(1));
+        assert_eq!(w, 1.0);
+    }
+
+    #[test]
+    fn wipe_clears_usage() {
+        let mut d = disk();
+        d.alloc(700).unwrap();
+        d.wipe();
+        assert_eq!(d.used(), 0);
+    }
+}

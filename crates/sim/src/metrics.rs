@@ -1,0 +1,94 @@
+//! Run-wide metrics: counters and named time series, recorded in virtual
+//! time. The experiment harness reads these after a run to print the
+//! paper's tables and figures.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// Metrics sink shared by all nodes in a simulation.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    /// Create an empty sink.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `by` to counter `name`, creating it at zero if absent.
+    pub fn count(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_owned(), by);
+        }
+    }
+
+    /// Read counter `name` (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Append a `(time, value)` point to series `name`.
+    pub fn record(&mut self, name: &str, at: SimTime, value: f64) {
+        if let Some(s) = self.series.get_mut(name) {
+            s.push((at, value));
+        } else {
+            self.series.insert(name.to_owned(), vec![(at, value)]);
+        }
+    }
+
+    /// Read series `name` (empty slice if never written).
+    pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Names of all recorded series.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.count("reads", 1);
+        m.count("reads", 2);
+        assert_eq!(m.counter("reads"), 3);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn series_preserve_order() {
+        let mut m = Metrics::new();
+        m.record("rate", SimTime::ZERO, 1.0);
+        m.record("rate", SimTime::from_nanos(5), 2.0);
+        let s = m.series("rate");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].1, 1.0);
+        assert_eq!(s[1].1, 2.0);
+        assert!(m.series("absent").is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = Metrics::new();
+        m.count("b", 1);
+        m.count("a", 1);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

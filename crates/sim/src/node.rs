@@ -1,0 +1,165 @@
+//! The sans-IO node abstraction: every daemon in the system (storage
+//! provider, namespace server, baseline servers, client processes) is a
+//! [`Node`] state machine that reacts to messages and timers through a
+//! [`Ctx`] handle supplied by the engine.
+
+use std::any::Any;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::disk::{DiskAccess, DiskState};
+use crate::engine::EngineState;
+use crate::time::{Dur, SimTime};
+use crate::Metrics;
+
+/// Identity of a node within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index (stable for the lifetime of the simulation).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Construct from a raw index. Only meaningful for ids previously
+    /// handed out by the same simulation.
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for a pending timer, usable with [`Ctx::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// A message type usable on the simulated network.
+pub trait Payload: Clone + fmt::Debug + 'static {
+    /// Bytes this message occupies on the wire (headers + payload). For
+    /// synthetic bulk data this is the *modeled* length, which is what the
+    /// NIC charges.
+    fn wire_size(&self) -> u64;
+}
+
+/// A daemon state machine driven by the simulation engine.
+///
+/// Timers are delivered through [`Node::on_message`] with `from` equal to
+/// the node's own id, so message enums encode timer meanings as ordinary
+/// variants.
+pub trait Node<M: Payload>: Any {
+    /// Called once when the node comes online (including after a restart).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for every delivered message and fired timer.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Called when the node crashes: volatile (soft) state must be dropped
+    /// here; durable (on-disk) state survives into a later restart.
+    fn on_crash(&mut self) {}
+}
+
+/// The node's window onto the engine during a callback: virtual clock,
+/// network, timers, its own disk, the run RNG and the metrics sink.
+pub struct Ctx<'a, M: Payload> {
+    pub(crate) id: NodeId,
+    pub(crate) engine: &'a mut EngineState<M>,
+}
+
+impl<'a, M: Payload> Ctx<'a, M> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now
+    }
+
+    /// Send `msg` to `dst` now. The message is charged against both NICs;
+    /// if `dst` is dead at delivery time it is silently dropped (the
+    /// sender learns about failures only through its own timeouts, as on a
+    /// real network).
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        let now = self.engine.now;
+        self.engine.unicast(now, self.id, dst, msg);
+    }
+
+    /// Send `msg` to `dst`, handing it to the NIC at time `at` (≥ now).
+    /// Used to emit a reply after a CPU or disk completion.
+    pub fn send_at(&mut self, at: SimTime, dst: NodeId, msg: M) {
+        let at = at.max(self.engine.now);
+        self.engine.unicast(at, self.id, dst, msg);
+    }
+
+    /// Multicast `msg` to every live node except this one. Ethernet
+    /// multicast: the sender's NIC is charged once; every receiver's NIC
+    /// is charged individually.
+    pub fn multicast(&mut self, msg: M) {
+        let now = self.engine.now;
+        self.engine.multicast(now, self.id, msg);
+    }
+
+    /// Deliver `msg` back to this node after `delay`. Returns a handle
+    /// usable with [`Ctx::cancel_timer`]. Timer delivery bypasses the NIC.
+    pub fn set_timer(&mut self, delay: Dur, msg: M) -> TimerId {
+        self.engine.set_timer(self.id, delay, msg)
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.engine.cancel_timer(id);
+    }
+
+    /// Charge `service` of CPU time on this node's FIFO CPU queue and
+    /// return the completion instant (pass it to [`Ctx::send_at`]).
+    pub fn cpu(&mut self, service: Dur) -> SimTime {
+        self.engine.cpu(self.id, service)
+    }
+
+    /// Submit a disk request on this node's disk; returns completion time.
+    pub fn disk_submit(&mut self, bytes: u64, access: DiskAccess) -> SimTime {
+        let now = self.engine.now;
+        self.engine.slots[self.id.index()]
+            .disk
+            .submit(now, bytes, access)
+    }
+
+    /// Direct access to this node's disk state (capacity accounting,
+    /// load sampling).
+    pub fn disk(&mut self) -> &mut DiskState {
+        &mut self.engine.slots[self.id.index()].disk
+    }
+
+    /// The physical machine `id` runs on (infrastructure knowledge, like
+    /// an IP address: used by the locality-driven placement policy to tell
+    /// which provider is co-located with a requesting client).
+    pub fn machine_of(&self, id: NodeId) -> u32 {
+        self.engine.machine_of(id)
+    }
+
+    /// The run's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.engine.rng
+    }
+
+    /// The run's metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.engine.metrics
+    }
+}

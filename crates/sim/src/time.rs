@@ -1,0 +1,248 @@
+//! Virtual time: instants ([`SimTime`]) and durations ([`Dur`]) with
+//! nanosecond resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulation clock, in nanoseconds since run start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any reachable simulation instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Raw nanoseconds since run start.
+    #[inline]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Seconds since run start, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`; zero if `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub fn micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn secs(s: u64) -> Dur {
+        Dur(s * 1_000_000_000)
+    }
+    /// Construct from whole minutes.
+    #[inline]
+    pub fn minutes(m: u64) -> Dur {
+        Dur::secs(m * 60)
+    }
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Dur {
+        if s <= 0.0 {
+            Dur(0)
+        } else {
+            Dur((s * 1e9).round() as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Duration in seconds, as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Duration in milliseconds, as a float.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Service time for transferring `bytes` at `rate` bytes/second.
+    #[inline]
+    pub fn for_bytes(bytes: u64, rate_bytes_per_sec: f64) -> Dur {
+        debug_assert!(rate_bytes_per_sec > 0.0);
+        Dur::from_secs_f64(bytes as f64 / rate_bytes_per_sec)
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Dur::secs(1), Dur::millis(1000));
+        assert_eq!(Dur::millis(1), Dur::micros(1000));
+        assert_eq!(Dur::micros(1), Dur::nanos(1000));
+        assert_eq!(Dur::minutes(2), Dur::secs(120));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + Dur::secs(5);
+        assert_eq!(t.as_secs_f64(), 5.0);
+        assert_eq!(t - SimTime::ZERO, Dur::secs(5));
+        // `since` saturates when the argument is in the future.
+        assert_eq!(SimTime::ZERO.since(t), Dur::ZERO);
+    }
+
+    #[test]
+    fn bytes_at_rate() {
+        // 12.5 MB at 12.5 MB/s is one second.
+        let d = Dur::for_bytes(12_500_000, 12.5e6);
+        assert_eq!(d, Dur::secs(1));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(Dur::from_secs_f64(-3.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let t = SimTime::MAX + Dur::secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{:?}", Dur::nanos(12)), "12ns");
+        assert_eq!(format!("{:?}", Dur::micros(5)), "5.0us");
+        assert_eq!(format!("{:?}", Dur::millis(7)), "7.00ms");
+        assert_eq!(format!("{:?}", Dur::secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,258 @@
+#![warn(missing_docs)]
+
+//! # sorrento-trace — I/O trace format, recording and replay
+//!
+//! The paper evaluates Sorrento largely through *application trace
+//! replay* (§4): real applications (a search-engine crawler, NCBI-Blast
+//! protein matching, NAS BTIO) were traced once — "the traces being
+//! collected all have accurate timing information for the starting and
+//! ending time of each I/O request" — then replayed against Sorrento,
+//! PVFS and NFS.
+//!
+//! This crate is the equivalent substrate: a serializable operation
+//! format ([`TraceOp`] / [`Trace`]), JSONL persistence, and the metadata
+//! needed for the two replay disciplines used in §4:
+//!
+//! * **as-fast-as-possible** — ops issue back-to-back (§4.2.2: "they
+//!   issue requests sequentially as fast as they can");
+//! * **timing-faithful gaps** — inter-request gaps from the trace are
+//!   reproduced as think time (§4.4's crawler replayers "emulate the
+//!   effect of Internet latency ... by blocking themselves for the same
+//!   amount of time", §4.5's query-boundary gaps).
+//!
+//! Payload bytes are not recorded — only lengths — matching what I/O
+//! traces contain in practice.
+
+use std::io::{self, BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// One traced operation. Offsets/lengths in bytes, times in nanoseconds
+/// relative to trace start.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum TraceOp {
+    /// Create (and open for writing).
+    Create {
+        /// Pathname.
+        path: String,
+    },
+    /// Open an existing file.
+    Open {
+        /// Pathname.
+        path: String,
+        /// Writable open.
+        write: bool,
+    },
+    /// Read a byte range of the open file.
+    Read {
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Write a byte range of the open file.
+    Write {
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Append to the open file.
+    Append {
+        /// Byte count.
+        len: u64,
+    },
+    /// Commit without closing.
+    Sync,
+    /// Close (commits pending changes).
+    Close,
+    /// Remove a file.
+    Unlink {
+        /// Pathname.
+        path: String,
+    },
+    /// Create a directory.
+    Mkdir {
+        /// Pathname.
+        path: String,
+    },
+    /// A gap between requests (think time / emulated external latency).
+    Gap {
+        /// Nanoseconds of idleness.
+        ns: u64,
+    },
+    /// Marker: a logical query/work-unit boundary (§4.5's traces "contain
+    /// boundary marks of individual queries").
+    QueryBoundary,
+}
+
+/// One trace record: when the op started and how long it took when it
+/// was captured (both optional for synthetic traces).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Start time, ns from trace start.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub at_ns: Option<u64>,
+    /// Observed duration in ns.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dur_ns: Option<u64>,
+    /// The operation.
+    #[serde(flatten)]
+    pub op: TraceOp,
+}
+
+impl TraceRecord {
+    /// A record with no timing information.
+    pub fn untimed(op: TraceOp) -> TraceRecord {
+        TraceRecord {
+            at_ns: None,
+            dur_ns: None,
+            op,
+        }
+    }
+}
+
+/// A full trace for one client process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The records, in issue order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Append an untimed op.
+    pub fn push(&mut self, op: TraceOp) -> &mut Trace {
+        self.records.push(TraceRecord::untimed(op));
+        self
+    }
+
+    /// Append a timed op.
+    pub fn push_at(&mut self, at_ns: u64, dur_ns: Option<u64>, op: TraceOp) -> &mut Trace {
+        self.records.push(TraceRecord { at_ns: Some(at_ns), dur_ns, op });
+        self
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total bytes read by the trace.
+    pub fn bytes_read(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r.op {
+                TraceOp::Read { len, .. } => len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total bytes written by the trace.
+    pub fn bytes_written(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r.op {
+                TraceOp::Write { len, .. } | TraceOp::Append { len } => len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Serialize as JSON Lines.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for rec in &self.records {
+            serde_json::to_writer(&mut w, rec)?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+
+    /// Parse from JSON Lines, skipping blank lines.
+    pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Trace> {
+        let mut trace = Trace::new();
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec: TraceRecord = serde_json::from_str(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            trace.records.push(rec);
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceOp::Create { path: "/a".into() })
+            .push(TraceOp::Write { offset: 0, len: 4096 })
+            .push(TraceOp::Gap { ns: 1_000_000 })
+            .push(TraceOp::Append { len: 100 })
+            .push(TraceOp::Sync)
+            .push(TraceOp::QueryBoundary)
+            .push(TraceOp::Read { offset: 10, len: 20 })
+            .push(TraceOp::Close)
+            .push(TraceOp::Unlink { path: "/a".into() });
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn timed_records_round_trip() {
+        let mut t = Trace::new();
+        t.push_at(0, Some(5_000), TraceOp::Create { path: "/x".into() });
+        t.push_at(10_000, None, TraceOp::Close);
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let back = Trace::read_jsonl(&buf[..]).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.records[0].at_ns, Some(0));
+        assert_eq!(back.records[0].dur_ns, Some(5_000));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let t = sample();
+        assert_eq!(t.bytes_written(), 4196);
+        assert_eq!(t.bytes_read(), 20);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let src = b"\n{\"op\":\"close\"}\n\n";
+        let t = Trace::read_jsonl(&src[..]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records[0].op, TraceOp::Close);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let src = b"{not json}\n";
+        assert!(Trace::read_jsonl(&src[..]).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! §4.2.2's NAS BTIO replay (class-B-like volume, scaled).
+//!
+//! BTIO solves a block-tridiagonal system; every few timesteps each MPI
+//! rank writes its (non-contiguous) share of the solution array into one
+//! shared file via MPI-IO list writes, and at the end the file is read
+//! back for verification. The paper replays this through Sorrento's
+//! byte-range primitive: "BTIO uses PVFS's list-write primitive, which
+//! is emulated in Sorrento through asynchronous I/O calls, and we
+//! disabled version-based data management to support concurrent writes
+//! to different byte ranges."
+//!
+//! Totals in the paper: "four trace replayers wrote 2.7GB data and read
+//! 1.7GB data."
+
+use sorrento::client::ClientOp;
+use sorrento::types::{FileOptions, Organization};
+use sorrento_trace::{Trace, TraceOp};
+
+/// BTIO replay parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BtioConfig {
+    /// Number of replayer ranks (4 in the paper).
+    pub ranks: usize,
+    /// Total bytes written across all ranks (2.7 GB in the paper).
+    pub write_total: u64,
+    /// Total bytes read back across all ranks (1.7 GB in the paper).
+    pub read_total: u64,
+    /// Bytes per list-write piece (one rank's contiguous cell run).
+    pub piece: u64,
+    /// Number of dump steps (appends interleave across steps).
+    pub steps: u64,
+}
+
+impl Default for BtioConfig {
+    fn default() -> Self {
+        BtioConfig {
+            ranks: 4,
+            write_total: 2_700 << 20,
+            read_total: 1_700 << 20,
+            piece: 1 << 20,
+            steps: 20,
+        }
+    }
+}
+
+/// Path of the shared solution file.
+pub const SOLUTION_PATH: &str = "/btio-solution";
+
+/// File options for the shared solution file: striped for parallel I/O,
+/// versioning disabled for byte-range sharing.
+pub fn solution_options(cfg: &BtioConfig, stripes: u32) -> FileOptions {
+    FileOptions {
+        organization: Organization::Striped {
+            stripes,
+            max_size: cfg.write_total,
+        },
+        versioning_off: true,
+        ..FileOptions::default()
+    }
+}
+
+/// The coordinator's script: create and pre-size the shared file (rank 0
+/// creates the file in MPI-IO; sizing up front keeps the index stable so
+/// concurrent ranks never contend on it).
+pub fn coordinator_script(cfg: &BtioConfig, stripes: u32) -> Vec<ClientOp> {
+    vec![
+        ClientOp::CreateWith {
+            path: SOLUTION_PATH.into(),
+            options: solution_options(cfg, stripes),
+        },
+        ClientOp::write_synth(0, cfg.write_total),
+        ClientOp::Close,
+    ]
+}
+
+/// Build rank `r`'s trace: per step, write its interleaved byte ranges;
+/// at the end, read back its share for verification.
+pub fn rank_trace(cfg: &BtioConfig, r: usize) -> Trace {
+    let mut t = Trace::new();
+    t.push(TraceOp::Open {
+        path: SOLUTION_PATH.into(),
+        write: true,
+    });
+    let per_rank_write = cfg.write_total / cfg.ranks as u64;
+    let per_step = per_rank_write / cfg.steps;
+    let pieces_per_step = (per_step / cfg.piece).max(1);
+    // Rank r owns every ranks-th piece (block-cyclic, like BT's cell
+    // decomposition).
+    for step in 0..cfg.steps {
+        let step_base = step * (cfg.write_total / cfg.steps);
+        for p in 0..pieces_per_step {
+            let offset = step_base + (p * cfg.ranks as u64 + r as u64) * cfg.piece;
+            if offset + cfg.piece <= cfg.write_total {
+                t.push(TraceOp::Write {
+                    offset,
+                    len: cfg.piece,
+                });
+            }
+        }
+    }
+    // Verification read-back of this rank's share of read_total.
+    let per_rank_read = cfg.read_total / cfg.ranks as u64;
+    let mut read = 0;
+    let mut offset = (r as u64) * cfg.piece;
+    while read < per_rank_read {
+        let n = cfg.piece.min(per_rank_read - read);
+        if offset + n > cfg.write_total {
+            offset = (r as u64) * cfg.piece;
+        }
+        t.push(TraceOp::Read { offset, len: n });
+        offset += cfg.ranks as u64 * cfg.piece;
+        read += n;
+    }
+    t.push(TraceOp::Close);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_traces_cover_volumes() {
+        let cfg = BtioConfig {
+            ranks: 4,
+            write_total: 256 << 20,
+            read_total: 128 << 20,
+            piece: 1 << 20,
+            steps: 8,
+        };
+        let mut written = 0;
+        let mut read = 0;
+        for r in 0..cfg.ranks {
+            let t = rank_trace(&cfg, r);
+            written += t.bytes_written();
+            read += t.bytes_read();
+        }
+        // Within a piece of the targets (block-cyclic truncation).
+        assert!(written >= cfg.write_total * 9 / 10, "wrote {written}");
+        assert!(written <= cfg.write_total);
+        assert_eq!(read, cfg.read_total);
+    }
+
+    #[test]
+    fn ranks_write_disjoint_ranges() {
+        let cfg = BtioConfig {
+            ranks: 2,
+            write_total: 32 << 20,
+            read_total: 8 << 20,
+            piece: 1 << 20,
+            steps: 2,
+        };
+        let collect = |r| -> Vec<(u64, u64)> {
+            rank_trace(&cfg, r)
+                .records
+                .iter()
+                .filter_map(|rec| match rec.op {
+                    TraceOp::Write { offset, len } => Some((offset, offset + len)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let a = collect(0);
+        let b = collect(1);
+        for (s1, e1) in &a {
+            for (s2, e2) in &b {
+                assert!(e1 <= s2 || e2 <= s1, "overlap: [{s1},{e1}) vs [{s2},{e2})");
+            }
+        }
+    }
+
+    #[test]
+    fn coordinator_presizes_file() {
+        let cfg = BtioConfig::default();
+        let ops = coordinator_script(&cfg, 8);
+        assert_eq!(ops.len(), 3);
+        match &ops[1] {
+            ClientOp::Write { payload, .. } => assert_eq!(payload.len(), cfg.write_total),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

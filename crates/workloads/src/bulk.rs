@@ -1,0 +1,233 @@
+//! §4.2.1 large-file microbenchmarks.
+//!
+//! "benchmark bulkread repeatedly reads 4MB data at random offsets
+//! (aligned at 4KB boundary) from a set of 512MB-large files. Similarly,
+//! benchmark bulkwrite repeatedly writes 4MB data at random offsets ...
+//! In each run, a client reads or writes 256MB data." Different clients
+//! access disjoint file sets; datasets exceed memory so caching is moot.
+
+use rand::Rng;
+use sorrento::client::{ClientOp, OpResult, Workload};
+use sorrento::types::{FileOptions, Organization};
+use sorrento_sim::SimTime;
+
+/// Request size (4 MB).
+pub const BULK_IO: u64 = 4 << 20;
+/// Offset alignment (4 KB).
+pub const ALIGN: u64 = 4 << 10;
+/// File size (512 MB).
+pub const FILE_SIZE: u64 = 512 << 20;
+
+/// Script that pre-populates `count` files of `size` bytes under
+/// `prefix` (synthetic payloads, written in 32 MB slabs).
+pub fn populate_script(prefix: &str, count: usize, size: u64, options: FileOptions) -> Vec<ClientOp> {
+    let slab = 32 << 20;
+    let mut ops = Vec::new();
+    for i in 0..count {
+        ops.push(ClientOp::CreateWith {
+            path: format!("{prefix}{i}"),
+            options,
+        });
+        let mut off = 0;
+        while off < size {
+            let n = slab.min(size - off);
+            ops.push(ClientOp::write_synth(off, n));
+            off += n;
+        }
+        ops.push(ClientOp::Close);
+    }
+    ops
+}
+
+/// Default file options for the bulk benchmarks: hybrid organization so
+/// large files spread over multiple providers (the paper's parallel-I/O
+/// configuration).
+pub fn bulk_options() -> FileOptions {
+    FileOptions {
+        organization: Organization::Hybrid { group_stripes: 4 },
+        ..FileOptions::default()
+    }
+}
+
+/// Read or write mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkMode {
+    /// 4 MB random-offset reads.
+    Read,
+    /// 4 MB random-offset writes (committed per request via sync).
+    Write,
+}
+
+/// The bulkread/bulkwrite client: random 4 MB requests over its own file
+/// set until `quota` bytes are transferred (256 MB in the paper), or
+/// forever if `quota` is `None` (Figure 13's constant workload).
+pub struct BulkIo {
+    prefix: String,
+    file_count: usize,
+    file_size: u64,
+    mode: BulkMode,
+    quota: Option<u64>,
+    stage: u8,
+    current_file: usize,
+    moved: u64,
+    /// `(completion time, bytes)` per finished request — the harness
+    /// derives transfer-rate time series (Figure 13) from this.
+    pub transfers: Vec<(SimTime, u64)>,
+    /// Consecutive failures; the workload aborts after 50 so a broken
+    /// backend cannot spin forever.
+    fail_streak: u32,
+}
+
+impl BulkIo {
+    /// A client over files `{prefix}{0..file_count}` of `file_size`.
+    pub fn new(
+        prefix: impl Into<String>,
+        file_count: usize,
+        file_size: u64,
+        mode: BulkMode,
+        quota: Option<u64>,
+    ) -> BulkIo {
+        BulkIo {
+            prefix: prefix.into(),
+            file_count,
+            file_size,
+            mode,
+            quota,
+            stage: 0,
+            current_file: 0,
+            moved: 0,
+            transfers: Vec::new(),
+            fail_streak: 0,
+        }
+    }
+
+    /// Bytes transferred so far.
+    pub fn moved(&self) -> u64 {
+        self.moved
+    }
+}
+
+impl Workload for BulkIo {
+    fn next_op(&mut self, _now: SimTime, rng: &mut rand::rngs::SmallRng) -> Option<ClientOp> {
+        if self.fail_streak > 50 {
+            return None;
+        }
+        if let Some(q) = self.quota {
+            if self.moved >= q {
+                // Close whatever is open, then stop.
+                if self.stage == 1 {
+                    self.stage = 0;
+                    return Some(ClientOp::Close);
+                }
+                return None;
+            }
+        }
+        match self.stage {
+            0 => {
+                // Open the next file in the set (round-robin).
+                self.current_file = (self.current_file + 1) % self.file_count.max(1);
+                self.stage = 1;
+                Some(ClientOp::Open {
+                    path: format!("{}{}", self.prefix, self.current_file),
+                    write: self.mode == BulkMode::Write,
+                })
+            }
+            _ => {
+                // A batch of random requests against the open file, then
+                // close and rotate. Writes commit per request (each
+                // request is an independent update, as in the paper's
+                // benchmark where every write must land).
+                let max_off = (self.file_size - BULK_IO) / ALIGN;
+                let offset = rng.gen_range(0..=max_off) * ALIGN;
+                self.stage += 1;
+                if self.stage >= 10 {
+                    self.stage = 1;
+                }
+                match self.mode {
+                    BulkMode::Read => Some(ClientOp::Read {
+                        offset,
+                        len: BULK_IO,
+                    }),
+                    BulkMode::Write => Some(ClientOp::write_synth(offset, BULK_IO)),
+                }
+            }
+        }
+    }
+
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, now: SimTime) {
+        if !result.is_ok() {
+            self.fail_streak += 1;
+            return;
+        }
+        self.fail_streak = 0;
+        match op {
+            ClientOp::Read { .. } | ClientOp::Write { .. } => {
+                self.moved += result.bytes;
+                self.transfers.push((now, result.bytes));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn populate_covers_whole_files() {
+        let ops = populate_script("/b/f", 2, 100 << 20, bulk_options());
+        let creates = ops.iter().filter(|o| o.kind() == "create").count();
+        let writes: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                ClientOp::Write { payload, .. } => Some(payload.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(creates, 2);
+        assert_eq!(writes, 2 * (100 << 20));
+    }
+
+    #[test]
+    fn requests_are_aligned_and_in_bounds() {
+        let mut w = BulkIo::new("/b/f", 2, FILE_SIZE, BulkMode::Read, Some(64 << 20));
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mut reads = 0;
+        for _ in 0..200 {
+            let Some(op) = w.next_op(SimTime::ZERO, &mut rng) else {
+                break;
+            };
+            if let ClientOp::Read { offset, len } = op {
+                assert_eq!(offset % ALIGN, 0);
+                assert!(offset + len <= FILE_SIZE);
+                reads += 1;
+                w.on_result(
+                    &ClientOp::Read { offset, len },
+                    &OpResult {
+                        error: None,
+                        bytes: len,
+                        latency: sorrento_sim::Dur::millis(1),
+                        data: None,
+                    },
+                    SimTime::ZERO,
+                );
+            }
+        }
+        assert!(reads >= 16, "quota should allow 16 reads, got {reads}");
+        // Quota reached: drained.
+        assert_eq!(w.moved(), 64 << 20);
+    }
+
+    #[test]
+    fn write_mode_emits_writes() {
+        let mut w = BulkIo::new("/b/f", 1, FILE_SIZE, BulkMode::Write, None);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let kinds: Vec<&str> = (0..4)
+            .map(|_| w.next_op(SimTime::ZERO, &mut rng).unwrap().kind())
+            .collect();
+        assert_eq!(kinds[0], "open");
+        assert!(kinds[1..].iter().all(|k| *k == "write"));
+    }
+}

@@ -1,0 +1,235 @@
+//! §4.4's search-engine crawler (Ask Jeeves).
+//!
+//! "a number of crawlers are assigned disjoint sets of seed URLs ...
+//! Pages from one domain are stored in a single file. ... the number of
+//! pages from a single domain can range from hundreds to millions. And
+//! there is typically a speed discrepancy of more than ten folds among
+//! crawlers. The high skewness of the file size distribution and I/O
+//! workload distribution makes it a good candidate to study ...
+//! load-aware data placement and migration."
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sorrento::client::{ClientOp, OpResult, Workload};
+use sorrento_sim::{Dur, SimTime};
+
+/// Crawler parameters.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Domains this crawler owns.
+    pub domains: usize,
+    /// Minimum pages per domain.
+    pub min_pages: u64,
+    /// Zipf-like skew exponent for pages-per-domain (≥ 0; larger =
+    /// heavier tail).
+    pub skew: f64,
+    /// Largest domain (pages).
+    pub max_pages: u64,
+    /// Bytes per page.
+    pub page_bytes: u64,
+    /// Pages fetched per write (pages buffer in memory, then append).
+    pub pages_per_write: u64,
+    /// Mean simulated Internet fetch latency per write batch; models the
+    /// crawler's speed (vary per crawler for the >10× discrepancy).
+    pub fetch_think: Dur,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            domains: 20,
+            min_pages: 50,
+            skew: 1.6,
+            max_pages: 200_000,
+            page_bytes: 10 * 1024,
+            pages_per_write: 64,
+            fetch_think: Dur::millis(400),
+        }
+    }
+}
+
+/// Sample a heavy-tailed pages-per-domain count: inverse-power transform
+/// of a uniform draw, clamped to `[min_pages, max_pages]`.
+pub fn sample_domain_pages(cfg: &CrawlerConfig, rng: &mut SmallRng) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let scaled = cfg.min_pages as f64 * u.powf(-cfg.skew);
+    (scaled as u64).clamp(cfg.min_pages, cfg.max_pages)
+}
+
+/// One crawler process: for each owned domain, create the domain file
+/// and append fetched pages batch by batch, thinking between batches to
+/// model fetch latency.
+pub struct Crawler {
+    cfg: CrawlerConfig,
+    id: String,
+    /// Remaining pages for the current domain (`None` before it starts).
+    domain: usize,
+    remaining: Option<u64>,
+    stage: u8,
+    /// Total bytes stored so far.
+    pub stored: u64,
+    done: bool,
+}
+
+impl Crawler {
+    /// A crawler with a unique id (used in its file paths).
+    pub fn new(id: impl Into<String>, cfg: CrawlerConfig) -> Crawler {
+        Crawler {
+            cfg,
+            id: id.into(),
+            domain: 0,
+            remaining: None,
+            stage: 0,
+            stored: 0,
+            done: false,
+        }
+    }
+}
+
+impl Workload for Crawler {
+    fn next_op(&mut self, _now: SimTime, rng: &mut SmallRng) -> Option<ClientOp> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match (self.stage, self.remaining) {
+                // Start a new domain.
+                (0, None) => {
+                    if self.domain >= self.cfg.domains {
+                        self.done = true;
+                        return None;
+                    }
+                    self.remaining = Some(sample_domain_pages(&self.cfg, rng));
+                    self.stage = 1;
+                    return Some(ClientOp::Create {
+                        path: format!("/crawl-{}-d{}", self.id, self.domain),
+                    });
+                }
+                // Think (fetch pages from the Internet)...
+                (1, Some(_)) => {
+                    self.stage = 2;
+                    // Jitter ±50% around the crawler's fetch latency.
+                    let base = self.cfg.fetch_think.as_nanos();
+                    let jitter = rng.gen_range(base / 2..=base * 3 / 2);
+                    return Some(ClientOp::Think {
+                        dur: Dur::nanos(jitter),
+                    });
+                }
+                // ...then append the fetched batch.
+                (2, Some(rem)) => {
+                    let pages = self.cfg.pages_per_write.min(rem);
+                    let bytes = pages * self.cfg.page_bytes;
+                    let left = rem - pages;
+                    if left == 0 {
+                        self.remaining = None;
+                        self.stage = 3; // close after this write
+                    } else {
+                        self.remaining = Some(left);
+                        self.stage = 1;
+                    }
+                    return Some(ClientOp::append_synth(bytes));
+                }
+                // Domain finished: close its file.
+                (3, None) => {
+                    self.stage = 0;
+                    self.domain += 1;
+                    return Some(ClientOp::Close);
+                }
+                _ => {
+                    // Inconsistent state: restart the domain loop.
+                    self.stage = 0;
+                    self.remaining = None;
+                }
+            }
+        }
+    }
+
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, _now: SimTime) {
+        if result.is_ok() && matches!(op, ClientOp::Append { .. }) {
+            self.stored += result.bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domain_sizes_are_heavy_tailed() {
+        let cfg = CrawlerConfig::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sizes: Vec<u64> = (0..5000).map(|_| sample_domain_pages(&cfg, &mut rng)).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(min >= cfg.min_pages);
+        assert!(max <= cfg.max_pages);
+        // Skewness: the largest domain dwarfs the median by orders of
+        // magnitude ("hundreds to millions").
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            max > median * 50,
+            "tail not heavy enough: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn crawler_emits_create_think_append_close_cycles() {
+        let cfg = CrawlerConfig {
+            domains: 2,
+            min_pages: 10,
+            max_pages: 10,
+            pages_per_write: 10,
+            ..CrawlerConfig::default()
+        };
+        let mut c = Crawler::new("c0", cfg);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut kinds = Vec::new();
+        while let Some(op) = c.next_op(SimTime::ZERO, &mut rng) {
+            kinds.push(op.kind());
+            if kinds.len() > 20 {
+                break;
+            }
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                "create", "think", "append", "close", "create", "think", "append", "close"
+            ]
+        );
+    }
+
+    #[test]
+    fn crawler_accounts_bytes() {
+        let cfg = CrawlerConfig {
+            domains: 1,
+            min_pages: 10,
+            max_pages: 10,
+            pages_per_write: 4,
+            page_bytes: 100,
+            ..CrawlerConfig::default()
+        };
+        let mut c = Crawler::new("c0", cfg);
+        let mut rng = SmallRng::seed_from_u64(5);
+        while let Some(op) = c.next_op(SimTime::ZERO, &mut rng) {
+            let bytes = match &op {
+                ClientOp::Append { payload } => payload.len(),
+                _ => 0,
+            };
+            c.on_result(
+                &op,
+                &OpResult {
+                    error: None,
+                    bytes,
+                    latency: Dur::millis(1),
+                    data: None,
+                },
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(c.stored, 1000); // 10 pages × 100 bytes
+    }
+}

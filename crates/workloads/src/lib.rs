@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # sorrento-workloads — the paper's workloads, regenerated
+//!
+//! Generators and trace replay for every workload §4 evaluates:
+//!
+//! * [`smallfile`] — the §4.1 interactive microbenchmarks: the
+//!   create/write/read/unlink latency script (Figure 9) and the endless
+//!   create–write–close session loop (Figure 10);
+//! * [`bulk`] — the §4.2.1 `bulkread`/`bulkwrite` microbenchmarks: 4 MB
+//!   requests at random 4 KB-aligned offsets over sets of 512 MB files
+//!   (Figures 11 and 13);
+//! * [`crawler`] — the §4.4 Ask Jeeves crawler: heavy-tailed
+//!   pages-per-domain (hundreds to millions), >10× crawler speed
+//!   discrepancy, pages appended to one file per domain (Figure 14);
+//! * [`psm`] — the §4.2.2/§4.5 parallel Protein Sequence Matching
+//!   service: 24 partitions of 1–1.5 GB, each service process scanning
+//!   its 3 assigned partitions per query (Figures 12 and 15);
+//! * [`btio`] — the §4.2.2 NAS BTIO replay: block-tridiagonal solution
+//!   checkpoints written as disjoint byte ranges through the
+//!   versioning-off mode, then read back (Figure 12);
+//! * [`replay`] — record/replay adapters bridging
+//!   [`sorrento_trace::Trace`] and the [`Workload`] trait.
+//!
+//! All generators take a scale factor so the same code drives quick unit
+//! tests and full-size experiment runs.
+
+pub mod btio;
+pub mod bulk;
+pub mod crawler;
+pub mod psm;
+pub mod replay;
+pub mod smallfile;
+
+pub use replay::{ReplayMode, TraceRecorder, TraceReplayer};
+
+use sorrento::client::Workload;
+
+/// Convenience: a boxed workload.
+pub type BoxedWorkload = Box<dyn Workload>;

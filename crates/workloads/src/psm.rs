@@ -1,0 +1,289 @@
+//! §4.2.2 / §4.5's parallel Protein Sequence Matching service (PSM,
+//! based on NCBI Blast).
+//!
+//! "the total dataset consists of 24 partitions, each of which is
+//! between 1GB and 1.5GB. Each PSM service process is statically
+//! assigned a disjoint set of three partitions. To serve a request, a
+//! PSM service process performs a local search on its assigned
+//! partitions" — i.e. scans parts of each partition per query, with
+//! think time between queries from the traced query arrival gaps.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sorrento::client::{ClientOp, OpResult, Workload};
+use sorrento::types::{FileOptions, PlacementPolicy};
+use sorrento_sim::{Dur, SimTime};
+
+/// PSM deployment parameters.
+#[derive(Debug, Clone)]
+pub struct PsmConfig {
+    /// Total number of database partitions (24 in the paper).
+    pub partitions: usize,
+    /// Partitions per service process (3 in the paper).
+    pub per_process: usize,
+    /// Minimum partition size (1 GB in the paper; scale down for tests).
+    pub min_partition: u64,
+    /// Maximum partition size (1.5 GB in the paper).
+    pub max_partition: u64,
+    /// Bytes scanned per partition per query.
+    pub scan_per_query: u64,
+    /// Scan request chunk size.
+    pub chunk: u64,
+    /// Mean think time between queries (query arrival gap).
+    pub query_gap: Dur,
+    /// Queries each process serves (`None` = unbounded).
+    pub queries: Option<u64>,
+}
+
+impl Default for PsmConfig {
+    fn default() -> Self {
+        PsmConfig {
+            partitions: 24,
+            per_process: 3,
+            min_partition: 1 << 30,
+            max_partition: 3 << 29, // 1.5 GB
+            scan_per_query: 256 << 10,
+            chunk: 128 << 10,
+            query_gap: Dur::millis(300),
+            queries: None,
+        }
+    }
+}
+
+/// Path of partition `i`.
+pub fn partition_path(i: usize) -> String {
+    format!("/psm-part{i}")
+}
+
+/// Deterministic size of partition `i` within the configured band.
+pub fn partition_size(cfg: &PsmConfig, i: usize) -> u64 {
+    let span = cfg.max_partition - cfg.min_partition;
+    cfg.min_partition + (i as u64 * 2_654_435_761) % span.max(1)
+}
+
+/// Script that imports all partitions (run by a loader client before the
+/// service starts). Uses the locality-driven placement policy when
+/// `locality` is set (§4.5) so the partitions can migrate toward their
+/// service processes.
+pub fn import_script(cfg: &PsmConfig, locality: Option<f64>) -> Vec<ClientOp> {
+    let options = FileOptions {
+        placement: match locality {
+            Some(threshold) => PlacementPolicy::LocalityDriven { threshold },
+            None => PlacementPolicy::LoadAware,
+        },
+        ..FileOptions::default()
+    };
+    let slab = 64 << 20;
+    let mut ops = Vec::new();
+    for i in 0..cfg.partitions {
+        ops.push(ClientOp::CreateWith {
+            path: partition_path(i),
+            options,
+        });
+        let size = partition_size(cfg, i);
+        let mut off = 0;
+        while off < size {
+            let n = slab.min(size - off);
+            ops.push(ClientOp::write_synth(off, n));
+            off += n;
+        }
+        ops.push(ClientOp::Close);
+    }
+    ops
+}
+
+/// One PSM service process: per query, scan a random window of the next
+/// assigned partition (round-robin across its set — the partitions hold
+/// disjoint database shards, so each query's matching work walks one
+/// shard at a time), then idle until the next query arrives.
+pub struct PsmService {
+    cfg: PsmConfig,
+    /// Partition indices assigned to this process.
+    parts: Vec<usize>,
+    /// Current position in the per-query scan plan.
+    stage: PsmStage,
+    queries_done: u64,
+    /// `(query completion time, I/O time within the query)` — Figure 15's
+    /// per-query I/O time series.
+    pub query_io: Vec<(SimTime, Dur)>,
+    current_io: Dur,
+}
+
+#[derive(Debug)]
+enum PsmStage {
+    /// Opening partition `k` for the current query.
+    Opening(usize),
+    /// Scanning partition `k`: `done` of `scan_per_query` bytes issued.
+    Scanning { k: usize, done: u64, offset: u64 },
+    /// Closing partition `k` (ends the query).
+    Closing(usize),
+    /// Query finished: think before the next.
+    Idle,
+}
+
+impl PsmService {
+    /// A service process over the given partition indices.
+    pub fn new(cfg: PsmConfig, parts: Vec<usize>) -> PsmService {
+        PsmService {
+            cfg,
+            parts,
+            stage: PsmStage::Opening(0),
+            queries_done: 0,
+            query_io: Vec::new(),
+            current_io: Dur::ZERO,
+        }
+    }
+
+    /// Queries completed.
+    pub fn queries_done(&self) -> u64 {
+        self.queries_done
+    }
+}
+
+impl Workload for PsmService {
+    fn next_op(&mut self, now: SimTime, rng: &mut SmallRng) -> Option<ClientOp> {
+        if let Some(limit) = self.cfg.queries {
+            if self.queries_done >= limit {
+                return None;
+            }
+        }
+        match self.stage {
+            PsmStage::Opening(k) => {
+                let part = self.parts[k];
+                self.stage = PsmStage::Scanning {
+                    k,
+                    done: 0,
+                    offset: {
+                        let size = partition_size(&self.cfg, part);
+                        let span = size.saturating_sub(self.cfg.scan_per_query).max(1);
+                        rng.gen_range(0..span)
+                    },
+                };
+                Some(ClientOp::Open {
+                    path: partition_path(part),
+                    write: false,
+                })
+            }
+            PsmStage::Scanning { k, done, offset } => {
+                if done >= self.cfg.scan_per_query {
+                    self.stage = PsmStage::Closing(k);
+                    return Some(ClientOp::Close);
+                }
+                let n = self.cfg.chunk.min(self.cfg.scan_per_query - done);
+                self.stage = PsmStage::Scanning {
+                    k,
+                    done: done + n,
+                    offset,
+                };
+                Some(ClientOp::Read {
+                    offset: offset + done,
+                    len: n,
+                })
+            }
+            PsmStage::Closing(k) => {
+                // Query complete; the next query scans the next partition.
+                self.queries_done += 1;
+                self.query_io.push((now, self.current_io));
+                self.current_io = Dur::ZERO;
+                self.stage = PsmStage::Idle;
+                let _ = k;
+                let base = self.cfg.query_gap.as_nanos().max(2);
+                Some(ClientOp::Think {
+                    dur: Dur::nanos(rng.gen_range(base / 2..=base * 3 / 2)),
+                })
+            }
+            PsmStage::Idle => {
+                let next = (self.queries_done as usize) % self.parts.len();
+                self.stage = PsmStage::Opening(next);
+                self.next_op(now, rng)
+            }
+        }
+    }
+
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, _now: SimTime) {
+        // Figure 15 reports the I/O portion of the service time: the
+        // latency of read requests within the query.
+        if matches!(op, ClientOp::Read { .. }) && result.is_ok() {
+            self.current_io += result.latency;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> PsmConfig {
+        PsmConfig {
+            partitions: 4,
+            per_process: 2,
+            min_partition: 1 << 20,
+            max_partition: 2 << 20,
+            scan_per_query: 64 << 10,
+            chunk: 32 << 10,
+            queries: Some(2),
+            ..PsmConfig::default()
+        }
+    }
+
+    #[test]
+    fn partition_sizes_within_band() {
+        let cfg = PsmConfig::default();
+        for i in 0..cfg.partitions {
+            let s = partition_size(&cfg, i);
+            assert!(s >= cfg.min_partition && s < cfg.max_partition, "{s}");
+        }
+    }
+
+    #[test]
+    fn import_covers_all_partitions() {
+        let cfg = small_cfg();
+        let ops = import_script(&cfg, Some(0.6));
+        let creates = ops.iter().filter(|o| o.kind() == "create").count();
+        assert_eq!(creates, 4);
+        let written: u64 = ops
+            .iter()
+            .filter_map(|o| match o {
+                ClientOp::Write { payload, .. } => Some(payload.len()),
+                _ => None,
+            })
+            .sum();
+        let expect: u64 = (0..4).map(|i| partition_size(&cfg, i)).sum();
+        assert_eq!(written, expect);
+    }
+
+    #[test]
+    fn service_round_robins_partitions_across_queries() {
+        let cfg = small_cfg();
+        let mut svc = PsmService::new(cfg, vec![0, 2]);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut opens = Vec::new();
+        let mut reads = 0;
+        while let Some(op) = svc.next_op(SimTime::ZERO, &mut rng) {
+            match &op {
+                ClientOp::Open { path, .. } => opens.push(path.clone()),
+                ClientOp::Read { .. } => reads += 1,
+                _ => {}
+            }
+            svc.on_result(
+                &op,
+                &OpResult {
+                    error: None,
+                    bytes: 0,
+                    latency: Dur::millis(2),
+                    data: None,
+                },
+                SimTime::ZERO,
+            );
+        }
+        // One partition per query, cycling through the assigned set.
+        assert_eq!(opens, vec![partition_path(0), partition_path(2)]);
+        // 2 queries × (64K / 32K chunks).
+        assert_eq!(reads, 4);
+        assert_eq!(svc.queries_done(), 2);
+        assert_eq!(svc.query_io.len(), 2);
+        // I/O time accumulated from read latencies only.
+        assert_eq!(svc.query_io[0].1, Dur::millis(4));
+    }
+}

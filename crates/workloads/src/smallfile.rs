@@ -1,0 +1,134 @@
+//! §4.1 small-file microbenchmarks.
+//!
+//! *Interactive responses* (Figure 9): "create repeatedly creates a new
+//! file then closes it immediately. write repeatedly opens the files
+//! created by create, writes 12KB data into it, then closes it. read
+//! repeatedly opens the files written by write, reads 12KB data from it,
+//! then closes it. unlink unlinks all the files created by create."
+//!
+//! *Sustained throughput* (Figure 10): "multiple client processes
+//! simultaneously, each of which repeatedly creates a file, writes 12KB
+//! into it, and closes it" — counted as sessions/second.
+
+use sorrento::client::{ClientOp, OpResult, Workload};
+use sorrento_sim::SimTime;
+
+/// The 12 KB request size used throughout §4.1.
+pub const SMALL_IO: u64 = 12 * 1024;
+
+/// Figure 9's four-phase latency script over `n` files under `dir`.
+/// Returns the op list; per-phase latencies come out of
+/// `ClientStats::latencies` keyed by op kind.
+pub fn latency_script(dir: &str, n: usize) -> Vec<ClientOp> {
+    let mut ops = Vec::with_capacity(4 * n + 1);
+    ops.push(ClientOp::Mkdir { path: dir.to_string() });
+    let path = |i: usize| format!("{dir}/f{i}");
+    // Phase 1: create.
+    for i in 0..n {
+        ops.push(ClientOp::Create { path: path(i) });
+        ops.push(ClientOp::Close);
+    }
+    // Phase 2: write 12 KB.
+    for i in 0..n {
+        ops.push(ClientOp::Open { path: path(i), write: true });
+        ops.push(ClientOp::write_synth(0, SMALL_IO));
+        ops.push(ClientOp::Close);
+    }
+    // Phase 3: read 12 KB.
+    for i in 0..n {
+        ops.push(ClientOp::Open { path: path(i), write: false });
+        ops.push(ClientOp::Read { offset: 0, len: SMALL_IO });
+        ops.push(ClientOp::Close);
+    }
+    // Phase 4: unlink.
+    for i in 0..n {
+        ops.push(ClientOp::Unlink { path: path(i) });
+    }
+    ops
+}
+
+/// Figure 10's endless session loop: create → write 12 KB → close,
+/// with a fresh file each iteration. [`SessionLoop::sessions`] counts
+/// completed sessions for throughput reporting.
+pub struct SessionLoop {
+    prefix: String,
+    i: u64,
+    stage: u8,
+    /// Completed (create, write, close) sessions.
+    pub sessions: u64,
+    /// When each session completed (for warmup trimming).
+    pub session_times: Vec<SimTime>,
+}
+
+impl SessionLoop {
+    /// Sessions create files named `{prefix}-{n}`.
+    pub fn new(prefix: impl Into<String>) -> SessionLoop {
+        SessionLoop {
+            prefix: prefix.into(),
+            i: 0,
+            stage: 0,
+            sessions: 0,
+            session_times: Vec::new(),
+        }
+    }
+}
+
+impl Workload for SessionLoop {
+    fn next_op(&mut self, _now: SimTime, _rng: &mut rand::rngs::SmallRng) -> Option<ClientOp> {
+        let op = match self.stage {
+            0 => ClientOp::Create {
+                path: format!("{}-{}", self.prefix, self.i),
+            },
+            1 => ClientOp::write_synth(0, SMALL_IO),
+            _ => ClientOp::Close,
+        };
+        self.stage = (self.stage + 1) % 3;
+        if self.stage == 0 {
+            self.i += 1;
+        }
+        Some(op)
+    }
+
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, now: SimTime) {
+        if matches!(op, ClientOp::Close) && result.is_ok() {
+            self.sessions += 1;
+            self.session_times.push(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latency_script_shape() {
+        let ops = latency_script("/bench", 3);
+        let creates = ops.iter().filter(|o| o.kind() == "create").count();
+        let writes = ops.iter().filter(|o| o.kind() == "write").count();
+        let reads = ops.iter().filter(|o| o.kind() == "read").count();
+        let unlinks = ops.iter().filter(|o| o.kind() == "unlink").count();
+        assert_eq!((creates, writes, reads, unlinks), (3, 3, 3, 3));
+        // Phases are ordered: all creates before all writes, etc.
+        let first_write = ops.iter().position(|o| o.kind() == "write").unwrap();
+        let last_create = ops.iter().rposition(|o| o.kind() == "create").unwrap();
+        assert!(last_create < first_write);
+    }
+
+    #[test]
+    fn session_loop_cycles() {
+        let mut w = SessionLoop::new("/t/x");
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+        let kinds: Vec<&str> = (0..6)
+            .map(|_| w.next_op(SimTime::ZERO, &mut rng).unwrap().kind())
+            .collect();
+        assert_eq!(kinds, vec!["create", "write", "close", "create", "write", "close"]);
+        // Distinct file per session.
+        if let Some(ClientOp::Create { path }) = w.next_op(SimTime::ZERO, &mut rng) {
+            assert_eq!(path, "/t/x-2");
+        } else {
+            panic!("expected create");
+        }
+    }
+}

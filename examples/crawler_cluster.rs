@@ -1,0 +1,95 @@
+//! A web-crawler storage cluster (the paper's §4.4 motivating scenario):
+//! 20 crawlers with wildly different speeds append heavy-tailed domain
+//! files onto a 6-node volume, and the load-aware placement plus online
+//! migration keep storage usage balanced — no operator involved.
+//!
+//! ```sh
+//! cargo run -p sorrento-examples --bin crawler_cluster
+//! ```
+
+use sorrento::cluster::ClusterBuilder;
+use sorrento::types::{FileOptions, PlacementPolicy};
+use sorrento_sim::Dur;
+use sorrento_workloads::crawler::{Crawler, CrawlerConfig};
+
+fn main() {
+    let providers = 6;
+    let mut cluster = ClusterBuilder::new()
+        .providers(providers)
+        .replication(1)
+        .capacity(1_500_000_000)
+        .seed(7)
+        .build();
+
+    // Crawled pages are written once and put away: space-based placement
+    // (α = 0) is the right favoritism, per §3.7.2.
+    let options = FileOptions {
+        alpha: 0.0,
+        placement: PlacementPolicy::LoadAware,
+        ..FileOptions::default()
+    };
+
+    let mut crawlers = Vec::new();
+    for c in 0..20usize {
+        let cfg = CrawlerConfig {
+            domains: 6,
+            min_pages: 20,
+            max_pages: 60_000,
+            page_bytes: 10 * 1024,
+            pages_per_write: 128,
+            skew: 1.5,
+            // >10× speed discrepancy between the fastest and slowest.
+            fetch_think: Dur::millis(30 + 45 * (c as u64 % 10)),
+        };
+        let id = cluster.add_client_on_provider_with_options(
+            Crawler::new(format!("c{c}"), cfg),
+            c % providers,
+            options,
+        );
+        crawlers.push(id);
+    }
+
+    // Crawl until done, printing the balance every 10 virtual minutes.
+    let mut minutes = 0;
+    loop {
+        cluster.run_for(Dur::minutes(10));
+        minutes += 10;
+        let usage = cluster.provider_disk_usage();
+        let fracs: Vec<f64> = usage
+            .iter()
+            .map(|&(_, used, cap)| used as f64 / cap as f64 * 100.0)
+            .collect();
+        let hi = fracs.iter().cloned().fold(0.0f64, f64::max);
+        let lo = fracs.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "t={minutes:>4}min  usage per node: {}  (unevenness {:.2})",
+            fracs
+                .iter()
+                .map(|f| format!("{f:>5.1}%"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            hi / lo.max(0.01)
+        );
+        let done = crawlers
+            .iter()
+            .filter(|&&id| cluster.client_stats(id).unwrap().finished_at.is_some())
+            .count();
+        if done == crawlers.len() {
+            break;
+        }
+        assert!(minutes < 600, "crawl did not converge");
+    }
+
+    let stored: u64 = crawlers
+        .iter()
+        .map(|&id| cluster.client_stats(id).unwrap().bytes_written)
+        .sum();
+    let migrations = cluster.metrics().counter("sorrento.migrations_done");
+    println!(
+        "\ncrawl finished: {} MB stored across {providers} nodes, {migrations} segments migrated",
+        stored >> 20
+    );
+    for (id, used, cap) in cluster.provider_disk_usage() {
+        println!("  {id}: {:>5} MB of {} GB", used >> 20, cap / 1_000_000_000);
+    }
+}

@@ -1,0 +1,1 @@
+//! integration tests live in tests/*.rs

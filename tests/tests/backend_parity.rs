@@ -1,0 +1,137 @@
+//! Backend parity: the same workloads must *function* identically on
+//! Sorrento, NFS and PVFS (only the timing differs) — the property that
+//! makes the §4 comparisons meaningful.
+
+use sorrento::client::ClientOp;
+use sorrento::cluster::{ClusterBuilder, ScriptedWorkload};
+use sorrento::costs::CostModel;
+use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
+use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
+use sorrento_sim::Dur;
+use sorrento_workloads::bulk::{bulk_options, populate_script, BulkIo, BulkMode};
+use sorrento_workloads::smallfile::latency_script;
+
+fn backends(seed: u64) -> Vec<(&'static str, sorrento_bench_shim::Any)> {
+    vec![
+        (
+            "sorrento",
+            sorrento_bench_shim::Any::S(Box::new(
+                ClusterBuilder::new()
+                    .providers(4)
+                    .seed(seed)
+                    .costs(CostModel::fast_test())
+                    .build(),
+            )),
+        ),
+        (
+            "nfs",
+            sorrento_bench_shim::Any::N(Box::new(NfsCluster::new(seed, NfsCosts::default()))),
+        ),
+        (
+            "pvfs",
+            sorrento_bench_shim::Any::P(Box::new(PvfsCluster::new(4, seed, PvfsCosts::default()))),
+        ),
+    ]
+}
+
+/// Minimal backend-uniform shim (the bench crate has a richer one; tests
+/// keep their own to avoid a dev-dependency cycle).
+mod sorrento_bench_shim {
+    use super::*;
+    pub enum Any {
+        S(Box<sorrento::cluster::Cluster>),
+        N(Box<NfsCluster>),
+        P(Box<PvfsCluster>),
+    }
+    impl Any {
+        pub fn run(&mut self, ops: Vec<ClientOp>, horizon: Dur) -> sorrento::client::ClientStats {
+            match self {
+                Any::S(c) => {
+                    let id = c.add_client(ScriptedWorkload::new(ops));
+                    c.run_for(horizon);
+                    c.client_stats(id).unwrap().clone()
+                }
+                Any::N(c) => {
+                    let id = c.add_client(ScriptedWorkload::new(ops));
+                    c.run_for(horizon);
+                    c.client_stats(id).unwrap().clone()
+                }
+                Any::P(c) => {
+                    let id = c.add_client(ScriptedWorkload::new(ops));
+                    c.run_for(horizon);
+                    c.client_stats(id).unwrap().clone()
+                }
+            }
+        }
+        pub fn run_workload<W: sorrento::client::Workload>(
+            &mut self,
+            w: W,
+            horizon: Dur,
+        ) -> sorrento::client::ClientStats {
+            match self {
+                Any::S(c) => {
+                    let id = c.add_client(w);
+                    c.run_for(horizon);
+                    c.client_stats(id).unwrap().clone()
+                }
+                Any::N(c) => {
+                    let id = c.add_client(w);
+                    c.run_for(horizon);
+                    c.client_stats(id).unwrap().clone()
+                }
+                Any::P(c) => {
+                    let id = c.add_client(w);
+                    c.run_for(horizon);
+                    c.client_stats(id).unwrap().clone()
+                }
+            }
+        }
+    }
+}
+
+/// The Figure 9 latency script runs clean on every backend.
+#[test]
+fn smallfile_script_runs_on_all_backends() {
+    for (name, mut b) in backends(81) {
+        let stats = b.run(latency_script("/bench", 10), Dur::secs(300));
+        assert_eq!(stats.failed_ops, 0, "{name}: {:?}", stats.last_error);
+        // mkdir + 10×(create+close) + 10×(open+write+close)
+        // + 10×(open+read+close) + 10×unlink = 91 ops.
+        assert_eq!(stats.completed_ops, 91, "{name}");
+        assert_eq!(stats.bytes_written, 10 * 12 * 1024, "{name}");
+        assert_eq!(stats.bytes_read, 10 * 12 * 1024, "{name}");
+    }
+}
+
+/// The bulk benchmark moves its full quota on every backend.
+#[test]
+fn bulk_quota_completes_on_all_backends() {
+    for (name, mut b) in backends(82) {
+        let pop = populate_script("/bulk", 1, 64 << 20, bulk_options());
+        let stats = b.run(pop, Dur::secs(600));
+        assert_eq!(stats.failed_ops, 0, "{name} populate: {:?}", stats.last_error);
+        let io = BulkIo::new("/bulk", 1, 64 << 20, BulkMode::Read, Some(32 << 20));
+        let stats = b.run_workload(io, Dur::secs(600));
+        assert_eq!(stats.failed_ops, 0, "{name} bulk: {:?}", stats.last_error);
+        assert_eq!(stats.bytes_read, 32 << 20, "{name}");
+    }
+}
+
+/// Error semantics agree across backends: opening a missing file fails
+/// with NotFound everywhere, then a valid create succeeds.
+#[test]
+fn error_semantics_agree() {
+    for (name, mut b) in backends(83) {
+        let stats = b.run(
+            vec![
+                ClientOp::Open { path: "/missing".into(), write: false },
+                ClientOp::Create { path: "/made".into() },
+                ClientOp::Close,
+                ClientOp::Stat { path: "/made".into() },
+            ],
+            Dur::secs(120),
+        );
+        assert_eq!(stats.failed_ops, 1, "{name}");
+        assert_eq!(stats.completed_ops, 3, "{name}");
+    }
+}

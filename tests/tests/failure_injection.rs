@@ -1,0 +1,218 @@
+//! Failure-injection integration tests: crashes at awkward moments,
+//! flapping nodes, and resource exhaustion.
+
+use sorrento::client::ClientOp;
+use sorrento::cluster::{Cluster, ClusterBuilder, ScriptedWorkload};
+use sorrento::costs::CostModel;
+use sorrento_sim::Dur;
+
+fn cluster(providers: usize, r: u32, seed: u64) -> Cluster {
+    ClusterBuilder::new()
+        .providers(providers)
+        .replication(r)
+        .seed(seed)
+        .costs(CostModel::fast_test())
+        .build()
+}
+
+fn patterned(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(41) ^ seed).collect()
+}
+
+/// A provider crashes while a writer is mid-commit: the op either
+/// completes or fails cleanly, the cluster stays consistent, and a
+/// subsequent writer+reader pair works.
+#[test]
+fn crash_during_commit_window() {
+    let mut c = cluster(4, 2, 61);
+    let writer = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/f".into() },
+        ClientOp::write_bytes(0, patterned(500_000, 1)),
+        ClientOp::Close,
+    ]));
+    // Crash a provider right inside the first commit window (the create
+    // lands around t ≈ 5 s given the fast_test warmup).
+    let t = c.now();
+    let victim = c.providers()[0];
+    c.crash_provider_at(t + Dur::millis(120), victim);
+    c.run_for(Dur::secs(60));
+    let ws = c.client_stats(writer).unwrap().clone();
+    // Either outcome is legal; corruption is not.
+    if ws.failed_ops > 0 {
+        assert!(matches!(
+            ws.last_error,
+            Some(sorrento::Error::Timeout) | Some(sorrento::Error::VersionConflict)
+        ));
+    }
+    // The system keeps working for fresh files.
+    let verify = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/g".into() },
+        ClientOp::write_bytes(0, patterned(100_000, 2)),
+        ClientOp::Close,
+        ClientOp::Open { path: "/g".into(), write: false },
+        ClientOp::Read { offset: 0, len: 100_000 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(90));
+    let vs = c.client_stats(verify).unwrap();
+    assert_eq!(vs.failed_ops, 0, "{:?}", vs.last_error);
+    assert_eq!(vs.last_read.as_deref(), Some(&patterned(100_000, 2)[..]));
+}
+
+/// A flapping provider (repeated crash/restart) must not wedge the
+/// cluster: after it stabilizes, reads and the replication degree
+/// recover.
+#[test]
+fn flapping_provider_recovers() {
+    let mut c = cluster(4, 2, 62);
+    let w = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/flap".into() },
+        ClientOp::write_bytes(0, patterned(300_000, 3)),
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(30));
+    assert_eq!(c.client_stats(w).unwrap().failed_ops, 0);
+    let victim = c.providers()[1];
+    let t = c.now();
+    for k in 0..4 {
+        c.crash_provider_at(t + Dur::secs(k * 10), victim);
+        c.restart_provider_at(t + Dur::secs(k * 10 + 4), victim);
+    }
+    c.run_for(Dur::secs(120));
+    // Degree restored on live nodes.
+    for (seg, owners) in c.segment_ownership() {
+        assert!(owners.len() >= 2, "{seg:?}: {owners:?}");
+    }
+    let reader = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Open { path: "/flap".into(), write: false },
+        ClientOp::Read { offset: 0, len: 300_000 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(30));
+    let rs = c.client_stats(reader).unwrap();
+    assert_eq!(rs.failed_ops, 0, "{:?}", rs.last_error);
+    assert_eq!(rs.last_read.as_deref(), Some(&patterned(300_000, 3)[..]));
+}
+
+/// Losing more nodes than the replication degree tolerates loses access
+/// (reads fail cleanly), and restarting them restores it — the §2.2
+/// power-off/power-on story: no reformat, data survives on disk.
+#[test]
+fn total_outage_and_power_on_recovery() {
+    let mut c = cluster(3, 1, 63);
+    let data = patterned(200_000, 4);
+    let w = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/solo".into() },
+        ClientOp::write_bytes(0, data.clone()),
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(20));
+    assert_eq!(c.client_stats(w).unwrap().failed_ops, 0);
+    // Power off every provider.
+    let t = c.now();
+    for &p in &c.providers().to_vec() {
+        c.crash_provider_at(t, p);
+    }
+    let blind = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Open { path: "/solo".into(), write: false },
+        ClientOp::Read { offset: 0, len: 200_000 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(40));
+    // With no live providers the client either times out or (having an
+    // empty membership view) never gets to issue the op at all — either
+    // way nothing completes.
+    let bs = c.client_stats(blind).unwrap();
+    assert_eq!(bs.completed_ops, 0, "read completed during total outage");
+    // Power on: disks intact, soft state rebuilt from refreshes.
+    let t = c.now();
+    for &p in &c.providers().to_vec() {
+        c.restart_provider_at(t, p);
+    }
+    c.run_for(Dur::secs(30));
+    let reader = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Open { path: "/solo".into(), write: false },
+        ClientOp::Read { offset: 0, len: 200_000 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(60));
+    let rs = c.client_stats(reader).unwrap();
+    assert_eq!(rs.failed_ops, 0, "{:?}", rs.last_error);
+    assert_eq!(rs.last_read.as_deref(), Some(&data[..]));
+}
+
+/// Disk exhaustion: when no provider can fit a segment, the write fails
+/// with OutOfSpace rather than hanging or corrupting, and small files
+/// still fit elsewhere.
+#[test]
+fn out_of_space_is_clean() {
+    let mut c = ClusterBuilder::new()
+        .providers(2)
+        .replication(1)
+        .seed(64)
+        .costs(CostModel::fast_test())
+        .capacity(3_000_000) // 3 MB per provider
+        .build();
+    let big = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/big".into() },
+        ClientOp::write_synth(0, 32 << 20), // cannot fit anywhere
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(120));
+    let bs = c.client_stats(big).unwrap();
+    assert!(bs.failed_ops > 0);
+    assert!(
+        matches!(
+            bs.last_error,
+            Some(sorrento::Error::OutOfSpace) | Some(sorrento::Error::Timeout)
+        ),
+        "{:?}",
+        bs.last_error
+    );
+    // Small files still succeed.
+    let small = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/small".into() },
+        ClientOp::write_bytes(0, vec![9; 10_000]),
+        ClientOp::Close,
+        ClientOp::Open { path: "/small".into(), write: false },
+        ClientOp::Read { offset: 0, len: 10_000 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(60));
+    let ss = c.client_stats(small).unwrap();
+    assert_eq!(ss.failed_ops, 0, "{:?}", ss.last_error);
+}
+
+/// Shadow copies left by a crashed client expire and free their space
+/// (§3.5's expiration timers).
+#[test]
+fn abandoned_shadows_expire() {
+    let mut c = cluster(3, 1, 65);
+    // A client that writes but never closes (then "crashes": the
+    // workload simply ends).
+    let zombie = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Create { path: "/zombie".into() },
+        ClientOp::write_bytes(0, patterned(400_000, 5)),
+        // no Close: the shadows are left dangling
+    ]));
+    c.run_for(Dur::secs(10));
+    assert_eq!(c.client_stats(zombie).unwrap().failed_ops, 0);
+    let before: u64 = c
+        .provider_disk_usage()
+        .iter()
+        .map(|(_, used, _)| *used)
+        .sum();
+    assert!(before >= 400_000, "shadow bytes on disk: {before}");
+    // fast_test shadow TTL is 30 s; the GC sweep runs on the location-GC
+    // cadence (90 s).
+    c.run_for(Dur::secs(200));
+    let after: u64 = c
+        .provider_disk_usage()
+        .iter()
+        .map(|(_, used, _)| *used)
+        .sum();
+    assert!(
+        after < before / 4,
+        "expired shadows not reclaimed: {before} -> {after}"
+    );
+}

@@ -1,0 +1,256 @@
+//! Property-based tests over the core data structures: the file layout
+//! mapping, the versioned segment store, and the hash ring under churn.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sorrento::layout::{IndexSegment, WritePlan};
+use sorrento::ring::HashRing;
+use sorrento::store::{LocalStore, SegMeta, WritePayload};
+use sorrento::types::{FileOptions, Organization, SegId, Version};
+use sorrento_sim::{Dur, NodeId, SimTime};
+
+fn organizations() -> impl Strategy<Value = Organization> {
+    prop_oneof![
+        Just(Organization::Linear),
+        (1u32..6, 1u64..64).prop_map(|(stripes, mb)| Organization::Striped {
+            stripes,
+            max_size: mb << 20,
+        }),
+        (1u32..5).prop_map(|group_stripes| Organization::Hybrid { group_stripes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the organization mode, a write plan's extents tile the
+    /// requested range exactly: consecutive, non-overlapping, and
+    /// summing to the request length; and each extent stays within its
+    /// segment's capacity for that mode.
+    #[test]
+    fn write_plans_tile_requests(
+        org in organizations(),
+        offset in 0u64..(8 << 20),
+        len in 1u64..(16 << 20),
+    ) {
+        // Striped mode cannot exceed its declared max size.
+        let (offset, len) = match org {
+            Organization::Striped { max_size, .. } => {
+                let off = offset.min(max_size.saturating_sub(1));
+                (off, len.min(max_size - off).max(1))
+            }
+            _ => (offset, len),
+        };
+        let options = FileOptions { organization: org, ..FileOptions::default() };
+        let mut ix = IndexSegment::new(sorrento::types::FileId(1), options);
+        let mut n = 0u64;
+        let plan = ix.plan_write(offset, len, || {
+            n += 1;
+            SegId::derive(1, n, 0)
+        });
+        match plan {
+            WritePlan::Attached => {
+                prop_assert!(offset + len <= sorrento::layout::ATTACH_MAX);
+            }
+            WritePlan::Extents { detach_bytes, extents } => {
+                prop_assert_eq!(detach_bytes, 0); // fresh file: nothing attached
+                let mut cursor = offset;
+                for e in &extents {
+                    prop_assert_eq!(e.file_offset, cursor);
+                    prop_assert!(e.len > 0);
+                    cursor += e.len;
+                }
+                prop_assert_eq!(cursor, offset + len);
+            }
+        }
+    }
+
+    /// After writing and applying, locate() maps any sub-range onto
+    /// extents that tile it, referencing only segments the plan created.
+    #[test]
+    fn locate_is_consistent_with_plan(
+        org in organizations(),
+        len in 1u64..(8 << 20),
+        probe_off in 0u64..(8 << 20),
+        probe_len in 1u64..(4 << 20),
+    ) {
+        let len = match org {
+            Organization::Striped { max_size, .. } => len.min(max_size),
+            _ => len,
+        };
+        let options = FileOptions { organization: org, ..FileOptions::default() };
+        let mut ix = IndexSegment::new(sorrento::types::FileId(1), options);
+        let mut n = 0u64;
+        ix.plan_write(0, len, || {
+            n += 1;
+            SegId::derive(1, n, 0)
+        });
+        ix.apply_write(0, len);
+        let known: Vec<SegId> = ix.segments.iter().map(|e| e.seg).collect();
+        let extents = ix.locate(probe_off, probe_len);
+        let end = (probe_off + probe_len).min(ix.size);
+        if ix.is_attached || probe_off >= end {
+            prop_assert!(extents.is_empty());
+        } else {
+            let mut cursor = probe_off;
+            for e in &extents {
+                prop_assert_eq!(e.file_offset, cursor);
+                prop_assert!(known.contains(&e.seg));
+                cursor += e.len;
+            }
+            prop_assert_eq!(cursor, end);
+        }
+    }
+
+    /// The store behaves like a flat byte array across arbitrary
+    /// write/commit interleavings (shadow COW + consolidation must never
+    /// corrupt visible data).
+    #[test]
+    fn store_matches_flat_model(
+        keep in 1usize..4,
+        batches in prop::collection::vec(
+            prop::collection::vec((0u64..4096, 1u64..512), 1..4),
+            1..8,
+        ),
+    ) {
+        let mut store = LocalStore::new(keep);
+        let seg = SegId::derive(9, 1, 0);
+        let mut model: Vec<u8> = Vec::new();
+        let mut version = Version::INITIAL;
+        let now = SimTime::ZERO;
+        for (b, writes) in batches.iter().enumerate() {
+            let shadow = if version == Version::INITIAL {
+                store.open_fresh_shadow(seg, SegMeta::default(), now, Dur::secs(60))
+            } else {
+                store.open_shadow(seg, version, now, Dur::secs(60)).unwrap()
+            };
+            for (i, &(off, len)) in writes.iter().enumerate() {
+                let fill = (b * 16 + i + 1) as u8;
+                let data = vec![fill; len as usize];
+                store.write_shadow(shadow, off, WritePayload::Real(data.clone())).unwrap();
+                if model.len() < (off + len) as usize {
+                    model.resize((off + len) as usize, 0);
+                }
+                model[off as usize..(off + len) as usize].copy_from_slice(&data);
+            }
+            version = version.next();
+            store.commit_shadow(shadow, version, now).unwrap();
+            // The latest version always matches the model exactly.
+            let out = store.read(seg, None, 0, model.len() as u64 + 64).unwrap();
+            prop_assert_eq!(out.version, version);
+            prop_assert_eq!(out.data.as_deref().unwrap(), &model[..]);
+        }
+    }
+
+    /// Hash ring: every key has a home; across any membership change the
+    /// keys that keep both endpoints alive move only if their old home
+    /// departed or a new node claimed them.
+    #[test]
+    fn ring_minimal_disruption(
+        providers in prop::collection::btree_set(0usize..64, 2..20),
+        removed_idx in any::<prop::sample::Index>(),
+        keys in prop::collection::vec(any::<u64>(), 50),
+    ) {
+        let providers: Vec<NodeId> = providers.into_iter().map(NodeId::from_index).collect();
+        let removed = providers[removed_idx.index(providers.len())];
+        let after: Vec<NodeId> = providers.iter().copied().filter(|&p| p != removed).collect();
+        let ring_before = HashRing::build(providers.clone());
+        let ring_after = HashRing::build(after);
+        let mut moved: HashMap<NodeId, u32> = HashMap::new();
+        for &k in &keys {
+            let seg = SegId::derive(2, k, k);
+            let b = ring_before.home(seg).unwrap();
+            let a = ring_after.home(seg).unwrap();
+            prop_assert_ne!(a, removed);
+            if a != b {
+                // Only keys homed on the removed node may move.
+                prop_assert_eq!(b, removed);
+                *moved.entry(a).or_default() += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Milestone pinning under random commit/pin/unpin churn: a pinned
+    /// version's bytes never change and never disappear, no matter how
+    /// aggressively consolidation runs around it.
+    #[test]
+    fn pinned_versions_are_immortal_and_immutable(
+        keep in 1usize..3,
+        script in prop::collection::vec(
+            prop_oneof![
+                4 => (0u64..2048, 1u64..256).prop_map(|(o, l)| PinOp::Commit(o, l)),
+                1 => Just(PinOp::PinLatest),
+                1 => Just(PinOp::UnpinOldest),
+            ],
+            2..24,
+        ),
+    ) {
+        use sorrento::store::{LocalStore, SegMeta, WritePayload};
+        use sorrento::types::Version;
+        let mut store = LocalStore::new(keep);
+        let seg = SegId::derive(3, 1, 0);
+        let now = SimTime::ZERO;
+        let mut version = Version::INITIAL;
+        let mut snapshots: Vec<(Version, Vec<u8>)> = Vec::new();
+        let mut pinned: Vec<Version> = Vec::new();
+        let mut model: Vec<u8> = Vec::new();
+        for (n, op) in script.iter().enumerate() {
+            match op {
+                PinOp::Commit(off, len) => {
+                    let shadow = if version == Version::INITIAL {
+                        store.open_fresh_shadow(seg, SegMeta::default(), now, Dur::secs(60))
+                    } else {
+                        store.open_shadow(seg, version, now, Dur::secs(60)).unwrap()
+                    };
+                    let fill = (n as u8).wrapping_add(1);
+                    let data = vec![fill; *len as usize];
+                    store.write_shadow(shadow, *off, WritePayload::Real(data.clone())).unwrap();
+                    if model.len() < (*off + *len) as usize {
+                        model.resize((*off + *len) as usize, 0);
+                    }
+                    model[*off as usize..(*off + *len) as usize].copy_from_slice(&data);
+                    version = version.next_entropic(n as u16);
+                    store.commit_shadow(shadow, version, now).unwrap();
+                }
+                PinOp::PinLatest => {
+                    if version != Version::INITIAL {
+                        store.pin_version(seg, version).unwrap();
+                        if !pinned.contains(&version) {
+                            pinned.push(version);
+                            snapshots.push((version, model.clone()));
+                        }
+                    }
+                }
+                PinOp::UnpinOldest => {
+                    if let Some(&v) = pinned.first() {
+                        store.unpin_version(seg, v);
+                        pinned.remove(0);
+                        snapshots.retain(|(sv, _)| *sv != v);
+                    }
+                }
+            }
+            // Every still-pinned snapshot reads back byte-exact.
+            for (v, bytes) in &snapshots {
+                let out = store.read(seg, Some(*v), 0, bytes.len() as u64 + 16).unwrap();
+                prop_assert_eq!(out.data.as_deref().unwrap(), &bytes[..], "pinned {:?}", v);
+            }
+            // And the latest always matches the model.
+            if version != Version::INITIAL {
+                let out = store.read(seg, None, 0, model.len() as u64 + 16).unwrap();
+                prop_assert_eq!(out.data.as_deref().unwrap(), &model[..]);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PinOp {
+    Commit(u64, u64),
+    PinLatest,
+    UnpinOldest,
+}

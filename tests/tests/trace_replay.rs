@@ -1,0 +1,150 @@
+//! Cross-crate trace tests: record a live workload into the JSONL trace
+//! format, then replay it against all three backends (the paper's
+//! §4 methodology: capture once, replay everywhere).
+
+use sorrento::client::{ClientOp, SorrentoClient};
+use sorrento::cluster::{ClusterBuilder, ScriptedWorkload};
+use sorrento::costs::CostModel;
+use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
+use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
+use sorrento_sim::Dur;
+use sorrento_trace::Trace;
+use sorrento_workloads::replay::{ReplayMode, TraceRecorder, TraceReplayer};
+
+/// The source workload whose behaviour we capture.
+fn source_ops() -> Vec<ClientOp> {
+    vec![
+        ClientOp::Mkdir { path: "/app".into() },
+        ClientOp::Create { path: "/app/data".into() },
+        ClientOp::write_synth(0, 300_000),
+        ClientOp::Sync,
+        ClientOp::append_synth(50_000),
+        ClientOp::Close,
+        ClientOp::Open { path: "/app/data".into(), write: false },
+        ClientOp::Read { offset: 0, len: 350_000 },
+        ClientOp::Read { offset: 100_000, len: 10_000 },
+        ClientOp::Close,
+        ClientOp::Think { dur: Dur::millis(250) },
+        ClientOp::Stat { path: "/app/data".into() },
+    ]
+}
+
+/// Record on Sorrento, serialize to JSONL, reload, and check the trace's
+/// structure and byte accounting.
+#[test]
+fn record_serialize_reload() {
+    let mut c = ClusterBuilder::new()
+        .providers(4)
+        .seed(71)
+        .costs(CostModel::fast_test())
+        .build();
+    let recorder = TraceRecorder::new(ScriptedWorkload::new(source_ops()));
+    let id = c.add_client(recorder);
+    c.run_for(Dur::secs(120));
+    let stats = c.client_stats(id).unwrap();
+    assert_eq!(stats.failed_ops, 0, "{:?}", stats.last_error);
+    let trace = c
+        .sim
+        .node_ref::<SorrentoClient>(id)
+        .and_then(|cl| cl.workload_ref::<TraceRecorder<ScriptedWorkload>>())
+        .map(|r| r.trace.clone())
+        .expect("recorder");
+    // Stat is not a traceable I/O op; Think becomes a Gap record.
+    assert_eq!(trace.len(), source_ops().len() - 1);
+    assert_eq!(trace.bytes_written(), 350_000);
+    assert_eq!(trace.bytes_read(), 360_000);
+    // Every completed op carries its observed duration.
+    assert!(trace.records.iter().all(|r| r.dur_ns.is_some()));
+    // JSONL round trip.
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let back = Trace::read_jsonl(&buf[..]).unwrap();
+    assert_eq!(back, trace);
+}
+
+/// A trace captured once replays cleanly on every backend, moving the
+/// same bytes.
+#[test]
+fn replay_on_all_backends() {
+    // Capture.
+    let trace = {
+        let mut c = ClusterBuilder::new()
+            .providers(4)
+            .seed(72)
+            .costs(CostModel::fast_test())
+            .build();
+        let id = c.add_client(TraceRecorder::new(ScriptedWorkload::new(source_ops())));
+        c.run_for(Dur::secs(120));
+        assert_eq!(c.client_stats(id).unwrap().failed_ops, 0);
+        c.sim
+            .node_ref::<SorrentoClient>(id)
+            .and_then(|cl| cl.workload_ref::<TraceRecorder<ScriptedWorkload>>())
+            .map(|r| r.trace.clone())
+            .expect("recorder")
+    };
+    let expect_w = trace.bytes_written();
+    let expect_r = trace.bytes_read();
+
+    // Replay on Sorrento.
+    {
+        let mut c = ClusterBuilder::new()
+            .providers(4)
+            .seed(73)
+            .costs(CostModel::fast_test())
+            .build();
+        let id = c.add_client(TraceReplayer::new(trace.clone(), ReplayMode::Faithful));
+        c.run_for(Dur::secs(180));
+        let s = c.client_stats(id).unwrap();
+        assert_eq!(s.failed_ops, 0, "sorrento replay: {:?}", s.last_error);
+        assert_eq!(s.bytes_written, expect_w);
+        assert_eq!(s.bytes_read, expect_r);
+    }
+    // Replay on NFS.
+    {
+        let mut c = NfsCluster::new(74, NfsCosts::default());
+        let id = c.add_client(TraceReplayer::new(trace.clone(), ReplayMode::AsFast));
+        c.run_for(Dur::secs(180));
+        let s = c.client_stats(id).unwrap();
+        assert_eq!(s.failed_ops, 0, "nfs replay: {:?}", s.last_error);
+        assert_eq!(s.bytes_written, expect_w);
+        assert_eq!(s.bytes_read, expect_r);
+    }
+    // Replay on PVFS.
+    {
+        let mut c = PvfsCluster::new(4, 75, PvfsCosts::default());
+        let id = c.add_client(TraceReplayer::new(trace, ReplayMode::AsFast));
+        c.run_for(Dur::secs(180));
+        let s = c.client_stats(id).unwrap();
+        assert_eq!(s.failed_ops, 0, "pvfs replay: {:?}", s.last_error);
+        assert_eq!(s.bytes_written, expect_w);
+        assert_eq!(s.bytes_read, expect_r);
+    }
+}
+
+/// Faithful replay honours recorded gaps; as-fast replay skips them.
+#[test]
+fn replay_modes_differ_in_wall_time() {
+    let mut trace = Trace::new();
+    trace.push(sorrento_trace::TraceOp::Create { path: "/t".into() });
+    trace.push(sorrento_trace::TraceOp::Gap { ns: 20_000_000_000 }); // 20 s
+    trace.push(sorrento_trace::TraceOp::Close);
+    let run = |mode| {
+        let mut c = ClusterBuilder::new()
+            .providers(3)
+            .seed(76)
+            .costs(CostModel::fast_test())
+            .build();
+        let id = c.add_client(TraceReplayer::new(trace.clone(), mode));
+        c.run_for(Dur::secs(120));
+        let s = c.client_stats(id).unwrap();
+        assert_eq!(s.failed_ops, 0);
+        s.finished_at
+            .unwrap()
+            .since(s.started_at.unwrap())
+            .as_secs_f64()
+    };
+    let faithful = run(ReplayMode::Faithful);
+    let fast = run(ReplayMode::AsFast);
+    assert!(faithful >= 20.0, "faithful took {faithful}");
+    assert!(fast < 5.0, "as-fast took {fast}");
+}
