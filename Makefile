@@ -1,0 +1,32 @@
+# Sorrento reproduction — developer entry points.
+#
+#   make check   build (release) + full test suite + clippy with -D warnings
+#   make test    test suite only
+#   make bench   regenerate every figure/table into results/
+#   make docs    rustdoc for the whole workspace
+
+CARGO ?= cargo
+
+.PHONY: check build test clippy bench docs
+
+check: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy -- -D warnings
+
+bench:
+	for f in fig09_small_file_latency fig10_small_file_throughput \
+	         fig11_large_file_bandwidth fig12_trace_replay \
+	         fig13_failure_recovery fig14_crawler_placement \
+	         fig15_locality_migration ablations; do \
+	  $(CARGO) run --release -p sorrento-bench --bin $$f | tee results/$$f.txt; \
+	done
+
+docs:
+	$(CARGO) doc --no-deps

@@ -16,13 +16,13 @@ use sorrento::cluster::ClusterBuilder;
 use sorrento::costs::CostModel;
 use sorrento::ring::HashRing;
 use sorrento::types::SegId;
-use sorrento_bench::{f2, mean_latency_ms, print_table, AnyCluster};
+use sorrento_bench::{f2, mean_latency_ms, print_table, AnyCluster, TelemetryExport};
 use sorrento_sim::{Dur, NodeId};
 
 const CAP: Dur = Dur::nanos(600_000_000_000);
 
 /// 1. Home-host boost: mean open+read+close latency on 12 KB files.
-fn ablate_home_boost() {
+fn ablate_home_boost(telemetry: &mut TelemetryExport) {
     let mut rows = Vec::new();
     for boost in [true, false] {
         let costs = CostModel {
@@ -35,7 +35,7 @@ fn ablate_home_boost() {
             .seed(201)
             .costs(costs)
             .build();
-        let mut cluster = AnyCluster::Sorrento(cluster);
+        let mut cluster = AnyCluster::Sorrento(Box::new(cluster));
         let n = 40;
         let mut ops = Vec::new();
         for i in 0..n {
@@ -53,10 +53,9 @@ fn ablate_home_boost() {
         }
         let r = cluster.run_script(ops, CAP);
         assert_eq!(r.failed_ops, 0);
-        rows.push(vec![
-            (if boost { "with 3N boost" } else { "no boost" }).to_string(),
-            f2(mean_latency_ms(&r, "open")),
-        ]);
+        let label = if boost { "with 3N boost" } else { "no boost" };
+        telemetry.snapshot_cluster(&format!("home_boost/{label}"), &cluster);
+        rows.push(vec![label.to_string(), f2(mean_latency_ms(&r, "open"))]);
     }
     print_table(
         "Ablation 1: §3.7.2 home-host boost — small-file open latency",
@@ -93,7 +92,7 @@ fn ablate_vnodes() {
 }
 
 /// 3. keep_versions: disk overhead after repeated overwrites.
-fn ablate_keep_versions() {
+fn ablate_keep_versions(telemetry: &mut TelemetryExport) {
     let mut rows = Vec::new();
     for keep in [1usize, 2, 4] {
         let cluster = ClusterBuilder::new()
@@ -102,7 +101,7 @@ fn ablate_keep_versions() {
             .seed(203)
             .keep_versions(keep)
             .build();
-        let mut cluster = AnyCluster::Sorrento(cluster);
+        let mut cluster = AnyCluster::Sorrento(Box::new(cluster));
         let mut ops = vec![ClientOp::Create { path: "/v".into() }];
         ops.push(ClientOp::write_synth(0, 8 << 20));
         ops.push(ClientOp::Close);
@@ -122,6 +121,7 @@ fn ablate_keep_versions() {
             .iter()
             .map(|(_, used, _)| *used)
             .sum();
+        telemetry.snapshot_cluster(&format!("keep_versions/{keep}"), &cluster);
         rows.push(vec![
             keep.to_string(),
             format!("{:.1}", used as f64 / (8 << 20) as f64),
@@ -135,7 +135,9 @@ fn ablate_keep_versions() {
 }
 
 fn main() {
-    ablate_home_boost();
+    let mut telemetry = TelemetryExport::new("ablations");
+    ablate_home_boost(&mut telemetry);
     ablate_vnodes();
-    ablate_keep_versions();
+    ablate_keep_versions(&mut telemetry);
+    telemetry.write();
 }

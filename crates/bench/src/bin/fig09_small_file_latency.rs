@@ -24,7 +24,7 @@ use sorrento::client::ClientOp;
 use sorrento::cluster::ClusterBuilder;
 use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
 use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
-use sorrento_bench::{f2, print_table, AnyCluster};
+use sorrento_bench::{f2, print_table, AnyCluster, TelemetryExport};
 use sorrento_sim::Dur;
 use sorrento_workloads::smallfile::SMALL_IO;
 
@@ -81,6 +81,7 @@ fn measure(cluster: &mut AnyCluster) -> [f64; 4] {
 }
 
 fn main() {
+    let mut telemetry = TelemetryExport::new("fig09");
     let mut rows = Vec::new();
     let systems: Vec<(String, AnyCluster)> = vec![
         ("NFS".into(), AnyCluster::Nfs(NfsCluster::new(1, NfsCosts::default()))),
@@ -95,6 +96,7 @@ fn main() {
     ];
     for (name, mut cluster) in systems {
         let m = measure(&mut cluster);
+        telemetry.snapshot_cluster(&name, &cluster);
         rows.push(vec![name, f2(m[0]), f2(m[1]), f2(m[2]), f2(m[3])]);
     }
     for (n, r) in [(4usize, 1u32), (4, 2), (8, 1), (8, 2)] {
@@ -103,8 +105,9 @@ fn main() {
             .replication(r)
             .seed(90 + n as u64 * 10 + r as u64)
             .build();
-        let mut cluster = AnyCluster::Sorrento(cluster);
+        let mut cluster = AnyCluster::Sorrento(Box::new(cluster));
         let m = measure(&mut cluster);
+        telemetry.snapshot_cluster(&format!("Sorrento-({n},{r})"), &cluster);
         rows.push(vec![
             format!("Sorrento-({n},{r})"),
             f2(m[0]),
@@ -118,4 +121,5 @@ fn main() {
         &["system", "create", "write", "read", "unlink"],
         &rows,
     );
+    telemetry.write();
 }

@@ -11,7 +11,7 @@
 use sorrento::cluster::ClusterBuilder;
 use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
 use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
-use sorrento_bench::{f1, print_table, AnyCluster, ByteSnapshot};
+use sorrento_bench::{f1, print_table, AnyCluster, ByteSnapshot, TelemetryExport};
 use sorrento_sim::Dur;
 use sorrento_workloads::smallfile::SessionLoop;
 
@@ -24,18 +24,18 @@ fn make(system: &str, nclients: usize) -> AnyCluster {
     match system {
         "NFS" => AnyCluster::Nfs(NfsCluster::new(seed, NfsCosts::default())),
         "PVFS-8" => AnyCluster::Pvfs(PvfsCluster::new(8, seed, PvfsCosts::default())),
-        _ => AnyCluster::Sorrento(
+        _ => AnyCluster::Sorrento(Box::new(
             ClusterBuilder::new()
                 .providers(8)
                 .replication(2)
                 .seed(seed)
                 .build(),
-        ),
+        )),
     }
 }
 
 /// Sessions/second for `n` looping clients on one backend.
-fn throughput(system: &str, n: usize) -> f64 {
+fn throughput(system: &str, n: usize, telemetry: &mut TelemetryExport) -> f64 {
     let mut cluster = make(system, n);
     let ids: Vec<_> = (0..n)
         .map(|i| cluster.add_client(Box::new(SessionLoop::new(format!("/c{i}")))))
@@ -48,15 +48,17 @@ fn throughput(system: &str, n: usize) -> f64 {
         let d = ByteSnapshot::of(&cluster.stats(id)).since(before[k]);
         sessions += d.closes;
     }
+    telemetry.snapshot_cluster(&format!("{system}/n{n}"), &cluster);
     sessions as f64 / WINDOW.as_secs_f64()
 }
 
 fn main() {
+    let mut telemetry = TelemetryExport::new("fig10");
     let mut rows = Vec::new();
     for n in CLIENT_COUNTS {
-        let nfs = throughput("NFS", n);
-        let pvfs = throughput("PVFS-8", n);
-        let sor = throughput("Sorrento-(8,2)", n);
+        let nfs = throughput("NFS", n, &mut telemetry);
+        let pvfs = throughput("PVFS-8", n, &mut telemetry);
+        let sor = throughput("Sorrento-(8,2)", n, &mut telemetry);
         rows.push(vec![n.to_string(), f1(nfs), f1(pvfs), f1(sor)]);
     }
     print_table(
@@ -64,4 +66,5 @@ fn main() {
         &["clients", "NFS", "PVFS-8", "Sorrento-(8,2)"],
         &rows,
     );
+    telemetry.write();
 }

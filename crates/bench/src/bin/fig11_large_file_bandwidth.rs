@@ -12,7 +12,7 @@ use sorrento::cluster::ClusterBuilder;
 use sorrento::types::FileOptions;
 use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
 use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
-use sorrento_bench::{f1, full_scale, mbps, print_table, AnyCluster};
+use sorrento_bench::{f1, full_scale, mbps, print_table, AnyCluster, TelemetryExport};
 use sorrento_sim::Dur;
 use sorrento_workloads::bulk::{bulk_options, populate_script, BulkIo, BulkMode};
 
@@ -48,13 +48,13 @@ fn build(sys: Sys, n: usize) -> AnyCluster {
     match sys {
         Sys::Nfs => AnyCluster::Nfs(NfsCluster::new(seed, NfsCosts::default())),
         Sys::Pvfs8 => AnyCluster::Pvfs(PvfsCluster::new(8, seed, PvfsCosts::default())),
-        Sys::SorrentoLazy | Sys::SorrentoEager => AnyCluster::Sorrento(
+        Sys::SorrentoLazy | Sys::SorrentoEager => AnyCluster::Sorrento(Box::new(
             ClusterBuilder::new()
                 .providers(8)
                 .replication(2)
                 .seed(seed)
                 .build(),
-        ),
+        )),
     }
 }
 
@@ -66,8 +66,14 @@ fn options(sys: Sys) -> FileOptions {
 }
 
 /// Aggregate MB/s for `n` clients in `mode`.
-fn rate(sys: Sys, n: usize, mode: BulkMode) -> f64 {
-    eprintln!("[fig11] sys={} n={n} mode={mode:?}", match sys { Sys::Nfs => "nfs", Sys::Pvfs8 => "pvfs", Sys::SorrentoLazy => "lazy", Sys::SorrentoEager => "eager" });
+fn rate(sys: Sys, n: usize, mode: BulkMode, telemetry: &mut TelemetryExport) -> f64 {
+    let sys_name = match sys {
+        Sys::Nfs => "nfs",
+        Sys::Pvfs8 => "pvfs",
+        Sys::SorrentoLazy => "lazy",
+        Sys::SorrentoEager => "eager",
+    };
+    eprintln!("[fig11] sys={sys_name} n={n} mode={mode:?}");
     let mut cluster = build(sys, n);
     let opts = options(sys);
     // Pre-populate each client's own file (disjoint sets).
@@ -104,21 +110,23 @@ fn rate(sys: Sys, n: usize, mode: BulkMode) -> f64 {
         };
     }
     let window = finish.since(start.expect("clients ran")).as_secs_f64();
+    telemetry.snapshot_cluster(&format!("{sys_name}/{mode:?}/n{n}"), &cluster);
     mbps(bytes, window)
 }
 
 fn main() {
+    let mut telemetry = TelemetryExport::new("fig11");
     for (mode, title) in [
         (BulkMode::Read, "Figure 11a: bulkread aggregate rate (MB/s)"),
         (BulkMode::Write, "Figure 11b: bulkwrite aggregate rate (MB/s)"),
     ] {
         let mut rows = Vec::new();
         for n in CLIENT_COUNTS {
-            let nfs = rate(Sys::Nfs, n, mode);
-            let pvfs = rate(Sys::Pvfs8, n, mode);
-            let lazy = rate(Sys::SorrentoLazy, n, mode);
+            let nfs = rate(Sys::Nfs, n, mode, &mut telemetry);
+            let pvfs = rate(Sys::Pvfs8, n, mode, &mut telemetry);
+            let lazy = rate(Sys::SorrentoLazy, n, mode, &mut telemetry);
             let eager = if mode == BulkMode::Write {
-                Some(rate(Sys::SorrentoEager, n, mode))
+                Some(rate(Sys::SorrentoEager, n, mode, &mut telemetry))
             } else {
                 None
             };
@@ -135,4 +143,5 @@ fn main() {
         };
         print_table(title, header, &rows);
     }
+    telemetry.write();
 }

@@ -14,7 +14,7 @@
 use sorrento::cluster::ClusterBuilder;
 use sorrento_baselines::nfs::{NfsCluster, NfsCosts};
 use sorrento_baselines::pvfs::{PvfsCluster, PvfsCosts};
-use sorrento_bench::{f1, full_scale, mbps, print_table, AnyCluster};
+use sorrento_bench::{f1, full_scale, mbps, print_table, AnyCluster, TelemetryExport};
 use sorrento_sim::Dur;
 use sorrento_workloads::btio::{coordinator_script, rank_trace, solution_options, BtioConfig};
 use sorrento_workloads::psm::{import_script, PsmConfig, PsmService};
@@ -26,13 +26,13 @@ fn build(system: &str, seed: u64) -> AnyCluster {
     match system {
         "NFS" => AnyCluster::Nfs(NfsCluster::new(seed, NfsCosts::default())),
         "PVFS-8" => AnyCluster::Pvfs(PvfsCluster::new(8, seed, PvfsCosts::default())),
-        _ => AnyCluster::Sorrento(
+        _ => AnyCluster::Sorrento(Box::new(
             ClusterBuilder::new()
                 .providers(8)
                 .replication(1)
                 .seed(seed)
                 .build(),
-        ),
+        )),
     }
 }
 
@@ -71,7 +71,7 @@ fn summarize(cluster: &AnyCluster, ids: &[sorrento_sim::NodeId]) -> Row {
     }
 }
 
-fn btio(system: &str) -> Row {
+fn btio(system: &str, telemetry: &mut TelemetryExport) -> Row {
     let div = if full_scale() { 1 } else { 16 };
     let cfg = BtioConfig {
         write_total: (2_700 << 20) / div,
@@ -101,10 +101,11 @@ fn btio(system: &str) -> Row {
         })
         .collect();
     cluster.run_to_finish(&ids, CAP);
+    telemetry.snapshot_cluster(&format!("BTIO/{system}"), &cluster);
     summarize(&cluster, &ids)
 }
 
-fn psm(system: &str) -> Row {
+fn psm(system: &str, telemetry: &mut TelemetryExport) -> Row {
     let div = if full_scale() { 1 } else { 16 };
     let cfg = PsmConfig {
         min_partition: (1 << 30) / div,
@@ -124,17 +125,19 @@ fn psm(system: &str) -> Row {
         })
         .collect();
     cluster.run_to_finish(&ids, CAP);
+    telemetry.snapshot_cluster(&format!("PSM/{system}"), &cluster);
     summarize(&cluster, &ids)
 }
 
 fn main() {
+    let mut telemetry = TelemetryExport::new("fig12");
     let mut rows = Vec::new();
     for (app, runner) in [
-        ("BTIO", btio as fn(&str) -> Row),
-        ("PSM", psm as fn(&str) -> Row),
+        ("BTIO", btio as fn(&str, &mut TelemetryExport) -> Row),
+        ("PSM", psm as fn(&str, &mut TelemetryExport) -> Row),
     ] {
         for system in ["NFS", "PVFS-8", "Sorrento-(8,1)"] {
-            let r = runner(system);
+            let r = runner(system, &mut telemetry);
             rows.push(vec![
                 app.to_string(),
                 system.to_string(),
@@ -151,4 +154,5 @@ fn main() {
         &["app", "system", "min_s", "max_s", "avg_s", "read_MB/s", "write_MB/s"],
         &rows,
     );
+    telemetry.write();
 }

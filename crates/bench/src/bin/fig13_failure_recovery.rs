@@ -12,7 +12,7 @@
 //! eventually restored (~20 min at full scale).
 
 use sorrento::cluster::{Cluster, ClusterBuilder};
-use sorrento_bench::{full_scale, mbps, print_series, ByteSnapshot};
+use sorrento_bench::{full_scale, mbps, print_series, ByteSnapshot, TelemetryExport};
 use sorrento_sim::{Dur, SimTime};
 use sorrento_workloads::bulk::{bulk_options, populate_script, BulkIo, BulkMode};
 
@@ -150,4 +150,7 @@ fn main() {
         ),
         None => println!("# WARNING: replicas not fully restored within the horizon"),
     }
+    let mut telemetry = TelemetryExport::new("fig13");
+    telemetry.snapshot("Sorrento-(10,3)", cluster.metrics());
+    telemetry.write();
 }

@@ -15,7 +15,7 @@
 use sorrento::cluster::{Cluster, ClusterBuilder};
 use sorrento::costs::CostModel;
 use sorrento::types::{FileOptions, PlacementPolicy};
-use sorrento_bench::{f2, full_scale, print_table};
+use sorrento_bench::{f2, full_scale, print_table, TelemetryExport};
 use sorrento_sim::Dur;
 use sorrento_workloads::crawler::{Crawler, CrawlerConfig};
 
@@ -42,7 +42,7 @@ fn crawl_cfg(c: usize) -> CrawlerConfig {
     }
 }
 
-fn run_scheme(scheme: &Scheme) -> (f64, f64, f64) {
+fn run_scheme(scheme: &Scheme, telemetry: &mut TelemetryExport) -> (f64, f64, f64) {
     let mut costs = CostModel::default();
     if !scheme.migration {
         // Disable the migration daemon (decisions would otherwise run
@@ -116,6 +116,7 @@ fn run_scheme(scheme: &Scheme) -> (f64, f64, f64) {
         cluster.metrics().counter("sorrento.migrations_started"),
         fracs.iter().map(|f| (f * 10.0).round() / 10.0).collect::<Vec<_>>()
     );
+    telemetry.snapshot(scheme.name, cluster.metrics());
     (lo, hi, hi / lo.max(1e-9))
 }
 
@@ -137,9 +138,10 @@ fn main() {
             migration: true,
         },
     ];
+    let mut telemetry = TelemetryExport::new("fig14");
     let mut rows = Vec::new();
     for s in &schemes {
-        let (lo, hi, ratio) = run_scheme(s);
+        let (lo, hi, ratio) = run_scheme(s, &mut telemetry);
         rows.push(vec![s.name.to_string(), f2(lo), f2(hi), f2(ratio)]);
     }
     print_table(
@@ -147,4 +149,5 @@ fn main() {
         &["scheme", "lowest_%", "highest_%", "unevenness"],
         &rows,
     );
+    telemetry.write();
 }

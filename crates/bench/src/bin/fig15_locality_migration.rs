@@ -13,7 +13,7 @@
 
 use sorrento::cluster::{Cluster, ClusterBuilder};
 use sorrento::types::{FileOptions, PlacementPolicy};
-use sorrento_bench::{full_scale, print_series};
+use sorrento_bench::{full_scale, print_series, TelemetryExport};
 use sorrento_sim::{Dur, SimTime};
 use sorrento_workloads::psm::{import_script, partition_path, PsmConfig, PsmService};
 
@@ -116,6 +116,9 @@ fn main() {
     for (i, (node, used, _)) in cluster.provider_disk_usage().iter().enumerate() {
         println!("# provider {i} ({node}): {} MB", used >> 20);
     }
+    let mut telemetry = TelemetryExport::new("fig15");
+    telemetry.snapshot("Sorrento-(8,1)-locality", cluster.metrics());
+    telemetry.write();
 }
 
 /// Extract a PSM service's per-query I/O series from its client node.

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use sorrento_sim::{Ctx, Dur, Node, NodeId, SimTime};
+use sorrento_sim::{Ctx, Dur, Node, NodeId, SimTime, SpanId, TelemetryEvent};
 
 use crate::costs::CostModel;
 use crate::layout::{Extent, IndexSegment, WritePlan};
@@ -214,6 +214,11 @@ pub struct ClientStats {
     pub finished_at: Option<SimTime>,
     /// Version conflicts observed (atomic-append retries etc.).
     pub conflicts: u64,
+    /// `(span, op kind)` of every failed operation, for causal-chain
+    /// reconstruction via `Cluster::trace_op`.
+    pub failed_spans: Vec<(SpanId, &'static str)>,
+    /// Span of the most recently started operation.
+    pub last_span: SpanId,
 }
 
 /// A shadow created during the current write session.
@@ -359,6 +364,12 @@ pub struct SorrentoClient {
     /// one piece of a large scatter legitimately queues behind the rest
     /// of the op's own traffic).
     scatter_bytes: u64,
+    /// Trace span of the op in flight (0 between ops). Retries of the
+    /// same op keep its span, so a causal chain shows every attempt.
+    cur_span: SpanId,
+    /// Per-client span sequence (combined with the node id for
+    /// cluster-wide uniqueness).
+    span_seq: u64,
 }
 
 impl SorrentoClient {
@@ -382,6 +393,8 @@ impl SorrentoClient {
             append_retries: 0,
             append_payload: None,
             scatter_bytes: 0,
+            cur_span: 0,
+            span_seq: 0,
         }
     }
 
@@ -537,6 +550,13 @@ impl SorrentoClient {
             self.stats.started_at = Some(now);
         }
         self.append_retries = MAX_APPEND_RETRIES;
+        self.span_seq += 1;
+        self.cur_span = ((ctx.id().index() as u64 + 1) << 32) | self.span_seq;
+        self.stats.last_span = self.cur_span;
+        ctx.record(TelemetryEvent::OpStart {
+            span: self.cur_span,
+            kind: op.kind(),
+        });
         match &op {
             ClientOp::Think { dur } => {
                 let dur = *dur;
@@ -634,6 +654,17 @@ impl SorrentoClient {
         self.pending.clear();
         self.scatter_bytes = 0;
         let latency = ctx.now().since(started);
+        let span = self.cur_span;
+        self.cur_span = 0;
+        ctx.record(TelemetryEvent::OpEnd {
+            span,
+            kind: op.kind(),
+            ok: error.is_none(),
+        });
+        if !matches!(op, ClientOp::Think { .. }) {
+            ctx.metrics()
+                .observe(&format!("op.{}.latency_ns", op.kind()), latency.as_nanos());
+        }
         let result = OpResult {
             error: error.clone(),
             bytes,
@@ -662,6 +693,7 @@ impl SorrentoClient {
             }
             Some(e) => {
                 self.stats.failed_ops += 1;
+                self.stats.failed_spans.push((span, op.kind()));
                 self.stats.last_error = Some(e.clone());
                 if *e == Error::VersionConflict {
                     self.stats.conflicts += 1;
@@ -853,6 +885,10 @@ impl SorrentoClient {
         let req = self.fresh_req();
         self.pending.insert(req, (ctx.id(), Pending::Backup { seg }));
         self.backup_hits.insert(req, Vec::new());
+        ctx.record(TelemetryEvent::BackupQuery {
+            span: self.cur_span,
+            seg: seg.0,
+        });
         ctx.multicast(Msg::BackupQuery { req, seg });
         ctx.set_timer(
             self.costs.backup_query_wait,
@@ -1506,6 +1542,7 @@ impl SorrentoClient {
             provider,
             Msg::CreateShadow {
                 req,
+                span: self.cur_span,
                 seg: e.seg,
                 base,
                 meta,
@@ -1630,6 +1667,7 @@ impl SorrentoClient {
             provider,
             Msg::CreateShadow {
                 req,
+                span: self.cur_span,
                 seg,
                 base,
                 meta: SegMeta::from_options(&opts, false),
@@ -1694,7 +1732,7 @@ impl SorrentoClient {
         self.rpc(
             ctx,
             self.ns,
-            Msg::NsCommitBegin { req, path, base },
+            Msg::NsCommitBegin { req, span: self.cur_span, path, base },
             Pending::CommitBegin,
         );
     }
@@ -1728,7 +1766,7 @@ impl SorrentoClient {
             self.rpc(
                 ctx,
                 provider,
-                Msg::Prepare { req, items },
+                Msg::Prepare { req, span: self.cur_span, items },
                 Pending::Prepare,
             );
         }
@@ -1746,7 +1784,7 @@ impl SorrentoClient {
             self.rpc(
                 ctx,
                 provider,
-                Msg::Commit { req, items },
+                Msg::Commit { req, span: self.cur_span, items },
                 Pending::Commit2,
             );
         }
@@ -1758,7 +1796,7 @@ impl SorrentoClient {
         let parts = self.participants();
         for (provider, items) in parts {
             let shadows: Vec<ShadowId> = items.into_iter().map(|(s, _)| s).collect();
-            ctx.send(provider, Msg::Abort { items: shadows });
+            ctx.send(provider, Msg::Abort { span: self.cur_span, items: shadows });
         }
         let path_base = self
             .file
@@ -1772,6 +1810,7 @@ impl SorrentoClient {
                 self.ns,
                 Msg::NsCommitEnd {
                     req,
+                    span: self.cur_span,
                     path,
                     commit: false,
                     new_version: base,
@@ -1832,6 +1871,7 @@ impl SorrentoClient {
             self.ns,
             Msg::NsCommitEnd {
                 req,
+                span: self.cur_span,
                 path,
                 commit: true,
                 new_version,
@@ -1965,11 +2005,13 @@ impl SorrentoClient {
 
     fn on_reply(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, req: ReqId, msg: Msg) {
         let Some((_, pending)) = self.pending.remove(&req) else {
+            let kind = crate::proto_dbg_kind(&msg);
             ctx.metrics().count("client.stale_replies", 1);
-            ctx.metrics().count(
-                &format!("client.stale.{}", crate::proto_dbg_kind(&msg)),
-                1,
-            );
+            ctx.metrics().count_labeled("client.stale", kind, 1);
+            ctx.record(TelemetryEvent::StaleLocation {
+                span: self.cur_span,
+                kind,
+            });
             return; // stale reply after timeout/retry
         };
         match (pending, msg) {
@@ -2400,7 +2442,11 @@ impl SorrentoClient {
             Pending::Delete => "delete",
             Pending::EagerSync => "eager_sync",
         };
-        ctx.metrics().count(&format!("client.timeout.{kind}"), 1);
+        ctx.metrics().count_labeled("client.timeout", kind, 1);
+        ctx.record(TelemetryEvent::Timeout {
+            span: self.cur_span,
+            kind,
+        });
         match pending {
             Pending::Backup { .. } => {
                 // BackupDeadline handles completion; nothing to do.

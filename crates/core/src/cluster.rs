@@ -292,6 +292,45 @@ impl Cluster {
         self.sim.metrics()
     }
 
+    /// Human-readable role of a node in this cluster (`ns`, `provider#i`,
+    /// `client#i`), for trace rendering.
+    pub fn role_of(&self, id: NodeId) -> String {
+        if id == self.ns {
+            return "ns".to_string();
+        }
+        if let Some(i) = self.providers.iter().position(|&p| p == id) {
+            return format!("provider#{i}");
+        }
+        if let Some(i) = self.clients.iter().position(|&c| c == id) {
+            return format!("client#{i}");
+        }
+        format!("{id}")
+    }
+
+    /// Render the causal chain of one operation: every telemetry event
+    /// carrying `span`, across all nodes, in virtual-time order. This is
+    /// the primary debugging tool for a failed op — feed it the span from
+    /// [`ClientStats::failed_spans`] (or `last_span`) and read the chain
+    /// from client request through namespace version check to per-owner
+    /// 2PC prepare/commit.
+    pub fn trace_op(&self, span: sorrento_sim::SpanId) -> String {
+        let chain = self.sim.events_for_span(span);
+        if chain.is_empty() {
+            return format!("span {span:#x}: no recorded events\n");
+        }
+        let mut out = String::new();
+        out.push_str(&format!("=== trace for span {span:#x} ===\n"));
+        for (node, rec) in chain {
+            out.push_str(&format!(
+                "{:>12} ns  {:<11} {}\n",
+                rec.at.nanos(),
+                self.role_of(node),
+                rec.ev
+            ));
+        }
+        out
+    }
+
     /// Ground-truth segment ownership across live providers: segment →
     /// `(provider, latest version)` list. Harness/test observability; the
     /// protocol itself only ever uses the soft-state location tables.

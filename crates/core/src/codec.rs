@@ -1,0 +1,272 @@
+//! JSON codecs for the persisted metadata types.
+//!
+//! Namespace entries and index segments are stored as segment bytes /
+//! kvdb values; both use a hand-written JSON mapping over
+//! [`sorrento_json::Json`] (the workspace is hermetic — no serde).
+//! 128-bit ids are hex strings so they round-trip exactly; attached
+//! small-file bytes are hex too (≤ [`crate::layout::ATTACH_MAX`], so
+//! the blow-up is bounded).
+
+use sorrento_json::Json;
+
+use crate::layout::{IndexSegment, SegEntry};
+use crate::proto::FileEntry;
+use crate::types::{FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
+
+fn u128_to_json(x: u128) -> Json {
+    Json::Str(format!("{x:x}"))
+}
+
+fn u128_from_json(j: &Json) -> Option<u128> {
+    u128::from_str_radix(j.as_str()?, 16).ok()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(i * 2..i * 2 + 2)?, 16).ok())
+        .collect()
+}
+
+fn organization_to_json(o: &Organization) -> Json {
+    match o {
+        Organization::Linear => Json::obj().with("mode", "linear"),
+        Organization::Striped { stripes, max_size } => Json::obj()
+            .with("mode", "striped")
+            .with("stripes", *stripes)
+            .with("max_size", *max_size),
+        Organization::Hybrid { group_stripes } => Json::obj()
+            .with("mode", "hybrid")
+            .with("group_stripes", *group_stripes),
+    }
+}
+
+fn organization_from_json(j: &Json) -> Option<Organization> {
+    match j.get("mode")?.as_str()? {
+        "linear" => Some(Organization::Linear),
+        "striped" => Some(Organization::Striped {
+            stripes: j.get("stripes")?.as_u64()? as u32,
+            max_size: j.get("max_size")?.as_u64()?,
+        }),
+        "hybrid" => Some(Organization::Hybrid {
+            group_stripes: j.get("group_stripes")?.as_u64()? as u32,
+        }),
+        _ => None,
+    }
+}
+
+fn placement_to_json(p: &PlacementPolicy) -> Json {
+    match p {
+        PlacementPolicy::Random => Json::obj().with("policy", "random"),
+        PlacementPolicy::LoadAware => Json::obj().with("policy", "load_aware"),
+        PlacementPolicy::LocalityDriven { threshold } => Json::obj()
+            .with("policy", "locality_driven")
+            .with("threshold", *threshold),
+    }
+}
+
+fn placement_from_json(j: &Json) -> Option<PlacementPolicy> {
+    match j.get("policy")?.as_str()? {
+        "random" => Some(PlacementPolicy::Random),
+        "load_aware" => Some(PlacementPolicy::LoadAware),
+        "locality_driven" => Some(PlacementPolicy::LocalityDriven {
+            threshold: j.get("threshold")?.as_f64()?,
+        }),
+        _ => None,
+    }
+}
+
+/// [`FileOptions`] → JSON.
+pub fn options_to_json(o: &FileOptions) -> Json {
+    Json::obj()
+        .with("replication", o.replication)
+        .with("alpha", o.alpha)
+        .with("organization", organization_to_json(&o.organization))
+        .with("placement", placement_to_json(&o.placement))
+        .with("versioning_off", o.versioning_off)
+        .with("eager_commit", o.eager_commit)
+}
+
+/// JSON → [`FileOptions`].
+pub fn options_from_json(j: &Json) -> Option<FileOptions> {
+    Some(FileOptions {
+        replication: j.get("replication")?.as_u64()? as u32,
+        alpha: j.get("alpha")?.as_f64()?,
+        organization: organization_from_json(j.get("organization")?)?,
+        placement: placement_from_json(j.get("placement")?)?,
+        versioning_off: j.get("versioning_off")?.as_bool()?,
+        eager_commit: j.get("eager_commit")?.as_bool()?,
+    })
+}
+
+/// [`FileEntry`] → JSON (namespace kvdb value format).
+pub fn entry_to_json(e: &FileEntry) -> Json {
+    Json::obj()
+        .with("file", u128_to_json(e.file.0))
+        .with("version", e.version.0)
+        .with("size", e.size)
+        .with("is_dir", e.is_dir)
+        .with("created_ns", e.created_ns)
+        .with("modified_ns", e.modified_ns)
+        .with("options", options_to_json(&e.options))
+}
+
+/// JSON → [`FileEntry`].
+pub fn entry_from_json(j: &Json) -> Option<FileEntry> {
+    Some(FileEntry {
+        file: FileId(u128_from_json(j.get("file")?)?),
+        version: Version(j.get("version")?.as_u64()?),
+        size: j.get("size")?.as_u64()?,
+        is_dir: j.get("is_dir")?.as_bool()?,
+        created_ns: j.get("created_ns")?.as_u64()?,
+        modified_ns: j.get("modified_ns")?.as_u64()?,
+        options: options_from_json(j.get("options")?)?,
+    })
+}
+
+fn seg_entry_to_json(s: &SegEntry) -> Json {
+    Json::obj()
+        .with("seg", u128_to_json(s.seg.0))
+        .with("version", s.version.0)
+        .with("len", s.len)
+}
+
+fn seg_entry_from_json(j: &Json) -> Option<SegEntry> {
+    Some(SegEntry {
+        seg: SegId(u128_from_json(j.get("seg")?)?),
+        version: Version(j.get("version")?.as_u64()?),
+        len: j.get("len")?.as_u64()?,
+    })
+}
+
+/// [`IndexSegment`] → JSON (index-segment byte format).
+pub fn index_to_json(ix: &IndexSegment) -> Json {
+    let mut segs = Json::arr();
+    for s in &ix.segments {
+        segs.push(seg_entry_to_json(s));
+    }
+    let attached = match &ix.attached {
+        Some(bytes) => Json::Str(hex_encode(bytes)),
+        None => Json::Null,
+    };
+    Json::obj()
+        .with("file", u128_to_json(ix.file.0))
+        .with("options", options_to_json(&ix.options))
+        .with("size", ix.size)
+        .with("segments", segs)
+        .with("attached", attached)
+        .with("is_attached", ix.is_attached)
+}
+
+/// JSON → [`IndexSegment`].
+pub fn index_from_json(j: &Json) -> Option<IndexSegment> {
+    let segments = j
+        .get("segments")?
+        .as_arr()?
+        .iter()
+        .map(seg_entry_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let attached = match j.get("attached")? {
+        Json::Null => None,
+        Json::Str(s) => Some(hex_decode(s)?),
+        _ => return None,
+    };
+    Some(IndexSegment {
+        file: FileId(u128_from_json(j.get("file")?)?),
+        options: options_from_json(j.get("options")?)?,
+        size: j.get("size")?.as_u64()?,
+        segments,
+        attached,
+        is_attached: j.get("is_attached")?.as_bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_options() -> FileOptions {
+        FileOptions {
+            replication: 3,
+            alpha: 0.75,
+            organization: Organization::Striped { stripes: 4, max_size: 64 << 20 },
+            placement: PlacementPolicy::LocalityDriven { threshold: 0.8 },
+            versioning_off: false,
+            eager_commit: true,
+        }
+    }
+
+    #[test]
+    fn options_round_trip() {
+        for o in [
+            FileOptions::default(),
+            exotic_options(),
+            FileOptions {
+                organization: Organization::Hybrid { group_stripes: 2 },
+                placement: PlacementPolicy::Random,
+                versioning_off: true,
+                ..FileOptions::default()
+            },
+        ] {
+            let j = Json::parse(&options_to_json(&o).encode()).unwrap();
+            assert_eq!(options_from_json(&j), Some(o));
+        }
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let e = FileEntry {
+            file: FileId(0xDEAD_BEEF_0000_0001_u128 << 64 | 7),
+            version: Version(0x1234_5678_9ABC_DEF0),
+            size: 1 << 40,
+            is_dir: false,
+            created_ns: 17,
+            modified_ns: 23,
+            options: exotic_options(),
+        };
+        let j = Json::parse(&entry_to_json(&e).encode()).unwrap();
+        assert_eq!(entry_from_json(&j), Some(e));
+    }
+
+    #[test]
+    fn index_round_trip_with_attachment() {
+        let mut ix = IndexSegment::new(FileId(42), FileOptions::default());
+        ix.size = 5;
+        ix.attached = Some(vec![0, 1, 2, 254, 255]);
+        ix.is_attached = true;
+        let j = Json::parse(&index_to_json(&ix).encode()).unwrap();
+        assert_eq!(index_from_json(&j), Some(ix));
+    }
+
+    #[test]
+    fn index_round_trip_with_segments() {
+        let mut ix = IndexSegment::new(FileId(9), exotic_options());
+        ix.size = 3 << 20;
+        ix.is_attached = false;
+        ix.attached = None;
+        ix.segments = vec![
+            SegEntry { seg: SegId::derive(1, 1, 99), version: Version(1 << 16), len: 1 << 20 },
+            SegEntry { seg: SegId::derive(2, 5, 7), version: Version(2 << 16 | 3), len: 2 << 20 },
+        ];
+        let j = Json::parse(&index_to_json(&ix).encode()).unwrap();
+        assert_eq!(index_from_json(&j), Some(ix));
+    }
+
+    #[test]
+    fn hex_helpers() {
+        assert_eq!(hex_encode(&[0x00, 0xff, 0x1a]), "00ff1a");
+        assert_eq!(hex_decode("00ff1a"), Some(vec![0x00, 0xff, 0x1a]));
+        assert_eq!(hex_decode("0g"), None);
+        assert_eq!(hex_decode("abc"), None);
+    }
+}

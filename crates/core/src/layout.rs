@@ -8,8 +8,6 @@
 //! [`ATTACH_MAX`] bytes are *attached* inside the index segment so one
 //! transfer serves both metadata and data.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{FileId, FileOptions, Organization, SegId, Version};
 
 /// Maximum attachable file size: "Currently, the maximum attachable file
@@ -45,7 +43,7 @@ pub fn hybrid_segment_size(group: u64, group_stripes: u64) -> u64 {
 /// One data segment as recorded in an index segment: identity, the
 /// version belonging to the current file version (§3.5), and current
 /// length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SegEntry {
     /// Location-independent segment id.
     pub seg: SegId,
@@ -94,7 +92,7 @@ pub enum WritePlan {
 /// The index segment: everything needed to assemble the byte array
 /// (§3.2), plus the file's management options, and inline data for small
 /// files.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexSegment {
     /// Owning file (the index segment's own SegId).
     pub file: FileId,

@@ -65,6 +65,7 @@
 
 pub mod api;
 pub mod client;
+pub mod codec;
 pub mod cluster;
 pub mod costs;
 pub mod layout;

@@ -8,7 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use sorrento_sim::{Dur, NodeId, SimTime};
 
 /// "If a process fails to receive heartbeat packets from a provider for a
@@ -17,7 +16,7 @@ use sorrento_sim::{Dur, NodeId, SimTime};
 pub const HEARTBEAT_MISSES: u32 = 5;
 
 /// The payload of one heartbeat announcement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Heartbeat {
     /// CPU + I/O-wait load `l ∈ [0, 1]` (EWMA-smoothed by the sender).
     pub load: f64,

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use sorrento_kvdb::{Db, DbConfig, MemBackend};
-use sorrento_sim::{Ctx, DiskAccess, Node, NodeId, SimTime};
+use sorrento_sim::{Ctx, DiskAccess, Node, NodeId, SimTime, TelemetryEvent};
 
 use crate::costs::CostModel;
 use crate::proto::{FileEntry, Msg, Tick};
@@ -42,11 +42,12 @@ fn parent_of(path: &str) -> Option<&str> {
 }
 
 fn encode_entry(e: &FileEntry) -> Vec<u8> {
-    serde_json::to_vec(e).expect("entries always serialize")
+    crate::codec::entry_to_json(e).encode().into_bytes()
 }
 
 fn decode_entry(bytes: &[u8]) -> Option<FileEntry> {
-    serde_json::from_slice(bytes).ok()
+    let text = std::str::from_utf8(bytes).ok()?;
+    crate::codec::entry_from_json(&sorrento_json::Json::parse(text).ok()?)
 }
 
 /// An active commit lease.
@@ -325,20 +326,38 @@ impl Node<Msg> for NamespaceServer {
                 req,
                 result: self.list(&path),
             },
-            Msg::NsCommitBegin { req, path, base } => Msg::NsCommitBeginR {
-                req,
-                result: self.commit_begin(&path, base, from, now),
-            },
+            Msg::NsCommitBegin { req, span, path, base } => {
+                let file = self.get(&path).map(|e| e.file.0).unwrap_or(0);
+                let result = self.commit_begin(&path, base, from, now);
+                // The §3.5 optimistic check, traced: a failed check is the
+                // decisive hop in any version-conflict causal chain.
+                ctx.record(TelemetryEvent::VersionCheck {
+                    span,
+                    file,
+                    version: base.0,
+                    ok: result.is_ok(),
+                });
+                Msg::NsCommitBeginR { req, result }
+            }
             Msg::NsCommitEnd {
                 req,
+                span,
                 path,
                 commit,
                 new_version,
                 new_size,
-            } => Msg::NsCommitEndR {
-                req,
-                result: self.commit_end(&path, commit, new_version, new_size, from, now),
-            },
+            } => {
+                let result = self.commit_end(&path, commit, new_version, new_size, from, now);
+                if commit {
+                    ctx.record(TelemetryEvent::VersionCheck {
+                        span,
+                        file: self.get(&path).map(|e| e.file.0).unwrap_or(0),
+                        version: new_version.0,
+                        ok: result.is_ok(),
+                    });
+                }
+                Msg::NsCommitEndR { req, result }
+            }
             _ => return, // not a namespace message
         };
         // Mutations pay a WAL append: sequential like Berkeley DB's log

@@ -5,7 +5,7 @@
 //! realistic byte counts: bulk payloads dominate data-path messages,
 //! small RPCs cost roughly a header.
 
-use sorrento_sim::{NodeId, Payload};
+use sorrento_sim::{NodeId, Payload, SpanId};
 
 use crate::layout::IndexSegment;
 use crate::membership::Heartbeat;
@@ -20,7 +20,7 @@ pub const RPC_HEADER: u64 = 120;
 
 /// A namespace entry as returned to clients ("the inode equivalent in
 /// Sorrento", §3.1).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FileEntry {
     /// Persistent location-independent file id.
     pub file: FileId,
@@ -129,13 +129,16 @@ pub enum Msg {
     /// List reply.
     NsListR { req: ReqId, result: Result<Vec<String>, Error> },
     /// Commit approval (Figure 6 step 7): verify `base` is still the
-    /// latest version and take the commit lock.
-    NsCommitBegin { req: ReqId, path: String, base: Version },
+    /// latest version and take the commit lock. `span` is the issuing
+    /// client op's trace span (0 = none); spans ride in the modeled RPC
+    /// header, so they do not change wire sizes.
+    NsCommitBegin { req: ReqId, span: SpanId, path: String, base: Version },
     /// Commit-begin reply.
     NsCommitBeginR { req: ReqId, result: Result<(), Error> },
     /// Commit completion (Figure 6 step 9) or release-on-abort.
     NsCommitEnd {
         req: ReqId,
+        span: SpanId,
         path: String,
         commit: bool,
         new_version: Version,
@@ -191,6 +194,7 @@ pub enum Msg {
     /// segment on this provider).
     CreateShadow {
         req: ReqId,
+        span: SpanId,
         seg: SegId,
         base: Option<Version>,
         meta: SegMeta,
@@ -218,15 +222,15 @@ pub enum Msg {
 
     // ---- two-phase commit (§3.5) ----
     /// Phase 1: pin shadows to their target versions.
-    Prepare { req: ReqId, items: Vec<(ShadowId, Version)> },
+    Prepare { req: ReqId, span: SpanId, items: Vec<(ShadowId, Version)> },
     /// Prepare vote.
     PrepareR { req: ReqId, result: Result<(), Error> },
     /// Phase 2: commit prepared shadows.
-    Commit { req: ReqId, items: Vec<(ShadowId, Version)> },
+    Commit { req: ReqId, span: SpanId, items: Vec<(ShadowId, Version)> },
     /// Commit ack.
     CommitR { req: ReqId, result: Result<(), Error> },
     /// Abort shadows (no reply needed).
-    Abort { items: Vec<ShadowId> },
+    Abort { span: SpanId, items: Vec<ShadowId> },
 
     // ---- versioning-off byte-range mode (§3.5) ----
     /// Direct in-place write.
@@ -270,31 +274,69 @@ pub enum Msg {
 /// Boxed replica image (large variant kept off the enum's inline size).
 pub type ReplicaImageBox = Box<ReplicaImage>;
 
-/// Short label of a message variant (diagnostics).
+/// Short label of a message variant (diagnostics and static metric
+/// labels: every variant maps to a fixed `&'static str`, so counters
+/// keyed by message kind never allocate).
 pub fn dbg_kind(msg: &Msg) -> &'static str {
     match msg {
-        Msg::NsCreateR { .. } => "ns_create_r",
+        Msg::Tick(_) => "tick",
+        Msg::Heartbeat(_) => "heartbeat",
+        Msg::NsLookup { .. } => "ns_lookup",
         Msg::NsLookupR { .. } => "ns_lookup_r",
-        Msg::ReadSegR { .. } => "read_seg_r",
-        Msg::WriteShadowR { .. } => "write_shadow_r",
-        Msg::CreateShadowR { .. } => "create_shadow_r",
-        Msg::LocQueryR { .. } => "loc_query_r",
-        Msg::PrepareR { .. } => "prepare_r",
-        Msg::CommitR { .. } => "commit_r",
+        Msg::NsCreate { .. } => "ns_create",
+        Msg::NsCreateR { .. } => "ns_create_r",
+        Msg::NsMkdir { .. } => "ns_mkdir",
+        Msg::NsMkdirR { .. } => "ns_mkdir_r",
+        Msg::NsRemove { .. } => "ns_remove",
+        Msg::NsRemoveR { .. } => "ns_remove_r",
+        Msg::NsList { .. } => "ns_list",
+        Msg::NsListR { .. } => "ns_list_r",
+        Msg::NsCommitBegin { .. } => "commit_begin",
         Msg::NsCommitBeginR { .. } => "commit_begin_r",
+        Msg::NsCommitEnd { .. } => "commit_end",
         Msg::NsCommitEndR { .. } => "commit_end_r",
-        _ => "other",
+        Msg::LocQuery { .. } => "loc_query",
+        Msg::LocQueryR { .. } => "loc_query_r",
+        Msg::LocUpsert { .. } => "loc_upsert",
+        Msg::LocRefresh { .. } => "loc_refresh",
+        Msg::BackupQuery { .. } => "backup_query",
+        Msg::BackupQueryR { .. } => "backup_query_r",
+        Msg::ReadSeg { .. } => "read_seg",
+        Msg::ReadSegR { .. } => "read_seg_r",
+        Msg::CreateShadow { .. } => "create_shadow",
+        Msg::CreateShadowR { .. } => "create_shadow_r",
+        Msg::WriteShadow { .. } => "write_shadow",
+        Msg::WriteShadowR { .. } => "write_shadow_r",
+        Msg::ReadShadow { .. } => "read_shadow",
+        Msg::ReadShadowR { .. } => "read_shadow_r",
+        Msg::RenewShadow { .. } => "renew_shadow",
+        Msg::Prepare { .. } => "prepare",
+        Msg::PrepareR { .. } => "prepare_r",
+        Msg::Commit { .. } => "commit",
+        Msg::CommitR { .. } => "commit_r",
+        Msg::Abort { .. } => "abort",
+        Msg::DirectWrite { .. } => "direct_write",
+        Msg::DirectWriteR { .. } => "direct_write_r",
+        Msg::DeleteSeg { .. } => "delete_seg",
+        Msg::DeleteSegR { .. } => "delete_seg_r",
+        Msg::FetchSeg { .. } => "fetch_seg",
+        Msg::FetchSegR { .. } => "fetch_seg_r",
+        Msg::SyncRequest { .. } => "sync_request",
+        Msg::SyncDone { .. } => "sync_done",
+        Msg::MigrateTo { .. } => "migrate_to",
+        Msg::MigrateDone { .. } => "migrate_done",
     }
 }
 
 /// Serialize an [`IndexSegment`] into segment bytes.
 pub fn encode_index(ix: &IndexSegment) -> Vec<u8> {
-    serde_json::to_vec(ix).expect("index segments always serialize")
+    crate::codec::index_to_json(ix).encode().into_bytes()
 }
 
 /// Parse segment bytes back into an [`IndexSegment`].
 pub fn decode_index(bytes: &[u8]) -> Option<IndexSegment> {
-    serde_json::from_slice(bytes).ok()
+    let text = std::str::from_utf8(bytes).ok()?;
+    crate::codec::index_from_json(&sorrento_json::Json::parse(text).ok()?)
 }
 
 fn payload_size(p: &WritePayload) -> u64 {
@@ -343,7 +385,7 @@ impl Payload for Msg {
                 16 + items.len() as u64 * 24
             }
             Msg::PrepareR { .. } | Msg::CommitR { .. } => 16,
-            Msg::Abort { items } => 16 + items.len() as u64 * 8,
+            Msg::Abort { items, .. } => 16 + items.len() as u64 * 8,
             Msg::DirectWrite { payload, .. } => 72 + payload_size(payload),
             Msg::DirectWriteR { .. } => 16,
             Msg::DeleteSeg { .. } => 24,

@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rand::Rng;
-use sorrento_sim::{Ctx, DiskAccess, Dur, Node, NodeId, SimTime};
+use sorrento_sim::{Ctx, DiskAccess, Dur, Node, NodeId, SimTime, TelemetryEvent};
 
 use crate::costs::CostModel;
 use crate::location::LocationTable;
@@ -76,6 +76,8 @@ pub struct StorageProvider {
     pub migrations_done: u64,
     /// Replica installs performed (sync/repair/migration pulls).
     pub installs_done: u64,
+    /// Monotonic heartbeat sequence (telemetry only).
+    hb_seq: u64,
 }
 
 impl StorageProvider {
@@ -100,6 +102,7 @@ impl StorageProvider {
             rack: 0,
             migrations_done: 0,
             installs_done: 0,
+            hb_seq: 0,
         }
     }
 
@@ -280,6 +283,7 @@ impl StorageProvider {
                 continue;
             }
             self.repairs_issued.insert(key, now);
+            ctx.record(TelemetryEvent::RepairStart { seg: seg.0, to: target });
             ctx.send(target, Msg::SyncRequest { req: 0, seg, source, bytes_hint });
         }
         // Replication-degree repair: choose fresh sites, excluding every
@@ -332,6 +336,7 @@ impl StorageProvider {
                 continue;
             }
             self.repairs_issued.insert(key, now);
+            ctx.record(TelemetryEvent::RepairStart { seg: seg.0, to: target });
             ctx.send(target, Msg::SyncRequest { req: 0, seg, source, bytes_hint });
             exclude.push(target);
         }
@@ -447,7 +452,7 @@ impl StorageProvider {
             if dest == me {
                 continue;
             }
-            self.start_migration(ctx, seg, dest);
+            self.start_migration(ctx, seg, dest, "locality");
             return true;
         }
         false
@@ -544,22 +549,31 @@ impl StorageProvider {
         ) else {
             return false;
         };
-        self.start_migration(ctx, seg, dest);
+        self.start_migration(ctx, seg, dest, if pick_hot { "load" } else { "capacity" });
         true
     }
 
-    fn start_migration(&mut self, ctx: &mut Ctx<'_, Msg>, seg: SegId, dest: NodeId) {
+    fn start_migration(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        seg: SegId,
+        dest: NodeId,
+        reason: &'static str,
+    ) {
         let me = ctx.id();
         let bytes_hint = self.store.stored_bytes(seg);
         self.migration_inflight = Some(seg);
+        ctx.record(TelemetryEvent::Migration { seg: seg.0, from: me, to: dest, reason });
         ctx.send(dest, Msg::MigrateTo { seg, source: me, bytes_hint });
         ctx.metrics().count("sorrento.migrations_started", 1);
+        ctx.metrics().count_labeled("sorrento.migration", reason, 1);
     }
 
     fn on_membership_events(&mut self, ctx: &mut Ctx<'_, Msg>, events: Vec<MembershipEvent>) {
         for ev in events {
             match ev {
                 MembershipEvent::Joined(p) => {
+                    ctx.record(TelemetryEvent::MemberJoin { of: p });
                     let old_ring = self.ring.clone();
                     self.rebuild_ring();
                     let _ = old_ring; // joins shift homes toward p; the
@@ -574,12 +588,18 @@ impl StorageProvider {
                     }
                 }
                 MembershipEvent::Departed(p) => {
+                    ctx.record(TelemetryEvent::DeathDeclared { of: p });
+                    ctx.record(TelemetryEvent::MemberLeave { of: p });
                     let old_ring = self.ring.clone();
                     self.rebuild_ring();
                     self.join_refresh_pending.retain(|&x| x != p);
                     // Event 3: drop the departed owner everywhere; the
                     // affected entries get repair-checked.
                     let affected = self.loc.remove_provider(p);
+                    ctx.record(TelemetryEvent::LocPurge {
+                        of: p,
+                        removed: affected.len() as u64,
+                    });
                     for seg in affected {
                         self.check_entry_repairs(ctx, seg);
                     }
@@ -698,6 +718,8 @@ impl Node<Msg> for StorageProvider {
         let hb = self.heartbeat_payload(ctx);
         self.view.observe(ctx.id(), hb, ctx.now());
         self.rebuild_ring();
+        self.hb_seq += 1;
+        ctx.record(TelemetryEvent::HeartbeatSend { seq: self.hb_seq });
         ctx.multicast(Msg::Heartbeat(hb));
         ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Heartbeat));
         // Stagger the first full refresh so a cold cluster doesn't refresh
@@ -730,9 +752,34 @@ impl Node<Msg> for StorageProvider {
             Msg::Tick(Tick::Heartbeat) => {
                 let hb = self.heartbeat_payload(ctx);
                 self.view.observe(ctx.id(), hb, now);
+                self.hb_seq += 1;
+                ctx.record(TelemetryEvent::HeartbeatSend { seq: self.hb_seq });
                 ctx.multicast(Msg::Heartbeat(hb));
+                // Surface providers that are going silent *before* the
+                // death deadline: failure-detection latency is visible in
+                // the event stream, not just its outcome.
+                let interval = self.costs.heartbeat_interval.as_nanos().max(1);
+                let me = ctx.id();
+                let misses: Vec<(NodeId, u32)> = self
+                    .view
+                    .entries()
+                    .filter(|&(id, _)| id != me)
+                    .filter_map(|(id, info)| {
+                        let missed = (now.since(info.last_seen).as_nanos() / interval) as u32;
+                        (missed >= 2).then_some((id, missed))
+                    })
+                    .collect();
+                for (of, missed) in misses {
+                    ctx.record(TelemetryEvent::HeartbeatMiss { of, missed });
+                }
                 let departed = self.view.expire(now, self.costs.heartbeat_interval);
                 self.on_membership_events(ctx, departed);
+                ctx.metrics()
+                    .gauge_set(&format!("{me}.live_providers"), self.view.len() as f64);
+                ctx.metrics()
+                    .gauge_set(&format!("{me}.loc_entries"), self.loc.len() as f64);
+                ctx.metrics()
+                    .gauge_set(&format!("{me}.fetch_queue"), self.fetch_queue.len() as f64);
                 ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Heartbeat));
             }
             Msg::Tick(Tick::LocationRefresh) => {
@@ -790,6 +837,8 @@ impl Node<Msg> for StorageProvider {
                     .lookup(seg)
                     .map(|e| e.owners.iter().map(|(&id, o)| (id, o.version)).collect())
                     .unwrap_or_default();
+                let label = if owners.is_empty() { "miss" } else { "hit" };
+                ctx.metrics().count_labeled("loc.query", label, 1);
                 let done = ctx.cpu(self.costs.provider_op_cpu);
                 ctx.send_at(done, from, Msg::LocQueryR { req, seg, owners });
             }
@@ -809,11 +858,14 @@ impl Node<Msg> for StorageProvider {
                 }
             }
             Msg::LocRefresh { owner, entries } => {
+                let added = entries.len() as u64;
                 for (seg, version, replication, bytes) in entries {
                     self.loc.upsert(seg, owner, version, replication, bytes, now);
                 }
+                ctx.record(TelemetryEvent::LocRefresh { added, total: self.loc.len() as u64 });
             }
             Msg::BackupQuery { req, seg } => {
+                ctx.metrics().count_labeled("loc.query", "backup", 1);
                 if let Some(version) = self.store.latest(seg) {
                     let done = ctx.cpu(self.costs.provider_op_cpu);
                     ctx.send_at(done, from, Msg::BackupQueryR { req, seg, version });
@@ -841,16 +893,21 @@ impl Node<Msg> for StorageProvider {
             }
             Msg::CreateShadow {
                 req,
+                span,
                 seg,
                 base,
                 meta,
             } => {
+                let fresh = base.is_none();
                 let result = match base {
                     Some(v) => self.store.open_shadow(seg, v, now, self.costs.shadow_ttl),
                     None => Ok(self
                         .store
                         .open_fresh_shadow(seg, meta, now, self.costs.shadow_ttl)),
                 };
+                if fresh && result.is_ok() {
+                    ctx.record(TelemetryEvent::SegCreate { span, seg: seg.0, on: ctx.id() });
+                }
                 let done = ctx.cpu(self.costs.provider_op_cpu);
                 ctx.send_at(done, from, Msg::CreateShadowR { req, result });
             }
@@ -904,11 +961,19 @@ impl Node<Msg> for StorageProvider {
             }
 
             // ---------------- 2PC ----------------
-            Msg::Prepare { req, items } => {
+            Msg::Prepare { req, span, items } => {
                 let mut result = Ok(());
                 for &(shadow, target) in &items {
-                    if let Err(e) = self.store.prepare_shadow(shadow, target) {
-                        result = Err(e);
+                    let seg = self.store.shadow_segment(shadow).map(|s| s.0).unwrap_or(0);
+                    let ok = match self.store.prepare_shadow(shadow, target) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            result = Err(e);
+                            false
+                        }
+                    };
+                    ctx.record(TelemetryEvent::TwoPcPrepare { span, seg, ok });
+                    if !ok {
                         break;
                     }
                 }
@@ -916,13 +981,19 @@ impl Node<Msg> for StorageProvider {
                 let disk_done = ctx.disk_submit(512, DiskAccess::Sync);
                 ctx.send_at(cpu_done.max(disk_done), from, Msg::PrepareR { req, result });
             }
-            Msg::Commit { req, items } => {
+            Msg::Commit { req, span, items } => {
                 let mut result = Ok(());
                 let mut committed: Vec<(SegId, Version, u32)> = Vec::new();
                 for &(shadow, target) in &items {
                     match self.store.shadow_segment(shadow) {
                         Some(seg) => match self.store.commit_shadow(shadow, target, now) {
                             Ok(()) => {
+                                ctx.record(TelemetryEvent::SegCommit {
+                                    span,
+                                    seg: seg.0,
+                                    version: target.0,
+                                });
+                                ctx.record(TelemetryEvent::TwoPcCommit { span, seg: seg.0 });
                                 let replication =
                                     self.store.meta(seg).map(|m| m.replication).unwrap_or(1);
                                 committed.push((seg, target, replication));
@@ -943,8 +1014,10 @@ impl Node<Msg> for StorageProvider {
                 let disk_done = ctx.disk_submit(512, DiskAccess::Sync);
                 ctx.send_at(cpu_done.max(disk_done), from, Msg::CommitR { req, result });
             }
-            Msg::Abort { items } => {
+            Msg::Abort { span, items } => {
                 for shadow in items {
+                    let seg = self.store.shadow_segment(shadow).map(|s| s.0).unwrap_or(0);
+                    ctx.record(TelemetryEvent::TwoPcAbort { span, seg, reason: "client_abort" });
                     self.store.abort_shadow(shadow);
                 }
                 self.sync_disk(ctx);
@@ -1014,6 +1087,12 @@ impl Node<Msg> for StorageProvider {
                         let fits = len <= ctx.disk().available().saturating_add(self.store.stored_bytes(job.seg));
                         if fits && self.store.install_replica(*img, now).unwrap_or(false) {
                             self.installs_done += 1;
+                            if job.reason == FetchReason::Sync {
+                                ctx.record(TelemetryEvent::RepairDone {
+                                    seg: job.seg.0,
+                                    to: ctx.id(),
+                                });
+                            }
                             self.sync_disk(ctx);
                             ctx.disk_submit(len, DiskAccess::Sequential);
                             let replication =

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 128-bit location-independent segment identifier (§3.2). In the real
 /// system these combine a machine's MAC address, its high-resolution timer
 /// and random seeds; here they combine the generating node, a per-node
 /// counter, and run-RNG bits — the same collision-avoidance structure.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SegId(pub u128);
 
 impl SegId {
@@ -27,7 +25,7 @@ impl fmt::Debug for SegId {
 
 /// A file's persistent, location-independent identity (§3.1). Equal to the
 /// SegId of the file's index segment.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u128);
 
 impl FileId {
@@ -59,9 +57,7 @@ impl fmt::Debug for FileId {
 /// sequence but different entropy, so replicas holding divergent content
 /// remain distinguishable and the home host converges them onto the
 /// ordering winner instead of silently treating them as identical.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Version(pub u64);
 
 impl Version {
@@ -157,7 +153,7 @@ impl std::error::Error for Error {}
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// Per-file tunables chosen at creation time (§2.3, §3.6, §3.7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FileOptions {
     /// Number of replicas to maintain for each segment.
     pub replication: u32,
@@ -192,7 +188,7 @@ impl Default for FileOptions {
 }
 
 /// Data organization modes (§3.2, Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Organization {
     /// Byte array is a linear concatenation of variable-length segments.
     Linear,
@@ -213,7 +209,7 @@ pub enum Organization {
 }
 
 /// Segment placement policies (§3.7).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PlacementPolicy {
     /// Uniform random over live providers (the paper's `Sorrento-random`
     /// baseline in Figure 14).

@@ -11,11 +11,12 @@ use rand::SeedableRng;
 use crate::disk::{DiskConfig, DiskState};
 use crate::net::{NetConfig, Nic};
 use crate::node::{Ctx, Node, NodeId, Payload, TimerId};
+use crate::telemetry::{EventLog, EventRecord, SpanId};
 use crate::time::{Dur, SimTime};
 use crate::Metrics;
 
 /// Per-node hardware description.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct NodeConfig {
     /// NIC parameters (defaults to Fast Ethernet).
     pub net: NetConfig,
@@ -27,6 +28,20 @@ pub struct NodeConfig {
     /// negligible latency and no NIC charge. `None` gives the node a
     /// machine of its own.
     pub machine: Option<u32>,
+    /// Capacity (in records) of this node's telemetry ring buffer
+    /// ([`crate::EventLog`]); `0` disables event recording on the node.
+    pub event_log_cap: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> NodeConfig {
+        NodeConfig {
+            net: NetConfig::default(),
+            disk: DiskConfig::default(),
+            machine: None,
+            event_log_cap: EventLog::DEFAULT_CAP,
+        }
+    }
 }
 
 impl NodeConfig {
@@ -36,7 +51,7 @@ impl NodeConfig {
         NodeConfig {
             net: NetConfig::fast_ethernet(),
             disk: DiskConfig::scsi_10krpm(21_000_000_000),
-            machine: None,
+            ..NodeConfig::default()
         }
     }
 
@@ -49,7 +64,7 @@ impl NodeConfig {
         NodeConfig {
             net: NetConfig::fast_ethernet(),
             disk,
-            machine: None,
+            ..NodeConfig::default()
         }
     }
 
@@ -76,6 +91,7 @@ pub(crate) struct Slot<M: Payload> {
     pub(crate) disk: DiskState,
     cpu_free: SimTime,
     machine: u32,
+    pub(crate) events: EventLog,
 }
 
 enum Ev<M> {
@@ -231,6 +247,7 @@ impl<M: Payload> Simulation<M> {
             disk: DiskState::new(config.disk),
             cpu_free: SimTime::ZERO,
             machine,
+            events: EventLog::new(config.event_log_cap),
         });
         id
     }
@@ -288,6 +305,34 @@ impl<M: Payload> Simulation<M> {
     /// Run-wide metrics (mutable, for harness-recorded series).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.state.metrics
+    }
+
+    /// A node's telemetry event log.
+    pub fn events(&self, id: NodeId) -> &EventLog {
+        &self.state.slots[id.index()].events
+    }
+
+    /// All nodes' telemetry events merged into one stream, ordered by
+    /// virtual time (ties broken by node id, then recording order —
+    /// fully deterministic for a given seed).
+    pub fn merged_events(&self) -> Vec<(NodeId, EventRecord)> {
+        let mut all: Vec<(NodeId, EventRecord)> = Vec::new();
+        for (i, slot) in self.state.slots.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            all.extend(slot.events.iter().map(|&rec| (id, rec)));
+        }
+        // Per-node logs are already time-ordered, so a stable sort on
+        // time keeps (node, recording-order) as the tie-break.
+        all.sort_by_key(|(_, rec)| rec.at);
+        all
+    }
+
+    /// The merged event stream filtered to one operation's span: the
+    /// causal chain of that operation across every node it touched.
+    pub fn events_for_span(&self, span: SpanId) -> Vec<(NodeId, EventRecord)> {
+        let mut chain = self.merged_events();
+        chain.retain(|(_, rec)| rec.ev.span() == Some(span));
+        chain
     }
 
     /// Inspect a node's concrete state (post-run analysis in the

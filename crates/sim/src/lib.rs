@@ -65,11 +65,13 @@ mod engine;
 mod metrics;
 mod net;
 mod node;
+mod telemetry;
 mod time;
 
 pub use disk::{DiskAccess, DiskConfig, DiskState};
 pub use engine::{NodeConfig, Simulation};
-pub use metrics::Metrics;
+pub use metrics::{Histogram, Metrics};
 pub use net::NetConfig;
 pub use node::{Ctx, Node, NodeId, Payload, TimerId};
+pub use telemetry::{EventLog, EventRecord, SpanId, TelemetryEvent};
 pub use time::{Dur, SimTime};

@@ -10,6 +10,7 @@ use rand::rngs::SmallRng;
 
 use crate::disk::{DiskAccess, DiskState};
 use crate::engine::EngineState;
+use crate::telemetry::TelemetryEvent;
 use crate::time::{Dur, SimTime};
 use crate::Metrics;
 
@@ -161,5 +162,15 @@ impl<'a, M: Payload> Ctx<'a, M> {
     /// The run's metrics sink.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.engine.metrics
+    }
+
+    /// Record a telemetry event into this node's bounded event log at
+    /// the current virtual time, and bump the run-wide
+    /// `("event", kind)` labeled counter so exports get per-kind event
+    /// counts even after ring-buffer eviction.
+    pub fn record(&mut self, ev: TelemetryEvent) {
+        let now = self.engine.now;
+        self.engine.metrics.count_labeled("event", ev.kind(), 1);
+        self.engine.slots[self.id.index()].events.push(now, ev);
     }
 }

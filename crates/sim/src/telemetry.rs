@@ -1,0 +1,433 @@
+//! Typed telemetry events recorded in virtual time.
+//!
+//! Every daemon can call [`crate::Ctx::record`] to append a
+//! [`TelemetryEvent`] to its node's bounded [`EventLog`]. Events are
+//! allocation-light — payloads are `Copy` primitives and `&'static str`
+//! labels — so recording never perturbs the simulated timeline and the
+//! event stream is bit-for-bit deterministic from the run seed.
+//!
+//! A *span* (a plain `u64`, `0` meaning "none") ties together every
+//! event caused by one client operation as it flows client → namespace
+//! server → storage providers. The harness reconstructs the causal
+//! chain of any operation by merging per-node logs in virtual-time
+//! order and filtering by span.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Identifier tying together all events caused by one client operation.
+/// `0` means "no span" (background activity).
+pub type SpanId = u64;
+
+/// One telemetry event. Variants cover the cluster's life cycle:
+/// failure detection (heartbeats, declared deaths), membership,
+/// location-table maintenance, segment life cycle, two-phase commit,
+/// replication repair and migration, plus the client-op span markers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// A client operation began (recorded by the issuing client).
+    OpStart {
+        /// The operation's span.
+        span: SpanId,
+        /// Operation kind (`"create"`, `"read"`, ...).
+        kind: &'static str,
+    },
+    /// A client operation finished.
+    OpEnd {
+        /// The operation's span.
+        span: SpanId,
+        /// Operation kind.
+        kind: &'static str,
+        /// Whether it succeeded.
+        ok: bool,
+    },
+    /// The namespace server checked an operation's version precondition.
+    VersionCheck {
+        /// Requesting operation's span.
+        span: SpanId,
+        /// File id bits.
+        file: u128,
+        /// Version presented by the client.
+        version: u64,
+        /// Whether the check passed.
+        ok: bool,
+    },
+    /// A client observed a stale location/version and will retry.
+    StaleLocation {
+        /// The operation's span.
+        span: SpanId,
+        /// What was stale (`proto::dbg_kind` of the reply).
+        kind: &'static str,
+    },
+    /// A client request timed out.
+    Timeout {
+        /// The operation's span (0 for background requests).
+        span: SpanId,
+        /// What timed out (`proto::dbg_kind` of the request).
+        kind: &'static str,
+    },
+    /// This node multicast its periodic heartbeat.
+    HeartbeatSend {
+        /// Monotonic heartbeat sequence number.
+        seq: u64,
+    },
+    /// A heartbeat from `of` was missed at a sweep.
+    HeartbeatMiss {
+        /// The silent node.
+        of: NodeId,
+        /// Consecutive misses so far.
+        missed: u32,
+    },
+    /// `of` was declared dead after too many missed heartbeats.
+    DeathDeclared {
+        /// The node declared dead.
+        of: NodeId,
+    },
+    /// `of` joined (or re-joined) the membership view.
+    MemberJoin {
+        /// The joining node.
+        of: NodeId,
+    },
+    /// `of` left the membership view.
+    MemberLeave {
+        /// The departing node.
+        of: NodeId,
+    },
+    /// The location table absorbed a batch of segment advertisements.
+    LocRefresh {
+        /// Entries added or updated by the batch.
+        added: u64,
+        /// Table size after the refresh.
+        total: u64,
+    },
+    /// Location entries pointing at `of` were purged (node death).
+    LocPurge {
+        /// The dead node whose entries were dropped.
+        of: NodeId,
+        /// Number of entries removed.
+        removed: u64,
+    },
+    /// A location miss fell back to querying backup owners.
+    BackupQuery {
+        /// Requesting operation's span.
+        span: SpanId,
+        /// Segment id bits.
+        seg: u128,
+    },
+    /// A segment was created on `on`.
+    SegCreate {
+        /// Creating operation's span.
+        span: SpanId,
+        /// Segment id bits.
+        seg: u128,
+        /// The provider holding the new segment.
+        on: NodeId,
+    },
+    /// A segment version was committed (made durable and visible).
+    SegCommit {
+        /// Committing operation's span.
+        span: SpanId,
+        /// Segment id bits.
+        seg: u128,
+        /// Committed version.
+        version: u64,
+    },
+    /// Two-phase commit: a participant voted on prepare.
+    TwoPcPrepare {
+        /// Coordinating operation's span.
+        span: SpanId,
+        /// Segment id bits.
+        seg: u128,
+        /// The participant's vote.
+        ok: bool,
+    },
+    /// Two-phase commit: the decision was commit.
+    TwoPcCommit {
+        /// Coordinating operation's span.
+        span: SpanId,
+        /// Segment id bits.
+        seg: u128,
+    },
+    /// Two-phase commit: the decision was abort.
+    TwoPcAbort {
+        /// Coordinating operation's span.
+        span: SpanId,
+        /// Segment id bits.
+        seg: u128,
+        /// Why the transaction aborted.
+        reason: &'static str,
+    },
+    /// Replication repair of a segment began (re-replication after a
+    /// death, or anti-entropy catching a lagging replica).
+    RepairStart {
+        /// Segment id bits.
+        seg: u128,
+        /// The node receiving the new replica.
+        to: NodeId,
+    },
+    /// Replication repair of a segment completed.
+    RepairDone {
+        /// Segment id bits.
+        seg: u128,
+        /// The node that received the replica.
+        to: NodeId,
+    },
+    /// A segment migration decision (capacity/load balancing).
+    Migration {
+        /// Segment id bits.
+        seg: u128,
+        /// Source provider.
+        from: NodeId,
+        /// Destination provider.
+        to: NodeId,
+        /// Why the segment moved (`"capacity"`, `"load"`, ...).
+        reason: &'static str,
+    },
+}
+
+impl TelemetryEvent {
+    /// Stable dotted name of the event kind, used as a counter label and
+    /// for grouping in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::OpStart { .. } => "op.start",
+            TelemetryEvent::OpEnd { .. } => "op.end",
+            TelemetryEvent::VersionCheck { .. } => "ns.version_check",
+            TelemetryEvent::StaleLocation { .. } => "client.stale",
+            TelemetryEvent::Timeout { .. } => "client.timeout",
+            TelemetryEvent::HeartbeatSend { .. } => "hb.send",
+            TelemetryEvent::HeartbeatMiss { .. } => "hb.miss",
+            TelemetryEvent::DeathDeclared { .. } => "hb.death",
+            TelemetryEvent::MemberJoin { .. } => "member.join",
+            TelemetryEvent::MemberLeave { .. } => "member.leave",
+            TelemetryEvent::LocRefresh { .. } => "loc.refresh",
+            TelemetryEvent::LocPurge { .. } => "loc.purge",
+            TelemetryEvent::BackupQuery { .. } => "loc.backup_query",
+            TelemetryEvent::SegCreate { .. } => "seg.create",
+            TelemetryEvent::SegCommit { .. } => "seg.commit",
+            TelemetryEvent::TwoPcPrepare { .. } => "2pc.prepare",
+            TelemetryEvent::TwoPcCommit { .. } => "2pc.commit",
+            TelemetryEvent::TwoPcAbort { .. } => "2pc.abort",
+            TelemetryEvent::RepairStart { .. } => "repair.start",
+            TelemetryEvent::RepairDone { .. } => "repair.done",
+            TelemetryEvent::Migration { .. } => "migration",
+        }
+    }
+
+    /// The span this event belongs to, if any (`None` for background
+    /// activity and for span-less variants).
+    pub fn span(&self) -> Option<SpanId> {
+        let span = match *self {
+            TelemetryEvent::OpStart { span, .. }
+            | TelemetryEvent::OpEnd { span, .. }
+            | TelemetryEvent::VersionCheck { span, .. }
+            | TelemetryEvent::StaleLocation { span, .. }
+            | TelemetryEvent::Timeout { span, .. }
+            | TelemetryEvent::BackupQuery { span, .. }
+            | TelemetryEvent::SegCreate { span, .. }
+            | TelemetryEvent::SegCommit { span, .. }
+            | TelemetryEvent::TwoPcPrepare { span, .. }
+            | TelemetryEvent::TwoPcCommit { span, .. }
+            | TelemetryEvent::TwoPcAbort { span, .. } => span,
+            _ => 0,
+        };
+        if span == 0 {
+            None
+        } else {
+            Some(span)
+        }
+    }
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TelemetryEvent::OpStart { span, kind } => {
+                write!(f, "op.start span={span} kind={kind}")
+            }
+            TelemetryEvent::OpEnd { span, kind, ok } => {
+                write!(f, "op.end span={span} kind={kind} ok={ok}")
+            }
+            TelemetryEvent::VersionCheck { span, file, version, ok } => {
+                write!(f, "ns.version_check span={span} file={file:x} v={version} ok={ok}")
+            }
+            TelemetryEvent::StaleLocation { span, kind } => {
+                write!(f, "client.stale span={span} kind={kind}")
+            }
+            TelemetryEvent::Timeout { span, kind } => {
+                write!(f, "client.timeout span={span} kind={kind}")
+            }
+            TelemetryEvent::HeartbeatSend { seq } => write!(f, "hb.send seq={seq}"),
+            TelemetryEvent::HeartbeatMiss { of, missed } => {
+                write!(f, "hb.miss of={of} missed={missed}")
+            }
+            TelemetryEvent::DeathDeclared { of } => write!(f, "hb.death of={of}"),
+            TelemetryEvent::MemberJoin { of } => write!(f, "member.join of={of}"),
+            TelemetryEvent::MemberLeave { of } => write!(f, "member.leave of={of}"),
+            TelemetryEvent::LocRefresh { added, total } => {
+                write!(f, "loc.refresh added={added} total={total}")
+            }
+            TelemetryEvent::LocPurge { of, removed } => {
+                write!(f, "loc.purge of={of} removed={removed}")
+            }
+            TelemetryEvent::BackupQuery { span, seg } => {
+                write!(f, "loc.backup_query span={span} seg={seg:x}")
+            }
+            TelemetryEvent::SegCreate { span, seg, on } => {
+                write!(f, "seg.create span={span} seg={seg:x} on={on}")
+            }
+            TelemetryEvent::SegCommit { span, seg, version } => {
+                write!(f, "seg.commit span={span} seg={seg:x} v={version}")
+            }
+            TelemetryEvent::TwoPcPrepare { span, seg, ok } => {
+                write!(f, "2pc.prepare span={span} seg={seg:x} ok={ok}")
+            }
+            TelemetryEvent::TwoPcCommit { span, seg } => {
+                write!(f, "2pc.commit span={span} seg={seg:x}")
+            }
+            TelemetryEvent::TwoPcAbort { span, seg, reason } => {
+                write!(f, "2pc.abort span={span} seg={seg:x} reason={reason}")
+            }
+            TelemetryEvent::RepairStart { seg, to } => {
+                write!(f, "repair.start seg={seg:x} to={to}")
+            }
+            TelemetryEvent::RepairDone { seg, to } => {
+                write!(f, "repair.done seg={seg:x} to={to}")
+            }
+            TelemetryEvent::Migration { seg, from, to, reason } => {
+                write!(f, "migration seg={seg:x} {from}->{to} reason={reason}")
+            }
+        }
+    }
+}
+
+/// One recorded event with its virtual timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Virtual time of the recording.
+    pub at: SimTime,
+    /// The event.
+    pub ev: TelemetryEvent,
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12} ns] {}", self.at.nanos(), self.ev)
+    }
+}
+
+/// A bounded per-node ring buffer of [`EventRecord`]s. When full, the
+/// oldest record is dropped and [`EventLog::dropped`] counts it, so a
+/// long soak run keeps a recent window instead of growing unboundedly.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    buf: VecDeque<EventRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default per-node capacity (records, not bytes).
+    pub const DEFAULT_CAP: usize = 16 * 1024;
+
+    /// An empty log holding at most `cap` records (`cap == 0` disables
+    /// recording entirely).
+    pub fn new(cap: usize) -> EventLog {
+        EventLog {
+            buf: VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest if the log is full.
+    pub fn push(&mut self, at: SimTime, ev: TelemetryEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(EventRecord { at, ev });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records evicted (or refused, when capacity is 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for seq in 0..5 {
+            log.push(SimTime::from_nanos(seq), TelemetryEvent::HeartbeatSend { seq });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let seqs: Vec<u64> = log
+            .iter()
+            .map(|r| match r.ev {
+                TelemetryEvent::HeartbeatSend { seq } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let mut log = EventLog::new(0);
+        log.push(SimTime::ZERO, TelemetryEvent::MemberJoin { of: NodeId::from_index(1) });
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn spans_are_extracted() {
+        let with = TelemetryEvent::TwoPcCommit { span: 9, seg: 1 };
+        let without = TelemetryEvent::HeartbeatSend { seq: 0 };
+        let zero = TelemetryEvent::OpStart { span: 0, kind: "read" };
+        assert_eq!(with.span(), Some(9));
+        assert_eq!(without.span(), None);
+        assert_eq!(zero.span(), None);
+    }
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        let ev = TelemetryEvent::TwoPcAbort { span: 3, seg: 0xabc, reason: "vote" };
+        assert_eq!(ev.to_string(), "2pc.abort span=3 seg=abc reason=vote");
+        let rec = EventRecord { at: SimTime::from_nanos(1500), ev };
+        assert_eq!(rec.to_string(), "[        1500 ns] 2pc.abort span=3 seg=abc reason=vote");
+        assert_eq!(ev.kind(), "2pc.abort");
+    }
+}

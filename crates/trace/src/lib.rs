@@ -25,12 +25,11 @@
 
 use std::io::{self, BufRead, Write};
 
-use serde::{Deserialize, Serialize};
+use sorrento_json::Json;
 
 /// One traced operation. Offsets/lengths in bytes, times in nanoseconds
 /// relative to trace start.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "op", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceOp {
     /// Create (and open for writing).
     Create {
@@ -89,16 +88,13 @@ pub enum TraceOp {
 
 /// One trace record: when the op started and how long it took when it
 /// was captured (both optional for synthetic traces).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Start time, ns from trace start.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub at_ns: Option<u64>,
     /// Observed duration in ns.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub dur_ns: Option<u64>,
     /// The operation.
-    #[serde(flatten)]
     pub op: TraceOp,
 }
 
@@ -110,6 +106,89 @@ impl TraceRecord {
             dur_ns: None,
             op,
         }
+    }
+
+    /// Encode as a flat JSON object: optional `at_ns`/`dur_ns`, then the
+    /// op tag under `"op"` (snake_case) with its fields inlined — the
+    /// same wire layout the original serde derive produced.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        if let Some(at) = self.at_ns {
+            j.set("at_ns", at);
+        }
+        if let Some(d) = self.dur_ns {
+            j.set("dur_ns", d);
+        }
+        match &self.op {
+            TraceOp::Create { path } => {
+                j.set("op", "create");
+                j.set("path", path.as_str());
+            }
+            TraceOp::Open { path, write } => {
+                j.set("op", "open");
+                j.set("path", path.as_str());
+                j.set("write", *write);
+            }
+            TraceOp::Read { offset, len } => {
+                j.set("op", "read");
+                j.set("offset", *offset);
+                j.set("len", *len);
+            }
+            TraceOp::Write { offset, len } => {
+                j.set("op", "write");
+                j.set("offset", *offset);
+                j.set("len", *len);
+            }
+            TraceOp::Append { len } => {
+                j.set("op", "append");
+                j.set("len", *len);
+            }
+            TraceOp::Sync => j.set("op", "sync"),
+            TraceOp::Close => j.set("op", "close"),
+            TraceOp::Unlink { path } => {
+                j.set("op", "unlink");
+                j.set("path", path.as_str());
+            }
+            TraceOp::Mkdir { path } => {
+                j.set("op", "mkdir");
+                j.set("path", path.as_str());
+            }
+            TraceOp::Gap { ns } => {
+                j.set("op", "gap");
+                j.set("ns", *ns);
+            }
+            TraceOp::QueryBoundary => j.set("op", "query_boundary"),
+        }
+        j
+    }
+
+    /// Decode the layout produced by [`TraceRecord::to_json`].
+    pub fn from_json(j: &Json) -> Option<TraceRecord> {
+        let at_ns = match j.get("at_ns") {
+            None => None,
+            Some(v) => Some(v.as_u64()?),
+        };
+        let dur_ns = match j.get("dur_ns") {
+            None => None,
+            Some(v) => Some(v.as_u64()?),
+        };
+        let path = || Some(j.get("path")?.as_str()?.to_owned());
+        let u64f = |k: &str| j.get(k)?.as_u64();
+        let op = match j.get("op")?.as_str()? {
+            "create" => TraceOp::Create { path: path()? },
+            "open" => TraceOp::Open { path: path()?, write: j.get("write")?.as_bool()? },
+            "read" => TraceOp::Read { offset: u64f("offset")?, len: u64f("len")? },
+            "write" => TraceOp::Write { offset: u64f("offset")?, len: u64f("len")? },
+            "append" => TraceOp::Append { len: u64f("len")? },
+            "sync" => TraceOp::Sync,
+            "close" => TraceOp::Close,
+            "unlink" => TraceOp::Unlink { path: path()? },
+            "mkdir" => TraceOp::Mkdir { path: path()? },
+            "gap" => TraceOp::Gap { ns: u64f("ns")? },
+            "query_boundary" => TraceOp::QueryBoundary,
+            _ => return None,
+        };
+        Some(TraceRecord { at_ns, dur_ns, op })
     }
 }
 
@@ -173,7 +252,7 @@ impl Trace {
     /// Serialize as JSON Lines.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
         for rec in &self.records {
-            serde_json::to_writer(&mut w, rec)?;
+            w.write_all(rec.to_json().encode().as_bytes())?;
             w.write_all(b"\n")?;
         }
         Ok(())
@@ -187,8 +266,13 @@ impl Trace {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec: TraceRecord = serde_json::from_str(&line)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let rec = Json::parse(&line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+                .and_then(|j| {
+                    TraceRecord::from_json(&j).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad trace record")
+                    })
+                })?;
             trace.records.push(rec);
         }
         Ok(trace)

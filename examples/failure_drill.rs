@@ -10,6 +10,7 @@
 
 use sorrento::client::ClientOp;
 use sorrento::cluster::{ClusterBuilder, ScriptedWorkload};
+use sorrento_json::Json;
 use sorrento_sim::Dur;
 use sorrento_workloads::bulk::{populate_script, BulkIo, BulkMode};
 
@@ -110,4 +111,22 @@ fn main() {
         under,
         cluster.client_stats(reader).unwrap().failed_ops
     );
+
+    // What the cluster saw, through its own telemetry: the failure
+    // detector, membership churn, and the repair pipeline.
+    let m = cluster.metrics();
+    println!("\ntelemetry event counts:");
+    for kind in ["hb.miss", "hb.death", "member.join", "member.leave", "loc.purge", "repair.start", "repair.done"] {
+        println!("  {kind:<13} {}", m.counter_labeled("event", kind));
+    }
+
+    // Export the full registry for offline inspection (same schema as
+    // the fig* harness binaries; see EXPERIMENTS.md).
+    let doc = Json::obj()
+        .with("experiment", "failure_drill")
+        .with("systems", Json::obj().with("Sorrento-(5,2)", m.to_json()));
+    std::fs::create_dir_all("results").expect("mkdir results");
+    let path = "results/telemetry_failure_drill.json";
+    std::fs::write(path, doc.encode() + "\n").expect("write telemetry");
+    println!("telemetry -> {path}");
 }

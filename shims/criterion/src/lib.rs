@@ -1,0 +1,128 @@
+//! Hermetic, dependency-free stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's microbenchmarks use
+//! (`Criterion::bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, `criterion_group!`, `criterion_main!`, `black_box`)
+//! backed by a plain wall-clock loop: calibrate an iteration count to
+//! roughly [`TARGET`] per benchmark, then report mean ns/iter. No
+//! statistics, plots, or baselines — just numbers on stdout.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+pub const TARGET: Duration = Duration::from_millis(300);
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration setup outputs are batched (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh `setup()` outputs; setup time excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Run one named benchmark: calibrate, measure, print ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration pass: one iteration to estimate cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / per.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("bench {name:<44} {ns:>14.1} ns/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + 1));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| { v.len() }, BatchSize::SmallInput)
+        });
+        runs += 1;
+        assert_eq!(runs, 1);
+    }
+}

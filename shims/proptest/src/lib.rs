@@ -1,0 +1,470 @@
+//! Hermetic, dependency-free stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements the strategy/macro subset the workspace's property
+//! tests use: `proptest! { fn f(x in strategy) {...} }`, ranges, tuples,
+//! `Just`, `prop_map`, `prop_oneof!` (weighted and unweighted),
+//! `prop::collection::{vec, btree_set}`, `prop::option::of`,
+//! `any::<T>()`, `prop::sample::Index`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (deterministic across runs) and failures do **not**
+//! shrink — the failing case's panic message is the whole story.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+use rand::prelude::*;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<W, F: Fn(Self::Value) -> W>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy mapped through a function (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, W, F: Fn(S::Value) -> W> Strategy for Map<S, F> {
+    type Value = W;
+    fn generate(&self, rng: &mut TestRng) -> W {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` arms. Weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut draw = rng.gen_range(0..total.max(1));
+        for (w, s) in &self.arms {
+            if draw < *w {
+                return s.generate(rng);
+            }
+            draw -= w;
+        }
+        self.arms.last().unwrap().1.generate(rng)
+    }
+}
+
+/// Types with a canonical "uniform-ish" strategy, for [`any`].
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// Strategy for any [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Run-count configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Sub-strategies namespaced as in real proptest (`prop::collection` …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Acceptable size arguments for collection strategies.
+        pub trait SizeBound {
+            /// Draw a concrete size.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeBound for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeBound for core::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl SizeBound for core::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+        pub struct VecStrategy<S, Z> {
+            elem: S,
+            size: Z,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy, Z: SizeBound>(elem: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy, Z: SizeBound> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<S::Value>`.
+        pub struct BTreeSetStrategy<S, Z> {
+            elem: S,
+            size: Z,
+        }
+
+        /// `prop::collection::btree_set(element, size)`. Best-effort: if
+        /// the element domain is too small to reach the drawn size, the
+        /// set is returned at whatever size 100·n attempts produced.
+        pub fn btree_set<S, Z>(elem: S, size: Z) -> BTreeSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            Z: SizeBound,
+        {
+            BTreeSetStrategy { elem, size }
+        }
+
+        impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            Z: SizeBound,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.pick(rng);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0usize;
+                while out.len() < n && attempts < n.saturating_mul(100).max(100) {
+                    out.insert(self.elem.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use super::super::*;
+
+        /// Strategy for `Option<S::Value>` (see [`of`]).
+        pub struct OptionStrategy<S>(S);
+
+        /// `prop::option::of(inner)`: `None` one time in four.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.gen_range(0..4u32) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::*;
+
+        /// An index into a slice of yet-unknown length.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Resolve against a concrete length (`len > 0`).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.gen())
+            }
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property test (no shrinking; panics immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (`w => strategy`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((($w) as u32, $crate::Strategy::boxed($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1u32, $crate::Strategy::boxed($s))),+])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running `cases` deterministic generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@fns ($cfg:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng: $crate::TestRng =
+                ::rand::SeedableRng::seed_from_u64($crate::seed_for(stringify!($name)));
+            for _case in 0..cfg.cases {
+                $(let $arg = ($strat).generate(&mut rng);)*
+                $body
+            }
+        }
+    )*};
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Kind {
+        A,
+        B(u64),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..10, pair in (0u32..4, 5usize..6)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.1, 5);
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(any::<u8>(), 0..8),
+                       s in prop::collection::btree_set(0usize..64, 2..10),
+                       o in prop::option::of(1u32..3),
+                       ix in any::<prop::sample::Index>()) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(s.len() >= 2 && s.len() < 10);
+            if let Some(o) = o { prop_assert!(o == 1 || o == 2); }
+            prop_assert!(ix.index(7) < 7);
+        }
+
+        #[test]
+        fn oneof_and_map(k in prop_oneof![
+            3 => Just(Kind::A),
+            1 => (10u64..20).prop_map(Kind::B),
+        ]) {
+            match k {
+                Kind::A => {}
+                Kind::B(x) => prop_assert!((10..20).contains(&x)),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a: TestRng = rand::SeedableRng::seed_from_u64(seed_for("t"));
+        let mut b: TestRng = rand::SeedableRng::seed_from_u64(seed_for("t"));
+        let s = prop::collection::vec(0u64..100, 1..9);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    use crate::{seed_for, Strategy, TestRng};
+}

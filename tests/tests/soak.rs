@@ -154,13 +154,11 @@ impl Workload for Mixed {
     fn on_result(&mut self, op: &ClientOp, result: &OpResult, now: SimTime) {
         let in_churn = now >= self.churn_window.0 && now <= self.churn_window.1;
         match (op, &result.error) {
-            (ClientOp::Close, None) => {
-                // A successful close after a fully successful write cycle
-                // commits the payload.
-                if self.stage == 3 && self.cycle_ok {
-                    let i = (self.step as usize + self.tag) % self.written.len();
-                    self.written[i] = Knowledge::Content(self.payload(i, self.step));
-                }
+            // A successful close after a fully successful write cycle
+            // commits the payload.
+            (ClientOp::Close, None) if self.stage == 3 && self.cycle_ok => {
+                let i = (self.step as usize + self.tag) % self.written.len();
+                self.written[i] = Knowledge::Content(self.payload(i, self.step));
             }
             (ClientOp::Read { .. }, None) => {
                 if let (Some(k), Some(data)) = (self.pending_verify, &result.data) {
