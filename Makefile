@@ -1,13 +1,15 @@
 # Sorrento reproduction — developer entry points.
 #
-#   make check   build (release) + full test suite + clippy with -D warnings
-#   make test    test suite only
-#   make bench   regenerate every figure/table into results/
-#   make docs    rustdoc for the whole workspace
+#   make check      build (release) + full test suite + clippy with -D warnings
+#   make test       test suite only
+#   make check-net  real-process runtime: frame-codec property tests +
+#                   loopback TCP cluster drill (sockets, daemons, sorrentoctl)
+#   make bench      regenerate every figure/table into results/
+#   make docs       rustdoc for the whole workspace
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy bench docs
+.PHONY: check build test clippy check-net bench docs
 
 check: build test clippy
 
@@ -19,6 +21,11 @@ test:
 
 clippy:
 	$(CARGO) clippy -- -D warnings
+
+check-net:
+	$(CARGO) test -p sorrento-net
+	$(CARGO) test -p sorrento-tests --test frame_codec
+	$(CARGO) test -p sorrento-tests --test loopback_cluster
 
 bench:
 	for f in fig09_small_file_latency fig10_small_file_throughput \

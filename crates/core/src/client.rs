@@ -15,6 +15,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use sorrento_sim::{Ctx, Dur, Node, NodeId, SimTime, SpanId, TelemetryEvent};
 
+use crate::transport::Transport;
+
 use crate::costs::CostModel;
 use crate::layout::{Extent, IndexSegment, WritePlan};
 use crate::membership::MembershipView;
@@ -412,13 +414,13 @@ impl SorrentoClient {
         (w as &dyn std::any::Any).downcast_ref::<W>()
     }
 
-    fn fresh_seg(&mut self, ctx: &mut Ctx<'_, Msg>) -> SegId {
+    fn fresh_seg(&mut self, ctx: &mut impl Transport) -> SegId {
         self.seg_counter += 1;
         SegId::derive(ctx.id().index() as u32, self.seg_counter, ctx.rng().gen())
     }
 
     /// Issue an RPC with a timeout guard.
-    fn rpc(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg, pending: Pending) -> ReqId {
+    fn rpc(&mut self, ctx: &mut impl Transport, to: NodeId, msg: Msg, pending: Pending) -> ReqId {
         let req = match &msg {
             Msg::NsLookup { req, .. }
             | Msg::NsCreate { req, .. }
@@ -502,7 +504,7 @@ impl SorrentoClient {
     /// algorithm (§3.7.1), with the home-host boost for small segments.
     fn place_segment(
         &mut self,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut impl Transport,
         seg: SegId,
         size_hint: u64,
         alpha: f64,
@@ -525,7 +527,14 @@ impl SorrentoClient {
     // Operation lifecycle
     // ------------------------------------------------------------------
 
-    fn pull_next_op(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    /// Providers currently in the membership view. The real-process
+    /// runtime uses this to gate workload start on peer discovery (the
+    /// simulator instead runs a warmup period).
+    pub fn known_providers(&self) -> usize {
+        self.view.len()
+    }
+
+    fn pull_next_op(&mut self, ctx: &mut impl Transport) {
         if self.op.is_some() {
             return;
         }
@@ -544,7 +553,7 @@ impl SorrentoClient {
         self.start_op(ctx, op);
     }
 
-    fn start_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: ClientOp) {
+    fn start_op(&mut self, ctx: &mut impl Transport, op: ClientOp) {
         let now = ctx.now();
         if self.stats.started_at.is_none() {
             self.stats.started_at = Some(now);
@@ -571,7 +580,7 @@ impl SorrentoClient {
     }
 
     /// (Re-)issue the first request of the current op's current stage.
-    fn dispatch_stage(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn dispatch_stage(&mut self, ctx: &mut impl Transport) {
         let Some((op, _, _, _)) = &self.op else {
             return;
         };
@@ -629,7 +638,7 @@ impl SorrentoClient {
         }
     }
 
-    fn start_create(&mut self, ctx: &mut Ctx<'_, Msg>, path: String, options: FileOptions) {
+    fn start_create(&mut self, ctx: &mut impl Transport, path: String, options: FileOptions) {
         let file: FileId = self.fresh_seg(ctx).into();
         let req = self.fresh_req();
         self.rpc(
@@ -645,7 +654,7 @@ impl SorrentoClient {
         );
     }
 
-    fn complete_op(&mut self, ctx: &mut Ctx<'_, Msg>, error: Option<Error>, bytes: u64, data: Option<Vec<u8>>) {
+    fn complete_op(&mut self, ctx: &mut impl Transport, error: Option<Error>, bytes: u64, data: Option<Vec<u8>>) {
         let Some((op, started, _, _)) = self.op.take() else {
             return;
         };
@@ -711,7 +720,7 @@ impl SorrentoClient {
 
     /// A stage hit a timeout or hard failure: retry the whole op stage or
     /// give up.
-    fn retry_or_fail(&mut self, ctx: &mut Ctx<'_, Msg>, error: Error) {
+    fn retry_or_fail(&mut self, ctx: &mut impl Transport, error: Error) {
         let Some((_, _, _, attempts)) = &mut self.op else {
             return;
         };
@@ -732,7 +741,7 @@ impl SorrentoClient {
     // Open flow
     // ------------------------------------------------------------------
 
-    fn on_entry_resolved(&mut self, ctx: &mut Ctx<'_, Msg>, entry: FileEntry) {
+    fn on_entry_resolved(&mut self, ctx: &mut impl Transport, entry: FileEntry) {
         let Some((op, _, phase, _)) = &mut self.op else {
             return;
         };
@@ -786,7 +795,7 @@ impl SorrentoClient {
         self.read_index_segment(ctx, entry.file.index_segment(), entry.version);
     }
 
-    fn read_index_segment(&mut self, ctx: &mut Ctx<'_, Msg>, seg: SegId, version: Version) {
+    fn read_index_segment(&mut self, ctx: &mut impl Transport, seg: SegId, version: Version) {
         let Some(home) = self.ring.home(seg) else {
             self.retry_or_fail(ctx, Error::Timeout);
             return;
@@ -807,7 +816,7 @@ impl SorrentoClient {
         );
     }
 
-    fn on_index_read(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, reply: ReadReply, owner_known: bool) {
+    fn on_index_read(&mut self, ctx: &mut impl Transport, from: NodeId, reply: ReadReply, owner_known: bool) {
         match reply {
             ReadReply::Data { data, .. } => {
                 let Some(bytes) = data else {
@@ -817,12 +826,16 @@ impl SorrentoClient {
                     self.retry_or_fail(ctx, Error::NoSuchSegment);
                     return;
                 };
-                let Some(ix) = decode_index(&bytes) else {
-                    if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
-                        eprintln!("TRACE {:?} t={:?} index decode failed ({} bytes)", ctx.id(), ctx.now(), bytes.len());
+                let ix = match decode_index(&bytes) {
+                    Ok(ix) => ix,
+                    Err(e) => {
+                        ctx.metrics().count_labeled("index_decode_error", e.label(), 1);
+                        if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+                            eprintln!("TRACE {:?} t={:?} index decode failed ({} bytes): {e}", ctx.id(), ctx.now(), bytes.len());
+                        }
+                        self.retry_or_fail(ctx, Error::NoSuchSegment);
+                        return;
                     }
-                    self.retry_or_fail(ctx, Error::NoSuchSegment);
-                    return;
                 };
                 if let Some(f) = &mut self.file {
                     f.attached_buf = ix.attached.clone().unwrap_or_default();
@@ -881,7 +894,7 @@ impl SorrentoClient {
         }
     }
 
-    fn start_backup_query(&mut self, ctx: &mut Ctx<'_, Msg>, seg: SegId) {
+    fn start_backup_query(&mut self, ctx: &mut impl Transport, seg: SegId) {
         let req = self.fresh_req();
         self.pending.insert(req, (ctx.id(), Pending::Backup { seg }));
         self.backup_hits.insert(req, Vec::new());
@@ -897,7 +910,7 @@ impl SorrentoClient {
         ctx.metrics().count("client.backup_queries", 1);
     }
 
-    fn on_backup_deadline(&mut self, ctx: &mut Ctx<'_, Msg>, req: ReqId) {
+    fn on_backup_deadline(&mut self, ctx: &mut impl Transport, req: ReqId) {
         let Some((_, Pending::Backup { seg })) = self.pending.remove(&req) else {
             return;
         };
@@ -959,7 +972,7 @@ impl SorrentoClient {
     // Read flow
     // ------------------------------------------------------------------
 
-    fn start_read(&mut self, ctx: &mut Ctx<'_, Msg>, offset: u64, len: u64) {
+    fn start_read(&mut self, ctx: &mut impl Transport, offset: u64, len: u64) {
         self.scatter_bytes = len.min(512 << 20);
         let Some(f) = &self.file else {
             self.complete_op(ctx, Some(Error::NotFound), 0, None);
@@ -1015,7 +1028,7 @@ impl SorrentoClient {
 
     /// Drive the read: resolve owners for unresolved extents, issue data
     /// fetches for resolved ones.
-    fn continue_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn continue_read(&mut self, ctx: &mut impl Transport) {
         let (extents, unresolved_now) = match &mut self.op {
             Some((_, _, Phase::Reading { extents, unresolved, .. }, _)) => {
                 (extents.clone(), std::mem::take(unresolved))
@@ -1068,7 +1081,7 @@ impl SorrentoClient {
         self.maybe_finish_read(ctx);
     }
 
-    fn issue_extent_read(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize) {
+    fn issue_extent_read(&mut self, ctx: &mut impl Transport, i: usize) {
         let (seg, seg_offset, len, version) = {
             let Some((_, _, Phase::Reading { extents, .. }, _)) = &self.op else {
                 return;
@@ -1117,7 +1130,7 @@ impl SorrentoClient {
         }
     }
 
-    fn on_data_read(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize, from: NodeId, reply: ReadReply) {
+    fn on_data_read(&mut self, ctx: &mut impl Transport, i: usize, from: NodeId, reply: ReadReply) {
         match reply {
             ReadReply::Data { len, data, version } => {
                 if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
@@ -1187,7 +1200,7 @@ impl SorrentoClient {
         }
     }
 
-    fn maybe_finish_read(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn maybe_finish_read(&mut self, ctx: &mut impl Transport) {
         let Some((_, _, Phase::Reading { unresolved, outstanding, bytes, buf, .. }, _)) = &self.op
         else {
             return;
@@ -1203,7 +1216,7 @@ impl SorrentoClient {
     // Write flow
     // ------------------------------------------------------------------
 
-    fn start_write(&mut self, ctx: &mut Ctx<'_, Msg>, offset: u64, payload: WritePayload) {
+    fn start_write(&mut self, ctx: &mut impl Transport, offset: u64, payload: WritePayload) {
         self.scatter_bytes = payload.len();
         let Some(f) = &mut self.file else {
             self.complete_op(ctx, Some(Error::NotFound), 0, None);
@@ -1276,7 +1289,7 @@ impl SorrentoClient {
 
     /// Drive the write: for each extent ensure we have a shadow on some
     /// owner, then issue the shadow writes in parallel.
-    fn continue_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn continue_write(&mut self, ctx: &mut impl Transport) {
         let Some((_, _, Phase::Writing { extents, todo, .. }, _)) = &self.op else {
             return;
         };
@@ -1346,7 +1359,7 @@ impl SorrentoClient {
     /// Versioning-off path (§3.5): writes go straight to the segments,
     /// no shadows, no 2PC. New segments are placed like any other; their
     /// index entries jump to version 1 immediately.
-    fn continue_direct_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn continue_direct_write(&mut self, ctx: &mut impl Transport) {
         let (extents, todo) = match &self.op {
             Some((_, _, Phase::Writing { extents, todo, .. }, _)) => {
                 (extents.clone(), todo.clone())
@@ -1385,7 +1398,7 @@ impl SorrentoClient {
         self.maybe_finish_write(ctx);
     }
 
-    fn issue_direct_write(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize) {
+    fn issue_direct_write(&mut self, ctx: &mut impl Transport, i: usize) {
         let Some((_, _, Phase::Writing { extents, todo, outstanding, .. }, _)) = &mut self.op
         else {
             return;
@@ -1512,7 +1525,7 @@ impl SorrentoClient {
         WritePayload::Real(out)
     }
 
-    fn issue_shadow_create(&mut self, ctx: &mut Ctx<'_, Msg>, e: Extent) {
+    fn issue_shadow_create(&mut self, ctx: &mut impl Transport, e: Extent) {
         let f = self.file.as_ref().expect("write has open file");
         let opts = f.entry.options;
         let synthetic = f.synthetic;
@@ -1555,7 +1568,7 @@ impl SorrentoClient {
         );
     }
 
-    fn issue_shadow_write(&mut self, ctx: &mut Ctx<'_, Msg>, i: usize) {
+    fn issue_shadow_write(&mut self, ctx: &mut impl Transport, i: usize) {
         let Some((_, _, Phase::Writing { extents, todo, outstanding, .. }, _)) = &mut self.op
         else {
             return;
@@ -1583,7 +1596,7 @@ impl SorrentoClient {
         );
     }
 
-    fn maybe_finish_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn maybe_finish_write(&mut self, ctx: &mut impl Transport) {
         let Some((_, _, Phase::Writing { todo, outstanding, write_offset, write_len, .. }, _)) =
             &self.op
         else {
@@ -1615,7 +1628,7 @@ impl SorrentoClient {
     // Commit flow (Figure 6 steps 6–12)
     // ------------------------------------------------------------------
 
-    fn start_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn start_commit(&mut self, ctx: &mut impl Transport) {
         let Some(f) = &self.file else {
             self.complete_op(ctx, Some(Error::NotFound), 0, None);
             return;
@@ -1642,7 +1655,7 @@ impl SorrentoClient {
         self.issue_index_shadow(ctx);
     }
 
-    fn issue_index_shadow(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_index_shadow(&mut self, ctx: &mut impl Transport) {
         let f = self.file.as_ref().expect("commit has open file");
         let seg = f.entry.file.index_segment();
         let opts = f.entry.options;
@@ -1680,7 +1693,7 @@ impl SorrentoClient {
         );
     }
 
-    fn issue_index_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_index_write(&mut self, ctx: &mut impl Transport) {
         // Advance data-segment versions in the index, then ship it.
         let new_file_version;
         let bytes;
@@ -1722,7 +1735,7 @@ impl SorrentoClient {
         );
     }
 
-    fn issue_commit_begin(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_commit_begin(&mut self, ctx: &mut impl Transport) {
         let f = self.file.as_ref().expect("commit has open file");
         let (path, base) = (f.path.clone(), f.entry.version);
         if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
@@ -1753,7 +1766,7 @@ impl SorrentoClient {
         v
     }
 
-    fn issue_prepare(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_prepare(&mut self, ctx: &mut impl Transport) {
         let parts = self.participants();
         if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
             *stage = CommitStage::Prepare {
@@ -1772,7 +1785,7 @@ impl SorrentoClient {
         }
     }
 
-    fn issue_commit_phase(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_commit_phase(&mut self, ctx: &mut impl Transport) {
         let parts = self.participants();
         if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
             *stage = CommitStage::Commit {
@@ -1790,7 +1803,7 @@ impl SorrentoClient {
         }
     }
 
-    fn abort_commit(&mut self, ctx: &mut Ctx<'_, Msg>, error: Error) {
+    fn abort_commit(&mut self, ctx: &mut impl Transport, error: Error) {
         // Tell every participant to drop its shadows, release the lease if
         // held, and fail (or retry, for atomic append).
         let parts = self.participants();
@@ -1844,7 +1857,7 @@ impl SorrentoClient {
 
     /// Atomic-append retry: re-lookup the entry and re-read the index,
     /// then re-run the append write + commit.
-    fn refresh_for_append(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn refresh_for_append(&mut self, ctx: &mut impl Transport) {
         let Some(f) = &self.file else {
             self.complete_op(ctx, Some(Error::NotFound), 0, None);
             return;
@@ -1857,7 +1870,7 @@ impl SorrentoClient {
         self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
     }
 
-    fn issue_commit_end(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_commit_end(&mut self, ctx: &mut impl Transport) {
         let f = self.file.as_ref().expect("commit has open file");
         let path = f.path.clone();
         let new_version = f.commit_target.expect("commit target chosen");
@@ -1881,7 +1894,7 @@ impl SorrentoClient {
         );
     }
 
-    fn finish_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn finish_commit(&mut self, ctx: &mut impl Transport) {
         // Eager propagation if requested, else done.
         let eager = self
             .file
@@ -1937,7 +1950,7 @@ impl SorrentoClient {
         self.conclude_commit(ctx);
     }
 
-    fn conclude_commit(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn conclude_commit(&mut self, ctx: &mut impl Transport) {
         let is_close = matches!(
             self.op.as_ref().map(|(o, ..)| o),
             Some(ClientOp::Close)
@@ -1971,7 +1984,7 @@ impl SorrentoClient {
     // Unlink flow
     // ------------------------------------------------------------------
 
-    fn continue_unlink(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn continue_unlink(&mut self, ctx: &mut impl Transport) {
         let Some((_, _, Phase::Unlinking { to_locate, deletes, outstanding, .. }, _)) = &mut self.op
         else {
             return;
@@ -2003,7 +2016,7 @@ impl SorrentoClient {
     // Reply dispatch
     // ------------------------------------------------------------------
 
-    fn on_reply(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, req: ReqId, msg: Msg) {
+    fn on_reply(&mut self, ctx: &mut impl Transport, from: NodeId, req: ReqId, msg: Msg) {
         let Some((_, pending)) = self.pending.remove(&req) else {
             let kind = crate::proto_dbg_kind(&msg);
             ctx.metrics().count("client.stale_replies", 1);
@@ -2119,7 +2132,7 @@ impl SorrentoClient {
                 ) {
                     // Append retry: index refreshed, redo the write.
                     let decoded = match &reply {
-                        ReadReply::Data { data: Some(bytes), .. } => decode_index(bytes),
+                        ReadReply::Data { data: Some(bytes), .. } => decode_index(bytes).ok(),
                         _ => None,
                     };
                     if let Some(ix) = decoded {
@@ -2346,7 +2359,7 @@ impl SorrentoClient {
     }
 
     /// Append retry: after refreshing entry + index, redo the write.
-    fn redo_append_write(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn redo_append_write(&mut self, ctx: &mut impl Transport) {
         let payload = self
             .append_payload
             .clone()
@@ -2356,12 +2369,12 @@ impl SorrentoClient {
     }
 
     /// Unlink: index segment read resolved.
-    fn on_unlink_index(&mut self, ctx: &mut Ctx<'_, Msg>, reply: ReadReply, owner_known: bool) {
+    fn on_unlink_index(&mut self, ctx: &mut impl Transport, reply: ReadReply, owner_known: bool) {
         match reply {
             ReadReply::Data { data, .. } => {
                 let segs: Vec<SegId> = data
                     .as_deref()
-                    .and_then(decode_index)
+                    .and_then(|b| decode_index(b).ok())
                     .map(|ix| ix.segments.iter().map(|e| e.seg).collect())
                     .unwrap_or_default();
                 if let Some((_, _, Phase::Unlinking { index, to_locate, .. }, _)) = &mut self.op {
@@ -2408,7 +2421,7 @@ impl SorrentoClient {
         }
     }
 
-    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, req: ReqId) {
+    fn on_timeout(&mut self, ctx: &mut impl Transport, req: ReqId) {
         let Some((target, pending)) = self.pending.remove(&req) else {
             return; // reply arrived first
         };
@@ -2478,14 +2491,19 @@ impl SorrentoClient {
     }
 }
 
-impl Node<Msg> for SorrentoClient {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+/// Runtime entry points: shared by the simulator (via the thin [`Node`]
+/// impl below) and the real-process runtime (`sorrentoctl` drives the
+/// same machine over TCP).
+impl SorrentoClient {
+    /// Bring the client online and issue the workload's first op.
+    pub fn handle_start(&mut self, ctx: &mut impl Transport) {
         self.my_machine = ctx.machine_of(ctx.id());
         ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Membership));
         self.pull_next_op(ctx);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    /// Process one delivered message or fired timer.
+    pub fn handle_message(&mut self, from: NodeId, msg: Msg, ctx: &mut impl Transport) {
         match msg {
             Msg::Heartbeat(hb) => {
                 self.view.observe(from, hb, ctx.now());
@@ -2536,6 +2554,16 @@ impl Node<Msg> for SorrentoClient {
                 }
             }
         }
+    }
+}
+
+impl Node<Msg> for SorrentoClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_start(ctx)
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_message(from, msg, ctx)
     }
 }
 

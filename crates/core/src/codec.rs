@@ -7,18 +7,89 @@
 //! small-file bytes are hex too (≤ [`crate::layout::ATTACH_MAX`], so
 //! the blow-up is bounded).
 
+use std::fmt;
+
 use sorrento_json::Json;
 
 use crate::layout::{IndexSegment, SegEntry};
 use crate::proto::FileEntry;
 use crate::types::{FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
 
+/// Why a persisted metadata value failed to parse. Unlike the earlier
+/// `Option`-returning parsers, the error names the offending field, so
+/// a corrupt namespace entry or index segment is diagnosable from the
+/// error alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present but has the wrong type or an unparsable
+    /// value (bad hex, unknown enum tag, odd-length attachment, ...).
+    InvalidField(&'static str),
+    /// The value bytes are not UTF-8 text.
+    NotUtf8,
+    /// The text is not well-formed JSON.
+    BadJson,
+}
+
+impl CodecError {
+    /// A static label for metrics/telemetry (never allocates).
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecError::MissingField(f) | CodecError::InvalidField(f) => f,
+            CodecError::NotUtf8 => "utf8",
+            CodecError::BadJson => "json",
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::MissingField(name) => write!(f, "missing field `{name}`"),
+            CodecError::InvalidField(name) => write!(f, "invalid field `{name}`"),
+            CodecError::NotUtf8 => f.write_str("value is not UTF-8"),
+            CodecError::BadJson => f.write_str("value is not valid JSON"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn field<'a>(j: &'a Json, name: &'static str) -> Result<&'a Json, CodecError> {
+    j.get(name).ok_or(CodecError::MissingField(name))
+}
+
+fn u64_field(j: &Json, name: &'static str) -> Result<u64, CodecError> {
+    field(j, name)?
+        .as_u64()
+        .ok_or(CodecError::InvalidField(name))
+}
+
+fn f64_field(j: &Json, name: &'static str) -> Result<f64, CodecError> {
+    field(j, name)?
+        .as_f64()
+        .ok_or(CodecError::InvalidField(name))
+}
+
+fn bool_field(j: &Json, name: &'static str) -> Result<bool, CodecError> {
+    field(j, name)?
+        .as_bool()
+        .ok_or(CodecError::InvalidField(name))
+}
+
+fn str_field<'a>(j: &'a Json, name: &'static str) -> Result<&'a str, CodecError> {
+    field(j, name)?
+        .as_str()
+        .ok_or(CodecError::InvalidField(name))
+}
+
 fn u128_to_json(x: u128) -> Json {
     Json::Str(format!("{x:x}"))
 }
 
-fn u128_from_json(j: &Json) -> Option<u128> {
-    u128::from_str_radix(j.as_str()?, 16).ok()
+fn u128_field(j: &Json, name: &'static str) -> Result<u128, CodecError> {
+    u128::from_str_radix(str_field(j, name)?, 16).map_err(|_| CodecError::InvalidField(name))
 }
 
 fn hex_encode(bytes: &[u8]) -> String {
@@ -51,17 +122,17 @@ fn organization_to_json(o: &Organization) -> Json {
     }
 }
 
-fn organization_from_json(j: &Json) -> Option<Organization> {
-    match j.get("mode")?.as_str()? {
-        "linear" => Some(Organization::Linear),
-        "striped" => Some(Organization::Striped {
-            stripes: j.get("stripes")?.as_u64()? as u32,
-            max_size: j.get("max_size")?.as_u64()?,
+fn organization_from_json(j: &Json) -> Result<Organization, CodecError> {
+    match str_field(j, "mode")? {
+        "linear" => Ok(Organization::Linear),
+        "striped" => Ok(Organization::Striped {
+            stripes: u64_field(j, "stripes")? as u32,
+            max_size: u64_field(j, "max_size")?,
         }),
-        "hybrid" => Some(Organization::Hybrid {
-            group_stripes: j.get("group_stripes")?.as_u64()? as u32,
+        "hybrid" => Ok(Organization::Hybrid {
+            group_stripes: u64_field(j, "group_stripes")? as u32,
         }),
-        _ => None,
+        _ => Err(CodecError::InvalidField("mode")),
     }
 }
 
@@ -75,14 +146,14 @@ fn placement_to_json(p: &PlacementPolicy) -> Json {
     }
 }
 
-fn placement_from_json(j: &Json) -> Option<PlacementPolicy> {
-    match j.get("policy")?.as_str()? {
-        "random" => Some(PlacementPolicy::Random),
-        "load_aware" => Some(PlacementPolicy::LoadAware),
-        "locality_driven" => Some(PlacementPolicy::LocalityDriven {
-            threshold: j.get("threshold")?.as_f64()?,
+fn placement_from_json(j: &Json) -> Result<PlacementPolicy, CodecError> {
+    match str_field(j, "policy")? {
+        "random" => Ok(PlacementPolicy::Random),
+        "load_aware" => Ok(PlacementPolicy::LoadAware),
+        "locality_driven" => Ok(PlacementPolicy::LocalityDriven {
+            threshold: f64_field(j, "threshold")?,
         }),
-        _ => None,
+        _ => Err(CodecError::InvalidField("policy")),
     }
 }
 
@@ -98,14 +169,14 @@ pub fn options_to_json(o: &FileOptions) -> Json {
 }
 
 /// JSON → [`FileOptions`].
-pub fn options_from_json(j: &Json) -> Option<FileOptions> {
-    Some(FileOptions {
-        replication: j.get("replication")?.as_u64()? as u32,
-        alpha: j.get("alpha")?.as_f64()?,
-        organization: organization_from_json(j.get("organization")?)?,
-        placement: placement_from_json(j.get("placement")?)?,
-        versioning_off: j.get("versioning_off")?.as_bool()?,
-        eager_commit: j.get("eager_commit")?.as_bool()?,
+pub fn options_from_json(j: &Json) -> Result<FileOptions, CodecError> {
+    Ok(FileOptions {
+        replication: u64_field(j, "replication")? as u32,
+        alpha: f64_field(j, "alpha")?,
+        organization: organization_from_json(field(j, "organization")?)?,
+        placement: placement_from_json(field(j, "placement")?)?,
+        versioning_off: bool_field(j, "versioning_off")?,
+        eager_commit: bool_field(j, "eager_commit")?,
     })
 }
 
@@ -122,15 +193,15 @@ pub fn entry_to_json(e: &FileEntry) -> Json {
 }
 
 /// JSON → [`FileEntry`].
-pub fn entry_from_json(j: &Json) -> Option<FileEntry> {
-    Some(FileEntry {
-        file: FileId(u128_from_json(j.get("file")?)?),
-        version: Version(j.get("version")?.as_u64()?),
-        size: j.get("size")?.as_u64()?,
-        is_dir: j.get("is_dir")?.as_bool()?,
-        created_ns: j.get("created_ns")?.as_u64()?,
-        modified_ns: j.get("modified_ns")?.as_u64()?,
-        options: options_from_json(j.get("options")?)?,
+pub fn entry_from_json(j: &Json) -> Result<FileEntry, CodecError> {
+    Ok(FileEntry {
+        file: FileId(u128_field(j, "file")?),
+        version: Version(u64_field(j, "version")?),
+        size: u64_field(j, "size")?,
+        is_dir: bool_field(j, "is_dir")?,
+        created_ns: u64_field(j, "created_ns")?,
+        modified_ns: u64_field(j, "modified_ns")?,
+        options: options_from_json(field(j, "options")?)?,
     })
 }
 
@@ -141,11 +212,11 @@ fn seg_entry_to_json(s: &SegEntry) -> Json {
         .with("len", s.len)
 }
 
-fn seg_entry_from_json(j: &Json) -> Option<SegEntry> {
-    Some(SegEntry {
-        seg: SegId(u128_from_json(j.get("seg")?)?),
-        version: Version(j.get("version")?.as_u64()?),
-        len: j.get("len")?.as_u64()?,
+fn seg_entry_from_json(j: &Json) -> Result<SegEntry, CodecError> {
+    Ok(SegEntry {
+        seg: SegId(u128_field(j, "seg")?),
+        version: Version(u64_field(j, "version")?),
+        len: u64_field(j, "len")?,
     })
 }
 
@@ -169,25 +240,25 @@ pub fn index_to_json(ix: &IndexSegment) -> Json {
 }
 
 /// JSON → [`IndexSegment`].
-pub fn index_from_json(j: &Json) -> Option<IndexSegment> {
-    let segments = j
-        .get("segments")?
-        .as_arr()?
+pub fn index_from_json(j: &Json) -> Result<IndexSegment, CodecError> {
+    let segments = field(j, "segments")?
+        .as_arr()
+        .ok_or(CodecError::InvalidField("segments"))?
         .iter()
         .map(seg_entry_from_json)
-        .collect::<Option<Vec<_>>>()?;
-    let attached = match j.get("attached")? {
+        .collect::<Result<Vec<_>, _>>()?;
+    let attached = match field(j, "attached")? {
         Json::Null => None,
-        Json::Str(s) => Some(hex_decode(s)?),
-        _ => return None,
+        Json::Str(s) => Some(hex_decode(s).ok_or(CodecError::InvalidField("attached"))?),
+        _ => return Err(CodecError::InvalidField("attached")),
     };
-    Some(IndexSegment {
-        file: FileId(u128_from_json(j.get("file")?)?),
-        options: options_from_json(j.get("options")?)?,
-        size: j.get("size")?.as_u64()?,
+    Ok(IndexSegment {
+        file: FileId(u128_field(j, "file")?),
+        options: options_from_json(field(j, "options")?)?,
+        size: u64_field(j, "size")?,
         segments,
         attached,
-        is_attached: j.get("is_attached")?.as_bool()?,
+        is_attached: bool_field(j, "is_attached")?,
     })
 }
 
@@ -219,7 +290,7 @@ mod tests {
             },
         ] {
             let j = Json::parse(&options_to_json(&o).encode()).unwrap();
-            assert_eq!(options_from_json(&j), Some(o));
+            assert_eq!(options_from_json(&j), Ok(o));
         }
     }
 
@@ -235,7 +306,7 @@ mod tests {
             options: exotic_options(),
         };
         let j = Json::parse(&entry_to_json(&e).encode()).unwrap();
-        assert_eq!(entry_from_json(&j), Some(e));
+        assert_eq!(entry_from_json(&j), Ok(e));
     }
 
     #[test]
@@ -245,7 +316,7 @@ mod tests {
         ix.attached = Some(vec![0, 1, 2, 254, 255]);
         ix.is_attached = true;
         let j = Json::parse(&index_to_json(&ix).encode()).unwrap();
-        assert_eq!(index_from_json(&j), Some(ix));
+        assert_eq!(index_from_json(&j), Ok(ix));
     }
 
     #[test]
@@ -259,7 +330,7 @@ mod tests {
             SegEntry { seg: SegId::derive(2, 5, 7), version: Version(2 << 16 | 3), len: 2 << 20 },
         ];
         let j = Json::parse(&index_to_json(&ix).encode()).unwrap();
-        assert_eq!(index_from_json(&j), Some(ix));
+        assert_eq!(index_from_json(&j), Ok(ix));
     }
 
     #[test]
@@ -268,5 +339,42 @@ mod tests {
         assert_eq!(hex_decode("00ff1a"), Some(vec![0x00, 0xff, 0x1a]));
         assert_eq!(hex_decode("0g"), None);
         assert_eq!(hex_decode("abc"), None);
+    }
+
+    #[test]
+    fn errors_name_the_offending_field() {
+        // Missing field.
+        let mut j = Json::parse(&options_to_json(&FileOptions::default()).encode()).unwrap();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "alpha");
+        }
+        assert_eq!(options_from_json(&j), Err(CodecError::MissingField("alpha")));
+
+        // Wrong type.
+        let j = Json::parse(&options_to_json(&FileOptions::default()).encode())
+            .unwrap()
+            .with("replication", "three");
+        assert_eq!(options_from_json(&j), Err(CodecError::InvalidField("replication")));
+
+        // Unknown enum tag, nested under `organization`.
+        let e = FileEntry {
+            file: FileId(1),
+            version: Version(1),
+            size: 0,
+            is_dir: false,
+            created_ns: 0,
+            modified_ns: 0,
+            options: FileOptions::default(),
+        };
+        let j = entry_to_json(&e)
+            .with("options", options_to_json(&FileOptions::default()).with("organization", Json::obj().with("mode", "sideways")));
+        assert_eq!(entry_from_json(&j), Err(CodecError::InvalidField("mode")));
+
+        // Corrupt hex attachment.
+        let mut ix = IndexSegment::new(FileId(42), FileOptions::default());
+        ix.attached = Some(vec![1, 2, 3]);
+        ix.is_attached = true;
+        let j = index_to_json(&ix).with("attached", "abc");
+        assert_eq!(index_from_json(&j), Err(CodecError::InvalidField("attached")));
     }
 }

@@ -77,7 +77,9 @@ pub mod proto;
 pub mod provider;
 pub mod ring;
 pub mod store;
+pub mod transport;
 pub mod types;
 
 pub use proto::dbg_kind as proto_dbg_kind;
+pub use transport::Transport;
 pub use types::{Error, FileId, FileOptions, Organization, PlacementPolicy, Result, SegId, Version};

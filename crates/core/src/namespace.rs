@@ -16,6 +16,8 @@ use std::collections::HashMap;
 use sorrento_kvdb::{Db, DbConfig, MemBackend};
 use sorrento_sim::{Ctx, DiskAccess, Node, NodeId, SimTime, TelemetryEvent};
 
+use crate::transport::Transport;
+
 use crate::costs::CostModel;
 use crate::proto::{FileEntry, Msg, Tick};
 use crate::types::{Error, FileId, FileOptions, Version};
@@ -45,9 +47,10 @@ fn encode_entry(e: &FileEntry) -> Vec<u8> {
     crate::codec::entry_to_json(e).encode().into_bytes()
 }
 
-fn decode_entry(bytes: &[u8]) -> Option<FileEntry> {
-    let text = std::str::from_utf8(bytes).ok()?;
-    crate::codec::entry_from_json(&sorrento_json::Json::parse(text).ok()?)
+fn decode_entry(bytes: &[u8]) -> Result<FileEntry, crate::codec::CodecError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| crate::codec::CodecError::NotUtf8)?;
+    let j = sorrento_json::Json::parse(text).map_err(|_| crate::codec::CodecError::BadJson)?;
+    crate::codec::entry_from_json(&j)
 }
 
 /// An active commit lease.
@@ -105,7 +108,9 @@ impl NamespaceServer {
     }
 
     fn get(&self, path: &str) -> Option<FileEntry> {
-        self.db().get(key_of(path)).and_then(decode_entry)
+        // A corrupt entry is treated as absent here; the caller maps it
+        // to `Error::NotFound` like any other missing path.
+        self.db().get(key_of(path)).and_then(|b| decode_entry(b).ok())
     }
 
     fn put(&mut self, path: &str, entry: &FileEntry) {
@@ -267,8 +272,12 @@ impl NamespaceServer {
     }
 }
 
-impl Node<Msg> for NamespaceServer {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+/// Runtime entry points: shared by the simulator (via the thin [`Node`]
+/// impl below) and the real-process runtime.
+impl NamespaceServer {
+    /// Bring the server online: recover the metadata db, arm the lease
+    /// sweep.
+    pub fn handle_start(&mut self, ctx: &mut impl Transport) {
         // Recover from the parked backend after a crash.
         if let Some(backend) = self.parked_backend.take() {
             let db = Db::open(backend, DbConfig::default()).expect("recovery");
@@ -279,7 +288,9 @@ impl Node<Msg> for NamespaceServer {
         ctx.set_timer(self.costs.commit_lease, Msg::Tick(Tick::LeaseSweep));
     }
 
-    fn on_crash(&mut self) {
+    /// Crash handling: in-memory state dies; the kvdb backend ("disk")
+    /// survives.
+    pub fn handle_crash(&mut self) {
         // In-memory state dies; the kvdb backend ("disk") survives.
         if let Some(db) = self.db.take() {
             self.parked_backend = Some(db.into_backend());
@@ -287,7 +298,8 @@ impl Node<Msg> for NamespaceServer {
         self.leases.clear();
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    /// Process one delivered message or fired timer.
+    pub fn handle_message(&mut self, from: NodeId, msg: Msg, ctx: &mut impl Transport) {
         let now = ctx.now();
         match msg {
             Msg::Tick(Tick::LeaseSweep) => {
@@ -378,6 +390,20 @@ impl Node<Msg> for NamespaceServer {
             cpu_done
         };
         ctx.send_at(done, from, reply);
+    }
+}
+
+impl Node<Msg> for NamespaceServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_start(ctx)
+    }
+
+    fn on_crash(&mut self) {
+        self.handle_crash()
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_message(from, msg, ctx)
     }
 }
 

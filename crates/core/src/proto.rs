@@ -269,6 +269,15 @@ pub enum Msg {
     MigrateTo { seg: SegId, source: NodeId, bytes_hint: u64 },
     /// Migration pull finished (or failed).
     MigrateDone { seg: SegId, ok: bool },
+
+    // ---- runtime introspection ----
+    /// Ask a live daemon for its telemetry/metrics registry as JSON
+    /// (`sorrentoctl stats`). Answered by the real-process runtime
+    /// itself rather than the state machine; never sent inside the
+    /// simulator, so adding it cannot perturb seeded event streams.
+    StatsQuery { req: ReqId },
+    /// The daemon's metrics registry, JSON-encoded.
+    StatsR { req: ReqId, json: String },
 }
 
 /// Boxed replica image (large variant kept off the enum's inline size).
@@ -325,6 +334,8 @@ pub fn dbg_kind(msg: &Msg) -> &'static str {
         Msg::SyncDone { .. } => "sync_done",
         Msg::MigrateTo { .. } => "migrate_to",
         Msg::MigrateDone { .. } => "migrate_done",
+        Msg::StatsQuery { .. } => "stats_query",
+        Msg::StatsR { .. } => "stats_r",
     }
 }
 
@@ -333,10 +344,13 @@ pub fn encode_index(ix: &IndexSegment) -> Vec<u8> {
     crate::codec::index_to_json(ix).encode().into_bytes()
 }
 
-/// Parse segment bytes back into an [`IndexSegment`].
-pub fn decode_index(bytes: &[u8]) -> Option<IndexSegment> {
-    let text = std::str::from_utf8(bytes).ok()?;
-    crate::codec::index_from_json(&sorrento_json::Json::parse(text).ok()?)
+/// Parse segment bytes back into an [`IndexSegment`]. The error names
+/// what was wrong with the bytes (non-UTF-8, bad JSON, or the exact
+/// missing/invalid field).
+pub fn decode_index(bytes: &[u8]) -> Result<IndexSegment, crate::codec::CodecError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| crate::codec::CodecError::NotUtf8)?;
+    let j = sorrento_json::Json::parse(text).map_err(|_| crate::codec::CodecError::BadJson)?;
+    crate::codec::index_from_json(&j)
 }
 
 fn payload_size(p: &WritePayload) -> u64 {
@@ -399,6 +413,8 @@ impl Payload for Msg {
             Msg::SyncDone { .. } => 32,
             Msg::MigrateTo { .. } => 24,
             Msg::MigrateDone { .. } => 24,
+            Msg::StatsQuery { .. } => 8,
+            Msg::StatsR { json, .. } => 8 + json.len() as u64,
         };
         RPC_HEADER + body
     }
@@ -463,6 +479,6 @@ mod tests {
         let bytes = encode_index(&ix);
         let back = decode_index(&bytes).unwrap();
         assert_eq!(back, ix);
-        assert!(decode_index(b"garbage").is_none());
+        assert!(decode_index(b"garbage").is_err());
     }
 }

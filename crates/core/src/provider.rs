@@ -12,6 +12,8 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use rand::Rng;
 use sorrento_sim::{Ctx, DiskAccess, Dur, Node, NodeId, SimTime, TelemetryEvent};
 
+use crate::transport::Transport;
+
 use crate::costs::CostModel;
 use crate::location::LocationTable;
 use crate::membership::{Ewma, Heartbeat, MembershipEvent, MembershipView};
@@ -134,7 +136,7 @@ impl StorageProvider {
     }
 
     /// Reconcile the store's physical bytes with the simulated disk.
-    fn sync_disk(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn sync_disk(&mut self, ctx: &mut impl Transport) {
         let target = self.store.total_stored_bytes();
         if target > self.disk_accounted {
             // Over-commit is clamped: the explicit space check in
@@ -146,7 +148,7 @@ impl StorageProvider {
         self.disk_accounted = target;
     }
 
-    fn heartbeat_payload(&mut self, ctx: &mut Ctx<'_, Msg>) -> Heartbeat {
+    fn heartbeat_payload(&mut self, ctx: &mut impl Transport) -> Heartbeat {
         let now = ctx.now();
         let io_wait = ctx.disk().sample_io_wait(now);
         let load = self.load_ewma.update(io_wait);
@@ -167,7 +169,7 @@ impl StorageProvider {
     /// (applying locally when we are the home).
     fn upsert_location(
         &mut self,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut impl Transport,
         seg: SegId,
         version: Version,
         replication: u32,
@@ -202,7 +204,7 @@ impl StorageProvider {
 
     /// Batch-refresh our stored segments to their home hosts. When
     /// `only_home` is set, refresh just the segments homed there.
-    fn refresh_locations(&mut self, ctx: &mut Ctx<'_, Msg>, only_home: Option<NodeId>) {
+    fn refresh_locations(&mut self, ctx: &mut impl Transport, only_home: Option<NodeId>) {
         let me = ctx.id();
         // BTreeMap: refresh messages go out in deterministic home order.
         let mut per_home: BTreeMap<NodeId, Vec<(SegId, Version, u32, u64)>> = BTreeMap::new();
@@ -235,7 +237,7 @@ impl StorageProvider {
 
     /// Home-host role: react to a change in one location entry — notify
     /// stale owners to sync and repair under-replication (§3.6).
-    fn check_entry_repairs(&mut self, ctx: &mut Ctx<'_, Msg>, seg: SegId) {
+    fn check_entry_repairs(&mut self, ctx: &mut impl Transport, seg: SegId) {
         let now = ctx.now();
         let cooldown = self.costs.repair_scan_interval * 6;
         let Some(entry) = self.loc.lookup(seg) else {
@@ -343,7 +345,7 @@ impl StorageProvider {
         let _ = latest;
     }
 
-    fn repair_scan(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn repair_scan(&mut self, ctx: &mut impl Transport) {
         let segs: Vec<SegId> = self.loc.iter().map(|(s, _)| s).collect();
         for seg in segs {
             self.check_entry_repairs(ctx, seg);
@@ -355,7 +357,7 @@ impl StorageProvider {
             .retain(|_, &mut t| now.since(t) < horizon);
     }
 
-    fn enqueue_fetch(&mut self, ctx: &mut Ctx<'_, Msg>, job: FetchJob) {
+    fn enqueue_fetch(&mut self, ctx: &mut impl Transport, job: FetchJob) {
         // Drop duplicates already queued for the same segment/source.
         let dup = self.fetch_queue.iter().any(|j| j.seg == job.seg && j.source == job.source)
             || self
@@ -369,7 +371,7 @@ impl StorageProvider {
         self.kick_fetch(ctx);
     }
 
-    fn kick_fetch(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn kick_fetch(&mut self, ctx: &mut impl Transport) {
         if self.fetch_inflight.is_some() {
             return;
         }
@@ -383,7 +385,7 @@ impl StorageProvider {
         ctx.set_timer(timeout, Msg::Tick(Tick::RpcTimeout(req)));
     }
 
-    fn finish_fetch(&mut self, ctx: &mut Ctx<'_, Msg>, job: FetchJob, installed: Option<Version>) {
+    fn finish_fetch(&mut self, ctx: &mut impl Transport, job: FetchJob, installed: Option<Version>) {
         match job.reason {
             FetchReason::Sync => {
                 if job.reply_req != 0 {
@@ -417,7 +419,7 @@ impl StorageProvider {
 
     // ---- migration daemon (§3.7) ----
 
-    fn migration_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn migration_tick(&mut self, ctx: &mut impl Transport) {
         if self.migration_inflight.is_some() || self.view.len() < 2 {
             return;
         }
@@ -429,7 +431,7 @@ impl StorageProvider {
 
     /// Locality-driven policy (§3.7.2): migrate a segment to the provider
     /// co-located with the machine generating most of its traffic.
-    fn try_locality_migration(&mut self, ctx: &mut Ctx<'_, Msg>) -> bool {
+    fn try_locality_migration(&mut self, ctx: &mut impl Transport) -> bool {
         let me = ctx.id();
         let segs = self.store.list_segments();
         for (seg, _) in segs {
@@ -462,7 +464,7 @@ impl StorageProvider {
     /// I/O-loaded nodes (α = 0.8) and cold segments off full nodes
     /// (α = 0.3) when this node is in the top 10% and above mean + 3σ.
     /// Returns whether a migration was started.
-    fn try_balance_migration(&mut self, ctx: &mut Ctx<'_, Msg>) -> bool {
+    fn try_balance_migration(&mut self, ctx: &mut impl Transport) -> bool {
         let me = ctx.id();
         let n = self.view.len();
         let top_slots = ((n as f64 * self.costs.migration_top_fraction).ceil() as usize).max(1);
@@ -555,7 +557,7 @@ impl StorageProvider {
 
     fn start_migration(
         &mut self,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut impl Transport,
         seg: SegId,
         dest: NodeId,
         reason: &'static str,
@@ -569,7 +571,7 @@ impl StorageProvider {
         ctx.metrics().count_labeled("sorrento.migration", reason, 1);
     }
 
-    fn on_membership_events(&mut self, ctx: &mut Ctx<'_, Msg>, events: Vec<MembershipEvent>) {
+    fn on_membership_events(&mut self, ctx: &mut impl Transport, events: Vec<MembershipEvent>) {
         for ev in events {
             match ev {
                 MembershipEvent::Joined(p) => {
@@ -642,7 +644,7 @@ impl StorageProvider {
     #[allow(clippy::too_many_arguments)]
     fn serve_read(
         &mut self,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut impl Transport,
         from: NodeId,
         seg: SegId,
         offset: u64,
@@ -707,8 +709,13 @@ impl StorageProvider {
     }
 }
 
-impl Node<Msg> for StorageProvider {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+/// Runtime entry points: the same handlers drive the provider in the
+/// simulator (via the thin [`Node`] impl below) and in the real-process
+/// runtime (which calls them directly with its own [`Transport`]).
+impl StorageProvider {
+    /// Bring the provider online: reconcile disk accounting, announce
+    /// membership, arm the maintenance timers.
+    pub fn handle_start(&mut self, ctx: &mut impl Transport) {
         self.my_machine = ctx.machine_of(ctx.id());
         // Reconcile disk accounting (shadows died with a crash; committed
         // segments survived on disk).
@@ -732,7 +739,9 @@ impl Node<Msg> for StorageProvider {
         ctx.set_timer(self.costs.location_gc_age, Msg::Tick(Tick::Gc));
     }
 
-    fn on_crash(&mut self) {
+    /// Crash handling: soft state dies with the process; the store
+    /// ("disk") survives into a later [`StorageProvider::handle_start`].
+    pub fn handle_crash(&mut self) {
         // Soft state dies with the process; the store ("disk") survives.
         self.view = MembershipView::new();
         self.ring = HashRing::default();
@@ -745,7 +754,8 @@ impl Node<Msg> for StorageProvider {
         self.store.expire_all_shadows();
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    /// Process one delivered message or fired timer.
+    pub fn handle_message(&mut self, from: NodeId, msg: Msg, ctx: &mut impl Transport) {
         let now = ctx.now();
         match msg {
             // ---------------- timers ----------------
@@ -1161,5 +1171,19 @@ impl Node<Msg> for StorageProvider {
 
             _ => {}
         }
+    }
+}
+
+impl Node<Msg> for StorageProvider {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_start(ctx)
+    }
+
+    fn on_crash(&mut self) {
+        self.handle_crash()
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_message(from, msg, ctx)
     }
 }

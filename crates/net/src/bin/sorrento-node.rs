@@ -1,0 +1,83 @@
+//! The Sorrento node daemon binary.
+//!
+//! ```text
+//! sorrento-node <config.json>
+//! ```
+//!
+//! Runs one namespace server or storage provider (chosen by the
+//! config's `role`) until the process is killed or `quit` is typed on
+//! stdin. Type `quit` for a clean shutdown: a provider then persists
+//! every dirty segment and checkpoints its database before exiting
+//! (segments are also persisted continuously, so a hard kill loses at
+//! most the last couple hundred milliseconds of writes).
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sorrento_net::config::{DaemonConfig, Role};
+use sorrento_net::daemon;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if p != "-h" && p != "--help" => p.clone(),
+        _ => {
+            eprintln!("usage: sorrento-node <config.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sorrento-node: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match DaemonConfig::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sorrento-node: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let role = match cfg.role {
+        Role::Namespace => "namespace",
+        Role::Provider => "provider",
+    };
+    eprintln!(
+        "sorrento-node: node {} ({role}) listening on {} ({} peers); type `quit` to stop",
+        cfg.node_id.index(),
+        cfg.listen,
+        cfg.peers.len()
+    );
+
+    // `quit` on stdin requests a clean shutdown; EOF (e.g. started with
+    // stdin from /dev/null) just parks the watcher.
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let _ = std::thread::Builder::new()
+        .name("stdin-watcher".into())
+        .spawn(move || {
+            for line in std::io::stdin().lock().lines() {
+                match line {
+                    Ok(l) if l.trim() == "quit" => {
+                        flag.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    Ok(_) => {}
+                    Err(_) => return,
+                }
+            }
+        });
+
+    match daemon::run(cfg, shutdown) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sorrento-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

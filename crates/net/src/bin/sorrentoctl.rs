@@ -1,0 +1,190 @@
+//! Command-line client for a live Sorrento cluster.
+//!
+//! ```text
+//! sorrentoctl --config <cluster.json> create <path>
+//! sorrentoctl --config <cluster.json> write  <path> <local-file>
+//! sorrentoctl --config <cluster.json> read   <path> [offset [len]]
+//! sorrentoctl --config <cluster.json> stat   <path>
+//! sorrentoctl --config <cluster.json> ls     <path>
+//! sorrentoctl --config <cluster.json> rm     <path>
+//! sorrentoctl --config <cluster.json> mkdir  <path>
+//! sorrentoctl --config <cluster.json> stats  <node-id>
+//! ```
+//!
+//! Every file command compiles an [`FsScript`] program and runs it
+//! through the same `SorrentoClient` state machine the simulator uses,
+//! over TCP. `read` with no explicit length stats the file first and
+//! reads to EOF. `stats` fetches a daemon's metrics registry as JSON.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sorrento::api::FsScript;
+use sorrento::client::ClientOp;
+use sorrento_net::config::CtlConfig;
+use sorrento_net::ctl::{self, OpRecord, ScriptOutcome};
+use sorrento_sim::NodeId;
+
+/// Wall-clock budget for one command, discovery included.
+const DEADLINE: Duration = Duration::from_secs(30);
+const USAGE: &str = "usage: sorrentoctl --config <cluster.json> \
+    <create|write|read|stat|ls|rm|mkdir|stats> [args]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("sorrentoctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = std::env::args().skip(1);
+    let mut config_path: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        if a == "--config" || a == "-c" {
+            config_path = Some(args.next().ok_or("--config needs a value")?);
+        } else {
+            rest.push(a);
+        }
+    }
+    let config_path = config_path.ok_or(USAGE)?;
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let cfg = CtlConfig::parse(&text).map_err(|e| format!("{config_path}: {e}"))?;
+
+    let (cmd, cmd_args) = rest.split_first().ok_or(USAGE)?;
+    match (cmd.as_str(), cmd_args) {
+        ("create", [path]) => {
+            let mut fs = FsScript::new();
+            let h = fs.create(path).map_err(|e| e.to_string())?;
+            fs.close(h).map_err(|e| e.to_string())?;
+            report(run_fs(&cfg, fs)?)
+        }
+        ("write", [path, local]) => {
+            let data =
+                std::fs::read(local).map_err(|e| format!("cannot read {local}: {e}"))?;
+            let n = data.len();
+            let mut fs = FsScript::new();
+            let h = fs.create(path).map_err(|e| e.to_string())?;
+            fs.write(h, 0, data).map_err(|e| e.to_string())?;
+            fs.close(h).map_err(|e| e.to_string())?;
+            let code = report(run_fs(&cfg, fs)?)?;
+            if code == ExitCode::SUCCESS {
+                eprintln!("wrote {n} bytes to {path}");
+            }
+            Ok(code)
+        }
+        ("read", [path, tail @ ..]) if tail.len() <= 2 => {
+            let offset: u64 = match tail.first() {
+                Some(s) => s.parse().map_err(|_| "offset must be a number")?,
+                None => 0,
+            };
+            let len: u64 = match tail.get(1) {
+                Some(s) => s.parse().map_err(|_| "len must be a number")?,
+                None => {
+                    // No explicit length: stat first, read to EOF.
+                    let mut fs = FsScript::new();
+                    fs.stat(path).map_err(|e| e.to_string())?;
+                    let out = run_fs(&cfg, fs)?;
+                    if out.stats.failed_ops > 0 {
+                        return report(out);
+                    }
+                    let size = out.records.first().map_or(0, |r| r.bytes);
+                    size.saturating_sub(offset)
+                }
+            };
+            let mut fs = FsScript::new();
+            let h = fs.open(path, false).map_err(|e| e.to_string())?;
+            if len > 0 {
+                fs.read(h, offset, len).map_err(|e| e.to_string())?;
+            }
+            fs.close(h).map_err(|e| e.to_string())?;
+            let out = run_fs(&cfg, fs)?;
+            if out.stats.failed_ops == 0 {
+                if let Some(data) = out.records.iter().find_map(|r| {
+                    (r.kind == "read").then(|| r.data.clone()).flatten()
+                }) {
+                    std::io::stdout()
+                        .write_all(&data)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            report(out)
+        }
+        ("stat", [path]) => {
+            let mut fs = FsScript::new();
+            fs.stat(path).map_err(|e| e.to_string())?;
+            let out = run_fs(&cfg, fs)?;
+            if out.stats.failed_ops == 0 {
+                println!("{path}: {} bytes", out.records.first().map_or(0, |r| r.bytes));
+            }
+            report(out)
+        }
+        ("ls", [path]) => {
+            let mut fs = FsScript::new();
+            fs.list(path).map_err(|e| e.to_string())?;
+            let out = run_fs(&cfg, fs)?;
+            if out.stats.failed_ops == 0 {
+                if let Some(Some(blob)) = out.records.first().map(|r| r.data.clone()) {
+                    println!("{}", String::from_utf8_lossy(&blob));
+                }
+            }
+            report(out)
+        }
+        ("rm", [path]) => {
+            let mut fs = FsScript::new();
+            fs.unlink(path).map_err(|e| e.to_string())?;
+            report(run_fs(&cfg, fs)?)
+        }
+        ("mkdir", [path]) => {
+            let mut fs = FsScript::new();
+            fs.mkdir(path).map_err(|e| e.to_string())?;
+            report(run_fs(&cfg, fs)?)
+        }
+        ("stats", [node]) => {
+            let id: usize = node.parse().map_err(|_| "stats takes a node id")?;
+            let json = ctl::fetch_stats(&cfg, NodeId::from_index(id), DEADLINE)
+                .map_err(|e| e.to_string())?;
+            println!("{json}");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(USAGE.into()),
+    }
+}
+
+fn run_fs(cfg: &CtlConfig, fs: FsScript) -> Result<ScriptOutcome, String> {
+    let ops = fs.into_ops();
+    // Writes need enough providers discovered to place `replication`
+    // replicas; metadata-only programs can start as soon as one
+    // provider is known (the namespace server answers those).
+    let writes = ops.iter().any(|op| {
+        matches!(
+            op,
+            ClientOp::Create { .. }
+                | ClientOp::CreateWith { .. }
+                | ClientOp::Write { .. }
+                | ClientOp::Append { .. }
+                | ClientOp::AtomicAppend { .. }
+        )
+    });
+    let min_providers = if writes { cfg.replication as usize } else { 1 };
+    ctl::run_script(cfg, ops, min_providers, DEADLINE).map_err(|e| e.to_string())
+}
+
+fn report(out: ScriptOutcome) -> Result<ExitCode, String> {
+    for OpRecord { kind, error, .. } in &out.records {
+        if let Some(e) = error {
+            eprintln!("sorrentoctl: {kind} failed: {e:?}");
+        }
+    }
+    Ok(if out.stats.failed_ops == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

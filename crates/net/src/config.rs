@@ -1,0 +1,270 @@
+//! The node config file: a small JSON document describing one daemon
+//! and its peer list.
+//!
+//! ```json
+//! {
+//!   "node_id": 1,
+//!   "role": "provider",
+//!   "listen": "127.0.0.1:7401",
+//!   "data_dir": "/var/tmp/sorrento/p1",
+//!   "seed": 42,
+//!   "capacity": 1073741824,
+//!   "machine": 1,
+//!   "rack": 1,
+//!   "costs": "default",
+//!   "peers": [
+//!     { "id": 0, "addr": "127.0.0.1:7400", "machine": 0 }
+//!   ]
+//! }
+//! ```
+//!
+//! Only `node_id`, `role` and `listen` are required; everything else
+//! has workable defaults. The peer list replaces the simulator's
+//! multicast domain — it only needs to seed connectivity, because
+//! `Hello` frames teach nodes about everyone else at runtime.
+
+use std::path::PathBuf;
+
+use sorrento::costs::CostModel;
+use sorrento_json::Json;
+use sorrento_sim::NodeId;
+
+/// What a daemon does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Namespace server (pathname → entry, commit approval).
+    Namespace,
+    /// Storage provider (segments, shadows, replication).
+    Provider,
+}
+
+/// One peer in the seed list.
+#[derive(Debug, Clone)]
+pub struct PeerSpec {
+    /// The peer's node id.
+    pub id: NodeId,
+    /// Its `host:port` listen address.
+    pub addr: String,
+    /// Physical machine it runs on (locality placement input).
+    pub machine: u32,
+}
+
+/// A daemon's full boot configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// This node's cluster-unique id.
+    pub node_id: NodeId,
+    /// Namespace server or storage provider.
+    pub role: Role,
+    /// `host:port` to listen on (`:0` picks an ephemeral port).
+    pub listen: String,
+    /// Where segment images persist; `None` keeps the store volatile.
+    pub data_dir: Option<PathBuf>,
+    /// RNG seed for placement decisions.
+    pub seed: u64,
+    /// Advertised disk capacity in bytes.
+    pub capacity: u64,
+    /// Physical machine id of this node.
+    pub machine: u32,
+    /// Rack id (failure-domain-aware replica spreading).
+    pub rack: u32,
+    /// Protocol cost model (timer intervals, timeouts).
+    pub costs: CostModel,
+    /// Seed peers.
+    pub peers: Vec<PeerSpec>,
+}
+
+/// Why a config failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The file is not valid JSON.
+    BadJson,
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field has the wrong type or an unknown value.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadJson => f.write_str("config is not valid JSON"),
+            ConfigError::Missing(name) => write!(f, "config missing field `{name}`"),
+            ConfigError::Invalid(name) => write!(f, "config field `{name}` is invalid"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl DaemonConfig {
+    /// Parse a config document.
+    pub fn parse(text: &str) -> Result<DaemonConfig, ConfigError> {
+        let j = Json::parse(text).map_err(|_| ConfigError::BadJson)?;
+        let node_id = req_u64(&j, "node_id")? as usize;
+        let role = match req_str(&j, "role")? {
+            "namespace" => Role::Namespace,
+            "provider" => Role::Provider,
+            _ => return Err(ConfigError::Invalid("role")),
+        };
+        let listen = req_str(&j, "listen")?.to_string();
+        let data_dir = match j.get("data_dir") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(PathBuf::from(
+                v.as_str().ok_or(ConfigError::Invalid("data_dir"))?,
+            )),
+        };
+        let costs = match j.get("costs") {
+            None => CostModel::default(),
+            Some(v) => match v.as_str().ok_or(ConfigError::Invalid("costs"))? {
+                "default" => CostModel::default(),
+                "fast_test" => CostModel::fast_test(),
+                _ => return Err(ConfigError::Invalid("costs")),
+            },
+        };
+        let mut peers = Vec::new();
+        if let Some(arr) = j.get("peers") {
+            for p in arr.as_arr().ok_or(ConfigError::Invalid("peers"))? {
+                peers.push(PeerSpec {
+                    id: NodeId::from_index(req_u64(p, "id")? as usize),
+                    addr: req_str(p, "addr")?.to_string(),
+                    machine: opt_u64(p, "machine")?.unwrap_or(0) as u32,
+                });
+            }
+        }
+        Ok(DaemonConfig {
+            node_id: NodeId::from_index(node_id),
+            role,
+            listen,
+            data_dir,
+            seed: opt_u64(&j, "seed")?.unwrap_or(1),
+            capacity: opt_u64(&j, "capacity")?.unwrap_or(8 << 30),
+            machine: opt_u64(&j, "machine")?.unwrap_or(node_id as u64) as u32,
+            rack: opt_u64(&j, "rack")?.unwrap_or(node_id as u64) as u32,
+            costs,
+            peers,
+        })
+    }
+}
+
+/// What `sorrentoctl` needs to talk to a cluster: where the daemons
+/// are and which one is the namespace server.
+#[derive(Debug, Clone)]
+pub struct CtlConfig {
+    /// The node id the control client joins the mesh as (must not
+    /// collide with any daemon id).
+    pub ctl_id: NodeId,
+    /// The namespace server's node id.
+    pub namespace: NodeId,
+    /// RNG seed for placement decisions made client-side.
+    pub seed: u64,
+    /// Default replication degree for files the client creates.
+    pub replication: u32,
+    /// Protocol cost model (drives client RPC timeouts).
+    pub costs: CostModel,
+    /// All daemons in the cluster.
+    pub peers: Vec<PeerSpec>,
+}
+
+impl CtlConfig {
+    /// Parse a cluster-description document:
+    ///
+    /// ```json
+    /// {
+    ///   "namespace": 0,
+    ///   "replication": 2,
+    ///   "costs": "default",
+    ///   "peers": [
+    ///     { "id": 0, "addr": "127.0.0.1:7400" },
+    ///     { "id": 1, "addr": "127.0.0.1:7401" }
+    ///   ]
+    /// }
+    /// ```
+    pub fn parse(text: &str) -> Result<CtlConfig, ConfigError> {
+        let j = Json::parse(text).map_err(|_| ConfigError::BadJson)?;
+        let mut peers = Vec::new();
+        for p in j
+            .get("peers")
+            .ok_or(ConfigError::Missing("peers"))?
+            .as_arr()
+            .ok_or(ConfigError::Invalid("peers"))?
+        {
+            peers.push(PeerSpec {
+                id: NodeId::from_index(req_u64(p, "id")? as usize),
+                addr: req_str(p, "addr")?.to_string(),
+                machine: opt_u64(p, "machine")?.unwrap_or(0) as u32,
+            });
+        }
+        let costs = match j.get("costs") {
+            None => CostModel::default(),
+            Some(v) => match v.as_str().ok_or(ConfigError::Invalid("costs"))? {
+                "default" => CostModel::default(),
+                "fast_test" => CostModel::fast_test(),
+                _ => return Err(ConfigError::Invalid("costs")),
+            },
+        };
+        Ok(CtlConfig {
+            ctl_id: NodeId::from_index(opt_u64(&j, "ctl_id")?.unwrap_or(1000) as usize),
+            namespace: NodeId::from_index(req_u64(&j, "namespace")? as usize),
+            seed: opt_u64(&j, "seed")?.unwrap_or(1),
+            replication: opt_u64(&j, "replication")?.unwrap_or(1) as u32,
+            costs,
+            peers,
+        })
+    }
+}
+
+fn req_str<'a>(j: &'a Json, name: &'static str) -> Result<&'a str, ConfigError> {
+    j.get(name)
+        .ok_or(ConfigError::Missing(name))?
+        .as_str()
+        .ok_or(ConfigError::Invalid(name))
+}
+
+fn req_u64(j: &Json, name: &'static str) -> Result<u64, ConfigError> {
+    j.get(name)
+        .ok_or(ConfigError::Missing(name))?
+        .as_u64()
+        .ok_or(ConfigError::Invalid(name))
+}
+
+fn opt_u64(j: &Json, name: &'static str) -> Result<Option<u64>, ConfigError> {
+    match j.get(name) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or(ConfigError::Invalid(name)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_provider_config() {
+        let cfg = DaemonConfig::parse(
+            r#"{"node_id": 2, "role": "provider", "listen": "127.0.0.1:0",
+                "costs": "fast_test",
+                "peers": [{"id": 0, "addr": "127.0.0.1:7400"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.node_id, NodeId::from_index(2));
+        assert_eq!(cfg.role, Role::Provider);
+        assert_eq!(cfg.peers.len(), 1);
+        assert_eq!(cfg.machine, 2);
+        assert!(cfg.data_dir.is_none());
+    }
+
+    #[test]
+    fn errors_name_the_field() {
+        assert_eq!(
+            DaemonConfig::parse(r#"{"role": "provider", "listen": "x"}"#).unwrap_err(),
+            ConfigError::Missing("node_id")
+        );
+        assert_eq!(
+            DaemonConfig::parse(r#"{"node_id": 1, "role": "president", "listen": "x"}"#)
+                .unwrap_err(),
+            ConfigError::Invalid("role")
+        );
+        assert_eq!(DaemonConfig::parse("not json").unwrap_err(), ConfigError::BadJson);
+    }
+}

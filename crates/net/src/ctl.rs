@@ -1,0 +1,242 @@
+//! The `sorrentoctl` client library.
+//!
+//! [`run_script`] joins the mesh as a short-lived client node, runs a
+//! [`ClientOp`] program through the *same* `SorrentoClient` state
+//! machine the simulator validates, and returns its [`ClientStats`].
+//! [`fetch_stats`] asks a live daemon for its metrics registry as JSON
+//! (answered by the daemon loop itself, not the state machine).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use sorrento::client::{ClientOp, ClientStats, OpResult, SorrentoClient, Workload};
+use sorrento::cluster::ScriptedWorkload;
+use sorrento::proto::Msg;
+use sorrento::types::Error;
+use sorrento::Transport;
+use sorrento_sim::{NodeId, SimTime};
+
+use crate::config::CtlConfig;
+use crate::runtime::{Out, RealCtx};
+use crate::tcp::{Mesh, MeshConfig};
+
+const POLL: Duration = Duration::from_millis(5);
+
+/// Why a control operation failed.
+#[derive(Debug)]
+pub enum CtlError {
+    /// Socket-level failure (bind, resolve).
+    Io(std::io::Error),
+    /// Not enough providers announced themselves before the deadline.
+    Discovery {
+        /// How many we saw.
+        seen: usize,
+        /// How many we needed.
+        needed: usize,
+    },
+    /// The op program did not finish before the deadline; partial
+    /// statistics inside.
+    Deadline(Box<ClientStats>),
+    /// No stats reply arrived in time.
+    StatsTimeout,
+}
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtlError::Io(e) => write!(f, "i/o error: {e}"),
+            CtlError::Discovery { seen, needed } => {
+                write!(f, "discovered only {seen} of {needed} providers before the deadline")
+            }
+            CtlError::Deadline(stats) => write!(
+                f,
+                "workload incomplete at deadline ({} done, {} failed)",
+                stats.completed_ops, stats.failed_ops
+            ),
+            CtlError::StatsTimeout => f.write_str("no stats reply before the timeout"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<std::io::Error> for CtlError {
+    fn from(e: std::io::Error) -> CtlError {
+        CtlError::Io(e)
+    }
+}
+
+/// One completed operation, with the payload the state machine would
+/// otherwise keep to itself (`ls` listings, `stat` sizes, read bytes).
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Operation kind (`"read"`, `"list"`, ...).
+    pub kind: &'static str,
+    /// `None` on success.
+    pub error: Option<Error>,
+    /// Bytes moved, or entry size for `stat`, or name count for `list`.
+    pub bytes: u64,
+    /// Returned data (`read` bytes, `list` newline-joined names).
+    pub data: Option<Vec<u8>>,
+}
+
+/// What a finished script run produced.
+#[derive(Debug, Clone)]
+pub struct ScriptOutcome {
+    /// The client machine's aggregate statistics.
+    pub stats: ClientStats,
+    /// Per-op results in execution order.
+    pub records: Vec<OpRecord>,
+}
+
+/// Scripted workload that also records every op's result, so the CLI
+/// can print what `stat`/`ls`/`read` actually returned.
+struct RecordingWorkload {
+    inner: ScriptedWorkload,
+    records: Rc<RefCell<Vec<OpRecord>>>,
+}
+
+impl Workload for RecordingWorkload {
+    fn next_op(&mut self, now: SimTime, rng: &mut rand::rngs::SmallRng) -> Option<ClientOp> {
+        self.inner.next_op(now, rng)
+    }
+
+    fn on_result(&mut self, op: &ClientOp, result: &OpResult, now: SimTime) {
+        self.records.borrow_mut().push(OpRecord {
+            kind: op.kind(),
+            error: result.error.clone(),
+            bytes: result.bytes,
+            data: result.data.clone(),
+        });
+        self.inner.on_result(op, result, now);
+    }
+}
+
+fn join_mesh(cfg: &CtlConfig) -> Result<(RealCtx, Mesh), CtlError> {
+    let me = cfg.ctl_id;
+    let mut machines: HashMap<NodeId, u32> =
+        cfg.peers.iter().map(|p| (p.id, p.machine)).collect();
+    machines.insert(me, u32::MAX); // the ctl node is on no provider machine
+    let ctx = RealCtx::new(me, cfg.seed, 1 << 30, machines);
+    let seed_peers: HashMap<NodeId, SocketAddr> = cfg
+        .peers
+        .iter()
+        .filter_map(|p| Some((p.id, p.addr.to_socket_addrs().ok()?.next()?)))
+        .collect();
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let mut mesh = Mesh::start(me, listener, seed_peers, MeshConfig::default())?;
+    // Daemons learn our ephemeral listen address from these Hellos and
+    // start including us in their heartbeat fan-out.
+    mesh.hello_all();
+    Ok((ctx, mesh))
+}
+
+/// Deliver queued sends: loopback messages re-enter the client state
+/// machine, everything else goes out over TCP.
+fn flush(ctx: &mut RealCtx, mesh: &mut Mesh, client: &mut SorrentoClient) {
+    let me = ctx.id();
+    loop {
+        let outs = ctx.drain_outbox();
+        if outs.is_empty() {
+            return;
+        }
+        for out in outs {
+            match out {
+                Out::Unicast(dst, msg) if dst == me => client.handle_message(me, msg, ctx),
+                Out::Unicast(dst, msg) => mesh.send(dst, &msg),
+                Out::Multicast(msg) => mesh.multicast(&msg),
+            }
+        }
+    }
+}
+
+/// Run an op program against a live cluster.
+///
+/// Waits until at least `min_providers` storage providers have been
+/// discovered via heartbeats (so placement has somewhere to put
+/// replicas), then drives the client machine until the workload
+/// finishes or `deadline` passes.
+pub fn run_script(
+    cfg: &CtlConfig,
+    ops: Vec<ClientOp>,
+    min_providers: usize,
+    deadline: Duration,
+) -> Result<ScriptOutcome, CtlError> {
+    let (mut ctx, mut mesh) = join_mesh(cfg)?;
+    let me = ctx.id();
+    let records = Rc::new(RefCell::new(Vec::new()));
+    let workload = RecordingWorkload {
+        inner: ScriptedWorkload::new(ops),
+        records: Rc::clone(&records),
+    };
+    let mut client = SorrentoClient::new(cfg.namespace, cfg.costs, Box::new(workload));
+    client.default_options.replication = cfg.replication;
+
+    // Discovery warmup: absorb heartbeats before starting the workload.
+    let deadline_at = Instant::now() + deadline;
+    while client.known_providers() < min_providers {
+        if let Some((from, msg)) = mesh.recv_timeout(POLL) {
+            client.handle_message(from, msg, &mut ctx);
+            flush(&mut ctx, &mut mesh, &mut client);
+        }
+        if Instant::now() > deadline_at {
+            return Err(CtlError::Discovery {
+                seen: client.known_providers(),
+                needed: min_providers,
+            });
+        }
+    }
+
+    client.handle_start(&mut ctx);
+    flush(&mut ctx, &mut mesh, &mut client);
+    loop {
+        for msg in ctx.due_timers() {
+            client.handle_message(me, msg, &mut ctx);
+        }
+        flush(&mut ctx, &mut mesh, &mut client);
+        if let Some((from, msg)) = mesh.recv_timeout(POLL) {
+            client.handle_message(from, msg, &mut ctx);
+            flush(&mut ctx, &mut mesh, &mut client);
+        }
+        if client.stats.finished_at.is_some() {
+            return Ok(ScriptOutcome {
+                stats: client.stats.clone(),
+                records: records.take(),
+            });
+        }
+        if Instant::now() > deadline_at {
+            return Err(CtlError::Deadline(Box::new(client.stats.clone())));
+        }
+    }
+}
+
+/// Fetch a daemon's metrics registry as a JSON string.
+///
+/// The query is re-sent periodically until the reply arrives: the
+/// transport is deliberately lossy (a daemon's first reply can die on a
+/// connection cached from an earlier control session), so a one-shot
+/// request would hang on nothing more than a stale socket.
+pub fn fetch_stats(cfg: &CtlConfig, target: NodeId, timeout: Duration) -> Result<String, CtlError> {
+    const RESEND_EVERY: Duration = Duration::from_millis(300);
+    let (mut ctx, mut mesh) = join_mesh(cfg)?;
+    let _ = &mut ctx; // the stats path needs no client machine
+    let deadline_at = Instant::now() + timeout;
+    let mut req = 0u64;
+    let mut next_send = Instant::now();
+    while Instant::now() <= deadline_at {
+        if Instant::now() >= next_send {
+            req += 1;
+            mesh.send(target, &Msg::StatsQuery { req });
+            next_send = Instant::now() + RESEND_EVERY;
+        }
+        if let Some((from, Msg::StatsR { json, .. })) = mesh.recv_timeout(POLL) {
+            if from == target {
+                return Ok(json);
+            }
+        }
+    }
+    Err(CtlError::StatsTimeout)
+}

@@ -1,0 +1,258 @@
+//! The Sorrento node daemon: one process per namespace server or
+//! storage provider.
+//!
+//! The daemon is a thin poll loop around the same state machines the
+//! simulator drives: fire due timers, feed inbound frames to
+//! `handle_message`, flush the context's outbox through the TCP mesh.
+//! Two things the simulator does not have:
+//!
+//! * **Stats interception** — `Msg::StatsQuery` is answered by the loop
+//!   itself with the node's metrics registry as JSON; the state
+//!   machines never see it (and the simulator never sends it), so
+//!   runtime introspection cannot perturb protocol behavior.
+//! * **Segment persistence** — a provider periodically diffs its
+//!   in-memory store against what it last persisted and writes changed
+//!   segments as replica images into a `sorrento-kvdb` file-backed
+//!   database; at boot they are reinstalled before the machine starts,
+//!   so a restarted provider rejoins with its data intact.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sorrento::namespace::NamespaceServer;
+use sorrento::provider::StorageProvider;
+use sorrento::proto::Msg;
+use sorrento::types::{SegId, Version};
+use sorrento::Transport;
+use sorrento_kvdb::{Db, DbConfig, FileBackend};
+use sorrento_sim::NodeId;
+
+use crate::config::{DaemonConfig, Role};
+use crate::frame;
+use crate::runtime::{Out, RealCtx};
+use crate::tcp::{Mesh, MeshConfig};
+
+/// How long the loop blocks waiting for one inbound message.
+const POLL: Duration = Duration::from_millis(5);
+/// How often a provider persists dirty segments.
+const PERSIST_EVERY: Duration = Duration::from_millis(200);
+
+/// The role-selected state machine.
+enum Machine {
+    Ns(Box<NamespaceServer>),
+    Prov(Box<StorageProvider>),
+}
+
+impl Machine {
+    fn handle_start(&mut self, ctx: &mut RealCtx) {
+        match self {
+            Machine::Ns(m) => m.handle_start(ctx),
+            Machine::Prov(m) => m.handle_start(ctx),
+        }
+    }
+
+    fn handle_message(&mut self, from: NodeId, msg: Msg, ctx: &mut RealCtx) {
+        match self {
+            Machine::Ns(m) => m.handle_message(from, msg, ctx),
+            Machine::Prov(m) => m.handle_message(from, msg, ctx),
+        }
+    }
+}
+
+/// A handle to an in-process daemon (integration tests, embedding).
+pub struct DaemonHandle {
+    /// The daemon's node id.
+    pub node: NodeId,
+    /// The address it actually listens on.
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl DaemonHandle {
+    /// Request shutdown and wait for the loop to exit cleanly
+    /// (final segment persistence included).
+    pub fn stop(mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.join.take() {
+            Some(j) => j.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Start a daemon on a background thread, binding its configured
+/// listen address.
+pub fn spawn(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    spawn_with_listener(cfg, listener)
+}
+
+/// Start a daemon on an already-bound listener (lets a test bind port 0
+/// everywhere first and hand out real addresses in peer lists).
+pub fn spawn_with_listener(cfg: DaemonConfig, listener: TcpListener) -> io::Result<DaemonHandle> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let node = cfg.node_id;
+    let join = std::thread::Builder::new()
+        .name(format!("sorrento-node-{}", node.index()))
+        .spawn(move || run_loop(cfg, listener, flag))?;
+    Ok(DaemonHandle { node, addr, shutdown, join: Some(join) })
+}
+
+/// Run a daemon on the calling thread until `shutdown` is set.
+pub fn run(cfg: DaemonConfig, shutdown: Arc<AtomicBool>) -> io::Result<()> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    run_loop(cfg, listener, shutdown)
+}
+
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+fn run_loop(cfg: DaemonConfig, listener: TcpListener, shutdown: Arc<AtomicBool>) -> io::Result<()> {
+    let me = cfg.node_id;
+    let mut machines: HashMap<NodeId, u32> =
+        cfg.peers.iter().map(|p| (p.id, p.machine)).collect();
+    machines.insert(me, cfg.machine);
+    let mut ctx = RealCtx::new(me, cfg.seed, cfg.capacity, machines);
+
+    let seed_peers: HashMap<NodeId, SocketAddr> = cfg
+        .peers
+        .iter()
+        .filter_map(|p| Some((p.id, resolve(&p.addr)?)))
+        .collect();
+    let mut mesh = Mesh::start(me, listener, seed_peers, MeshConfig::default())?;
+
+    let mut machine = match cfg.role {
+        Role::Namespace => Machine::Ns(Box::new(NamespaceServer::new(cfg.costs))),
+        Role::Provider => {
+            Machine::Prov(Box::new(StorageProvider::new(cfg.costs, 2).with_rack(cfg.rack)))
+        }
+    };
+
+    // Segment persistence (providers with a data dir only).
+    let mut db: Option<Db<FileBackend>> = match (&cfg.role, &cfg.data_dir) {
+        (Role::Provider, Some(dir)) => Some(Db::open(
+            FileBackend::open(dir.clone())?,
+            DbConfig::default(),
+        )?),
+        _ => None,
+    };
+    let mut persisted: HashMap<SegId, Version> = HashMap::new();
+    if let (Some(db), Machine::Prov(prov)) = (&db, &mut machine) {
+        let now = ctx.now();
+        for (_, value) in db.scan_prefix(b"seg/") {
+            if let Ok(image) = frame::decode_image_bytes(value) {
+                let (seg, version) = (image.seg, image.version);
+                if prov.store.install_replica(image, now).is_ok() {
+                    persisted.insert(seg, version);
+                }
+            }
+        }
+    }
+
+    machine.handle_start(&mut ctx);
+    flush(&mut ctx, &mut mesh, &mut machine);
+
+    let mut last_persist = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        for msg in ctx.due_timers() {
+            machine.handle_message(me, msg, &mut ctx);
+        }
+        flush(&mut ctx, &mut mesh, &mut machine);
+
+        if let Some((from, msg)) = mesh.recv_timeout(POLL) {
+            match msg {
+                Msg::StatsQuery { req } => {
+                    mesh.export_metrics(ctx.metrics());
+                    let json = ctx.metrics_ref().to_json().encode();
+                    mesh.send(from, &Msg::StatsR { req, json });
+                }
+                msg => machine.handle_message(from, msg, &mut ctx),
+            }
+            flush(&mut ctx, &mut mesh, &mut machine);
+        }
+
+        if db.is_some() && last_persist.elapsed() >= PERSIST_EVERY {
+            last_persist = Instant::now();
+            if let (Some(db), Machine::Prov(prov)) = (&mut db, &machine) {
+                persist_dirty(db, prov, &mut persisted)?;
+            }
+        }
+    }
+
+    if let (Some(db), Machine::Prov(prov)) = (&mut db, &machine) {
+        persist_dirty(db, prov, &mut persisted)?;
+        db.checkpoint()?;
+    }
+    mesh.shutdown();
+    Ok(())
+}
+
+/// Deliver everything the machine queued: loopback messages re-enter
+/// the machine (which may queue more), remote ones go out the mesh.
+fn flush(ctx: &mut RealCtx, mesh: &mut Mesh, machine: &mut Machine) {
+    let me = ctx.id();
+    loop {
+        let outs = ctx.drain_outbox();
+        if outs.is_empty() {
+            return;
+        }
+        for out in outs {
+            match out {
+                Out::Unicast(dst, msg) if dst == me => machine.handle_message(me, msg, ctx),
+                Out::Unicast(dst, msg) => mesh.send(dst, &msg),
+                Out::Multicast(msg) => mesh.multicast(&msg),
+            }
+        }
+    }
+}
+
+fn key_of(seg: SegId) -> Vec<u8> {
+    format!("seg/{:032x}", seg.0).into_bytes()
+}
+
+/// Write every segment whose latest version moved since the last sweep,
+/// and drop keys for segments the store no longer holds.
+fn persist_dirty(
+    db: &mut Db<FileBackend>,
+    prov: &StorageProvider,
+    persisted: &mut HashMap<SegId, Version>,
+) -> io::Result<()> {
+    let current: HashMap<SegId, Version> = prov.store.list_segments().into_iter().collect();
+    for (&seg, &version) in &current {
+        if persisted.get(&seg) == Some(&version) {
+            continue;
+        }
+        if let Ok(image) = prov.store.export(seg, Some(version)) {
+            db.put(key_of(seg), frame::encode_image_bytes(&image))?;
+            persisted.insert(seg, version);
+        }
+    }
+    let gone: Vec<SegId> = persisted
+        .keys()
+        .copied()
+        .filter(|s| !current.contains_key(s))
+        .collect();
+    for seg in gone {
+        db.delete(key_of(seg))?;
+        persisted.remove(&seg);
+    }
+    Ok(())
+}

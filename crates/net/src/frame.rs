@@ -1,0 +1,1179 @@
+//! The binary wire format: length-prefixed, checksummed frames carrying
+//! either a [`Msg`] or a `Hello` control frame.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! ┌────────┬─────────┬──────┬────────────┬─────────────┬──────────┬─────────┐
+//! │ magic  │ version │ kind │ sender u32 │ payload len │ crc32    │ payload │
+//! │ "SRTO" │ 1 byte  │ 1 B  │ (NodeId)   │ u32         │ u32      │ ...     │
+//! └────────┴─────────┴──────┴────────────┴─────────────┴──────────┴─────────┘
+//! ```
+//!
+//! The 18-byte header is fixed-size so a stream reader can read it
+//! exactly, validate it, then read `payload len` more bytes. The crc32
+//! covers the payload only. `kind` distinguishes `Hello` control frames
+//! (a joining node announcing its id and listen address, replacing the
+//! simulator's Ethernet multicast with peer-list registration) from
+//! protocol messages.
+//!
+//! The payload encoding is a tag byte per enum variant followed by the
+//! fields in declaration order. Strings and byte blobs are u32
+//! length-prefixed; `f64` travels as its IEEE-754 bit pattern;
+//! `Option`/`Result` spend one tag byte. The encoder matches every
+//! [`Msg`] variant exhaustively — adding a variant without extending the
+//! codec is a compile error, not a silent wire gap.
+
+use sorrento::membership::Heartbeat;
+use sorrento::proto::{FileEntry, Msg, ReadReply, Tick};
+use sorrento::store::{ReplicaImage, SegMeta, ShadowId, WritePayload};
+use sorrento::types::{Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
+use sorrento_kvdb::crc32;
+use sorrento_sim::NodeId;
+
+/// Frame magic: "SRTO".
+pub const MAGIC: [u8; 4] = *b"SRTO";
+/// Current wire-format version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 18;
+/// Largest accepted payload (a full segment plus slack); guards the
+/// receive-side allocation against corrupt or hostile length fields.
+pub const MAX_PAYLOAD: u32 = (1 << 30) - 1;
+
+const KIND_HELLO: u8 = 0;
+const KIND_MSG: u8 = 1;
+
+/// A decoded frame.
+#[derive(Debug)]
+pub enum Frame {
+    /// Peer announcement: the sender (header id) listens at this
+    /// address. Sent once per outbound connection so the receiver can
+    /// route replies and multicasts back.
+    Hello {
+        /// The sender's `host:port` listen address.
+        listen_addr: String,
+    },
+    /// A protocol message.
+    Msg(Msg),
+}
+
+/// Why a frame failed to decode. Every malformed input maps to one of
+/// these — the decoder never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the encoding claims.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// A frame from a newer (or corrupt) protocol revision.
+    UnsupportedVersion(u8),
+    /// Payload length field exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The payload does not match the header checksum.
+    ChecksumMismatch,
+    /// An enum tag byte with no assigned meaning; `what` names the enum.
+    UnknownTag {
+        /// Which enum the tag belongs to.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length-prefixed string is not UTF-8.
+    InvalidUtf8,
+    /// Well-formed value followed by leftover bytes.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => f.write_str("frame truncated"),
+            FrameError::BadMagic => f.write_str("bad frame magic"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::Oversized(n) => write!(f, "payload length {n} exceeds limit"),
+            FrameError::ChecksumMismatch => f.write_str("payload checksum mismatch"),
+            FrameError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            FrameError::InvalidUtf8 => f.write_str("string is not UTF-8"),
+            FrameError::TrailingBytes => f.write_str("trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A validated frame header.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Sending node.
+    pub sender: NodeId,
+    /// Frame kind byte ([`Frame::Hello`] or [`Frame::Msg`]).
+    pub kind: u8,
+    /// Payload byte count that follows the header.
+    pub payload_len: u32,
+    /// crc32 of the payload.
+    pub crc: u32,
+}
+
+/// Parse and validate a fixed-size header.
+pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
+    if buf[0..4] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if buf[4] != VERSION {
+        return Err(FrameError::UnsupportedVersion(buf[4]));
+    }
+    let kind = buf[5];
+    if kind != KIND_HELLO && kind != KIND_MSG {
+        return Err(FrameError::UnknownTag { what: "frame kind", tag: kind });
+    }
+    let sender = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[10..14].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(payload_len));
+    }
+    let crc = u32::from_le_bytes(buf[14..18].try_into().unwrap());
+    Ok(Header { sender: NodeId::from_index(sender as usize), kind, payload_len, crc })
+}
+
+/// Decode a payload against its validated header (checksum included).
+pub fn decode_payload(h: &Header, payload: &[u8]) -> Result<Frame, FrameError> {
+    if payload.len() != h.payload_len as usize {
+        return Err(FrameError::Truncated);
+    }
+    if crc32(payload) != h.crc {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    let mut r = Reader { buf: payload, pos: 0 };
+    let frame = match h.kind {
+        KIND_HELLO => Frame::Hello { listen_addr: r.string()? },
+        KIND_MSG => Frame::Msg(read_msg(&mut r)?),
+        tag => return Err(FrameError::UnknownTag { what: "frame kind", tag }),
+    };
+    if r.pos != r.buf.len() {
+        return Err(FrameError::TrailingBytes);
+    }
+    Ok(frame)
+}
+
+/// Decode one complete frame from a contiguous buffer.
+pub fn decode_frame(buf: &[u8]) -> Result<(NodeId, Frame), FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+    let h = decode_header(header)?;
+    let frame = decode_payload(&h, &buf[HEADER_LEN..])?;
+    Ok((h.sender, frame))
+}
+
+/// Encode a [`Msg`] frame.
+pub fn encode_msg(sender: NodeId, msg: &Msg) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64));
+    write_msg(&mut w, msg);
+    finish(sender, KIND_MSG, w.0)
+}
+
+/// Encode a `Hello` control frame.
+pub fn encode_hello(sender: NodeId, listen_addr: &str) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(32));
+    w.string(listen_addr);
+    finish(sender, KIND_HELLO, w.0)
+}
+
+fn finish(sender: NodeId, kind: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(sender.index() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ---------------------------------------------------------------- writer
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u128(&mut self, x: u128) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn boolean(&mut self, x: bool) {
+        self.u8(x as u8);
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+    }
+    fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+    fn node(&mut self, n: NodeId) {
+        self.u32(n.index() as u32);
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, FrameError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn boolean(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(FrameError::UnknownTag { what: "bool", tag }),
+        }
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn string(&mut self) -> Result<String, FrameError> {
+        String::from_utf8(self.bytes()?).map_err(|_| FrameError::InvalidUtf8)
+    }
+    fn node(&mut self) -> Result<NodeId, FrameError> {
+        Ok(NodeId::from_index(self.u32()? as usize))
+    }
+}
+
+// ------------------------------------------------- composite field codecs
+
+fn write_opt<T>(w: &mut Writer, x: &Option<T>, f: impl FnOnce(&mut Writer, &T)) {
+    match x {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            f(w, v);
+        }
+    }
+}
+
+fn read_opt<T>(
+    r: &mut Reader<'_>,
+    f: impl FnOnce(&mut Reader<'_>) -> Result<T, FrameError>,
+) -> Result<Option<T>, FrameError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(f(r)?)),
+        tag => Err(FrameError::UnknownTag { what: "option", tag }),
+    }
+}
+
+fn write_result<T>(w: &mut Writer, x: &Result<T, Error>, f: impl FnOnce(&mut Writer, &T)) {
+    match x {
+        Ok(v) => {
+            w.u8(0);
+            f(w, v);
+        }
+        Err(e) => {
+            w.u8(1);
+            write_error(w, e);
+        }
+    }
+}
+
+fn read_result<T>(
+    r: &mut Reader<'_>,
+    f: impl FnOnce(&mut Reader<'_>) -> Result<T, FrameError>,
+) -> Result<Result<T, Error>, FrameError> {
+    match r.u8()? {
+        0 => Ok(Ok(f(r)?)),
+        1 => Ok(Err(read_error(r)?)),
+        tag => Err(FrameError::UnknownTag { what: "result", tag }),
+    }
+}
+
+fn write_error(w: &mut Writer, e: &Error) {
+    w.u8(match e {
+        Error::NotFound => 0,
+        Error::AlreadyExists => 1,
+        Error::VersionConflict => 2,
+        Error::NoSuchSegment => 3,
+        Error::Timeout => 4,
+        Error::OutOfSpace => 5,
+        Error::LeaseHeld => 6,
+        Error::InvalidMode => 7,
+        Error::NotADirectory => 8,
+        Error::NotEmpty => 9,
+        Error::ShadowExpired => 10,
+    });
+}
+
+fn read_error(r: &mut Reader<'_>) -> Result<Error, FrameError> {
+    Ok(match r.u8()? {
+        0 => Error::NotFound,
+        1 => Error::AlreadyExists,
+        2 => Error::VersionConflict,
+        3 => Error::NoSuchSegment,
+        4 => Error::Timeout,
+        5 => Error::OutOfSpace,
+        6 => Error::LeaseHeld,
+        7 => Error::InvalidMode,
+        8 => Error::NotADirectory,
+        9 => Error::NotEmpty,
+        10 => Error::ShadowExpired,
+        tag => return Err(FrameError::UnknownTag { what: "error", tag }),
+    })
+}
+
+fn write_organization(w: &mut Writer, o: &Organization) {
+    match o {
+        Organization::Linear => w.u8(0),
+        Organization::Striped { stripes, max_size } => {
+            w.u8(1);
+            w.u32(*stripes);
+            w.u64(*max_size);
+        }
+        Organization::Hybrid { group_stripes } => {
+            w.u8(2);
+            w.u32(*group_stripes);
+        }
+    }
+}
+
+fn read_organization(r: &mut Reader<'_>) -> Result<Organization, FrameError> {
+    Ok(match r.u8()? {
+        0 => Organization::Linear,
+        1 => Organization::Striped { stripes: r.u32()?, max_size: r.u64()? },
+        2 => Organization::Hybrid { group_stripes: r.u32()? },
+        tag => return Err(FrameError::UnknownTag { what: "organization", tag }),
+    })
+}
+
+fn write_placement(w: &mut Writer, p: &PlacementPolicy) {
+    match p {
+        PlacementPolicy::Random => w.u8(0),
+        PlacementPolicy::LoadAware => w.u8(1),
+        PlacementPolicy::LocalityDriven { threshold } => {
+            w.u8(2);
+            w.f64(*threshold);
+        }
+    }
+}
+
+fn read_placement(r: &mut Reader<'_>) -> Result<PlacementPolicy, FrameError> {
+    Ok(match r.u8()? {
+        0 => PlacementPolicy::Random,
+        1 => PlacementPolicy::LoadAware,
+        2 => PlacementPolicy::LocalityDriven { threshold: r.f64()? },
+        tag => return Err(FrameError::UnknownTag { what: "placement", tag }),
+    })
+}
+
+fn write_options(w: &mut Writer, o: &FileOptions) {
+    w.u32(o.replication);
+    w.f64(o.alpha);
+    write_organization(w, &o.organization);
+    write_placement(w, &o.placement);
+    w.boolean(o.versioning_off);
+    w.boolean(o.eager_commit);
+}
+
+fn read_options(r: &mut Reader<'_>) -> Result<FileOptions, FrameError> {
+    Ok(FileOptions {
+        replication: r.u32()?,
+        alpha: r.f64()?,
+        organization: read_organization(r)?,
+        placement: read_placement(r)?,
+        versioning_off: r.boolean()?,
+        eager_commit: r.boolean()?,
+    })
+}
+
+fn write_entry(w: &mut Writer, e: &FileEntry) {
+    w.u128(e.file.0);
+    w.u64(e.version.0);
+    w.u64(e.size);
+    w.boolean(e.is_dir);
+    w.u64(e.created_ns);
+    w.u64(e.modified_ns);
+    write_options(w, &e.options);
+}
+
+fn read_entry(r: &mut Reader<'_>) -> Result<FileEntry, FrameError> {
+    Ok(FileEntry {
+        file: FileId(r.u128()?),
+        version: Version(r.u64()?),
+        size: r.u64()?,
+        is_dir: r.boolean()?,
+        created_ns: r.u64()?,
+        modified_ns: r.u64()?,
+        options: read_options(r)?,
+    })
+}
+
+fn write_owners(w: &mut Writer, owners: &[(NodeId, Version)]) {
+    w.u32(owners.len() as u32);
+    for (n, v) in owners {
+        w.node(*n);
+        w.u64(v.0);
+    }
+}
+
+fn read_owners(r: &mut Reader<'_>) -> Result<Vec<(NodeId, Version)>, FrameError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push((r.node()?, Version(r.u64()?)));
+    }
+    Ok(out)
+}
+
+fn write_reply(w: &mut Writer, reply: &ReadReply) {
+    match reply {
+        ReadReply::Data { len, data, version } => {
+            w.u8(0);
+            w.u64(*len);
+            write_opt(w, data, |w, d| w.bytes(d));
+            w.u64(version.0);
+        }
+        ReadReply::Redirect(owners) => {
+            w.u8(1);
+            write_owners(w, owners);
+        }
+        ReadReply::Err(e) => {
+            w.u8(2);
+            write_error(w, e);
+        }
+    }
+}
+
+fn read_reply(r: &mut Reader<'_>) -> Result<ReadReply, FrameError> {
+    Ok(match r.u8()? {
+        0 => ReadReply::Data {
+            len: r.u64()?,
+            data: read_opt(r, |r| r.bytes())?,
+            version: Version(r.u64()?),
+        },
+        1 => ReadReply::Redirect(read_owners(r)?),
+        2 => ReadReply::Err(read_error(r)?),
+        tag => return Err(FrameError::UnknownTag { what: "read_reply", tag }),
+    })
+}
+
+fn write_payload(w: &mut Writer, p: &WritePayload) {
+    match p {
+        WritePayload::Real(bytes) => {
+            w.u8(0);
+            w.bytes(bytes);
+        }
+        WritePayload::Synthetic { len } => {
+            w.u8(1);
+            w.u64(*len);
+        }
+    }
+}
+
+fn read_payload(r: &mut Reader<'_>) -> Result<WritePayload, FrameError> {
+    Ok(match r.u8()? {
+        0 => WritePayload::Real(r.bytes()?),
+        1 => WritePayload::Synthetic { len: r.u64()? },
+        tag => return Err(FrameError::UnknownTag { what: "write_payload", tag }),
+    })
+}
+
+fn write_meta(w: &mut Writer, m: &SegMeta) {
+    w.u32(m.replication);
+    w.f64(m.alpha);
+    write_placement(w, &m.policy);
+    w.boolean(m.synthetic);
+}
+
+fn read_meta(r: &mut Reader<'_>) -> Result<SegMeta, FrameError> {
+    Ok(SegMeta {
+        replication: r.u32()?,
+        alpha: r.f64()?,
+        policy: read_placement(r)?,
+        synthetic: r.boolean()?,
+    })
+}
+
+fn write_image(w: &mut Writer, img: &ReplicaImage) {
+    w.u128(img.seg.0);
+    w.u64(img.version.0);
+    w.u64(img.len);
+    write_opt(w, &img.data, |w, d| w.bytes(d));
+    write_meta(w, &img.meta);
+}
+
+fn read_image(r: &mut Reader<'_>) -> Result<ReplicaImage, FrameError> {
+    Ok(ReplicaImage {
+        seg: SegId(r.u128()?),
+        version: Version(r.u64()?),
+        len: r.u64()?,
+        data: read_opt(r, |r| r.bytes())?,
+        meta: read_meta(r)?,
+    })
+}
+
+fn write_heartbeat(w: &mut Writer, hb: &Heartbeat) {
+    w.f64(hb.load);
+    w.u64(hb.available);
+    w.u64(hb.capacity);
+    w.u32(hb.machine);
+    w.u32(hb.rack);
+}
+
+fn read_heartbeat(r: &mut Reader<'_>) -> Result<Heartbeat, FrameError> {
+    Ok(Heartbeat {
+        load: r.f64()?,
+        available: r.u64()?,
+        capacity: r.u64()?,
+        machine: r.u32()?,
+        rack: r.u32()?,
+    })
+}
+
+fn write_tick(w: &mut Writer, t: &Tick) {
+    match t {
+        Tick::Heartbeat => w.u8(0),
+        Tick::LocationRefresh => w.u8(1),
+        Tick::JoinRefresh(n) => {
+            w.u8(2);
+            w.node(*n);
+        }
+        Tick::Gc => w.u8(3),
+        Tick::RepairScan => w.u8(4),
+        Tick::Migration => w.u8(5),
+        Tick::MigrationContinue => w.u8(6),
+        Tick::RpcTimeout(req) => {
+            w.u8(7);
+            w.u64(*req);
+        }
+        Tick::BackupDeadline(req) => {
+            w.u8(8);
+            w.u64(*req);
+        }
+        Tick::Membership => w.u8(9),
+        Tick::NextOp => w.u8(10),
+        Tick::AppendRetry => w.u8(11),
+        Tick::CommitBeginRetry => w.u8(12),
+        Tick::LeaseSweep => w.u8(13),
+    }
+}
+
+fn read_tick(r: &mut Reader<'_>) -> Result<Tick, FrameError> {
+    Ok(match r.u8()? {
+        0 => Tick::Heartbeat,
+        1 => Tick::LocationRefresh,
+        2 => Tick::JoinRefresh(r.node()?),
+        3 => Tick::Gc,
+        4 => Tick::RepairScan,
+        5 => Tick::Migration,
+        6 => Tick::MigrationContinue,
+        7 => Tick::RpcTimeout(r.u64()?),
+        8 => Tick::BackupDeadline(r.u64()?),
+        9 => Tick::Membership,
+        10 => Tick::NextOp,
+        11 => Tick::AppendRetry,
+        12 => Tick::CommitBeginRetry,
+        13 => Tick::LeaseSweep,
+        tag => return Err(FrameError::UnknownTag { what: "tick", tag }),
+    })
+}
+
+fn write_shadow_items(w: &mut Writer, items: &[(ShadowId, Version)]) {
+    w.u32(items.len() as u32);
+    for (s, v) in items {
+        w.u64(*s);
+        w.u64(v.0);
+    }
+}
+
+fn read_shadow_items(r: &mut Reader<'_>) -> Result<Vec<(ShadowId, Version)>, FrameError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push((r.u64()?, Version(r.u64()?)));
+    }
+    Ok(out)
+}
+
+/// Encode a standalone [`ReplicaImage`] (daemon segment persistence:
+/// the value format under `seg/` keys in the node's kvdb).
+pub fn encode_image_bytes(img: &ReplicaImage) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(64 + img.data.as_ref().map_or(0, Vec::len)));
+    write_image(&mut w, img);
+    w.0
+}
+
+/// Decode a standalone [`ReplicaImage`].
+pub fn decode_image_bytes(bytes: &[u8]) -> Result<ReplicaImage, FrameError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let img = read_image(&mut r)?;
+    if r.pos != r.buf.len() {
+        return Err(FrameError::TrailingBytes);
+    }
+    Ok(img)
+}
+
+// --------------------------------------------------------- the Msg codec
+
+fn write_msg(w: &mut Writer, msg: &Msg) {
+    match msg {
+        Msg::Tick(t) => {
+            w.u8(0);
+            write_tick(w, t);
+        }
+        Msg::Heartbeat(hb) => {
+            w.u8(1);
+            write_heartbeat(w, hb);
+        }
+        Msg::NsLookup { req, path } => {
+            w.u8(2);
+            w.u64(*req);
+            w.string(path);
+        }
+        Msg::NsLookupR { req, result } => {
+            w.u8(3);
+            w.u64(*req);
+            write_result(w, result, write_entry);
+        }
+        Msg::NsCreate { req, path, file, options } => {
+            w.u8(4);
+            w.u64(*req);
+            w.string(path);
+            w.u128(file.0);
+            write_options(w, options);
+        }
+        Msg::NsCreateR { req, result } => {
+            w.u8(5);
+            w.u64(*req);
+            write_result(w, result, write_entry);
+        }
+        Msg::NsMkdir { req, path } => {
+            w.u8(6);
+            w.u64(*req);
+            w.string(path);
+        }
+        Msg::NsMkdirR { req, result } => {
+            w.u8(7);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::NsRemove { req, path } => {
+            w.u8(8);
+            w.u64(*req);
+            w.string(path);
+        }
+        Msg::NsRemoveR { req, result } => {
+            w.u8(9);
+            w.u64(*req);
+            write_result(w, result, write_entry);
+        }
+        Msg::NsList { req, path } => {
+            w.u8(10);
+            w.u64(*req);
+            w.string(path);
+        }
+        Msg::NsListR { req, result } => {
+            w.u8(11);
+            w.u64(*req);
+            write_result(w, result, |w, names| {
+                w.u32(names.len() as u32);
+                for n in names {
+                    w.string(n);
+                }
+            });
+        }
+        Msg::NsCommitBegin { req, span, path, base } => {
+            w.u8(12);
+            w.u64(*req);
+            w.u64(*span);
+            w.string(path);
+            w.u64(base.0);
+        }
+        Msg::NsCommitBeginR { req, result } => {
+            w.u8(13);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::NsCommitEnd { req, span, path, commit, new_version, new_size } => {
+            w.u8(14);
+            w.u64(*req);
+            w.u64(*span);
+            w.string(path);
+            w.boolean(*commit);
+            w.u64(new_version.0);
+            w.u64(*new_size);
+        }
+        Msg::NsCommitEndR { req, result } => {
+            w.u8(15);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::LocQuery { req, seg } => {
+            w.u8(16);
+            w.u64(*req);
+            w.u128(seg.0);
+        }
+        Msg::LocQueryR { req, seg, owners } => {
+            w.u8(17);
+            w.u64(*req);
+            w.u128(seg.0);
+            write_owners(w, owners);
+        }
+        Msg::LocUpsert { seg, owner, version, replication, bytes, deleted } => {
+            w.u8(18);
+            w.u128(seg.0);
+            w.node(*owner);
+            w.u64(version.0);
+            w.u32(*replication);
+            w.u64(*bytes);
+            w.boolean(*deleted);
+        }
+        Msg::LocRefresh { owner, entries } => {
+            w.u8(19);
+            w.node(*owner);
+            w.u32(entries.len() as u32);
+            for (seg, v, repl, bytes) in entries {
+                w.u128(seg.0);
+                w.u64(v.0);
+                w.u32(*repl);
+                w.u64(*bytes);
+            }
+        }
+        Msg::BackupQuery { req, seg } => {
+            w.u8(20);
+            w.u64(*req);
+            w.u128(seg.0);
+        }
+        Msg::BackupQueryR { req, seg, version } => {
+            w.u8(21);
+            w.u64(*req);
+            w.u128(seg.0);
+            w.u64(version.0);
+        }
+        Msg::ReadSeg { req, seg, offset, len, min_version, allow_redirect } => {
+            w.u8(22);
+            w.u64(*req);
+            w.u128(seg.0);
+            w.u64(*offset);
+            w.u64(*len);
+            write_opt(w, min_version, |w, v| w.u64(v.0));
+            w.boolean(*allow_redirect);
+        }
+        Msg::ReadSegR { req, reply } => {
+            w.u8(23);
+            w.u64(*req);
+            write_reply(w, reply);
+        }
+        Msg::CreateShadow { req, span, seg, base, meta } => {
+            w.u8(24);
+            w.u64(*req);
+            w.u64(*span);
+            w.u128(seg.0);
+            write_opt(w, base, |w, v| w.u64(v.0));
+            write_meta(w, meta);
+        }
+        Msg::CreateShadowR { req, result } => {
+            w.u8(25);
+            w.u64(*req);
+            write_result(w, result, |w, s| w.u64(*s));
+        }
+        Msg::WriteShadow { req, shadow, offset, payload, truncate } => {
+            w.u8(26);
+            w.u64(*req);
+            w.u64(*shadow);
+            w.u64(*offset);
+            write_payload(w, payload);
+            w.boolean(*truncate);
+        }
+        Msg::WriteShadowR { req, result } => {
+            w.u8(27);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::ReadShadow { req, shadow, offset, len } => {
+            w.u8(28);
+            w.u64(*req);
+            w.u64(*shadow);
+            w.u64(*offset);
+            w.u64(*len);
+        }
+        Msg::ReadShadowR { req, reply } => {
+            w.u8(29);
+            w.u64(*req);
+            write_reply(w, reply);
+        }
+        Msg::RenewShadow { shadow } => {
+            w.u8(30);
+            w.u64(*shadow);
+        }
+        Msg::Prepare { req, span, items } => {
+            w.u8(31);
+            w.u64(*req);
+            w.u64(*span);
+            write_shadow_items(w, items);
+        }
+        Msg::PrepareR { req, result } => {
+            w.u8(32);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::Commit { req, span, items } => {
+            w.u8(33);
+            w.u64(*req);
+            w.u64(*span);
+            write_shadow_items(w, items);
+        }
+        Msg::CommitR { req, result } => {
+            w.u8(34);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::Abort { span, items } => {
+            w.u8(35);
+            w.u64(*span);
+            w.u32(items.len() as u32);
+            for s in items {
+                w.u64(*s);
+            }
+        }
+        Msg::DirectWrite { req, seg, offset, payload, meta } => {
+            w.u8(36);
+            w.u64(*req);
+            w.u128(seg.0);
+            w.u64(*offset);
+            write_payload(w, payload);
+            write_meta(w, meta);
+        }
+        Msg::DirectWriteR { req, result } => {
+            w.u8(37);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::DeleteSeg { req, seg } => {
+            w.u8(38);
+            w.u64(*req);
+            w.u128(seg.0);
+        }
+        Msg::DeleteSegR { req, existed } => {
+            w.u8(39);
+            w.u64(*req);
+            w.boolean(*existed);
+        }
+        Msg::FetchSeg { req, seg } => {
+            w.u8(40);
+            w.u64(*req);
+            w.u128(seg.0);
+        }
+        Msg::FetchSegR { req, result } => {
+            w.u8(41);
+            w.u64(*req);
+            write_result(w, result, |w, img| write_image(w, img));
+        }
+        Msg::SyncRequest { req, seg, source, bytes_hint } => {
+            w.u8(42);
+            w.u64(*req);
+            w.u128(seg.0);
+            w.node(*source);
+            w.u64(*bytes_hint);
+        }
+        Msg::SyncDone { req, seg, version, result } => {
+            w.u8(43);
+            w.u64(*req);
+            w.u128(seg.0);
+            w.u64(version.0);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::MigrateTo { seg, source, bytes_hint } => {
+            w.u8(44);
+            w.u128(seg.0);
+            w.node(*source);
+            w.u64(*bytes_hint);
+        }
+        Msg::MigrateDone { seg, ok } => {
+            w.u8(45);
+            w.u128(seg.0);
+            w.boolean(*ok);
+        }
+        Msg::StatsQuery { req } => {
+            w.u8(46);
+            w.u64(*req);
+        }
+        Msg::StatsR { req, json } => {
+            w.u8(47);
+            w.u64(*req);
+            w.string(json);
+        }
+    }
+}
+
+fn read_msg(r: &mut Reader<'_>) -> Result<Msg, FrameError> {
+    Ok(match r.u8()? {
+        0 => Msg::Tick(read_tick(r)?),
+        1 => Msg::Heartbeat(read_heartbeat(r)?),
+        2 => Msg::NsLookup { req: r.u64()?, path: r.string()? },
+        3 => Msg::NsLookupR { req: r.u64()?, result: read_result(r, read_entry)? },
+        4 => Msg::NsCreate {
+            req: r.u64()?,
+            path: r.string()?,
+            file: FileId(r.u128()?),
+            options: read_options(r)?,
+        },
+        5 => Msg::NsCreateR { req: r.u64()?, result: read_result(r, read_entry)? },
+        6 => Msg::NsMkdir { req: r.u64()?, path: r.string()? },
+        7 => Msg::NsMkdirR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        8 => Msg::NsRemove { req: r.u64()?, path: r.string()? },
+        9 => Msg::NsRemoveR { req: r.u64()?, result: read_result(r, read_entry)? },
+        10 => Msg::NsList { req: r.u64()?, path: r.string()? },
+        11 => Msg::NsListR {
+            req: r.u64()?,
+            result: read_result(r, |r| {
+                let n = r.u32()? as usize;
+                let mut names = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    names.push(r.string()?);
+                }
+                Ok(names)
+            })?,
+        },
+        12 => Msg::NsCommitBegin {
+            req: r.u64()?,
+            span: r.u64()?,
+            path: r.string()?,
+            base: Version(r.u64()?),
+        },
+        13 => Msg::NsCommitBeginR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        14 => Msg::NsCommitEnd {
+            req: r.u64()?,
+            span: r.u64()?,
+            path: r.string()?,
+            commit: r.boolean()?,
+            new_version: Version(r.u64()?),
+            new_size: r.u64()?,
+        },
+        15 => Msg::NsCommitEndR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        16 => Msg::LocQuery { req: r.u64()?, seg: SegId(r.u128()?) },
+        17 => Msg::LocQueryR {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            owners: read_owners(r)?,
+        },
+        18 => Msg::LocUpsert {
+            seg: SegId(r.u128()?),
+            owner: r.node()?,
+            version: Version(r.u64()?),
+            replication: r.u32()?,
+            bytes: r.u64()?,
+            deleted: r.boolean()?,
+        },
+        19 => Msg::LocRefresh {
+            owner: r.node()?,
+            entries: {
+                let n = r.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push((SegId(r.u128()?), Version(r.u64()?), r.u32()?, r.u64()?));
+                }
+                entries
+            },
+        },
+        20 => Msg::BackupQuery { req: r.u64()?, seg: SegId(r.u128()?) },
+        21 => Msg::BackupQueryR {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            version: Version(r.u64()?),
+        },
+        22 => Msg::ReadSeg {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            offset: r.u64()?,
+            len: r.u64()?,
+            min_version: read_opt(r, |r| Ok(Version(r.u64()?)))?,
+            allow_redirect: r.boolean()?,
+        },
+        23 => Msg::ReadSegR { req: r.u64()?, reply: read_reply(r)? },
+        24 => Msg::CreateShadow {
+            req: r.u64()?,
+            span: r.u64()?,
+            seg: SegId(r.u128()?),
+            base: read_opt(r, |r| Ok(Version(r.u64()?)))?,
+            meta: read_meta(r)?,
+        },
+        25 => Msg::CreateShadowR { req: r.u64()?, result: read_result(r, |r| r.u64())? },
+        26 => Msg::WriteShadow {
+            req: r.u64()?,
+            shadow: r.u64()?,
+            offset: r.u64()?,
+            payload: read_payload(r)?,
+            truncate: r.boolean()?,
+        },
+        27 => Msg::WriteShadowR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        28 => Msg::ReadShadow {
+            req: r.u64()?,
+            shadow: r.u64()?,
+            offset: r.u64()?,
+            len: r.u64()?,
+        },
+        29 => Msg::ReadShadowR { req: r.u64()?, reply: read_reply(r)? },
+        30 => Msg::RenewShadow { shadow: r.u64()? },
+        31 => Msg::Prepare { req: r.u64()?, span: r.u64()?, items: read_shadow_items(r)? },
+        32 => Msg::PrepareR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        33 => Msg::Commit { req: r.u64()?, span: r.u64()?, items: read_shadow_items(r)? },
+        34 => Msg::CommitR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        35 => Msg::Abort {
+            span: r.u64()?,
+            items: {
+                let n = r.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(r.u64()?);
+                }
+                items
+            },
+        },
+        36 => Msg::DirectWrite {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            offset: r.u64()?,
+            payload: read_payload(r)?,
+            meta: read_meta(r)?,
+        },
+        37 => Msg::DirectWriteR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        38 => Msg::DeleteSeg { req: r.u64()?, seg: SegId(r.u128()?) },
+        39 => Msg::DeleteSegR { req: r.u64()?, existed: r.boolean()? },
+        40 => Msg::FetchSeg { req: r.u64()?, seg: SegId(r.u128()?) },
+        41 => Msg::FetchSegR {
+            req: r.u64()?,
+            result: read_result(r, |r| Ok(Box::new(read_image(r)?)))?,
+        },
+        42 => Msg::SyncRequest {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            source: r.node()?,
+            bytes_hint: r.u64()?,
+        },
+        43 => Msg::SyncDone {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            version: Version(r.u64()?),
+            result: read_result(r, |_| Ok(()))?,
+        },
+        44 => Msg::MigrateTo {
+            seg: SegId(r.u128()?),
+            source: r.node()?,
+            bytes_hint: r.u64()?,
+        },
+        45 => Msg::MigrateDone { seg: SegId(r.u128()?), ok: r.boolean()? },
+        46 => Msg::StatsQuery { req: r.u64()? },
+        47 => Msg::StatsR { req: r.u64()?, json: r.string()? },
+        tag => return Err(FrameError::UnknownTag { what: "msg", tag }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let me = NodeId::from_index(7);
+        let bytes = encode_msg(me, &msg);
+        let (sender, frame) = decode_frame(&bytes).expect("decode");
+        assert_eq!(sender, me);
+        let Frame::Msg(back) = frame else { panic!("not a msg frame") };
+        // Msg has no PartialEq: byte-exact re-encode is the equality proof.
+        assert_eq!(encode_msg(me, &back), bytes);
+    }
+
+    #[test]
+    fn representative_messages_round_trip() {
+        roundtrip(Msg::NsLookup { req: 1, path: "/a/b".into() });
+        roundtrip(Msg::Heartbeat(Heartbeat {
+            load: 0.25,
+            available: 10,
+            capacity: 20,
+            machine: 1,
+            rack: 2,
+        }));
+        roundtrip(Msg::ReadSegR {
+            req: 9,
+            reply: ReadReply::Data { len: 3, data: Some(vec![1, 2, 3]), version: Version(5) },
+        });
+        roundtrip(Msg::FetchSegR {
+            req: 4,
+            result: Ok(Box::new(ReplicaImage {
+                seg: SegId(42),
+                version: Version(3),
+                len: 2,
+                data: Some(vec![7, 8]),
+                meta: SegMeta {
+                    replication: 2,
+                    alpha: 1.0,
+                    policy: PlacementPolicy::LoadAware,
+                    synthetic: false,
+                },
+            })),
+        });
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let bytes = encode_hello(NodeId::from_index(3), "127.0.0.1:9000");
+        let (sender, frame) = decode_frame(&bytes).unwrap();
+        assert_eq!(sender, NodeId::from_index(3));
+        match frame {
+            Frame::Hello { listen_addr } => assert_eq!(listen_addr, "127.0.0.1:9000"),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        let bytes = encode_msg(NodeId::from_index(0), &Msg::StatsQuery { req: 1 });
+        assert!(matches!(decode_frame(&bytes[..4]), Err(FrameError::Truncated)));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad), Err(FrameError::BadMagic)));
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::UnsupportedVersion(99))));
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() ^= 0xff;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::ChecksumMismatch)));
+    }
+}

@@ -1,0 +1,29 @@
+//! The real-process runtime for Sorrento.
+//!
+//! The simulator (`sorrento-sim`) and this crate share the same state
+//! machines from `sorrento` — providers, the namespace server, and the
+//! client are written against [`sorrento::Transport`], so the protocol
+//! code that the deterministic simulation validates is byte-for-byte
+//! the code a live cluster runs. This crate supplies the real-world
+//! half:
+//!
+//! * [`frame`] — the length-prefixed, checksummed binary wire format
+//!   for every [`sorrento::proto::Msg`].
+//! * [`tcp`] — a std-only TCP mesh: one listener plus cached outbound
+//!   connections per peer, thread-per-connection readers feeding a
+//!   bounded inbox.
+//! * [`runtime`] — [`runtime::RealCtx`], the wall-clock
+//!   [`sorrento::Transport`] implementation (monotonic-nanosecond
+//!   clock, timer heap, real metrics registry).
+//! * [`config`] — the small JSON config file a node boots from.
+//! * [`daemon`] — the node daemon: role selection, the poll loop, and
+//!   segment persistence through `sorrento-kvdb`'s file backend.
+//! * [`ctl`] — the `sorrentoctl` client library: run filesystem ops
+//!   against a live cluster, fetch daemon stats.
+
+pub mod config;
+pub mod ctl;
+pub mod daemon;
+pub mod frame;
+pub mod runtime;
+pub mod tcp;

@@ -1,0 +1,222 @@
+//! [`RealCtx`]: the wall-clock [`Transport`] implementation.
+//!
+//! The state machines see the same trait surface as under the
+//! simulator; here `now()` is monotonic nanoseconds since process
+//! start, timers live in a local heap the daemon loop drains, and
+//! sends accumulate in an outbox the loop flushes through the TCP
+//! mesh. `SimTime` stays the time type in both worlds — it is just a
+//! nanosecond counter, so membership views, location-table aging and
+//! shadow TTLs behave identically on virtual and real clocks.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sorrento::proto::Msg;
+use sorrento::Transport;
+use sorrento_sim::{
+    DiskAccess, DiskConfig, DiskState, Dur, EventLog, Metrics, NodeId, SimTime, TelemetryEvent,
+    TimerId,
+};
+
+/// An outbound delivery the daemon loop must perform.
+#[derive(Debug)]
+pub enum Out {
+    /// Send to one node (possibly this node: loopback).
+    Unicast(NodeId, Msg),
+    /// Fan out to every known peer.
+    Multicast(Msg),
+}
+
+/// Wall-clock transport state for one node.
+pub struct RealCtx {
+    me: NodeId,
+    epoch: Instant,
+    rng: SmallRng,
+    metrics: Metrics,
+    events: EventLog,
+    disk: DiskState,
+    /// NodeId → physical machine, from the cluster config.
+    machines: HashMap<NodeId, u32>,
+    next_timer: u64,
+    /// Min-heap of `(deadline ns, timer id)`.
+    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    timer_msgs: HashMap<u64, Msg>,
+    cancelled: HashSet<u64>,
+    outbox: Vec<Out>,
+}
+
+impl RealCtx {
+    /// A fresh context for node `me` with the given RNG seed, disk
+    /// capacity, and machine map.
+    pub fn new(me: NodeId, seed: u64, capacity: u64, machines: HashMap<NodeId, u32>) -> RealCtx {
+        RealCtx {
+            me,
+            epoch: Instant::now(),
+            rng: SmallRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            events: EventLog::new(4096),
+            disk: DiskState::new(DiskConfig::scsi_10krpm(capacity)),
+            machines,
+            next_timer: 1,
+            timers: BinaryHeap::new(),
+            timer_msgs: HashMap::new(),
+            cancelled: HashSet::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Take everything queued for delivery.
+    pub fn drain_outbox(&mut self) -> Vec<Out> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Pop every timer whose deadline has passed, in deadline order
+    /// (ties broken by creation order, as in the simulator).
+    pub fn due_timers(&mut self) -> Vec<Msg> {
+        let now = self.now().nanos();
+        let mut due = Vec::new();
+        while let Some(&Reverse((at, id))) = self.timers.peek() {
+            if at > now {
+                break;
+            }
+            self.timers.pop();
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            if let Some(msg) = self.timer_msgs.remove(&id) {
+                due.push(msg);
+            }
+        }
+        due
+    }
+
+    /// Nanoseconds until the next live timer fires (None if no timers).
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.timers
+            .iter()
+            .filter(|Reverse((_, id))| !self.cancelled.contains(id))
+            .map(|Reverse((at, _))| *at)
+            .min()
+    }
+
+    /// Immutable metrics access (JSON export without `&mut`).
+    pub fn metrics_ref(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The node's event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+}
+
+impl Transport<Msg> for RealCtx {
+    fn id(&self) -> NodeId {
+        self.me
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn send(&mut self, dst: NodeId, msg: Msg) {
+        self.outbox.push(Out::Unicast(dst, msg));
+    }
+
+    fn send_at(&mut self, _at: SimTime, dst: NodeId, msg: Msg) {
+        // Modeled CPU/disk completions already happened in real time by
+        // the time this executes; ship immediately.
+        self.outbox.push(Out::Unicast(dst, msg));
+    }
+
+    fn multicast(&mut self, msg: Msg) {
+        self.outbox.push(Out::Multicast(msg));
+    }
+
+    fn set_timer(&mut self, delay: Dur, msg: Msg) -> TimerId {
+        let id = self.next_timer;
+        self.next_timer += 1;
+        let at = self.now().nanos().saturating_add(delay.as_nanos());
+        self.timers.push(Reverse((at, id)));
+        self.timer_msgs.insert(id, msg);
+        TimerId::from_raw(id)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        let raw = id.raw();
+        if self.timer_msgs.remove(&raw).is_some() {
+            self.cancelled.insert(raw);
+        }
+    }
+
+    fn cpu(&mut self, _service: Dur) -> SimTime {
+        // Real CPU time is spent, not modeled.
+        self.now()
+    }
+
+    fn disk_submit(&mut self, bytes: u64, access: DiskAccess) -> SimTime {
+        // Keep the disk model's accounting (capacity, io-wait sampling)
+        // but let real I/O pace itself.
+        let now = self.now();
+        self.disk.submit(now, bytes, access)
+    }
+
+    fn disk(&mut self) -> &mut DiskState {
+        &mut self.disk
+    }
+
+    fn machine_of(&self, id: NodeId) -> u32 {
+        self.machines.get(&id).copied().unwrap_or(id.index() as u32)
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    fn metrics(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn record(&mut self, ev: TelemetryEvent) {
+        let now = self.now();
+        self.metrics.count_labeled("event", ev.kind(), 1);
+        self.events.push(now, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorrento::proto::Tick;
+
+    #[test]
+    fn timers_fire_in_order_and_respect_cancellation() {
+        let mut ctx = RealCtx::new(NodeId::from_index(0), 1, 1 << 30, HashMap::new());
+        let _a = ctx.set_timer(Dur::ZERO, Msg::Tick(Tick::Gc));
+        let b = ctx.set_timer(Dur::ZERO, Msg::Tick(Tick::Membership));
+        let _c = ctx.set_timer(Dur::ZERO, Msg::Tick(Tick::NextOp));
+        ctx.cancel_timer(b);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let due = ctx.due_timers();
+        assert_eq!(due.len(), 2);
+        assert!(matches!(due[0], Msg::Tick(Tick::Gc)));
+        assert!(matches!(due[1], Msg::Tick(Tick::NextOp)));
+        // Far-future timer does not fire.
+        ctx.set_timer(Dur::minutes(10), Msg::Tick(Tick::Gc));
+        assert!(ctx.due_timers().is_empty());
+        assert!(ctx.next_deadline().is_some());
+    }
+
+    #[test]
+    fn sends_accumulate_in_outbox() {
+        let mut ctx = RealCtx::new(NodeId::from_index(0), 1, 1 << 30, HashMap::new());
+        ctx.send(NodeId::from_index(1), Msg::StatsQuery { req: 1 });
+        ctx.multicast(Msg::StatsQuery { req: 2 });
+        let out = ctx.drain_outbox();
+        assert_eq!(out.len(), 2);
+        assert!(ctx.drain_outbox().is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! A std-only TCP mesh for Sorrento daemons.
+//!
+//! Each node owns one listening socket and a cache of outbound
+//! connections keyed by peer [`NodeId`]. Inbound connections get a
+//! reader thread each; decoded messages land in a bounded inbox the
+//! daemon loop drains. `Hello` frames register the sender's listen
+//! address, so a node only needs a seed peer list — everyone it has
+//! ever heard from becomes routable, which is how the runtime replaces
+//! the simulator's Ethernet multicast with peer-list fan-out.
+//!
+//! Delivery semantics deliberately mirror the simulator's lossy
+//! network: a send to a dead or unreachable peer is retried once after
+//! a short backoff and then dropped silently. The protocol already
+//! treats message loss as normal (RPC timeouts, repair scans), so the
+//! transport never needs to surface per-message errors.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sorrento::proto::Msg;
+use sorrento_sim::NodeId;
+
+use crate::frame::{self, Frame, HEADER_LEN};
+
+/// Transport tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshConfig {
+    /// Outbound connection establishment budget.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (also the shutdown poll period for reader
+    /// threads).
+    pub read_timeout: Duration,
+    /// Wait before the single resend attempt after a send failure.
+    pub retry_backoff: Duration,
+    /// Bounded inbox depth; senders beyond it are dropped, not blocked.
+    pub inbox_capacity: usize,
+}
+
+impl Default for MeshConfig {
+    fn default() -> MeshConfig {
+        MeshConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(100),
+            retry_backoff: Duration::from_millis(50),
+            inbox_capacity: 1024,
+        }
+    }
+}
+
+/// Counters the mesh keeps about itself (drained into the node's
+/// metrics registry by the daemon loop).
+#[derive(Debug, Default)]
+struct MeshCounters {
+    sent: u64,
+    send_failures: u64,
+    dropped_inbox_full: u64,
+    decode_errors: u64,
+}
+
+struct Shared {
+    /// NodeId → listen address, learned from config and `Hello` frames.
+    peers: Mutex<HashMap<NodeId, SocketAddr>>,
+    /// Nodes whose listen address changed since we last dialed them: the
+    /// cached outbound stream points at a dead incarnation and must be
+    /// evicted before reuse, or the first write after the change is
+    /// silently buffered into a socket nobody reads.
+    stale: Mutex<HashSet<NodeId>>,
+    counters: Mutex<MeshCounters>,
+    shutdown: AtomicBool,
+}
+
+/// The node's connection fabric.
+pub struct Mesh {
+    me: NodeId,
+    listen_addr: SocketAddr,
+    cfg: MeshConfig,
+    shared: Arc<Shared>,
+    inbox: Receiver<(NodeId, Msg)>,
+    /// Cached outbound streams (only the daemon thread sends).
+    conns: HashMap<NodeId, TcpStream>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Mesh {
+    /// Start the mesh on an already-bound listener with a seed peer
+    /// list. The listener is taken over by an accept thread.
+    pub fn start(
+        me: NodeId,
+        listener: TcpListener,
+        seed_peers: HashMap<NodeId, SocketAddr>,
+        cfg: MeshConfig,
+    ) -> std::io::Result<Mesh> {
+        let listen_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::sync_channel(cfg.inbox_capacity);
+        let shared = Arc::new(Shared {
+            peers: Mutex::new(seed_peers),
+            stale: Mutex::new(HashSet::new()),
+            counters: Mutex::new(MeshCounters::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("sorrento-accept-{}", me.index()))
+            .spawn(move || accept_loop(listener, accept_shared, tx, cfg))?;
+        Ok(Mesh {
+            me,
+            listen_addr,
+            cfg,
+            shared,
+            inbox: rx,
+            conns: HashMap::new(),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Register (or update) a peer's listen address.
+    pub fn add_peer(&self, id: NodeId, addr: SocketAddr) {
+        self.shared.peers.lock().unwrap().insert(id, addr);
+    }
+
+    /// Every peer currently known (never includes this node).
+    pub fn known_peers(&self) -> Vec<NodeId> {
+        let peers = self.shared.peers.lock().unwrap();
+        peers.keys().copied().filter(|&p| p != self.me).collect()
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or shutdown.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(NodeId, Msg)> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// Send to one peer: best-effort, one retry after backoff, then the
+    /// message is dropped (the peer's death shows up as RPC timeouts,
+    /// exactly as in the simulator).
+    pub fn send(&mut self, to: NodeId, msg: &Msg) {
+        let bytes = frame::encode_msg(self.me, msg);
+        if self.send_bytes(to, &bytes) {
+            self.shared.counters.lock().unwrap().sent += 1;
+        } else {
+            std::thread::sleep(self.cfg.retry_backoff);
+            self.conns.remove(&to);
+            if self.send_bytes(to, &bytes) {
+                self.shared.counters.lock().unwrap().sent += 1;
+            } else {
+                self.shared.counters.lock().unwrap().send_failures += 1;
+            }
+        }
+    }
+
+    /// Fan a message out to every known peer.
+    pub fn multicast(&mut self, msg: &Msg) {
+        for peer in self.known_peers() {
+            self.send(peer, msg);
+        }
+    }
+
+    /// Open a connection (which carries our `Hello`) to every known
+    /// peer. A joining node calls this so daemons learn its listen
+    /// address — and start multicasting to it — before it sends any
+    /// protocol traffic.
+    pub fn hello_all(&mut self) {
+        for peer in self.known_peers() {
+            self.ensure_conn(peer);
+        }
+    }
+
+    /// Flush mesh counters into labeled metrics.
+    pub fn export_metrics(&self, metrics: &mut sorrento_sim::Metrics) {
+        let c = self.shared.counters.lock().unwrap();
+        metrics.gauge_set("net_sent", c.sent as f64);
+        metrics.gauge_set("net_send_failures", c.send_failures as f64);
+        metrics.gauge_set("net_dropped_inbox_full", c.dropped_inbox_full as f64);
+        metrics.gauge_set("net_decode_errors", c.decode_errors as f64);
+    }
+
+    /// Stop the accept thread and all reader threads.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.conns.clear();
+    }
+
+    /// Establish (or reuse) the outbound connection to `to`, sending
+    /// our `Hello` on a fresh connection.
+    fn ensure_conn(&mut self, to: NodeId) -> bool {
+        if self.shared.stale.lock().unwrap().remove(&to) {
+            self.conns.remove(&to);
+        }
+        if self.conns.contains_key(&to) {
+            return true;
+        }
+        let addr = match self.shared.peers.lock().unwrap().get(&to).copied() {
+            Some(a) => a,
+            None => return false,
+        };
+        let mut stream = match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        let _ = stream.set_nodelay(true);
+        // Introduce ourselves so the peer can route replies and
+        // multicasts back without prior configuration.
+        let hello = frame::encode_hello(self.me, &self.listen_addr.to_string());
+        if stream.write_all(&hello).is_err() {
+            return false;
+        }
+        self.conns.insert(to, stream);
+        true
+    }
+
+    fn send_bytes(&mut self, to: NodeId, bytes: &[u8]) -> bool {
+        if !self.ensure_conn(to) {
+            return false;
+        }
+        let stream = self.conns.get_mut(&to).expect("conn just ensured");
+        if stream.write_all(bytes).is_err() {
+            self.conns.remove(&to);
+            return false;
+        }
+        true
+    }
+}
+
+impl Drop for Mesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    tx: SyncSender<(NodeId, Msg)>,
+    cfg: MeshConfig,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name("sorrento-reader".to_string())
+                    .spawn(move || reader_loop(stream, shared, tx, cfg));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: Arc<Shared>,
+    tx: SyncSender<(NodeId, Msg)>,
+    cfg: MeshConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let mut header = [0u8; HEADER_LEN];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match read_exact_polled(&mut stream, &mut header, &shared) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Closed => return,
+        }
+        let h = match frame::decode_header(&header) {
+            Ok(h) => h,
+            Err(_) => {
+                // The stream is out of sync; there is no resync point in
+                // a byte stream, so drop the connection.
+                shared.counters.lock().unwrap().decode_errors += 1;
+                return;
+            }
+        };
+        let mut payload = vec![0u8; h.payload_len as usize];
+        match read_exact_polled(&mut stream, &mut payload, &shared) {
+            ReadOutcome::Ok => {}
+            ReadOutcome::Closed => return,
+        }
+        match frame::decode_payload(&h, &payload) {
+            Ok(Frame::Hello { listen_addr }) => {
+                if let Ok(addr) = listen_addr.parse() {
+                    let prev = shared.peers.lock().unwrap().insert(h.sender, addr);
+                    if prev.is_some_and(|p| p != addr) {
+                        shared.stale.lock().unwrap().insert(h.sender);
+                    }
+                }
+            }
+            Ok(Frame::Msg(msg)) => match tx.try_send((h.sender, msg)) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shared.counters.lock().unwrap().dropped_inbox_full += 1;
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
+            Err(_) => {
+                shared.counters.lock().unwrap().decode_errors += 1;
+                return;
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    Ok,
+    Closed,
+}
+
+/// `read_exact` that keeps polling through read timeouts so the thread
+/// can notice shutdown, but treats EOF and hard errors as closed.
+fn read_exact_polled(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return ReadOutcome::Closed;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Mid-frame stalls are fine; keep waiting unless shutting
+                // down.
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_nodes_exchange_messages() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a0 = l0.local_addr().unwrap();
+        let a1 = l1.local_addr().unwrap();
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        let mut m0 = Mesh::start(
+            n0,
+            l0,
+            HashMap::from([(n1, a1)]),
+            MeshConfig::default(),
+        )
+        .unwrap();
+        let m1 = Mesh::start(n1, l1, HashMap::from([(n0, a0)]), MeshConfig::default()).unwrap();
+
+        m0.send(n1, &Msg::StatsQuery { req: 42 });
+        let (from, msg) = m1.recv_timeout(Duration::from_secs(5)).expect("delivery");
+        assert_eq!(from, n0);
+        assert!(matches!(msg, Msg::StatsQuery { req: 42 }));
+    }
+
+    #[test]
+    fn send_to_dead_peer_drops_silently() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        let mut m0 =
+            Mesh::start(n0, l0, HashMap::from([(n1, dead)]), MeshConfig::default()).unwrap();
+        m0.send(n1, &Msg::StatsQuery { req: 1 });
+        assert_eq!(m0.shared.counters.lock().unwrap().send_failures, 1);
+    }
+}

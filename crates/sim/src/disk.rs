@@ -94,7 +94,8 @@ pub struct DiskState {
 }
 
 impl DiskState {
-    pub(crate) fn new(config: DiskConfig) -> DiskState {
+    /// A fresh, empty disk with this hardware profile.
+    pub fn new(config: DiskConfig) -> DiskState {
         DiskState {
             config,
             busy_until: SimTime::ZERO,

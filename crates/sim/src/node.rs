@@ -46,6 +46,21 @@ impl fmt::Display for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub(crate) u64);
 
+impl TimerId {
+    /// The raw timer sequence number. Non-simulated transports (real
+    /// runtimes driving the same state machines) need to mint and
+    /// compare timer handles themselves.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from a raw sequence number previously handed out by
+    /// the same timer source.
+    pub fn from_raw(raw: u64) -> TimerId {
+        TimerId(raw)
+    }
+}
+
 /// A message type usable on the simulated network.
 pub trait Payload: Clone + fmt::Debug + 'static {
     /// Bytes this message occupies on the wire (headers + payload). For

@@ -1,0 +1,439 @@
+//! Property tests for the binary wire format in `sorrento-net`.
+//!
+//! `Msg` does not implement `PartialEq` (it carries floats and big
+//! blobs), so roundtripping is checked byte-exactly: encode, decode,
+//! re-encode, and require the two byte strings to match. Corruption
+//! properties assert the decoder returns a typed [`FrameError`] — never
+//! panics — for every truncation and for bit flips anywhere in the
+//! header or payload.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use rand::{Rng, SeedableRng};
+use sorrento::membership::Heartbeat;
+use sorrento::proto::{FileEntry, Msg, ReadReply, Tick};
+use sorrento::store::{ReplicaImage, SegMeta, WritePayload};
+use sorrento::types::{
+    Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version,
+};
+use sorrento_net::frame::{
+    decode_frame, decode_image_bytes, encode_hello, encode_image_bytes, encode_msg, Frame,
+    FrameError, HEADER_LEN,
+};
+use sorrento_sim::NodeId;
+
+/// Number of `Msg` variants; every tag below this is generated.
+const MSG_VARIANTS: u8 = 48;
+
+fn arb_u128(rng: &mut TestRng) -> u128 {
+    ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128
+}
+
+fn arb_f64(rng: &mut TestRng) -> f64 {
+    // Any bit pattern, NaNs included: the wire carries raw IEEE bits.
+    f64::from_bits(rng.gen())
+}
+
+fn arb_node(rng: &mut TestRng) -> NodeId {
+    NodeId::from_index(rng.gen_range(0..4096usize))
+}
+
+fn arb_string(rng: &mut TestRng) -> String {
+    let n = rng.gen_range(0..24usize);
+    (0..n).map(|_| char::from(rng.gen_range(32u8..127))).collect()
+}
+
+fn arb_bytes(rng: &mut TestRng) -> Vec<u8> {
+    let n = rng.gen_range(0..48usize);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn arb_error(rng: &mut TestRng) -> Error {
+    match rng.gen_range(0..11u8) {
+        0 => Error::NotFound,
+        1 => Error::AlreadyExists,
+        2 => Error::VersionConflict,
+        3 => Error::NoSuchSegment,
+        4 => Error::Timeout,
+        5 => Error::OutOfSpace,
+        6 => Error::LeaseHeld,
+        7 => Error::InvalidMode,
+        8 => Error::NotADirectory,
+        9 => Error::NotEmpty,
+        _ => Error::ShadowExpired,
+    }
+}
+
+fn arb_result<T>(rng: &mut TestRng, f: impl FnOnce(&mut TestRng) -> T) -> Result<T, Error> {
+    if rng.gen() {
+        Ok(f(rng))
+    } else {
+        Err(arb_error(rng))
+    }
+}
+
+fn arb_organization(rng: &mut TestRng) -> Organization {
+    match rng.gen_range(0..3u8) {
+        0 => Organization::Linear,
+        1 => Organization::Striped { stripes: rng.gen(), max_size: rng.gen() },
+        _ => Organization::Hybrid { group_stripes: rng.gen() },
+    }
+}
+
+fn arb_placement(rng: &mut TestRng) -> PlacementPolicy {
+    match rng.gen_range(0..3u8) {
+        0 => PlacementPolicy::Random,
+        1 => PlacementPolicy::LoadAware,
+        _ => PlacementPolicy::LocalityDriven { threshold: arb_f64(rng) },
+    }
+}
+
+fn arb_options(rng: &mut TestRng) -> FileOptions {
+    FileOptions {
+        replication: rng.gen(),
+        alpha: arb_f64(rng),
+        organization: arb_organization(rng),
+        placement: arb_placement(rng),
+        versioning_off: rng.gen(),
+        eager_commit: rng.gen(),
+    }
+}
+
+fn arb_entry(rng: &mut TestRng) -> FileEntry {
+    FileEntry {
+        file: FileId(arb_u128(rng)),
+        version: Version(rng.gen()),
+        size: rng.gen(),
+        is_dir: rng.gen(),
+        created_ns: rng.gen(),
+        modified_ns: rng.gen(),
+        options: arb_options(rng),
+    }
+}
+
+fn arb_owners(rng: &mut TestRng) -> Vec<(NodeId, Version)> {
+    let n = rng.gen_range(0..5usize);
+    (0..n).map(|_| (arb_node(rng), Version(rng.gen()))).collect()
+}
+
+fn arb_reply(rng: &mut TestRng) -> ReadReply {
+    match rng.gen_range(0..3u8) {
+        0 => ReadReply::Data {
+            len: rng.gen(),
+            data: if rng.gen() { Some(arb_bytes(rng)) } else { None },
+            version: Version(rng.gen()),
+        },
+        1 => ReadReply::Redirect(arb_owners(rng)),
+        _ => ReadReply::Err(arb_error(rng)),
+    }
+}
+
+fn arb_payload(rng: &mut TestRng) -> WritePayload {
+    if rng.gen() {
+        WritePayload::Real(arb_bytes(rng))
+    } else {
+        WritePayload::Synthetic { len: rng.gen() }
+    }
+}
+
+fn arb_meta(rng: &mut TestRng) -> SegMeta {
+    SegMeta {
+        replication: rng.gen(),
+        alpha: arb_f64(rng),
+        policy: arb_placement(rng),
+        synthetic: rng.gen(),
+    }
+}
+
+fn arb_image(rng: &mut TestRng) -> ReplicaImage {
+    ReplicaImage {
+        seg: SegId(arb_u128(rng)),
+        version: Version(rng.gen()),
+        len: rng.gen(),
+        data: if rng.gen() { Some(arb_bytes(rng)) } else { None },
+        meta: arb_meta(rng),
+    }
+}
+
+fn arb_tick(rng: &mut TestRng) -> Tick {
+    match rng.gen_range(0..14u8) {
+        0 => Tick::Heartbeat,
+        1 => Tick::LocationRefresh,
+        2 => Tick::JoinRefresh(arb_node(rng)),
+        3 => Tick::Gc,
+        4 => Tick::RepairScan,
+        5 => Tick::Migration,
+        6 => Tick::MigrationContinue,
+        7 => Tick::RpcTimeout(rng.gen()),
+        8 => Tick::BackupDeadline(rng.gen()),
+        9 => Tick::Membership,
+        10 => Tick::NextOp,
+        11 => Tick::AppendRetry,
+        12 => Tick::CommitBeginRetry,
+        _ => Tick::LeaseSweep,
+    }
+}
+
+fn arb_shadow_items(rng: &mut TestRng) -> Vec<(u64, Version)> {
+    let n = rng.gen_range(0..5usize);
+    (0..n).map(|_| (rng.gen(), Version(rng.gen()))).collect()
+}
+
+/// A random instance of the `Msg` variant with the given wire tag.
+fn arb_msg(tag: u8, rng: &mut TestRng) -> Msg {
+    match tag {
+        0 => Msg::Tick(arb_tick(rng)),
+        1 => Msg::Heartbeat(Heartbeat {
+            load: arb_f64(rng),
+            available: rng.gen(),
+            capacity: rng.gen(),
+            machine: rng.gen(),
+            rack: rng.gen(),
+        }),
+        2 => Msg::NsLookup { req: rng.gen(), path: arb_string(rng) },
+        3 => Msg::NsLookupR { req: rng.gen(), result: arb_result(rng, arb_entry) },
+        4 => Msg::NsCreate {
+            req: rng.gen(),
+            path: arb_string(rng),
+            file: FileId(arb_u128(rng)),
+            options: arb_options(rng),
+        },
+        5 => Msg::NsCreateR { req: rng.gen(), result: arb_result(rng, arb_entry) },
+        6 => Msg::NsMkdir { req: rng.gen(), path: arb_string(rng) },
+        7 => Msg::NsMkdirR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        8 => Msg::NsRemove { req: rng.gen(), path: arb_string(rng) },
+        9 => Msg::NsRemoveR { req: rng.gen(), result: arb_result(rng, arb_entry) },
+        10 => Msg::NsList { req: rng.gen(), path: arb_string(rng) },
+        11 => Msg::NsListR {
+            req: rng.gen(),
+            result: arb_result(rng, |rng| {
+                let n = rng.gen_range(0..4usize);
+                (0..n).map(|_| arb_string(rng)).collect()
+            }),
+        },
+        12 => Msg::NsCommitBegin {
+            req: rng.gen(),
+            span: rng.gen(),
+            path: arb_string(rng),
+            base: Version(rng.gen()),
+        },
+        13 => Msg::NsCommitBeginR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        14 => Msg::NsCommitEnd {
+            req: rng.gen(),
+            span: rng.gen(),
+            path: arb_string(rng),
+            commit: rng.gen(),
+            new_version: Version(rng.gen()),
+            new_size: rng.gen(),
+        },
+        15 => Msg::NsCommitEndR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        16 => Msg::LocQuery { req: rng.gen(), seg: SegId(arb_u128(rng)) },
+        17 => Msg::LocQueryR {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            owners: arb_owners(rng),
+        },
+        18 => Msg::LocUpsert {
+            seg: SegId(arb_u128(rng)),
+            owner: arb_node(rng),
+            version: Version(rng.gen()),
+            replication: rng.gen(),
+            bytes: rng.gen(),
+            deleted: rng.gen(),
+        },
+        19 => Msg::LocRefresh {
+            owner: arb_node(rng),
+            entries: {
+                let n = rng.gen_range(0..4usize);
+                (0..n)
+                    .map(|_| (SegId(arb_u128(rng)), Version(rng.gen()), rng.gen(), rng.gen()))
+                    .collect()
+            },
+        },
+        20 => Msg::BackupQuery { req: rng.gen(), seg: SegId(arb_u128(rng)) },
+        21 => Msg::BackupQueryR {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            version: Version(rng.gen()),
+        },
+        22 => Msg::ReadSeg {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            offset: rng.gen(),
+            len: rng.gen(),
+            min_version: if rng.gen() { Some(Version(rng.gen())) } else { None },
+            allow_redirect: rng.gen(),
+        },
+        23 => Msg::ReadSegR { req: rng.gen(), reply: arb_reply(rng) },
+        24 => Msg::CreateShadow {
+            req: rng.gen(),
+            span: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            base: if rng.gen() { Some(Version(rng.gen())) } else { None },
+            meta: arb_meta(rng),
+        },
+        25 => Msg::CreateShadowR { req: rng.gen(), result: arb_result(rng, |rng| rng.gen()) },
+        26 => Msg::WriteShadow {
+            req: rng.gen(),
+            shadow: rng.gen(),
+            offset: rng.gen(),
+            payload: arb_payload(rng),
+            truncate: rng.gen(),
+        },
+        27 => Msg::WriteShadowR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        28 => Msg::ReadShadow {
+            req: rng.gen(),
+            shadow: rng.gen(),
+            offset: rng.gen(),
+            len: rng.gen(),
+        },
+        29 => Msg::ReadShadowR { req: rng.gen(), reply: arb_reply(rng) },
+        30 => Msg::RenewShadow { shadow: rng.gen() },
+        31 => Msg::Prepare { req: rng.gen(), span: rng.gen(), items: arb_shadow_items(rng) },
+        32 => Msg::PrepareR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        33 => Msg::Commit { req: rng.gen(), span: rng.gen(), items: arb_shadow_items(rng) },
+        34 => Msg::CommitR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        35 => Msg::Abort {
+            span: rng.gen(),
+            items: {
+                let n = rng.gen_range(0..5usize);
+                (0..n).map(|_| rng.gen()).collect()
+            },
+        },
+        36 => Msg::DirectWrite {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            offset: rng.gen(),
+            payload: arb_payload(rng),
+            meta: arb_meta(rng),
+        },
+        37 => Msg::DirectWriteR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        38 => Msg::DeleteSeg { req: rng.gen(), seg: SegId(arb_u128(rng)) },
+        39 => Msg::DeleteSegR { req: rng.gen(), existed: rng.gen() },
+        40 => Msg::FetchSeg { req: rng.gen(), seg: SegId(arb_u128(rng)) },
+        41 => Msg::FetchSegR {
+            req: rng.gen(),
+            result: arb_result(rng, |rng| Box::new(arb_image(rng))),
+        },
+        42 => Msg::SyncRequest {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            source: arb_node(rng),
+            bytes_hint: rng.gen(),
+        },
+        43 => Msg::SyncDone {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            version: Version(rng.gen()),
+            result: arb_result(rng, |_| ()),
+        },
+        44 => Msg::MigrateTo {
+            seg: SegId(arb_u128(rng)),
+            source: arb_node(rng),
+            bytes_hint: rng.gen(),
+        },
+        45 => Msg::MigrateDone { seg: SegId(arb_u128(rng)), ok: rng.gen() },
+        46 => Msg::StatsQuery { req: rng.gen() },
+        47 => Msg::StatsR { req: rng.gen(), json: arb_string(rng) },
+        _ => unreachable!("tag out of range"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_msg_variant_roundtrips_byte_exactly(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        for tag in 0..MSG_VARIANTS {
+            let msg = arb_msg(tag, &mut rng);
+            let sender = arb_node(&mut rng);
+            let bytes = encode_msg(sender, &msg);
+            let (from, frame) =
+                decode_frame(&bytes).unwrap_or_else(|e| panic!("tag {tag}: decode failed: {e}"));
+            prop_assert_eq!(from, sender);
+            let Frame::Msg(decoded) = frame else {
+                panic!("tag {tag}: decoded as a Hello frame");
+            };
+            prop_assert_eq!(encode_msg(sender, &decoded), bytes, "tag {} re-encode differs", tag);
+        }
+    }
+
+    #[test]
+    fn hello_roundtrips(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let addr = arb_string(&mut rng);
+        let sender = arb_node(&mut rng);
+        let bytes = encode_hello(sender, &addr);
+        let (from, frame) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(from, sender);
+        let Frame::Hello { listen_addr } = frame else {
+            panic!("decoded as a Msg frame");
+        };
+        prop_assert_eq!(listen_addr, addr);
+    }
+
+    #[test]
+    fn replica_image_roundtrips_byte_exactly(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let image = arb_image(&mut rng);
+        let bytes = encode_image_bytes(&image);
+        let decoded = decode_image_bytes(&bytes).unwrap();
+        prop_assert_eq!(encode_image_bytes(&decoded), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let tag = rng.gen_range(0..MSG_VARIANTS);
+        let msg = arb_msg(tag, &mut rng);
+        let bytes = encode_msg(arb_node(&mut rng), &msg);
+        for cut in 0..bytes.len() {
+            // Short header and short payload both report Truncated; the
+            // point is the decoder returns instead of panicking.
+            prop_assert!(
+                matches!(decode_frame(&bytes[..cut]), Err(FrameError::Truncated)),
+                "tag {} cut {} did not report Truncated", tag, cut
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_fail_the_checksum(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let tag = rng.gen_range(0..MSG_VARIANTS);
+        let msg = arb_msg(tag, &mut rng);
+        let mut bytes = encode_msg(arb_node(&mut rng), &msg);
+        let at = rng.gen_range(HEADER_LEN..bytes.len());
+        let bit = 1u8 << rng.gen_range(0..8u8);
+        bytes[at] ^= bit;
+        prop_assert!(
+            matches!(decode_frame(&bytes), Err(FrameError::ChecksumMismatch)),
+            "tag {} flip at {} slipped past the checksum", tag, at
+        );
+    }
+
+    #[test]
+    fn header_corruption_is_a_typed_error(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let tag = rng.gen_range(0..MSG_VARIANTS);
+        let msg = arb_msg(tag, &mut rng);
+        let mut bytes = encode_msg(arb_node(&mut rng), &msg);
+        // Corrupt magic, version, payload length, or crc. The sender and
+        // kind bytes are skipped: a sender flip yields a valid frame from
+        // a different node, which is the checksum's documented non-goal.
+        let targets = [0usize, 1, 2, 3, 4, 10, 11, 12, 13, 14, 15, 16, 17];
+        let at = targets[rng.gen_range(0..targets.len())];
+        bytes[at] ^= 1u8 << rng.gen_range(0..8u8);
+        prop_assert!(
+            decode_frame(&bytes).is_err(),
+            "tag {} header corruption at byte {} decoded successfully", tag, at
+        );
+    }
+
+    #[test]
+    fn random_garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Whatever the bytes, decoding must return — a panic fails the test.
+        let _ = decode_frame(&junk);
+    }
+}
