@@ -5,11 +5,19 @@
 #   make check-net  real-process runtime: frame-codec property tests +
 #                   loopback TCP cluster drill (sockets, daemons, sorrentoctl)
 #   make bench      regenerate every figure/table into results/
+#   make bench-smoke  quick data-path bench run; fails if the committed
+#                   results/BENCH_net.json is malformed or if the pooled
+#                   encode path allocates more than BENCH_ALLOC_BOUND
+#                   per frame at steady state
 #   make docs       rustdoc for the whole workspace
 
 CARGO ?= cargo
 
-.PHONY: check build test clippy check-net bench docs
+# Steady-state heap allocations per encoded frame on the bulk path: one
+# (the Arc that shares the pooled buffer across peer queues).
+BENCH_ALLOC_BOUND ?= 1.0
+
+.PHONY: check build test clippy check-net bench bench-smoke docs
 
 check: build test clippy
 
@@ -34,6 +42,12 @@ bench:
 	         fig15_locality_migration ablations; do \
 	  $(CARGO) run --release -p sorrento-bench --bin $$f | tee results/$$f.txt; \
 	done
+
+bench-smoke:
+	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
+	  --validate results/BENCH_net.json --check-allocs $(BENCH_ALLOC_BOUND)
+	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
+	  --smoke --out target/BENCH_net.smoke.json --check-allocs $(BENCH_ALLOC_BOUND)
 
 docs:
 	$(CARGO) doc --no-deps

@@ -361,7 +361,7 @@ impl NfsClient {
         ctx: &mut Ctx<'_, NfsMsg>,
         error: Option<Error>,
         bytes: u64,
-        data: Option<Vec<u8>>,
+        data: Option<bytes::Bytes>,
     ) {
         let Some((op, started)) = self.current.take() else {
             return;
@@ -449,7 +449,10 @@ impl Node<NfsMsg> for NfsClient {
                     return;
                 }
                 match result {
-                    Ok((n, data)) => self.finish(ctx, None, n, data),
+                    Ok((n, data)) => {
+                        let data = data.map(bytes::Bytes::from);
+                        self.finish(ctx, None, n, data)
+                    }
                     Err(e) => self.finish(ctx, Some(e), 0, None),
                 }
             }

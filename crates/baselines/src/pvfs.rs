@@ -574,7 +574,7 @@ impl PvfsClient {
         };
         let end = (offset + len).min(meta.size);
         if offset >= end {
-            self.finish(ctx, None, 0, Some(Vec::new()));
+            self.finish(ctx, None, 0, Some(bytes::Bytes::new()));
             return;
         }
         let covered = end - offset;
@@ -612,7 +612,8 @@ impl PvfsClient {
             let piece = match &payload {
                 WritePayload::Real(data) => {
                     let s = (fpos - offset) as usize;
-                    WritePayload::Real(data[s..s + elen as usize].to_vec())
+                    // Zero-copy stripe view into the caller's payload.
+                    WritePayload::Real(data.slice(s..s + elen as usize))
                 }
                 WritePayload::Synthetic { .. } => WritePayload::Synthetic { len: elen },
             };
@@ -637,7 +638,7 @@ impl PvfsClient {
         ctx: &mut Ctx<'_, PvfsMsg>,
         error: Option<Error>,
         bytes: u64,
-        data: Option<Vec<u8>>,
+        data: Option<bytes::Bytes>,
     ) {
         let Some((op, started)) = self.current.take() else {
             return;
@@ -686,7 +687,7 @@ impl PvfsClient {
         }
         let error = self.failed.clone();
         let bytes = self.acc_bytes;
-        let data = self.read_buf.take();
+        let data = self.read_buf.take().map(bytes::Bytes::from);
         self.finish(ctx, error, bytes, data);
     }
 }

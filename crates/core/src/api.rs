@@ -139,11 +139,11 @@ impl FsScript {
     }
 
     /// Write real bytes through a writable handle.
-    pub fn write(&mut self, h: FileHandle, offset: u64, data: Vec<u8>) -> Result<()> {
+    pub fn write(&mut self, h: FileHandle, offset: u64, data: impl Into<bytes::Bytes>) -> Result<()> {
         self.check_current(h, true)?;
         self.ops.push(ClientOp::Write {
             offset,
-            payload: WritePayload::Real(data),
+            payload: WritePayload::Real(data.into()),
         });
         Ok(())
     }
@@ -156,19 +156,19 @@ impl FsScript {
     }
 
     /// Append through a writable handle.
-    pub fn append(&mut self, h: FileHandle, data: Vec<u8>) -> Result<()> {
+    pub fn append(&mut self, h: FileHandle, data: impl Into<bytes::Bytes>) -> Result<()> {
         self.check_current(h, true)?;
         self.ops.push(ClientOp::Append {
-            payload: WritePayload::Real(data),
+            payload: WritePayload::Real(data.into()),
         });
         Ok(())
     }
 
     /// Atomic append (retry-on-conflict) through a writable handle.
-    pub fn atomic_append(&mut self, h: FileHandle, data: Vec<u8>) -> Result<()> {
+    pub fn atomic_append(&mut self, h: FileHandle, data: impl Into<bytes::Bytes>) -> Result<()> {
         self.check_current(h, true)?;
         self.ops.push(ClientOp::AtomicAppend {
-            payload: WritePayload::Real(data),
+            payload: WritePayload::Real(data.into()),
         });
         Ok(())
     }

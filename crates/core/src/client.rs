@@ -111,10 +111,10 @@ pub enum ClientOp {
 
 impl ClientOp {
     /// Write real bytes at an offset.
-    pub fn write_bytes(offset: u64, data: Vec<u8>) -> ClientOp {
+    pub fn write_bytes(offset: u64, data: impl Into<bytes::Bytes>) -> ClientOp {
         ClientOp::Write {
             offset,
-            payload: WritePayload::Real(data),
+            payload: WritePayload::Real(data.into()),
         }
     }
 
@@ -162,8 +162,9 @@ pub struct OpResult {
     pub bytes: u64,
     /// Wall-clock (virtual) latency of the op.
     pub latency: Dur,
-    /// Read data, when the file carries real bytes.
-    pub data: Option<Vec<u8>>,
+    /// Read data, when the file carries real bytes. A cheap [`bytes::Bytes`]
+    /// view — cloning the result does not copy the payload.
+    pub data: Option<bytes::Bytes>,
 }
 
 impl OpResult {
@@ -204,7 +205,7 @@ pub struct ClientStats {
     /// Total bytes written.
     pub bytes_written: u64,
     /// Data returned by the most recent successful read (real mode).
-    pub last_read: Option<Vec<u8>>,
+    pub last_read: Option<bytes::Bytes>,
     /// Most recent error.
     pub last_error: Option<Error>,
     /// `(op kind, latency)` log of completed ops.
@@ -286,6 +287,9 @@ enum Phase {
         extents: Vec<Extent>,
         /// Buffer for real data (request-relative).
         buf: Option<Vec<u8>>,
+        /// Zero-copy completion: when one reply covers the whole request,
+        /// its payload is handed through without an assembly copy.
+        direct: Option<bytes::Bytes>,
         req_offset: u64,
         /// Extents whose owner is still being resolved (indices).
         unresolved: Vec<usize>,
@@ -302,6 +306,9 @@ enum Phase {
         detach_bytes: u64,
         write_offset: u64,
         write_len: u64,
+        /// Per-extent progress of pipelined chunked shadow writes
+        /// (only populated when [`SorrentoClient::write_chunk`] is set).
+        chunked: HashMap<usize, ChunkWrite>,
     },
     /// Commit flow.
     Committing(CommitStage),
@@ -317,6 +324,16 @@ enum Phase {
     },
     /// Think timer running.
     Thinking,
+}
+
+/// Progress of one extent's pipelined chunked shadow write: the full
+/// extent payload (a shared view, so chunk slices are O(1)) and the
+/// offset of the first byte not yet sent. In-flight chunks are counted
+/// by `Phase::Writing::outstanding` like any other shadow write.
+#[derive(Debug)]
+struct ChunkWrite {
+    data: bytes::Bytes,
+    next: u64,
 }
 
 /// Sub-stages of the commit flow (Figure 6 steps 6–12).
@@ -372,6 +389,16 @@ pub struct SorrentoClient {
     /// Per-client span sequence (combined with the node id for
     /// cluster-wide uniqueness).
     span_seq: u64,
+    /// When set, real shadow-write payloads larger than this are split
+    /// into chunks of this size and pipelined to the segment owner
+    /// instead of travelling as one frame per extent. `None` (the
+    /// default) keeps the one-message-per-extent behavior — seeded
+    /// simulation runs stay byte-for-byte deterministic.
+    pub write_chunk: Option<u64>,
+    /// Bounded window of in-flight chunks per extent when `write_chunk`
+    /// is set (clamped to at least 1). The window keeps the owner's
+    /// pipe full without unbounded buffering on either side.
+    pub write_window: usize,
 }
 
 impl SorrentoClient {
@@ -397,6 +424,8 @@ impl SorrentoClient {
             scatter_bytes: 0,
             cur_span: 0,
             span_seq: 0,
+            write_chunk: None,
+            write_window: 4,
         }
     }
 
@@ -654,7 +683,7 @@ impl SorrentoClient {
         );
     }
 
-    fn complete_op(&mut self, ctx: &mut impl Transport, error: Option<Error>, bytes: u64, data: Option<Vec<u8>>) {
+    fn complete_op(&mut self, ctx: &mut impl Transport, error: Option<Error>, bytes: u64, data: Option<bytes::Bytes>) {
         let Some((op, started, _, _)) = self.op.take() else {
             return;
         };
@@ -1001,14 +1030,14 @@ impl SorrentoClient {
                 let e = end.min(f.attached_buf.len() as u64) as usize;
                 let mut out = vec![0u8; covered as usize];
                 out[..e - s].copy_from_slice(&f.attached_buf[s..e]);
-                Some(out)
+                Some(out.into())
             };
             self.complete_op(ctx, None, covered, data);
             return;
         }
         let extents = f.index.locate(offset, len);
         if extents.is_empty() {
-            self.complete_op(ctx, None, 0, Some(Vec::new()));
+            self.complete_op(ctx, None, 0, Some(bytes::Bytes::new()));
             return;
         }
         let covered: u64 = extents.iter().map(|e| e.len).sum();
@@ -1018,6 +1047,7 @@ impl SorrentoClient {
                 unresolved: (0..extents.len()).collect(),
                 extents,
                 buf: real.then(|| vec![0u8; covered as usize]),
+                direct: None,
                 req_offset: offset,
                 outstanding: 0,
                 bytes: 0,
@@ -1142,7 +1172,7 @@ impl SorrentoClient {
                         data.as_ref().and_then(|d| d.first().copied())
                     );
                 }
-                let Some((_, _, Phase::Reading { extents, buf, req_offset, outstanding, bytes, .. }, _)) =
+                let Some((_, _, Phase::Reading { extents, buf, direct, req_offset, outstanding, bytes, .. }, _)) =
                     &mut self.op
                 else {
                     return;
@@ -1152,8 +1182,14 @@ impl SorrentoClient {
                 if let (Some(buf), Some(d)) = (buf.as_mut(), data) {
                     let e = &extents[i];
                     let start = (e.file_offset - *req_offset) as usize;
-                    let n = d.len().min(buf.len() - start);
-                    buf[start..start + n].copy_from_slice(&d[..n]);
+                    if extents.len() == 1 && start == 0 && d.len() == buf.len() {
+                        // Whole request answered by one reply: hand the
+                        // wire payload through without copying.
+                        *direct = Some(d);
+                    } else {
+                        let n = d.len().min(buf.len() - start);
+                        buf[start..start + n].copy_from_slice(&d[..n]);
+                    }
                 }
                 self.maybe_finish_read(ctx);
             }
@@ -1201,13 +1237,14 @@ impl SorrentoClient {
     }
 
     fn maybe_finish_read(&mut self, ctx: &mut impl Transport) {
-        let Some((_, _, Phase::Reading { unresolved, outstanding, bytes, buf, .. }, _)) = &self.op
+        let Some((_, _, Phase::Reading { unresolved, outstanding, bytes, buf, direct, .. }, _)) =
+            &self.op
         else {
             return;
         };
         if *outstanding == 0 && unresolved.is_empty() && self.pending.is_empty() {
             let bytes = *bytes;
-            let data = buf.clone();
+            let data = direct.clone().or_else(|| buf.clone().map(bytes::Bytes::from));
             self.complete_op(ctx, None, bytes, data);
         }
     }
@@ -1276,6 +1313,7 @@ impl SorrentoClient {
                         detach_bytes,
                         write_offset: offset,
                         write_len: len,
+                        chunked: HashMap::new(),
                     };
                 }
                 if direct {
@@ -1494,9 +1532,25 @@ impl SorrentoClient {
         if f.synthetic {
             return WritePayload::Synthetic { len: e.len };
         }
-        let mut out = vec![0u8; e.len as usize];
         let ext_start = e.file_offset;
         let ext_end = e.file_offset + e.len;
+        // Zero-copy fast path: the extent lies entirely inside the op's
+        // payload, so a sub-view of the caller's buffer is the payload —
+        // no per-extent allocation, no copy.
+        if let Some((
+            ClientOp::Write { payload: WritePayload::Real(data), .. }
+            | ClientOp::Append { payload: WritePayload::Real(data) }
+            | ClientOp::AtomicAppend { payload: WritePayload::Real(data) },
+            ..,
+        )) = &self.op
+        {
+            let wend = woff + data.len() as u64;
+            if ext_start >= woff && ext_end <= wend {
+                let s = (ext_start - woff) as usize;
+                return WritePayload::Real(data.slice(s..s + e.len as usize));
+            }
+        }
+        let mut out = vec![0u8; e.len as usize];
         if ext_start < detach {
             let s = ext_start as usize;
             let eidx = ext_end.min(detach) as usize;
@@ -1522,7 +1576,7 @@ impl SorrentoClient {
                 out[dst..dst + n].copy_from_slice(&data[src..src + n]);
             }
         }
-        WritePayload::Real(out)
+        WritePayload::Real(out.into())
     }
 
     fn issue_shadow_create(&mut self, ctx: &mut impl Transport, e: Extent) {
@@ -1569,18 +1623,37 @@ impl SorrentoClient {
     }
 
     fn issue_shadow_write(&mut self, ctx: &mut impl Transport, i: usize) {
-        let Some((_, _, Phase::Writing { extents, todo, outstanding, .. }, _)) = &mut self.op
-        else {
+        let Some((_, _, Phase::Writing { extents, todo, .. }, _)) = &mut self.op else {
             return;
         };
         let e = extents[i];
         todo.retain(|&x| x != i);
-        *outstanding += 1;
         let sref = {
             let f = self.file.as_ref().expect("write has open file");
             f.shadows[&e.seg]
         };
         let payload = self.extent_payload(&e);
+        // Pipelined path: a large real payload is split into chunks and
+        // a bounded window of them kept in flight to the owner, so the
+        // segment transfer overlaps instead of a single huge frame (or,
+        // historically, one-at-a-time round trips).
+        if let (Some(chunk), WritePayload::Real(data)) = (self.write_chunk, &payload) {
+            if chunk > 0 && data.len() as u64 > chunk {
+                let data = data.clone();
+                if let Some((_, _, Phase::Writing { chunked, .. }, _)) = &mut self.op {
+                    chunked.insert(i, ChunkWrite { data, next: 0 });
+                }
+                for _ in 0..self.write_window.max(1) {
+                    if !self.issue_next_chunk(ctx, i) {
+                        break;
+                    }
+                }
+                return;
+            }
+        }
+        if let Some((_, _, Phase::Writing { outstanding, .. }, _)) = &mut self.op {
+            *outstanding += 1;
+        }
         let req = self.fresh_req();
         self.rpc(
             ctx,
@@ -1594,6 +1667,52 @@ impl SorrentoClient {
             },
             Pending::ShadowWrite { extent: i },
         );
+    }
+
+    /// Put the next chunk of extent `i`'s pipelined shadow write on the
+    /// wire, if any bytes remain unsent. Returns whether a chunk was
+    /// issued. Called `write_window` times up front and then once per
+    /// completed chunk, which holds the in-flight count at the window.
+    fn issue_next_chunk(&mut self, ctx: &mut impl Transport, i: usize) -> bool {
+        let Some(chunk_size) = self.write_chunk.filter(|&c| c > 0) else {
+            return false;
+        };
+        let (e, slice, offset) = {
+            let Some((_, _, Phase::Writing { extents, chunked, outstanding, .. }, _)) =
+                &mut self.op
+            else {
+                return false;
+            };
+            let Some(st) = chunked.get_mut(&i) else {
+                return false;
+            };
+            if st.next >= st.data.len() as u64 {
+                return false;
+            }
+            let start = st.next;
+            let end = (start + chunk_size).min(st.data.len() as u64);
+            st.next = end;
+            *outstanding += 1;
+            (extents[i], st.data.slice(start as usize..end as usize), start)
+        };
+        let sref = {
+            let f = self.file.as_ref().expect("write has open file");
+            f.shadows[&e.seg]
+        };
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            sref.provider,
+            Msg::WriteShadow {
+                req,
+                shadow: sref.shadow,
+                offset: e.seg_offset + offset,
+                payload: WritePayload::Real(slice),
+                truncate: false,
+            },
+            Pending::ShadowWrite { extent: i },
+        );
+        true
     }
 
     fn maybe_finish_write(&mut self, ctx: &mut impl Transport) {
@@ -1728,7 +1847,7 @@ impl SorrentoClient {
                 req,
                 shadow: sref.shadow,
                 offset: 0,
-                payload: WritePayload::Real(bytes),
+                payload: WritePayload::Real(bytes.into()),
                 truncate: true,
             },
             Pending::ShadowWrite { extent: usize::MAX },
@@ -2036,7 +2155,7 @@ impl SorrentoClient {
                 Ok(names) => {
                     let blob = names.join("\n").into_bytes();
                     let n = names.len() as u64;
-                    self.complete_op(ctx, None, n, Some(blob));
+                    self.complete_op(ctx, None, n, Some(blob.into()));
                 }
                 Err(e) => self.complete_op(ctx, Some(e), 0, None),
             },
@@ -2250,6 +2369,9 @@ impl SorrentoClient {
                             {
                                 *outstanding -= 1;
                             }
+                            // A finished chunk frees a slot in the
+                            // extent's pipeline window; refill it.
+                            self.issue_next_chunk(ctx, extent);
                             self.maybe_finish_write(ctx);
                         }
                     }

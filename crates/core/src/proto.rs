@@ -46,7 +46,7 @@ pub enum ReadReply {
         /// Bytes covered (clamped to segment length).
         len: u64,
         /// The bytes when the segment carries real data.
-        data: Option<Vec<u8>>,
+        data: Option<bytes::Bytes>,
         /// Version served.
         version: Version,
     },

@@ -28,6 +28,7 @@ pub use sparse::SparseBuffer;
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
+use bytes::Bytes;
 use sorrento_sim::SimTime;
 
 use crate::types::{Error, FileOptions, PlacementPolicy, Result, SegId, Version};
@@ -38,8 +39,9 @@ pub type ShadowId = u64;
 /// Bytes handed to a write: real data or a modeled length.
 #[derive(Debug, Clone)]
 pub enum WritePayload {
-    /// Actual bytes (stored and readable back).
-    Real(Vec<u8>),
+    /// Actual bytes (stored and readable back). A [`Bytes`] view, so
+    /// forwarding a payload between layers never copies it.
+    Real(Bytes),
     /// Modeled bytes (only the length is tracked).
     Synthetic {
         /// Modeled write length.
@@ -183,7 +185,7 @@ pub struct ReadOut {
     /// Bytes actually covered (clamped at segment length).
     pub len: u64,
     /// The bytes, when the segment stores real data.
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Bytes>,
     /// Version served.
     pub version: Version,
 }
@@ -198,7 +200,7 @@ pub struct ReplicaImage {
     /// Logical segment length.
     pub len: u64,
     /// Full contents when real; `None` when synthetic.
-    pub data: Option<Vec<u8>>,
+    pub data: Option<Bytes>,
     /// Management metadata.
     pub meta: SegMeta,
 }
@@ -341,7 +343,7 @@ impl LocalStore {
         if offset >= end {
             return Ok(ReadOut {
                 len: 0,
-                data: (!sh.meta.synthetic).then(Vec::new),
+                data: (!sh.meta.synthetic).then(Bytes::new),
                 version: sh.base.unwrap_or(Version::INITIAL),
             });
         }
@@ -370,7 +372,7 @@ impl LocalStore {
         }
         Ok(ReadOut {
             len: covered,
-            data: Some(out),
+            data: Some(out.into()),
             version: sh.base.unwrap_or(Version::INITIAL),
         })
     }
@@ -525,7 +527,7 @@ impl LocalStore {
         }
         Ok(ReadOut {
             len: covered,
-            data: Some(out),
+            data: Some(out.into()),
             version: v,
         })
     }
@@ -638,7 +640,7 @@ impl LocalStore {
         } else {
             let mut out = vec![0u8; vd.len as usize];
             self.read_version_into(state, vd, 0, &mut out)?;
-            Some(out)
+            Some(out.into())
         };
         Ok(ReplicaImage {
             seg,
@@ -982,7 +984,7 @@ mod tests {
     fn commit_fresh(store: &mut LocalStore, s: SegId, data: &[u8]) -> Version {
         let sh = store.open_fresh_shadow(s, real_meta(), t(0), TTL);
         store
-            .write_shadow(sh, 0, WritePayload::Real(data.to_vec()))
+            .write_shadow(sh, 0, WritePayload::Real(data.to_vec().into()))
             .unwrap();
         store.commit_shadow(sh, Version(1), t(0)).unwrap();
         Version(1)
@@ -1006,7 +1008,7 @@ mod tests {
         let s = seg(1);
         commit_fresh(&mut st, s, b"aaaaaaaaaa");
         let sh = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
-        st.write_shadow(sh, 3, WritePayload::Real(b"BBB".to_vec()))
+        st.write_shadow(sh, 3, WritePayload::Real(b"BBB".to_vec().into()))
             .unwrap();
         // Read-your-writes through the shadow.
         let pre = st.read_shadow(sh, 0, 10).unwrap();
@@ -1031,7 +1033,7 @@ mod tests {
         let s = seg(1);
         commit_fresh(&mut st, s, b"base");
         let sh = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
-        st.write_shadow(sh, 4, WritePayload::Real(b"+more".to_vec()))
+        st.write_shadow(sh, 4, WritePayload::Real(b"+more".to_vec().into()))
             .unwrap();
         st.commit_shadow(sh, Version(2), t(1)).unwrap();
         let out = st.read(s, None, 0, 100).unwrap();
@@ -1045,7 +1047,7 @@ mod tests {
         commit_fresh(&mut st, s, b"0000000000");
         for (v, ch) in [(2u64, b'1'), (3, b'2')] {
             let sh = st.open_shadow(s, Version(v - 1), t(v), TTL).unwrap();
-            st.write_shadow(sh, v, WritePayload::Real(vec![ch; 2]))
+            st.write_shadow(sh, v, WritePayload::Real(vec![ch; 2].into()))
                 .unwrap();
             st.commit_shadow(sh, Version(v), t(v)).unwrap();
         }
@@ -1116,14 +1118,14 @@ mod tests {
         let s = seg(1);
         commit_fresh(&mut st, s, b"v1");
         let sh = st.open_shadow(s, Version(1), t(1), TTL).unwrap();
-        st.write_shadow(sh, 0, WritePayload::Real(b"v2".to_vec()))
+        st.write_shadow(sh, 0, WritePayload::Real(b"v2".to_vec().into()))
             .unwrap();
         st.commit_shadow(sh, Version(2), t(1)).unwrap();
         let stale = ReplicaImage {
             seg: s,
             version: Version(1),
             len: 2,
-            data: Some(b"v1".to_vec()),
+            data: Some(b"v1".to_vec().into()),
             meta: real_meta(),
         };
         assert!(!st.install_replica(stale, t(2)).unwrap());
@@ -1156,9 +1158,9 @@ mod tests {
     fn direct_write_versioning_off() {
         let mut st = LocalStore::new(2);
         let s = seg(1);
-        st.direct_write(s, 0, WritePayload::Real(b"abcdef".to_vec()), real_meta(), t(0))
+        st.direct_write(s, 0, WritePayload::Real(b"abcdef".to_vec().into()), real_meta(), t(0))
             .unwrap();
-        st.direct_write(s, 2, WritePayload::Real(b"XY".to_vec()), real_meta(), t(1))
+        st.direct_write(s, 2, WritePayload::Real(b"XY".to_vec().into()), real_meta(), t(1))
             .unwrap();
         let out = st.read(s, None, 0, 10).unwrap();
         assert_eq!(out.data.unwrap(), b"abXYef");
@@ -1175,7 +1177,7 @@ mod tests {
             ..SegMeta::default()
         };
         let sh = st.open_fresh_shadow(s, meta, t(0), TTL);
-        st.write_shadow(sh, 0, WritePayload::Real(b"x".to_vec()))
+        st.write_shadow(sh, 0, WritePayload::Real(b"x".to_vec().into()))
             .unwrap();
         st.commit_shadow(sh, Version(1), t(0)).unwrap();
         st.touch(s, t(5), 7, 100);
@@ -1198,7 +1200,7 @@ mod tests {
             ..SegMeta::default()
         };
         let sh = st.open_fresh_shadow(s, meta, t(0), TTL);
-        st.write_shadow(sh, 0, WritePayload::Real(b"x".to_vec()))
+        st.write_shadow(sh, 0, WritePayload::Real(b"x".to_vec().into()))
             .unwrap();
         st.commit_shadow(sh, Version(1), t(0)).unwrap();
         for i in 0..(ACCESS_HISTORY_CAP as u64 + 500) {
@@ -1230,7 +1232,7 @@ mod tests {
         // Advance far past the retention budget.
         for v in 2..6u64 {
             let sh = st.open_shadow(s, Version(v - 1), t(v), TTL).unwrap();
-            st.write_shadow(sh, 0, WritePayload::Real(vec![v as u8; 4]))
+            st.write_shadow(sh, 0, WritePayload::Real(vec![v as u8; 4].into()))
                 .unwrap();
             st.commit_shadow(sh, Version(v), t(v)).unwrap();
         }
@@ -1255,7 +1257,7 @@ mod tests {
         assert!(!st.unpin_version(s, Version(1)));
         for v in 2..4u64 {
             let sh = st.open_shadow(s, Version(v - 1), t(v), TTL).unwrap();
-            st.write_shadow(sh, 0, WritePayload::Real(vec![v as u8; 2]))
+            st.write_shadow(sh, 0, WritePayload::Real(vec![v as u8; 2].into()))
                 .unwrap();
             st.commit_shadow(sh, Version(v), t(v)).unwrap();
         }
@@ -1285,7 +1287,7 @@ mod tests {
         commit_fresh(&mut st, a, b"a");
         commit_fresh(&mut st, b, b"b");
         let sh = st.open_shadow(a, Version(1), t(1), TTL).unwrap();
-        st.write_shadow(sh, 0, WritePayload::Real(b"A".to_vec()))
+        st.write_shadow(sh, 0, WritePayload::Real(b"A".to_vec().into()))
             .unwrap();
         st.commit_shadow(sh, Version(2), t(1)).unwrap();
         let mut listed = st.list_segments();

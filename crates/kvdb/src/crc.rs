@@ -21,12 +21,48 @@ fn table() -> &'static [u32; 256] {
 
 /// CRC-32 checksum of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c = !0u32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+/// Streaming CRC-32: feed bytes incrementally, then [`finalize`].
+/// Lets an encoder fold checksumming into its single append pass
+/// instead of re-scanning the finished buffer.
+///
+/// [`finalize`]: Crc32::finalize
+#[derive(Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Crc32 {
+        Crc32 { state: !0u32 }
     }
-    !c
+
+    /// Absorb more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything absorbed so far. The state is not
+    /// consumed: more `update` calls may follow.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -38,6 +74,17 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), crc32(data));
+        }
     }
 
     #[test]

@@ -40,6 +40,6 @@ mod shared;
 mod wal;
 
 pub use backend::{Backend, FileBackend, MemBackend};
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use db::{Batch, Db, DbConfig, Op};
 pub use shared::SharedDb;

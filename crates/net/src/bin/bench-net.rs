@@ -1,0 +1,416 @@
+//! `bench-net` — repeatable data-path benchmarks for the real-process
+//! runtime, written as machine-readable JSON.
+//!
+//! Three stages, all on loopback:
+//!
+//! 1. **Frame codec**: encode/decode a bulk `WriteShadow` frame in a
+//!    tight loop, counting wall time and heap allocations through a
+//!    counting global allocator — frames/s, MB/s, allocations per frame.
+//! 2. **Large file**: a real cluster (1 namespace + 3 providers), one
+//!    client writing then reading a multi-megabyte file; MB/s computed
+//!    from the client's own per-op latency samples so discovery warmup
+//!    does not pollute the figure.
+//! 3. **Small files**: a create-write-close storm of tiny files;
+//!    files/s plus p50/p95/p99 per op kind.
+//!
+//! Usage: `bench-net [--smoke] [--out PATH] [--check-allocs BOUND]
+//! [--validate PATH]`
+//!
+//! `--smoke` shrinks the workload to CI size. `--check-allocs` exits
+//! non-zero if the pooled encode path's steady-state allocations per
+//! frame exceed the bound. `--validate` parses an existing results file
+//! and applies the same shape/bound checks without running anything.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use sorrento::api::FsScript;
+use sorrento::costs::CostModel;
+use sorrento::proto::Msg;
+use sorrento::store::WritePayload;
+use sorrento_json::Json;
+use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
+use sorrento_net::ctl;
+use sorrento_net::daemon::{self, DaemonHandle};
+use sorrento_net::frame;
+use sorrento_sim::NodeId;
+
+/// Counts every heap allocation so the bench can report a per-frame
+/// allocation figure for the codec loop (single-threaded at that point,
+/// so the process-wide counter is exact).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const FRAME_PAYLOAD: usize = 64 * 1024;
+const DEADLINE: Duration = Duration::from_secs(120);
+
+// ---- codec-begin ----
+// The pooled single-pass encode path. The "before" run (a worktree of
+// the pre-optimization tree) patches this block to the legacy
+// `encode_msg` copy-and-append path; see EXPERIMENTS.md.
+use sorrento_net::pool::BufPool;
+
+fn encode_frame_once(pool: &BufPool, sender: NodeId, msg: &Msg) -> usize {
+    let mut buf = pool.check_out();
+    frame::encode_msg_into(&mut buf, sender, msg);
+    let n = buf.len();
+    drop(std::sync::Arc::new(buf)); // model the mesh's shared queue item
+    n
+}
+// ---- codec-end ----
+
+/// Encode + decode loop over a bulk-data frame.
+fn frame_bench(iters: u64) -> Json {
+    let pool = BufPool::new();
+    let sender = NodeId::from_index(7);
+    let data: Vec<u8> = (0..FRAME_PAYLOAD).map(|i| (i * 31 % 251) as u8).collect();
+    let msg = Msg::WriteShadow {
+        req: 42,
+        shadow: 9,
+        offset: 0,
+        payload: WritePayload::Real(data.into()),
+        truncate: false,
+    };
+    // Warm the pool and the branch predictors outside the timed window.
+    let mut frame_len = 0usize;
+    for _ in 0..256 {
+        frame_len = encode_frame_once(&pool, sender, &msg);
+    }
+
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let mut bytes = 0u64;
+    for _ in 0..iters {
+        bytes += encode_frame_once(&pool, sender, &msg) as u64;
+    }
+    let enc_secs = t0.elapsed().as_secs_f64();
+    let enc_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+
+    // Decode the same frame back out of a contiguous receive buffer.
+    let wire = frame::encode_msg(sender, &msg);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let (from, _f) = frame::decode_frame(&wire).expect("bench frame decodes");
+        assert_eq!(from, sender);
+    }
+    let dec_secs = t0.elapsed().as_secs_f64();
+    let dec_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+
+    Json::obj()
+        .with("payload_bytes", FRAME_PAYLOAD as u64)
+        .with("frame_bytes", frame_len as u64)
+        .with("iters", iters)
+        .with("encode_frames_per_s", iters as f64 / enc_secs)
+        .with("encode_mb_per_s", bytes as f64 / (1 << 20) as f64 / enc_secs)
+        .with("encode_allocs_per_frame", enc_allocs as f64 / iters as f64)
+        .with("decode_frames_per_s", iters as f64 / dec_secs)
+        .with("decode_allocs_per_frame", dec_allocs as f64 / iters as f64)
+}
+
+/// Boot 1 namespace + `providers` provider daemons on ephemeral ports.
+/// The ctl config is built through `CtlConfig::parse` so this binary
+/// also compiles against trees whose config predates the chunking knobs.
+fn spawn_cluster(providers: usize, seed: u64) -> (Vec<DaemonHandle>, CtlConfig) {
+    let n = providers + 1;
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let all_peers: Vec<PeerSpec> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| PeerSpec {
+            id: NodeId::from_index(i),
+            addr: l.local_addr().unwrap().to_string(),
+            machine: i as u32,
+        })
+        .collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let cfg = DaemonConfig {
+                node_id: NodeId::from_index(i),
+                role: if i == 0 { Role::Namespace } else { Role::Provider },
+                listen: all_peers[i].addr.clone(),
+                data_dir: None,
+                seed: 900 + i as u64,
+                capacity: 4 << 30,
+                machine: i as u32,
+                rack: i as u32,
+                costs: CostModel::fast_test(),
+                peers: all_peers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+            };
+            daemon::spawn_with_listener(cfg, listener).expect("spawn daemon")
+        })
+        .collect();
+    let mut peers = Json::arr();
+    for p in &all_peers {
+        peers.push(
+            Json::obj()
+                .with("id", p.id.index() as u64)
+                .with("addr", p.addr.as_str())
+                .with("machine", p.machine as u64),
+        );
+    }
+    let doc = Json::obj()
+        .with("namespace", 0u64)
+        .with("ctl_id", 1000u64)
+        .with("seed", seed)
+        .with("replication", 1u64)
+        .with("costs", "fast_test")
+        .with("write_chunk", 256u64 * 1024)
+        .with("write_window", 4u64)
+        .with("peers", peers);
+    let cfg = CtlConfig::parse(&doc.encode()).expect("ctl config parses");
+    (handles, cfg)
+}
+
+/// Sum of latency samples for one op kind, in seconds, plus the count.
+fn lat_sum(stats: &sorrento::client::ClientStats, kind: &str) -> (f64, u64) {
+    let mut secs = 0.0;
+    let mut n = 0;
+    for (k, d) in &stats.latencies {
+        if *k == kind {
+            secs += d.as_secs_f64();
+            n += 1;
+        }
+    }
+    (secs, n)
+}
+
+/// p50/p95/p99 over one op kind's latency samples, in microseconds.
+fn percentiles(stats: &sorrento::client::ClientStats, kind: &str) -> Option<Json> {
+    let mut ns: Vec<u64> = stats
+        .latencies
+        .iter()
+        .filter(|(k, _)| *k == kind)
+        .map(|(_, d)| d.as_nanos())
+        .collect();
+    if ns.is_empty() {
+        return None;
+    }
+    ns.sort_unstable();
+    let pick = |p: f64| ns[((ns.len() - 1) as f64 * p) as usize] as f64 / 1000.0;
+    Some(
+        Json::obj()
+            .with("n", ns.len() as u64)
+            .with("p50_us", pick(0.50))
+            .with("p95_us", pick(0.95))
+            .with("p99_us", pick(0.99)),
+    )
+}
+
+/// Write then read one large file; MB/s from the client's op latencies.
+fn large_file_bench(cfg: &CtlConfig, mb: u64) -> Json {
+    let len = mb << 20;
+    let data: Vec<u8> = (0..len as usize).map(|i| (i * 131 % 253) as u8).collect();
+
+    let mut fs = FsScript::new();
+    let h = fs.create("/bench-large").unwrap();
+    fs.write(h, 0, data.clone()).unwrap();
+    fs.close(h).unwrap();
+    let out = ctl::run_script(cfg, fs.into_ops(), 3, DEADLINE).expect("large write script");
+    assert_eq!(out.stats.failed_ops, 0, "large write failed: {:?}", out.stats.last_error);
+    let (write_secs, _) = lat_sum(&out.stats, "write");
+    let (close_secs, _) = lat_sum(&out.stats, "close");
+    let write_stats = out.stats;
+
+    let mut fs = FsScript::new();
+    let h = fs.open("/bench-large", false).unwrap();
+    fs.read(h, 0, len).unwrap();
+    fs.close(h).unwrap();
+    let out = ctl::run_script(cfg, fs.into_ops(), 3, DEADLINE).expect("large read script");
+    assert_eq!(out.stats.failed_ops, 0, "large read failed: {:?}", out.stats.last_error);
+    assert_eq!(
+        out.stats.last_read.as_deref().map(|d| d.len()),
+        Some(data.len()),
+        "large read came back short"
+    );
+    assert_eq!(out.stats.last_read.as_deref(), Some(&data[..]), "large read corrupt");
+    let (read_secs, _) = lat_sum(&out.stats, "read");
+
+    let mut j = Json::obj()
+        .with("bytes", len)
+        .with("write_mb_per_s", mb as f64 / write_secs)
+        .with("write_commit_mb_per_s", mb as f64 / (write_secs + close_secs))
+        .with("read_mb_per_s", mb as f64 / read_secs);
+    if let Some(p) = percentiles(&write_stats, "write") {
+        j.set("write_latency", p);
+    }
+    j
+}
+
+/// Create-write-close storm of tiny files.
+fn small_file_bench(cfg: &CtlConfig, files: u64) -> Json {
+    let body: Vec<u8> = (0..2048).map(|i| (i % 251) as u8).collect();
+    let mut fs = FsScript::new();
+    for i in 0..files {
+        let h = fs.create(format!("/bench-small-{i}")).unwrap();
+        fs.write(h, 0, body.clone()).unwrap();
+        fs.close(h).unwrap();
+    }
+    let out = ctl::run_script(cfg, fs.into_ops(), 3, DEADLINE).expect("small file script");
+    assert_eq!(out.stats.failed_ops, 0, "small file storm failed: {:?}", out.stats.last_error);
+    let total_secs: f64 = out.stats.latencies.iter().map(|(_, d)| d.as_secs_f64()).sum();
+    let mut j = Json::obj()
+        .with("files", files)
+        .with("files_per_s", files as f64 / total_secs);
+    for kind in ["create", "write", "close"] {
+        if let Some(p) = percentiles(&out.stats, kind) {
+            j.set(&format!("{kind}_latency"), p);
+        }
+    }
+    j
+}
+
+/// Shape + bound checks shared by `--check-allocs` and `--validate`.
+fn validate(doc: &Json, bound: Option<f64>) -> Result<(), String> {
+    let section = |name: &str| -> Result<&Json, String> {
+        doc.get(name).ok_or_else(|| format!("missing `{name}` section"))
+    };
+    // Either a single run, or a {before, after} pair; the bound only
+    // applies to the optimized side.
+    let runs: Vec<(&str, &Json)> = if doc.get("after").is_some() {
+        vec![("before", section("before")?), ("after", section("after")?)]
+    } else {
+        vec![("run", doc)]
+    };
+    for (label, run) in &runs {
+        for sec in ["frame", "large_file", "small_files"] {
+            let s = run
+                .get(sec)
+                .ok_or_else(|| format!("`{label}` missing `{sec}` section"))?;
+            let nonempty = s.as_obj().map(|o| !o.is_empty()).unwrap_or(false);
+            if !nonempty {
+                return Err(format!("`{label}.{sec}` is not a populated object"));
+            }
+        }
+        for key in ["write_mb_per_s", "read_mb_per_s"] {
+            let v = run.get("large_file").and_then(|s| s.get(key)).and_then(Json::as_f64);
+            match v {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                _ => return Err(format!("`{label}.large_file.{key}` is not a positive number")),
+            }
+        }
+    }
+    if let Some(bound) = bound {
+        let run = runs.last().expect("at least one run").1;
+        let allocs = run
+            .get("frame")
+            .and_then(|f| f.get("encode_allocs_per_frame"))
+            .and_then(Json::as_f64)
+            .ok_or("missing frame.encode_allocs_per_frame")?;
+        if allocs > bound {
+            return Err(format!(
+                "encode allocations per frame regressed: {allocs:.3} > bound {bound}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let check_allocs: Option<f64> = flag_value("--check-allocs").map(|v| {
+        v.parse().unwrap_or_else(|_| panic!("--check-allocs takes a number, got {v}"))
+    });
+
+    if let Some(path) = flag_value("--validate") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-net: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("bench-net: {path} is not valid JSON: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate(&doc, check_allocs) {
+            Ok(()) => {
+                println!("bench-net: {path} OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench-net: {path} invalid: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let out_path = flag_value("--out").unwrap_or_else(|| "results/BENCH_net.json".into());
+    let (frame_iters, large_mb, small_files) =
+        if smoke { (2_000, 4, 20) } else { (20_000, 32, 200) };
+
+    eprintln!("bench-net: frame codec ({frame_iters} iters)...");
+    let frame = frame_bench(frame_iters);
+
+    eprintln!("bench-net: booting loopback cluster...");
+    let (handles, cfg) = spawn_cluster(3, 21);
+    eprintln!("bench-net: large file ({large_mb} MiB)...");
+    let large = large_file_bench(&cfg, large_mb);
+    let mut cfg_small = cfg.clone();
+    cfg_small.seed = 22; // fresh client seed: avoid segment-id collisions
+    eprintln!("bench-net: small files ({small_files})...");
+    let small = small_file_bench(&cfg_small, small_files);
+    for h in handles {
+        h.stop().expect("clean daemon shutdown");
+    }
+
+    let doc = Json::obj()
+        .with("bench", "net data path")
+        .with("mode", if smoke { "smoke" } else { "full" })
+        .with("frame", frame)
+        .with("large_file", large)
+        .with("small_files", small);
+
+    if let Err(e) = validate(&doc, check_allocs) {
+        eprintln!("bench-net: FAILED: {e}");
+        eprintln!("{}", doc.encode_pretty());
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, doc.encode_pretty()).expect("write results");
+    println!("{}", doc.encode_pretty());
+    eprintln!("bench-net: wrote {out_path}");
+    ExitCode::SUCCESS
+}

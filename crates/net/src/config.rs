@@ -162,6 +162,11 @@ pub struct CtlConfig {
     pub replication: u32,
     /// Protocol cost model (drives client RPC timeouts).
     pub costs: CostModel,
+    /// Split large extent writes into chunks of this many bytes and
+    /// pipeline them (`None` keeps the one-message-per-extent path).
+    pub write_chunk: Option<u64>,
+    /// How many chunks may be in flight per extent when chunking is on.
+    pub write_window: usize,
     /// All daemons in the cluster.
     pub peers: Vec<PeerSpec>,
 }
@@ -209,6 +214,8 @@ impl CtlConfig {
             seed: opt_u64(&j, "seed")?.unwrap_or(1),
             replication: opt_u64(&j, "replication")?.unwrap_or(1) as u32,
             costs,
+            write_chunk: opt_u64(&j, "write_chunk")?,
+            write_window: opt_u64(&j, "write_window")?.unwrap_or(4) as usize,
             peers,
         })
     }

@@ -79,8 +79,9 @@ pub struct OpRecord {
     pub error: Option<Error>,
     /// Bytes moved, or entry size for `stat`, or name count for `list`.
     pub bytes: u64,
-    /// Returned data (`read` bytes, `list` newline-joined names).
-    pub data: Option<Vec<u8>>,
+    /// Returned data (`read` bytes, `list` newline-joined names); a
+    /// shared view of the client's buffer, not a copy.
+    pub data: Option<bytes::Bytes>,
 }
 
 /// What a finished script run produced.
@@ -174,6 +175,8 @@ pub fn run_script(
     };
     let mut client = SorrentoClient::new(cfg.namespace, cfg.costs, Box::new(workload));
     client.default_options.replication = cfg.replication;
+    client.write_chunk = cfg.write_chunk;
+    client.write_window = cfg.write_window;
 
     // Discovery warmup: absorb heartbeats before starting the workload.
     let deadline_at = Instant::now() + deadline;

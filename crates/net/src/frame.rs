@@ -23,12 +23,21 @@
 //! `Option`/`Result` spend one tag byte. The encoder matches every
 //! [`Msg`] variant exhaustively — adding a variant without extending the
 //! codec is a compile error, not a silent wire gap.
+//!
+//! Copy discipline: encoding is single-pass — the header is reserved
+//! up front, the payload is appended once while a streaming [`Crc32`]
+//! folds in each byte, and the length/checksum are patched into the
+//! reserved header afterwards. [`encode_msg_into`] reuses a caller
+//! buffer (see [`crate::pool::BufPool`]) so the steady-state bulk path
+//! allocates nothing per frame. Decoding hands blob fields out as
+//! [`Bytes`] sub-views of the received payload instead of copying.
 
+use bytes::Bytes;
 use sorrento::membership::Heartbeat;
 use sorrento::proto::{FileEntry, Msg, ReadReply, Tick};
 use sorrento::store::{ReplicaImage, SegMeta, ShadowId, WritePayload};
 use sorrento::types::{Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
-use sorrento_kvdb::crc32;
+use sorrento_kvdb::{crc32, Crc32};
 use sorrento_sim::NodeId;
 
 /// Frame magic: "SRTO".
@@ -137,7 +146,11 @@ pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<Header, FrameError> {
 }
 
 /// Decode a payload against its validated header (checksum included).
-pub fn decode_payload(h: &Header, payload: &[u8]) -> Result<Frame, FrameError> {
+///
+/// Blob fields in the returned [`Frame`] are zero-copy sub-views of
+/// `payload` — the buffer read off the socket is the same allocation
+/// the store eventually lands.
+pub fn decode_payload(h: &Header, payload: &Bytes) -> Result<Frame, FrameError> {
     if payload.len() != h.payload_len as usize {
         return Err(FrameError::Truncated);
     }
@@ -156,36 +169,81 @@ pub fn decode_payload(h: &Header, payload: &[u8]) -> Result<Frame, FrameError> {
     Ok(frame)
 }
 
-/// Decode one complete frame from a contiguous buffer.
+/// Decode one complete frame from a contiguous buffer. Copies the
+/// payload region into a fresh shared allocation first; the streaming
+/// receive path ([`crate::tcp`]) avoids that copy by reading straight
+/// into a [`Bytes`] and calling [`decode_payload`].
 pub fn decode_frame(buf: &[u8]) -> Result<(NodeId, Frame), FrameError> {
     if buf.len() < HEADER_LEN {
         return Err(FrameError::Truncated);
     }
     let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
     let h = decode_header(header)?;
-    let frame = decode_payload(&h, &buf[HEADER_LEN..])?;
+    let frame = decode_payload(&h, &Bytes::copy_from_slice(&buf[HEADER_LEN..]))?;
     Ok((h.sender, frame))
 }
 
-/// Encode a [`Msg`] frame.
+/// Encode a [`Msg`] frame into a fresh buffer.
 pub fn encode_msg(sender: NodeId, msg: &Msg) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(64));
-    write_msg(&mut w, msg);
-    finish(sender, KIND_MSG, w.0)
+    let mut out = Vec::with_capacity(HEADER_LEN + 64);
+    encode_msg_into(&mut out, sender, msg);
+    out
 }
 
-/// Encode a `Hello` control frame.
+/// Encode a `Hello` control frame into a fresh buffer.
 pub fn encode_hello(sender: NodeId, listen_addr: &str) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(32));
-    w.string(listen_addr);
-    finish(sender, KIND_HELLO, w.0)
+    let mut out = Vec::with_capacity(HEADER_LEN + 32);
+    encode_hello_into(&mut out, sender, listen_addr);
+    out
 }
 
-fn finish(sender: NodeId, kind: u8, payload: Vec<u8>) -> Vec<u8> {
+/// Single-pass encode of a [`Msg`] frame into a reusable buffer.
+///
+/// Clears `out`, reserves the fixed header, appends the payload while a
+/// streaming CRC folds in each byte, then patches length and checksum
+/// into the header — no second scan over the payload and no copy into a
+/// final buffer. With a pooled `out` (see [`crate::pool::BufPool`]) the
+/// steady-state cost is zero allocations per frame.
+pub fn encode_msg_into(out: &mut Vec<u8>, sender: NodeId, msg: &Msg) {
+    encode_into(out, sender, KIND_MSG, |w| write_msg(w, msg));
+}
+
+/// Single-pass encode of a `Hello` frame into a reusable buffer.
+pub fn encode_hello_into(out: &mut Vec<u8>, sender: NodeId, listen_addr: &str) {
+    encode_into(out, sender, KIND_HELLO, |w| w.string(listen_addr));
+}
+
+fn encode_into(out: &mut Vec<u8>, sender: NodeId, kind: u8, f: impl FnOnce(&mut Writer<'_>)) {
+    out.clear();
+    out.resize(HEADER_LEN, 0);
+    let mut w = Writer { out: &mut *out, crc: Crc32::new() };
+    f(&mut w);
+    let crc = w.crc.finalize();
+    let payload_len = (out.len() - HEADER_LEN) as u32;
+    debug_assert!(payload_len <= MAX_PAYLOAD);
+    out[0..4].copy_from_slice(&MAGIC);
+    out[4] = VERSION;
+    out[5] = kind;
+    out[6..10].copy_from_slice(&(sender.index() as u32).to_le_bytes());
+    out[10..14].copy_from_slice(&payload_len.to_le_bytes());
+    out[14..18].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The pre-single-pass encoder: build the payload in its own buffer,
+/// re-scan it for the checksum, then copy header + payload into the
+/// final frame. Kept as the test oracle the single-pass encoder must
+/// match byte for byte.
+#[doc(hidden)]
+pub fn reference_encode_msg(sender: NodeId, msg: &Msg) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    {
+        let mut w = Writer { out: &mut payload, crc: Crc32::new() };
+        write_msg(&mut w, msg);
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(kind);
+    out.push(KIND_MSG);
     out.extend_from_slice(&(sender.index() as u32).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -195,20 +253,30 @@ fn finish(sender: NodeId, kind: u8, payload: Vec<u8>) -> Vec<u8> {
 
 // ---------------------------------------------------------------- writer
 
-struct Writer(Vec<u8>);
+/// Append-only payload writer: every byte appended also advances the
+/// streaming checksum, so by the time the payload is written the CRC is
+/// already known.
+struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+    crc: Crc32,
+}
 
-impl Writer {
+impl Writer<'_> {
+    fn put(&mut self, b: &[u8]) {
+        self.crc.update(b);
+        self.out.extend_from_slice(b);
+    }
     fn u8(&mut self, x: u8) {
-        self.0.push(x);
+        self.put(&[x]);
     }
     fn u32(&mut self, x: u32) {
-        self.0.extend_from_slice(&x.to_le_bytes());
+        self.put(&x.to_le_bytes());
     }
     fn u64(&mut self, x: u64) {
-        self.0.extend_from_slice(&x.to_le_bytes());
+        self.put(&x.to_le_bytes());
     }
     fn u128(&mut self, x: u128) {
-        self.0.extend_from_slice(&x.to_le_bytes());
+        self.put(&x.to_le_bytes());
     }
     fn f64(&mut self, x: f64) {
         self.u64(x.to_bits());
@@ -218,7 +286,7 @@ impl Writer {
     }
     fn bytes(&mut self, b: &[u8]) {
         self.u32(b.len() as u32);
-        self.0.extend_from_slice(b);
+        self.put(b);
     }
     fn string(&mut self, s: &str) {
         self.bytes(s.as_bytes());
@@ -230,8 +298,10 @@ impl Writer {
 
 // ---------------------------------------------------------------- reader
 
+/// Payload reader over a shared buffer: fixed-width fields are parsed
+/// in place, blob fields come out as O(1) [`Bytes`] sub-views.
 struct Reader<'a> {
-    buf: &'a [u8],
+    buf: &'a Bytes,
     pos: usize,
 }
 
@@ -241,7 +311,7 @@ impl<'a> Reader<'a> {
         if end > self.buf.len() {
             return Err(FrameError::Truncated);
         }
-        let out = &self.buf[self.pos..end];
+        let out = &self.buf.as_ref()[self.pos..end];
         self.pos = end;
         Ok(out)
     }
@@ -267,12 +337,20 @@ impl<'a> Reader<'a> {
             tag => Err(FrameError::UnknownTag { what: "bool", tag }),
         }
     }
-    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+    fn bytes(&mut self) -> Result<Bytes, FrameError> {
         let n = self.u32()? as usize;
-        Ok(self.take(n)?.to_vec())
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let out = self.buf.slice(self.pos..end);
+        self.pos = end;
+        Ok(out)
     }
     fn string(&mut self) -> Result<String, FrameError> {
-        String::from_utf8(self.bytes()?).map_err(|_| FrameError::InvalidUtf8)
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        std::str::from_utf8(b).map(str::to_owned).map_err(|_| FrameError::InvalidUtf8)
     }
     fn node(&mut self) -> Result<NodeId, FrameError> {
         Ok(NodeId::from_index(self.u32()? as usize))
@@ -635,14 +713,18 @@ fn read_shadow_items(r: &mut Reader<'_>) -> Result<Vec<(ShadowId, Version)>, Fra
 /// Encode a standalone [`ReplicaImage`] (daemon segment persistence:
 /// the value format under `seg/` keys in the node's kvdb).
 pub fn encode_image_bytes(img: &ReplicaImage) -> Vec<u8> {
-    let mut w = Writer(Vec::with_capacity(64 + img.data.as_ref().map_or(0, Vec::len)));
+    let mut out = Vec::with_capacity(64 + img.data.as_ref().map_or(0, |d| d.len()));
+    let mut w = Writer { out: &mut out, crc: Crc32::new() };
     write_image(&mut w, img);
-    w.0
+    out
 }
 
-/// Decode a standalone [`ReplicaImage`].
+/// Decode a standalone [`ReplicaImage`]. Copies the input into a shared
+/// allocation once (this runs only on daemon recovery, not the data
+/// path) so the image's blob can be a [`Bytes`] view.
 pub fn decode_image_bytes(bytes: &[u8]) -> Result<ReplicaImage, FrameError> {
-    let mut r = Reader { buf: bytes, pos: 0 };
+    let buf = Bytes::copy_from_slice(bytes);
+    let mut r = Reader { buf: &buf, pos: 0 };
     let img = read_image(&mut r)?;
     if r.pos != r.buf.len() {
         return Err(FrameError::TrailingBytes);
@@ -1113,6 +1195,9 @@ mod tests {
     fn roundtrip(msg: Msg) {
         let me = NodeId::from_index(7);
         let bytes = encode_msg(me, &msg);
+        // The retired two-pass encoder is the oracle the single-pass
+        // pooled encoder must match byte for byte.
+        assert_eq!(bytes, reference_encode_msg(me, &msg));
         let (sender, frame) = decode_frame(&bytes).expect("decode");
         assert_eq!(sender, me);
         let Frame::Msg(back) = frame else { panic!("not a msg frame") };
@@ -1132,7 +1217,11 @@ mod tests {
         }));
         roundtrip(Msg::ReadSegR {
             req: 9,
-            reply: ReadReply::Data { len: 3, data: Some(vec![1, 2, 3]), version: Version(5) },
+            reply: ReadReply::Data {
+                len: 3,
+                data: Some(vec![1, 2, 3].into()),
+                version: Version(5),
+            },
         });
         roundtrip(Msg::FetchSegR {
             req: 4,
@@ -1140,7 +1229,7 @@ mod tests {
                 seg: SegId(42),
                 version: Version(3),
                 len: 2,
-                data: Some(vec![7, 8]),
+                data: Some(vec![7, 8].into()),
                 meta: SegMeta {
                     replication: 2,
                     alpha: 1.0,
@@ -1149,6 +1238,52 @@ mod tests {
                 },
             })),
         });
+    }
+
+    #[test]
+    fn decoded_blobs_alias_the_received_payload() {
+        // A data-bearing reply decoded via decode_payload must hand the
+        // blob out as a sub-view of the wire buffer, not a copy.
+        let msg = Msg::ReadSegR {
+            req: 1,
+            reply: ReadReply::Data {
+                len: 4,
+                data: Some(vec![9, 9, 9, 9].into()),
+                version: Version(1),
+            },
+        };
+        let wire = encode_msg(NodeId::from_index(1), &msg);
+        let header: &[u8; HEADER_LEN] = wire[..HEADER_LEN].try_into().unwrap();
+        let h = decode_header(header).unwrap();
+        let payload = Bytes::copy_from_slice(&wire[HEADER_LEN..]);
+        let payload_ptr_range =
+            payload.as_ptr() as usize..payload.as_ptr() as usize + payload.len();
+        let Frame::Msg(Msg::ReadSegR {
+            reply: ReadReply::Data { data: Some(blob), .. },
+            ..
+        }) = decode_payload(&h, &payload).unwrap()
+        else {
+            panic!("wrong frame shape");
+        };
+        assert_eq!(&blob[..], &[9, 9, 9, 9]);
+        assert!(payload_ptr_range.contains(&(blob.as_ptr() as usize)));
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer() {
+        let me = NodeId::from_index(2);
+        let big = Msg::StatsR { req: 1, json: "x".repeat(512) };
+        let mut buf = Vec::new();
+        encode_msg_into(&mut buf, me, &big);
+        assert_eq!(buf, encode_msg(me, &big));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        // A smaller message re-encoded into the same buffer must not
+        // reallocate.
+        encode_msg_into(&mut buf, me, &Msg::StatsQuery { req: 2 });
+        assert_eq!(buf, encode_msg(me, &Msg::StatsQuery { req: 2 }));
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
     }
 
     #[test]

@@ -9,9 +9,11 @@
 //!
 //! * [`frame`] — the length-prefixed, checksummed binary wire format
 //!   for every [`sorrento::proto::Msg`].
-//! * [`tcp`] — a std-only TCP mesh: one listener plus cached outbound
-//!   connections per peer, thread-per-connection readers feeding a
-//!   bounded inbox.
+//! * [`pool`] — check-out/check-in encode-buffer pool backing the
+//!   zero-allocation frame path.
+//! * [`tcp`] — a std-only TCP mesh: one listener, thread-per-connection
+//!   readers feeding a bounded inbox, and a per-peer sender thread with
+//!   a bounded outbound queue and vectored coalesced writes.
 //! * [`runtime`] — [`runtime::RealCtx`], the wall-clock
 //!   [`sorrento::Transport`] implementation (monotonic-nanosecond
 //!   clock, timer heap, real metrics registry).
@@ -25,5 +27,6 @@ pub mod config;
 pub mod ctl;
 pub mod daemon;
 pub mod frame;
+pub mod pool;
 pub mod runtime;
 pub mod tcp;

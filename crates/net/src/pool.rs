@@ -1,0 +1,164 @@
+//! A check-out/check-in pool of encode buffers.
+//!
+//! Frame encoding is the one hot-path allocation the wire format would
+//! otherwise force: every `send` needs a contiguous `[header][payload]`
+//! buffer. [`BufPool`] amortizes that to zero steady-state allocations —
+//! a buffer checked out, filled by [`crate::frame::encode_msg_into`],
+//! shipped, and dropped returns to the pool with its capacity intact,
+//! so the next frame of similar size reuses the same backing memory.
+//!
+//! [`PooledBuf`] is the RAII handle: checked back in on drop, from
+//! whatever thread drops it (per-peer sender threads in
+//! [`crate::tcp`]). Wrapping one in an `Arc` lets a multicast share a
+//! single encoded frame across every peer queue; the buffer re-enters
+//! the pool when the last queue finishes with it.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
+
+/// Most buffers retained by a pool; beyond this, returned buffers are
+/// simply freed.
+const MAX_POOLED: usize = 64;
+/// Largest capacity worth keeping. A segment-sized frame returning from
+/// a bulk write is retained; a pathological one-off giant is freed so
+/// one huge message cannot pin memory forever.
+const MAX_RETAINED_CAPACITY: usize = 8 << 20;
+
+/// Shared pool of reusable byte buffers. Cloning shares the pool.
+#[derive(Clone, Default)]
+pub struct BufPool {
+    bufs: Arc<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// Check out a buffer (cleared, capacity from its previous life) or
+    /// allocate a fresh one if the pool is empty.
+    pub fn check_out(&self) -> PooledBuf {
+        let buf = self.bufs.lock().unwrap().pop().unwrap_or_default();
+        PooledBuf { buf, pool: Arc::downgrade(&self.bufs) }
+    }
+
+    /// Number of buffers currently resting in the pool.
+    pub fn idle(&self) -> usize {
+        self.bufs.lock().unwrap().len()
+    }
+}
+
+/// A buffer on loan from a [`BufPool`]; returns to the pool on drop.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: std::sync::Weak<Mutex<Vec<Vec<u8>>>>,
+}
+
+impl PooledBuf {
+    /// A pool-less buffer (drops normally); handy in tests and for
+    /// one-off frames.
+    pub fn detached(buf: Vec<u8>) -> PooledBuf {
+        PooledBuf { buf, pool: std::sync::Weak::new() }
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let Some(pool) = self.pool.upgrade() else { return };
+        if self.buf.capacity() == 0 || self.buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        let mut bufs = pool.lock().unwrap();
+        if bufs.len() < MAX_POOLED {
+            bufs.push(buf);
+        }
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_cycle_through_the_pool() {
+        let pool = BufPool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut a = pool.check_out();
+        a.extend_from_slice(&[1, 2, 3]);
+        let ptr = a.as_ptr();
+        let cap = a.capacity();
+        drop(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.check_out();
+        assert!(b.is_empty(), "checked-out buffer must come back cleared");
+        assert_eq!(b.as_ptr(), ptr, "capacity must be reused, not reallocated");
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_never_alias() {
+        let pool = BufPool::new();
+        let a = pool.check_out();
+        let b = pool.check_out();
+        // Two live loans are distinct allocations (the empty-capacity
+        // case has no allocation to alias; force one).
+        let mut a = a;
+        let mut b = b;
+        a.push(1);
+        b.push(2);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = BufPool::new();
+        let mut a = pool.check_out();
+        a.reserve(MAX_RETAINED_CAPACITY + 1);
+        drop(a);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_capacity_is_bounded() {
+        let pool = BufPool::new();
+        let loans: Vec<_> = (0..MAX_POOLED + 8)
+            .map(|_| {
+                let mut b = pool.check_out();
+                b.push(0);
+                b
+            })
+            .collect();
+        drop(loans);
+        assert_eq!(pool.idle(), MAX_POOLED);
+    }
+
+    #[test]
+    fn detached_buffers_skip_the_pool() {
+        let b = PooledBuf::detached(vec![1, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        drop(b);
+    }
+}

@@ -1,12 +1,23 @@
 //! A std-only TCP mesh for Sorrento daemons.
 //!
-//! Each node owns one listening socket and a cache of outbound
-//! connections keyed by peer [`NodeId`]. Inbound connections get a
-//! reader thread each; decoded messages land in a bounded inbox the
-//! daemon loop drains. `Hello` frames register the sender's listen
-//! address, so a node only needs a seed peer list — everyone it has
-//! ever heard from becomes routable, which is how the runtime replaces
-//! the simulator's Ethernet multicast with peer-list fan-out.
+//! Each node owns one listening socket, a reader thread per inbound
+//! connection feeding a bounded inbox, and — on the outbound side — one
+//! sender thread per peer behind a bounded queue of encoded frames.
+//! `Hello` frames register the sender's listen address, so a node only
+//! needs a seed peer list — everyone it has ever heard from becomes
+//! routable, which is how the runtime replaces the simulator's Ethernet
+//! multicast with peer-list fan-out.
+//!
+//! Outbound data path: `send` encodes the frame once into a buffer
+//! checked out of a [`BufPool`] and hands an `Arc` of it to the peer's
+//! queue (a multicast shares the same encoded frame across every
+//! queue). The sender thread drains its queue in batches and pushes
+//! them to the socket with vectored writes, so a burst of pipelined
+//! chunks coalesces into few syscalls. Crucially, no lock is held
+//! while a socket write is in flight: a peer that stops reading stalls
+//! only its own queue — other peers, and the caller, never block on it.
+//! When a queue fills, further frames to that peer are dropped and
+//! counted, mirroring the lossy-network semantics below.
 //!
 //! Delivery semantics deliberately mirror the simulator's lossy
 //! network: a send to a dead or unreachable peer is retried once after
@@ -15,18 +26,23 @@
 //! transport never needs to surface per-message errors.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use sorrento::proto::Msg;
 use sorrento_sim::NodeId;
 
 use crate::frame::{self, Frame, HEADER_LEN};
+use crate::pool::{BufPool, PooledBuf};
+
+/// Most frames folded into one vectored write.
+const COALESCE_MAX: usize = 32;
 
 /// Transport tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -34,12 +50,16 @@ pub struct MeshConfig {
     /// Outbound connection establishment budget.
     pub connect_timeout: Duration,
     /// Socket read timeout (also the shutdown poll period for reader
-    /// threads).
+    /// and sender threads).
     pub read_timeout: Duration,
     /// Wait before the single resend attempt after a send failure.
     pub retry_backoff: Duration,
     /// Bounded inbox depth; senders beyond it are dropped, not blocked.
     pub inbox_capacity: usize,
+    /// Per-peer outbound queue depth; frames beyond it are dropped, not
+    /// blocked — one slow peer must never apply backpressure to the
+    /// daemon loop.
+    pub outbound_queue: usize,
 }
 
 impl Default for MeshConfig {
@@ -49,18 +69,33 @@ impl Default for MeshConfig {
             read_timeout: Duration::from_millis(100),
             retry_backoff: Duration::from_millis(50),
             inbox_capacity: 1024,
+            outbound_queue: 256,
         }
     }
 }
 
 /// Counters the mesh keeps about itself (drained into the node's
-/// metrics registry by the daemon loop).
+/// metrics registry by the daemon loop). Atomics, because sender
+/// threads bump them concurrently.
 #[derive(Debug, Default)]
 struct MeshCounters {
-    sent: u64,
-    send_failures: u64,
-    dropped_inbox_full: u64,
-    decode_errors: u64,
+    sent: AtomicU64,
+    send_failures: AtomicU64,
+    dropped_inbox_full: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the mesh counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeshStats {
+    /// Frames written to a socket successfully.
+    pub sent: u64,
+    /// Frames dropped: peer unreachable after retry, or queue full.
+    pub send_failures: u64,
+    /// Inbound messages dropped because the inbox was full.
+    pub dropped_inbox_full: u64,
+    /// Connections dropped for undecodable bytes.
+    pub decode_errors: u64,
 }
 
 struct Shared {
@@ -71,8 +106,23 @@ struct Shared {
     /// evicted before reuse, or the first write after the change is
     /// silently buffered into a socket nobody reads.
     stale: Mutex<HashSet<NodeId>>,
-    counters: Mutex<MeshCounters>,
+    counters: MeshCounters,
     shutdown: AtomicBool,
+}
+
+/// Work for a peer's sender thread.
+enum OutItem {
+    /// A fully encoded frame (header + payload), shared so a multicast
+    /// encodes once. The buffer returns to the pool when the last queue
+    /// drops it.
+    Frame(Arc<PooledBuf>),
+    /// Connect (and send our `Hello`) if not already connected.
+    EnsureConn,
+}
+
+struct PeerSender {
+    tx: SyncSender<OutItem>,
+    _thread: JoinHandle<()>,
 }
 
 /// The node's connection fabric.
@@ -82,8 +132,10 @@ pub struct Mesh {
     cfg: MeshConfig,
     shared: Arc<Shared>,
     inbox: Receiver<(NodeId, Msg)>,
-    /// Cached outbound streams (only the daemon thread sends).
-    conns: HashMap<NodeId, TcpStream>,
+    pool: BufPool,
+    /// One sender thread + bounded queue per peer (only the daemon
+    /// thread enqueues).
+    senders: HashMap<NodeId, PeerSender>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -102,7 +154,7 @@ impl Mesh {
         let shared = Arc::new(Shared {
             peers: Mutex::new(seed_peers),
             stale: Mutex::new(HashSet::new()),
-            counters: Mutex::new(MeshCounters::default()),
+            counters: MeshCounters::default(),
             shutdown: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
@@ -115,7 +167,8 @@ impl Mesh {
             cfg,
             shared,
             inbox: rx,
-            conns: HashMap::new(),
+            pool: BufPool::new(),
+            senders: HashMap::new(),
             accept_thread: Some(accept_thread),
         })
     }
@@ -143,27 +196,58 @@ impl Mesh {
 
     /// Send to one peer: best-effort, one retry after backoff, then the
     /// message is dropped (the peer's death shows up as RPC timeouts,
-    /// exactly as in the simulator).
+    /// exactly as in the simulator). Never blocks the caller: the frame
+    /// is encoded into a pooled buffer and queued; a full queue drops
+    /// the frame.
     pub fn send(&mut self, to: NodeId, msg: &Msg) {
-        let bytes = frame::encode_msg(self.me, msg);
-        if self.send_bytes(to, &bytes) {
-            self.shared.counters.lock().unwrap().sent += 1;
-        } else {
-            std::thread::sleep(self.cfg.retry_backoff);
-            self.conns.remove(&to);
-            if self.send_bytes(to, &bytes) {
-                self.shared.counters.lock().unwrap().sent += 1;
-            } else {
-                self.shared.counters.lock().unwrap().send_failures += 1;
+        let mut buf = self.pool.check_out();
+        frame::encode_msg_into(&mut buf, self.me, msg);
+        self.enqueue(to, Arc::new(buf));
+    }
+
+    /// Fan a message out to every known peer, encoding it exactly once.
+    pub fn multicast(&mut self, msg: &Msg) {
+        let peers = self.known_peers();
+        if peers.is_empty() {
+            return;
+        }
+        let mut buf = self.pool.check_out();
+        frame::encode_msg_into(&mut buf, self.me, msg);
+        let shared_frame = Arc::new(buf);
+        for peer in peers {
+            self.enqueue(peer, Arc::clone(&shared_frame));
+        }
+    }
+
+    fn enqueue(&mut self, to: NodeId, frame: Arc<PooledBuf>) {
+        let sender = self.sender_for(to);
+        match sender.tx.try_send(OutItem::Frame(frame)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Sender thread died (shutdown or panic); a later send
+                // will respawn it.
+                self.senders.remove(&to);
+                self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Fan a message out to every known peer.
-    pub fn multicast(&mut self, msg: &Msg) {
-        for peer in self.known_peers() {
-            self.send(peer, msg);
-        }
+    fn sender_for(&mut self, to: NodeId) -> &PeerSender {
+        self.senders.entry(to).or_insert_with(|| {
+            let (tx, rx) = mpsc::sync_channel(self.cfg.outbound_queue);
+            let shared = Arc::clone(&self.shared);
+            let cfg = self.cfg;
+            let me = self.me;
+            let listen = self.listen_addr;
+            let thread = std::thread::Builder::new()
+                .name(format!("sorrento-send-{}-{}", me.index(), to.index()))
+                .spawn(move || sender_loop(to, rx, shared, cfg, me, listen))
+                .expect("spawn sender thread");
+            PeerSender { tx, _thread: thread }
+        })
     }
 
     /// Open a connection (which carries our `Hello`) to every known
@@ -172,66 +256,41 @@ impl Mesh {
     /// protocol traffic.
     pub fn hello_all(&mut self) {
         for peer in self.known_peers() {
-            self.ensure_conn(peer);
+            let sender = self.sender_for(peer);
+            let _ = sender.tx.try_send(OutItem::EnsureConn);
+        }
+    }
+
+    /// A snapshot of the mesh counters.
+    pub fn stats(&self) -> MeshStats {
+        let c = &self.shared.counters;
+        MeshStats {
+            sent: c.sent.load(Ordering::Relaxed),
+            send_failures: c.send_failures.load(Ordering::Relaxed),
+            dropped_inbox_full: c.dropped_inbox_full.load(Ordering::Relaxed),
+            decode_errors: c.decode_errors.load(Ordering::Relaxed),
         }
     }
 
     /// Flush mesh counters into labeled metrics.
     pub fn export_metrics(&self, metrics: &mut sorrento_sim::Metrics) {
-        let c = self.shared.counters.lock().unwrap();
-        metrics.gauge_set("net_sent", c.sent as f64);
-        metrics.gauge_set("net_send_failures", c.send_failures as f64);
-        metrics.gauge_set("net_dropped_inbox_full", c.dropped_inbox_full as f64);
-        metrics.gauge_set("net_decode_errors", c.decode_errors as f64);
+        let s = self.stats();
+        metrics.gauge_set("net_sent", s.sent as f64);
+        metrics.gauge_set("net_send_failures", s.send_failures as f64);
+        metrics.gauge_set("net_dropped_inbox_full", s.dropped_inbox_full as f64);
+        metrics.gauge_set("net_decode_errors", s.decode_errors as f64);
     }
 
-    /// Stop the accept thread and all reader threads.
+    /// Stop the accept thread, reader threads, and sender threads.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the queues disconnects the sender threads; they exit
+        // on their next queue poll rather than being joined, so a
+        // thread mid-write to a stalled peer cannot wedge shutdown.
+        self.senders.clear();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        self.conns.clear();
-    }
-
-    /// Establish (or reuse) the outbound connection to `to`, sending
-    /// our `Hello` on a fresh connection.
-    fn ensure_conn(&mut self, to: NodeId) -> bool {
-        if self.shared.stale.lock().unwrap().remove(&to) {
-            self.conns.remove(&to);
-        }
-        if self.conns.contains_key(&to) {
-            return true;
-        }
-        let addr = match self.shared.peers.lock().unwrap().get(&to).copied() {
-            Some(a) => a,
-            None => return false,
-        };
-        let mut stream = match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
-            Ok(s) => s,
-            Err(_) => return false,
-        };
-        let _ = stream.set_nodelay(true);
-        // Introduce ourselves so the peer can route replies and
-        // multicasts back without prior configuration.
-        let hello = frame::encode_hello(self.me, &self.listen_addr.to_string());
-        if stream.write_all(&hello).is_err() {
-            return false;
-        }
-        self.conns.insert(to, stream);
-        true
-    }
-
-    fn send_bytes(&mut self, to: NodeId, bytes: &[u8]) -> bool {
-        if !self.ensure_conn(to) {
-            return false;
-        }
-        let stream = self.conns.get_mut(&to).expect("conn just ensured");
-        if stream.write_all(bytes).is_err() {
-            self.conns.remove(&to);
-            return false;
-        }
-        true
     }
 }
 
@@ -240,6 +299,152 @@ impl Drop for Mesh {
         self.shutdown();
     }
 }
+
+// ------------------------------------------------------------- send side
+
+/// Per-peer sender: owns the peer's outbound `TcpStream` outright, so
+/// connecting, `Hello`, retries, and the blocking writes themselves all
+/// happen outside any shared lock.
+fn sender_loop(
+    peer: NodeId,
+    rx: Receiver<OutItem>,
+    shared: Arc<Shared>,
+    cfg: MeshConfig,
+    me: NodeId,
+    listen_addr: SocketAddr,
+) {
+    let mut conn: Option<TcpStream> = None;
+    let mut batch: Vec<Arc<PooledBuf>> = Vec::with_capacity(COALESCE_MAX);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let first = match rx.recv_timeout(cfg.read_timeout) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // A stale marker means the peer's listen address changed: the
+        // cached stream points at a dead incarnation.
+        if shared.stale.lock().unwrap().remove(&peer) {
+            conn = None;
+        }
+        batch.clear();
+        match first {
+            OutItem::EnsureConn => {
+                ensure_conn(&mut conn, peer, &shared, cfg, me, listen_addr);
+                continue;
+            }
+            OutItem::Frame(f) => batch.push(f),
+        }
+        // Coalesce whatever else is already queued into one vectored
+        // write (EnsureConn is implied by having frames to send).
+        while batch.len() < COALESCE_MAX {
+            match rx.try_recv() {
+                Ok(OutItem::Frame(f)) => batch.push(f),
+                Ok(OutItem::EnsureConn) => {}
+                Err(_) => break,
+            }
+        }
+        let ok = write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr) || {
+            // One retry on a fresh connection after a short backoff,
+            // then the batch is dropped (lossy-network semantics).
+            conn = None;
+            std::thread::sleep(cfg.retry_backoff);
+            write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr)
+        };
+        if ok {
+            shared.counters.sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        } else {
+            conn = None;
+            shared.counters.send_failures.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+fn ensure_conn(
+    conn: &mut Option<TcpStream>,
+    peer: NodeId,
+    shared: &Shared,
+    cfg: MeshConfig,
+    me: NodeId,
+    listen_addr: SocketAddr,
+) -> bool {
+    if conn.is_some() {
+        return true;
+    }
+    let addr = match shared.peers.lock().unwrap().get(&peer).copied() {
+        Some(a) => a,
+        None => return false,
+    };
+    let mut stream = match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let _ = stream.set_nodelay(true);
+    // Introduce ourselves so the peer can route replies and multicasts
+    // back without prior configuration.
+    let hello = frame::encode_hello(me, &listen_addr.to_string());
+    if stream.write_all(&hello).is_err() {
+        return false;
+    }
+    *conn = Some(stream);
+    true
+}
+
+/// Write a batch of frames with as few syscalls as possible. Any write
+/// error invalidates the connection (a partial frame cannot be resumed
+/// on a byte stream — the receiver resyncs by dropping the connection).
+fn write_batch(
+    conn: &mut Option<TcpStream>,
+    batch: &[Arc<PooledBuf>],
+    peer: NodeId,
+    shared: &Shared,
+    cfg: MeshConfig,
+    me: NodeId,
+    listen_addr: SocketAddr,
+) -> bool {
+    if !ensure_conn(conn, peer, shared, cfg, me, listen_addr) {
+        return false;
+    }
+    let stream = conn.as_mut().expect("conn just ensured");
+    let mut idx = 0;
+    let mut off = 0;
+    while idx < batch.len() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(batch.len() - idx);
+        slices.push(IoSlice::new(&batch[idx][off..]));
+        for b in &batch[idx + 1..] {
+            slices.push(IoSlice::new(b));
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => {
+                *conn = None;
+                return false;
+            }
+            Ok(mut n) => {
+                while n > 0 {
+                    let rem = batch[idx].len() - off;
+                    if n >= rem {
+                        n -= rem;
+                        idx += 1;
+                        off = 0;
+                    } else {
+                        off += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *conn = None;
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------- receive side
 
 fn accept_loop(
     listener: TcpListener,
@@ -282,7 +487,7 @@ fn reader_loop(
             Err(_) => {
                 // The stream is out of sync; there is no resync point in
                 // a byte stream, so drop the connection.
-                shared.counters.lock().unwrap().decode_errors += 1;
+                shared.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
@@ -291,6 +496,10 @@ fn reader_loop(
             ReadOutcome::Ok => {}
             ReadOutcome::Closed => return,
         }
+        // Moving the Vec into a shared Bytes is allocation-transfer,
+        // not a copy: blob fields decoded out of it are sub-views, so
+        // the buffer read off the socket is the one the store lands.
+        let payload = Bytes::from(payload);
         match frame::decode_payload(&h, &payload) {
             Ok(Frame::Hello { listen_addr }) => {
                 if let Ok(addr) = listen_addr.parse() {
@@ -303,12 +512,12 @@ fn reader_loop(
             Ok(Frame::Msg(msg)) => match tx.try_send((h.sender, msg)) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
-                    shared.counters.lock().unwrap().dropped_inbox_full += 1;
+                    shared.counters.dropped_inbox_full.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(TrySendError::Disconnected(_)) => return,
             },
             Err(_) => {
-                shared.counters.lock().unwrap().decode_errors += 1;
+                shared.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -346,6 +555,7 @@ fn read_exact_polled(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn two_nodes_exchange_messages() {
@@ -379,6 +589,97 @@ mod tests {
         let mut m0 =
             Mesh::start(n0, l0, HashMap::from([(n1, dead)]), MeshConfig::default()).unwrap();
         m0.send(n1, &Msg::StatsQuery { req: 1 });
-        assert_eq!(m0.shared.counters.lock().unwrap().send_failures, 1);
+        // The failure is now recorded by the peer's sender thread after
+        // its connect + one retry, so poll for it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while m0.stats().send_failures == 0 {
+            assert!(Instant::now() < deadline, "send failure never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(m0.stats().send_failures, 1);
+        assert_eq!(m0.stats().sent, 0);
+    }
+
+    /// One peer that accepts but never reads must not delay delivery to
+    /// a healthy peer: its frames pile into its own queue (and
+    /// eventually drop), while the healthy peer's sender thread keeps
+    /// flowing. Under the old shared-connection-cache design the first
+    /// blocked `write_all` to the slow peer stalled every send.
+    #[test]
+    fn slow_peer_does_not_stall_other_sends() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l_fast = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a_fast = l_fast.local_addr().unwrap();
+        // The slow peer: a raw listener whose accept loop deliberately
+        // never reads, so the sender's TCP window fills and its writes
+        // block.
+        let l_slow = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a_slow = l_slow.local_addr().unwrap();
+        let slow_guard = std::thread::spawn(move || {
+            let conns: Vec<TcpStream> = (0..1).filter_map(|_| l_slow.accept().ok().map(|(s, _)| s)).collect();
+            std::thread::sleep(Duration::from_secs(3));
+            drop(conns);
+        });
+
+        let n0 = NodeId::from_index(0);
+        let n_fast = NodeId::from_index(1);
+        let n_slow = NodeId::from_index(2);
+        let cfg = MeshConfig { outbound_queue: 8, ..MeshConfig::default() };
+        let mut m0 = Mesh::start(
+            n0,
+            l0,
+            HashMap::from([(n_fast, a_fast), (n_slow, a_slow)]),
+            cfg,
+        )
+        .unwrap();
+        let m_fast =
+            Mesh::start(n_fast, l_fast, HashMap::new(), MeshConfig::default()).unwrap();
+
+        // Flood the slow peer with large frames until both the TCP
+        // buffers and its bounded queue are saturated.
+        let big = Msg::StatsR { req: 0, json: "x".repeat(1 << 20) };
+        for _ in 0..64 {
+            m0.send(n_slow, &big);
+        }
+        // A send to the healthy peer must still go through promptly.
+        let t0 = Instant::now();
+        m0.send(n_fast, &Msg::StatsQuery { req: 7 });
+        let (from, msg) = m_fast.recv_timeout(Duration::from_secs(2)).expect("fast peer starved");
+        assert_eq!(from, n0);
+        assert!(matches!(msg, Msg::StatsQuery { req: 7 }));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "healthy-peer delivery took {:?}",
+            t0.elapsed()
+        );
+        drop(m0);
+        let _ = slow_guard.join();
+    }
+
+    /// A multicast encodes the frame once and shares it; every peer
+    /// still gets a complete copy.
+    #[test]
+    fn multicast_reaches_all_peers() {
+        let mk = || TcpListener::bind("127.0.0.1:0").unwrap();
+        let (l0, l1, l2) = (mk(), mk(), mk());
+        let (a1, a2) = (l1.local_addr().unwrap(), l2.local_addr().unwrap());
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        let mut m0 = Mesh::start(
+            n0,
+            l0,
+            HashMap::from([(n1, a1), (n2, a2)]),
+            MeshConfig::default(),
+        )
+        .unwrap();
+        let m1 = Mesh::start(n1, l1, HashMap::new(), MeshConfig::default()).unwrap();
+        let m2 = Mesh::start(n2, l2, HashMap::new(), MeshConfig::default()).unwrap();
+        m0.multicast(&Msg::StatsQuery { req: 9 });
+        for m in [&m1, &m2] {
+            let (from, msg) = m.recv_timeout(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(from, n0);
+            assert!(matches!(msg, Msg::StatsQuery { req: 9 }));
+        }
     }
 }

@@ -1,0 +1,268 @@
+//! Hermetic stand-in for the `bytes` crate: the [`Bytes`] API subset
+//! Sorrento uses. A `Bytes` is an `Arc<Vec<u8>>` plus a sub-range, so
+//! cloning and slicing are O(1) reference bumps and `From<Vec<u8>>`
+//! takes ownership of the allocation without copying — a payload
+//! received off the wire can be handed to the store untouched.
+//!
+//! Differences from the real crate: no `BytesMut`, no zero-copy
+//! `from_static` (statics are copied once on construction), and no
+//! `try_*` fallible API. Everything implemented here matches the real
+//! crate's observable behavior so a future swap to the crates.io
+//! package is a `Cargo.toml` edit.
+
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+impl Bytes {
+    /// An empty `Bytes` (no allocation after the first call).
+    pub fn new() -> Bytes {
+        Bytes { data: empty_arc(), start: 0, end: 0 }
+    }
+
+    /// Copy a slice into a fresh shared allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Bytes from a static slice (copied once, unlike the real crate).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Number of bytes in view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same allocation; O(1).
+    ///
+    /// # Panics
+    /// If the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.checked_add(1).expect("range start overflow"),
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("range end overflow"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice range inverted: {begin} > {end}");
+        assert!(end <= len, "slice range {end} out of bounds for length {len}");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+
+    /// Split off the bytes from `at` onward; `self` keeps `[0, at)`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        let tail = self.slice(at..);
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Split off the bytes before `at`; `self` keeps `[at, len)`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the allocation — no copy.
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Bytes {
+        Bytes::copy_from_slice(&a)
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Vec<u8> {
+        b.to_vec()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self[..] == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Match the real crate: byte-string literal form.
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if b == b'"' || b == b'\\' {
+                write!(f, "\\{}", b as char)?;
+            } else if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let mid = b.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert!(Arc::ptr_eq(&b.data, &mid.data));
+        let tail = mid.slice(2..);
+        assert_eq!(&tail[..], &[4]);
+    }
+
+    #[test]
+    fn split_off_and_to() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4]);
+        let mut c = Bytes::from(vec![9u8, 8, 7]);
+        let head = c.split_to(1);
+        assert_eq!(&head[..], &[9]);
+        assert_eq!(&c[..], &[8, 7]);
+    }
+
+    #[test]
+    fn equality_and_empty() {
+        assert_eq!(Bytes::new(), Bytes::from(Vec::new()));
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::copy_from_slice(b"abc"), b"abc"[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(..3);
+    }
+}

@@ -83,7 +83,7 @@ fn atomic_append_under_contention() {
         let mut ops = vec![ClientOp::Open { path: "/log".into(), write: true }];
         for r in 0..4u8 {
             ops.push(ClientOp::AtomicAppend {
-                payload: sorrento::store::WritePayload::Real(vec![0x10 + a * 4 + r; rec_len]),
+                payload: sorrento::store::WritePayload::Real(vec![0x10 + a * 4 + r; rec_len].into()),
             });
         }
         ops.push(ClientOp::Close);

@@ -17,9 +17,10 @@ use sorrento::types::{
     Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version,
 };
 use sorrento_net::frame::{
-    decode_frame, decode_image_bytes, encode_hello, encode_image_bytes, encode_msg, Frame,
-    FrameError, HEADER_LEN,
+    decode_frame, decode_image_bytes, encode_hello, encode_image_bytes, encode_msg,
+    encode_msg_into, reference_encode_msg, Frame, FrameError, HEADER_LEN,
 };
+use sorrento_net::pool::BufPool;
 use sorrento_sim::NodeId;
 
 /// Number of `Msg` variants; every tag below this is generated.
@@ -120,7 +121,7 @@ fn arb_reply(rng: &mut TestRng) -> ReadReply {
     match rng.gen_range(0..3u8) {
         0 => ReadReply::Data {
             len: rng.gen(),
-            data: if rng.gen() { Some(arb_bytes(rng)) } else { None },
+            data: if rng.gen() { Some(arb_bytes(rng).into()) } else { None },
             version: Version(rng.gen()),
         },
         1 => ReadReply::Redirect(arb_owners(rng)),
@@ -130,7 +131,7 @@ fn arb_reply(rng: &mut TestRng) -> ReadReply {
 
 fn arb_payload(rng: &mut TestRng) -> WritePayload {
     if rng.gen() {
-        WritePayload::Real(arb_bytes(rng))
+        WritePayload::Real(arb_bytes(rng).into())
     } else {
         WritePayload::Synthetic { len: rng.gen() }
     }
@@ -150,7 +151,7 @@ fn arb_image(rng: &mut TestRng) -> ReplicaImage {
         seg: SegId(arb_u128(rng)),
         version: Version(rng.gen()),
         len: rng.gen(),
-        data: if rng.gen() { Some(arb_bytes(rng)) } else { None },
+        data: if rng.gen() { Some(arb_bytes(rng).into()) } else { None },
         meta: arb_meta(rng),
     }
 }
@@ -349,6 +350,12 @@ proptest! {
             let msg = arb_msg(tag, &mut rng);
             let sender = arb_node(&mut rng);
             let bytes = encode_msg(sender, &msg);
+            // The single-pass streaming-CRC encoder must match the
+            // retired two-pass encoder byte for byte.
+            prop_assert_eq!(
+                &bytes, &reference_encode_msg(sender, &msg),
+                "tag {} single-pass encode differs from reference", tag
+            );
             let (from, frame) =
                 decode_frame(&bytes).unwrap_or_else(|e| panic!("tag {tag}: decode failed: {e}"));
             prop_assert_eq!(from, sender);
@@ -356,6 +363,25 @@ proptest! {
                 panic!("tag {tag}: decoded as a Hello frame");
             };
             prop_assert_eq!(encode_msg(sender, &decoded), bytes, "tag {} re-encode differs", tag);
+        }
+    }
+
+    #[test]
+    fn pooled_encode_is_identical_to_fresh_encode(seed in any::<u64>()) {
+        // One reused pooled buffer cycled through every variant: stale
+        // capacity or leftover bytes from the previous frame must never
+        // leak into the next one.
+        let mut rng = TestRng::seed_from_u64(seed);
+        let pool = BufPool::new();
+        for tag in 0..MSG_VARIANTS {
+            let msg = arb_msg(tag, &mut rng);
+            let sender = arb_node(&mut rng);
+            let mut buf = pool.check_out();
+            encode_msg_into(&mut buf, sender, &msg);
+            prop_assert_eq!(
+                &buf[..], &encode_msg(sender, &msg)[..],
+                "tag {} pooled encode differs from fresh encode", tag
+            );
         }
     }
 

@@ -70,6 +70,8 @@ fn spawn_cluster(
         seed: 7,
         replication: 1,
         costs: CostModel::fast_test(),
+        write_chunk: None,
+        write_window: 4,
         peers: all_peers,
     };
     (handles, ctl_cfg)
@@ -141,6 +143,108 @@ fn loopback_cluster_survives_a_provider_failure() {
     fs.stat("/d/report").unwrap();
     let out = ctl::run_script(&cfg, fs.into_ops(), 2, DEADLINE).expect("stat script");
     assert_eq!(out.stats.failed_ops, 1, "stat of a removed file should fail");
+
+    for h in handles {
+        h.stop().expect("clean shutdown");
+    }
+}
+
+/// Write `data` to `path` through a client configured from `cfg`, then
+/// read it back through a plain (unchunked) client and return the bytes.
+fn write_then_read(
+    cfg: &CtlConfig,
+    read_cfg: &CtlConfig,
+    path: &str,
+    data: &[u8],
+    min_providers: usize,
+) -> Vec<u8> {
+    let mut fs = FsScript::new();
+    let h = fs
+        .create_with(
+            path,
+            FileOptions { replication: 2, eager_commit: true, ..FileOptions::default() },
+        )
+        .unwrap();
+    fs.write(h, 0, data.to_vec()).unwrap();
+    fs.close(h).unwrap();
+    let out = ctl::run_script(cfg, fs.into_ops(), min_providers, DEADLINE).expect("write script");
+    assert_eq!(out.stats.failed_ops, 0, "write of {path} failed: {:?}", out.stats.last_error);
+
+    let mut fs = FsScript::new();
+    let h = fs.open(path, false).unwrap();
+    fs.read(h, 0, data.len() as u64).unwrap();
+    fs.close(h).unwrap();
+    let out =
+        ctl::run_script(read_cfg, fs.into_ops(), min_providers, DEADLINE).expect("read script");
+    assert_eq!(out.stats.failed_ops, 0, "read of {path} failed: {:?}", out.stats.last_error);
+    out.stats.last_read.as_deref().unwrap_or_default().to_vec()
+}
+
+#[test]
+fn pipelined_chunked_writes_match_unchunked_writes() {
+    let (handles, plain) = spawn_cluster(3, &[]);
+    // Large enough to detach into real extents and split into many
+    // chunks: 768 KiB at a 32 KiB chunk is 24 chunks per extent write.
+    let data = payload(768 * 1024);
+
+    // Distinct seeds: each run_script builds a fresh client, and two
+    // clients with the same seed would allocate colliding segment ids
+    // for different files.
+    let mut serial = plain.clone();
+    serial.seed = 8;
+    serial.write_chunk = Some(32 * 1024);
+    serial.write_window = 1;
+    let mut windowed = plain.clone();
+    windowed.seed = 9;
+    windowed.write_chunk = Some(32 * 1024);
+    windowed.write_window = 4;
+
+    // Same payload through three client configurations. Every readback
+    // (done by an unchunked control client) must be byte-identical.
+    let got_plain = write_then_read(&plain, &plain, "/pipe-plain", &data, 3);
+    let got_serial = write_then_read(&serial, &plain, "/pipe-serial", &data, 3);
+    let got_windowed = write_then_read(&windowed, &plain, "/pipe-windowed", &data, 3);
+    assert_eq!(got_plain, data, "unchunked control readback mismatch");
+    assert_eq!(got_serial, data, "window=1 chunked readback mismatch");
+    assert_eq!(got_windowed, data, "window=4 chunked readback mismatch");
+
+    // All three commit the same file shape: stat sizes must agree.
+    let mut fs = FsScript::new();
+    fs.stat("/pipe-plain").unwrap();
+    fs.stat("/pipe-serial").unwrap();
+    fs.stat("/pipe-windowed").unwrap();
+    let out = ctl::run_script(&plain, fs.into_ops(), 3, DEADLINE).expect("stat script");
+    assert_eq!(out.stats.failed_ops, 0, "stat failed: {:?}", out.stats.last_error);
+    let sizes: Vec<u64> = out.records.iter().map(|r| r.bytes).collect();
+    assert_eq!(sizes, vec![data.len() as u64; 3], "committed sizes diverge");
+
+    for h in handles {
+        h.stop().expect("clean shutdown");
+    }
+}
+
+#[test]
+fn pipelined_write_survives_provider_death_mid_window() {
+    let (mut handles, plain) = spawn_cluster(4, &[]);
+    let mut cfg = plain.clone();
+    cfg.write_chunk = Some(8 * 1024);
+    cfg.write_window = 2;
+    // 2 MiB at 8 KiB chunks: hundreds of in-flight round trips, so the
+    // concurrent kill lands while the window is open.
+    let data = payload(2 << 20);
+
+    // Kill one provider shortly after the write script starts. With
+    // replication 2 on four providers the client rides out the death via
+    // its RPC-timeout retry path, whether the chunks targeting the
+    // victim were already acknowledged or die with it.
+    let victim = handles.pop().unwrap();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(1500));
+        victim.stop()
+    });
+    let got = write_then_read(&cfg, &plain, "/pipe-churn", &data, 3);
+    killer.join().expect("killer thread").expect("clean provider shutdown");
+    assert_eq!(got, data, "chunked write corrupted by provider death");
 
     for h in handles {
         h.stop().expect("clean shutdown");

@@ -128,7 +128,7 @@ proptest! {
             for (i, &(off, len)) in writes.iter().enumerate() {
                 let fill = (b * 16 + i + 1) as u8;
                 let data = vec![fill; len as usize];
-                store.write_shadow(shadow, off, WritePayload::Real(data.clone())).unwrap();
+                store.write_shadow(shadow, off, WritePayload::Real(data.clone().into())).unwrap();
                 if model.len() < (off + len) as usize {
                     model.resize((off + len) as usize, 0);
                 }
@@ -209,7 +209,7 @@ proptest! {
                     };
                     let fill = (n as u8).wrapping_add(1);
                     let data = vec![fill; *len as usize];
-                    store.write_shadow(shadow, *off, WritePayload::Real(data.clone())).unwrap();
+                    store.write_shadow(shadow, *off, WritePayload::Real(data.clone().into())).unwrap();
                     if model.len() < (*off + *len) as usize {
                         model.resize((*off + *len) as usize, 0);
                     }

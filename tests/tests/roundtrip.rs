@@ -240,7 +240,7 @@ fn mkdir_list_nested() {
         ],
     );
     assert_eq!(stats.failed_ops, 0, "last error: {:?}", stats.last_error);
-    let listing = String::from_utf8(stats.last_read.clone().unwrap_or_default());
+    let listing = String::from_utf8(stats.last_read.clone().unwrap_or_default().to_vec());
     // Reads store data; list results land in last_read via the blob.
     assert!(listing.is_ok());
 }

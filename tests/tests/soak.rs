@@ -93,7 +93,7 @@ impl Workload for Mixed {
             }
             1 => {
                 let data = self.payload(i, self.step);
-                ClientOp::Write { offset: 0, payload: WritePayload::Real(data) }
+                ClientOp::Write { offset: 0, payload: WritePayload::Real(data.into()) }
             }
             2 => ClientOp::Close,
             // Read-verify cycle against a file we know the contents of.
