@@ -1,6 +1,7 @@
 # Sorrento reproduction — developer entry points.
 #
 #   make check      build (release) + full test suite + clippy with -D warnings
+#                   + rustdoc with -D warnings (public-API docs are load-bearing)
 #   make test       test suite only
 #   make check-net  real-process runtime: frame-codec property tests +
 #                   loopback TCP cluster drill (sockets, daemons, sorrentoctl)
@@ -9,7 +10,10 @@
 #                   results/BENCH_net.json is malformed or if the pooled
 #                   encode path allocates more than BENCH_ALLOC_BOUND
 #                   per frame at steady state
-#   make docs       rustdoc for the whole workspace
+#   make chaos-smoke  the chaos game-day drill: a real loopback cluster
+#                   under deterministic fault injection, with a provider
+#                   crash + restart, run for three fixed seeds
+#   make docs       rustdoc for the whole workspace (warnings are errors)
 
 CARGO ?= cargo
 
@@ -17,9 +21,9 @@ CARGO ?= cargo
 # (the Arc that shares the pooled buffer across peer queues).
 BENCH_ALLOC_BOUND ?= 1.0
 
-.PHONY: check build test clippy check-net bench bench-smoke docs
+.PHONY: check build test clippy check-net bench bench-smoke chaos-smoke docs
 
-check: build test clippy
+check: build test clippy docs
 
 build:
 	$(CARGO) build --release
@@ -34,6 +38,9 @@ check-net:
 	$(CARGO) test -p sorrento-net
 	$(CARGO) test -p sorrento-tests --test frame_codec
 	$(CARGO) test -p sorrento-tests --test loopback_cluster
+
+chaos-smoke:
+	$(CARGO) test -p sorrento-tests --test chaos_recovery -- --nocapture
 
 bench:
 	for f in fig09_small_file_latency fig10_small_file_throughput \
@@ -50,4 +57,4 @@ bench-smoke:
 	  --smoke --out target/BENCH_net.smoke.json --check-allocs $(BENCH_ALLOC_BOUND)
 
 docs:
-	$(CARGO) doc --no-deps
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps

@@ -399,6 +399,26 @@ pub struct SorrentoClient {
     /// is set (clamped to at least 1). The window keeps the owner's
     /// pipe full without unbounded buffering on either side.
     pub write_window: usize,
+    /// Extra same-request resends per RPC before the timeout path
+    /// suspects the target. Resends reuse the original request id, so
+    /// receivers that already executed the request replay their cached
+    /// reply instead of executing twice, and each resend backs off
+    /// exponentially with jitter from the seeded RNG. `0` (the default)
+    /// keeps the classic one-shot-then-timeout behavior — seeded
+    /// simulation runs never enable this.
+    pub rpc_resends: u32,
+    /// Whole-operation deadline. An op still unfinished when it fires
+    /// completes with [`Error::DeadlineExceeded`] instead of retrying
+    /// further. `None` (the default) means no deadline; the simulator
+    /// never sets one.
+    pub op_deadline: Option<Dur>,
+    /// Retained request copies for same-id resends (`rpc_resends > 0`
+    /// only): req → (message, resends left, current backoff). Clones
+    /// are cheap — bulk payloads are shared `Bytes`.
+    resends: HashMap<ReqId, (Msg, u32, Dur)>,
+    /// Monotonic op generation; tags `Tick::OpDeadline` so a stale
+    /// deadline timer from a finished op cannot kill its successor.
+    op_gen: u64,
 }
 
 impl SorrentoClient {
@@ -426,6 +446,10 @@ impl SorrentoClient {
             span_seq: 0,
             write_chunk: None,
             write_window: 4,
+            rpc_resends: 0,
+            op_deadline: None,
+            resends: HashMap::new(),
+            op_gen: 0,
         }
     }
 
@@ -433,6 +457,20 @@ impl SorrentoClient {
         let r = self.next_req;
         self.next_req += 1;
         r
+    }
+
+    /// Start request ids at `base` (if larger than the current counter).
+    ///
+    /// Servers deduplicate replayed mutations by `(client id, request
+    /// id)`, so two client sessions sharing one node id — e.g.
+    /// sequential `sorrentoctl` runs, which all join as the configured
+    /// `ctl_id` — must not reuse each other's request ids, or a new
+    /// request could be answered from a previous session's reply cache.
+    /// Real-runtime drivers seed this with a session-unique value;
+    /// simulated clients each have their own node id and keep the
+    /// default.
+    pub fn req_base(&mut self, base: ReqId) {
+        self.next_req = self.next_req.max(base);
     }
 
     /// Inspect the concrete workload driving this client (post-run
@@ -483,9 +521,49 @@ impl SorrentoClient {
         };
         let timeout = self.costs.rpc_timeout + Dur::for_bytes(transfer, 1.5e6);
         self.pending.insert(req, (to, pending));
-        ctx.send(to, msg);
-        ctx.set_timer(timeout, Msg::Tick(Tick::RpcTimeout(req)));
+        if self.rpc_resends > 0 {
+            // Resilient mode: keep a copy of the request and replace the
+            // one-shot timeout with a resend schedule. Only after the
+            // resend budget is spent does the timeout path run.
+            self.resends.insert(req, (msg.clone(), self.rpc_resends, timeout));
+            ctx.send(to, msg);
+            ctx.set_timer(timeout, Msg::Tick(Tick::RpcResend(req)));
+        } else {
+            ctx.send(to, msg);
+            ctx.set_timer(timeout, Msg::Tick(Tick::RpcTimeout(req)));
+        }
         req
+    }
+
+    /// A resend backoff fired: if the request is still unanswered,
+    /// re-issue the *same* message (same request id — receivers
+    /// deduplicate replays) to the same target, or hand over to the
+    /// timeout path once the resend budget is spent.
+    fn on_resend(&mut self, ctx: &mut impl Transport, req: ReqId) {
+        let Some((target, _)) = self.pending.get(&req) else {
+            self.resends.remove(&req); // reply arrived first
+            return;
+        };
+        let target = *target;
+        let state = match self.resends.get_mut(&req) {
+            Some(s) if s.1 > 0 => s,
+            _ => {
+                self.resends.remove(&req);
+                self.on_timeout(ctx, req);
+                return;
+            }
+        };
+        state.1 -= 1;
+        let msg = state.0.clone();
+        // Exponential backoff: doubling spreads replays out, and jitter
+        // from the seeded RNG decorrelates clients hammering the same
+        // recovering node.
+        let doubled = state.2.as_nanos().saturating_mul(2);
+        state.2 = Dur::nanos(doubled);
+        let jitter = ctx.rng().gen_range(0..doubled / 4 + 1);
+        ctx.metrics().count("client.rpc_resends", 1);
+        ctx.send(target, msg);
+        ctx.set_timer(Dur::nanos(doubled + jitter), Msg::Tick(Tick::RpcResend(req)));
     }
 
     /// Pick an owner for a segment: co-located first, then random
@@ -588,6 +666,10 @@ impl SorrentoClient {
             self.stats.started_at = Some(now);
         }
         self.append_retries = MAX_APPEND_RETRIES;
+        self.op_gen += 1;
+        if let Some(deadline) = self.op_deadline {
+            ctx.set_timer(deadline, Msg::Tick(Tick::OpDeadline(self.op_gen)));
+        }
         self.span_seq += 1;
         self.cur_span = ((ctx.id().index() as u64 + 1) << 32) | self.span_seq;
         self.stats.last_span = self.cur_span;
@@ -690,6 +772,7 @@ impl SorrentoClient {
         // Drop any stray pending requests of this op (late replies are
         // ignored by the pending-map lookup).
         self.pending.clear();
+        self.resends.clear();
         self.scatter_bytes = 0;
         let latency = ctx.now().since(started);
         let span = self.cur_span;
@@ -759,6 +842,7 @@ impl SorrentoClient {
             return;
         }
         self.pending.clear();
+        self.resends.clear();
         // Restart the op from its first stage with current knowledge.
         if let Some((_, _, phase, _)) = &mut self.op {
             *phase = Phase::NsSimple;
@@ -2136,6 +2220,7 @@ impl SorrentoClient {
     // ------------------------------------------------------------------
 
     fn on_reply(&mut self, ctx: &mut impl Transport, from: NodeId, req: ReqId, msg: Msg) {
+        self.resends.remove(&req);
         let Some((_, pending)) = self.pending.remove(&req) else {
             let kind = crate::proto_dbg_kind(&msg);
             ctx.metrics().count("client.stale_replies", 1);
@@ -2544,9 +2629,16 @@ impl SorrentoClient {
     }
 
     fn on_timeout(&mut self, ctx: &mut impl Transport, req: ReqId) {
+        self.resends.remove(&req);
         let Some((target, pending)) = self.pending.remove(&req) else {
             return; // reply arrived first
         };
+        // In resilient mode (same-request resends enabled) the request
+        // was already replayed with backoff; the target is now presumed
+        // down, which the typed error states. The classic path keeps
+        // `Timeout` so seeded simulation output is unchanged.
+        let timeout_err =
+            if self.rpc_resends > 0 { Error::Unavailable } else { Error::Timeout };
         // Suspect the unresponsive node: drop it from the local view (it
         // will be re-admitted by its next heartbeat if it is actually
         // alive) and from cached owner lists, so retries pick another
@@ -2588,7 +2680,7 @@ impl SorrentoClient {
             }
             Pending::Prepare | Pending::Commit2 | Pending::CommitBegin
             | Pending::CommitEnd => {
-                self.abort_commit(ctx, Error::Timeout);
+                self.abort_commit(ctx, timeout_err);
             }
             Pending::EagerSync => {
                 if let Some((_, _, Phase::Committing(CommitStage::Eager { outstanding }), _)) =
@@ -2607,7 +2699,7 @@ impl SorrentoClient {
                 self.continue_unlink(ctx);
             }
             _ => {
-                self.retry_or_fail(ctx, Error::Timeout);
+                self.retry_or_fail(ctx, timeout_err);
             }
         }
     }
@@ -2663,6 +2755,15 @@ impl SorrentoClient {
                 }
             }
             Msg::Tick(Tick::RpcTimeout(req)) => self.on_timeout(ctx, req),
+            Msg::Tick(Tick::RpcResend(req)) => self.on_resend(ctx, req),
+            Msg::Tick(Tick::OpDeadline(gen)) => {
+                // Only the op that armed this deadline may be killed by
+                // it; a successor op bumps `op_gen`.
+                if self.op.is_some() && gen == self.op_gen {
+                    ctx.metrics().count("client.deadline_exceeded", 1);
+                    self.complete_op(ctx, Some(Error::DeadlineExceeded), 0, None);
+                }
+            }
             Msg::Tick(Tick::BackupDeadline(req)) => self.on_backup_deadline(ctx, req),
             Msg::Tick(_) => {}
             Msg::BackupQueryR { req, version, .. } => {

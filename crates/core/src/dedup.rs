@@ -1,0 +1,111 @@
+//! Reply deduplication for at-least-once request delivery.
+//!
+//! The resilient client replays an unanswered request with the *same*
+//! request id (see `SorrentoClient::rpc_resends`). For idempotent
+//! requests (lookups, reads) a second execution is harmless, but a
+//! replayed mutation — a create, a commit vote, a direct write — must
+//! not run twice: the first execution may have succeeded with only the
+//! reply lost, and re-executing would turn that success into a spurious
+//! `AlreadyExists`/`VersionConflict`/double-append.
+//!
+//! [`ReplyCache`] is the receiver-side half of the contract: a bounded
+//! FIFO of `(sender, request id) → reply`. A mutation's reply is
+//! recorded after the first execution; a replay of the same key is
+//! answered from the cache without touching state. The bound makes the
+//! memory cost a constant — old entries are evicted in insertion order,
+//! which is safe because the client abandons a request id forever once
+//! the op that issued it completes.
+//!
+//! In seeded simulation runs the cache is populated but never hit
+//! (request ids are never reused without resends, and the simulator
+//! never enables resends), so it changes no simulated outcome.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::proto::{Msg, ReqId};
+use sorrento_sim::NodeId;
+
+/// Default number of replies a receiver retains.
+pub const DEFAULT_REPLY_CACHE: usize = 256;
+
+/// Bounded FIFO map of `(sender, request id) → cached reply`.
+pub struct ReplyCache {
+    cap: usize,
+    map: HashMap<(NodeId, ReqId), Msg>,
+    order: VecDeque<(NodeId, ReqId)>,
+}
+
+impl ReplyCache {
+    /// A cache retaining at most `cap` replies (oldest evicted first).
+    pub fn new(cap: usize) -> ReplyCache {
+        ReplyCache { cap: cap.max(1), map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// The cached reply for a replayed request, if any.
+    pub fn get(&self, from: NodeId, req: ReqId) -> Option<&Msg> {
+        self.map.get(&(from, req))
+    }
+
+    /// Record the reply to a just-executed mutation. Re-recording the
+    /// same key overwrites (replays answered from the cache never call
+    /// this).
+    pub fn put(&mut self, from: NodeId, req: ReqId, reply: Msg) {
+        let key = (from, req);
+        if self.map.insert(key, reply).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Forget everything (crash semantics: the cache is in-memory
+    /// state, so a restarted node starts cold).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Number of retained replies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn caches_and_replays_by_sender_and_req() {
+        let mut c = ReplyCache::new(8);
+        c.put(node(1), 7, Msg::NsMkdirR { req: 7, result: Ok(()) });
+        assert!(matches!(c.get(node(1), 7), Some(Msg::NsMkdirR { req: 7, .. })));
+        // Same req id from a different sender is a different key.
+        assert!(c.get(node(2), 7).is_none());
+        assert!(c.get(node(1), 8).is_none());
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut c = ReplyCache::new(2);
+        for req in 0..3 {
+            c.put(node(1), req, Msg::NsMkdirR { req, result: Ok(()) });
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.get(node(1), 0).is_none(), "oldest entry should be evicted");
+        assert!(c.get(node(1), 1).is_some());
+        assert!(c.get(node(1), 2).is_some());
+    }
+}

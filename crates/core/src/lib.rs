@@ -68,6 +68,7 @@ pub mod client;
 pub mod codec;
 pub mod cluster;
 pub mod costs;
+pub mod dedup;
 pub mod layout;
 pub mod location;
 pub mod membership;

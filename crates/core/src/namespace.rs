@@ -19,7 +19,8 @@ use sorrento_sim::{Ctx, DiskAccess, Node, NodeId, SimTime, TelemetryEvent};
 use crate::transport::Transport;
 
 use crate::costs::CostModel;
-use crate::proto::{FileEntry, Msg, Tick};
+use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE};
+use crate::proto::{FileEntry, Msg, ReqId, Tick};
 use crate::types::{Error, FileId, FileOptions, Version};
 
 /// Key prefix for namespace entries.
@@ -73,6 +74,9 @@ pub struct NamespaceServer {
     pub ops_served: u64,
     /// Number of WAL batches replayed at the last recovery.
     pub recovered_batches: usize,
+    /// Replies to recent mutations, replayed verbatim when a resilient
+    /// client re-sends a request whose reply was lost.
+    replies: ReplyCache,
 }
 
 impl NamespaceServer {
@@ -96,6 +100,7 @@ impl NamespaceServer {
             leases: HashMap::new(),
             ops_served: 0,
             recovered_batches: 0,
+            replies: ReplyCache::new(DEFAULT_REPLY_CACHE),
         }
     }
 
@@ -296,6 +301,7 @@ impl NamespaceServer {
             self.parked_backend = Some(db.into_backend());
         }
         self.leases.clear();
+        self.replies.clear();
     }
 
     /// Process one delivered message or fired timer.
@@ -309,6 +315,20 @@ impl NamespaceServer {
             }
             Msg::Tick(_) | Msg::Heartbeat(_) => return,
             _ => {}
+        }
+        // Replayed mutation (same-request resend after a lost reply)?
+        // Answer from the cache without executing twice: the first
+        // execution may have succeeded, and re-running would turn that
+        // success into a spurious AlreadyExists/VersionConflict.
+        let dedup_req = dedup_key(&msg);
+        if let Some(req) = dedup_req {
+            if let Some(cached) = self.replies.get(from, req) {
+                let reply = cached.clone();
+                ctx.metrics().count("ns.dedup_replays", 1);
+                let done = ctx.cpu(self.costs.ns_op_cpu);
+                ctx.send_at(done, from, reply);
+                return;
+            }
         }
         self.ops_served += 1;
         let cpu_done = ctx.cpu(self.costs.ns_op_cpu);
@@ -389,7 +409,24 @@ impl NamespaceServer {
         } else {
             cpu_done
         };
+        if let Some(req) = dedup_req {
+            self.replies.put(from, req, reply.clone());
+        }
         ctx.send_at(done, from, reply);
+    }
+}
+
+/// The request id of a namespace message that must not execute twice
+/// (`None` for idempotent reads, which are cheaper to re-run than to
+/// cache).
+fn dedup_key(msg: &Msg) -> Option<ReqId> {
+    match msg {
+        Msg::NsCreate { req, .. }
+        | Msg::NsMkdir { req, .. }
+        | Msg::NsRemove { req, .. }
+        | Msg::NsCommitBegin { req, .. }
+        | Msg::NsCommitEnd { req, .. } => Some(*req),
+        _ => None,
     }
 }
 

@@ -91,6 +91,13 @@ pub enum Tick {
     CommitBeginRetry,
     /// Namespace: lease expiry sweep.
     LeaseSweep,
+    /// Client: per-operation deadline elapsed (`op_deadline` set; real
+    /// runtime only). Carries the op generation it was armed for, so a
+    /// deadline outliving its op cannot fail a later one.
+    OpDeadline(u64),
+    /// Client: resend backoff elapsed; re-issue the pending request with
+    /// this id to the same target (real runtime, `rpc_resends` > 0).
+    RpcResend(ReqId),
 }
 
 /// Every Sorrento message.
@@ -278,6 +285,30 @@ pub enum Msg {
     StatsQuery { req: ReqId },
     /// The daemon's metrics registry, JSON-encoded.
     StatsR { req: ReqId, json: String },
+    /// Install (or clear, with all-zero rates) the mesh's deterministic
+    /// fault-injection rules on a live daemon. Like [`Msg::StatsQuery`],
+    /// this is answered by the real-process runtime loop itself — the
+    /// state machines never see it and the simulator never sends it, so
+    /// adding it cannot perturb seeded event streams.
+    ChaosCtl {
+        req: ReqId,
+        /// Base seed for the per-link fault streams; the same seed
+        /// reproduces the same drop/delay/duplicate pattern.
+        seed: u64,
+        /// Per-frame drop probability, in permille (0–1000).
+        drop_permille: u32,
+        /// Per-frame duplicate probability, in permille.
+        dup_permille: u32,
+        /// Per-frame delay probability, in permille.
+        delay_permille: u32,
+        /// Extra latency added to a delayed frame, in microseconds.
+        delay_us: u64,
+        /// Peers this node must not exchange frames with (partition
+        /// set); empty means no partition.
+        partition: Vec<NodeId>,
+    },
+    /// Chaos-control acknowledgement.
+    ChaosCtlR { req: ReqId },
 }
 
 /// Boxed replica image (large variant kept off the enum's inline size).
@@ -336,6 +367,8 @@ pub fn dbg_kind(msg: &Msg) -> &'static str {
         Msg::MigrateDone { .. } => "migrate_done",
         Msg::StatsQuery { .. } => "stats_query",
         Msg::StatsR { .. } => "stats_r",
+        Msg::ChaosCtl { .. } => "chaos_ctl",
+        Msg::ChaosCtlR { .. } => "chaos_ctl_r",
     }
 }
 
@@ -415,6 +448,8 @@ impl Payload for Msg {
             Msg::MigrateDone { .. } => 24,
             Msg::StatsQuery { .. } => 8,
             Msg::StatsR { json, .. } => 8 + json.len() as u64,
+            Msg::ChaosCtl { partition, .. } => 40 + partition.len() as u64 * 4,
+            Msg::ChaosCtlR { .. } => 8,
         };
         RPC_HEADER + body
     }

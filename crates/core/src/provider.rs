@@ -15,6 +15,7 @@ use sorrento_sim::{Ctx, DiskAccess, Dur, Node, NodeId, SimTime, TelemetryEvent};
 use crate::transport::Transport;
 
 use crate::costs::CostModel;
+use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE};
 use crate::location::LocationTable;
 use crate::membership::{Ewma, Heartbeat, MembershipEvent, MembershipView};
 use crate::placement::{candidates_from_view, select_provider, Candidate};
@@ -80,6 +81,10 @@ pub struct StorageProvider {
     pub installs_done: u64,
     /// Monotonic heartbeat sequence (telemetry only).
     hb_seq: u64,
+    /// Replies to recent non-idempotent requests (shadow creation, 2PC
+    /// votes, direct writes), replayed verbatim when a resilient client
+    /// re-sends a request whose reply was lost.
+    replies: ReplyCache,
 }
 
 impl StorageProvider {
@@ -105,6 +110,7 @@ impl StorageProvider {
             migrations_done: 0,
             installs_done: 0,
             hb_seq: 0,
+            replies: ReplyCache::new(DEFAULT_REPLY_CACHE),
         }
     }
 
@@ -751,12 +757,26 @@ impl StorageProvider {
         self.migration_inflight = None;
         self.repairs_issued.clear();
         self.join_refresh_pending.clear();
+        self.replies.clear();
         self.store.expire_all_shadows();
     }
 
     /// Process one delivered message or fired timer.
     pub fn handle_message(&mut self, from: NodeId, msg: Msg, ctx: &mut impl Transport) {
         let now = ctx.now();
+        // Replayed non-idempotent request (same-request resend after a
+        // lost reply)? Answer from the cache without executing twice: a
+        // re-run Commit on an already-consumed shadow would return
+        // `ShadowExpired` for a write that actually succeeded.
+        if let Some(req) = dedup_key(&msg) {
+            if let Some(cached) = self.replies.get(from, req) {
+                let reply = cached.clone();
+                ctx.metrics().count("provider.dedup_replays", 1);
+                let done = ctx.cpu(self.costs.provider_op_cpu);
+                ctx.send_at(done, from, reply);
+                return;
+            }
+        }
         match msg {
             // ---------------- timers ----------------
             Msg::Tick(Tick::Heartbeat) => {
@@ -790,6 +810,10 @@ impl StorageProvider {
                     .gauge_set(&format!("{me}.loc_entries"), self.loc.len() as f64);
                 ctx.metrics()
                     .gauge_set(&format!("{me}.fetch_queue"), self.fetch_queue.len() as f64);
+                ctx.metrics()
+                    .gauge_set(&format!("{me}.segments"), self.store.list_segments().len() as f64);
+                ctx.metrics()
+                    .gauge_set(&format!("{me}.stored_bytes"), self.store.total_stored_bytes() as f64);
                 ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Heartbeat));
             }
             Msg::Tick(Tick::LocationRefresh) => {
@@ -919,7 +943,9 @@ impl StorageProvider {
                     ctx.record(TelemetryEvent::SegCreate { span, seg: seg.0, on: ctx.id() });
                 }
                 let done = ctx.cpu(self.costs.provider_op_cpu);
-                ctx.send_at(done, from, Msg::CreateShadowR { req, result });
+                let reply = Msg::CreateShadowR { req, result };
+                self.replies.put(from, req, reply.clone());
+                ctx.send_at(done, from, reply);
             }
             Msg::WriteShadow {
                 req,
@@ -989,7 +1015,9 @@ impl StorageProvider {
                 }
                 let cpu_done = ctx.cpu(self.costs.provider_op_cpu);
                 let disk_done = ctx.disk_submit(512, DiskAccess::Sync);
-                ctx.send_at(cpu_done.max(disk_done), from, Msg::PrepareR { req, result });
+                let reply = Msg::PrepareR { req, result };
+                self.replies.put(from, req, reply.clone());
+                ctx.send_at(cpu_done.max(disk_done), from, reply);
             }
             Msg::Commit { req, span, items } => {
                 let mut result = Ok(());
@@ -1022,7 +1050,9 @@ impl StorageProvider {
                 }
                 let cpu_done = ctx.cpu(self.costs.provider_op_cpu);
                 let disk_done = ctx.disk_submit(512, DiskAccess::Sync);
-                ctx.send_at(cpu_done.max(disk_done), from, Msg::CommitR { req, result });
+                let reply = Msg::CommitR { req, result };
+                self.replies.put(from, req, reply.clone());
+                ctx.send_at(cpu_done.max(disk_done), from, reply);
             }
             Msg::Abort { span, items } => {
                 for shadow in items {
@@ -1054,7 +1084,9 @@ impl StorageProvider {
                 }
                 let cpu_done = ctx.cpu(self.costs.provider_op_cpu);
                 let disk_done = ctx.disk_submit(bytes, DiskAccess::Sequential);
-                ctx.send_at(cpu_done.max(disk_done), from, Msg::DirectWriteR { req, result });
+                let reply = Msg::DirectWriteR { req, result };
+                self.replies.put(from, req, reply.clone());
+                ctx.send_at(cpu_done.max(disk_done), from, reply);
             }
 
             // ---------------- lifecycle ----------------
@@ -1171,6 +1203,19 @@ impl StorageProvider {
 
             _ => {}
         }
+    }
+}
+
+/// The request id of a provider message that must not execute twice
+/// (`None` for idempotent requests: reads, and shadow writes — which
+/// place the same bytes at the same offset on replay).
+fn dedup_key(msg: &Msg) -> Option<ReqId> {
+    match msg {
+        Msg::CreateShadow { req, .. }
+        | Msg::Prepare { req, .. }
+        | Msg::Commit { req, .. }
+        | Msg::DirectWrite { req, .. } => Some(*req),
+        _ => None,
     }
 }
 

@@ -126,6 +126,13 @@ pub enum Error {
     NotEmpty,
     /// Shadow copy expired before commit.
     ShadowExpired,
+    /// The target could not be reached after the client exhausted its
+    /// retry budget (real runtime with resilience enabled; the
+    /// retriable sibling of [`Error::Timeout`]).
+    Unavailable,
+    /// The per-operation deadline elapsed before the operation could
+    /// complete (real runtime, `op_deadline` set).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -142,6 +149,8 @@ impl fmt::Display for Error {
             Error::NotADirectory => "not a directory",
             Error::NotEmpty => "directory not empty",
             Error::ShadowExpired => "shadow copy expired",
+            Error::Unavailable => "unavailable",
+            Error::DeadlineExceeded => "deadline exceeded",
         };
         f.write_str(s)
     }

@@ -162,6 +162,7 @@ fn spawn_cluster(providers: usize, seed: u64) -> (Vec<DaemonHandle>, CtlConfig) 
                 machine: i as u32,
                 rack: i as u32,
                 costs: CostModel::fast_test(),
+                chaos: Default::default(),
                 peers: all_peers
                     .iter()
                     .enumerate()

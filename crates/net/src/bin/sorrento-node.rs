@@ -1,33 +1,80 @@
 //! The Sorrento node daemon binary.
 //!
 //! ```text
-//! sorrento-node <config.json>
+//! sorrento-node <config.json> [--crash-after <secs>]
 //! ```
 //!
 //! Runs one namespace server or storage provider (chosen by the
-//! config's `role`) until the process is killed or `quit` is typed on
-//! stdin. Type `quit` for a clean shutdown: a provider then persists
-//! every dirty segment and checkpoints its database before exiting
-//! (segments are also persisted continuously, so a hard kill loses at
-//! most the last couple hundred milliseconds of writes).
+//! config's `role`) until stopped. Three ways out:
+//!
+//! * **`quit` on stdin or SIGTERM** — clean shutdown: a provider
+//!   persists every dirty segment and checkpoints its database before
+//!   exiting (segments are also persisted continuously, so even a hard
+//!   kill loses at most the last couple hundred milliseconds of
+//!   writes).
+//! * **SIGKILL / power loss** — nothing runs; recovery relies entirely
+//!   on the continuous persistence sweeps.
+//! * **`--crash-after <secs>`** — test hook for recovery drills: the
+//!   process aborts (no clean shutdown, no final persistence) after the
+//!   given number of seconds, standing in for a SIGKILL that scripts
+//!   can schedule deterministically.
 
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use sorrento_net::config::{DaemonConfig, Role};
 use sorrento_net::daemon;
 
+/// Set by the SIGTERM handler; polled by the daemon loop via the shared
+/// shutdown flag bridge below. Signal handlers may only do
+/// async-signal-safe work, which a relaxed atomic store is.
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // Raw libc signal(2) via the C ABI: the toolchain has no libc crate
+    // vendored, and one handler registration does not justify one.
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigterm(_sig: i32) {
+        SIGTERM_SEEN.store(true, Ordering::Relaxed);
+    }
+    let handler = on_sigterm as extern "C" fn(i32);
+    unsafe {
+        signal(SIGTERM, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sorrento-node <config.json> [--crash-after <secs>]");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = match args.as_slice() {
-        [p] if p != "-h" && p != "--help" => p.clone(),
-        _ => {
-            eprintln!("usage: sorrento-node <config.json>");
-            return ExitCode::FAILURE;
+    let mut path: Option<String> = None;
+    let mut crash_after: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return usage(),
+            "--crash-after" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) => crash_after = Some(secs),
+                None => return usage(),
+            },
+            _ if path.is_none() => path = Some(arg),
+            _ => return usage(),
         }
-    };
+    }
+    let Some(path) = path else { return usage() };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -48,15 +95,18 @@ fn main() -> ExitCode {
         Role::Provider => "provider",
     };
     eprintln!(
-        "sorrento-node: node {} ({role}) listening on {} ({} peers); type `quit` to stop",
+        "sorrento-node: node {} ({role}) listening on {} ({} peers); type `quit` or send SIGTERM to stop",
         cfg.node_id.index(),
         cfg.listen,
         cfg.peers.len()
     );
 
+    install_sigterm_handler();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+
     // `quit` on stdin requests a clean shutdown; EOF (e.g. started with
     // stdin from /dev/null) just parks the watcher.
-    let shutdown = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     let _ = std::thread::Builder::new()
         .name("stdin-watcher".into())
@@ -72,6 +122,31 @@ fn main() -> ExitCode {
                 }
             }
         });
+
+    // Bridge SIGTERM into the shared shutdown flag so the daemon loop
+    // exits through its clean path (final persist + checkpoint).
+    let flag = Arc::clone(&shutdown);
+    let _ = std::thread::Builder::new()
+        .name("signal-watcher".into())
+        .spawn(move || loop {
+            if SIGTERM_SEEN.load(Ordering::Relaxed) {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+
+    // Crash drill: abort abruptly — no clean shutdown path runs, so
+    // on-disk state is whatever the continuous persistence captured.
+    if let Some(secs) = crash_after {
+        let _ = std::thread::Builder::new()
+            .name("crash-timer".into())
+            .spawn(move || {
+                std::thread::sleep(Duration::from_secs(secs));
+                eprintln!("sorrento-node: --crash-after {secs} elapsed; aborting");
+                std::process::abort();
+            });
+    }
 
     match daemon::run(cfg, shutdown) {
         Ok(()) => ExitCode::SUCCESS,

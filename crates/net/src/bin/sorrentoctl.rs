@@ -9,12 +9,17 @@
 //! sorrentoctl --config <cluster.json> rm     <path>
 //! sorrentoctl --config <cluster.json> mkdir  <path>
 //! sorrentoctl --config <cluster.json> stats  <node-id>
+//! sorrentoctl --config <cluster.json> chaos  <node-id> off
+//! sorrentoctl --config <cluster.json> chaos  <node-id> <seed> <drop‰> [dup‰ [delay‰ <delay-µs>]]
 //! ```
 //!
 //! Every file command compiles an [`FsScript`] program and runs it
 //! through the same `SorrentoClient` state machine the simulator uses,
 //! over TCP. `read` with no explicit length stats the file first and
 //! reads to EOF. `stats` fetches a daemon's metrics registry as JSON.
+//! `chaos` installs (or, with `off`, clears) deterministic
+//! fault-injection rules on one daemon's mesh — the game-day tool; see
+//! RUNBOOK.md. Rules shape the frames that daemon *sends*.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -22,6 +27,7 @@ use std::time::Duration;
 
 use sorrento::api::FsScript;
 use sorrento::client::ClientOp;
+use sorrento_net::chaos::ChaosConfig;
 use sorrento_net::config::CtlConfig;
 use sorrento_net::ctl::{self, OpRecord, ScriptOutcome};
 use sorrento_sim::NodeId;
@@ -29,7 +35,7 @@ use sorrento_sim::NodeId;
 /// Wall-clock budget for one command, discovery included.
 const DEADLINE: Duration = Duration::from_secs(30);
 const USAGE: &str = "usage: sorrentoctl --config <cluster.json> \
-    <create|write|read|stat|ls|rm|mkdir|stats> [args]";
+    <create|write|read|stat|ls|rm|mkdir|stats|chaos> [args]";
 
 fn main() -> ExitCode {
     match run() {
@@ -151,6 +157,39 @@ fn run() -> Result<ExitCode, String> {
             let json = ctl::fetch_stats(&cfg, NodeId::from_index(id), DEADLINE)
                 .map_err(|e| e.to_string())?;
             println!("{json}");
+            Ok(ExitCode::SUCCESS)
+        }
+        ("chaos", [node, rule @ ..]) if !rule.is_empty() => {
+            let id: usize = node.parse().map_err(|_| "chaos takes a node id first")?;
+            let chaos = if rule == ["off"] {
+                ChaosConfig::default() // all-zero rules clear injection
+            } else {
+                let num = |i: usize, what: &str| -> Result<u64, String> {
+                    match rule.get(i) {
+                        None => Ok(0),
+                        Some(s) => s.parse().map_err(|_| format!("{what} must be a number")),
+                    }
+                };
+                ChaosConfig {
+                    seed: num(0, "seed")?,
+                    drop_permille: num(1, "drop permille")? as u32,
+                    dup_permille: num(2, "dup permille")? as u32,
+                    delay_permille: num(3, "delay permille")? as u32,
+                    delay: Duration::from_micros(num(4, "delay microseconds")?),
+                    partition: Vec::new(),
+                }
+            };
+            ctl::set_chaos(&cfg, NodeId::from_index(id), &chaos, DEADLINE)
+                .map_err(|e| e.to_string())?;
+            if chaos.is_active() {
+                eprintln!(
+                    "chaos on n{id}: seed {} drop {}‰ dup {}‰ delay {}‰×{:?}",
+                    chaos.seed, chaos.drop_permille, chaos.dup_permille,
+                    chaos.delay_permille, chaos.delay
+                );
+            } else {
+                eprintln!("chaos off on n{id}");
+            }
             Ok(ExitCode::SUCCESS)
         }
         _ => Err(USAGE.into()),

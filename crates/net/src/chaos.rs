@@ -1,0 +1,234 @@
+//! Deterministic fault injection for the TCP mesh.
+//!
+//! Chaos lives at the mesh's enqueue boundary: every outbound frame is
+//! run through a per-link decision stream *before* it reaches a sender
+//! thread, so faults are decided on the daemon thread, in frame order,
+//! from a seeded RNG. Given the same seed and the same sequence of
+//! frames on a link, the drop/duplicate/delay pattern is byte-identical
+//! across runs — which is what lets `chaos_recovery.rs` replay a
+//! failure drill from three fixed seeds instead of hoping the network
+//! misbehaves on cue.
+//!
+//! Four fault classes, mirroring what a real lossy network does to a
+//! frame stream:
+//!
+//! * **drop** — the frame is never enqueued (the peer sees nothing);
+//! * **duplicate** — the frame is enqueued twice back-to-back, which is
+//!   how retry-key dedup at the receivers gets exercised;
+//! * **delay** — the frame (and, as on a real FIFO link, everything
+//!   queued behind it) is held back by a fixed latency;
+//! * **partition** — all frames to a configured peer set are dropped
+//!   unconditionally, RNG untouched, until the partition is lifted.
+//!
+//! Rules are installed at boot from the daemon config or at runtime via
+//! [`Msg::ChaosCtl`](sorrento::proto::Msg::ChaosCtl) (handled by the
+//! daemon loop, never by the state machines). An all-zero config turns
+//! chaos off.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sorrento_sim::NodeId;
+
+/// Fault-injection rules, applied per outbound frame.
+///
+/// Rates are in permille (0–1000) and are mutually exclusive per frame:
+/// one draw in `0..1000` selects drop, duplicate, delay, or clean
+/// delivery, in that priority order. `Default` is all-zero: no faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Base seed; each link derives its own stream from this, the
+    /// sending node, and the peer, so links are decorrelated but every
+    /// link's stream is reproducible.
+    pub seed: u64,
+    /// Per-frame drop probability in permille.
+    pub drop_permille: u32,
+    /// Per-frame duplicate probability in permille.
+    pub dup_permille: u32,
+    /// Per-frame delay probability in permille.
+    pub delay_permille: u32,
+    /// Latency added to a delayed frame.
+    pub delay: Duration,
+    /// Peers to sever entirely (simulated partition).
+    pub partition: Vec<NodeId>,
+}
+
+impl ChaosConfig {
+    /// Whether this config injects any fault at all; an inactive config
+    /// is equivalent to chaos being uninstalled.
+    pub fn is_active(&self) -> bool {
+        self.drop_permille > 0
+            || self.dup_permille > 0
+            || self.delay_permille > 0
+            || !self.partition.is_empty()
+    }
+}
+
+/// What chaos decided to do with one outbound frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver normally.
+    Deliver,
+    /// Never enqueue the frame.
+    Drop,
+    /// Enqueue the frame twice.
+    Duplicate,
+    /// Enqueue with added latency.
+    Delay(Duration),
+    /// Peer is in the partition set: drop without consuming RNG.
+    Partitioned,
+}
+
+/// One link's deterministic decision stream.
+struct LinkChaos {
+    rng: SmallRng,
+}
+
+impl LinkChaos {
+    fn new(seed: u64, me: NodeId, peer: NodeId) -> LinkChaos {
+        // Mix the endpoints into the seed (splitmix-style odd constants)
+        // so every link draws from its own stream: faults on one link
+        // never shift another link's pattern.
+        let mixed = seed
+            ^ (me.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (peer.index() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        LinkChaos { rng: SmallRng::seed_from_u64(mixed) }
+    }
+
+    fn next(&mut self, cfg: &ChaosConfig) -> Fault {
+        // Exactly one draw per frame keeps the stream a pure function of
+        // the frame index, whatever mix of rates is configured.
+        let roll = self.rng.gen_range(0..1000u32);
+        if roll < cfg.drop_permille {
+            Fault::Drop
+        } else if roll < cfg.drop_permille + cfg.dup_permille {
+            Fault::Duplicate
+        } else if roll < cfg.drop_permille + cfg.dup_permille + cfg.delay_permille {
+            Fault::Delay(cfg.delay)
+        } else {
+            Fault::Deliver
+        }
+    }
+}
+
+/// The mesh's installed chaos rules plus per-link RNG streams.
+///
+/// Owned by the [`Mesh`](crate::tcp::Mesh) and consulted on the daemon
+/// thread only (the mesh's enqueue side is single-threaded), so no
+/// locking is needed and the decision order is the enqueue order.
+pub struct Chaos {
+    cfg: ChaosConfig,
+    links: HashMap<NodeId, LinkChaos>,
+    me: NodeId,
+}
+
+impl Chaos {
+    /// Install rules for frames sent by `me`.
+    pub fn new(me: NodeId, cfg: ChaosConfig) -> Chaos {
+        Chaos { cfg, links: HashMap::new(), me }
+    }
+
+    /// The installed rules.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Decide the fate of the next frame to `peer`.
+    pub fn decide(&mut self, peer: NodeId) -> Fault {
+        if self.cfg.partition.contains(&peer) {
+            return Fault::Partitioned;
+        }
+        let me = self.me;
+        let seed = self.cfg.seed;
+        let link = self
+            .links
+            .entry(peer)
+            .or_insert_with(|| LinkChaos::new(seed, me, peer));
+        link.next(&self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn cfg(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            drop_permille: 100,
+            dup_permille: 50,
+            delay_permille: 30,
+            delay: Duration::from_millis(2),
+            partition: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_stream() {
+        let mut a = Chaos::new(node(0), cfg(42));
+        let mut b = Chaos::new(node(0), cfg(42));
+        let fa: Vec<Fault> = (0..1000).map(|_| a.decide(node(1))).collect();
+        let fb: Vec<Fault> = (0..1000).map(|_| b.decide(node(1))).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn different_links_are_decorrelated_but_individually_stable() {
+        let mut a = Chaos::new(node(0), cfg(42));
+        let to1: Vec<Fault> = (0..1000).map(|_| a.decide(node(1))).collect();
+        let to2: Vec<Fault> = (0..1000).map(|_| a.decide(node(2))).collect();
+        assert_ne!(to1, to2);
+        // Interleaving traffic to another link must not shift link 1's
+        // stream: it is a function of (seed, link, frame index) only.
+        let mut b = Chaos::new(node(0), cfg(42));
+        let interleaved: Vec<Fault> = (0..1000)
+            .map(|_| {
+                let f = b.decide(node(1));
+                let _ = b.decide(node(2));
+                f
+            })
+            .collect();
+        assert_eq!(to1, interleaved);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut c = Chaos::new(node(0), cfg(7));
+        let n = 20_000;
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        for _ in 0..n {
+            match c.decide(node(1)) {
+                Fault::Drop => drops += 1,
+                Fault::Duplicate => dups += 1,
+                Fault::Delay(_) => delays += 1,
+                _ => {}
+            }
+        }
+        // 10% / 5% / 3% nominal; allow generous slack.
+        assert!((drops as f64 / n as f64 - 0.10).abs() < 0.02, "drops {drops}");
+        assert!((dups as f64 / n as f64 - 0.05).abs() < 0.02, "dups {dups}");
+        assert!((delays as f64 / n as f64 - 0.03).abs() < 0.02, "delays {delays}");
+    }
+
+    #[test]
+    fn zero_rates_always_deliver_and_partition_always_drops() {
+        let mut c = Chaos::new(
+            node(0),
+            ChaosConfig { seed: 1, partition: vec![node(9)], ..ChaosConfig::default() },
+        );
+        for _ in 0..100 {
+            assert_eq!(c.decide(node(1)), Fault::Deliver);
+            assert_eq!(c.decide(node(9)), Fault::Partitioned);
+        }
+        assert!(!ChaosConfig::default().is_active());
+        assert!(cfg(0).is_active());
+    }
+}

@@ -24,7 +24,9 @@
 //! `Hello` frames teach nodes about everyone else at runtime.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
+use crate::chaos::ChaosConfig;
 use sorrento::costs::CostModel;
 use sorrento_json::Json;
 use sorrento_sim::NodeId;
@@ -70,6 +72,10 @@ pub struct DaemonConfig {
     pub rack: u32,
     /// Protocol cost model (timer intervals, timeouts).
     pub costs: CostModel,
+    /// Fault-injection rules installed into the mesh at boot (all-zero
+    /// default = chaos off). Also togglable at runtime via
+    /// `Msg::ChaosCtl`.
+    pub chaos: ChaosConfig,
     /// Seed peers.
     pub peers: Vec<PeerSpec>,
 }
@@ -132,6 +138,7 @@ impl DaemonConfig {
                 });
             }
         }
+        let chaos = parse_chaos(&j)?;
         Ok(DaemonConfig {
             node_id: NodeId::from_index(node_id),
             role,
@@ -142,9 +149,43 @@ impl DaemonConfig {
             machine: opt_u64(&j, "machine")?.unwrap_or(node_id as u64) as u32,
             rack: opt_u64(&j, "rack")?.unwrap_or(node_id as u64) as u32,
             costs,
+            chaos,
             peers,
         })
     }
+}
+
+/// Parse an optional `"chaos"` object:
+///
+/// ```json
+/// { "chaos": { "seed": 42, "drop_permille": 100, "dup_permille": 20,
+///              "delay_permille": 50, "delay_us": 2000,
+///              "partition": [3] } }
+/// ```
+///
+/// Absent means no fault injection; every field inside defaults to 0 /
+/// empty. The same knobs ride on `Msg::ChaosCtl` for runtime toggling.
+fn parse_chaos(j: &Json) -> Result<ChaosConfig, ConfigError> {
+    let Some(c) = j.get("chaos") else { return Ok(ChaosConfig::default()) };
+    if matches!(c, Json::Null) {
+        return Ok(ChaosConfig::default());
+    }
+    let mut partition = Vec::new();
+    if let Some(arr) = c.get("partition") {
+        for id in arr.as_arr().ok_or(ConfigError::Invalid("chaos.partition"))? {
+            partition.push(NodeId::from_index(
+                id.as_u64().ok_or(ConfigError::Invalid("chaos.partition"))? as usize,
+            ));
+        }
+    }
+    Ok(ChaosConfig {
+        seed: opt_u64(c, "seed")?.unwrap_or(0),
+        drop_permille: opt_u64(c, "drop_permille")?.unwrap_or(0) as u32,
+        dup_permille: opt_u64(c, "dup_permille")?.unwrap_or(0) as u32,
+        delay_permille: opt_u64(c, "delay_permille")?.unwrap_or(0) as u32,
+        delay: Duration::from_micros(opt_u64(c, "delay_us")?.unwrap_or(0)),
+        partition,
+    })
 }
 
 /// What `sorrentoctl` needs to talk to a cluster: where the daemons
@@ -167,6 +208,15 @@ pub struct CtlConfig {
     pub write_chunk: Option<u64>,
     /// How many chunks may be in flight per extent when chunking is on.
     pub write_window: usize,
+    /// Extra same-request resends per RPC before the client suspects
+    /// the target (0 keeps the classic timeout-then-failover path).
+    /// Resent requests carry the same request id, so receivers
+    /// deduplicate replays.
+    pub rpc_resends: u32,
+    /// Whole-operation deadline in milliseconds; an op that cannot
+    /// finish in time fails with `Error::DeadlineExceeded` instead of
+    /// retrying forever (`None` = no deadline).
+    pub op_deadline_ms: Option<u64>,
     /// All daemons in the cluster.
     pub peers: Vec<PeerSpec>,
 }
@@ -216,6 +266,8 @@ impl CtlConfig {
             costs,
             write_chunk: opt_u64(&j, "write_chunk")?,
             write_window: opt_u64(&j, "write_window")?.unwrap_or(4) as usize,
+            rpc_resends: opt_u64(&j, "rpc_resends")?.unwrap_or(0) as u32,
+            op_deadline_ms: opt_u64(&j, "op_deadline_ms")?,
             peers,
         })
     }
@@ -259,6 +311,36 @@ mod tests {
         assert_eq!(cfg.peers.len(), 1);
         assert_eq!(cfg.machine, 2);
         assert!(cfg.data_dir.is_none());
+    }
+
+    #[test]
+    fn parses_chaos_and_resilience_knobs() {
+        let cfg = DaemonConfig::parse(
+            r#"{"node_id": 2, "role": "provider", "listen": "127.0.0.1:0",
+                "chaos": {"seed": 9, "drop_permille": 100, "delay_us": 2000,
+                          "partition": [3, 4]}}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.chaos.seed, 9);
+        assert_eq!(cfg.chaos.drop_permille, 100);
+        assert_eq!(cfg.chaos.delay, Duration::from_micros(2000));
+        assert_eq!(cfg.chaos.partition, vec![NodeId::from_index(3), NodeId::from_index(4)]);
+        assert!(cfg.chaos.is_active());
+
+        let ctl = CtlConfig::parse(
+            r#"{"namespace": 0, "rpc_resends": 2, "op_deadline_ms": 1500,
+                "peers": [{"id": 0, "addr": "127.0.0.1:7400"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ctl.rpc_resends, 2);
+        assert_eq!(ctl.op_deadline_ms, Some(1500));
+        // Both default to off.
+        let ctl = CtlConfig::parse(
+            r#"{"namespace": 0, "peers": [{"id": 0, "addr": "x"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ctl.rpc_resends, 0);
+        assert_eq!(ctl.op_deadline_ms, None);
     }
 
     #[test]

@@ -177,6 +177,18 @@ pub fn run_script(
     client.default_options.replication = cfg.replication;
     client.write_chunk = cfg.write_chunk;
     client.write_window = cfg.write_window;
+    client.rpc_resends = cfg.rpc_resends;
+    client.op_deadline =
+        cfg.op_deadline_ms.map(|ms| sorrento_sim::Dur::nanos(ms.saturating_mul(1_000_000)));
+    // Every control session joins as the same ctl node id, and the
+    // servers' reply caches key on (node, request id) — so each session
+    // takes a disjoint request-id range to never alias an earlier one.
+    client.req_base(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1),
+    );
 
     // Discovery warmup: absorb heartbeats before starting the workload.
     let deadline_at = Instant::now() + deadline;
@@ -238,6 +250,50 @@ pub fn fetch_stats(cfg: &CtlConfig, target: NodeId, timeout: Duration) -> Result
         if let Some((from, Msg::StatsR { json, .. })) = mesh.recv_timeout(POLL) {
             if from == target {
                 return Ok(json);
+            }
+        }
+    }
+    Err(CtlError::StatsTimeout)
+}
+
+/// Install (or, with an all-zero config, clear) fault-injection rules on
+/// a live daemon's mesh.
+///
+/// Like [`fetch_stats`], the request is answered by the daemon loop —
+/// never the state machine — and is re-sent until acknowledged, since
+/// the transport is lossy. Note the asymmetry: rules installed on
+/// `target` shape the frames *it sends*, not the frames it receives.
+pub fn set_chaos(
+    cfg: &CtlConfig,
+    target: NodeId,
+    chaos: &crate::chaos::ChaosConfig,
+    timeout: Duration,
+) -> Result<(), CtlError> {
+    const RESEND_EVERY: Duration = Duration::from_millis(300);
+    let (_ctx, mut mesh) = join_mesh(cfg)?;
+    let deadline_at = Instant::now() + timeout;
+    let mut req = 0u64;
+    let mut next_send = Instant::now();
+    while Instant::now() <= deadline_at {
+        if Instant::now() >= next_send {
+            req += 1;
+            mesh.send(
+                target,
+                &Msg::ChaosCtl {
+                    req,
+                    seed: chaos.seed,
+                    drop_permille: chaos.drop_permille,
+                    dup_permille: chaos.dup_permille,
+                    delay_permille: chaos.delay_permille,
+                    delay_us: chaos.delay.as_micros() as u64,
+                    partition: chaos.partition.clone(),
+                },
+            );
+            next_send = Instant::now() + RESEND_EVERY;
+        }
+        if let Some((from, Msg::ChaosCtlR { .. })) = mesh.recv_timeout(POLL) {
+            if from == target {
+                return Ok(());
             }
         }
     }

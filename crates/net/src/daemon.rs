@@ -32,6 +32,7 @@ use sorrento::Transport;
 use sorrento_kvdb::{Db, DbConfig, FileBackend};
 use sorrento_sim::NodeId;
 
+use crate::chaos::ChaosConfig;
 use crate::config::{DaemonConfig, Role};
 use crate::frame;
 use crate::runtime::{Out, RealCtx};
@@ -71,6 +72,7 @@ pub struct DaemonHandle {
     /// The address it actually listens on.
     pub addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    abrupt: Arc<AtomicBool>,
     join: Option<JoinHandle<io::Result<()>>>,
 }
 
@@ -78,6 +80,21 @@ impl DaemonHandle {
     /// Request shutdown and wait for the loop to exit cleanly
     /// (final segment persistence included).
     pub fn stop(mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.join.take() {
+            Some(j) => j.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+
+    /// Kill the daemon as a crash stand-in: the loop exits without the
+    /// final persistence sweep or checkpoint, so on-disk state is
+    /// whatever the last periodic sweep captured — exactly what a
+    /// `SIGKILL`'d process would leave behind. Recovery drills restart
+    /// a killed provider on the same `data_dir` and assert the cluster
+    /// converges.
+    pub fn kill(mut self) -> io::Result<()> {
+        self.abrupt.store(true, Ordering::SeqCst);
         self.shutdown.store(true, Ordering::SeqCst);
         match self.join.take() {
             Some(j) => j.join().unwrap_or(Ok(())),
@@ -107,25 +124,32 @@ pub fn spawn(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
 pub fn spawn_with_listener(cfg: DaemonConfig, listener: TcpListener) -> io::Result<DaemonHandle> {
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let abrupt = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
+    let abrupt_flag = Arc::clone(&abrupt);
     let node = cfg.node_id;
     let join = std::thread::Builder::new()
         .name(format!("sorrento-node-{}", node.index()))
-        .spawn(move || run_loop(cfg, listener, flag))?;
-    Ok(DaemonHandle { node, addr, shutdown, join: Some(join) })
+        .spawn(move || run_loop(cfg, listener, flag, abrupt_flag))?;
+    Ok(DaemonHandle { node, addr, shutdown, abrupt, join: Some(join) })
 }
 
 /// Run a daemon on the calling thread until `shutdown` is set.
 pub fn run(cfg: DaemonConfig, shutdown: Arc<AtomicBool>) -> io::Result<()> {
     let listener = TcpListener::bind(&cfg.listen)?;
-    run_loop(cfg, listener, shutdown)
+    run_loop(cfg, listener, shutdown, Arc::new(AtomicBool::new(false)))
 }
 
 fn resolve(addr: &str) -> Option<SocketAddr> {
     addr.to_socket_addrs().ok()?.next()
 }
 
-fn run_loop(cfg: DaemonConfig, listener: TcpListener, shutdown: Arc<AtomicBool>) -> io::Result<()> {
+fn run_loop(
+    cfg: DaemonConfig,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    abrupt: Arc<AtomicBool>,
+) -> io::Result<()> {
     let me = cfg.node_id;
     let mut machines: HashMap<NodeId, u32> =
         cfg.peers.iter().map(|p| (p.id, p.machine)).collect();
@@ -138,6 +162,9 @@ fn run_loop(cfg: DaemonConfig, listener: TcpListener, shutdown: Arc<AtomicBool>)
         .filter_map(|p| Some((p.id, resolve(&p.addr)?)))
         .collect();
     let mut mesh = Mesh::start(me, listener, seed_peers, MeshConfig::default())?;
+    if cfg.chaos.is_active() {
+        mesh.set_chaos(Some(cfg.chaos.clone()));
+    }
 
     let mut machine = match cfg.role {
         Role::Namespace => Machine::Ns(Box::new(NamespaceServer::new(cfg.costs))),
@@ -184,6 +211,28 @@ fn run_loop(cfg: DaemonConfig, listener: TcpListener, shutdown: Arc<AtomicBool>)
                     let json = ctx.metrics_ref().to_json().encode();
                     mesh.send(from, &Msg::StatsR { req, json });
                 }
+                // Like StatsQuery, chaos control is answered by the loop
+                // itself: fault injection lives in the mesh, and the
+                // state machines never see (or depend on) it.
+                Msg::ChaosCtl {
+                    req,
+                    seed,
+                    drop_permille,
+                    dup_permille,
+                    delay_permille,
+                    delay_us,
+                    partition,
+                } => {
+                    mesh.set_chaos(Some(ChaosConfig {
+                        seed,
+                        drop_permille,
+                        dup_permille,
+                        delay_permille,
+                        delay: Duration::from_micros(delay_us),
+                        partition,
+                    }));
+                    mesh.send(from, &Msg::ChaosCtlR { req });
+                }
                 msg => machine.handle_message(from, msg, &mut ctx),
             }
             flush(&mut ctx, &mut mesh, &mut machine);
@@ -197,9 +246,13 @@ fn run_loop(cfg: DaemonConfig, listener: TcpListener, shutdown: Arc<AtomicBool>)
         }
     }
 
-    if let (Some(db), Machine::Prov(prov)) = (&mut db, &machine) {
-        persist_dirty(db, prov, &mut persisted)?;
-        db.checkpoint()?;
+    // An abrupt (crash-drill) exit skips the final sweep and checkpoint:
+    // on-disk state stays at whatever the last periodic sweep captured.
+    if !abrupt.load(Ordering::SeqCst) {
+        if let (Some(db), Machine::Prov(prov)) = (&mut db, &machine) {
+            persist_dirty(db, prov, &mut persisted)?;
+            db.checkpoint()?;
+        }
     }
     mesh.shutdown();
     Ok(())

@@ -417,6 +417,8 @@ fn write_error(w: &mut Writer, e: &Error) {
         Error::NotADirectory => 8,
         Error::NotEmpty => 9,
         Error::ShadowExpired => 10,
+        Error::Unavailable => 11,
+        Error::DeadlineExceeded => 12,
     });
 }
 
@@ -433,6 +435,8 @@ fn read_error(r: &mut Reader<'_>) -> Result<Error, FrameError> {
         8 => Error::NotADirectory,
         9 => Error::NotEmpty,
         10 => Error::ShadowExpired,
+        11 => Error::Unavailable,
+        12 => Error::DeadlineExceeded,
         tag => return Err(FrameError::UnknownTag { what: "error", tag }),
     })
 }
@@ -670,6 +674,14 @@ fn write_tick(w: &mut Writer, t: &Tick) {
         Tick::AppendRetry => w.u8(11),
         Tick::CommitBeginRetry => w.u8(12),
         Tick::LeaseSweep => w.u8(13),
+        Tick::OpDeadline(generation) => {
+            w.u8(14);
+            w.u64(*generation);
+        }
+        Tick::RpcResend(req) => {
+            w.u8(15);
+            w.u64(*req);
+        }
     }
 }
 
@@ -689,6 +701,8 @@ fn read_tick(r: &mut Reader<'_>) -> Result<Tick, FrameError> {
         11 => Tick::AppendRetry,
         12 => Tick::CommitBeginRetry,
         13 => Tick::LeaseSweep,
+        14 => Tick::OpDeadline(r.u64()?),
+        15 => Tick::RpcResend(r.u64()?),
         tag => return Err(FrameError::UnknownTag { what: "tick", tag }),
     })
 }
@@ -1022,6 +1036,31 @@ fn write_msg(w: &mut Writer, msg: &Msg) {
             w.u64(*req);
             w.string(json);
         }
+        Msg::ChaosCtl {
+            req,
+            seed,
+            drop_permille,
+            dup_permille,
+            delay_permille,
+            delay_us,
+            partition,
+        } => {
+            w.u8(48);
+            w.u64(*req);
+            w.u64(*seed);
+            w.u32(*drop_permille);
+            w.u32(*dup_permille);
+            w.u32(*delay_permille);
+            w.u64(*delay_us);
+            w.u32(partition.len() as u32);
+            for n in partition {
+                w.node(*n);
+            }
+        }
+        Msg::ChaosCtlR { req } => {
+            w.u8(49);
+            w.u64(*req);
+        }
     }
 }
 
@@ -1184,6 +1223,23 @@ fn read_msg(r: &mut Reader<'_>) -> Result<Msg, FrameError> {
         45 => Msg::MigrateDone { seg: SegId(r.u128()?), ok: r.boolean()? },
         46 => Msg::StatsQuery { req: r.u64()? },
         47 => Msg::StatsR { req: r.u64()?, json: r.string()? },
+        48 => Msg::ChaosCtl {
+            req: r.u64()?,
+            seed: r.u64()?,
+            drop_permille: r.u32()?,
+            dup_permille: r.u32()?,
+            delay_permille: r.u32()?,
+            delay_us: r.u64()?,
+            partition: {
+                let n = r.u32()? as usize;
+                let mut peers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    peers.push(r.node()?);
+                }
+                peers
+            },
+        },
+        49 => Msg::ChaosCtlR { req: r.u64()? },
         tag => return Err(FrameError::UnknownTag { what: "msg", tag }),
     })
 }
@@ -1238,6 +1294,36 @@ mod tests {
                 },
             })),
         });
+    }
+
+    #[test]
+    fn resilience_messages_round_trip() {
+        roundtrip(Msg::ChaosCtl {
+            req: 11,
+            seed: 0xC0FFEE,
+            drop_permille: 100,
+            dup_permille: 20,
+            delay_permille: 50,
+            delay_us: 1500,
+            partition: vec![NodeId::from_index(2), NodeId::from_index(5)],
+        });
+        roundtrip(Msg::ChaosCtl {
+            req: 12,
+            seed: 0,
+            drop_permille: 0,
+            dup_permille: 0,
+            delay_permille: 0,
+            delay_us: 0,
+            partition: Vec::new(),
+        });
+        roundtrip(Msg::ChaosCtlR { req: 11 });
+        // New tick variants (never on the wire in practice, but the codec
+        // must stay total over Msg).
+        roundtrip(Msg::Tick(Tick::OpDeadline(7)));
+        roundtrip(Msg::Tick(Tick::RpcResend(99)));
+        // New error variants travel inside any Result-bearing reply.
+        roundtrip(Msg::WriteShadowR { req: 1, result: Err(Error::Unavailable) });
+        roundtrip(Msg::CommitR { req: 2, result: Err(Error::DeadlineExceeded) });
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`tcp`] — a std-only TCP mesh: one listener, thread-per-connection
 //!   readers feeding a bounded inbox, and a per-peer sender thread with
 //!   a bounded outbound queue and vectored coalesced writes.
+//! * [`chaos`] — deterministic fault injection at the mesh's enqueue
+//!   boundary: seeded per-link drop/duplicate/delay/partition streams,
+//!   installed at boot or flipped at runtime via `Msg::ChaosCtl`.
 //! * [`runtime`] — [`runtime::RealCtx`], the wall-clock
 //!   [`sorrento::Transport`] implementation (monotonic-nanosecond
 //!   clock, timer heap, real metrics registry).
@@ -23,6 +26,7 @@
 //! * [`ctl`] — the `sorrentoctl` client library: run filesystem ops
 //!   against a live cluster, fetch daemon stats.
 
+pub mod chaos;
 pub mod config;
 pub mod ctl;
 pub mod daemon;

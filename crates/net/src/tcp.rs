@@ -38,11 +38,18 @@ use bytes::Bytes;
 use sorrento::proto::Msg;
 use sorrento_sim::NodeId;
 
+use crate::chaos::{Chaos, ChaosConfig, Fault};
 use crate::frame::{self, Frame, HEADER_LEN};
 use crate::pool::{BufPool, PooledBuf};
 
 /// Most frames folded into one vectored write.
 const COALESCE_MAX: usize = 32;
+
+/// Consecutive queue-full drops to one peer before its sender (and the
+/// stalled connection it owns) is evicted and joined. A healthy peer
+/// never gets close; a wedged one is torn down within one queue's worth
+/// of traffic so its socket and thread are reclaimed.
+const EVICT_AFTER_FULL: u32 = 64;
 
 /// Transport tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +90,9 @@ struct MeshCounters {
     send_failures: AtomicU64,
     dropped_inbox_full: AtomicU64,
     decode_errors: AtomicU64,
+    chaos_dropped: AtomicU64,
+    chaos_duplicated: AtomicU64,
+    chaos_delayed: AtomicU64,
 }
 
 /// A point-in-time copy of the mesh counters.
@@ -96,6 +106,12 @@ pub struct MeshStats {
     pub dropped_inbox_full: u64,
     /// Connections dropped for undecodable bytes.
     pub decode_errors: u64,
+    /// Frames dropped by injected chaos (random loss + partitions).
+    pub chaos_dropped: u64,
+    /// Frames duplicated by injected chaos.
+    pub chaos_duplicated: u64,
+    /// Frames delayed by injected chaos.
+    pub chaos_delayed: u64,
 }
 
 struct Shared {
@@ -113,16 +129,31 @@ struct Shared {
 /// Work for a peer's sender thread.
 enum OutItem {
     /// A fully encoded frame (header + payload), shared so a multicast
-    /// encodes once. The buffer returns to the pool when the last queue
-    /// drops it.
-    Frame(Arc<PooledBuf>),
+    /// encodes once, plus chaos-injected latency (zero = none; the
+    /// sender thread sleeps it off before writing, so the added delay is
+    /// in link order, like queueing delay on a real NIC). The buffer
+    /// returns to the pool when the last queue drops it.
+    Frame(Arc<PooledBuf>, Duration),
     /// Connect (and send our `Hello`) if not already connected.
     EnsureConn,
 }
 
 struct PeerSender {
     tx: SyncSender<OutItem>,
-    _thread: JoinHandle<()>,
+    /// Per-sender stop flag: lets eviction and shutdown join the thread
+    /// promptly even while it is mid-retry against a stalled peer.
+    quit: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl PeerSender {
+    /// Stop the sender thread and wait for it. Socket operations are all
+    /// bounded (connect/read/write timeouts), so the join is too.
+    fn stop(self) {
+        self.quit.store(true, Ordering::SeqCst);
+        drop(self.tx); // disconnect the queue: recv returns immediately
+        let _ = self.thread.join();
+    }
 }
 
 /// The node's connection fabric.
@@ -136,6 +167,10 @@ pub struct Mesh {
     /// One sender thread + bounded queue per peer (only the daemon
     /// thread enqueues).
     senders: HashMap<NodeId, PeerSender>,
+    /// Consecutive queue-full drops per peer (eviction trigger).
+    full_strikes: HashMap<NodeId, u32>,
+    /// Installed fault-injection rules, if any (see [`crate::chaos`]).
+    chaos: Option<Chaos>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -169,6 +204,8 @@ impl Mesh {
             inbox: rx,
             pool: BufPool::new(),
             senders: HashMap::new(),
+            full_strikes: HashMap::new(),
+            chaos: None,
             accept_thread: Some(accept_thread),
         })
     }
@@ -219,18 +256,70 @@ impl Mesh {
         }
     }
 
+    /// Install (or clear, with `None` / an inactive config) deterministic
+    /// fault injection on every outbound link. Applies from the next
+    /// frame on; see [`crate::chaos`] for the semantics.
+    pub fn set_chaos(&mut self, cfg: Option<ChaosConfig>) {
+        self.chaos = match cfg {
+            Some(c) if c.is_active() => Some(Chaos::new(self.me, c)),
+            _ => None,
+        };
+    }
+
     fn enqueue(&mut self, to: NodeId, frame: Arc<PooledBuf>) {
-        let sender = self.sender_for(to);
-        match sender.tx.try_send(OutItem::Frame(frame)) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
-                self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+        // Chaos verdict first (daemon thread, frame order: the decision
+        // stream is deterministic for a given seed and link).
+        let mut delay = Duration::ZERO;
+        let mut copies = 1u32;
+        if let Some(chaos) = &mut self.chaos {
+            match chaos.decide(to) {
+                Fault::Deliver => {}
+                Fault::Drop | Fault::Partitioned => {
+                    self.shared.counters.chaos_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Fault::Duplicate => {
+                    copies = 2;
+                    self.shared.counters.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
+                }
+                Fault::Delay(d) => {
+                    delay = d;
+                    self.shared.counters.chaos_delayed.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            Err(TrySendError::Disconnected(_)) => {
-                // Sender thread died (shutdown or panic); a later send
-                // will respawn it.
-                self.senders.remove(&to);
-                self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        for _ in 0..copies {
+            let sender = self.sender_for(to);
+            match sender.tx.try_send(OutItem::Frame(Arc::clone(&frame), delay)) {
+                Ok(()) => {
+                    self.full_strikes.remove(&to);
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+                    // A queue that stays full means the peer's connection
+                    // is wedged (TCP window exhausted by a non-reader, or
+                    // a blackholed route): after enough consecutive
+                    // strikes, evict — stop and *join* the sender thread,
+                    // releasing its socket — so a later send starts over
+                    // on a fresh connection instead of feeding a dead one.
+                    let strikes = self.full_strikes.entry(to).or_insert(0);
+                    *strikes += 1;
+                    if *strikes >= EVICT_AFTER_FULL {
+                        self.full_strikes.remove(&to);
+                        if let Some(s) = self.senders.remove(&to) {
+                            s.stop();
+                        }
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Sender thread died (shutdown or panic): reap it —
+                    // the join is immediate since the thread already
+                    // exited — and let a later send respawn it.
+                    if let Some(s) = self.senders.remove(&to) {
+                        s.stop();
+                    }
+                    self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -242,11 +331,13 @@ impl Mesh {
             let cfg = self.cfg;
             let me = self.me;
             let listen = self.listen_addr;
+            let quit = Arc::new(AtomicBool::new(false));
+            let quit_flag = Arc::clone(&quit);
             let thread = std::thread::Builder::new()
                 .name(format!("sorrento-send-{}-{}", me.index(), to.index()))
-                .spawn(move || sender_loop(to, rx, shared, cfg, me, listen))
+                .spawn(move || sender_loop(to, rx, shared, cfg, me, listen, quit_flag))
                 .expect("spawn sender thread");
-            PeerSender { tx, _thread: thread }
+            PeerSender { tx, quit, thread }
         })
     }
 
@@ -269,6 +360,9 @@ impl Mesh {
             send_failures: c.send_failures.load(Ordering::Relaxed),
             dropped_inbox_full: c.dropped_inbox_full.load(Ordering::Relaxed),
             decode_errors: c.decode_errors.load(Ordering::Relaxed),
+            chaos_dropped: c.chaos_dropped.load(Ordering::Relaxed),
+            chaos_duplicated: c.chaos_duplicated.load(Ordering::Relaxed),
+            chaos_delayed: c.chaos_delayed.load(Ordering::Relaxed),
         }
     }
 
@@ -279,15 +373,22 @@ impl Mesh {
         metrics.gauge_set("net_send_failures", s.send_failures as f64);
         metrics.gauge_set("net_dropped_inbox_full", s.dropped_inbox_full as f64);
         metrics.gauge_set("net_decode_errors", s.decode_errors as f64);
+        metrics.gauge_set("net_chaos_dropped", s.chaos_dropped as f64);
+        metrics.gauge_set("net_chaos_duplicated", s.chaos_duplicated as f64);
+        metrics.gauge_set("net_chaos_delayed", s.chaos_delayed as f64);
     }
 
     /// Stop the accept thread, reader threads, and sender threads.
+    ///
+    /// Sender threads are *joined*, not abandoned: every socket
+    /// operation they perform is bounded by a timeout and they check
+    /// their stop flag between operations, so even a sender mid-write to
+    /// a stalled peer exits within one timeout period.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Dropping the queues disconnects the sender threads; they exit
-        // on their next queue poll rather than being joined, so a
-        // thread mid-write to a stalled peer cannot wedge shutdown.
-        self.senders.clear();
+        for (_, sender) in self.senders.drain() {
+            sender.stop();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -312,11 +413,15 @@ fn sender_loop(
     cfg: MeshConfig,
     me: NodeId,
     listen_addr: SocketAddr,
+    quit: Arc<AtomicBool>,
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut batch: Vec<Arc<PooledBuf>> = Vec::with_capacity(COALESCE_MAX);
+    let stopping = |quit: &AtomicBool, shared: &Shared| {
+        quit.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst)
+    };
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if stopping(&quit, &shared) {
             return;
         }
         let first = match rx.recv_timeout(cfg.read_timeout) {
@@ -330,29 +435,45 @@ fn sender_loop(
             conn = None;
         }
         batch.clear();
+        let mut delay = Duration::ZERO;
         match first {
             OutItem::EnsureConn => {
                 ensure_conn(&mut conn, peer, &shared, cfg, me, listen_addr);
                 continue;
             }
-            OutItem::Frame(f) => batch.push(f),
+            OutItem::Frame(f, d) => {
+                delay = delay.max(d);
+                batch.push(f);
+            }
         }
         // Coalesce whatever else is already queued into one vectored
-        // write (EnsureConn is implied by having frames to send).
+        // write (EnsureConn is implied by having frames to send). A
+        // chaos delay on any coalesced frame delays the whole batch —
+        // frames on one link stay in order, as on a real FIFO path.
         while batch.len() < COALESCE_MAX {
             match rx.try_recv() {
-                Ok(OutItem::Frame(f)) => batch.push(f),
+                Ok(OutItem::Frame(f, d)) => {
+                    delay = delay.max(d);
+                    batch.push(f);
+                }
                 Ok(OutItem::EnsureConn) => {}
                 Err(_) => break,
             }
         }
-        let ok = write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr) || {
-            // One retry on a fresh connection after a short backoff,
-            // then the batch is dropped (lossy-network semantics).
-            conn = None;
-            std::thread::sleep(cfg.retry_backoff);
-            write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr)
-        };
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let ok = write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr, &quit)
+            || {
+                // One retry on a fresh connection after a short backoff,
+                // then the batch is dropped (lossy-network semantics).
+                conn = None;
+                if stopping(&quit, &shared) {
+                    return;
+                }
+                std::thread::sleep(cfg.retry_backoff);
+                write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr, &quit)
+            };
         if ok {
             shared.counters.sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
         } else {
@@ -382,6 +503,11 @@ fn ensure_conn(
         Err(_) => return false,
     };
     let _ = stream.set_nodelay(true);
+    // Bounded writes: a peer that stops draining its receive window must
+    // not pin this thread in `write` forever — the timeout lets the loop
+    // notice its stop flag, which is what makes eviction and shutdown
+    // able to *join* sender threads instead of leaking them.
+    let _ = stream.set_write_timeout(Some(cfg.read_timeout));
     // Introduce ourselves so the peer can route replies and multicasts
     // back without prior configuration.
     let hello = frame::encode_hello(me, &listen_addr.to_string());
@@ -395,6 +521,7 @@ fn ensure_conn(
 /// Write a batch of frames with as few syscalls as possible. Any write
 /// error invalidates the connection (a partial frame cannot be resumed
 /// on a byte stream — the receiver resyncs by dropping the connection).
+#[allow(clippy::too_many_arguments)]
 fn write_batch(
     conn: &mut Option<TcpStream>,
     batch: &[Arc<PooledBuf>],
@@ -403,6 +530,7 @@ fn write_batch(
     cfg: MeshConfig,
     me: NodeId,
     listen_addr: SocketAddr,
+    quit: &AtomicBool,
 ) -> bool {
     if !ensure_conn(conn, peer, shared, cfg, me, listen_addr) {
         return false;
@@ -435,6 +563,17 @@ fn write_batch(
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // The peer's receive window is full. Keep trying — the
+                // window may drain — but stay joinable: on eviction or
+                // shutdown the partial frame is abandoned with the
+                // connection (a half-written frame cannot be resumed).
+                if quit.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+                    *conn = None;
+                    return false;
+                }
+                continue;
+            }
             Err(_) => {
                 *conn = None;
                 return false;
@@ -600,11 +739,32 @@ mod tests {
         assert_eq!(m0.stats().sent, 0);
     }
 
+    /// Count live threads whose name marks them as `me`'s sender
+    /// threads (`/proc` thread names are truncated to 15 bytes, so the
+    /// prefix identifies the owning mesh as long as tests use distinct
+    /// single-digit node indices).
+    #[cfg(target_os = "linux")]
+    fn sender_threads_of(me: NodeId) -> usize {
+        let prefix = format!("sorrento-send-{}", me.index());
+        let prefix = &prefix[..prefix.len().min(15)];
+        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else { return 0 };
+        tasks
+            .flatten()
+            .filter_map(|t| std::fs::read_to_string(t.path().join("comm")).ok())
+            .filter(|comm| comm.trim_end() == prefix)
+            .count()
+    }
+
     /// One peer that accepts but never reads must not delay delivery to
     /// a healthy peer: its frames pile into its own queue (and
     /// eventually drop), while the healthy peer's sender thread keeps
     /// flowing. Under the old shared-connection-cache design the first
     /// blocked `write_all` to the slow peer stalled every send.
+    ///
+    /// The shutdown half pins the sender-thread-leak fix: dropping the
+    /// mesh must *join* every sender thread — including the one wedged
+    /// mid-write against the never-reading peer — leaving no thread
+    /// growth behind.
     #[test]
     fn slow_peer_does_not_stall_other_sends() {
         let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -621,7 +781,9 @@ mod tests {
             drop(conns);
         });
 
-        let n0 = NodeId::from_index(0);
+        // Node index 9 is unique to this test, so the /proc thread-name
+        // census below cannot race other tests' meshes.
+        let n0 = NodeId::from_index(9);
         let n_fast = NodeId::from_index(1);
         let n_slow = NodeId::from_index(2);
         let cfg = MeshConfig { outbound_queue: 8, ..MeshConfig::default() };
@@ -652,8 +814,57 @@ mod tests {
             "healthy-peer delivery took {:?}",
             t0.elapsed()
         );
+        #[cfg(target_os = "linux")]
+        assert!(sender_threads_of(n0) >= 1, "sender threads should be live mid-test");
         drop(m0);
+        // Shutdown joins the senders, so the census is zero right after
+        // the drop — a leaked (signalled but unjoined) thread would
+        // still be mid-write against the slow peer here.
+        #[cfg(target_os = "linux")]
+        assert_eq!(sender_threads_of(n0), 0, "sender threads leaked past mesh shutdown");
         let _ = slow_guard.join();
+    }
+
+    /// Chaos at 100% drop suppresses every frame (counted, nothing
+    /// delivered); at 100% duplicate each send lands twice; uninstalling
+    /// chaos restores clean delivery.
+    #[test]
+    fn chaos_rules_apply_at_the_enqueue_boundary() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a1 = l1.local_addr().unwrap();
+        let n0 = NodeId::from_index(3);
+        let n1 = NodeId::from_index(4);
+        let mut m0 =
+            Mesh::start(n0, l0, HashMap::from([(n1, a1)]), MeshConfig::default()).unwrap();
+        let m1 = Mesh::start(n1, l1, HashMap::new(), MeshConfig::default()).unwrap();
+
+        m0.set_chaos(Some(ChaosConfig {
+            seed: 1,
+            drop_permille: 1000,
+            ..ChaosConfig::default()
+        }));
+        m0.send(n1, &Msg::StatsQuery { req: 1 });
+        assert!(m1.recv_timeout(Duration::from_millis(300)).is_none(), "dropped frame arrived");
+        assert_eq!(m0.stats().chaos_dropped, 1);
+
+        m0.set_chaos(Some(ChaosConfig {
+            seed: 1,
+            dup_permille: 1000,
+            ..ChaosConfig::default()
+        }));
+        m0.send(n1, &Msg::StatsQuery { req: 2 });
+        for _ in 0..2 {
+            let (_, msg) = m1.recv_timeout(Duration::from_secs(5)).expect("duplicate copy");
+            assert!(matches!(msg, Msg::StatsQuery { req: 2 }));
+        }
+        assert_eq!(m0.stats().chaos_duplicated, 1);
+
+        m0.set_chaos(None);
+        m0.send(n1, &Msg::StatsQuery { req: 3 });
+        let (_, msg) = m1.recv_timeout(Duration::from_secs(5)).expect("clean delivery");
+        assert!(matches!(msg, Msg::StatsQuery { req: 3 }));
+        assert!(m1.recv_timeout(Duration::from_millis(200)).is_none());
     }
 
     /// A multicast encodes the frame once and shares it; every peer

@@ -24,7 +24,7 @@ use sorrento_net::pool::BufPool;
 use sorrento_sim::NodeId;
 
 /// Number of `Msg` variants; every tag below this is generated.
-const MSG_VARIANTS: u8 = 48;
+const MSG_VARIANTS: u8 = 50;
 
 fn arb_u128(rng: &mut TestRng) -> u128 {
     ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128
@@ -50,7 +50,7 @@ fn arb_bytes(rng: &mut TestRng) -> Vec<u8> {
 }
 
 fn arb_error(rng: &mut TestRng) -> Error {
-    match rng.gen_range(0..11u8) {
+    match rng.gen_range(0..13u8) {
         0 => Error::NotFound,
         1 => Error::AlreadyExists,
         2 => Error::VersionConflict,
@@ -61,7 +61,9 @@ fn arb_error(rng: &mut TestRng) -> Error {
         7 => Error::InvalidMode,
         8 => Error::NotADirectory,
         9 => Error::NotEmpty,
-        _ => Error::ShadowExpired,
+        10 => Error::ShadowExpired,
+        11 => Error::Unavailable,
+        _ => Error::DeadlineExceeded,
     }
 }
 
@@ -157,7 +159,7 @@ fn arb_image(rng: &mut TestRng) -> ReplicaImage {
 }
 
 fn arb_tick(rng: &mut TestRng) -> Tick {
-    match rng.gen_range(0..14u8) {
+    match rng.gen_range(0..16u8) {
         0 => Tick::Heartbeat,
         1 => Tick::LocationRefresh,
         2 => Tick::JoinRefresh(arb_node(rng)),
@@ -171,7 +173,9 @@ fn arb_tick(rng: &mut TestRng) -> Tick {
         10 => Tick::NextOp,
         11 => Tick::AppendRetry,
         12 => Tick::CommitBeginRetry,
-        _ => Tick::LeaseSweep,
+        13 => Tick::LeaseSweep,
+        14 => Tick::OpDeadline(rng.gen()),
+        _ => Tick::RpcResend(rng.gen()),
     }
 }
 
@@ -336,6 +340,19 @@ fn arb_msg(tag: u8, rng: &mut TestRng) -> Msg {
         45 => Msg::MigrateDone { seg: SegId(arb_u128(rng)), ok: rng.gen() },
         46 => Msg::StatsQuery { req: rng.gen() },
         47 => Msg::StatsR { req: rng.gen(), json: arb_string(rng) },
+        48 => Msg::ChaosCtl {
+            req: rng.gen(),
+            seed: rng.gen(),
+            drop_permille: rng.gen(),
+            dup_permille: rng.gen(),
+            delay_permille: rng.gen(),
+            delay_us: rng.gen(),
+            partition: {
+                let n = rng.gen_range(0..5usize);
+                (0..n).map(|_| arb_node(rng)).collect()
+            },
+        },
+        49 => Msg::ChaosCtlR { req: rng.gen() },
         _ => unreachable!("tag out of range"),
     }
 }

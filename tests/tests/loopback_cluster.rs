@@ -54,6 +54,7 @@ fn spawn_cluster(
                 machine: i as u32,
                 rack: i as u32,
                 costs: CostModel::fast_test(),
+                chaos: Default::default(),
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -72,6 +73,8 @@ fn spawn_cluster(
         costs: CostModel::fast_test(),
         write_chunk: None,
         write_window: 4,
+        rpc_resends: 0,
+        op_deadline_ms: None,
         peers: all_peers,
     };
     (handles, ctl_cfg)

@@ -254,3 +254,234 @@ enum PinOp {
     PinLatest,
     UnpinOldest,
 }
+
+// ---------------------------------------------------------------------
+// At-least-once delivery: a resilient client re-sends a mutation until
+// it sees the reply, so servers must treat a replayed `(client,
+// request-id)` as the *same* request — answer it from the reply cache,
+// never apply it twice. The properties below deliver arbitrary mutation
+// programs once and with every message duplicated, and require both the
+// replies and the final server state to be identical.
+// ---------------------------------------------------------------------
+
+use sorrento::costs::CostModel;
+use sorrento::namespace::NamespaceServer;
+use sorrento::provider::StorageProvider;
+use sorrento::proto::{Msg, ReqId};
+use sorrento::types::FileId;
+use sorrento_net::runtime::{Out, RealCtx};
+
+const CLIENT: usize = 9;
+
+fn ctx_for(node: usize) -> RealCtx {
+    let mut machines = HashMap::new();
+    machines.insert(NodeId::from_index(node), 0);
+    machines.insert(NodeId::from_index(CLIENT), 1);
+    RealCtx::new(NodeId::from_index(node), 1, 1 << 30, machines)
+}
+
+/// Render a message for comparison across two runs: `Debug`, with
+/// wall-clock fields (`created_ns`/`modified_ns`, stamped from the real
+/// clock and so never equal between runs) blanked out. Within one run
+/// replies are compared verbatim — a cached replay includes the
+/// original timestamps.
+fn scrub(msg: &Msg) -> String {
+    let s = format!("{msg:?}");
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s.as_str();
+    while let Some(pos) = rest.find("_ns: ") {
+        let (head, tail) = rest.split_at(pos + 5);
+        out.push_str(head);
+        out.push('_');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Replies the context queued for the client, keyed by request id and
+/// rendered through [`scrub`]. Every replay of one request id must
+/// repeat the first reply verbatim — the exact property reply caching
+/// provides.
+fn reply_map(
+    ctx: &mut RealCtx,
+    req_of: impl Fn(&Msg) -> Option<ReqId>,
+) -> HashMap<ReqId, String> {
+    let mut verbatim: HashMap<ReqId, String> = HashMap::new();
+    let mut map: HashMap<ReqId, String> = HashMap::new();
+    for out in ctx.drain_outbox() {
+        let Out::Unicast(dst, msg) = out else { continue };
+        if dst != NodeId::from_index(CLIENT) {
+            continue;
+        }
+        let Some(req) = req_of(&msg) else { continue };
+        let rendered = format!("{msg:?}");
+        match verbatim.get(&req) {
+            Some(first) => assert_eq!(first, &rendered, "replayed req {req} got a different reply"),
+            None => {
+                verbatim.insert(req, rendered);
+                map.insert(req, scrub(&msg));
+            }
+        }
+    }
+    map
+}
+
+fn ns_req_of(msg: &Msg) -> Option<ReqId> {
+    match msg {
+        Msg::NsCreateR { req, .. } | Msg::NsMkdirR { req, .. } | Msg::NsRemoveR { req, .. } => {
+            Some(*req)
+        }
+        _ => None,
+    }
+}
+
+/// One namespace mutation over a tiny path pool (collisions intended:
+/// create-after-create and remove-after-remove exercise the error
+/// replies, which must be cached too).
+#[derive(Debug, Clone)]
+enum NsMut {
+    Create(&'static str),
+    Mkdir(&'static str),
+    Remove(&'static str),
+}
+
+fn ns_paths() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("/a"), Just("/b"), Just("/d"), Just("/d/x")]
+}
+
+fn ns_muts() -> impl Strategy<Value = Vec<(NsMut, u8)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                ns_paths().prop_map(NsMut::Create),
+                ns_paths().prop_map(NsMut::Mkdir),
+                ns_paths().prop_map(NsMut::Remove),
+            ],
+            1u8..4, // delivery count: 1 = exactly-once baseline behavior
+        ),
+        1..12,
+    )
+}
+
+fn ns_msg(i: usize, m: &NsMut) -> Msg {
+    let req = i as ReqId + 1;
+    match m {
+        NsMut::Create(p) => Msg::NsCreate {
+            req,
+            path: (*p).to_owned(),
+            file: FileId(i as u128 + 1),
+            options: FileOptions::default(),
+        },
+        NsMut::Mkdir(p) => Msg::NsMkdir { req, path: (*p).to_owned() },
+        NsMut::Remove(p) => Msg::NsRemove { req, path: (*p).to_owned() },
+    }
+}
+
+/// Drive a fresh namespace server, delivering message `i` of the
+/// program `dups[i]` times (1 = once). Returns (replies, state probe).
+fn ns_run(program: &[(NsMut, u8)], dup: bool) -> (HashMap<ReqId, String>, Vec<String>, usize) {
+    let mut ctx = ctx_for(0);
+    let mut ns = NamespaceServer::new(CostModel::fast_test());
+    let client = NodeId::from_index(CLIENT);
+    for (i, (m, dups)) in program.iter().enumerate() {
+        let n = if dup { *dups } else { 1 };
+        for _ in 0..n {
+            ns.handle_message(client, ns_msg(i, m), &mut ctx);
+        }
+    }
+    let replies = reply_map(&mut ctx, ns_req_of);
+    // Probe the tree through the protocol itself (fresh req ids).
+    for (j, p) in ["/", "/a", "/b", "/d", "/d/x"].iter().enumerate() {
+        let req = 10_000 + j as ReqId;
+        ns.handle_message(client, Msg::NsList { req, path: (*p).to_owned() }, &mut ctx);
+        ns.handle_message(client, Msg::NsLookup { req: req + 100, path: (*p).to_owned() }, &mut ctx);
+    }
+    let probe: Vec<String> = ctx
+        .drain_outbox()
+        .into_iter()
+        .filter_map(|o| match o {
+            Out::Unicast(dst, m) if dst == client => Some(scrub(&m)),
+            _ => None,
+        })
+        .collect();
+    (replies, probe, ns.entry_count())
+}
+
+fn prov_req_of(msg: &Msg) -> Option<ReqId> {
+    match msg {
+        Msg::DirectWriteR { req, .. } => Some(*req),
+        _ => None,
+    }
+}
+
+/// Drive a fresh provider through direct writes, each delivered
+/// `dups[i]` times. Returns (replies, per-segment latest version +
+/// bytes).
+type SegSnapshot = Vec<(Option<Version>, Option<Vec<u8>>)>;
+
+fn prov_run(program: &[(u8, u16, u16, u8)], dup: bool) -> (HashMap<ReqId, String>, SegSnapshot) {
+    let mut ctx = ctx_for(1);
+    let mut prov = StorageProvider::new(CostModel::fast_test(), 2);
+    let client = NodeId::from_index(CLIENT);
+    let segs: Vec<SegId> = (0..3).map(|n| SegId::derive(7, n, 0)).collect();
+    for (i, &(s, offset, len, dups)) in program.iter().enumerate() {
+        let seg = segs[s as usize % segs.len()];
+        let fill = (i as u8).wrapping_mul(37).wrapping_add(s);
+        let payload = WritePayload::Real(bytes::Bytes::from(vec![fill; len as usize]));
+        let msg = Msg::DirectWrite {
+            req: i as ReqId + 1,
+            seg,
+            offset: offset as u64,
+            payload,
+            meta: SegMeta::from_options(&FileOptions::default(), false),
+        };
+        let n = if dup { dups } else { 1 };
+        for _ in 0..n {
+            prov.handle_message(client, msg.clone(), &mut ctx);
+        }
+    }
+    let replies = reply_map(&mut ctx, prov_req_of);
+    let snap: SegSnapshot = segs
+        .iter()
+        .map(|&seg| {
+            let v = prov.store.latest(seg);
+            let d = prov
+                .store
+                .export(seg, None)
+                .ok()
+                .and_then(|img| img.data.map(|b| b.as_ref().to_vec()));
+            (v, d)
+        })
+        .collect();
+    (replies, snap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Namespace mutations are idempotent under replay: delivering each
+    /// message N times yields the same replies (success *and* error)
+    /// and the same tree as delivering each exactly once.
+    #[test]
+    fn ns_replay_equals_once(program in ns_muts()) {
+        let (once_replies, once_probe, once_count) = ns_run(&program, false);
+        let (dup_replies, dup_probe, dup_count) = ns_run(&program, true);
+        prop_assert_eq!(once_replies, dup_replies);
+        prop_assert_eq!(once_probe, dup_probe);
+        prop_assert_eq!(once_count, dup_count);
+    }
+
+    /// Provider direct writes are idempotent under replay: versions
+    /// advance once per *distinct* request, and the stored bytes match
+    /// exactly-once delivery.
+    #[test]
+    fn provider_replay_equals_once(
+        program in prop::collection::vec((0u8..3, 0u16..512, 1u16..256, 1u8..4), 1..10),
+    ) {
+        let (once_replies, once_snap) = prov_run(&program, false);
+        let (dup_replies, dup_snap) = prov_run(&program, true);
+        prop_assert_eq!(once_replies, dup_replies);
+        prop_assert_eq!(once_snap, dup_snap);
+    }
+}
