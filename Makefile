@@ -13,6 +13,11 @@
 #   make chaos-smoke  the chaos game-day drill: a real loopback cluster
 #                   under deterministic fault injection, with a provider
 #                   crash + restart, run for three fixed seeds
+#   make obs-smoke  the observability drill: boot a loopback cluster,
+#                   scrape every node's versioned stats snapshot, kill a
+#                   provider, and schema-check the flight dump and
+#                   metrics.jsonl it leaves behind, plus the span-trace
+#                   merge tests
 #   make docs       rustdoc for the whole workspace (warnings are errors)
 
 CARGO ?= cargo
@@ -21,7 +26,7 @@ CARGO ?= cargo
 # (the Arc that shares the pooled buffer across peer queues).
 BENCH_ALLOC_BOUND ?= 1.0
 
-.PHONY: check build test clippy check-net bench bench-smoke chaos-smoke docs
+.PHONY: check build test clippy check-net bench bench-smoke chaos-smoke obs-smoke docs
 
 check: build test clippy docs
 
@@ -41,6 +46,10 @@ check-net:
 
 chaos-smoke:
 	$(CARGO) test -p sorrento-tests --test chaos_recovery -- --nocapture
+
+obs-smoke:
+	$(CARGO) test -p sorrento-tests --test obs_smoke -- --nocapture
+	$(CARGO) test -p sorrento-tests --test observability -- --nocapture
 
 bench:
 	for f in fig09_small_file_latency fig10_small_file_throughput \

@@ -370,6 +370,7 @@ impl NfsClient {
         let latency = ctx.now().since(started);
         let result = OpResult {
             error: error.clone(),
+            span: 0,
             bytes,
             latency,
             data: data.clone(),

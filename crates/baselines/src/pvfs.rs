@@ -647,6 +647,7 @@ impl PvfsClient {
         let latency = ctx.now().since(started);
         let result = OpResult {
             error: error.clone(),
+            span: 0,
             bytes,
             latency,
             data: data.clone(),

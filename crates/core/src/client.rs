@@ -165,6 +165,9 @@ pub struct OpResult {
     /// Read data, when the file carries real bytes. A cheap [`bytes::Bytes`]
     /// view — cloning the result does not copy the payload.
     pub data: Option<bytes::Bytes>,
+    /// The op's trace span (0 = none): the key for `trace <span>` /
+    /// `Cluster::trace_op` lookups across node event logs.
+    pub span: SpanId,
 }
 
 impl OpResult {
@@ -473,6 +476,17 @@ impl SorrentoClient {
         self.next_req = self.next_req.max(base);
     }
 
+    /// Offset this client's trace-span sequence so spans stay unique
+    /// across control sessions sharing one `ctl_id`. Spans are
+    /// `(node+1) << 32 | seq`: sessions all starting `seq` at 0 would
+    /// reuse each other's span ids, and `sorrentoctl trace` would merge
+    /// two unrelated ops into one chain. Only the low 32 bits of `base`
+    /// are used (the high half is the node tag). Simulated clients keep
+    /// the default of 0 — their node ids already disambiguate.
+    pub fn span_base(&mut self, base: u64) {
+        self.span_seq = self.span_seq.max(base & 0xFFFF_FFFF);
+    }
+
     /// Inspect the concrete workload driving this client (post-run
     /// analysis: e.g. reading a [`Workload`] implementation's recorded
     /// series). Only works when the workload was passed unboxed.
@@ -562,6 +576,10 @@ impl SorrentoClient {
         state.2 = Dur::nanos(doubled);
         let jitter = ctx.rng().gen_range(0..doubled / 4 + 1);
         ctx.metrics().count("client.rpc_resends", 1);
+        ctx.record(TelemetryEvent::RpcResend {
+            span: crate::proto::span_of(&msg),
+            kind: crate::proto::dbg_kind(&msg),
+        });
         ctx.send(target, msg);
         ctx.set_timer(Dur::nanos(doubled + jitter), Msg::Tick(Tick::RpcResend(req)));
     }
@@ -791,6 +809,7 @@ impl SorrentoClient {
             bytes,
             latency,
             data: data.clone(),
+            span,
         };
         match &error {
             None => {

@@ -309,6 +309,17 @@ pub enum Msg {
     },
     /// Chaos-control acknowledgement.
     ChaosCtlR { req: ReqId },
+    /// Ask a live daemon for its flight-recorder events belonging to
+    /// `span` (`sorrentoctl trace`); `span == 0` requests the entire
+    /// retained ring (an on-demand flight dump). Answered by the
+    /// real-process runtime loop itself — the state machines never see
+    /// it and the simulator never sends it.
+    TraceQuery { req: ReqId, span: SpanId },
+    /// The matching events, JSON-encoded (`{"v":1,"node":..,"role":..,
+    /// "epoch_unix_ns":..,"events":[..]}`); event timestamps are
+    /// monotonic ns since process start, so `epoch_unix_ns + at_ns`
+    /// places them on the shared wall clock.
+    TraceR { req: ReqId, json: String },
 }
 
 /// Boxed replica image (large variant kept off the enum's inline size).
@@ -369,6 +380,23 @@ pub fn dbg_kind(msg: &Msg) -> &'static str {
         Msg::StatsR { .. } => "stats_r",
         Msg::ChaosCtl { .. } => "chaos_ctl",
         Msg::ChaosCtlR { .. } => "chaos_ctl_r",
+        Msg::TraceQuery { .. } => "trace_query",
+        Msg::TraceR { .. } => "trace_r",
+    }
+}
+
+/// The trace span a message carries, `0` when the variant has none.
+/// Used by the real runtime to tag mesh send/receive telemetry with the
+/// owning client operation.
+pub fn span_of(msg: &Msg) -> SpanId {
+    match msg {
+        Msg::NsCommitBegin { span, .. }
+        | Msg::NsCommitEnd { span, .. }
+        | Msg::CreateShadow { span, .. }
+        | Msg::Prepare { span, .. }
+        | Msg::Commit { span, .. }
+        | Msg::Abort { span, .. } => *span,
+        _ => 0,
     }
 }
 
@@ -450,6 +478,8 @@ impl Payload for Msg {
             Msg::StatsR { json, .. } => 8 + json.len() as u64,
             Msg::ChaosCtl { partition, .. } => 40 + partition.len() as u64 * 4,
             Msg::ChaosCtlR { .. } => 8,
+            Msg::TraceQuery { .. } => 16,
+            Msg::TraceR { json, .. } => 8 + json.len() as u64,
         };
         RPC_HEADER + body
     }

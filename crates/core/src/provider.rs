@@ -772,6 +772,10 @@ impl StorageProvider {
             if let Some(cached) = self.replies.get(from, req) {
                 let reply = cached.clone();
                 ctx.metrics().count("provider.dedup_replays", 1);
+                ctx.record(TelemetryEvent::DedupHit {
+                    span: crate::proto::span_of(&msg),
+                    kind: crate::proto::dbg_kind(&msg),
+                });
                 let done = ctx.cpu(self.costs.provider_op_cpu);
                 ctx.send_at(done, from, reply);
                 return;

@@ -163,6 +163,7 @@ fn spawn_cluster(providers: usize, seed: u64) -> (Vec<DaemonHandle>, CtlConfig) 
                 rack: i as u32,
                 costs: CostModel::fast_test(),
                 chaos: Default::default(),
+                metrics_interval_ms: None,
                 peers: all_peers
                     .iter()
                     .enumerate()

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use sorrento_net::config::{DaemonConfig, Role};
-use sorrento_net::daemon;
+use sorrento_net::{daemon, flight};
 
 /// Set by the SIGTERM handler; polled by the daemon loop via the shared
 /// shutdown flag bridge below. Signal handlers may only do
@@ -103,6 +103,19 @@ fn main() -> ExitCode {
 
     install_sigterm_handler();
 
+    // The flight recorder is the black box: make sure it reaches disk
+    // even when the process dies screaming. The daemon loop registers
+    // its recorder with the global flight registry; a panic anywhere
+    // dumps it before unwinding kills the process.
+    let default_panic = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let n = flight::dump_all();
+        if n > 0 {
+            eprintln!("sorrento-node: dumped {n} flight recording(s) on panic");
+        }
+        default_panic(info);
+    }));
+
     let shutdown = Arc::new(AtomicBool::new(false));
 
     // `quit` on stdin requests a clean shutdown; EOF (e.g. started with
@@ -144,6 +157,10 @@ fn main() -> ExitCode {
             .spawn(move || {
                 std::thread::sleep(Duration::from_secs(secs));
                 eprintln!("sorrento-node: --crash-after {secs} elapsed; aborting");
+                // abort() runs no destructors, so flush the black box by
+                // hand — the drill should leave evidence, like a real
+                // crash with the panic hook would.
+                let _ = flight::dump_all();
                 std::process::abort();
             });
     }

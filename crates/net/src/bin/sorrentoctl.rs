@@ -9,15 +9,22 @@
 //! sorrentoctl --config <cluster.json> rm     <path>
 //! sorrentoctl --config <cluster.json> mkdir  <path>
 //! sorrentoctl --config <cluster.json> stats  <node-id>
+//! sorrentoctl --config <cluster.json> top
+//! sorrentoctl --config <cluster.json> trace  <span>
 //! sorrentoctl --config <cluster.json> chaos  <node-id> off
 //! sorrentoctl --config <cluster.json> chaos  <node-id> <seed> <drop‰> [dup‰ [delay‰ <delay-µs>]]
 //! ```
 //!
 //! Every file command compiles an [`FsScript`] program and runs it
 //! through the same `SorrentoClient` state machine the simulator uses,
-//! over TCP. `read` with no explicit length stats the file first and
-//! reads to EOF. `stats` fetches a daemon's metrics registry as JSON.
-//! `chaos` installs (or, with `off`, clears) deterministic
+//! over TCP, and prints the trace span of each op it issues so the
+//! causal chain can be pulled back out with `trace`. `read` with no
+//! explicit length stats the file first and reads to EOF. `stats`
+//! fetches a daemon's metrics registry as JSON; `top` polls every node
+//! and renders a cluster-wide table from the versioned snapshots.
+//! `trace <span>` asks every node's flight recorder for that span's
+//! events and renders the merged causal chain on the wall-clock
+//! timeline. `chaos` installs (or, with `off`, clears) deterministic
 //! fault-injection rules on one daemon's mesh — the game-day tool; see
 //! RUNBOOK.md. Rules shape the frames that daemon *sends*.
 
@@ -27,15 +34,21 @@ use std::time::Duration;
 
 use sorrento::api::FsScript;
 use sorrento::client::ClientOp;
+use sorrento_json::Json;
 use sorrento_net::chaos::ChaosConfig;
 use sorrento_net::config::CtlConfig;
 use sorrento_net::ctl::{self, OpRecord, ScriptOutcome};
-use sorrento_sim::NodeId;
+use sorrento_net::daemon::STATS_SCHEMA_V;
+use sorrento_net::flight::FLIGHT_SCHEMA_V;
+use sorrento_sim::{NodeId, SpanId};
 
 /// Wall-clock budget for one command, discovery included.
 const DEADLINE: Duration = Duration::from_secs(30);
+/// Per-node budget when fanning out (`top`, `trace`): a dead node
+/// should cost seconds, not the whole command deadline.
+const PER_NODE: Duration = Duration::from_secs(5);
 const USAGE: &str = "usage: sorrentoctl --config <cluster.json> \
-    <create|write|read|stat|ls|rm|mkdir|stats|chaos> [args]";
+    <create|write|read|stat|ls|rm|mkdir|stats|top|trace|chaos> [args]";
 
 fn main() -> ExitCode {
     match run() {
@@ -156,9 +169,12 @@ fn run() -> Result<ExitCode, String> {
             let id: usize = node.parse().map_err(|_| "stats takes a node id")?;
             let json = ctl::fetch_stats(&cfg, NodeId::from_index(id), DEADLINE)
                 .map_err(|e| e.to_string())?;
+            check_snapshot_version(&json, id);
             println!("{json}");
             Ok(ExitCode::SUCCESS)
         }
+        ("top", []) => cmd_top(&cfg),
+        ("trace", [span]) => cmd_trace(&cfg, parse_span(span)?),
         ("chaos", [node, rule @ ..]) if !rule.is_empty() => {
             let id: usize = node.parse().map_err(|_| "chaos takes a node id first")?;
             let chaos = if rule == ["off"] {
@@ -216,7 +232,10 @@ fn run_fs(cfg: &CtlConfig, fs: FsScript) -> Result<ScriptOutcome, String> {
 }
 
 fn report(out: ScriptOutcome) -> Result<ExitCode, String> {
-    for OpRecord { kind, error, .. } in &out.records {
+    for OpRecord { kind, error, span, .. } in &out.records {
+        if *span != 0 {
+            eprintln!("{kind}: span {span:#x}");
+        }
         if let Some(e) = error {
             eprintln!("sorrentoctl: {kind} failed: {e:?}");
         }
@@ -226,4 +245,172 @@ fn report(out: ScriptOutcome) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn parse_span(s: &str) -> Result<SpanId, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => SpanId::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("bad span {s:?}: expected decimal or 0x-hex"))
+}
+
+/// Warn when a stats snapshot's schema version is missing or newer than
+/// this binary understands; the raw JSON is still printed either way.
+fn check_snapshot_version(json: &str, node: usize) {
+    let v = Json::parse(json)
+        .ok()
+        .and_then(|j| j.get("v").and_then(Json::as_u64));
+    match v {
+        Some(v) if v == STATS_SCHEMA_V => {}
+        Some(v) => eprintln!(
+            "sorrentoctl: n{node} snapshot is v{v}, this binary understands v{STATS_SCHEMA_V} — fields may be missing or renamed"
+        ),
+        None => eprintln!("sorrentoctl: n{node} snapshot has no version field (pre-v1 daemon?)"),
+    }
+}
+
+/// Poll every node's versioned stats snapshot and render one table row
+/// per node. Unreachable nodes get a row, not an error: the whole point
+/// of `top` is seeing which nodes are sick.
+fn cmd_top(cfg: &CtlConfig) -> Result<ExitCode, String> {
+    println!(
+        "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>16} SLOWEST",
+        "NODE", "ROLE", "UP(s)", "EVENTS", "DROPPED", "QMAX", "CHAOS(d/D/~)"
+    );
+    let mut unhealthy = false;
+    for peer in &cfg.peers {
+        let idx = peer.id.index();
+        let json = match ctl::fetch_stats(cfg, peer.id, PER_NODE) {
+            Ok(j) => j,
+            Err(_) => {
+                println!("{:<6} {:<10} (unreachable)", format!("n{idx}"), "-");
+                unhealthy = true;
+                continue;
+            }
+        };
+        let Ok(snap) = Json::parse(&json) else {
+            println!("{:<6} {:<10} (unparseable snapshot)", format!("n{idx}"), "-");
+            unhealthy = true;
+            continue;
+        };
+        match snap.get("v").and_then(Json::as_u64) {
+            Some(v) if v == STATS_SCHEMA_V => {}
+            v => {
+                println!(
+                    "{:<6} {:<10} (snapshot {} — this binary understands v{STATS_SCHEMA_V})",
+                    format!("n{idx}"),
+                    "-",
+                    v.map_or("unversioned".into(), |v| format!("v{v}"))
+                );
+                unhealthy = true;
+                continue;
+            }
+        }
+        let str_of = |k: &str| snap.get(k).and_then(Json::as_str).unwrap_or("?").to_owned();
+        let gauge = |k: &str| {
+            snap.get("gauges")
+                .and_then(|g| g.get(k))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64
+        };
+        let flight = |k: &str| {
+            snap.get("flight")
+                .and_then(|f| f.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        let slowest = snap
+            .get("slow_ops")
+            .and_then(Json::as_arr)
+            .and_then(<[Json]>::first)
+            .map_or_else(
+                || "-".to_owned(),
+                |op| {
+                    format!(
+                        "{}µs {} span {:#x}",
+                        op.get("dur_us").and_then(Json::as_u64).unwrap_or(0),
+                        op.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                        op.get("span").and_then(Json::as_u64).unwrap_or(0),
+                    )
+                },
+            );
+        println!(
+            "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>16} {}",
+            format!("n{idx}"),
+            str_of("role"),
+            snap.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0) / 1000,
+            flight("len"),
+            flight("dropped"),
+            gauge("net_queue_depth_max"),
+            format!(
+                "{}/{}/{}",
+                gauge("net_chaos_dropped"),
+                gauge("net_chaos_duplicated"),
+                gauge("net_chaos_delayed")
+            ),
+            slowest,
+        );
+    }
+    Ok(if unhealthy { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+/// Pull one span's events out of every node's flight recorder and
+/// render the merged causal chain on the shared wall-clock timeline.
+fn cmd_trace(cfg: &CtlConfig, span: SpanId) -> Result<ExitCode, String> {
+    // (unix_ns, node index, role, event text) per event, cluster-wide.
+    let mut events: Vec<(u64, usize, String, String)> = Vec::new();
+    for peer in &cfg.peers {
+        let idx = peer.id.index();
+        let json = match ctl::fetch_trace(cfg, peer.id, span, PER_NODE) {
+            Ok(j) => j,
+            Err(_) => {
+                eprintln!("sorrentoctl: n{idx} unreachable, trace is partial");
+                continue;
+            }
+        };
+        let Ok(dump) = Json::parse(&json) else {
+            eprintln!("sorrentoctl: n{idx} sent an unparseable trace reply");
+            continue;
+        };
+        match dump.get("v").and_then(Json::as_u64) {
+            Some(v) if v == FLIGHT_SCHEMA_V => {}
+            v => {
+                eprintln!(
+                    "sorrentoctl: n{idx} flight dump is {:?}, this binary understands v{FLIGHT_SCHEMA_V}; skipping",
+                    v
+                );
+                continue;
+            }
+        }
+        let role = dump.get("role").and_then(Json::as_str).unwrap_or("?").to_owned();
+        if dump.get("dropped").and_then(Json::as_u64).unwrap_or(0) > 0 {
+            eprintln!("sorrentoctl: n{idx} flight ring wrapped; oldest events are gone");
+        }
+        for ev in dump.get("events").and_then(Json::as_arr).unwrap_or(&[]) {
+            events.push((
+                ev.get("unix_ns").and_then(Json::as_u64).unwrap_or(0),
+                idx,
+                role.clone(),
+                ev.get("text").and_then(Json::as_str).unwrap_or("?").to_owned(),
+            ));
+        }
+    }
+    events.sort();
+    println!("=== trace for span {span:#x} ===");
+    if events.is_empty() {
+        println!("(no events — span unknown, or already evicted from every ring)");
+        return Ok(ExitCode::FAILURE);
+    }
+    let t0 = events[0].0;
+    for (at, idx, role, text) in &events {
+        let rel = at.saturating_sub(t0);
+        println!(
+            "  +{}.{:06}s  {:<14} {text}",
+            rel / 1_000_000_000,
+            (rel % 1_000_000_000) / 1_000,
+            format!("n{idx}/{role}"),
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }

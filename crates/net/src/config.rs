@@ -76,6 +76,10 @@ pub struct DaemonConfig {
     /// default = chaos off). Also togglable at runtime via
     /// `Msg::ChaosCtl`.
     pub chaos: ChaosConfig,
+    /// Append a versioned metrics snapshot to `data_dir/metrics.jsonl`
+    /// every this many milliseconds (`None` = off). Benches and chaos
+    /// drills get post-hoc time series for free.
+    pub metrics_interval_ms: Option<u64>,
     /// Seed peers.
     pub peers: Vec<PeerSpec>,
 }
@@ -150,6 +154,7 @@ impl DaemonConfig {
             rack: opt_u64(&j, "rack")?.unwrap_or(node_id as u64) as u32,
             costs,
             chaos,
+            metrics_interval_ms: opt_u64(&j, "metrics_interval_ms")?,
             peers,
         })
     }

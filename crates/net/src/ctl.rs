@@ -14,10 +14,10 @@ use std::time::{Duration, Instant};
 
 use sorrento::client::{ClientOp, ClientStats, OpResult, SorrentoClient, Workload};
 use sorrento::cluster::ScriptedWorkload;
-use sorrento::proto::Msg;
+use sorrento::proto::{self, Msg};
 use sorrento::types::Error;
 use sorrento::Transport;
-use sorrento_sim::{NodeId, SimTime};
+use sorrento_sim::{EventRecord, NodeId, SimTime, SpanId, TelemetryEvent};
 
 use crate::config::CtlConfig;
 use crate::runtime::{Out, RealCtx};
@@ -82,6 +82,9 @@ pub struct OpRecord {
     /// Returned data (`read` bytes, `list` newline-joined names); a
     /// shared view of the client's buffer, not a copy.
     pub data: Option<bytes::Bytes>,
+    /// The op's trace span (0 = none); feed it to `sorrentoctl trace`
+    /// to pull the causal chain out of the daemons' flight recorders.
+    pub span: SpanId,
 }
 
 /// What a finished script run produced.
@@ -91,6 +94,13 @@ pub struct ScriptOutcome {
     pub stats: ClientStats,
     /// Per-op results in execution order.
     pub records: Vec<OpRecord>,
+    /// The ctl session's own flight-recorder events (client-side sends,
+    /// retries, op lifecycle) so callers can merge them with the
+    /// daemons' rings into one causal chain.
+    pub events: Vec<EventRecord>,
+    /// Wall-clock nanoseconds when the session's clock started; add to
+    /// each event's `at` to place it on the cluster-wide timeline.
+    pub epoch_unix_ns: u64,
 }
 
 /// Scripted workload that also records every op's result, so the CLI
@@ -111,6 +121,7 @@ impl Workload for RecordingWorkload {
             error: result.error.clone(),
             bytes: result.bytes,
             data: result.data.clone(),
+            span: result.span,
         });
         self.inner.on_result(op, result, now);
     }
@@ -122,6 +133,7 @@ fn join_mesh(cfg: &CtlConfig) -> Result<(RealCtx, Mesh), CtlError> {
         cfg.peers.iter().map(|p| (p.id, p.machine)).collect();
     machines.insert(me, u32::MAX); // the ctl node is on no provider machine
     let ctx = RealCtx::new(me, cfg.seed, 1 << 30, machines);
+    ctx.flight().set_role("ctl");
     let seed_peers: HashMap<NodeId, SocketAddr> = cfg
         .peers
         .iter()
@@ -147,7 +159,14 @@ fn flush(ctx: &mut RealCtx, mesh: &mut Mesh, client: &mut SorrentoClient) {
         for out in outs {
             match out {
                 Out::Unicast(dst, msg) if dst == me => client.handle_message(me, msg, ctx),
-                Out::Unicast(dst, msg) => mesh.send(dst, &msg),
+                Out::Unicast(dst, msg) => {
+                    ctx.record(TelemetryEvent::MsgSend {
+                        span: proto::span_of(&msg),
+                        kind: proto::dbg_kind(&msg),
+                        to: dst,
+                    });
+                    mesh.send(dst, &msg);
+                }
                 Out::Multicast(msg) => mesh.multicast(&msg),
             }
         }
@@ -183,12 +202,16 @@ pub fn run_script(
     // Every control session joins as the same ctl node id, and the
     // servers' reply caches key on (node, request id) — so each session
     // takes a disjoint request-id range to never alias an earlier one.
-    client.req_base(
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(1),
-    );
+    let session_base = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    client.req_base(session_base);
+    // Spans need the same session-uniqueness as request ids, or `trace`
+    // merges ops from different sessions into one chain. >>16 gives
+    // ~65 µs granularity: the 32-bit sequence space wraps every ~78
+    // hours instead of every 4 seconds.
+    client.span_base(session_base >> 16);
 
     // Discovery warmup: absorb heartbeats before starting the workload.
     let deadline_at = Instant::now() + deadline;
@@ -217,9 +240,12 @@ pub fn run_script(
             flush(&mut ctx, &mut mesh, &mut client);
         }
         if client.stats.finished_at.is_some() {
+            let flight = ctx.flight();
             return Ok(ScriptOutcome {
                 stats: client.stats.clone(),
                 records: records.take(),
+                events: flight.snapshot(),
+                epoch_unix_ns: flight.epoch_unix_ns(),
             });
         }
         if Instant::now() > deadline_at {
@@ -248,6 +274,37 @@ pub fn fetch_stats(cfg: &CtlConfig, target: NodeId, timeout: Duration) -> Result
             next_send = Instant::now() + RESEND_EVERY;
         }
         if let Some((from, Msg::StatsR { json, .. })) = mesh.recv_timeout(POLL) {
+            if from == target {
+                return Ok(json);
+            }
+        }
+    }
+    Err(CtlError::StatsTimeout)
+}
+
+/// Fetch a daemon's flight-recorder events for one span (0 = the whole
+/// ring) as a JSON string.
+///
+/// Same resend discipline as [`fetch_stats`]: the query is repeated
+/// until the reply lands, because the transport is lossy by design.
+pub fn fetch_trace(
+    cfg: &CtlConfig,
+    target: NodeId,
+    span: SpanId,
+    timeout: Duration,
+) -> Result<String, CtlError> {
+    const RESEND_EVERY: Duration = Duration::from_millis(300);
+    let (_ctx, mut mesh) = join_mesh(cfg)?;
+    let deadline_at = Instant::now() + timeout;
+    let mut req = 0u64;
+    let mut next_send = Instant::now();
+    while Instant::now() <= deadline_at {
+        if Instant::now() >= next_send {
+            req += 1;
+            mesh.send(target, &Msg::TraceQuery { req, span });
+            next_send = Instant::now() + RESEND_EVERY;
+        }
+        if let Some((from, Msg::TraceR { json, .. })) = mesh.recv_timeout(POLL) {
             if from == target {
                 return Ok(json);
             }

@@ -17,7 +17,8 @@
 //!   so a restarted provider rejoins with its data intact.
 
 use std::collections::HashMap;
-use std::io;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,14 +27,16 @@ use std::time::{Duration, Instant};
 
 use sorrento::namespace::NamespaceServer;
 use sorrento::provider::StorageProvider;
-use sorrento::proto::Msg;
+use sorrento::proto::{self, Msg, Tick};
 use sorrento::types::{SegId, Version};
 use sorrento::Transport;
+use sorrento_json::Json;
 use sorrento_kvdb::{Db, DbConfig, FileBackend};
-use sorrento_sim::NodeId;
+use sorrento_sim::{NodeId, SpanId, TelemetryEvent};
 
 use crate::chaos::ChaosConfig;
 use crate::config::{DaemonConfig, Role};
+use crate::flight;
 use crate::frame;
 use crate::runtime::{Out, RealCtx};
 use crate::tcp::{Mesh, MeshConfig};
@@ -42,6 +45,14 @@ use crate::tcp::{Mesh, MeshConfig};
 const POLL: Duration = Duration::from_millis(5);
 /// How often a provider persists dirty segments.
 const PERSIST_EVERY: Duration = Duration::from_millis(200);
+
+/// Version of the `Msg::StatsR` snapshot payload (`"v"` key).
+/// `sorrentoctl` refuses to interpret snapshots with a different
+/// version.
+pub const STATS_SCHEMA_V: u64 = 1;
+
+/// Slowest message handlings retained for the stats snapshot.
+const SLOW_OPS_KEPT: usize = 8;
 
 /// The role-selected state machine.
 enum Machine {
@@ -63,6 +74,72 @@ impl Machine {
             Machine::Prov(m) => m.handle_message(from, msg, ctx),
         }
     }
+}
+
+/// One retained slow-op entry: how long this node spent handling one
+/// span-carrying message (server-side work, not end-to-end latency).
+#[derive(Clone, Copy)]
+struct SlowOp {
+    dur_ns: u64,
+    span: SpanId,
+    kind: &'static str,
+    at_ns: u64,
+}
+
+/// Bounded worst-N table of message-handling durations, keyed to spans
+/// so `sorrentoctl top` readers can jump straight to `trace <span>`.
+struct SlowOps {
+    worst: Vec<SlowOp>,
+}
+
+impl SlowOps {
+    fn new() -> SlowOps {
+        SlowOps { worst: Vec::with_capacity(SLOW_OPS_KEPT + 1) }
+    }
+
+    fn observe(&mut self, dur_ns: u64, span: SpanId, kind: &'static str, at_ns: u64) {
+        if span == 0 {
+            return;
+        }
+        self.worst.push(SlowOp { dur_ns, span, kind, at_ns });
+        self.worst.sort_by_key(|o| std::cmp::Reverse(o.dur_ns));
+        self.worst.truncate(SLOW_OPS_KEPT);
+    }
+
+    fn to_json(&self) -> Json {
+        let mut arr = Json::arr();
+        for op in &self.worst {
+            arr.push(
+                Json::obj()
+                    .with("dur_us", op.dur_ns / 1_000)
+                    .with("span", op.span)
+                    .with("kind", op.kind)
+                    .with("at_ns", op.at_ns),
+            );
+        }
+        arr
+    }
+}
+
+/// The versioned stats snapshot: the metrics registry's export extended
+/// in place (existing consumers keep reading `counters`/`gauges` at the
+/// top level) with identity, uptime, flight-ring usage and the slow-op
+/// table.
+fn build_snapshot(ctx: &mut RealCtx, mesh: &Mesh, role: &'static str, slow: &SlowOps) -> Json {
+    mesh.export_metrics(ctx.metrics());
+    let uptime_ms = ctx.now().nanos() / 1_000_000;
+    let (flight_len, flight_dropped) = ctx.flight().usage();
+    ctx.metrics_ref()
+        .to_json()
+        .with("v", STATS_SCHEMA_V)
+        .with("node", ctx.id().index() as u64)
+        .with("role", role)
+        .with("uptime_ms", uptime_ms)
+        .with(
+            "flight",
+            Json::obj().with("len", flight_len as u64).with("dropped", flight_dropped),
+        )
+        .with("slow_ops", slow.to_json())
 }
 
 /// A handle to an in-process daemon (integration tests, embedding).
@@ -156,12 +233,25 @@ fn run_loop(
     machines.insert(me, cfg.machine);
     let mut ctx = RealCtx::new(me, cfg.seed, cfg.capacity, machines);
 
+    let role_str = match cfg.role {
+        Role::Namespace => "namespace",
+        Role::Provider => "provider",
+    };
+    let flight = ctx.flight();
+    flight.set_role(role_str);
+    if let Some(dir) = &cfg.data_dir {
+        // Crash paths (panic hook, `--crash-after` abort) flush every
+        // registered black box; see `flight::dump_all`.
+        flight::register(&flight, dir);
+    }
+
     let seed_peers: HashMap<NodeId, SocketAddr> = cfg
         .peers
         .iter()
         .filter_map(|p| Some((p.id, resolve(&p.addr)?)))
         .collect();
     let mut mesh = Mesh::start(me, listener, seed_peers, MeshConfig::default())?;
+    mesh.set_flight(flight.clone());
     if cfg.chaos.is_active() {
         mesh.set_chaos(Some(cfg.chaos.clone()));
     }
@@ -197,9 +287,28 @@ fn run_loop(
     machine.handle_start(&mut ctx);
     flush(&mut ctx, &mut mesh, &mut machine);
 
+    // Opt-in periodic snapshot writer: one compact JSON line per
+    // interval, appended so a restart keeps extending the series.
+    let metrics_every = cfg.metrics_interval_ms.map(Duration::from_millis);
+    let mut metrics_file = match (&metrics_every, &cfg.data_dir) {
+        (Some(_), Some(dir)) => {
+            std::fs::create_dir_all(dir)?;
+            Some(OpenOptions::new().create(true).append(true).open(dir.join("metrics.jsonl"))?)
+        }
+        _ => None,
+    };
+    let mut last_metrics = Instant::now();
+    let mut slow = SlowOps::new();
+
     let mut last_persist = Instant::now();
     while !shutdown.load(Ordering::SeqCst) {
         for msg in ctx.due_timers() {
+            // Satellite of the observability plane: refresh the mesh
+            // gauges on every heartbeat tick, so a stats snapshot is
+            // never staler than one heartbeat period.
+            if matches!(msg, Msg::Tick(Tick::Heartbeat)) {
+                mesh.export_metrics(ctx.metrics());
+            }
             machine.handle_message(me, msg, &mut ctx);
         }
         flush(&mut ctx, &mut mesh, &mut machine);
@@ -207,9 +316,15 @@ fn run_loop(
         if let Some((from, msg)) = mesh.recv_timeout(POLL) {
             match msg {
                 Msg::StatsQuery { req } => {
-                    mesh.export_metrics(ctx.metrics());
-                    let json = ctx.metrics_ref().to_json().encode();
+                    let json = build_snapshot(&mut ctx, &mesh, role_str, &slow).encode();
                     mesh.send(from, &Msg::StatsR { req, json });
+                }
+                // Span tracing: serve the local flight ring (filtered to
+                // one span, or whole-ring for span 0) straight from the
+                // loop; like StatsQuery, the state machines never see it.
+                Msg::TraceQuery { req, span } => {
+                    let json = flight.to_json(span).encode();
+                    mesh.send(from, &Msg::TraceR { req, json });
                 }
                 // Like StatsQuery, chaos control is answered by the loop
                 // itself: fault injection lives in the mesh, and the
@@ -233,7 +348,13 @@ fn run_loop(
                     }));
                     mesh.send(from, &Msg::ChaosCtlR { req });
                 }
-                msg => machine.handle_message(from, msg, &mut ctx),
+                msg => {
+                    let (span, kind) = (proto::span_of(&msg), proto::dbg_kind(&msg));
+                    ctx.record(TelemetryEvent::MsgRecv { span, kind, from });
+                    let t0 = Instant::now();
+                    machine.handle_message(from, msg, &mut ctx);
+                    slow.observe(t0.elapsed().as_nanos() as u64, span, kind, ctx.now().nanos());
+                }
             }
             flush(&mut ctx, &mut mesh, &mut machine);
         }
@@ -242,6 +363,14 @@ fn run_loop(
             last_persist = Instant::now();
             if let (Some(db), Machine::Prov(prov)) = (&mut db, &machine) {
                 persist_dirty(db, prov, &mut persisted)?;
+            }
+        }
+
+        if let (Some(every), Some(file)) = (metrics_every, metrics_file.as_mut()) {
+            if last_metrics.elapsed() >= every {
+                last_metrics = Instant::now();
+                let snap = build_snapshot(&mut ctx, &mesh, role_str, &slow);
+                let _ = writeln!(file, "{}", snap.encode());
             }
         }
     }
@@ -254,12 +383,20 @@ fn run_loop(
             db.checkpoint()?;
         }
     }
+    // The flight recorder is the black box: it dumps on both clean and
+    // abrupt exits (out-of-process crashes dump via the panic/abort
+    // hooks instead — see `sorrento-node`).
+    if let Some(dir) = &cfg.data_dir {
+        let _ = flight.dump_to(dir);
+    }
     mesh.shutdown();
     Ok(())
 }
 
 /// Deliver everything the machine queued: loopback messages re-enter
-/// the machine (which may queue more), remote ones go out the mesh.
+/// the machine (which may queue more), remote ones go out the mesh
+/// (each recorded as a `msg.send` flight event — multicasts once per
+/// peer, matching what actually hits the wire).
 fn flush(ctx: &mut RealCtx, mesh: &mut Mesh, machine: &mut Machine) {
     let me = ctx.id();
     loop {
@@ -270,8 +407,21 @@ fn flush(ctx: &mut RealCtx, mesh: &mut Mesh, machine: &mut Machine) {
         for out in outs {
             match out {
                 Out::Unicast(dst, msg) if dst == me => machine.handle_message(me, msg, ctx),
-                Out::Unicast(dst, msg) => mesh.send(dst, &msg),
-                Out::Multicast(msg) => mesh.multicast(&msg),
+                Out::Unicast(dst, msg) => {
+                    ctx.record(TelemetryEvent::MsgSend {
+                        span: proto::span_of(&msg),
+                        kind: proto::dbg_kind(&msg),
+                        to: dst,
+                    });
+                    mesh.send(dst, &msg);
+                }
+                Out::Multicast(msg) => {
+                    let (span, kind) = (proto::span_of(&msg), proto::dbg_kind(&msg));
+                    for peer in mesh.known_peers() {
+                        ctx.record(TelemetryEvent::MsgSend { span, kind, to: peer });
+                    }
+                    mesh.multicast(&msg);
+                }
             }
         }
     }

@@ -1,0 +1,221 @@
+//! Per-node flight recorder: the real runtime's black box.
+//!
+//! A [`FlightRecorder`] wraps the same bounded [`EventLog`] the
+//! simulator uses behind a cheap uncontended mutex, so every thread
+//! that observes something — the daemon loop, the mesh chaos shim, a
+//! crash timer, a panic hook — can append or dump without coordinating
+//! with the owner. Timestamps stay monotonic nanoseconds since process
+//! start (the `SimTime` convention of [`crate::runtime::RealCtx`]); the
+//! recorder additionally pins the process' boot instant to the unix
+//! clock (`epoch_unix_ns`), so `epoch_unix_ns + at_ns` places any event
+//! on the wall clock shared by every node — that sum is what
+//! `sorrentoctl trace` merges across processes. Wall-clock skew between
+//! machines is not corrected; on one host (the loopback clusters in
+//! this repo) the merged order is the causal order.
+//!
+//! Dumps are best-effort JSON files named `flight_<node>_<boot-sec>.json`
+//! in the node's `data_dir`, written on clean shutdown, on demand
+//! (`Msg::TraceQuery`), and — via the process-global [`register`] /
+//! [`dump_all`] pair — from panic hooks and `--crash-after` aborts,
+//! where no destructors run.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use sorrento_json::Json;
+use sorrento_sim::{EventLog, EventRecord, NodeId, SimTime, SpanId, TelemetryEvent};
+
+/// Version of the flight-dump / `TraceR` JSON schema.
+pub const FLIGHT_SCHEMA_V: u64 = 1;
+
+struct Inner {
+    role: &'static str,
+    log: EventLog,
+}
+
+/// A shared, bounded, crash-dumpable event ring for one node.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    node: NodeId,
+    epoch: Instant,
+    epoch_unix_ns: u64,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FlightRecorder {
+    /// A recorder for `node` retaining at most `cap` records. Captures
+    /// the current unix time as the process epoch; callers must create
+    /// the recorder at the same moment they anchor their monotonic
+    /// clock (see [`crate::runtime::RealCtx::new`]).
+    pub fn new(node: NodeId, cap: usize) -> FlightRecorder {
+        let epoch_unix_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        FlightRecorder {
+            node,
+            epoch: Instant::now(),
+            epoch_unix_ns,
+            inner: Arc::new(Mutex::new(Inner { role: "node", log: EventLog::new(cap) })),
+        }
+    }
+
+    /// Label the node's role in dumps (`"namespace"`, `"provider"`,
+    /// `"ctl"`).
+    pub fn set_role(&self, role: &'static str) {
+        self.inner.lock().unwrap().role = role;
+    }
+
+    /// The node this recorder belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Unix nanoseconds corresponding to monotonic time 0.
+    pub fn epoch_unix_ns(&self) -> u64 {
+        self.epoch_unix_ns
+    }
+
+    /// Append one event at monotonic time `at`.
+    pub fn record(&self, at: SimTime, ev: TelemetryEvent) {
+        self.inner.lock().unwrap().log.push(at, ev);
+    }
+
+    /// Append one event stamped with the recorder's own monotonic
+    /// clock. Threads without a `RealCtx` (the mesh, crash hooks) use
+    /// this; the recorder is created at the same instant as the ctx's
+    /// epoch, so both clocks agree.
+    pub fn record_now(&self, ev: TelemetryEvent) {
+        self.record(SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64), ev);
+    }
+
+    /// Retained records, oldest first (copied out; the ring stays live).
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.inner.lock().unwrap().log.iter().copied().collect()
+    }
+
+    /// `(len, dropped)` of the underlying ring.
+    pub fn usage(&self) -> (usize, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.log.len(), inner.log.dropped())
+    }
+
+    /// The dump body: schema version, identity, clock anchor, ring
+    /// counters and events. `span == 0` exports the whole ring; a
+    /// non-zero span keeps only that operation's events (the
+    /// `Msg::TraceQuery` reply). Every event carries both `at_ns`
+    /// (monotonic) and `unix_ns` (wall clock) so dumps from different
+    /// processes merge directly.
+    pub fn to_json(&self, span: SpanId) -> Json {
+        let inner = self.inner.lock().unwrap();
+        let mut events = Json::arr();
+        for rec in inner.log.iter() {
+            if span != 0 && rec.ev.span() != Some(span) {
+                continue;
+            }
+            events.push(
+                rec.to_json().with("unix_ns", self.epoch_unix_ns.saturating_add(rec.at.nanos())),
+            );
+        }
+        Json::obj()
+            .with("v", FLIGHT_SCHEMA_V)
+            .with("node", self.node.index() as u64)
+            .with("role", inner.role)
+            .with("epoch_unix_ns", self.epoch_unix_ns)
+            .with("cap", inner.log.capacity() as u64)
+            .with("len", inner.log.len() as u64)
+            .with("dropped", inner.log.dropped())
+            .with("events", events)
+    }
+
+    /// File name this recorder dumps to: one file per process boot, so
+    /// repeated dumps refresh the same black box and a restart gets a
+    /// fresh one.
+    pub fn dump_name(&self) -> String {
+        format!("flight_{}_{}.json", self.node.index(), self.epoch_unix_ns / 1_000_000_000)
+    }
+
+    /// Write the full ring to `dir`, returning the file path.
+    pub fn dump_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.dump_name());
+        let body = self.to_json(0).encode_pretty();
+        fs::create_dir_all(dir)?;
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// Process-global registry of recorders with their dump directories, so
+/// abort paths (panic hook, `--crash-after`) can flush every black box
+/// without reaching the daemon loops that own them.
+fn registry() -> &'static Mutex<Vec<(FlightRecorder, PathBuf)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(FlightRecorder, PathBuf)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a recorder for crash-time dumping into `dir`.
+pub fn register(rec: &FlightRecorder, dir: &Path) {
+    registry().lock().unwrap().push((rec.clone(), dir.to_path_buf()));
+}
+
+/// Dump every registered recorder (best effort: I/O errors are
+/// swallowed — this runs on the way down). Returns how many dumps were
+/// written.
+pub fn dump_all() -> usize {
+    let regs = registry().lock().unwrap();
+    regs.iter().filter(|(rec, dir)| rec.dump_to(dir).is_ok()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_filters_by_span_and_roundtrips() {
+        let rec = FlightRecorder::new(NodeId::from_index(3), 16);
+        rec.set_role("provider");
+        rec.record(SimTime::from_nanos(10), TelemetryEvent::OpStart { span: 7, kind: "write" });
+        rec.record(SimTime::from_nanos(20), TelemetryEvent::HeartbeatSend { seq: 1 });
+        rec.record(
+            SimTime::from_nanos(30),
+            TelemetryEvent::OpEnd { span: 7, kind: "write", ok: true },
+        );
+
+        let all = rec.to_json(0);
+        assert_eq!(all.get("v").and_then(Json::as_u64), Some(FLIGHT_SCHEMA_V));
+        assert_eq!(all.get("role").and_then(Json::as_str), Some("provider"));
+        assert_eq!(all.get("events").and_then(Json::as_arr).unwrap().len(), 3);
+
+        let span7 = rec.to_json(7);
+        let events = span7.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            assert_eq!(ev.get("span").and_then(Json::as_u64), Some(7));
+            let at = ev.get("at_ns").and_then(Json::as_u64).unwrap();
+            let unix = ev.get("unix_ns").and_then(Json::as_u64).unwrap();
+            assert_eq!(unix - at, rec.epoch_unix_ns());
+        }
+
+        // Encode → parse → same event count (the ctl-side consumer path).
+        let parsed = Json::parse(&all.encode()).unwrap();
+        assert_eq!(parsed.get("events").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dump_to_writes_one_file_per_boot() {
+        let dir = std::env::temp_dir().join(format!("sorrento_flight_test_{}", std::process::id()));
+        let rec = FlightRecorder::new(NodeId::from_index(1), 4);
+        rec.record(SimTime::from_nanos(1), TelemetryEvent::HeartbeatSend { seq: 0 });
+        let first = rec.dump_to(&dir).unwrap();
+        rec.record(SimTime::from_nanos(2), TelemetryEvent::HeartbeatSend { seq: 1 });
+        let second = rec.dump_to(&dir).unwrap();
+        assert_eq!(first, second, "same boot dumps refresh the same file");
+        let body = std::fs::read_to_string(&second).unwrap();
+        let json = Json::parse(&body).unwrap();
+        assert_eq!(json.get("len").and_then(Json::as_u64), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

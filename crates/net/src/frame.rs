@@ -1061,6 +1061,16 @@ fn write_msg(w: &mut Writer, msg: &Msg) {
             w.u8(49);
             w.u64(*req);
         }
+        Msg::TraceQuery { req, span } => {
+            w.u8(50);
+            w.u64(*req);
+            w.u64(*span);
+        }
+        Msg::TraceR { req, json } => {
+            w.u8(51);
+            w.u64(*req);
+            w.string(json);
+        }
     }
 }
 
@@ -1240,6 +1250,8 @@ fn read_msg(r: &mut Reader<'_>) -> Result<Msg, FrameError> {
             },
         },
         49 => Msg::ChaosCtlR { req: r.u64()? },
+        50 => Msg::TraceQuery { req: r.u64()?, span: r.u64()? },
+        51 => Msg::TraceR { req: r.u64()?, json: r.string()? },
         tag => return Err(FrameError::UnknownTag { what: "msg", tag }),
     })
 }

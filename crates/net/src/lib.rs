@@ -30,6 +30,7 @@ pub mod chaos;
 pub mod config;
 pub mod ctl;
 pub mod daemon;
+pub mod flight;
 pub mod frame;
 pub mod pool;
 pub mod runtime;

@@ -17,9 +17,10 @@ use rand::SeedableRng;
 use sorrento::proto::Msg;
 use sorrento::Transport;
 use sorrento_sim::{
-    DiskAccess, DiskConfig, DiskState, Dur, EventLog, Metrics, NodeId, SimTime, TelemetryEvent,
-    TimerId,
+    DiskAccess, DiskConfig, DiskState, Dur, Metrics, NodeId, SimTime, TelemetryEvent, TimerId,
 };
+
+use crate::flight::FlightRecorder;
 
 /// An outbound delivery the daemon loop must perform.
 #[derive(Debug)]
@@ -36,7 +37,7 @@ pub struct RealCtx {
     epoch: Instant,
     rng: SmallRng,
     metrics: Metrics,
-    events: EventLog,
+    flight: FlightRecorder,
     disk: DiskState,
     /// NodeId → physical machine, from the cluster config.
     machines: HashMap<NodeId, u32>,
@@ -49,15 +50,21 @@ pub struct RealCtx {
 }
 
 impl RealCtx {
+    /// Default flight-recorder capacity (records, not bytes): enough
+    /// for minutes of steady-state traffic at a few KiB/record overhead.
+    pub const FLIGHT_CAP: usize = 4096;
+
     /// A fresh context for node `me` with the given RNG seed, disk
-    /// capacity, and machine map.
+    /// capacity, and machine map. The flight recorder's unix epoch is
+    /// captured here, at the same moment as the monotonic epoch, so
+    /// `epoch_unix_ns + now()` is the wall clock.
     pub fn new(me: NodeId, seed: u64, capacity: u64, machines: HashMap<NodeId, u32>) -> RealCtx {
         RealCtx {
             me,
             epoch: Instant::now(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
-            events: EventLog::new(4096),
+            flight: FlightRecorder::new(me, Self::FLIGHT_CAP),
             disk: DiskState::new(DiskConfig::scsi_10krpm(capacity)),
             machines,
             next_timer: 1,
@@ -107,9 +114,11 @@ impl RealCtx {
         &self.metrics
     }
 
-    /// The node's event log.
-    pub fn events(&self) -> &EventLog {
-        &self.events
+    /// The node's flight recorder (cheap clone: shared ring). Threads
+    /// that outlive or run beside the daemon loop — crash hooks, the
+    /// mesh — record and dump through clones of this handle.
+    pub fn flight(&self) -> FlightRecorder {
+        self.flight.clone()
     }
 }
 
@@ -183,7 +192,7 @@ impl Transport<Msg> for RealCtx {
     fn record(&mut self, ev: TelemetryEvent) {
         let now = self.now();
         self.metrics.count_labeled("event", ev.kind(), 1);
-        self.events.push(now, ev);
+        self.flight.record(now, ev);
     }
 }
 

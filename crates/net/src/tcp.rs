@@ -36,9 +36,10 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use sorrento::proto::Msg;
-use sorrento_sim::NodeId;
+use sorrento_sim::{NodeId, TelemetryEvent};
 
 use crate::chaos::{Chaos, ChaosConfig, Fault};
+use crate::flight::FlightRecorder;
 use crate::frame::{self, Frame, HEADER_LEN};
 use crate::pool::{BufPool, PooledBuf};
 
@@ -143,6 +144,11 @@ struct PeerSender {
     /// Per-sender stop flag: lets eviction and shutdown join the thread
     /// promptly even while it is mid-retry against a stalled peer.
     quit: Arc<AtomicBool>,
+    /// Frames queued but not yet picked up by the sender thread
+    /// (incremented at enqueue, decremented at dequeue): the per-peer
+    /// backlog gauge. A persistently high value marks a slow or wedged
+    /// link before eviction kicks in.
+    depth: Arc<AtomicU64>,
     thread: JoinHandle<()>,
 }
 
@@ -171,6 +177,9 @@ pub struct Mesh {
     full_strikes: HashMap<NodeId, u32>,
     /// Installed fault-injection rules, if any (see [`crate::chaos`]).
     chaos: Option<Chaos>,
+    /// Flight recorder for chaos-injection telemetry (chaos verdicts
+    /// happen here at the enqueue boundary, on the daemon thread).
+    flight: Option<FlightRecorder>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -206,6 +215,7 @@ impl Mesh {
             senders: HashMap::new(),
             full_strikes: HashMap::new(),
             chaos: None,
+            flight: None,
             accept_thread: Some(accept_thread),
         })
     }
@@ -266,13 +276,29 @@ impl Mesh {
         };
     }
 
+    /// Attach the node's flight recorder so chaos injections show up in
+    /// the event ring alongside the counters.
+    pub fn set_flight(&mut self, rec: FlightRecorder) {
+        self.flight = Some(rec);
+    }
+
     fn enqueue(&mut self, to: NodeId, frame: Arc<PooledBuf>) {
         // Chaos verdict first (daemon thread, frame order: the decision
         // stream is deterministic for a given seed and link).
         let mut delay = Duration::ZERO;
         let mut copies = 1u32;
         if let Some(chaos) = &mut self.chaos {
-            match chaos.decide(to) {
+            let fault = chaos.decide(to);
+            let label = match fault {
+                Fault::Deliver => None,
+                Fault::Drop | Fault::Partitioned => Some("drop"),
+                Fault::Duplicate => Some("duplicate"),
+                Fault::Delay(_) => Some("delay"),
+            };
+            if let (Some(fault), Some(rec)) = (label, &self.flight) {
+                rec.record_now(TelemetryEvent::ChaosInject { fault, to });
+            }
+            match fault {
                 Fault::Deliver => {}
                 Fault::Drop | Fault::Partitioned => {
                     self.shared.counters.chaos_dropped.fetch_add(1, Ordering::Relaxed);
@@ -290,8 +316,10 @@ impl Mesh {
         }
         for _ in 0..copies {
             let sender = self.sender_for(to);
+            let depth = Arc::clone(&sender.depth);
             match sender.tx.try_send(OutItem::Frame(Arc::clone(&frame), delay)) {
                 Ok(()) => {
+                    depth.fetch_add(1, Ordering::Relaxed);
                     self.full_strikes.remove(&to);
                 }
                 Err(TrySendError::Full(_)) => {
@@ -333,11 +361,13 @@ impl Mesh {
             let listen = self.listen_addr;
             let quit = Arc::new(AtomicBool::new(false));
             let quit_flag = Arc::clone(&quit);
+            let depth = Arc::new(AtomicU64::new(0));
+            let depth_flag = Arc::clone(&depth);
             let thread = std::thread::Builder::new()
                 .name(format!("sorrento-send-{}-{}", me.index(), to.index()))
-                .spawn(move || sender_loop(to, rx, shared, cfg, me, listen, quit_flag))
+                .spawn(move || sender_loop(to, rx, shared, cfg, me, listen, quit_flag, depth_flag))
                 .expect("spawn sender thread");
-            PeerSender { tx, quit, thread }
+            PeerSender { tx, quit, depth, thread }
         })
     }
 
@@ -350,6 +380,18 @@ impl Mesh {
             let sender = self.sender_for(peer);
             let _ = sender.tx.try_send(OutItem::EnsureConn);
         }
+    }
+
+    /// Per-peer sender-queue depth: frames enqueued but not yet picked
+    /// up by each peer's sender thread.
+    pub fn queue_depths(&self) -> Vec<(NodeId, u64)> {
+        let mut depths: Vec<(NodeId, u64)> = self
+            .senders
+            .iter()
+            .map(|(&peer, s)| (peer, s.depth.load(Ordering::Relaxed)))
+            .collect();
+        depths.sort_by_key(|&(peer, _)| peer.index());
+        depths
     }
 
     /// A snapshot of the mesh counters.
@@ -366,7 +408,8 @@ impl Mesh {
         }
     }
 
-    /// Flush mesh counters into labeled metrics.
+    /// Flush mesh counters into labeled metrics, including one
+    /// `net_queue_depth_<peer>` gauge per live sender queue.
     pub fn export_metrics(&self, metrics: &mut sorrento_sim::Metrics) {
         let s = self.stats();
         metrics.gauge_set("net_sent", s.sent as f64);
@@ -376,6 +419,12 @@ impl Mesh {
         metrics.gauge_set("net_chaos_dropped", s.chaos_dropped as f64);
         metrics.gauge_set("net_chaos_duplicated", s.chaos_duplicated as f64);
         metrics.gauge_set("net_chaos_delayed", s.chaos_delayed as f64);
+        let mut max_depth = 0u64;
+        for (peer, depth) in self.queue_depths() {
+            max_depth = max_depth.max(depth);
+            metrics.gauge_set(&format!("net_queue_depth_{}", peer.index()), depth as f64);
+        }
+        metrics.gauge_set("net_queue_depth_max", max_depth as f64);
     }
 
     /// Stop the accept thread, reader threads, and sender threads.
@@ -406,6 +455,7 @@ impl Drop for Mesh {
 /// Per-peer sender: owns the peer's outbound `TcpStream` outright, so
 /// connecting, `Hello`, retries, and the blocking writes themselves all
 /// happen outside any shared lock.
+#[allow(clippy::too_many_arguments)]
 fn sender_loop(
     peer: NodeId,
     rx: Receiver<OutItem>,
@@ -414,6 +464,7 @@ fn sender_loop(
     me: NodeId,
     listen_addr: SocketAddr,
     quit: Arc<AtomicBool>,
+    depth: Arc<AtomicU64>,
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut batch: Vec<Arc<PooledBuf>> = Vec::with_capacity(COALESCE_MAX);
@@ -442,6 +493,7 @@ fn sender_loop(
                 continue;
             }
             OutItem::Frame(f, d) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
                 delay = delay.max(d);
                 batch.push(f);
             }
@@ -453,6 +505,7 @@ fn sender_loop(
         while batch.len() < COALESCE_MAX {
             match rx.try_recv() {
                 Ok(OutItem::Frame(f, d)) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
                     delay = delay.max(d);
                     batch.push(f);
                 }

@@ -15,6 +15,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use sorrento_json::Json;
+
 use crate::node::NodeId;
 use crate::time::SimTime;
 
@@ -186,6 +188,47 @@ pub enum TelemetryEvent {
         /// Why the segment moved (`"capacity"`, `"load"`, ...).
         reason: &'static str,
     },
+    /// A protocol message left this node. Recorded by the real-runtime
+    /// mesh only; simulated delivery is already visible to the scheduler.
+    MsgSend {
+        /// Span carried by the message (0 for background traffic).
+        span: SpanId,
+        /// Message kind (`proto::dbg_kind`).
+        kind: &'static str,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A protocol message arrived at this node (real runtime only).
+    MsgRecv {
+        /// Span carried by the message (0 for background traffic).
+        span: SpanId,
+        /// Message kind (`proto::dbg_kind`).
+        kind: &'static str,
+        /// Originating node.
+        from: NodeId,
+    },
+    /// The chaos shim perturbed an outbound frame.
+    ChaosInject {
+        /// What happened (`"drop"`, `"duplicate"`, `"delay"`).
+        fault: &'static str,
+        /// The link's destination node.
+        to: NodeId,
+    },
+    /// A duplicate request was answered from the reply cache instead of
+    /// re-executing.
+    DedupHit {
+        /// The replayed request's span (0 when the request carries none).
+        span: SpanId,
+        /// Request kind (`proto::dbg_kind`).
+        kind: &'static str,
+    },
+    /// A client resent an in-flight RPC after its resend interval.
+    RpcResend {
+        /// The operation's span.
+        span: SpanId,
+        /// Request kind (`proto::dbg_kind`).
+        kind: &'static str,
+    },
 }
 
 impl TelemetryEvent {
@@ -214,6 +257,11 @@ impl TelemetryEvent {
             TelemetryEvent::RepairStart { .. } => "repair.start",
             TelemetryEvent::RepairDone { .. } => "repair.done",
             TelemetryEvent::Migration { .. } => "migration",
+            TelemetryEvent::MsgSend { .. } => "msg.send",
+            TelemetryEvent::MsgRecv { .. } => "msg.recv",
+            TelemetryEvent::ChaosInject { .. } => "chaos.inject",
+            TelemetryEvent::DedupHit { .. } => "dedup.hit",
+            TelemetryEvent::RpcResend { .. } => "rpc.resend",
         }
     }
 
@@ -231,7 +279,11 @@ impl TelemetryEvent {
             | TelemetryEvent::SegCommit { span, .. }
             | TelemetryEvent::TwoPcPrepare { span, .. }
             | TelemetryEvent::TwoPcCommit { span, .. }
-            | TelemetryEvent::TwoPcAbort { span, .. } => span,
+            | TelemetryEvent::TwoPcAbort { span, .. }
+            | TelemetryEvent::MsgSend { span, .. }
+            | TelemetryEvent::MsgRecv { span, .. }
+            | TelemetryEvent::DedupHit { span, .. }
+            | TelemetryEvent::RpcResend { span, .. } => span,
             _ => 0,
         };
         if span == 0 {
@@ -239,6 +291,17 @@ impl TelemetryEvent {
         } else {
             Some(span)
         }
+    }
+
+    /// Structured JSON form: the stable [`kind`](Self::kind) label, the
+    /// owning span (0 when none), and the compact [`fmt::Display`] text. The
+    /// text line is the diagnostic surface; payload fields are not
+    /// exported individually.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kind", self.kind())
+            .with("span", self.span().unwrap_or(0))
+            .with("text", self.to_string())
     }
 }
 
@@ -300,6 +363,21 @@ impl fmt::Display for TelemetryEvent {
             TelemetryEvent::Migration { seg, from, to, reason } => {
                 write!(f, "migration seg={seg:x} {from}->{to} reason={reason}")
             }
+            TelemetryEvent::MsgSend { span, kind, to } => {
+                write!(f, "msg.send span={span} kind={kind} to={to}")
+            }
+            TelemetryEvent::MsgRecv { span, kind, from } => {
+                write!(f, "msg.recv span={span} kind={kind} from={from}")
+            }
+            TelemetryEvent::ChaosInject { fault, to } => {
+                write!(f, "chaos.inject fault={fault} to={to}")
+            }
+            TelemetryEvent::DedupHit { span, kind } => {
+                write!(f, "dedup.hit span={span} kind={kind}")
+            }
+            TelemetryEvent::RpcResend { span, kind } => {
+                write!(f, "rpc.resend span={span} kind={kind}")
+            }
         }
     }
 }
@@ -316,6 +394,15 @@ pub struct EventRecord {
 impl fmt::Display for EventRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{:>12} ns] {}", self.at.nanos(), self.ev)
+    }
+}
+
+impl EventRecord {
+    /// JSON form of the event plus its timestamp (`at_ns`). In a sim
+    /// the timestamp is virtual; in the real runtime it is monotonic
+    /// nanoseconds since process start.
+    pub fn to_json(&self) -> Json {
+        self.ev.to_json().with("at_ns", self.at.nanos())
     }
 }
 
@@ -379,6 +466,20 @@ impl EventLog {
     /// Records evicted (or refused, when capacity is 0) so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// JSON form of the whole ring: capacity, retention counters and
+    /// every retained record oldest-first. This is the flight-dump body.
+    pub fn to_json(&self) -> Json {
+        let mut events = Json::arr();
+        for rec in self.iter() {
+            events.push(rec.to_json());
+        }
+        Json::obj()
+            .with("cap", self.cap)
+            .with("len", self.len())
+            .with("dropped", self.dropped)
+            .with("events", events)
     }
 }
 

@@ -210,6 +210,7 @@ mod tests {
                         bytes: len,
                         latency: sorrento_sim::Dur::millis(1),
                         data: None,
+                        span: 0,
                     },
                     SimTime::ZERO,
                 );

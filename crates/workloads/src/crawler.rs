@@ -226,6 +226,7 @@ mod tests {
                     bytes,
                     latency: Dur::millis(1),
                     data: None,
+                    span: 0,
                 },
                 SimTime::ZERO,
             );

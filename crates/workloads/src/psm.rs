@@ -273,6 +273,7 @@ mod tests {
                     bytes: 0,
                     latency: Dur::millis(2),
                     data: None,
+                    span: 0,
                 },
                 SimTime::ZERO,
             );

@@ -202,6 +202,7 @@ mod tests {
                     bytes: 10,
                     latency: Dur::millis(7),
                     data: None,
+                    span: 0,
                 },
                 now,
             );
@@ -231,6 +232,7 @@ mod tests {
                     bytes: 0,
                     latency: Dur::millis(1),
                     data: None,
+                    span: 0,
                 },
                 now,
             );

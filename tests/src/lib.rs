@@ -1,1 +1,138 @@
-//! integration tests live in tests/*.rs
+//! Integration tests live in `tests/*.rs`.
+//!
+//! The library part holds the observability schema checkers: structural
+//! validators for the two JSON artifacts the runtime emits — flight
+//! recorder dumps (`flight_*.json`, also the `TraceR` payload) and v1
+//! stats snapshots (`StatsR`, also each `metrics.jsonl` line). They are
+//! the contract `make obs-smoke` and the observability tests hold the
+//! daemons to: if a field is renamed or dropped, these fail before any
+//! dashboard does.
+
+use sorrento_json::Json;
+
+/// Current flight-dump schema version these checkers understand.
+pub const FLIGHT_SCHEMA_V: u64 = 1;
+/// Current stats-snapshot schema version these checkers understand.
+pub const STATS_SCHEMA_V: u64 = 1;
+
+fn need_u64(j: &Json, key: &str, what: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer {key:?}"))
+}
+
+fn need_str<'a>(j: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing or non-string {key:?}"))
+}
+
+/// Validate a flight-recorder dump (a `flight_*.json` file or a
+/// `TraceR` reply) against the v1 schema.
+pub fn check_flight_dump(json: &str) -> Result<(), String> {
+    let j = Json::parse(json).map_err(|e| format!("flight dump: unparseable JSON: {e:?}"))?;
+    let v = need_u64(&j, "v", "flight dump")?;
+    if v != FLIGHT_SCHEMA_V {
+        return Err(format!("flight dump: schema v{v}, expected v{FLIGHT_SCHEMA_V}"));
+    }
+    need_u64(&j, "node", "flight dump")?;
+    need_str(&j, "role", "flight dump")?;
+    need_u64(&j, "epoch_unix_ns", "flight dump")?;
+    let cap = need_u64(&j, "cap", "flight dump")?;
+    let len = need_u64(&j, "len", "flight dump")?;
+    need_u64(&j, "dropped", "flight dump")?;
+    if len > cap {
+        return Err(format!("flight dump: len {len} exceeds cap {cap}"));
+    }
+    let events = j
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("flight dump: missing events array")?;
+    if events.len() as u64 > len {
+        return Err(format!(
+            "flight dump: {} events but len claims {len} (filtered dumps may have fewer)",
+            events.len()
+        ));
+    }
+    let epoch = need_u64(&j, "epoch_unix_ns", "flight dump")?;
+    for (i, ev) in events.iter().enumerate() {
+        let what = format!("flight event #{i}");
+        need_str(ev, "kind", &what)?;
+        need_u64(ev, "span", &what)?;
+        need_str(ev, "text", &what)?;
+        let at = need_u64(ev, "at_ns", &what)?;
+        let unix = need_u64(ev, "unix_ns", &what)?;
+        if unix != epoch.saturating_add(at) {
+            return Err(format!("{what}: unix_ns != epoch_unix_ns + at_ns"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a v1 stats snapshot (a `StatsR` payload or one line of
+/// `metrics.jsonl`) against the schema.
+pub fn check_stats_snapshot(json: &str) -> Result<(), String> {
+    let j = Json::parse(json).map_err(|e| format!("stats snapshot: unparseable JSON: {e:?}"))?;
+    let v = need_u64(&j, "v", "stats snapshot")?;
+    if v != STATS_SCHEMA_V {
+        return Err(format!("stats snapshot: schema v{v}, expected v{STATS_SCHEMA_V}"));
+    }
+    need_u64(&j, "node", "stats snapshot")?;
+    let role = need_str(&j, "role", "stats snapshot")?;
+    if !matches!(role, "namespace" | "provider" | "ctl") {
+        return Err(format!("stats snapshot: unknown role {role:?}"));
+    }
+    need_u64(&j, "uptime_ms", "stats snapshot")?;
+    // The metrics registry keeps its pre-v1 top-level shape: consumers
+    // that only ever read `gauges`/`counters` keep working unchanged.
+    for section in ["counters", "gauges"] {
+        if j.get(section).and_then(Json::as_obj).is_none() {
+            return Err(format!("stats snapshot: missing {section:?} object"));
+        }
+    }
+    let flight = j.get("flight").ok_or("stats snapshot: missing flight section")?;
+    need_u64(flight, "len", "stats snapshot flight")?;
+    need_u64(flight, "dropped", "stats snapshot flight")?;
+    let slow = j
+        .get("slow_ops")
+        .and_then(Json::as_arr)
+        .ok_or("stats snapshot: missing slow_ops array")?;
+    for (i, op) in slow.iter().enumerate() {
+        let what = format!("slow op #{i}");
+        need_u64(op, "dur_us", &what)?;
+        let span = need_u64(op, "span", &what)?;
+        if span == 0 {
+            return Err(format!("{what}: span 0 (background work must not be ranked)"));
+        }
+        need_str(op, "kind", &what)?;
+        need_u64(op, "at_ns", &what)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkers_reject_garbage_and_wrong_versions() {
+        assert!(check_flight_dump("not json").is_err());
+        assert!(check_stats_snapshot("not json").is_err());
+        assert!(check_flight_dump(r#"{"v":99}"#).is_err());
+        assert!(check_stats_snapshot(r#"{"v":99}"#).is_err());
+    }
+
+    #[test]
+    fn checkers_accept_minimal_valid_documents() {
+        let flight = r#"{"v":1,"node":3,"role":"provider","epoch_unix_ns":10,
+            "cap":4096,"len":1,"dropped":0,
+            "events":[{"kind":"hb.send","span":0,"text":"hb.send seq=1",
+                       "at_ns":5,"unix_ns":15}]}"#;
+        check_flight_dump(flight).expect("valid flight dump");
+        let stats = r#"{"v":1,"node":0,"role":"namespace","uptime_ms":12,
+            "counters":{},"gauges":{"net_sent":3.0},
+            "flight":{"len":1,"dropped":0},
+            "slow_ops":[{"dur_us":9,"span":4294967297,"kind":"open","at_ns":7}]}"#;
+        check_stats_snapshot(stats).expect("valid stats snapshot");
+    }
+}

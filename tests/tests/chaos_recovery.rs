@@ -50,6 +50,7 @@ fn daemon_cfg(
         rack: i as u32,
         costs: CostModel::fast_test(),
         chaos: Default::default(),
+        metrics_interval_ms: None,
         peers: all_peers
             .iter()
             .enumerate()

@@ -24,7 +24,7 @@ use sorrento_net::pool::BufPool;
 use sorrento_sim::NodeId;
 
 /// Number of `Msg` variants; every tag below this is generated.
-const MSG_VARIANTS: u8 = 50;
+const MSG_VARIANTS: u8 = 52;
 
 fn arb_u128(rng: &mut TestRng) -> u128 {
     ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128
@@ -353,6 +353,8 @@ fn arb_msg(tag: u8, rng: &mut TestRng) -> Msg {
             },
         },
         49 => Msg::ChaosCtlR { req: rng.gen() },
+        50 => Msg::TraceQuery { req: rng.gen(), span: rng.gen() },
+        51 => Msg::TraceR { req: rng.gen(), json: arb_string(rng) },
         _ => unreachable!("tag out of range"),
     }
 }

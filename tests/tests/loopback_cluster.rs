@@ -55,6 +55,7 @@ fn spawn_cluster(
                 rack: i as u32,
                 costs: CostModel::fast_test(),
                 chaos: Default::default(),
+                metrics_interval_ms: None,
                 peers: all_peers
                     .iter()
                     .enumerate()

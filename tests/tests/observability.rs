@@ -1,0 +1,287 @@
+//! The observability plane, end to end against a real loopback
+//! cluster: a write lands under 5% frame loss, and `fetch_trace` (the
+//! library form of `sorrentoctl trace <span>`) pulls the op's causal
+//! chain back out of every node's flight recorder — client send, the
+//! namespace commit, and the provider-side write events, in wall-clock
+//! order. A second test proves the flight recorder reaches disk on both
+//! clean and crash-style exits.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use sorrento::api::FsScript;
+use sorrento::costs::CostModel;
+use sorrento::types::FileOptions;
+use sorrento_json::Json;
+use sorrento_net::chaos::ChaosConfig;
+use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
+use sorrento_net::ctl;
+use sorrento_net::daemon::{self, DaemonHandle};
+use sorrento_sim::NodeId;
+use sorrento_tests::check_flight_dump;
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+/// Boot one namespace daemon (node 0) and `providers` provider daemons
+/// on ephemeral loopback ports. `data_dirs[i]` gives provider `i + 1`
+/// persistent storage (and with it a flight-dump destination).
+fn spawn_cluster(
+    providers: usize,
+    data_dirs: &[Option<std::path::PathBuf>],
+) -> (Vec<DaemonHandle>, CtlConfig) {
+    let n = providers + 1;
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let all_peers: Vec<PeerSpec> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| PeerSpec {
+            id: NodeId::from_index(i),
+            addr: l.local_addr().unwrap().to_string(),
+            machine: i as u32,
+        })
+        .collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let cfg = DaemonConfig {
+                node_id: NodeId::from_index(i),
+                role: if i == 0 { Role::Namespace } else { Role::Provider },
+                listen: all_peers[i].addr.clone(),
+                data_dir: if i == 0 { None } else { data_dirs.get(i - 1).cloned().flatten() },
+                seed: 100 + i as u64,
+                capacity: 1 << 30,
+                machine: i as u32,
+                rack: i as u32,
+                costs: CostModel::fast_test(),
+                chaos: Default::default(),
+                metrics_interval_ms: None,
+                peers: all_peers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+            };
+            daemon::spawn_with_listener(cfg, listener).expect("spawn daemon")
+        })
+        .collect();
+    let ctl_cfg = CtlConfig {
+        ctl_id: NodeId::from_index(1000),
+        namespace: NodeId::from_index(0),
+        seed: 7,
+        replication: 2,
+        costs: CostModel::fast_test(),
+        write_chunk: None,
+        write_window: 4,
+        rpc_resends: 2,
+        op_deadline_ms: Some(20_000),
+        peers: all_peers,
+    };
+    (handles, ctl_cfg)
+}
+
+/// One merged-chain event: (wall-clock ns, node index, event text).
+type ChainEvent = (u64, usize, String);
+
+/// Pull `span`'s events out of `node`'s flight recorder over the wire,
+/// schema-check the reply, and return them as chain events.
+fn trace_node(cfg: &CtlConfig, node: usize, span: u64) -> Vec<ChainEvent> {
+    let json = ctl::fetch_trace(cfg, NodeId::from_index(node), span, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("trace from n{node}: {e}"));
+    check_flight_dump(&json).unwrap_or_else(|e| panic!("n{node} trace reply: {e}"));
+    let dump = Json::parse(&json).unwrap();
+    dump.get("events")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|ev| {
+            (
+                ev.get("unix_ns").and_then(Json::as_u64).unwrap(),
+                node,
+                ev.get("text").and_then(Json::as_str).unwrap().to_owned(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn trace_renders_cross_node_causal_chain_under_chaos() {
+    let providers = 3;
+    let (handles, cfg) = spawn_cluster(providers, &[]);
+
+    // 5% frame loss on every frame every daemon sends; the client rides
+    // it out with same-request resends and reply dedup.
+    for i in 0..=providers {
+        let chaos = ChaosConfig {
+            seed: 0xC0FFEE ^ i as u64,
+            drop_permille: 50,
+            ..ChaosConfig::default()
+        };
+        ctl::set_chaos(&cfg, NodeId::from_index(i), &chaos, DEADLINE)
+            .expect("install chaos rules");
+    }
+
+    // Write until an attempt converges cleanly — a fresh path per
+    // attempt so a half-dead earlier try can't poison the next.
+    let data = payload(96 * 1024);
+    let deadline = Instant::now() + DEADLINE;
+    let mut attempt = 0u32;
+    let out = loop {
+        attempt += 1;
+        let path = format!("/obs-{attempt}"); // fresh path per attempt
+        let mut fs = FsScript::new();
+        let h = fs
+            .create_with(
+                &path,
+                FileOptions { replication: 2, eager_commit: true, ..FileOptions::default() },
+            )
+            .unwrap();
+        fs.write(h, 0, data.clone()).unwrap();
+        fs.close(h).unwrap();
+        let out = ctl::run_script(&cfg, fs.into_ops(), providers, Duration::from_secs(25))
+            .expect("write under chaos: client did not finish");
+        if out.stats.failed_ops == 0 {
+            break out;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "write never converged: {:?}",
+            out.stats.last_error
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    };
+
+    // Every issued op carries a span the CLI prints; the close op's
+    // span covers the whole commit (Figure 6 steps 6–12).
+    let write_span = out.records.iter().find(|r| r.kind == "write").expect("write record").span;
+    let close_span = out.records.iter().find(|r| r.kind == "close").expect("close record").span;
+    assert_ne!(write_span, 0, "write op got no span");
+    assert_ne!(close_span, 0, "close op got no span");
+
+    // The ctl session's own flight events are the client half of the
+    // chain; `ScriptOutcome::epoch_unix_ns` puts them on the shared
+    // wall-clock timeline.
+    let client_chain = |span: u64| -> Vec<ChainEvent> {
+        out.events
+            .iter()
+            .filter(|rec| rec.ev.span() == Some(span))
+            .map(|rec| (out.epoch_unix_ns + rec.at.nanos(), 1000, rec.ev.to_string()))
+            .collect()
+    };
+
+    // --- the write span: client send → provider shadow writes ---
+    let mut chain: Vec<ChainEvent> = client_chain(write_span);
+    for node in 0..=providers {
+        chain.extend(trace_node(&cfg, node, write_span));
+    }
+    chain.sort();
+    let client_send = chain
+        .iter()
+        .find(|(_, node, text)| *node == 1000 && text.starts_with("msg.send"))
+        .expect("write chain has a client send");
+    let shadow_writes: Vec<&ChainEvent> = chain
+        .iter()
+        .filter(|(_, node, text)| (1..=providers).contains(node) && text.starts_with("seg.create"))
+        .collect();
+    assert!(!shadow_writes.is_empty(), "write chain has no provider shadow create: {chain:?}");
+    for w in &shadow_writes {
+        assert!(client_send.0 <= w.0, "client send after provider write: {chain:?}");
+    }
+
+    // --- the close span: client send → ns commit → ≥r provider events ---
+    let mut chain: Vec<ChainEvent> = client_chain(close_span);
+    for node in 0..=providers {
+        chain.extend(trace_node(&cfg, node, close_span));
+    }
+    chain.sort();
+    let t_client_send = chain
+        .iter()
+        .find(|(_, node, text)| *node == 1000 && text.starts_with("msg.send"))
+        .expect("close chain has a client send")
+        .0;
+    let t_ns_commit = chain
+        .iter()
+        .find(|(_, node, text)| *node == 0 && text.contains("commit_begin"))
+        .expect("close chain has the namespace commit")
+        .0;
+    let provider_writes: Vec<&ChainEvent> = chain
+        .iter()
+        .filter(|(_, node, text)| {
+            (1..=providers).contains(node)
+                && (text.starts_with("2pc.") || text.starts_with("seg.commit"))
+        })
+        .collect();
+    assert!(
+        provider_writes.len() >= 2,
+        "close chain has {} provider write events, wanted >= replication (2): {chain:?}",
+        provider_writes.len()
+    );
+    // Causal order on the merged timeline: the client issued the commit
+    // before the namespace saw it, and before any provider applied it.
+    assert!(t_client_send <= t_ns_commit, "ns commit precedes client send: {chain:?}");
+    for w in &provider_writes {
+        assert!(t_client_send <= w.0, "provider write precedes client send: {chain:?}");
+    }
+
+    for h in handles {
+        h.stop().expect("clean shutdown");
+    }
+}
+
+#[test]
+fn flight_dump_survives_clean_and_crash_exits() {
+    let base = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("obs-flight");
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs: Vec<std::path::PathBuf> = (1..=2).map(|i| base.join(format!("p{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+    let (mut handles, cfg) =
+        spawn_cluster(2, &[Some(dirs[0].clone()), Some(dirs[1].clone())]);
+
+    let mut fs = FsScript::new();
+    let h = fs.create("/box").unwrap();
+    fs.write(h, 0, payload(4096)).unwrap();
+    fs.close(h).unwrap();
+    let out = ctl::run_script(&cfg, fs.into_ops(), 2, DEADLINE).expect("write script");
+    assert_eq!(out.stats.failed_ops, 0, "write failed: {:?}", out.stats.last_error);
+
+    // Provider 2 dies abruptly (crash stand-in), provider 1 stops
+    // cleanly. Both must leave a parseable black box.
+    handles.pop().unwrap().kill().expect("abrupt kill");
+    handles.pop().unwrap().stop().expect("clean shutdown");
+    for (i, dir) in dirs.iter().enumerate() {
+        let dump = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("flight_"))
+            .unwrap_or_else(|| panic!("no flight_*.json in {}", dir.display()));
+        let text = std::fs::read_to_string(dump.path()).unwrap();
+        check_flight_dump(&text).unwrap_or_else(|e| panic!("p{} dump: {e}", i + 1));
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(j.get("node").and_then(Json::as_u64), Some(i as u64 + 1));
+        assert_eq!(j.get("role").and_then(Json::as_str), Some("provider"));
+        let events = j.get("events").and_then(Json::as_arr).unwrap();
+        assert!(!events.is_empty(), "p{} black box is empty", i + 1);
+        // A provider that served a write must have seen protocol
+        // traffic, not just its own heartbeats.
+        assert!(
+            events.iter().any(|ev| {
+                ev.get("kind").and_then(Json::as_str).is_some_and(|k| k.starts_with("msg."))
+            }),
+            "p{} dump has no message events",
+            i + 1
+        );
+    }
+
+    for h in handles {
+        h.stop().expect("clean shutdown");
+    }
+}
