@@ -18,6 +18,11 @@
 #                   provider, and schema-check the flight dump and
 #                   metrics.jsonl it leaves behind, plus the span-trace
 #                   merge tests
+#   make ec-smoke   the erasure-coding drill: seeded-simulator EC tests
+#                   (roundtrip, rewrite, degraded read, shard repair),
+#                   then a loopback EC(4,2) cluster that loses two shard
+#                   holders mid-run — degraded reads must reconstruct and
+#                   the repair scan must restore the shard count on disk
 #   make docs       rustdoc for the whole workspace (warnings are errors)
 
 CARGO ?= cargo
@@ -26,7 +31,7 @@ CARGO ?= cargo
 # (the Arc that shares the pooled buffer across peer queues).
 BENCH_ALLOC_BOUND ?= 1.0
 
-.PHONY: check build test clippy check-net bench bench-smoke chaos-smoke obs-smoke docs
+.PHONY: check build test clippy check-net bench bench-smoke chaos-smoke obs-smoke ec-smoke docs
 
 check: build test clippy docs
 
@@ -50,6 +55,9 @@ chaos-smoke:
 obs-smoke:
 	$(CARGO) test -p sorrento-tests --test obs_smoke -- --nocapture
 	$(CARGO) test -p sorrento-tests --test observability -- --nocapture
+
+ec-smoke:
+	$(CARGO) test -p sorrento-tests --test ec_mode -- --nocapture
 
 bench:
 	for f in fig09_small_file_latency fig10_small_file_throughput \

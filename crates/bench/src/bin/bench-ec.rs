@@ -1,0 +1,328 @@
+//! **bench-ec** — erasure coding vs replication-3, head to head.
+//!
+//! Two seeded simulator clusters store the same logical dataset, one
+//! with replication-3 (the paper's durable mode) and one with EC(4,2)
+//! (k = 4 data + m = 2 parity shards, index replicated ×2). Both then
+//! lose two data-holding providers. Measured per mode:
+//!
+//! * **storage overhead** — physical bytes on provider disks over
+//!   logical file bytes, after propagation settles;
+//! * **read latency** — per-op `read` p50/p95 healthy, and again with
+//!   the two providers dead (EC reads reconstruct inline; replicated
+//!   reads fail over to surviving copies);
+//! * **repair traffic** — bytes installed onto live disks to restore
+//!   redundancy, plus the bytes fetched to feed the rebuild
+//!   (reconstruction reads k survivors; re-replication reads one copy).
+//!
+//! Output: a summary table on stdout and `results/BENCH_ec.json`
+//! (override with `--out PATH`). Everything is deterministic from the
+//! fixed seeds.
+
+use std::collections::BTreeSet;
+
+use sorrento::client::ClientOp;
+use sorrento::cluster::{Cluster, ClusterBuilder, ScriptedWorkload};
+use sorrento::costs::CostModel;
+use sorrento::types::{FileOptions, SegId};
+use sorrento_sim::{Dur, NodeId};
+
+const PROVIDERS: usize = 10;
+const FILES: usize = 4;
+const FILE_BYTES: usize = 1 << 20; // 1 MiB per file
+const KILLS: usize = 2;
+
+fn patterned(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(29) ^ seed).collect()
+}
+
+/// Physical bytes stored across providers, skipping `dead` ones.
+fn stored_bytes(c: &Cluster, dead: &[NodeId]) -> u64 {
+    c.providers()
+        .iter()
+        .filter(|p| !dead.contains(p))
+        .filter_map(|&p| c.provider_ref(p))
+        .map(|prov| {
+            prov.store
+                .list_segments()
+                .iter()
+                .map(|&(seg, _)| prov.store.stored_bytes(seg))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Live owners per segment (ground truth minus `dead`).
+fn live_owners(c: &Cluster, dead: &[NodeId]) -> Vec<(SegId, usize)> {
+    c.segment_ownership()
+        .into_iter()
+        .map(|(seg, owners)| {
+            (seg, owners.iter().filter(|(p, _)| !dead.contains(p)).count())
+        })
+        .collect()
+}
+
+fn percentile(mut xs: Vec<f64>, p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let i = ((xs.len() - 1) as f64 * p).round() as usize;
+    xs[i]
+}
+
+/// `read` op latencies (ms, virtual time) of one client.
+fn read_latencies_ms(c: &Cluster, id: NodeId) -> Vec<f64> {
+    c.client_stats(id)
+        .unwrap()
+        .latencies
+        .iter()
+        .filter(|(k, _)| *k == "read")
+        .map(|(_, d)| d.as_secs_f64() * 1e3)
+        .collect()
+}
+
+struct ModeResult {
+    label: &'static str,
+    overhead: f64,
+    healthy_p50_ms: f64,
+    healthy_p95_ms: f64,
+    degraded_p50_ms: f64,
+    degraded_p95_ms: f64,
+    repair_installed_bytes: u64,
+    repair_fetched_bytes: u64,
+    heal_secs: f64,
+}
+
+/// Run one cluster through populate → settle → healthy reads → kill 2 →
+/// degraded reads → heal → measure.
+fn run_mode(label: &'static str, options: FileOptions, seed: u64) -> ModeResult {
+    let mut c: Cluster = ClusterBuilder::new()
+        .providers(PROVIDERS)
+        .replication(options.replication)
+        .seed(seed)
+        .costs(CostModel::fast_test())
+        .build();
+    let logical = (FILES * FILE_BYTES) as u64;
+    let paths: Vec<String> = (0..FILES).map(|i| format!("/f{i}")).collect();
+
+    let mut script = Vec::new();
+    for (i, p) in paths.iter().enumerate() {
+        script.push(ClientOp::CreateWith { path: p.clone(), options });
+        script.push(ClientOp::write_bytes(0, patterned(FILE_BYTES, i as u8)));
+        script.push(ClientOp::Close);
+    }
+    let writer = c.add_client(ScriptedWorkload::new(script));
+    loop {
+        c.run_for(Dur::secs(5));
+        if c.client_stats(writer).unwrap().finished_at.is_some() {
+            break;
+        }
+        assert!(c.now().as_secs_f64() < 600.0, "{label}: populate stalled");
+    }
+    assert_eq!(c.client_stats(writer).unwrap().failed_ops, 0, "{label}: populate failed");
+
+    // Let lazy propagation finish: every segment at its target degree
+    // (data degree for replication; index ×2 + single shards for EC).
+    let is_ec = options.ec.is_some();
+    let want = options.replication as usize;
+    for _ in 0..120 {
+        c.run_for(Dur::secs(5));
+        let settled = if is_ec {
+            // index segments (replicated) at 2; shards exist singly
+            c.segment_ownership().values().all(|o| !o.is_empty())
+                && c.segment_ownership().values().filter(|o| o.len() >= 2).count() >= FILES
+        } else {
+            c.segment_ownership().values().all(|o| o.len() >= want)
+        };
+        if settled {
+            break;
+        }
+    }
+    let overhead = stored_bytes(&c, &[]) as f64 / logical as f64;
+
+    // Healthy reads.
+    let mut rs = Vec::new();
+    for p in &paths {
+        rs.push(ClientOp::Open { path: p.clone(), write: false });
+        rs.push(ClientOp::Read { offset: 0, len: FILE_BYTES as u64 });
+        rs.push(ClientOp::Close);
+    }
+    let healthy = c.add_client(ScriptedWorkload::new(rs.clone()));
+    c.run_for(Dur::secs(60));
+    let hstats = c.client_stats(healthy).unwrap();
+    assert_eq!(hstats.failed_ops, 0, "{label}: healthy reads failed: {:?}", hstats.last_error);
+    let hlat = read_latencies_ms(&c, healthy);
+
+    // Kill two providers that hold data but (for EC) no index replica,
+    // so loss lands on shards/replicas rather than the file's map.
+    let ownership = c.segment_ownership();
+    let multi_owners: BTreeSet<NodeId> = ownership
+        .values()
+        .filter(|o| o.len() > 1)
+        .flat_map(|o| o.iter().map(|&(p, _)| p))
+        .collect();
+    let mut victims: Vec<NodeId> = if is_ec {
+        ownership
+            .values()
+            .filter(|o| o.len() == 1)
+            .map(|o| o[0].0)
+            .filter(|p| !multi_owners.contains(p))
+            .collect()
+    } else {
+        ownership.values().flat_map(|o| o.iter().map(|&(p, _)| p)).collect()
+    };
+    victims.sort();
+    victims.dedup();
+    victims.truncate(KILLS);
+    assert_eq!(victims.len(), KILLS, "{label}: not enough data holders to kill");
+    for &v in &victims {
+        c.crash_provider_at(c.now(), v);
+    }
+    let live_before_heal = stored_bytes(&c, &victims);
+    let killed_at = c.now().as_secs_f64();
+
+    // Degraded / failover reads while the loss is outstanding.
+    let degraded = c.add_client(ScriptedWorkload::new(rs.clone()));
+    c.run_for(Dur::secs(60));
+    let dstats = c.client_stats(degraded).unwrap();
+    assert_eq!(dstats.failed_ops, 0, "{label}: degraded reads failed: {:?}", dstats.last_error);
+    let dlat = read_latencies_ms(&c, degraded);
+
+    // Heal: every segment back to full degree on live providers.
+    let mut heal_secs = f64::NAN;
+    for _ in 0..240 {
+        c.run_for(Dur::secs(5));
+        let healed = if is_ec {
+            live_owners(&c, &victims).iter().all(|&(_, n)| n >= 1)
+        } else {
+            live_owners(&c, &victims).iter().all(|&(_, n)| n >= want)
+        };
+        if healed {
+            heal_secs = c.now().as_secs_f64() - killed_at;
+            break;
+        }
+    }
+    assert!(!heal_secs.is_nan(), "{label}: repair never converged");
+    let repair_installed_bytes = stored_bytes(&c, &victims).saturating_sub(live_before_heal);
+    // Feeding the rebuild: EC reconstruction reads k full shards per
+    // repaired file; re-replication reads each lost replica once.
+    let repair_fetched_bytes = if is_ec {
+        let k = options.ec.unwrap().k as u64;
+        let shard = (FILE_BYTES as u64).div_ceil(k);
+        // one reconstruct per file that lost ≥1 shard; count via installs
+        let files_repaired = (repair_installed_bytes / shard.max(1)).min(FILES as u64);
+        files_repaired.min(FILES as u64) * k * shard
+    } else {
+        repair_installed_bytes
+    };
+
+    ModeResult {
+        label,
+        overhead,
+        healthy_p50_ms: percentile(hlat.clone(), 0.5),
+        healthy_p95_ms: percentile(hlat, 0.95),
+        degraded_p50_ms: percentile(dlat.clone(), 0.5),
+        degraded_p95_ms: percentile(dlat, 0.95),
+        repair_installed_bytes,
+        repair_fetched_bytes,
+        heal_secs,
+    }
+}
+
+fn json_of(r: &ModeResult) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"storage_overhead\": {:.4},\n",
+            "      \"read_p50_ms\": {:.3},\n",
+            "      \"read_p95_ms\": {:.3},\n",
+            "      \"degraded_read_p50_ms\": {:.3},\n",
+            "      \"degraded_read_p95_ms\": {:.3},\n",
+            "      \"repair_installed_bytes\": {},\n",
+            "      \"repair_fetched_bytes\": {},\n",
+            "      \"heal_seconds\": {:.1}\n",
+            "    }}"
+        ),
+        r.overhead,
+        r.healthy_p50_ms,
+        r.healthy_p95_ms,
+        r.degraded_p50_ms,
+        r.degraded_p95_ms,
+        r.repair_installed_bytes,
+        r.repair_fetched_bytes,
+        r.heal_secs,
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("results/BENCH_ec.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out_path = args.next().expect("--out needs a path");
+        }
+    }
+
+    let repl = run_mode(
+        "replication-3",
+        FileOptions { replication: 3, ..FileOptions::default() },
+        7301,
+    );
+    let ec = run_mode(
+        "EC(4,2)",
+        FileOptions { replication: 2, ..FileOptions::erasure_coded(4, 2, 64 << 20) },
+        7302,
+    );
+
+    println!(
+        "| {:<14} | {:>9} | {:>12} | {:>14} | {:>14} | {:>9} |",
+        "mode", "overhead", "read p50 ms", "degraded p50", "repair bytes", "heal s"
+    );
+    for r in [&repl, &ec] {
+        println!(
+            "| {:<14} | {:>8.2}x | {:>12.3} | {:>14.3} | {:>14} | {:>9.1} |",
+            r.label,
+            r.overhead,
+            r.healthy_p50_ms,
+            r.degraded_p50_ms,
+            r.repair_installed_bytes,
+            r.heal_secs
+        );
+    }
+    assert!(
+        ec.overhead <= 1.6,
+        "EC(4,2) storage overhead {:.3} exceeds the 1.6x budget",
+        ec.overhead
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"erasure coding vs replication-3\",\n",
+            "  \"setup\": {{\n",
+            "    \"providers\": {}, \"files\": {}, \"file_bytes\": {},\n",
+            "    \"providers_killed\": {}, \"costs\": \"fast_test\", \"seeds\": [7301, 7302]\n",
+            "  }},\n",
+            "  \"summary\": {{\n",
+            "    \"ec_overhead_vs_repl3\": \"{:.2}x vs {:.2}x\",\n",
+            "    \"degraded_read_slowdown_ec\": {:.2},\n",
+            "    \"repair_installed_ratio_repl3_over_ec\": {:.2}\n",
+            "  }},\n",
+            "  \"replication3\": \n{},\n",
+            "  \"ec_4_2\": \n{}\n",
+            "}}\n"
+        ),
+        PROVIDERS,
+        FILES,
+        FILE_BYTES,
+        KILLS,
+        ec.overhead,
+        repl.overhead,
+        ec.degraded_p50_ms / ec.healthy_p50_ms,
+        repl.repair_installed_bytes as f64 / ec.repair_installed_bytes.max(1) as f64,
+        json_of(&repl),
+        json_of(&ec),
+    );
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("wrote {out_path}");
+}

@@ -30,6 +30,9 @@ use crate::types::{Error, FileId, FileOptions, PlacementPolicy, SegId, Version};
 const MAX_ATTEMPTS: u32 = 5;
 /// Maximum commit retries for [`ClientOp::AtomicAppend`].
 const MAX_APPEND_RETRIES: u32 = 16;
+/// `Pending::ShadowWrite::extent` sentinel for a parity-shard write in
+/// the commit flow (`usize::MAX` already marks the index write).
+const PARITY_EXTENT: usize = usize::MAX - 1;
 
 /// One file operation issued by a workload.
 #[derive(Debug, Clone)]
@@ -257,6 +260,14 @@ struct OpenFile {
     attached_buf: Vec<u8>,
     /// Whether file payloads are synthetic.
     synthetic: bool,
+    /// Whole-file contents accumulated across this session's real
+    /// writes of an erasure-coded file: commit encodes parity from it.
+    /// EC files follow a whole-file-write discipline — regions not
+    /// written this session are treated as zeros (see DESIGN.md).
+    ec_buf: Vec<u8>,
+    /// Parity shard bytes computed by the in-progress commit, in
+    /// `index.parity` order (empty for synthetic payloads).
+    parity_bufs: Vec<bytes::Bytes>,
 }
 
 /// What an in-flight request is for.
@@ -276,6 +287,39 @@ enum Pending {
     Backup { seg: SegId },
     Delete,
     EagerSync,
+    /// Degraded EC read: locating shard `shard` (data-then-parity index).
+    EcLoc { shard: usize },
+    /// Degraded EC read: fetching shard `shard` in full.
+    EcShard { shard: usize },
+}
+
+/// Per-shard state of an in-flight degraded erasure-coded read
+/// (data shards first, then parity, matching codec order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardState {
+    /// Locate/fetch still in flight.
+    Pending,
+    /// Full shard bytes in hand.
+    Fetched,
+    /// No live owner: must be reconstructed (data shards only).
+    Lost,
+    /// Unavailable parity shard (nothing to reconstruct into the read).
+    Failed,
+}
+
+/// An in-flight degraded read: the client is fetching whole shards of
+/// an erasure-coded file to reconstruct extents whose data shards have
+/// no live owner (§3.4.2 failover, EC variant). Lives beside the
+/// regular `Phase::Reading` state — healthy extents keep streaming
+/// while the reconstruction gathers its k survivors.
+#[derive(Debug)]
+struct EcRead {
+    /// Per-shard progress, `k` data shards then `m` parity shards.
+    states: Vec<ShardState>,
+    /// Fetched shard bytes (pre-padding), same order as `states`.
+    bufs: Vec<Option<Vec<u8>>>,
+    /// Shards fetched so far; `k` of them complete the reconstruction.
+    fetched: usize,
 }
 
 /// Current stage of the active operation.
@@ -342,6 +386,10 @@ struct ChunkWrite {
 /// Sub-stages of the commit flow (Figure 6 steps 6–12).
 #[derive(Debug)]
 enum CommitStage {
+    /// Erasure-coded files only: encoding and shipping the m parity
+    /// shards (shadow create + full-content write each) before the
+    /// index shadow. Counts parity shards not yet written.
+    Parity { outstanding: usize },
     /// Creating the shadow of the index segment (step 6).
     IndexShadow,
     /// Writing the new index contents into its shadow.
@@ -422,6 +470,8 @@ pub struct SorrentoClient {
     /// Monotonic op generation; tags `Tick::OpDeadline` so a stale
     /// deadline timer from a finished op cannot kill its successor.
     op_gen: u64,
+    /// In-flight degraded read of an erasure-coded file, if any.
+    ec_read: Option<EcRead>,
 }
 
 impl SorrentoClient {
@@ -453,6 +503,7 @@ impl SorrentoClient {
             op_deadline: None,
             resends: HashMap::new(),
             op_gen: 0,
+            ec_read: None,
         }
     }
 
@@ -627,6 +678,8 @@ impl SorrentoClient {
 
     /// Pick a provider for a brand-new segment via the placement
     /// algorithm (§3.7.1), with the home-host boost for small segments.
+    /// `exclude` bars providers that already hold a shard of the same
+    /// code group (EC placement needs k+m distinct failure domains).
     fn place_segment(
         &mut self,
         ctx: &mut impl Transport,
@@ -634,6 +687,7 @@ impl SorrentoClient {
         size_hint: u64,
         alpha: f64,
         policy: PlacementPolicy,
+        exclude: &[NodeId],
     ) -> Option<NodeId> {
         let cands = candidates_from_view(&self.view);
         let home = if self.costs.home_boost {
@@ -641,11 +695,57 @@ impl SorrentoClient {
         } else {
             None
         };
-        select_provider(&cands, size_hint, alpha, policy, &[], home, ctx.rng())
+        select_provider(&cands, size_hint, alpha, policy, exclude, home, ctx.rng())
     }
 
     fn seg_meta(&self, opts: &FileOptions, synthetic: bool) -> SegMeta {
-        SegMeta::from_options(opts, synthetic)
+        let mut m = SegMeta::from_options(opts, synthetic);
+        // Erasure-coded data shards are not replicated: the code *is*
+        // the redundancy (`replication` governs the index segment only).
+        if opts.ec.is_some() {
+            m.replication = 1;
+        }
+        m
+    }
+
+    /// Providers already holding (or assigned, or being asked for) any
+    /// *other* shard of the open erasure-coded file. Placement excludes
+    /// them so the k+m shards land on distinct providers — a single
+    /// crash must cost at most one shard of each code group. Empty for
+    /// non-EC files: their placement is unconstrained.
+    fn ec_sibling_providers(&self, seg: SegId) -> Vec<NodeId> {
+        let Some(f) = &self.file else {
+            return Vec::new();
+        };
+        if f.entry.options.ec.is_none() {
+            return Vec::new();
+        }
+        let index_seg = f.entry.file.index_segment();
+        let mut out: Vec<NodeId> = Vec::new();
+        for (&s, sref) in &f.shadows {
+            if s != seg && s != index_seg && !out.contains(&sref.provider) {
+                out.push(sref.provider);
+            }
+        }
+        for (&s, owners) in &f.owners {
+            if s == seg || s == index_seg {
+                continue;
+            }
+            for (id, _) in owners {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        }
+        // Placements still in flight: their shadows aren't recorded yet.
+        for (_, p) in self.pending.values() {
+            if let Pending::ShadowCreate { seg: s, provider, .. } = p {
+                if *s != seg && *s != index_seg && !out.contains(provider) {
+                    out.push(*provider);
+                }
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -791,6 +891,7 @@ impl SorrentoClient {
         // ignored by the pending-map lookup).
         self.pending.clear();
         self.resends.clear();
+        self.ec_read = None;
         self.scatter_bytes = 0;
         let latency = ctx.now().since(started);
         let span = self.cur_span;
@@ -862,6 +963,7 @@ impl SorrentoClient {
         }
         self.pending.clear();
         self.resends.clear();
+        self.ec_read = None;
         // Restart the op from its first stage with current knowledge.
         if let Some((_, _, phase, _)) = &mut self.op {
             *phase = Phase::NsSimple;
@@ -905,6 +1007,8 @@ impl SorrentoClient {
                 commit_target: None,
                 attached_buf: Vec::new(),
                 synthetic: false,
+                ec_buf: Vec::new(),
+                parity_bufs: Vec::new(),
             });
             self.complete_op(ctx, None, 0, None);
             return;
@@ -923,6 +1027,8 @@ impl SorrentoClient {
             commit_target: None,
             attached_buf: Vec::new(),
             synthetic: false,
+            ec_buf: Vec::new(),
+            parity_bufs: Vec::new(),
         });
         self.read_index_segment(ctx, entry.file.index_segment(), entry.version);
     }
@@ -1054,6 +1160,12 @@ impl SorrentoClient {
                     ctx.id(),
                     ctx.now()
                 );
+            }
+            // The segment is genuinely gone cluster-wide. For a read of
+            // an erasure-coded file this is not fatal: fall into the
+            // degraded path and reconstruct from k surviving shards.
+            if self.try_ec_degraded(ctx, seg) {
+                return;
             }
             self.retry_or_fail(ctx, Error::NoSuchSegment);
             return;
@@ -1353,6 +1465,269 @@ impl SorrentoClient {
     }
 
     // ------------------------------------------------------------------
+    // Degraded erasure-coded reads
+    // ------------------------------------------------------------------
+
+    /// A segment of the current read has no live owner cluster-wide. If
+    /// the open file is erasure-coded and `seg` is one of its shards,
+    /// switch that shard to the degraded path: fetch any k shards of
+    /// the code group in full and reconstruct the lost ones inline.
+    /// Returns whether the degraded path took over.
+    fn try_ec_degraded(&mut self, ctx: &mut impl Transport, seg: SegId) -> bool {
+        if !matches!(
+            self.op.as_ref().map(|(_, _, p, _)| p),
+            Some(Phase::Reading { .. })
+        ) {
+            return false;
+        }
+        let (shard, total) = {
+            let Some(f) = &self.file else {
+                return false;
+            };
+            let Some(p) = f.entry.options.ec else {
+                return false;
+            };
+            // Without a full shard set committed there is no code group
+            // to decode (e.g. the file never reached its first commit).
+            if f.index.segments.len() != p.k as usize
+                || f.index.parity.len() != p.m as usize
+            {
+                return false;
+            }
+            let Some(shard) = f
+                .index
+                .segments
+                .iter()
+                .chain(f.index.parity.iter())
+                .position(|e| e.seg == seg)
+            else {
+                return false;
+            };
+            (shard, p.shards())
+        };
+        if self.ec_read.is_none() {
+            self.ec_read = Some(EcRead {
+                states: vec![ShardState::Pending; total],
+                bufs: (0..total).map(|_| None).collect(),
+                fetched: 0,
+            });
+            ctx.metrics().count("client.ec_degraded_reads", 1);
+            // Every other shard joins the gather; the triggering one is
+            // marked lost below.
+            for i in 0..total {
+                if i != shard {
+                    self.issue_ec_shard(ctx, i);
+                }
+            }
+        }
+        self.ec_shard_failed(ctx, shard);
+        true
+    }
+
+    /// The index entry backing shard `i` (data-then-parity order).
+    fn ec_entry(f: &OpenFile, shard: usize) -> crate::layout::SegEntry {
+        let k = f.index.segments.len();
+        if shard < k {
+            f.index.segments[shard]
+        } else {
+            f.index.parity[shard - k]
+        }
+    }
+
+    /// Fetch shard `shard` in full: straight from a cached owner, or
+    /// resolve one through the shard's home host first.
+    fn issue_ec_shard(&mut self, ctx: &mut impl Transport, shard: usize) {
+        let (seg, version, owners) = {
+            let Some(f) = &self.file else {
+                return;
+            };
+            let e = Self::ec_entry(f, shard);
+            (e.seg, e.version, f.owners.get(&e.seg).cloned())
+        };
+        if let Some(owners) = owners {
+            if let Some(owner) = self.choose_owner(&owners, Some(version), ctx.rng()) {
+                let req = self.fresh_req();
+                self.rpc(
+                    ctx,
+                    owner,
+                    Msg::ReadSeg {
+                        req,
+                        seg,
+                        offset: 0,
+                        len: u64::MAX,
+                        min_version: Some(version),
+                        allow_redirect: false,
+                    },
+                    Pending::EcShard { shard },
+                );
+                return;
+            }
+            // Cached owners are all dead; re-resolve below.
+            if let Some(f) = &mut self.file {
+                f.owners.remove(&seg);
+            }
+        }
+        let Some(home) = self.ring.home(seg) else {
+            self.ec_shard_failed(ctx, shard);
+            return;
+        };
+        let req = self.fresh_req();
+        self.rpc(ctx, home, Msg::LocQuery { req, seg }, Pending::EcLoc { shard });
+    }
+
+    /// One shard of the degraded read arrived in full.
+    fn on_ec_shard_read(&mut self, ctx: &mut impl Transport, shard: usize, reply: ReadReply) {
+        match reply {
+            ReadReply::Data { data, .. } => {
+                let Some(er) = &mut self.ec_read else {
+                    return;
+                };
+                if er.states[shard] != ShardState::Pending {
+                    return;
+                }
+                er.states[shard] = ShardState::Fetched;
+                er.bufs[shard] = data.map(|d| d.to_vec());
+                er.fetched += 1;
+                self.maybe_finish_ec_read(ctx);
+            }
+            // allow_redirect is false, so a redirect means the owner
+            // table moved under us; treat like any other shard failure —
+            // the code tolerates it.
+            ReadReply::Redirect(_) | ReadReply::Err(_) => {
+                self.ec_shard_failed(ctx, shard);
+            }
+        }
+    }
+
+    /// A shard of the degraded read cannot be fetched. Data shards
+    /// become reconstruction targets; parity shards are simply dropped
+    /// from the gather. More than m total losses sinks the read.
+    fn ec_shard_failed(&mut self, ctx: &mut impl Transport, shard: usize) {
+        let (k, m) = match self.file.as_ref().and_then(|f| f.entry.options.ec) {
+            Some(p) => (p.k as usize, p.m as usize),
+            None => return,
+        };
+        {
+            let Some(er) = &mut self.ec_read else {
+                return;
+            };
+            if er.states[shard] != ShardState::Pending {
+                return;
+            }
+            er.states[shard] = if shard < k {
+                ShardState::Lost
+            } else {
+                ShardState::Failed
+            };
+            let down = er
+                .states
+                .iter()
+                .filter(|s| matches!(s, ShardState::Lost | ShardState::Failed))
+                .count();
+            if down > m {
+                // More losses than parity: the code cannot recover.
+                self.clear_ec_pending();
+                self.ec_read = None;
+                self.retry_or_fail(ctx, Error::NoSuchSegment);
+                return;
+            }
+        }
+        self.maybe_finish_ec_read(ctx);
+    }
+
+    fn maybe_finish_ec_read(&mut self, ctx: &mut impl Transport) {
+        let (fetched, k) = match (&self.ec_read, self.file.as_ref().and_then(|f| f.entry.options.ec)) {
+            (Some(er), Some(p)) => (er.fetched, p.k as usize),
+            _ => return,
+        };
+        if fetched >= k {
+            self.finish_ec_read(ctx);
+        }
+    }
+
+    /// k shards are in hand: reconstruct the rest, fill every extent
+    /// the regular read path could not resolve, and resume the read.
+    fn finish_ec_read(&mut self, ctx: &mut impl Transport) {
+        // Outstanding shard requests beyond the k survivors are moot.
+        self.clear_ec_pending();
+        let Some(er) = self.ec_read.take() else {
+            return;
+        };
+        let (k, m, shard_len, synthetic, data_segs, file_bits) = {
+            let f = self.file.as_ref().expect("read has open file");
+            let p = f.entry.options.ec.expect("degraded read has params");
+            (
+                p.k as usize,
+                p.m as usize,
+                f.index.ec_shard_len() as usize,
+                f.synthetic,
+                f.index.segments.iter().map(|e| e.seg).collect::<Vec<SegId>>(),
+                f.entry.file.index_segment().0,
+            )
+        };
+        let lost = (er.states.len() - er.fetched) as u8;
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+        if !synthetic {
+            for (i, b) in er.bufs.into_iter().enumerate() {
+                // Shards travel at their stored length; the code works
+                // on the padded width.
+                shards[i] = b.map(|mut v| {
+                    v.resize(shard_len, 0);
+                    v
+                });
+            }
+            let decoded = sorrento_ec::ReedSolomon::new(k, m)
+                .and_then(|rs| rs.reconstruct(&mut shards));
+            if decoded.is_err() {
+                self.retry_or_fail(ctx, Error::NoSuchSegment);
+                return;
+            }
+        }
+        ctx.record(TelemetryEvent::EcReconstruct {
+            span: self.cur_span,
+            file: file_bits,
+            lost,
+        });
+        let Some((_, _, Phase::Reading { extents, buf, req_offset, unresolved, bytes, .. }, _)) =
+            &mut self.op
+        else {
+            return;
+        };
+        let req_off = *req_offset;
+        for i in unresolved.drain(..) {
+            let e = &extents[i];
+            *bytes += e.len;
+            if let Some(buf) = buf.as_mut() {
+                let Some(sidx) = data_segs.iter().position(|&s| s == e.seg) else {
+                    continue;
+                };
+                if let Some(Some(shard)) = shards.get(sidx) {
+                    let start = (e.file_offset - req_off) as usize;
+                    let s = e.seg_offset as usize;
+                    let n = e.len as usize;
+                    buf[start..start + n].copy_from_slice(&shard[s..s + n]);
+                }
+            }
+        }
+        self.maybe_finish_read(ctx);
+    }
+
+    /// Drop every in-flight degraded-read request (their late replies
+    /// and timers become stale no-ops).
+    fn clear_ec_pending(&mut self) {
+        let stale: Vec<ReqId> = self
+            .pending
+            .iter()
+            .filter(|(_, (_, p))| matches!(p, Pending::EcLoc { .. } | Pending::EcShard { .. }))
+            .map(|(r, _)| *r)
+            .collect();
+        for r in stale {
+            self.pending.remove(&r);
+            self.resends.remove(&r);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Write flow
     // ------------------------------------------------------------------
 
@@ -1369,6 +1744,18 @@ impl SorrentoClient {
         let len = payload.len();
         if matches!(payload, WritePayload::Synthetic { .. }) {
             f.synthetic = true;
+        }
+        // Erasure-coded files: mirror real payloads into the session's
+        // whole-file buffer so commit can encode parity without reading
+        // the shards back (whole-file-write discipline; see DESIGN.md).
+        if f.entry.options.ec.is_some() {
+            if let WritePayload::Real(data) = &payload {
+                let end = offset as usize + data.len();
+                if f.ec_buf.len() < end {
+                    f.ec_buf.resize(end, 0);
+                }
+                f.ec_buf[offset as usize..end].copy_from_slice(data);
+            }
         }
         // Plan against the layout.
         let mut counter_seed = (self.seg_counter, ctx.id().index() as u32);
@@ -1564,7 +1951,7 @@ impl SorrentoClient {
         };
         let provider = if e.new_segment && owners.is_empty() {
             let size_hint = crate::layout::linear_segment_size(e.seg_index as u64).min(64 << 20);
-            match self.place_segment(ctx, e.seg, size_hint, opts.alpha, opts.placement) {
+            match self.place_segment(ctx, e.seg, size_hint, opts.alpha, opts.placement, &[]) {
                 Some(p) => p,
                 None => {
                     self.retry_or_fail(ctx, Error::OutOfSpace);
@@ -1689,7 +2076,9 @@ impl SorrentoClient {
         let meta = self.seg_meta(&opts, synthetic);
         let (provider, base, target) = if e.new_segment {
             let size_hint = crate::layout::linear_segment_size(e.seg_index as u64).min(64 << 20);
-            let Some(p) = self.place_segment(ctx, e.seg, size_hint, opts.alpha, opts.placement)
+            let exclude = self.ec_sibling_providers(e.seg);
+            let Some(p) =
+                self.place_segment(ctx, e.seg, size_hint, opts.alpha, opts.placement, &exclude)
             else {
                 self.retry_or_fail(ctx, Error::OutOfSpace);
                 return;
@@ -1874,7 +2263,170 @@ impl SorrentoClient {
         if let Some(f) = &mut self.file {
             f.commit_target = Some(f.entry.version.next_entropic(entropy));
         }
-        self.issue_index_shadow(ctx);
+        // Erasure-coded files with detached data first encode and ship
+        // the m parity shards; attached (inline) EC files need none —
+        // the replicated index carries the bytes.
+        let needs_parity = self
+            .file
+            .as_ref()
+            .map(|f| f.entry.options.ec.is_some() && !f.index.segments.is_empty())
+            .unwrap_or(false);
+        if needs_parity {
+            self.start_parity(ctx);
+        } else {
+            self.issue_index_shadow(ctx);
+        }
+    }
+
+    /// Begin the parity leg of an erasure-coded commit: materialize the
+    /// m parity entries in the index, encode their contents from the
+    /// session's whole-file buffer, and open one shadow per parity
+    /// shard on a provider holding no other shard of this file. The
+    /// shadows then ride the same 2PC as the data shards.
+    fn start_parity(&mut self, ctx: &mut impl Transport) {
+        let (k, m) = {
+            let f = self.file.as_ref().expect("commit has open file");
+            let p = f.entry.options.ec.expect("EC commit has params");
+            (p.k as usize, p.m as usize)
+        };
+        // Pre-generate the fresh segment ids ensure_parity may need
+        // (fresh_seg borrows self, the index borrows the file).
+        let missing = {
+            let f = self.file.as_ref().expect("commit has open file");
+            m.saturating_sub(f.index.parity.len())
+        };
+        let ids: Vec<SegId> = (0..missing).map(|_| self.fresh_seg(ctx)).collect();
+        let mut ids = ids.into_iter();
+        let (parity_entries, shard_len, synthetic, opts) = {
+            let f = self.file.as_mut().expect("commit has open file");
+            f.index.ensure_parity(|| ids.next().expect("pre-generated id"));
+            let shard_len = f.index.ec_shard_len();
+            for e in &mut f.index.parity {
+                e.len = shard_len;
+            }
+            (
+                f.index.parity.clone(),
+                shard_len,
+                f.synthetic,
+                f.entry.options,
+            )
+        };
+        if !synthetic {
+            let (shards, file_bits) = {
+                let f = self.file.as_ref().expect("commit has open file");
+                (
+                    f.index.ec_data_shards(&f.ec_buf),
+                    f.entry.file.index_segment().0,
+                )
+            };
+            let rs = match sorrento_ec::ReedSolomon::new(k, m) {
+                Ok(rs) => rs,
+                Err(_) => {
+                    self.abort_commit(ctx, Error::InvalidMode);
+                    return;
+                }
+            };
+            let parity = match rs.encode(&shards) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.abort_commit(ctx, Error::InvalidMode);
+                    return;
+                }
+            };
+            ctx.record(TelemetryEvent::EcEncode {
+                span: self.cur_span,
+                file: file_bits,
+                k: k as u8,
+                m: m as u8,
+                parity_bytes: parity.iter().map(|p| p.len() as u64).sum(),
+            });
+            if let Some(f) = &mut self.file {
+                f.parity_bufs = parity.into_iter().map(bytes::Bytes::from).collect();
+            }
+        } else if let Some(f) = &mut self.file {
+            f.parity_bufs.clear();
+        }
+        if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op {
+            *stage = CommitStage::Parity { outstanding: m };
+        }
+        // Parity shadows are always full-content rewrites (base: None):
+        // every commit re-derives all parity bytes, so there is nothing
+        // to copy forward, and no owner resolution is needed. A
+        // re-commit may therefore leave the previous parity replica
+        // behind on its old provider; the repair scan's uniqueness gate
+        // ignores stale versions.
+        for entry in parity_entries {
+            let exclude = self.ec_sibling_providers(entry.seg);
+            let Some(provider) = self.place_segment(
+                ctx,
+                entry.seg,
+                shard_len.max(1),
+                opts.alpha,
+                opts.placement,
+                &exclude,
+            ) else {
+                self.abort_commit(ctx, Error::OutOfSpace);
+                return;
+            };
+            let entropy: u16 = ctx.rng().gen();
+            let target = entry.version.next_entropic(entropy);
+            let meta = self.seg_meta(&opts, synthetic);
+            let req = self.fresh_req();
+            self.rpc(
+                ctx,
+                provider,
+                Msg::CreateShadow {
+                    req,
+                    span: self.cur_span,
+                    seg: entry.seg,
+                    base: None,
+                    meta,
+                },
+                Pending::ShadowCreate {
+                    seg: entry.seg,
+                    provider,
+                    target,
+                },
+            );
+        }
+    }
+
+    /// A parity shadow exists: ship its full contents (offset 0,
+    /// truncating), tagged with the parity sentinel so completion is
+    /// routed back into the Parity stage.
+    fn issue_parity_write(&mut self, ctx: &mut impl Transport, seg: SegId) {
+        let (sref, payload) = {
+            let f = self.file.as_ref().expect("commit has open file");
+            let sref = f.shadows[&seg];
+            let len = f.index.ec_shard_len();
+            let payload = if f.synthetic {
+                WritePayload::Synthetic { len }
+            } else {
+                let idx = f
+                    .index
+                    .parity
+                    .iter()
+                    .position(|e| e.seg == seg)
+                    .expect("parity entry exists");
+                WritePayload::Real(f.parity_bufs[idx].clone())
+            };
+            (sref, payload)
+        };
+        let req = self.fresh_req();
+        self.rpc(
+            ctx,
+            sref.provider,
+            Msg::WriteShadow {
+                req,
+                shadow: sref.shadow,
+                offset: 0,
+                payload,
+                truncate: true,
+            },
+            Pending::ShadowWrite {
+                extent: PARITY_EXTENT,
+            },
+        );
     }
 
     fn issue_index_shadow(&mut self, ctx: &mut impl Transport) {
@@ -1884,7 +2436,8 @@ impl SorrentoClient {
         let target = f.commit_target.expect("commit target chosen");
         let (provider, base) = if f.entry.version == Version::INITIAL {
             // First commit: place the index segment (small → home boost).
-            let Some(p) = self.place_segment(ctx, seg, 4096, opts.alpha, opts.placement) else {
+            let Some(p) = self.place_segment(ctx, seg, 4096, opts.alpha, opts.placement, &[])
+            else {
                 self.retry_or_fail(ctx, Error::OutOfSpace);
                 return;
             };
@@ -1896,6 +2449,15 @@ impl SorrentoClient {
                 .unwrap_or_else(|| self.ring.home(seg).expect("providers exist"));
             (p, Some(f.entry.version))
         };
+        // The index segment of an erasure-coded file carries the (k, m)
+        // marker: providers holding it drive EC shard repair from the
+        // shard list it contains. It keeps the file's replication — the
+        // code protects the shards, replication protects the index.
+        let meta = {
+            let mut m = SegMeta::from_options(&opts, false);
+            m.ec = opts.ec.map(|p| (p.k, p.m));
+            m
+        };
         let req = self.fresh_req();
         self.rpc(
             ctx,
@@ -1905,7 +2467,7 @@ impl SorrentoClient {
                 span: self.cur_span,
                 seg,
                 base,
-                meta: SegMeta::from_options(&opts, false),
+                meta,
             },
             Pending::ShadowCreate {
                 seg,
@@ -2056,6 +2618,7 @@ impl SorrentoClient {
         if let Some(f) = &mut self.file {
             f.shadows.clear();
             f.commit_target = None;
+            f.parity_bufs.clear();
         }
         // Atomic append: refresh and retry the whole cycle.
         let is_append = matches!(
@@ -2187,6 +2750,7 @@ impl SorrentoClient {
             f.entry.size = f.index.size;
             // Keep the committed index's segment versions as the new base.
             f.shadows.clear();
+            f.parity_bufs.clear();
             f.dirty = false;
             if is_append {
                 bytes = self
@@ -2414,6 +2978,25 @@ impl SorrentoClient {
                 self.on_data_read(ctx, extent, from, reply);
             }
 
+            // ---- degraded erasure-coded reads ----
+            (Pending::EcLoc { shard }, Msg::LocQueryR { owners, .. }) => {
+                if owners.is_empty() {
+                    self.ec_shard_failed(ctx, shard);
+                } else {
+                    let seg = self
+                        .file
+                        .as_ref()
+                        .map(|f| Self::ec_entry(f, shard).seg);
+                    if let (Some(f), Some(seg)) = (&mut self.file, seg) {
+                        f.owners.insert(seg, owners);
+                    }
+                    self.issue_ec_shard(ctx, shard);
+                }
+            }
+            (Pending::EcShard { shard }, Msg::ReadSegR { reply, .. }) => {
+                self.on_ec_shard_read(ctx, shard, reply);
+            }
+
             // ---- shadows ----
             (
                 Pending::ShadowCreate {
@@ -2439,6 +3022,9 @@ impl SorrentoClient {
                     }
                     match self.op.as_ref().map(|(_, _, p, _)| p) {
                         Some(Phase::Writing { .. }) => self.continue_write(ctx),
+                        Some(Phase::Committing(CommitStage::Parity { .. })) => {
+                            self.issue_parity_write(ctx, seg)
+                        }
                         Some(Phase::Committing(CommitStage::IndexShadow)) => {
                             self.issue_index_write(ctx)
                         }
@@ -2467,6 +3053,28 @@ impl SorrentoClient {
                         if extent == usize::MAX {
                             // Index write inside the commit flow.
                             self.issue_commit_begin(ctx);
+                        } else if extent == PARITY_EXTENT {
+                            // One parity shard is fully staged; the last
+                            // one advances the commit to the index leg.
+                            let done = if let Some((
+                                _,
+                                _,
+                                Phase::Committing(CommitStage::Parity { outstanding }),
+                                _,
+                            )) = &mut self.op
+                            {
+                                *outstanding -= 1;
+                                *outstanding == 0
+                            } else {
+                                false
+                            };
+                            if done {
+                                if let Some((_, _, Phase::Committing(stage), _)) = &mut self.op
+                                {
+                                    *stage = CommitStage::IndexShadow;
+                                }
+                                self.issue_index_shadow(ctx);
+                            }
                         } else {
                             if let Some((_, _, Phase::Writing { outstanding, .. }, _)) =
                                 &mut self.op
@@ -2601,7 +3209,13 @@ impl SorrentoClient {
                 let segs: Vec<SegId> = data
                     .as_deref()
                     .and_then(|b| decode_index(b).ok())
-                    .map(|ix| ix.segments.iter().map(|e| e.seg).collect())
+                    .map(|ix| {
+                        ix.segments
+                            .iter()
+                            .chain(ix.parity.iter()) // EC parity shards too
+                            .map(|e| e.seg)
+                            .collect()
+                    })
                     .unwrap_or_default();
                 if let Some((_, _, Phase::Unlinking { index, to_locate, .. }, _)) = &mut self.op {
                     *index = None;
@@ -2687,6 +3301,8 @@ impl SorrentoClient {
             Pending::Backup { .. } => "backup",
             Pending::Delete => "delete",
             Pending::EagerSync => "eager_sync",
+            Pending::EcLoc { .. } => "ec_loc",
+            Pending::EcShard { .. } => "ec_shard",
         };
         ctx.metrics().count_labeled("client.timeout", kind, 1);
         ctx.record(TelemetryEvent::Timeout {
@@ -2696,6 +3312,11 @@ impl SorrentoClient {
         match pending {
             Pending::Backup { .. } => {
                 // BackupDeadline handles completion; nothing to do.
+            }
+            Pending::EcLoc { shard } | Pending::EcShard { shard } => {
+                // One shard of a degraded read went dark — the code
+                // tolerates up to m of these before the read fails.
+                self.ec_shard_failed(ctx, shard);
             }
             Pending::Prepare | Pending::Commit2 | Pending::CommitBegin
             | Pending::CommitEnd => {

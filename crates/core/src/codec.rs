@@ -13,7 +13,7 @@ use sorrento_json::Json;
 
 use crate::layout::{IndexSegment, SegEntry};
 use crate::proto::FileEntry;
-use crate::types::{FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
+use crate::types::{EcParams, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
 
 /// Why a persisted metadata value failed to parse. Unlike the earlier
 /// `Option`-returning parsers, the error names the offending field, so
@@ -157,19 +157,32 @@ fn placement_from_json(j: &Json) -> Result<PlacementPolicy, CodecError> {
     }
 }
 
-/// [`FileOptions`] → JSON.
+/// [`FileOptions`] → JSON. The `ec` key is only emitted for
+/// erasure-coded files, so metadata written by older builds (no `ec`
+/// field at all) and replicated files decode identically.
 pub fn options_to_json(o: &FileOptions) -> Json {
-    Json::obj()
+    let j = Json::obj()
         .with("replication", o.replication)
         .with("alpha", o.alpha)
         .with("organization", organization_to_json(&o.organization))
         .with("placement", placement_to_json(&o.placement))
         .with("versioning_off", o.versioning_off)
-        .with("eager_commit", o.eager_commit)
+        .with("eager_commit", o.eager_commit);
+    match o.ec {
+        Some(p) => j.with("ec", Json::obj().with("k", p.k as u64).with("m", p.m as u64)),
+        None => j,
+    }
 }
 
 /// JSON → [`FileOptions`].
 pub fn options_from_json(j: &Json) -> Result<FileOptions, CodecError> {
+    let ec = match j.get("ec") {
+        None | Some(Json::Null) => None,
+        Some(e) => Some(EcParams {
+            k: u64_field(e, "k")? as u8,
+            m: u64_field(e, "m")? as u8,
+        }),
+    };
     Ok(FileOptions {
         replication: u64_field(j, "replication")? as u32,
         alpha: f64_field(j, "alpha")?,
@@ -177,6 +190,7 @@ pub fn options_from_json(j: &Json) -> Result<FileOptions, CodecError> {
         placement: placement_from_json(field(j, "placement")?)?,
         versioning_off: bool_field(j, "versioning_off")?,
         eager_commit: bool_field(j, "eager_commit")?,
+        ec,
     })
 }
 
@@ -220,7 +234,9 @@ fn seg_entry_from_json(j: &Json) -> Result<SegEntry, CodecError> {
     })
 }
 
-/// [`IndexSegment`] → JSON (index-segment byte format).
+/// [`IndexSegment`] → JSON (index-segment byte format). `parity` is
+/// only emitted when non-empty (EC files), keeping replicated files'
+/// index bytes identical to older builds.
 pub fn index_to_json(ix: &IndexSegment) -> Json {
     let mut segs = Json::arr();
     for s in &ix.segments {
@@ -230,13 +246,22 @@ pub fn index_to_json(ix: &IndexSegment) -> Json {
         Some(bytes) => Json::Str(hex_encode(bytes)),
         None => Json::Null,
     };
-    Json::obj()
+    let j = Json::obj()
         .with("file", u128_to_json(ix.file.0))
         .with("options", options_to_json(&ix.options))
         .with("size", ix.size)
         .with("segments", segs)
         .with("attached", attached)
-        .with("is_attached", ix.is_attached)
+        .with("is_attached", ix.is_attached);
+    if ix.parity.is_empty() {
+        j
+    } else {
+        let mut par = Json::arr();
+        for s in &ix.parity {
+            par.push(seg_entry_to_json(s));
+        }
+        j.with("parity", par)
+    }
 }
 
 /// JSON → [`IndexSegment`].
@@ -247,6 +272,15 @@ pub fn index_from_json(j: &Json) -> Result<IndexSegment, CodecError> {
         .iter()
         .map(seg_entry_from_json)
         .collect::<Result<Vec<_>, _>>()?;
+    let parity = match j.get("parity") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(p) => p
+            .as_arr()
+            .ok_or(CodecError::InvalidField("parity"))?
+            .iter()
+            .map(seg_entry_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     let attached = match field(j, "attached")? {
         Json::Null => None,
         Json::Str(s) => Some(hex_decode(s).ok_or(CodecError::InvalidField("attached"))?),
@@ -257,6 +291,7 @@ pub fn index_from_json(j: &Json) -> Result<IndexSegment, CodecError> {
         options: options_from_json(field(j, "options")?)?,
         size: u64_field(j, "size")?,
         segments,
+        parity,
         attached,
         is_attached: bool_field(j, "is_attached")?,
     })
@@ -274,6 +309,7 @@ mod tests {
             placement: PlacementPolicy::LocalityDriven { threshold: 0.8 },
             versioning_off: false,
             eager_commit: true,
+            ec: None,
         }
     }
 
@@ -288,6 +324,7 @@ mod tests {
                 versioning_off: true,
                 ..FileOptions::default()
             },
+            FileOptions::erasure_coded(4, 2, 16 << 20),
         ] {
             let j = Json::parse(&options_to_json(&o).encode()).unwrap();
             assert_eq!(options_from_json(&j), Ok(o));
@@ -330,6 +367,33 @@ mod tests {
             SegEntry { seg: SegId::derive(2, 5, 7), version: Version(2 << 16 | 3), len: 2 << 20 },
         ];
         let j = Json::parse(&index_to_json(&ix).encode()).unwrap();
+        assert_eq!(index_from_json(&j), Ok(ix));
+    }
+
+    #[test]
+    fn index_round_trip_with_parity() {
+        let mut ix = IndexSegment::new(FileId(11), FileOptions::erasure_coded(2, 2, 4 << 20));
+        ix.size = 1 << 20;
+        ix.is_attached = false;
+        ix.attached = None;
+        ix.segments = vec![
+            SegEntry { seg: SegId::derive(1, 1, 5), version: Version(1 << 16), len: 1 << 19 },
+            SegEntry { seg: SegId::derive(1, 2, 5), version: Version(1 << 16), len: 1 << 19 },
+        ];
+        ix.parity = vec![
+            SegEntry { seg: SegId::derive(1, 3, 5), version: Version(1 << 16), len: 1 << 19 },
+            SegEntry { seg: SegId::derive(1, 4, 5), version: Version(1 << 16), len: 1 << 19 },
+        ];
+        let j = Json::parse(&index_to_json(&ix).encode()).unwrap();
+        assert_eq!(index_from_json(&j), Ok(ix));
+
+        // Old metadata without the parity/ec fields still parses.
+        let mut ix = IndexSegment::new(FileId(12), FileOptions::default());
+        ix.size = 7;
+        let mut j = index_to_json(&ix);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "parity");
+        }
         assert_eq!(index_from_json(&j), Ok(ix));
     }
 

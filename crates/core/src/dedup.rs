@@ -9,18 +9,20 @@
 //! `AlreadyExists`/`VersionConflict`/double-append.
 //!
 //! [`ReplyCache`] is the receiver-side half of the contract: a bounded
-//! FIFO of `(sender, request id) → reply`. A mutation's reply is
+//! LRU of `(sender, request id) → reply`. A mutation's reply is
 //! recorded after the first execution; a replay of the same key is
-//! answered from the cache without touching state. The bound makes the
-//! memory cost a constant — old entries are evicted in insertion order,
-//! which is safe because the client abandons a request id forever once
-//! the op that issued it completes.
+//! answered from the cache without touching state, and the hit renews
+//! the entry. The bound makes the memory cost a constant; recency-based
+//! eviction means a reply still being actively replayed (a client stuck
+//! behind a flaky link resending the same request) cannot be pushed out
+//! by a flood of newer unrelated mutations, which insertion-order
+//! eviction would allow.
 //!
 //! In seeded simulation runs the cache is populated but never hit
 //! (request ids are never reused without resends, and the simulator
 //! never enables resends), so it changes no simulated outcome.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 
 use crate::proto::{Msg, ReqId};
 use sorrento_sim::NodeId;
@@ -28,22 +30,40 @@ use sorrento_sim::NodeId;
 /// Default number of replies a receiver retains.
 pub const DEFAULT_REPLY_CACHE: usize = 256;
 
-/// Bounded FIFO map of `(sender, request id) → cached reply`.
+/// Bounded LRU map of `(sender, request id) → cached reply`.
 pub struct ReplyCache {
     cap: usize,
-    map: HashMap<(NodeId, ReqId), Msg>,
-    order: VecDeque<(NodeId, ReqId)>,
+    /// Monotonic recency stamp; unique per touch, so it doubles as the
+    /// recency-index key.
+    tick: u64,
+    map: HashMap<(NodeId, ReqId), (Msg, u64)>,
+    /// Recency index: stamp → key, oldest first.
+    lru: BTreeMap<u64, (NodeId, ReqId)>,
 }
 
 impl ReplyCache {
-    /// A cache retaining at most `cap` replies (oldest evicted first).
+    /// A cache retaining at most `cap` replies (least recently used
+    /// evicted first).
     pub fn new(cap: usize) -> ReplyCache {
-        ReplyCache { cap: cap.max(1), map: HashMap::new(), order: VecDeque::new() }
+        ReplyCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
     }
 
-    /// The cached reply for a replayed request, if any.
-    pub fn get(&self, from: NodeId, req: ReqId) -> Option<&Msg> {
-        self.map.get(&(from, req))
+    /// The cached reply for a replayed request, if any. A hit renews
+    /// the entry's recency.
+    pub fn get(&mut self, from: NodeId, req: ReqId) -> Option<&Msg> {
+        let key = (from, req);
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(&key)?;
+        self.lru.remove(&entry.1);
+        entry.1 = tick;
+        self.lru.insert(tick, key);
+        Some(&entry.0)
     }
 
     /// Record the reply to a just-executed mutation. Re-recording the
@@ -51,12 +71,18 @@ impl ReplyCache {
     /// this).
     pub fn put(&mut self, from: NodeId, req: ReqId, reply: Msg) {
         let key = (from, req);
-        if self.map.insert(key, reply).is_none() {
-            self.order.push_back(key);
-            if self.order.len() > self.cap {
-                if let Some(old) = self.order.pop_front() {
-                    self.map.remove(&old);
-                }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old)) = self.map.insert(key, (reply, tick)) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(tick, key);
+        while self.map.len() > self.cap {
+            let Some((&oldest, _)) = self.lru.iter().next() else {
+                break;
+            };
+            if let Some(victim) = self.lru.remove(&oldest) {
+                self.map.remove(&victim);
             }
         }
     }
@@ -65,7 +91,7 @@ impl ReplyCache {
     /// state, so a restarted node starts cold).
     pub fn clear(&mut self) {
         self.map.clear();
-        self.order.clear();
+        self.lru.clear();
     }
 
     /// Number of retained replies.
@@ -87,10 +113,14 @@ mod tests {
         NodeId::from_index(i)
     }
 
+    fn reply(req: ReqId) -> Msg {
+        Msg::NsMkdirR { req, result: Ok(()) }
+    }
+
     #[test]
     fn caches_and_replays_by_sender_and_req() {
         let mut c = ReplyCache::new(8);
-        c.put(node(1), 7, Msg::NsMkdirR { req: 7, result: Ok(()) });
+        c.put(node(1), 7, reply(7));
         assert!(matches!(c.get(node(1), 7), Some(Msg::NsMkdirR { req: 7, .. })));
         // Same req id from a different sender is a different key.
         assert!(c.get(node(2), 7).is_none());
@@ -98,14 +128,67 @@ mod tests {
     }
 
     #[test]
-    fn evicts_oldest_beyond_capacity() {
+    fn evicts_least_recent_beyond_capacity() {
         let mut c = ReplyCache::new(2);
         for req in 0..3 {
-            c.put(node(1), req, Msg::NsMkdirR { req, result: Ok(()) });
+            c.put(node(1), req, reply(req));
         }
         assert_eq!(c.len(), 2);
         assert!(c.get(node(1), 0).is_none(), "oldest entry should be evicted");
         assert!(c.get(node(1), 1).is_some());
         assert!(c.get(node(1), 2).is_some());
+    }
+
+    #[test]
+    fn hits_renew_recency() {
+        let mut c = ReplyCache::new(2);
+        c.put(node(1), 0, reply(0));
+        c.put(node(1), 1, reply(1));
+        // Touch 0 so 1 becomes the least recently used…
+        assert!(c.get(node(1), 0).is_some());
+        c.put(node(1), 2, reply(2));
+        // …and is the one evicted.
+        assert!(c.get(node(1), 0).is_some(), "recently hit entry must survive");
+        assert!(c.get(node(1), 1).is_none(), "least recently used is evicted");
+        assert!(c.get(node(1), 2).is_some());
+    }
+
+    #[test]
+    fn sustained_retries_stay_cached_under_insert_pressure() {
+        // A client stuck behind a flaky link keeps replaying one request
+        // while hundreds of other mutations stream through the node. The
+        // replayed entry must outlive cap-worth of unrelated inserts, and
+        // the cache must stay exactly at its bound throughout.
+        let cap = 16;
+        let mut c = ReplyCache::new(cap);
+        c.put(node(1), 1, reply(1));
+        for batch in 0u64..50 {
+            for i in 0..8 {
+                c.put(node(2), 1000 + batch * 8 + i, reply(0));
+                assert!(c.len() <= cap, "cache exceeded its bound");
+            }
+            // The retry arrives between batches and renews the entry.
+            assert!(
+                c.get(node(1), 1).is_some(),
+                "sustained retry evicted at batch {batch}"
+            );
+        }
+        assert_eq!(c.len(), cap);
+        // Once the retries stop, insert pressure does evict it.
+        for i in 0..cap as u64 {
+            c.put(node(2), 9000 + i, reply(0));
+        }
+        assert!(c.get(node(1), 1).is_none());
+        assert_eq!(c.len(), cap);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow_or_duplicate() {
+        let mut c = ReplyCache::new(4);
+        for _ in 0..10 {
+            c.put(node(1), 7, reply(7));
+        }
+        assert_eq!(c.len(), 1);
+        assert!(c.get(node(1), 7).is_some());
     }
 }

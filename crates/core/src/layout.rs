@@ -8,7 +8,7 @@
 //! [`ATTACH_MAX`] bytes are *attached* inside the index segment so one
 //! transfer serves both metadata and data.
 
-use crate::types::{FileId, FileOptions, Organization, SegId, Version};
+use crate::types::{EcParams, FileId, FileOptions, Organization, SegId, Version};
 
 /// Maximum attachable file size: "Currently, the maximum attachable file
 /// size is set to 60KB to fit in a UDP packet." (§3.2)
@@ -102,6 +102,12 @@ pub struct IndexSegment {
     pub size: u64,
     /// Flat list of data segments (grouping is implied by the mode).
     pub segments: Vec<SegEntry>,
+    /// Parity segments for erasure-coded files (`options.ec`): `m`
+    /// entries, each holding the Reed-Solomon parity of the `k` data
+    /// segments (which double as the code's data shards — the striped
+    /// round-robin mapping makes segment `i` exactly shard `i`). Empty
+    /// for replicated files.
+    pub parity: Vec<SegEntry>,
     /// Inline contents for attached small files (`None` once detached or
     /// when synthetic).
     pub attached: Option<Vec<u8>>,
@@ -117,6 +123,7 @@ impl IndexSegment {
             options,
             size: 0,
             segments: Vec::new(),
+            parity: Vec::new(),
             attached: None,
             is_attached: true,
         }
@@ -187,7 +194,7 @@ impl IndexSegment {
     /// file is changed, only the modified segments and the index segment
     /// will have their version numbers advanced").
     pub fn set_segment_version(&mut self, seg: SegId, version: Version) {
-        for entry in &mut self.segments {
+        for entry in self.segments.iter_mut().chain(self.parity.iter_mut()) {
             if entry.seg == seg {
                 entry.version = version;
             }
@@ -201,13 +208,70 @@ impl IndexSegment {
 
     /// Estimated wire size of this index segment (for NIC charging).
     pub fn wire_size(&self) -> u64 {
-        96 + 40 * self.segments.len() as u64
+        96 + 40 * (self.segments.len() + self.parity.len()) as u64
             + self.attached.as_ref().map(|d| d.len() as u64).unwrap_or(0)
             + if self.is_attached && self.attached.is_none() {
                 self.size // synthetic attached payload still travels
             } else {
                 0
             }
+    }
+
+    // ------------------------------------------------------------------
+    // Erasure coding (EC files are Striped with k stripes; segment i IS
+    // data shard i of the systematic code, so healthy reads never touch
+    // the codec).
+    // ------------------------------------------------------------------
+
+    /// The file's EC parameters, if it is erasure-coded.
+    pub fn ec_params(&self) -> Option<EcParams> {
+        self.options.ec
+    }
+
+    /// Padded shard length for the code: every shard (data and parity)
+    /// is treated as this many bytes, zero-padding data shards whose
+    /// stored length is shorter. Shard 0 always holds the most stripe
+    /// units under round-robin, so its span is the pad width.
+    pub fn ec_shard_len(&self) -> u64 {
+        let Some(p) = self.options.ec else { return 0 };
+        ec_padded_shard_len(self.size, p.k as u64)
+    }
+
+    /// Make sure the `m` parity entries exist (first EC commit creates
+    /// them with the same fresh-SegId discipline as data segments).
+    pub fn ensure_parity(&mut self, mut fresh_seg: impl FnMut() -> SegId) {
+        let Some(p) = self.options.ec else { return };
+        while self.parity.len() < p.m as usize {
+            self.parity.push(SegEntry {
+                seg: fresh_seg(),
+                version: Version::INITIAL,
+                len: 0,
+            });
+        }
+    }
+
+    /// Split whole-file contents into the k data shards, each padded
+    /// with zeros to [`IndexSegment::ec_shard_len`]. `data` shorter than
+    /// the file size is implicitly zero-extended (fresh regions of a
+    /// sparse write are zeros on the providers too).
+    pub fn ec_data_shards(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let Some(p) = self.options.ec else {
+            return Vec::new();
+        };
+        let k = p.k as u64;
+        let pad = self.ec_shard_len() as usize;
+        let mut shards = vec![vec![0u8; pad]; p.k as usize];
+        let mut block = 0u64;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let take = (STRIPE_UNIT as usize).min(data.len() - pos);
+            let shard = (block % k) as usize;
+            let off = (block / k * STRIPE_UNIT) as usize;
+            shards[shard][off..off + take].copy_from_slice(&data[pos..pos + take]);
+            pos += take;
+            block += 1;
+        }
+        shards
     }
 
     fn ensure_segments(&mut self, end: u64, fresh_seg: &mut impl FnMut() -> SegId) {
@@ -356,6 +420,18 @@ impl IndexSegment {
             pos += take;
         }
     }
+}
+
+/// Padded per-shard length for a `size`-byte file striped over `k`
+/// shards in [`STRIPE_UNIT`] blocks: the span of shard 0 (which always
+/// holds the most blocks under round-robin), rounded up to whole
+/// blocks. All shards of the code are padded to this width.
+pub fn ec_padded_shard_len(size: u64, k: u64) -> u64 {
+    if size == 0 || k == 0 {
+        return 0;
+    }
+    let total_blocks = size.div_ceil(STRIPE_UNIT);
+    total_blocks.div_ceil(k) * STRIPE_UNIT
 }
 
 #[cfg(test)]
@@ -590,6 +666,44 @@ mod tests {
             assert_eq!(cursor, off + len, "{org:?}");
         }
         let _ = Error::NotFound; // silence unused import in cfg(test)
+    }
+
+    #[test]
+    fn ec_shard_split_matches_striped_mapping() {
+        let opts = FileOptions::erasure_coded(3, 2, 64 * MB);
+        let mut ix = IndexSegment::new(FileId(1), opts);
+        // 5 blocks + 100 bytes → blocks 0..6 round-robin over 3 shards.
+        let size = 5 * STRIPE_UNIT + 100;
+        ix.plan_write(0, size, fresh_gen());
+        ix.apply_write(0, size);
+        ix.ensure_parity(fresh_gen());
+        assert_eq!(ix.parity.len(), 2);
+        assert_eq!(ix.ec_shard_len(), 2 * STRIPE_UNIT);
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let shards = ix.ec_data_shards(&data);
+        assert_eq!(shards.len(), 3);
+        for s in &shards {
+            assert_eq!(s.len() as u64, 2 * STRIPE_UNIT);
+        }
+        // Cross-check against the striped extent mapping: every byte of
+        // the file appears in its shard at the extent's seg_offset.
+        for e in ix.locate(0, size) {
+            let shard = &shards[e.seg_index];
+            let want = &data[e.file_offset as usize..(e.file_offset + e.len) as usize];
+            let got = &shard[e.seg_offset as usize..(e.seg_offset + e.len) as usize];
+            assert_eq!(got, want, "extent {e:?}");
+        }
+        // Pad region of the last shard is zeros.
+        assert!(shards[2][(STRIPE_UNIT + 100) as usize..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn ec_padded_shard_len_formula() {
+        assert_eq!(ec_padded_shard_len(0, 4), 0);
+        assert_eq!(ec_padded_shard_len(1, 4), STRIPE_UNIT);
+        assert_eq!(ec_padded_shard_len(4 * STRIPE_UNIT, 4), STRIPE_UNIT);
+        assert_eq!(ec_padded_shard_len(4 * STRIPE_UNIT + 1, 4), 2 * STRIPE_UNIT);
+        assert_eq!(ec_padded_shard_len(9 * STRIPE_UNIT, 4), 3 * STRIPE_UNIT);
     }
 
     #[test]

@@ -277,6 +277,17 @@ pub enum Msg {
     /// Migration pull finished (or failed).
     MigrateDone { seg: SegId, ok: bool },
 
+    // ---- erasure-coded repair (provider ↔ provider) ----
+    /// Install a reconstructed erasure-coded shard onto a fresh
+    /// provider. Sent by the index segment's home host after it decodes
+    /// a lost shard from `k` survivors; unlike [`Msg::SyncRequest`]
+    /// there is no live source holding the bytes, so the image travels
+    /// in the message itself (bulk transfer, like [`Msg::FetchSegR`]).
+    EcInstall { req: ReqId, image: ReplicaImageBox },
+    /// Install ack; carries the shard id so the repairer can update its
+    /// location table without correlating through request state.
+    EcInstallR { req: ReqId, seg: SegId, result: Result<(), Error> },
+
     // ---- runtime introspection ----
     /// Ask a live daemon for its telemetry/metrics registry as JSON
     /// (`sorrentoctl stats`). Answered by the real-process runtime
@@ -376,6 +387,8 @@ pub fn dbg_kind(msg: &Msg) -> &'static str {
         Msg::SyncDone { .. } => "sync_done",
         Msg::MigrateTo { .. } => "migrate_to",
         Msg::MigrateDone { .. } => "migrate_done",
+        Msg::EcInstall { .. } => "ec_install",
+        Msg::EcInstallR { .. } => "ec_install_r",
         Msg::StatsQuery { .. } => "stats_query",
         Msg::StatsR { .. } => "stats_r",
         Msg::ChaosCtl { .. } => "chaos_ctl",
@@ -474,6 +487,8 @@ impl Payload for Msg {
             Msg::SyncDone { .. } => 32,
             Msg::MigrateTo { .. } => 24,
             Msg::MigrateDone { .. } => 24,
+            Msg::EcInstall { image, .. } => 64 + image.len,
+            Msg::EcInstallR { .. } => 32,
             Msg::StatsQuery { .. } => 8,
             Msg::StatsR { json, .. } => 8 + json.len() as u64,
             Msg::ChaosCtl { partition, .. } => 40 + partition.len() as u64 * 4,

@@ -16,12 +16,13 @@ use crate::transport::Transport;
 
 use crate::costs::CostModel;
 use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE};
+use crate::layout::IndexSegment;
 use crate::location::LocationTable;
 use crate::membership::{Ewma, Heartbeat, MembershipEvent, MembershipView};
 use crate::placement::{candidates_from_view, select_provider, Candidate};
-use crate::proto::{Msg, ReadReply, ReqId, Tick};
+use crate::proto::{decode_index, Msg, ReadReply, ReqId, Tick};
 use crate::ring::HashRing;
-use crate::store::LocalStore;
+use crate::store::{LocalStore, ReplicaImage, SegMeta};
 use crate::types::{Error, PlacementPolicy, SegId, Version};
 
 /// Why a replica fetch was queued.
@@ -46,6 +47,58 @@ struct FetchJob {
     bytes_hint: u64,
 }
 
+/// One in-flight erasure-coded shard repair, driven by a provider that
+/// holds the EC file's *index* segment (the index names every shard of
+/// the code, so the index holder is the only node that can tell which
+/// shards a dead provider took with it). Phases run strictly in order;
+/// any surprise — a version skew, a read failure, the job deadline —
+/// aborts the whole job, and the next repair scan retries from scratch.
+struct EcRepairJob {
+    /// The EC file's index segment (held locally).
+    index_seg: SegId,
+    /// Job deadline guard: `Tick::RpcTimeout(guard_req)` aborts the job
+    /// so a lost reply can never wedge the (single) repair slot.
+    guard_req: ReqId,
+    phase: EcPhase,
+}
+
+enum EcPhase {
+    /// Waiting for the index segment's owner list from its home host:
+    /// only the lowest-id live owner drives the repair, so the index
+    /// replica holders don't race each other into duplicate installs.
+    Gate {
+        req: ReqId,
+        ix: Box<IndexSegment>,
+    },
+    /// Waiting for each shard's owner list from its home host (slots
+    /// are data shards then parity shards, matching the code layout).
+    Locate {
+        ix: Box<IndexSegment>,
+        /// Outstanding `(request, shard slot)` queries.
+        pending: Vec<(ReqId, usize)>,
+        /// Owner lists as they arrive, one per slot.
+        owners: Vec<Option<Vec<NodeId>>>,
+    },
+    /// Waiting for `k` survivor shards' bytes.
+    Fetch {
+        ix: Box<IndexSegment>,
+        /// Slots with no live owner (what we must rebuild).
+        lost: Vec<usize>,
+        /// Live owners per slot (the placement exclude set).
+        owners: Vec<Vec<NodeId>>,
+        /// Outstanding `(request, shard slot)` reads.
+        pending: Vec<(ReqId, usize)>,
+        /// Fetched shard bytes by slot (`k + m` entries).
+        shards: Vec<Option<Vec<u8>>>,
+        fetched: usize,
+        /// Whether replies carried synthetic (length-only) payloads.
+        /// Set by the first reply; a mismatch aborts.
+        synthetic: Option<bool>,
+    },
+    /// Waiting for install acks from the fresh shard sites.
+    Install { pending: Vec<ReqId> },
+}
+
 /// The storage provider node.
 pub struct StorageProvider {
     costs: CostModel,
@@ -65,6 +118,10 @@ pub struct StorageProvider {
     migration_inflight: Option<SegId>,
     /// Repair dedupe: (segment, target) → when last issued.
     repairs_issued: HashMap<(SegId, NodeId), SimTime>,
+    /// Active erasure-coded repair (one at a time, like fetches).
+    ec_repair: Option<EcRepairJob>,
+    /// EC scan cooldown: index segments checked recently.
+    ec_scan_done: HashMap<SegId, SimTime>,
     /// Join-refresh already scheduled for these providers.
     join_refresh_pending: Vec<NodeId>,
     next_req: ReqId,
@@ -79,6 +136,9 @@ pub struct StorageProvider {
     pub migrations_done: u64,
     /// Replica installs performed (sync/repair/migration pulls).
     pub installs_done: u64,
+    /// Reconstructed EC shards this node installed onto fresh sites
+    /// (counted on the repairing index holder, at install ack).
+    pub ec_repairs_done: u64,
     /// Monotonic heartbeat sequence (telemetry only).
     hb_seq: u64,
     /// Replies to recent non-idempotent requests (shadow creation, 2PC
@@ -102,6 +162,8 @@ impl StorageProvider {
             fetch_inflight: None,
             migration_inflight: None,
             repairs_issued: HashMap::new(),
+            ec_repair: None,
+            ec_scan_done: HashMap::new(),
             join_refresh_pending: Vec::new(),
             next_req: 1,
             disk_accounted: 0,
@@ -109,6 +171,7 @@ impl StorageProvider {
             rack: 0,
             migrations_done: 0,
             installs_done: 0,
+            ec_repairs_done: 0,
             hb_seq: 0,
             replies: ReplyCache::new(DEFAULT_REPLY_CACHE),
         }
@@ -361,6 +424,502 @@ impl StorageProvider {
         let now = ctx.now();
         self.repairs_issued
             .retain(|_, &mut t| now.since(t) < horizon);
+        self.ec_repair_scan(ctx);
+    }
+
+    // ---- erasure-coded shard repair ----
+    //
+    // Replication repair (above) cannot rebuild an EC shard: the shard
+    // has replication 1, so when its only owner dies there is no source
+    // to copy from. Instead, any provider holding the file's *index*
+    // segment (marked with `SegMeta::ec`) periodically checks every
+    // shard's liveness and, as the lowest-id live index holder, decodes
+    // the lost shards from `k` survivors and installs them on fresh
+    // providers.
+
+    /// Start at most one EC repair job per scan. Touches neither the
+    /// RNG nor the network unless an EC-marked index segment is stored
+    /// locally, so seeded runs without EC files are unperturbed.
+    fn ec_repair_scan(&mut self, ctx: &mut impl Transport) {
+        if self.ec_repair.is_some() {
+            return;
+        }
+        let now = ctx.now();
+        let cooldown = self.costs.repair_scan_interval * 2;
+        self.ec_scan_done.retain(|_, &mut t| now.since(t) < cooldown);
+        let candidate = self
+            .store
+            .list_segments()
+            .into_iter()
+            .map(|(s, _)| s)
+            .find(|&s| {
+                !self.ec_scan_done.contains_key(&s)
+                    && self.store.meta(s).is_some_and(|m| m.ec.is_some())
+            });
+        let Some(index_seg) = candidate else {
+            return;
+        };
+        self.ec_scan_done.insert(index_seg, now);
+        // Decode the locally held index: it names every shard.
+        let ix = match self.store.read(index_seg, None, 0, u64::MAX) {
+            Ok(out) => match out.data.as_deref().map(decode_index) {
+                Some(Ok(ix)) => ix,
+                _ => return,
+            },
+            Err(_) => return,
+        };
+        let Some(p) = ix.ec_params() else { return };
+        // A file that never committed its full stripe set (or a stale
+        // pre-EC index) cannot be repaired from this index version.
+        if ix.segments.len() != p.k as usize || ix.parity.len() != p.m as usize {
+            return;
+        }
+        let Some(home) = self.ring.home(index_seg) else {
+            return;
+        };
+        let guard_req = self.fresh_req();
+        // Deadline sized for the whole job: a couple of RPC rounds plus
+        // moving up to k+m shard-widths of data.
+        let stripe_bytes = ix.ec_shard_len() * (p.k as u64 + p.m as u64);
+        let deadline = self.costs.rpc_timeout * 8 + Dur::for_bytes(stripe_bytes, 2.5e5);
+        ctx.set_timer(deadline, Msg::Tick(Tick::RpcTimeout(guard_req)));
+        let me = ctx.id();
+        if home == me {
+            // We are the index's home host: answer the gate locally.
+            let owners: Vec<NodeId> = self
+                .loc
+                .lookup(index_seg)
+                .map(|e| e.owners.keys().copied().collect())
+                .unwrap_or_default();
+            self.ec_repair = Some(EcRepairJob {
+                index_seg,
+                guard_req,
+                phase: EcPhase::Gate { req: 0, ix: Box::new(ix) },
+            });
+            self.ec_gate_decide(ctx, owners);
+        } else {
+            let req = self.fresh_req();
+            self.ec_repair = Some(EcRepairJob {
+                index_seg,
+                guard_req,
+                phase: EcPhase::Gate { req, ix: Box::new(ix) },
+            });
+            ctx.send(home, Msg::LocQuery { req, seg: index_seg });
+        }
+    }
+
+    /// Gate on the index segment's owner list: proceed only when no
+    /// lower-id live owner exists (they would run the identical job).
+    fn ec_gate_decide(&mut self, ctx: &mut impl Transport, owners: Vec<NodeId>) {
+        let Some(job) = self.ec_repair.take() else {
+            return;
+        };
+        let EcPhase::Gate { ix, .. } = job.phase else {
+            self.ec_repair = Some(job);
+            return;
+        };
+        let me = ctx.id();
+        let low = owners
+            .iter()
+            .copied()
+            .filter(|&id| self.view.is_live(id))
+            .min();
+        if low.is_some_and(|l| l < me) {
+            return; // a lower-id index holder owns this repair
+        }
+        self.ec_start_locate(ctx, job.index_seg, job.guard_req, ix);
+    }
+
+    /// Ask every shard's home host who owns it (answering locally for
+    /// shards homed here).
+    fn ec_start_locate(
+        &mut self,
+        ctx: &mut impl Transport,
+        index_seg: SegId,
+        guard_req: ReqId,
+        ix: Box<IndexSegment>,
+    ) {
+        let me = ctx.id();
+        let slots: Vec<SegId> = ix
+            .segments
+            .iter()
+            .chain(ix.parity.iter())
+            .map(|e| e.seg)
+            .collect();
+        let mut pending: Vec<(ReqId, usize)> = Vec::new();
+        let mut owners: Vec<Option<Vec<NodeId>>> = vec![None; slots.len()];
+        for (slot, &seg) in slots.iter().enumerate() {
+            let Some(home) = self.ring.home(seg) else {
+                owners[slot] = Some(Vec::new());
+                continue;
+            };
+            if home == me {
+                owners[slot] = Some(
+                    self.loc
+                        .lookup(seg)
+                        .map(|e| e.owners.keys().copied().collect())
+                        .unwrap_or_default(),
+                );
+            } else {
+                let req = self.fresh_req();
+                pending.push((req, slot));
+                ctx.send(home, Msg::LocQuery { req, seg });
+            }
+        }
+        self.ec_repair = Some(EcRepairJob {
+            index_seg,
+            guard_req,
+            phase: EcPhase::Locate { ix, pending, owners },
+        });
+        self.ec_maybe_locate_done(ctx);
+    }
+
+    /// A `LocQueryR` arrived; route it to the gate or locate phase.
+    fn on_ec_loc_reply(
+        &mut self,
+        ctx: &mut impl Transport,
+        req: ReqId,
+        seg: SegId,
+        reply_owners: Vec<(NodeId, Version)>,
+    ) {
+        let mut gate_owners: Option<Vec<NodeId>> = None;
+        let mut locate_progress = false;
+        {
+            let Some(job) = self.ec_repair.as_mut() else {
+                return;
+            };
+            match &mut job.phase {
+                EcPhase::Gate { req: r, .. } if *r == req && seg == job.index_seg => {
+                    gate_owners = Some(reply_owners.iter().map(|&(id, _)| id).collect());
+                }
+                EcPhase::Locate { pending, owners, .. } => {
+                    if let Some(pos) = pending.iter().position(|&(r, _)| r == req) {
+                        let (_, slot) = pending.swap_remove(pos);
+                        owners[slot] = Some(reply_owners.iter().map(|&(id, _)| id).collect());
+                        locate_progress = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(owners) = gate_owners {
+            self.ec_gate_decide(ctx, owners);
+        } else if locate_progress {
+            self.ec_maybe_locate_done(ctx);
+        }
+    }
+
+    /// Once every shard's owner list is in, classify lost shards and
+    /// either finish (healthy / unrecoverable) or fetch `k` survivors.
+    fn ec_maybe_locate_done(&mut self, ctx: &mut impl Transport) {
+        let complete = matches!(
+            &self.ec_repair,
+            Some(j) if matches!(
+                &j.phase,
+                EcPhase::Locate { owners, .. } if owners.iter().all(|o| o.is_some())
+            )
+        );
+        if !complete {
+            return;
+        }
+        let Some(job) = self.ec_repair.take() else {
+            return;
+        };
+        let EcPhase::Locate { ix, owners, .. } = job.phase else {
+            self.ec_repair = Some(job);
+            return;
+        };
+        // Only live owners count: the location table lags death
+        // declarations by at most one refresh, and installing onto a
+        // site that later proves alive is merely an extra copy.
+        let owners: Vec<Vec<NodeId>> = owners
+            .into_iter()
+            .map(|o| {
+                o.expect("checked complete")
+                    .into_iter()
+                    .filter(|&id| self.view.is_live(id))
+                    .collect()
+            })
+            .collect();
+        let p = ix.ec_params().expect("scan checked params");
+        let (k, m) = (p.k as usize, p.m as usize);
+        let lost: Vec<usize> = owners
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if lost.is_empty() {
+            return; // all shards alive — nothing to do
+        }
+        if lost.len() > m {
+            ctx.metrics().count("provider.ec_unrecoverable", 1);
+            return; // more failures than the code tolerates
+        }
+        // Fetch the first k survivors, each from its lowest-id owner.
+        let entries: Vec<crate::layout::SegEntry> = ix
+            .segments
+            .iter()
+            .chain(ix.parity.iter())
+            .copied()
+            .collect();
+        let mut pending: Vec<(ReqId, usize)> = Vec::new();
+        for (slot, own) in owners.iter().enumerate() {
+            if own.is_empty() || pending.len() >= k {
+                continue;
+            }
+            let source = *own.iter().min().expect("non-empty");
+            let e = entries[slot];
+            let req = self.fresh_req();
+            pending.push((req, slot));
+            ctx.send(
+                source,
+                Msg::ReadSeg {
+                    req,
+                    seg: e.seg,
+                    offset: 0,
+                    len: u64::MAX,
+                    min_version: Some(e.version),
+                    allow_redirect: false,
+                },
+            );
+        }
+        let total = entries.len();
+        self.ec_repair = Some(EcRepairJob {
+            index_seg: job.index_seg,
+            guard_req: job.guard_req,
+            phase: EcPhase::Fetch {
+                ix,
+                lost,
+                owners,
+                pending,
+                shards: vec![None; total],
+                fetched: 0,
+                synthetic: None,
+            },
+        });
+    }
+
+    /// A survivor shard read came back.
+    fn on_ec_read_reply(&mut self, ctx: &mut impl Transport, req: ReqId, reply: ReadReply) {
+        enum Next {
+            Wait,
+            Abort,
+            Reconstruct,
+        }
+        let next = {
+            let Some(job) = self.ec_repair.as_mut() else {
+                return;
+            };
+            let EcPhase::Fetch {
+                ix,
+                pending,
+                shards,
+                fetched,
+                synthetic,
+                ..
+            } = &mut job.phase
+            else {
+                return;
+            };
+            let Some(pos) = pending.iter().position(|&(r, _)| r == req) else {
+                return;
+            };
+            let (_, slot) = pending.swap_remove(pos);
+            match reply {
+                ReadReply::Data { data, version, .. } => {
+                    // Reconstruction needs a *consistent* stripe. A
+                    // version other than the one our index names means
+                    // a newer commit landed (or our index replica is
+                    // stale): that index's holders will repair.
+                    let expected = ix
+                        .segments
+                        .iter()
+                        .chain(ix.parity.iter())
+                        .nth(slot)
+                        .map(|e| e.version);
+                    let is_synth = data.is_none();
+                    if expected != Some(version)
+                        || synthetic.is_some_and(|s| s != is_synth)
+                    {
+                        Next::Abort
+                    } else {
+                        *synthetic = Some(is_synth);
+                        shards[slot] = data.map(|b| b.to_vec()).or(Some(Vec::new()));
+                        *fetched += 1;
+                        let k = ix.ec_params().expect("scan checked params").k as usize;
+                        if *fetched >= k {
+                            Next::Reconstruct
+                        } else {
+                            Next::Wait
+                        }
+                    }
+                }
+                // A survivor refused: abort, rescan later.
+                _ => Next::Abort,
+            }
+        };
+        match next {
+            Next::Wait => {}
+            Next::Abort => {
+                self.ec_repair = None;
+                ctx.metrics().count("provider.ec_repair_aborts", 1);
+            }
+            Next::Reconstruct => self.ec_reconstruct_and_install(ctx),
+        }
+    }
+
+    /// All `k` survivors are in: rebuild the lost shards and push each
+    /// onto a fresh provider holding no other shard of this file.
+    fn ec_reconstruct_and_install(&mut self, ctx: &mut impl Transport) {
+        let Some(job) = self.ec_repair.take() else {
+            return;
+        };
+        let EcPhase::Fetch {
+            ix,
+            lost,
+            owners,
+            shards,
+            synthetic,
+            ..
+        } = job.phase
+        else {
+            self.ec_repair = Some(job);
+            return;
+        };
+        let now = ctx.now();
+        let me = ctx.id();
+        let p = ix.ec_params().expect("scan checked params");
+        let shard_len = ix.ec_shard_len() as usize;
+        let synthetic = synthetic.unwrap_or(false);
+        let entries: Vec<crate::layout::SegEntry> = ix
+            .segments
+            .iter()
+            .chain(ix.parity.iter())
+            .copied()
+            .collect();
+        // Decode the lost shards (synthetic payloads are length-only,
+        // so "reconstruction" is just re-materializing the lengths).
+        let mut decoded: Vec<Option<Vec<u8>>> = vec![None; entries.len()];
+        if !synthetic {
+            let mut work: Vec<Option<Vec<u8>>> = shards
+                .into_iter()
+                .map(|s| {
+                    s.map(|mut v| {
+                        v.resize(shard_len, 0); // stored lengths are unpadded
+                        v
+                    })
+                })
+                .collect();
+            let ok = sorrento_ec::ReedSolomon::new(p.k as usize, p.m as usize)
+                .and_then(|rs| rs.reconstruct(&mut work))
+                .is_ok();
+            if !ok {
+                ctx.metrics().count("provider.ec_repair_aborts", 1);
+                return;
+            }
+            decoded = work;
+        }
+        // Place each rebuilt shard on a provider holding no shard of
+        // this file (and not this node: the index holder stays a pure
+        // coordinator so repair traffic spreads).
+        let owner_sites: Vec<NodeId> = owners.iter().flatten().copied().collect();
+        let mut picked: Vec<NodeId> = Vec::new();
+        let mut pending: Vec<ReqId> = Vec::new();
+        for &slot in &lost {
+            let e = entries[slot];
+            let cands = candidates_from_view(&self.view);
+            let mut exclude: Vec<NodeId> = owner_sites.clone();
+            exclude.push(me);
+            exclude.extend(picked.iter().copied());
+            let target = select_provider(
+                &cands,
+                (shard_len as u64).max(1),
+                0.5,
+                PlacementPolicy::LoadAware,
+                &exclude,
+                None,
+                ctx.rng(),
+            )
+            .or_else(|| {
+                // Distinct-site placement starves when every survivor
+                // already hosts a shard (or is this coordinator).
+                // Restoring decodability beats preserving perfect
+                // failure independence: fall back to excluding only
+                // this node and targets picked this round, and let a
+                // later migration restore the spread.
+                ctx.metrics().count("provider.ec_repair_relaxed", 1);
+                let mut minimal = vec![me];
+                minimal.extend(picked.iter().copied());
+                select_provider(
+                    &cands,
+                    (shard_len as u64).max(1),
+                    0.5,
+                    PlacementPolicy::LoadAware,
+                    &minimal,
+                    None,
+                    ctx.rng(),
+                )
+            });
+            let Some(target) = target else {
+                break; // cluster too small even relaxed; retry later
+            };
+            picked.push(target);
+            let mut meta = SegMeta::from_options(&ix.options, synthetic);
+            meta.replication = 1; // shards are singly stored by design
+            let data = if synthetic {
+                None
+            } else {
+                let mut bytes = decoded[slot].clone().expect("reconstruct filled");
+                bytes.truncate(e.len as usize); // stored lengths are unpadded
+                Some(bytes.into())
+            };
+            let image = ReplicaImage {
+                seg: e.seg,
+                version: e.version,
+                len: e.len,
+                data,
+                meta,
+            };
+            let req = self.fresh_req();
+            pending.push(req);
+            self.repairs_issued.insert((e.seg, target), now);
+            ctx.record(TelemetryEvent::EcRepair { seg: e.seg.0, to: target });
+            ctx.metrics().count("provider.ec_repairs", 1);
+            ctx.send(target, Msg::EcInstall { req, image: Box::new(image) });
+        }
+        if pending.is_empty() {
+            return;
+        }
+        self.ec_repair = Some(EcRepairJob {
+            index_seg: job.index_seg,
+            guard_req: job.guard_req,
+            phase: EcPhase::Install { pending },
+        });
+    }
+
+    /// An install ack arrived from a fresh shard site.
+    fn on_ec_install_reply(&mut self, req: ReqId, result: Result<(), Error>) {
+        let Some(job) = self.ec_repair.as_mut() else {
+            return;
+        };
+        let EcPhase::Install { pending } = &mut job.phase else {
+            return;
+        };
+        let Some(pos) = pending.iter().position(|&r| r == req) else {
+            return;
+        };
+        pending.swap_remove(pos);
+        if result.is_ok() {
+            self.ec_repairs_done += 1;
+        }
+        if self
+            .ec_repair
+            .as_ref()
+            .is_some_and(|j| matches!(&j.phase, EcPhase::Install { pending } if pending.is_empty()))
+        {
+            self.ec_repair = None;
+        }
     }
 
     fn enqueue_fetch(&mut self, ctx: &mut impl Transport, job: FetchJob) {
@@ -756,6 +1315,8 @@ impl StorageProvider {
         self.fetch_inflight = None;
         self.migration_inflight = None;
         self.repairs_issued.clear();
+        self.ec_repair = None;
+        self.ec_scan_done.clear();
         self.join_refresh_pending.clear();
         self.replies.clear();
         self.store.expire_all_shadows();
@@ -852,12 +1413,16 @@ impl StorageProvider {
                         self.try_balance_migration(ctx);
                     }
             Msg::Tick(Tick::RpcTimeout(req)) => {
-                // Only provider-side fetches set this timer.
+                // Provider-side fetches and EC repair jobs set this timer.
                 if let Some((inflight, job)) = self.fetch_inflight {
                     if inflight == req {
                         self.fetch_inflight = None;
                         self.finish_fetch(ctx, job, None);
                     }
+                }
+                if self.ec_repair.as_ref().is_some_and(|j| j.guard_req == req) {
+                    self.ec_repair = None;
+                    ctx.metrics().count("provider.ec_repair_timeouts", 1);
                 }
             }
             Msg::Tick(_) => {}
@@ -1205,6 +1770,59 @@ impl StorageProvider {
                 // target already updated the table).
             }
 
+            // ---------------- erasure-coded repair ----------------
+            // Providers only issue LocQuery/ReadSeg as EC repairers, so
+            // these replies route straight to the active job (stale ones
+            // fall through harmlessly on the request-id check).
+            Msg::LocQueryR { req, seg, owners } => {
+                self.on_ec_loc_reply(ctx, req, seg, owners);
+            }
+            Msg::ReadSegR { req, reply } => {
+                self.on_ec_read_reply(ctx, req, reply);
+            }
+            Msg::EcInstall { req, image } => {
+                let seg = image.seg;
+                let version = image.version;
+                let len = image.len;
+                let fits = len
+                    <= ctx
+                        .disk()
+                        .available()
+                        .saturating_add(self.store.stored_bytes(seg));
+                let result = if !fits {
+                    Err(Error::OutOfSpace)
+                } else {
+                    match self.store.install_replica(*image, now) {
+                        // `false` means we already hold this version or
+                        // newer — the repair goal is met either way.
+                        Ok(installed) => {
+                            if installed {
+                                self.installs_done += 1;
+                                self.sync_disk(ctx);
+                                ctx.disk_submit(len, DiskAccess::Sequential);
+                                let replication = self
+                                    .store
+                                    .meta(seg)
+                                    .map(|m| m.replication)
+                                    .unwrap_or(1);
+                                ctx.record(TelemetryEvent::RepairDone { seg: seg.0, to: ctx.id() });
+                                self.upsert_location(ctx, seg, version, replication, false);
+                            }
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                };
+                let cpu_done = ctx.cpu(self.costs.provider_op_cpu);
+                let disk_done = ctx.disk_submit(512, DiskAccess::Sync);
+                let reply = Msg::EcInstallR { req, seg, result };
+                self.replies.put(from, req, reply.clone());
+                ctx.send_at(cpu_done.max(disk_done), from, reply);
+            }
+            Msg::EcInstallR { req, result, .. } => {
+                self.on_ec_install_reply(req, result);
+            }
+
             _ => {}
         }
     }
@@ -1218,7 +1836,8 @@ fn dedup_key(msg: &Msg) -> Option<ReqId> {
         Msg::CreateShadow { req, .. }
         | Msg::Prepare { req, .. }
         | Msg::Commit { req, .. }
-        | Msg::DirectWrite { req, .. } => Some(*req),
+        | Msg::DirectWrite { req, .. }
+        | Msg::EcInstall { req, .. } => Some(*req),
         _ => None,
     }
 }

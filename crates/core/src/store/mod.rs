@@ -75,16 +75,25 @@ pub struct SegMeta {
     pub policy: PlacementPolicy,
     /// Whether payloads are synthetic (lengths only).
     pub synthetic: bool,
+    /// Set **only on the index segment** of an erasure-coded file:
+    /// `(k, m)` of the file's Reed-Solomon code. Providers holding such
+    /// a segment drive EC shard repair from it (the index lists every
+    /// shard); data/parity shards themselves carry `None` so repair
+    /// scans don't false-positive on them.
+    pub ec: Option<(u8, u8)>,
 }
 
 impl SegMeta {
-    /// Derive segment metadata from the owning file's options.
+    /// Derive segment metadata from the owning file's options. The EC
+    /// marker is *not* copied here — only index segments carry it, and
+    /// the commit path sets it explicitly.
     pub fn from_options(opts: &FileOptions, synthetic: bool) -> SegMeta {
         SegMeta {
             replication: opts.replication,
             alpha: opts.alpha,
             policy: opts.placement,
             synthetic,
+            ec: None,
         }
     }
 }
@@ -96,6 +105,7 @@ impl Default for SegMeta {
             alpha: 0.5,
             policy: PlacementPolicy::LoadAware,
             synthetic: false,
+            ec: None,
         }
     }
 }
@@ -400,8 +410,16 @@ impl LocalStore {
                 if target <= latest {
                     return Err(Error::VersionConflict);
                 }
-                if base != Some(latest) {
-                    return Err(Error::VersionConflict);
+                // A based shadow must stand on the latest committed
+                // version (stale-base lost-update guard). A fresh shadow
+                // carries the complete replacement content, so existing
+                // history is simply superseded — EC parity rewrites rely
+                // on this: parity is re-derived whole on every commit and
+                // may land on the provider holding the previous version.
+                if let Some(b) = base {
+                    if b != latest {
+                        return Err(Error::VersionConflict);
+                    }
                 }
             }
         }

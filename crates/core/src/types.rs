@@ -181,6 +181,49 @@ pub struct FileOptions {
     /// all replicas before returning instead of relying on the home
     /// host's lazy propagation.
     pub eager_commit: bool,
+    /// Erasure-coded redundancy instead of replication for the file's
+    /// data. `Some` forces [`Organization::Striped`] with `k` stripes
+    /// (the data shards of the systematic code) and adds `m` parity
+    /// shards maintained by the commit path; the index segment stays
+    /// replicated (`replication` applies to it alone).
+    pub ec: Option<EcParams>,
+}
+
+/// Reed-Solomon (k, m) parameters for erasure-coded files: `k` data
+/// shards + `m` parity shards, any `k` of which recover the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcParams {
+    /// Data shard count (≥ 1).
+    pub k: u8,
+    /// Parity shard count (≥ 1); tolerated simultaneous shard losses.
+    pub m: u8,
+}
+
+impl EcParams {
+    /// Total shard count `k + m`.
+    pub fn shards(self) -> usize {
+        self.k as usize + self.m as usize
+    }
+
+    /// Storage overhead factor `(k + m) / k`.
+    pub fn overhead(self) -> f64 {
+        self.shards() as f64 / self.k as f64
+    }
+}
+
+impl FileOptions {
+    /// Default options with Reed-Solomon (k, m) redundancy: striped
+    /// organization over `k` data shards sized for `max_size` bytes.
+    pub fn erasure_coded(k: u8, m: u8, max_size: u64) -> FileOptions {
+        FileOptions {
+            ec: Some(EcParams { k, m }),
+            organization: Organization::Striped {
+                stripes: k as u32,
+                max_size,
+            },
+            ..FileOptions::default()
+        }
+    }
 }
 
 impl Default for FileOptions {
@@ -192,6 +235,7 @@ impl Default for FileOptions {
             placement: PlacementPolicy::LoadAware,
             versioning_off: false,
             eager_commit: false,
+            ec: None,
         }
     }
 }

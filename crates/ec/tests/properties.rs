@@ -1,0 +1,114 @@
+//! Property tests for the GF(256) field axioms and the Reed-Solomon
+//! codec: encode → drop any ≤ m shards → reconstruct is the identity,
+//! more than m losses is a typed error, and corruption (as opposed to
+//! erasure) never silently verifies.
+
+use proptest::prelude::*;
+use sorrento_ec::{gf, EcError, ReedSolomon};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn gf_mul_commutes_and_associates(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        prop_assert_eq!(gf::mul(a, b), gf::mul(b, a));
+        prop_assert_eq!(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+    }
+
+    #[test]
+    fn gf_mul_distributes_over_add(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        prop_assert_eq!(
+            gf::mul(a, gf::add(b, c)),
+            gf::add(gf::mul(a, b), gf::mul(a, c))
+        );
+    }
+
+    #[test]
+    fn gf_div_inverts_mul(a in 0u8..=255, b in 1u8..=255) {
+        prop_assert_eq!(gf::div(gf::mul(a, b), b), a);
+        prop_assert_eq!(gf::mul(gf::div(a, b), b), a);
+        prop_assert_eq!(gf::mul(b, gf::inv(b)), 1);
+    }
+
+    #[test]
+    fn gf_identities(a in 0u8..=255) {
+        prop_assert_eq!(gf::mul(a, 1), a);
+        prop_assert_eq!(gf::mul(a, 0), 0);
+        prop_assert_eq!(gf::add(a, a), 0); // characteristic 2
+    }
+
+    /// encode → drop any ≤ m shards → reconstruct ≡ identity;
+    /// > m losses → typed TooFewShards, shards untouched.
+    #[test]
+    fn rs_roundtrip_under_erasure(
+        k in 1usize..8,
+        m in 1usize..4,
+        bytes in prop::collection::vec(any::<u8>(), 1..600),
+        drop_seed in prop::collection::vec(0usize..64, 0..6),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let shard_len = bytes.len().div_ceil(k);
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                let mut s: Vec<u8> =
+                    bytes.iter().skip(i * shard_len).take(shard_len).copied().collect();
+                s.resize(shard_len, 0);
+                s
+            })
+            .collect();
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        let mut drops: Vec<usize> = drop_seed.iter().map(|d| d % (k + m)).collect();
+        drops.sort_unstable();
+        drops.dedup();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for &d in &drops {
+            shards[d] = None;
+        }
+        if drops.len() <= m {
+            prop_assert_eq!(rs.reconstruct(&mut shards), Ok(()));
+            for (i, s) in shards.iter().enumerate() {
+                prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
+            }
+        } else {
+            prop_assert_eq!(rs.reconstruct(&mut shards), Err(EcError::TooFewShards));
+            // Untouched: the survivors are still exactly what went in.
+            for (i, s) in shards.iter().enumerate() {
+                if !drops.contains(&i) {
+                    prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
+                }
+            }
+        }
+    }
+
+    /// Decode-against-corruption fuzz: flipping any byte of any shard is
+    /// always caught by verify() — erasure codes correct *known* losses,
+    /// so silent corruption must at least be detectable.
+    #[test]
+    fn rs_corruption_never_verifies(
+        k in 1usize..6,
+        m in 1usize..4,
+        bytes in prop::collection::vec(any::<u8>(), 8..256),
+        victim in 0usize..64,
+        pos in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let shard_len = bytes.len().div_ceil(k);
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                let mut s: Vec<u8> =
+                    bytes.iter().skip(i * shard_len).take(shard_len).copied().collect();
+                s.resize(shard_len, 0);
+                s
+            })
+            .collect();
+        let parity = rs.encode(&data).unwrap();
+        let mut shards: Vec<Vec<u8>> = data.into_iter().chain(parity).collect();
+        prop_assert!(rs.verify(&shards).unwrap());
+        let victim = victim % (k + m);
+        let pos = pos % shard_len;
+        shards[victim][pos] ^= flip;
+        prop_assert!(!rs.verify(&shards).unwrap());
+    }
+}

@@ -1,7 +1,7 @@
 //! Command-line client for a live Sorrento cluster.
 //!
 //! ```text
-//! sorrentoctl --config <cluster.json> create <path>
+//! sorrentoctl --config <cluster.json> create <path> [--ec k,m]
 //! sorrentoctl --config <cluster.json> write  <path> <local-file>
 //! sorrentoctl --config <cluster.json> read   <path> [offset [len]]
 //! sorrentoctl --config <cluster.json> stat   <path>
@@ -34,6 +34,7 @@ use std::time::Duration;
 
 use sorrento::api::FsScript;
 use sorrento::client::ClientOp;
+use sorrento::FileOptions;
 use sorrento_json::Json;
 use sorrento_net::chaos::ChaosConfig;
 use sorrento_net::config::CtlConfig;
@@ -47,8 +48,12 @@ const DEADLINE: Duration = Duration::from_secs(30);
 /// Per-node budget when fanning out (`top`, `trace`): a dead node
 /// should cost seconds, not the whole command deadline.
 const PER_NODE: Duration = Duration::from_secs(5);
+/// Declared maximum size for `--ec` files (striping requires the max
+/// up front; 256 MB ⇒ shard widths stay sane for CLI-scale files).
+const EC_MAX_SIZE: u64 = 256 << 20;
 const USAGE: &str = "usage: sorrentoctl --config <cluster.json> \
-    <create|write|read|stat|ls|rm|mkdir|stats|top|trace|chaos> [args]";
+    <create|write|read|stat|ls|rm|mkdir|stats|top|trace|chaos> [args]\n\
+    create <path> [--ec k,m]   erasure-coded instead of replicated";
 
 fn main() -> ExitCode {
     match run() {
@@ -84,12 +89,35 @@ fn run() -> Result<ExitCode, String> {
             fs.close(h).map_err(|e| e.to_string())?;
             report(run_fs(&cfg, fs)?)
         }
+        ("create", [path, flag, spec]) if flag == "--ec" => {
+            let (k, m) = spec
+                .split_once(',')
+                .and_then(|(k, m)| Some((k.trim().parse().ok()?, m.trim().parse().ok()?)))
+                .filter(|&(k, m): &(u8, u8)| k >= 1 && m >= 1 && k as usize + (m as usize) <= 255)
+                .ok_or("--ec takes k,m (e.g. --ec 4,2)")?;
+            let mut fs = FsScript::new();
+            let h = fs
+                .create_with(path, FileOptions::erasure_coded(k, m, EC_MAX_SIZE))
+                .map_err(|e| e.to_string())?;
+            fs.close(h).map_err(|e| e.to_string())?;
+            let code = report(run_fs(&cfg, fs)?)?;
+            if code == ExitCode::SUCCESS {
+                eprintln!("created {path} with EC({k},{m})");
+            }
+            Ok(code)
+        }
         ("write", [path, local]) => {
             let data =
                 std::fs::read(local).map_err(|e| format!("cannot read {local}: {e}"))?;
             let n = data.len();
+            // Create-or-open: a pre-created file keeps its options (a
+            // `create --ec` file must not be recreated as replicated).
+            let mut probe = FsScript::new();
+            probe.stat(path).map_err(|e| e.to_string())?;
+            let exists = run_fs(&cfg, probe)?.stats.failed_ops == 0;
             let mut fs = FsScript::new();
-            let h = fs.create(path).map_err(|e| e.to_string())?;
+            let h = if exists { fs.open(path, true) } else { fs.create(path) }
+                .map_err(|e| e.to_string())?;
             fs.write(h, 0, data).map_err(|e| e.to_string())?;
             fs.close(h).map_err(|e| e.to_string())?;
             let code = report(run_fs(&cfg, fs)?)?;

@@ -36,14 +36,18 @@ use bytes::Bytes;
 use sorrento::membership::Heartbeat;
 use sorrento::proto::{FileEntry, Msg, ReadReply, Tick};
 use sorrento::store::{ReplicaImage, SegMeta, ShadowId, WritePayload};
-use sorrento::types::{Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version};
+use sorrento::types::{
+    EcParams, Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version,
+};
 use sorrento_kvdb::{crc32, Crc32};
 use sorrento_sim::NodeId;
 
 /// Frame magic: "SRTO".
 pub const MAGIC: [u8; 4] = *b"SRTO";
-/// Current wire-format version.
-pub const VERSION: u8 = 1;
+/// Current wire-format version. v2 added the erasure-coding fields
+/// (`FileOptions::ec`, `SegMeta::ec`) and the `EcInstall`/`EcInstallR`
+/// shard-repair messages; v1 peers are refused at the header.
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 18;
 /// Largest accepted payload (a full segment plus slack); guards the
@@ -485,6 +489,17 @@ fn read_placement(r: &mut Reader<'_>) -> Result<PlacementPolicy, FrameError> {
     })
 }
 
+fn write_ec(w: &mut Writer, ec: &Option<EcParams>) {
+    write_opt(w, ec, |w, p| {
+        w.u8(p.k);
+        w.u8(p.m);
+    });
+}
+
+fn read_ec(r: &mut Reader<'_>) -> Result<Option<EcParams>, FrameError> {
+    read_opt(r, |r| Ok(EcParams { k: r.u8()?, m: r.u8()? }))
+}
+
 fn write_options(w: &mut Writer, o: &FileOptions) {
     w.u32(o.replication);
     w.f64(o.alpha);
@@ -492,6 +507,7 @@ fn write_options(w: &mut Writer, o: &FileOptions) {
     write_placement(w, &o.placement);
     w.boolean(o.versioning_off);
     w.boolean(o.eager_commit);
+    write_ec(w, &o.ec);
 }
 
 fn read_options(r: &mut Reader<'_>) -> Result<FileOptions, FrameError> {
@@ -502,6 +518,7 @@ fn read_options(r: &mut Reader<'_>) -> Result<FileOptions, FrameError> {
         placement: read_placement(r)?,
         versioning_off: r.boolean()?,
         eager_commit: r.boolean()?,
+        ec: read_ec(r)?,
     })
 }
 
@@ -602,6 +619,10 @@ fn write_meta(w: &mut Writer, m: &SegMeta) {
     w.f64(m.alpha);
     write_placement(w, &m.policy);
     w.boolean(m.synthetic);
+    write_opt(w, &m.ec, |w, (k, m)| {
+        w.u8(*k);
+        w.u8(*m);
+    });
 }
 
 fn read_meta(r: &mut Reader<'_>) -> Result<SegMeta, FrameError> {
@@ -610,6 +631,7 @@ fn read_meta(r: &mut Reader<'_>) -> Result<SegMeta, FrameError> {
         alpha: r.f64()?,
         policy: read_placement(r)?,
         synthetic: r.boolean()?,
+        ec: read_opt(r, |r| Ok((r.u8()?, r.u8()?)))?,
     })
 }
 
@@ -1027,6 +1049,17 @@ fn write_msg(w: &mut Writer, msg: &Msg) {
             w.u128(seg.0);
             w.boolean(*ok);
         }
+        Msg::EcInstall { req, image } => {
+            w.u8(52);
+            w.u64(*req);
+            write_image(w, image);
+        }
+        Msg::EcInstallR { req, seg, result } => {
+            w.u8(53);
+            w.u64(*req);
+            w.u128(seg.0);
+            write_result(w, result, |_, ()| {});
+        }
         Msg::StatsQuery { req } => {
             w.u8(46);
             w.u64(*req);
@@ -1252,6 +1285,15 @@ fn read_msg(r: &mut Reader<'_>) -> Result<Msg, FrameError> {
         49 => Msg::ChaosCtlR { req: r.u64()? },
         50 => Msg::TraceQuery { req: r.u64()?, span: r.u64()? },
         51 => Msg::TraceR { req: r.u64()?, json: r.string()? },
+        52 => Msg::EcInstall {
+            req: r.u64()?,
+            image: Box::new(read_image(r)?),
+        },
+        53 => Msg::EcInstallR {
+            req: r.u64()?,
+            seg: SegId(r.u128()?),
+            result: read_result(r, |_| Ok(()))?,
+        },
         tag => return Err(FrameError::UnknownTag { what: "msg", tag }),
     })
 }
@@ -1303,8 +1345,38 @@ mod tests {
                     alpha: 1.0,
                     policy: PlacementPolicy::LoadAware,
                     synthetic: false,
+                    ec: None,
                 },
             })),
+        });
+    }
+
+    #[test]
+    fn ec_messages_round_trip() {
+        roundtrip(Msg::EcInstall {
+            req: 21,
+            image: Box::new(ReplicaImage {
+                seg: SegId(77),
+                version: Version(4),
+                len: 5,
+                data: Some(vec![1, 2, 3, 4, 5].into()),
+                meta: SegMeta {
+                    replication: 1,
+                    alpha: 0.5,
+                    policy: PlacementPolicy::LoadAware,
+                    synthetic: false,
+                    ec: Some((4, 2)),
+                },
+            }),
+        });
+        roundtrip(Msg::EcInstallR { req: 21, seg: SegId(77), result: Ok(()) });
+        roundtrip(Msg::EcInstallR { req: 22, seg: SegId(78), result: Err(Error::OutOfSpace) });
+        // EC-bearing options travel inside create/lookup messages.
+        roundtrip(Msg::NsCreate {
+            req: 5,
+            path: "/ec".into(),
+            file: FileId(9),
+            options: FileOptions::erasure_coded(4, 2, 1 << 20),
         });
     }
 

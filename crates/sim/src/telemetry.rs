@@ -229,6 +229,38 @@ pub enum TelemetryEvent {
         /// Request kind (`proto::dbg_kind`).
         kind: &'static str,
     },
+    /// A client encoded Reed-Solomon parity for an erasure-coded file's
+    /// commit.
+    EcEncode {
+        /// The committing operation's span.
+        span: SpanId,
+        /// The file's index-segment id bits.
+        file: u128,
+        /// Data shard count.
+        k: u8,
+        /// Parity shard count.
+        m: u8,
+        /// Bytes of parity produced (k·m shard traffic is m/k of data).
+        parity_bytes: u64,
+    },
+    /// A degraded read reconstructed missing shards from `k` survivors
+    /// inline.
+    EcReconstruct {
+        /// The reading operation's span.
+        span: SpanId,
+        /// The file's index-segment id bits.
+        file: u128,
+        /// Shards that had to be rebuilt.
+        lost: u8,
+    },
+    /// The home host rebuilt a lost shard and installed it on a fresh
+    /// provider.
+    EcRepair {
+        /// The rebuilt shard's segment id bits.
+        seg: u128,
+        /// The provider that received the reconstructed shard.
+        to: NodeId,
+    },
 }
 
 impl TelemetryEvent {
@@ -262,6 +294,9 @@ impl TelemetryEvent {
             TelemetryEvent::ChaosInject { .. } => "chaos.inject",
             TelemetryEvent::DedupHit { .. } => "dedup.hit",
             TelemetryEvent::RpcResend { .. } => "rpc.resend",
+            TelemetryEvent::EcEncode { .. } => "ec.encode",
+            TelemetryEvent::EcReconstruct { .. } => "ec.reconstruct",
+            TelemetryEvent::EcRepair { .. } => "ec.repair",
         }
     }
 
@@ -283,7 +318,9 @@ impl TelemetryEvent {
             | TelemetryEvent::MsgSend { span, .. }
             | TelemetryEvent::MsgRecv { span, .. }
             | TelemetryEvent::DedupHit { span, .. }
-            | TelemetryEvent::RpcResend { span, .. } => span,
+            | TelemetryEvent::RpcResend { span, .. }
+            | TelemetryEvent::EcEncode { span, .. }
+            | TelemetryEvent::EcReconstruct { span, .. } => span,
             _ => 0,
         };
         if span == 0 {
@@ -377,6 +414,15 @@ impl fmt::Display for TelemetryEvent {
             }
             TelemetryEvent::RpcResend { span, kind } => {
                 write!(f, "rpc.resend span={span} kind={kind}")
+            }
+            TelemetryEvent::EcEncode { span, file, k, m, parity_bytes } => {
+                write!(f, "ec.encode span={span} file={file:x} k={k} m={m} parity={parity_bytes}")
+            }
+            TelemetryEvent::EcReconstruct { span, file, lost } => {
+                write!(f, "ec.reconstruct span={span} file={file:x} lost={lost}")
+            }
+            TelemetryEvent::EcRepair { seg, to } => {
+                write!(f, "ec.repair seg={seg:x} to={to}")
             }
         }
     }

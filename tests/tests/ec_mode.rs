@@ -1,0 +1,645 @@
+//! Erasure-coding integration tests: striped EC commit with parity,
+//! degraded reads through Reed-Solomon reconstruction, and shard repair
+//! after provider loss — first in the seeded simulator, then as a
+//! loopback TCP chaos drill (`make ec-smoke`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use sorrento::api::FsScript;
+use sorrento::client::ClientOp;
+use sorrento::cluster::{Cluster, ClusterBuilder, ScriptedWorkload};
+use sorrento::costs::CostModel;
+use sorrento::types::{FileOptions, SegId};
+use sorrento_kvdb::{Db, DbConfig, FileBackend};
+use sorrento_net::chaos::ChaosConfig;
+use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
+use sorrento_net::ctl;
+use sorrento_net::daemon::{self, DaemonHandle};
+use sorrento_sim::{Dur, NodeId};
+
+fn cluster(providers: usize, seed: u64) -> Cluster {
+    ClusterBuilder::new()
+        .providers(providers)
+        .replication(2) // applies to the index segment only for EC files
+        .seed(seed)
+        .costs(CostModel::fast_test())
+        .build()
+}
+
+fn patterned(len: usize, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(13) ^ seed).collect()
+}
+
+/// EC options with a replicated index segment (`FileOptions::replication`
+/// governs the index alone for EC files; the shards are singly stored).
+fn ec_options(k: u8, m: u8) -> FileOptions {
+    FileOptions {
+        replication: 2,
+        ..FileOptions::erasure_coded(k, m, 4 << 20)
+    }
+}
+
+/// Segments with exactly one owner are the EC shards (the index segment
+/// is replicated); returns `(seg, owner)` pairs.
+fn shard_sites(c: &Cluster) -> Vec<(SegId, NodeId)> {
+    let mut v: Vec<(SegId, NodeId)> = c
+        .segment_ownership()
+        .into_iter()
+        .filter(|(_, owners)| owners.len() == 1)
+        .map(|(seg, owners)| (seg, owners[0].0))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Up to `n` providers that own shards but no replica of the index
+/// segment — safe crash victims: killing them severs shards without
+/// severing the file's index (which both degraded reads and the repair
+/// scan need; shard loss with the index intact is exactly the failure
+/// EC is specified to survive).
+fn shard_only_victims(c: &Cluster, n: usize) -> Vec<NodeId> {
+    let index_owners: Vec<NodeId> = c
+        .segment_ownership()
+        .into_iter()
+        .filter(|(_, owners)| owners.len() > 1)
+        .flat_map(|(_, owners)| owners.into_iter().map(|(p, _)| p))
+        .collect();
+    let mut victims: Vec<NodeId> = shard_sites(c)
+        .iter()
+        .map(|&(_, p)| p)
+        .filter(|p| !index_owners.contains(p))
+        .collect();
+    victims.sort();
+    victims.dedup();
+    victims.truncate(n);
+    victims
+}
+
+/// An EC(2,1) file written and read back through the normal path equals
+/// the bytes written, and the commit materializes exactly k data + m
+/// parity shards on distinct providers, each singly stored.
+#[test]
+fn ec_write_read_roundtrip_with_parity() {
+    let mut c = cluster(5, 11);
+    let data = patterned(300_000, 1);
+    let options = ec_options(2, 1);
+    let id = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::CreateWith { path: "/ec".into(), options },
+        ClientOp::write_bytes(0, data.clone()),
+        ClientOp::Close,
+        ClientOp::Open { path: "/ec".into(), write: false },
+        ClientOp::Read { offset: 0, len: data.len() as u64 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(60));
+    let st = c.client_stats(id).unwrap();
+    assert_eq!(st.failed_ops, 0, "EC roundtrip failed: {:?}", st.last_error);
+    assert_eq!(st.last_read.as_deref(), Some(&data[..]));
+    // k + m = 3 singly-stored shards, all on distinct providers.
+    let shards = shard_sites(&c);
+    assert_eq!(shards.len(), 3, "expected 3 shards: {shards:?}");
+    let mut sites: Vec<NodeId> = shards.iter().map(|&(_, p)| p).collect();
+    sites.sort();
+    sites.dedup();
+    assert_eq!(sites.len(), 3, "shards share a provider: {shards:?}");
+}
+
+/// Rewriting an EC file re-encodes parity: the read after the second
+/// commit sees the second contents.
+#[test]
+fn ec_rewrite_reencodes_parity() {
+    let mut c = cluster(6, 12);
+    let first = patterned(200_000, 3);
+    let second = patterned(260_000, 7);
+    let options = ec_options(3, 2);
+    let id = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::CreateWith { path: "/ec2".into(), options },
+        ClientOp::write_bytes(0, first),
+        ClientOp::Close,
+        ClientOp::Open { path: "/ec2".into(), write: true },
+        ClientOp::write_bytes(0, second.clone()),
+        ClientOp::Close,
+        ClientOp::Open { path: "/ec2".into(), write: false },
+        ClientOp::Read { offset: 0, len: second.len() as u64 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(90));
+    let st = c.client_stats(id).unwrap();
+    if st.failed_ops > 0 {
+        for &(span, kind) in &st.failed_spans {
+            eprintln!("failed op kind={kind}\n{}", c.trace_op(span));
+        }
+    }
+    assert_eq!(st.failed_ops, 0, "EC rewrite failed: {:?}", st.last_error);
+    assert_eq!(st.last_read.as_deref(), Some(&second[..]));
+}
+
+/// With shard holders dead (up to m of them), reads reconstruct the
+/// missing shards inline from the k survivors.
+#[test]
+fn ec_degraded_read_survives_m_failures() {
+    let mut c = cluster(8, 13);
+    let data = patterned(500_000, 5);
+    let options = ec_options(4, 2);
+    let writer = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::CreateWith { path: "/big".into(), options },
+        ClientOp::write_bytes(0, data.clone()),
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(30));
+    assert_eq!(c.client_stats(writer).unwrap().failed_ops, 0);
+    let shards = shard_sites(&c);
+    assert_eq!(shards.len(), 6);
+    // Kill two shard holders (m = 2 losses), keeping the index alive.
+    let victims = shard_only_victims(&c, 2);
+    assert_eq!(victims.len(), 2, "shards under-spread: {shards:?}");
+    for &v in &victims {
+        c.crash_provider_at(c.now(), v);
+    }
+    let reader = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Open { path: "/big".into(), write: false },
+        ClientOp::Read { offset: 0, len: data.len() as u64 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(60));
+    let st = c.client_stats(reader).unwrap();
+    assert_eq!(st.failed_ops, 0, "degraded read failed: {:?}", st.last_error);
+    assert_eq!(st.last_read.as_deref(), Some(&data[..]));
+}
+
+/// After shard loss, the index holder reconstructs the lost shards from
+/// survivors and installs them on fresh providers: the full k + m shard
+/// count returns, on distinct live providers, and the data still reads
+/// back exactly.
+#[test]
+fn ec_repair_restores_full_shard_count() {
+    let mut c = cluster(9, 14);
+    let data = patterned(400_000, 9);
+    let options = ec_options(4, 2);
+    let writer = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::CreateWith { path: "/heal".into(), options },
+        ClientOp::write_bytes(0, data.clone()),
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(30));
+    assert_eq!(c.client_stats(writer).unwrap().failed_ops, 0);
+    let before = shard_sites(&c);
+    assert_eq!(before.len(), 6);
+    let victims = shard_only_victims(&c, 2);
+    assert_eq!(victims.len(), 2, "shards under-spread: {before:?}");
+    for &v in &victims {
+        c.crash_provider_at(c.now(), v);
+    }
+    // Death declaration + repair scan + reconstruct + install.
+    c.run_for(Dur::secs(120));
+    let after = shard_sites(&c);
+    let before_segs: Vec<SegId> = before.iter().map(|&(s, _)| s).collect();
+    let after_segs: Vec<SegId> = after.iter().map(|&(s, _)| s).collect();
+    let counters = [
+        "provider.ec_repairs",
+        "provider.ec_repair_aborts",
+        "provider.ec_repair_timeouts",
+        "provider.ec_unrecoverable",
+    ]
+    .map(|k| (k, c.metrics().counter(k)));
+    assert_eq!(
+        after_segs, before_segs,
+        "repair did not restore every shard: {after:?} ({counters:?})"
+    );
+    for &(seg, p) in &after {
+        assert!(!victims.contains(&p), "{seg:?} still on dead {p:?}");
+    }
+    let repaired: u64 = c
+        .providers()
+        .iter()
+        .filter_map(|&p| c.provider_ref(p))
+        .map(|prov| prov.ec_repairs_done)
+        .sum();
+    assert!(repaired >= 2, "no provider drove the EC repair");
+    // The healed file reads back without reconstruction pressure.
+    let reader = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::Open { path: "/heal".into(), write: false },
+        ClientOp::Read { offset: 0, len: data.len() as u64 },
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(60));
+    let st = c.client_stats(reader).unwrap();
+    assert_eq!(st.failed_ops, 0, "post-repair read failed: {:?}", st.last_error);
+    assert_eq!(st.last_read.as_deref(), Some(&data[..]));
+}
+
+/// Losing more than m shard holders is unrecoverable — the repair path
+/// must recognize that and not thrash (no hang, no bogus installs).
+#[test]
+fn ec_more_than_m_losses_is_detected_not_thrashed() {
+    let mut c = cluster(9, 15);
+    let options = ec_options(4, 2);
+    let writer = c.add_client(ScriptedWorkload::new(vec![
+        ClientOp::CreateWith { path: "/gone".into(), options },
+        ClientOp::write_bytes(0, patterned(300_000, 2)),
+        ClientOp::Close,
+    ]));
+    c.run_for(Dur::secs(30));
+    assert_eq!(c.client_stats(writer).unwrap().failed_ops, 0);
+    let shards = shard_sites(&c);
+    let victims = shard_only_victims(&c, 3); // m + 1 losses
+    // Only meaningful when the shards actually spread over ≥ 3 nodes.
+    assert!(victims.len() >= 3, "shards under-spread: {shards:?}");
+    for &v in &victims {
+        c.crash_provider_at(c.now(), v);
+    }
+    c.run_for(Dur::secs(120));
+    assert!(
+        c.metrics().counter("provider.ec_unrecoverable") >= 1,
+        "unrecoverable loss never classified"
+    );
+    assert_eq!(
+        c.metrics().counter("provider.ec_repairs"),
+        0,
+        "repair installed shards it could not have reconstructed"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Loopback TCP drill (`make ec-smoke`): a real 8-provider cluster under
+// deterministic frame chaos writes an EC(4,2) file, two shard holders
+// are killed abruptly, reads must reconstruct through the loss, and the
+// repair scan must restore the full k + m shard count on live disks —
+// with no client ever hanging.
+// ---------------------------------------------------------------------
+
+const DRILL_DEADLINE: Duration = Duration::from_secs(90);
+/// The fixed drill seeds (`make ec-smoke` runs exactly these).
+const DRILL_SEEDS: [u64; 2] = [21, 1105];
+const PROVIDERS: usize = 10;
+
+/// `fast_test` timing with a much shorter location-refresh cycle: the
+/// drill restarts the whole fleet (wiping every soft-state location
+/// table), and repair decisions should run against warm tables rather
+/// than burn the drill deadline waiting out a 30 s refresh stagger.
+fn drill_costs() -> CostModel {
+    CostModel {
+        refresh_interval: sorrento_sim::Dur::secs(3),
+        join_refresh_delay_max: sorrento_sim::Dur::secs(1),
+        location_gc_age: sorrento_sim::Dur::secs(20),
+        ..CostModel::fast_test()
+    }
+}
+
+fn drill_payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 37 % 249) as u8).collect()
+}
+
+fn drill_daemon_cfg(
+    i: usize,
+    all_peers: &[PeerSpec],
+    data_dir: Option<std::path::PathBuf>,
+) -> DaemonConfig {
+    DaemonConfig {
+        node_id: NodeId::from_index(i),
+        role: if i == 0 { Role::Namespace } else { Role::Provider },
+        listen: all_peers[i].addr.clone(),
+        data_dir,
+        seed: 300 + i as u64,
+        capacity: 1 << 30,
+        machine: i as u32,
+        rack: i as u32,
+        costs: drill_costs(),
+        chaos: Default::default(),
+        metrics_interval_ms: None,
+        peers: all_peers
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, p)| p.clone())
+            .collect(),
+    }
+}
+
+fn drill_bind_retry(addr: &str) -> TcpListener {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return l,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "cannot rebind {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Read until the bytes converge to `want`. Typed per-attempt errors
+/// are retried; a *hung* client (workload unfinished past its own
+/// deadline) fails the drill immediately.
+fn drill_read_until(cfg: &CtlConfig, path: &str, want: &[u8], min_providers: usize, what: &str) {
+    let deadline = Instant::now() + DRILL_DEADLINE;
+    loop {
+        let mut fs = FsScript::new();
+        let h = fs.open(path, false).unwrap();
+        fs.read(h, 0, want.len() as u64).unwrap();
+        fs.close(h).unwrap();
+        let err = match ctl::run_script(cfg, fs.into_ops(), min_providers, Duration::from_secs(25))
+        {
+            Ok(out) if out.stats.failed_ops == 0 => {
+                assert_eq!(out.stats.last_read.as_deref(), Some(want), "{what}: bytes differ");
+                return;
+            }
+            Ok(out) => format!("{:?}", out.stats.last_error),
+            Err(ctl::CtlError::Deadline(stats)) => {
+                panic!("{what}: client hung ({} ops done): {stats:?}", stats.completed_ops)
+            }
+            Err(e) => e.to_string(),
+        };
+        assert!(
+            Instant::now() < deadline,
+            "{what}: no convergence before the deadline (last error: {err})"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// Total segment-replica count across `providers`, from each daemon's
+/// `<node>.segments` gauge.
+fn drill_replicas_held(cfg: &CtlConfig, providers: &[usize]) -> f64 {
+    providers
+        .iter()
+        .map(|&i| {
+            let json = ctl::fetch_stats(cfg, NodeId::from_index(i), Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("stats from n{i}: {e}"));
+            sorrento_json::Json::parse(&json)
+                .ok()
+                .and_then(|j| j.get("gauges")?.get(&format!("n{i}.segments"))?.as_f64())
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// The set of `seg/…` keys persisted in one provider's data dir.
+fn drill_disk_segs(dir: &std::path::Path) -> BTreeSet<Vec<u8>> {
+    let db = Db::open(FileBackend::open(dir.to_path_buf()).unwrap(), DbConfig::default()).unwrap();
+    db.scan_prefix(b"seg/").map(|(k, _)| k.to_vec()).collect()
+}
+
+fn run_ec_drill(seed: u64) {
+    let base = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("ec-drill-{seed}"));
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs: Vec<std::path::PathBuf> =
+        (1..=PROVIDERS).map(|i| base.join(format!("p{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    // Bind everything first so every config carries real addresses.
+    let n = PROVIDERS + 1;
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback")).collect();
+    let all_peers: Vec<PeerSpec> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| PeerSpec {
+            id: NodeId::from_index(i),
+            addr: l.local_addr().unwrap().to_string(),
+            machine: i as u32,
+        })
+        .collect();
+    let mut handles: Vec<Option<DaemonHandle>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let dir = if i == 0 { None } else { Some(dirs[i - 1].clone()) };
+            Some(
+                daemon::spawn_with_listener(drill_daemon_cfg(i, &all_peers, dir), listener)
+                    .expect("spawn daemon"),
+            )
+        })
+        .collect();
+
+    let cfg = CtlConfig {
+        ctl_id: NodeId::from_index(1000),
+        namespace: NodeId::from_index(0),
+        seed: 9,
+        replication: 2,
+        costs: drill_costs(),
+        write_chunk: None,
+        write_window: 4,
+        rpc_resends: 2,
+        op_deadline_ms: Some(20_000),
+        peers: all_peers.clone(),
+    };
+
+    // Mild deterministic chaos on every daemon: the EC commit is a wide
+    // 2PC (k + m shards plus the index), so the drop rate is kept low
+    // enough that convergence loops, not luck, absorb the loss.
+    for i in 0..n {
+        let chaos = ChaosConfig {
+            seed: seed ^ i as u64,
+            drop_permille: 30,
+            dup_permille: 30,
+            delay_permille: 20,
+            delay: Duration::from_millis(2),
+            partition: Vec::new(),
+        };
+        ctl::set_chaos(&cfg, NodeId::from_index(i), &chaos, DRILL_DEADLINE)
+            .expect("install chaos rules");
+    }
+
+    // Create the EC(4,2) file (index replicated ×2), then write 256 KiB
+    // — 64 KiB per data shard once striped over k = 4.
+    let data = drill_payload(256 * 1024);
+    let deadline = Instant::now() + DRILL_DEADLINE;
+    loop {
+        let mut fs = FsScript::new();
+        let h = fs
+            .create_with(
+                "/ec-drill",
+                FileOptions { replication: 2, ..FileOptions::erasure_coded(4, 2, 64 << 20) },
+            )
+            .unwrap();
+        fs.close(h).unwrap();
+        let out = ctl::run_script(&cfg, fs.into_ops(), PROVIDERS, Duration::from_secs(25))
+            .expect("create under chaos: client did not finish");
+        let ok = out.stats.failed_ops == 0
+            || matches!(out.stats.last_error, Some(sorrento::types::Error::AlreadyExists));
+        if ok {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: EC create never converged: {:?}",
+            out.stats.last_error
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    loop {
+        let mut fs = FsScript::new();
+        let h = fs.open("/ec-drill", true).unwrap();
+        fs.write(h, 0, data.clone()).unwrap();
+        fs.close(h).unwrap();
+        let out = ctl::run_script(&cfg, fs.into_ops(), PROVIDERS, Duration::from_secs(25))
+            .expect("EC write under chaos: client did not finish");
+        if out.stats.failed_ops == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: EC write never converged: {:?}",
+            out.stats.last_error
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    drill_read_until(&cfg, "/ec-drill", &data, PROVIDERS, "EC read under chaos");
+
+    // Stop every provider cleanly (each stop persists its segments) and
+    // classify the disks: keys held by ≥ 2 dirs are the replicated index
+    // segment; single-copy keys are EC shards. A chaos-dropped index
+    // write is topped up asynchronously by the repair scan, so the
+    // settled layout — six single-copy shards plus one replicated index
+    // — may lag the successful read: cycle the fleet until the disks
+    // show it. Victims must hold a shard and no index replica — shard
+    // loss with the index intact is exactly the failure EC(4,2) is
+    // specified to survive.
+    let deadline = Instant::now() + DRILL_DEADLINE;
+    let (per_dir, copies) = loop {
+        for h in handles.iter_mut().take(n).skip(1) {
+            h.take().unwrap().stop().expect("clean stop");
+        }
+        let per_dir: Vec<BTreeSet<Vec<u8>>> =
+            dirs.iter().map(|d| drill_disk_segs(d)).collect();
+        let mut copies: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
+        for set in &per_dir {
+            for k in set {
+                *copies.entry(k.clone()).or_insert(0) += 1;
+            }
+        }
+        let shards = copies.values().filter(|&&c| c == 1).count();
+        let replicated = copies.values().filter(|&&c| c >= 2).count();
+        if shards == 6 && replicated == 1 {
+            break (per_dir, copies);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: EC layout never settled on disk: {copies:?}"
+        );
+        for i in 1..n {
+            let listener = drill_bind_retry(&all_peers[i].addr);
+            handles[i] = Some(
+                daemon::spawn_with_listener(
+                    drill_daemon_cfg(i, &all_peers, Some(dirs[i - 1].clone())),
+                    listener,
+                )
+                .expect("restart provider while layout settles"),
+            );
+        }
+        // Long enough for a staggered location refresh (≤ 1 s + 3 s)
+        // and a repair-scan round (1 s) to fire before the next audit.
+        std::thread::sleep(Duration::from_secs(6));
+    };
+    let shard_keys: BTreeSet<&Vec<u8>> =
+        copies.iter().filter(|&(_, &c)| c == 1).map(|(k, _)| k).collect();
+    let victims: Vec<usize> = (0..PROVIDERS)
+        .filter(|&p| {
+            per_dir[p].iter().any(|k| shard_keys.contains(k))
+                && per_dir[p].iter().all(|k| copies[k] == 1)
+        })
+        .map(|p| p + 1) // dir index → node index
+        .take(2)
+        .collect();
+    assert_eq!(victims.len(), 2, "seed {seed}: no shard-only victims: {copies:?}");
+
+    // Restart the full cluster on the same addresses, prove it serves,
+    // then abruptly kill the two victims mid-run — no final persistence
+    // sweep, no goodbye.
+    for i in 1..n {
+        let listener = drill_bind_retry(&all_peers[i].addr);
+        handles[i] = Some(
+            daemon::spawn_with_listener(
+                drill_daemon_cfg(i, &all_peers, Some(dirs[i - 1].clone())),
+                listener,
+            )
+            .expect("restart provider"),
+        );
+    }
+    drill_read_until(&cfg, "/ec-drill", &data, PROVIDERS, "EC read after restart");
+    // Let every provider's staggered location refresh fire once, so the
+    // repair scan later classifies loss against warm tables instead of
+    // mistaking a cold table for a dead shard.
+    std::thread::sleep(Duration::from_secs(7));
+    for &v in &victims {
+        handles[v].take().unwrap().kill().expect("abrupt kill");
+    }
+    let survivors: Vec<usize> = (1..n).filter(|i| !victims.contains(i)).collect();
+
+    // Degraded read: two shards are gone, so the bytes must come back
+    // through Reed-Solomon reconstruction from the four survivors.
+    drill_read_until(&cfg, "/ec-drill", &data, survivors.len(), "EC degraded read");
+
+    // Repair, first pass: the live fleet's replica count returns to at
+    // least 8 (6 shards + 2 index copies). The gauge can over-count — a
+    // scan racing cold location tables may install a harmless extra copy
+    // before the true losses are declared dead — so this is a cheap
+    // wait, not the verdict.
+    let deadline = Instant::now() + DRILL_DEADLINE;
+    loop {
+        let held = drill_replicas_held(&cfg, &survivors);
+        if held >= 8.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: EC repair never restored the shard count ({held} replicas held)"
+        );
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    drill_read_until(&cfg, "/ec-drill", &data, survivors.len(), "EC read after repair");
+
+    // Repair, ground truth: every segment of the file — all six shards
+    // and the index — must end up on a live (non-victim) provider's
+    // disk. Stop the survivors cleanly (persisting their stores), audit
+    // the disks, and cycle them back up until the audit passes: each
+    // cycle gives the repair scan a fresh round against a settled view.
+    let deadline = Instant::now() + DRILL_DEADLINE;
+    loop {
+        std::thread::sleep(Duration::from_secs(2));
+        for &i in &survivors {
+            handles[i].take().unwrap().stop().expect("clean shutdown");
+        }
+        let live: BTreeSet<Vec<u8>> =
+            survivors.iter().flat_map(|&i| drill_disk_segs(&dirs[i - 1])).collect();
+        let missing: Vec<String> = copies
+            .keys()
+            .filter(|k| !live.contains(*k))
+            .map(|k| String::from_utf8_lossy(k).into_owned())
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seed {seed}: EC repair never restored {missing:?} onto a live disk"
+        );
+        for &i in &survivors {
+            let listener = drill_bind_retry(&all_peers[i].addr);
+            handles[i] = Some(
+                daemon::spawn_with_listener(
+                    drill_daemon_cfg(i, &all_peers, Some(dirs[i - 1].clone())),
+                    listener,
+                )
+                .expect("restart survivor"),
+            );
+        }
+    }
+    if let Some(h) = handles[0].take() {
+        h.stop().expect("namespace shutdown");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn ec_loopback_drill_converges_for_fixed_seeds() {
+    for seed in DRILL_SEEDS {
+        run_ec_drill(seed);
+    }
+}

@@ -14,7 +14,7 @@ use sorrento::membership::Heartbeat;
 use sorrento::proto::{FileEntry, Msg, ReadReply, Tick};
 use sorrento::store::{ReplicaImage, SegMeta, WritePayload};
 use sorrento::types::{
-    Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version,
+    EcParams, Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version,
 };
 use sorrento_net::frame::{
     decode_frame, decode_image_bytes, encode_hello, encode_image_bytes, encode_msg,
@@ -24,7 +24,7 @@ use sorrento_net::pool::BufPool;
 use sorrento_sim::NodeId;
 
 /// Number of `Msg` variants; every tag below this is generated.
-const MSG_VARIANTS: u8 = 52;
+const MSG_VARIANTS: u8 = 54;
 
 fn arb_u128(rng: &mut TestRng) -> u128 {
     ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128
@@ -91,6 +91,14 @@ fn arb_placement(rng: &mut TestRng) -> PlacementPolicy {
     }
 }
 
+fn arb_ec(rng: &mut TestRng) -> Option<EcParams> {
+    if rng.gen() {
+        Some(EcParams { k: rng.gen(), m: rng.gen() })
+    } else {
+        None
+    }
+}
+
 fn arb_options(rng: &mut TestRng) -> FileOptions {
     FileOptions {
         replication: rng.gen(),
@@ -99,6 +107,7 @@ fn arb_options(rng: &mut TestRng) -> FileOptions {
         placement: arb_placement(rng),
         versioning_off: rng.gen(),
         eager_commit: rng.gen(),
+        ec: arb_ec(rng),
     }
 }
 
@@ -145,6 +154,7 @@ fn arb_meta(rng: &mut TestRng) -> SegMeta {
         alpha: arb_f64(rng),
         policy: arb_placement(rng),
         synthetic: rng.gen(),
+        ec: if rng.gen() { Some((rng.gen(), rng.gen())) } else { None },
     }
 }
 
@@ -355,6 +365,12 @@ fn arb_msg(tag: u8, rng: &mut TestRng) -> Msg {
         49 => Msg::ChaosCtlR { req: rng.gen() },
         50 => Msg::TraceQuery { req: rng.gen(), span: rng.gen() },
         51 => Msg::TraceR { req: rng.gen(), json: arb_string(rng) },
+        52 => Msg::EcInstall { req: rng.gen(), image: Box::new(arb_image(rng)) },
+        53 => Msg::EcInstallR {
+            req: rng.gen(),
+            seg: SegId(arb_u128(rng)),
+            result: arb_result(rng, |_| ()),
+        },
         _ => unreachable!("tag out of range"),
     }
 }
