@@ -10,6 +10,10 @@
 #                   results/BENCH_net.json is malformed or if the pooled
 #                   encode path allocates more than BENCH_ALLOC_BOUND
 #                   per frame at steady state
+#   make storm-smoke  C10K drill at CI scale: 256 concurrent raw-socket
+#                   sessions against one daemon through the event loop —
+#                   asserts zero hangs and zero dropped ops, and
+#                   schema-checks the committed results/BENCH_net.json
 #   make chaos-smoke  the chaos game-day drill: a real loopback cluster
 #                   under deterministic fault injection, with a provider
 #                   crash + restart, run for three fixed seeds
@@ -31,7 +35,7 @@ CARGO ?= cargo
 # (the Arc that shares the pooled buffer across peer queues).
 BENCH_ALLOC_BOUND ?= 1.0
 
-.PHONY: check build test clippy check-net bench bench-smoke chaos-smoke obs-smoke ec-smoke docs
+.PHONY: check build test clippy check-net bench bench-smoke storm-smoke chaos-smoke obs-smoke ec-smoke docs
 
 check: build test clippy docs
 
@@ -72,6 +76,17 @@ bench-smoke:
 	  --validate results/BENCH_net.json --check-allocs $(BENCH_ALLOC_BOUND)
 	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
 	  --smoke --out target/BENCH_net.smoke.json --check-allocs $(BENCH_ALLOC_BOUND)
+
+# Scaled-down C10K storm: the run itself asserts zero hung sessions and
+# zero dropped ops (the binary exits non-zero otherwise), and the
+# committed results file is schema-checked first. Storm-scale runs on a
+# real box may need `ulimit -n` raised; see RUNBOOK.md.
+storm-smoke:
+	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
+	  --validate results/BENCH_net.json
+	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
+	  --smoke --storm 256 --out target/BENCH_net.storm.json
+	$(CARGO) test -p sorrento-tests --test thread_census
 
 docs:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps

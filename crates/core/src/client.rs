@@ -1357,6 +1357,13 @@ impl SorrentoClient {
             return;
         };
         let req = self.fresh_req();
+        if std::env::var("SORRENTO_CLIENT_TRACE").is_ok() {
+            eprintln!(
+                "DTRACE {:?} t={:?} issue extent {i} to {owner:?} len={len}",
+                ctx.id(),
+                ctx.now()
+            );
+        }
         self.rpc(
             ctx,
             owner,

@@ -12,11 +12,18 @@
 //!    does not pollute the figure.
 //! 3. **Small files**: a create-write-close storm of tiny files;
 //!    files/s plus p50/p95/p99 per op kind.
+//! 4. **Storm**: C10K-style concurrency — thousands of raw-socket
+//!    client sessions (one epoll poller, zero threads) each hammering
+//!    one provider daemon with small `DirectWrite`/`ReadSeg` rounds.
+//!    Lost frames are re-sent with a per-op timeout (the provider's
+//!    reply cache makes resends idempotent), so the section can assert
+//!    *zero dropped ops and zero hung sessions* at the end.
 //!
-//! Usage: `bench-net [--smoke] [--out PATH] [--check-allocs BOUND]
-//! [--validate PATH]`
+//! Usage: `bench-net [--smoke] [--storm N] [--out PATH]
+//! [--check-allocs BOUND] [--validate PATH]`
 //!
-//! `--smoke` shrinks the workload to CI size. `--check-allocs` exits
+//! `--smoke` shrinks the workload to CI size. `--storm N` overrides the
+//! storm session count. `--check-allocs` exits
 //! non-zero if the pooled encode path's steady-state allocations per
 //! frame exceed the bound. `--validate` parses an existing results file
 //! and applies the same shape/bound checks without running anything.
@@ -30,12 +37,13 @@ use std::time::{Duration, Instant};
 use sorrento::api::FsScript;
 use sorrento::costs::CostModel;
 use sorrento::proto::Msg;
-use sorrento::store::WritePayload;
+use sorrento::store::{SegMeta, WritePayload};
+use sorrento::types::{PlacementPolicy, SegId};
 use sorrento_json::Json;
 use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
 use sorrento_net::ctl;
 use sorrento_net::daemon::{self, DaemonHandle};
-use sorrento_net::frame;
+use sorrento_net::frame::{self, Frame, StreamDecoder};
 use sorrento_sim::NodeId;
 
 /// Counts every heap allocation so the bench can report a per-frame
@@ -294,6 +302,311 @@ fn small_file_bench(cfg: &CtlConfig, files: u64) -> Json {
     j
 }
 
+// ------------------------------------------------------------- storm
+
+/// What one storm session writes per round (create-ish small op).
+const STORM_BODY: usize = 512;
+/// Re-send the current request if unanswered this long (the transport
+/// is lossy by design: a full daemon inbox silently drops frames).
+const STORM_RESEND: Duration = Duration::from_secs(1);
+
+/// Where a session is in its current round.
+enum StormPhase {
+    AwaitWriteR,
+    AwaitReadR,
+    Done,
+}
+
+struct StormSession {
+    stream: std::net::TcpStream,
+    dec: StreamDecoder,
+    /// Encoded bytes of the current in-flight request, kept for resend.
+    pending: Vec<u8>,
+    /// Unwritten output (requests whose socket write hit `WouldBlock`).
+    out: Vec<u8>,
+    out_off: usize,
+    id: NodeId,
+    req: u64,
+    round: u64,
+    phase: StormPhase,
+    last_send: Instant,
+    resends: u64,
+    want_write: bool,
+}
+
+fn storm_meta() -> SegMeta {
+    SegMeta {
+        replication: 1,
+        alpha: 1.0,
+        policy: PlacementPolicy::Random,
+        synthetic: false,
+        ec: None,
+    }
+}
+
+impl StormSession {
+    fn seg(&self, round: u64) -> SegId {
+        SegId(((self.id.index() as u128) << 64) | round as u128)
+    }
+
+    fn push_req(&mut self, msg: &Msg) {
+        self.pending = frame::encode_msg(self.id, msg);
+        self.out.extend_from_slice(&self.pending);
+        self.last_send = Instant::now();
+    }
+
+    fn start_round(&mut self, body: &[u8]) {
+        self.req += 1;
+        let msg = Msg::DirectWrite {
+            req: self.req,
+            seg: self.seg(self.round),
+            offset: 0,
+            payload: WritePayload::Real(body.to_vec().into()),
+            meta: storm_meta(),
+        };
+        self.push_req(&msg);
+        self.phase = StormPhase::AwaitWriteR;
+    }
+
+    fn start_read(&mut self) {
+        self.req += 1;
+        let msg = Msg::ReadSeg {
+            req: self.req,
+            seg: self.seg(self.round),
+            offset: 0,
+            len: STORM_BODY as u64,
+            min_version: None,
+            allow_redirect: false,
+        };
+        self.push_req(&msg);
+        self.phase = StormPhase::AwaitReadR;
+    }
+
+    /// Handle one decoded reply frame; returns ops newly completed.
+    fn on_msg(&mut self, msg: Msg, rounds: u64, body: &[u8]) -> u64 {
+        match (&self.phase, msg) {
+            (StormPhase::AwaitWriteR, Msg::DirectWriteR { req, result }) if req == self.req => {
+                result.unwrap_or_else(|e| panic!("session {}: write failed: {e:?}", self.id.index()));
+                self.start_read();
+                1
+            }
+            (StormPhase::AwaitReadR, Msg::ReadSegR { req, reply }) if req == self.req => {
+                match reply {
+                    sorrento::proto::ReadReply::Data { len, data, .. } => {
+                        assert_eq!(len, STORM_BODY as u64, "storm read came back short");
+                        if let Some(d) = data {
+                            assert_eq!(&d[..], body, "storm read corrupt");
+                        }
+                    }
+                    other => panic!("session {}: read failed: {other:?}", self.id.index()),
+                }
+                self.round += 1;
+                if self.round == rounds {
+                    self.phase = StormPhase::Done;
+                    self.pending.clear();
+                } else {
+                    self.start_round(body);
+                }
+                1
+            }
+            // Stale reply from a resent request: the op already moved on.
+            _ => 0,
+        }
+    }
+}
+
+/// Connect with bounded backoff: a daemon mid-boot (or a briefly full
+/// accept backlog at storm scale) refuses transiently.
+fn storm_connect(addr: std::net::SocketAddr) -> std::net::TcpStream {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut backoff = Duration::from_millis(5);
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "storm connect to {addr} failed: {e}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// The C10K storm: `sessions` concurrent raw-socket clients against one
+/// provider, every socket driven by a single epoll poller in this
+/// thread — no thread per session on either side of the wire.
+fn storm_bench(cfg: &CtlConfig, sessions: usize, rounds: u64) -> Json {
+    use std::io::{Read, Write};
+    let provider = NodeId::from_index(1);
+    let addr = cfg
+        .peers
+        .iter()
+        .find(|p| p.id == provider)
+        .and_then(|p| std::net::ToSocketAddrs::to_socket_addrs(&p.addr.as_str()).ok()?.next())
+        .expect("provider address");
+    let body: Vec<u8> = (0..STORM_BODY).map(|i| (i * 37 % 241) as u8).collect();
+
+    let mut poller = epoll::Poller::new().expect("storm poller");
+    let mut all: Vec<StormSession> = Vec::with_capacity(sessions);
+    let t0 = Instant::now();
+    for i in 0..sessions {
+        let mut stream = storm_connect(addr);
+        let id = NodeId::from_index(10_000 + i);
+        // No listen address: replies must come back over this socket.
+        stream.write_all(&frame::encode_hello(id, "")).expect("hello");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut s = StormSession {
+            stream,
+            dec: StreamDecoder::new(),
+            pending: Vec::new(),
+            out: Vec::new(),
+            out_off: 0,
+            id,
+            req: 0,
+            round: 0,
+            phase: StormPhase::AwaitWriteR,
+            last_send: Instant::now(),
+            resends: 0,
+            want_write: false,
+        };
+        s.start_round(&body);
+        use std::os::fd::AsRawFd;
+        poller
+            .add(s.stream.as_raw_fd(), i as epoll::Token, epoll::Interest::BOTH)
+            .expect("register session");
+        all.push(s);
+    }
+
+    let expected_ops = sessions as u64 * rounds * 2;
+    let mut completed = 0u64;
+    let mut done_sessions = 0usize;
+    let deadline = Instant::now() + DEADLINE;
+    let mut events: Vec<epoll::Event> = Vec::new();
+    while done_sessions < sessions {
+        assert!(
+            Instant::now() < deadline,
+            "storm hung: {}/{} sessions done, {}/{} ops",
+            done_sessions,
+            sessions,
+            completed,
+            expected_ops
+        );
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("storm wait");
+        for ev in &events {
+            let i = ev.token as usize;
+            let was_done = matches!(all[i].phase, StormPhase::Done);
+            if ev.writable || ev.error {
+                // Flush buffered requests.
+                let s = &mut all[i];
+                while s.out_off < s.out.len() {
+                    match s.stream.write(&s.out[s.out_off..]) {
+                        Ok(n) => s.out_off += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("session {i}: write error: {e}"),
+                    }
+                }
+                if s.out_off == s.out.len() {
+                    s.out.clear();
+                    s.out_off = 0;
+                }
+            }
+            if ev.readable || ev.error {
+                loop {
+                    let s = &mut all[i];
+                    let spare = s.dec.spare();
+                    assert!(!spare.is_empty(), "session {i}: decoder poisoned");
+                    match s.stream.read(spare) {
+                        Ok(0) => panic!("session {i}: daemon closed the connection"),
+                        Ok(n) => {
+                            if let Some((from, Frame::Msg(msg))) =
+                                s.dec.advance(n).expect("session decode")
+                            {
+                                assert_eq!(from, provider);
+                                completed += s.on_msg(msg, rounds, &body);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("session {i}: read error: {e}"),
+                    }
+                }
+            }
+            let s = &mut all[i];
+            if !was_done && matches!(s.phase, StormPhase::Done) {
+                done_sessions += 1;
+            }
+            // Keep EPOLLOUT only while there is buffered output.
+            let want = !s.out.is_empty();
+            if want != s.want_write {
+                s.want_write = want;
+                use std::os::fd::AsRawFd;
+                let interest = if want { epoll::Interest::BOTH } else { epoll::Interest::READABLE };
+                poller.modify(s.stream.as_raw_fd(), ev.token, interest).expect("rearm");
+            }
+        }
+        // Per-op resend sweep: anything unanswered past the timeout is
+        // re-sent (idempotent thanks to the provider's reply cache).
+        let now = Instant::now();
+        for (i, s) in all.iter_mut().enumerate() {
+            if matches!(s.phase, StormPhase::Done) || s.pending.is_empty() {
+                continue;
+            }
+            if now.duration_since(s.last_send) >= STORM_RESEND {
+                let retry = s.pending.clone();
+                s.out.extend_from_slice(&retry);
+                s.last_send = now;
+                s.resends += 1;
+                // Try to flush immediately; leftovers rearm EPOLLOUT.
+                while s.out_off < s.out.len() {
+                    match s.stream.write(&s.out[s.out_off..]) {
+                        Ok(n) => s.out_off += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("session {i}: resend write error: {e}"),
+                    }
+                }
+                if s.out_off == s.out.len() {
+                    s.out.clear();
+                    s.out_off = 0;
+                } else if !s.want_write {
+                    s.want_write = true;
+                    use std::os::fd::AsRawFd;
+                    poller
+                        .modify(s.stream.as_raw_fd(), i as epoll::Token, epoll::Interest::BOTH)
+                        .expect("rearm after resend");
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let resends: u64 = all.iter().map(|s| s.resends).sum();
+
+    // With every session still connected, ask the daemon how many live
+    // connections its event loop holds (the `net_conns` gauge).
+    let daemon_conns = ctl::fetch_stats(cfg, provider, Duration::from_secs(20))
+        .ok()
+        .and_then(|json| {
+            Json::parse(&json).ok()?.get("gauges")?.get("net_conns")?.as_f64()
+        })
+        .unwrap_or(-1.0);
+
+    assert_eq!(completed, expected_ops, "storm dropped ops");
+    Json::obj()
+        .with("sessions", sessions as u64)
+        .with("rounds_per_session", rounds)
+        .with("expected_ops", expected_ops)
+        .with("completed_ops", completed)
+        .with("hung_sessions", (sessions - done_sessions) as u64)
+        .with("resends", resends)
+        .with("elapsed_s", elapsed)
+        .with("ops_per_s", completed as f64 / elapsed)
+        .with("daemon_conns", daemon_conns)
+}
+
 /// Shape + bound checks shared by `--check-allocs` and `--validate`.
 fn validate(doc: &Json, bound: Option<f64>) -> Result<(), String> {
     let section = |name: &str| -> Result<&Json, String> {
@@ -321,6 +634,59 @@ fn validate(doc: &Json, bound: Option<f64>) -> Result<(), String> {
             match v {
                 Some(x) if x.is_finite() && x > 0.0 => {}
                 _ => return Err(format!("`{label}.large_file.{key}` is not a positive number")),
+            }
+        }
+    }
+    // The current generation must prove the event loop held its storm:
+    // the last (optimized) run carries a `storm` section with zero hung
+    // sessions and zero dropped ops.
+    {
+        let (label, run) = runs.last().expect("at least one run");
+        let storm = run.get("storm").ok_or_else(|| format!("`{label}` missing `storm` section"))?;
+        let num = |k: &str| {
+            storm
+                .get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`{label}.storm.{k}` missing"))
+        };
+        if num("sessions")? < 1.0 {
+            return Err(format!("`{label}.storm.sessions` is empty"));
+        }
+        if num("hung_sessions")? != 0.0 {
+            return Err(format!("`{label}.storm` reports hung sessions"));
+        }
+        if num("completed_ops")? != num("expected_ops")? {
+            return Err(format!("`{label}.storm` dropped ops"));
+        }
+        match num("ops_per_s")? {
+            x if x.is_finite() && x > 0.0 => {}
+            x => return Err(format!("`{label}.storm.ops_per_s` = {x} is not positive")),
+        }
+    }
+    // A before/after pair is a perf claim: small files must have won
+    // back parity and the large-transfer wins must have held (within
+    // 10%). Both runs in a committed pair come from the same machine,
+    // so these are stable, static checks.
+    if runs.len() == 2 {
+        let get = |run: &Json, sec: &str, key: &str| -> Result<f64, String> {
+            run.get(sec)
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing `{sec}.{key}` in before/after pair"))
+        };
+        let (before, after) = (runs[0].1, runs[1].1);
+        let ratio = get(after, "small_files", "files_per_s")?
+            / get(before, "small_files", "files_per_s")?;
+        if ratio < 1.0 {
+            return Err(format!("small_file_ratio {ratio:.3} < 1.0: small files regressed"));
+        }
+        for key in ["write_mb_per_s", "read_mb_per_s"] {
+            let b = get(before, "large_file", key)?;
+            let a = get(after, "large_file", key)?;
+            if a < 0.9 * b {
+                return Err(format!(
+                    "large_file.{key} regressed: {a:.1} vs {b:.1} (allowed within 10%)"
+                ));
             }
         }
     }
@@ -378,8 +744,12 @@ fn main() -> ExitCode {
     }
 
     let out_path = flag_value("--out").unwrap_or_else(|| "results/BENCH_net.json".into());
-    let (frame_iters, large_mb, small_files) =
-        if smoke { (2_000, 4, 20) } else { (20_000, 32, 200) };
+    let (frame_iters, large_mb, small_files, storm_default, storm_rounds) =
+        if smoke { (2_000, 4, 20, 256, 4) } else { (20_000, 32, 200, 2_000, 5) };
+    let storm_sessions: usize = flag_value("--storm")
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--storm takes a number, got {v}")))
+        .unwrap_or(storm_default)
+        .max(1);
 
     eprintln!("bench-net: frame codec ({frame_iters} iters)...");
     let frame = frame_bench(frame_iters);
@@ -392,6 +762,8 @@ fn main() -> ExitCode {
     cfg_small.seed = 22; // fresh client seed: avoid segment-id collisions
     eprintln!("bench-net: small files ({small_files})...");
     let small = small_file_bench(&cfg_small, small_files);
+    eprintln!("bench-net: storm ({storm_sessions} sessions x {storm_rounds} rounds)...");
+    let storm = storm_bench(&cfg, storm_sessions, storm_rounds);
     for h in handles {
         h.stop().expect("clean daemon shutdown");
     }
@@ -401,7 +773,8 @@ fn main() -> ExitCode {
         .with("mode", if smoke { "smoke" } else { "full" })
         .with("frame", frame)
         .with("large_file", large)
-        .with("small_files", small);
+        .with("small_files", small)
+        .with("storm", storm);
 
     if let Err(e) = validate(&doc, check_allocs) {
         eprintln!("bench-net: FAILED: {e}");

@@ -303,8 +303,8 @@ fn check_snapshot_version(json: &str, node: usize) {
 /// of `top` is seeing which nodes are sick.
 fn cmd_top(cfg: &CtlConfig) -> Result<ExitCode, String> {
     println!(
-        "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>16} SLOWEST",
-        "NODE", "ROLE", "UP(s)", "EVENTS", "DROPPED", "QMAX", "CHAOS(d/D/~)"
+        "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>6} {:>16} SLOWEST",
+        "NODE", "ROLE", "UP(s)", "EVENTS", "DROPPED", "CONNS", "QMAX", "CHAOS(d/D/~)"
     );
     let mut unhealthy = false;
     for peer in &cfg.peers {
@@ -364,12 +364,13 @@ fn cmd_top(cfg: &CtlConfig) -> Result<ExitCode, String> {
                 },
             );
         println!(
-            "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>16} {}",
+            "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>6} {:>16} {}",
             format!("n{idx}"),
             str_of("role"),
             snap.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0) / 1000,
             flight("len"),
             flight("dropped"),
+            gauge("net_conns"),
             gauge("net_queue_depth_max"),
             format!(
                 "{}/{}/{}",

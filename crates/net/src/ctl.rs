@@ -214,13 +214,28 @@ pub fn run_script(
     client.span_base(session_base >> 16);
 
     // Discovery warmup: absorb heartbeats before starting the workload.
+    // A daemon that is still binding its listener refuses the first
+    // Hello, and the lossy transport drops it after one redial — so
+    // instead of a fixed post-spawn sleep, re-introduce ourselves with
+    // bounded exponential backoff until enough providers appear
+    // (`hello_all` is idempotent: already-connected peers are skipped).
+    const HELLO_RETRY_MIN: Duration = Duration::from_millis(100);
+    const HELLO_RETRY_MAX: Duration = Duration::from_millis(800);
     let deadline_at = Instant::now() + deadline;
+    let mut hello_backoff = HELLO_RETRY_MIN;
+    let mut next_hello = Instant::now() + hello_backoff;
     while client.known_providers() < min_providers {
         if let Some((from, msg)) = mesh.recv_timeout(POLL) {
             client.handle_message(from, msg, &mut ctx);
             flush(&mut ctx, &mut mesh, &mut client);
         }
-        if Instant::now() > deadline_at {
+        let now = Instant::now();
+        if now >= next_hello {
+            mesh.hello_all();
+            hello_backoff = (hello_backoff * 2).min(HELLO_RETRY_MAX);
+            next_hello = now + hello_backoff;
+        }
+        if now > deadline_at {
             return Err(CtlError::Discovery {
                 seen: client.known_providers(),
                 needed: min_providers,
@@ -270,6 +285,7 @@ pub fn fetch_stats(cfg: &CtlConfig, target: NodeId, timeout: Duration) -> Result
     while Instant::now() <= deadline_at {
         if Instant::now() >= next_send {
             req += 1;
+            mesh.hello_all(); // no-op when connected; redials a daemon that refused at boot
             mesh.send(target, &Msg::StatsQuery { req });
             next_send = Instant::now() + RESEND_EVERY;
         }
@@ -301,6 +317,7 @@ pub fn fetch_trace(
     while Instant::now() <= deadline_at {
         if Instant::now() >= next_send {
             req += 1;
+            mesh.hello_all(); // no-op when connected; redials a daemon that refused at boot
             mesh.send(target, &Msg::TraceQuery { req, span });
             next_send = Instant::now() + RESEND_EVERY;
         }
@@ -334,6 +351,7 @@ pub fn set_chaos(
     while Instant::now() <= deadline_at {
         if Instant::now() >= next_send {
             req += 1;
+            mesh.hello_all(); // no-op when connected; redials a daemon that refused at boot
             mesh.send(
                 target,
                 &Msg::ChaosCtl {

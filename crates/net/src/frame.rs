@@ -187,6 +187,153 @@ pub fn decode_frame(buf: &[u8]) -> Result<(NodeId, Frame), FrameError> {
     Ok((h.sender, frame))
 }
 
+/// Incremental frame decoder for a byte stream delivered in arbitrary
+/// chunks (the readiness-driven mesh reads whatever the socket has).
+///
+/// One instance per connection. Bytes accumulate across calls until a
+/// complete CRC-checked frame is available; malformed input surfaces as
+/// the same typed [`FrameError`]s the one-shot decoder returns, never a
+/// panic. After an error the decoder is poisoned — a byte stream has no
+/// resync point, so the connection must be dropped.
+///
+/// Two feeding styles:
+///
+/// * **Zero-copy socket path**: read straight into [`StreamDecoder::spare`]
+///   and commit with [`StreamDecoder::advance`]. Payload bytes land in
+///   the allocation that becomes the frame's shared [`Bytes`] — no copy
+///   between the socket and the store, same as the one-shot path.
+/// * **Slice path**: [`StreamDecoder::feed`] an arbitrary chunk (tests,
+///   replay); internally it copies into the same state machine.
+pub struct StreamDecoder {
+    state: DecodeState,
+}
+
+enum DecodeState {
+    /// Accumulating the fixed-size header.
+    Header { buf: [u8; HEADER_LEN], filled: usize },
+    /// Header parsed; accumulating `payload_len` payload bytes.
+    Payload { header: Header, buf: Vec<u8>, filled: usize },
+    /// A decode error was returned; the stream is unusable.
+    Poisoned,
+}
+
+impl StreamDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder { state: DecodeState::Header { buf: [0; HEADER_LEN], filled: 0 } }
+    }
+
+    /// The buffer the next socket read should land in: the unfilled
+    /// remainder of the current header or payload. Never empty (a
+    /// zero-length payload completes inside [`StreamDecoder::advance`],
+    /// so the payload state always needs at least one byte). Empty only
+    /// after an error was returned.
+    pub fn spare(&mut self) -> &mut [u8] {
+        match &mut self.state {
+            DecodeState::Header { buf, filled } => &mut buf[*filled..],
+            DecodeState::Payload { buf, filled, .. } => &mut buf[*filled..],
+            DecodeState::Poisoned => &mut [],
+        }
+    }
+
+    /// Commit `n` bytes just read into [`StreamDecoder::spare`]. Returns
+    /// a complete frame when one closes, `None` when more bytes are
+    /// needed. `n` must not exceed `spare().len()`.
+    pub fn advance(&mut self, n: usize) -> Result<Option<(NodeId, Frame)>, FrameError> {
+        match &mut self.state {
+            DecodeState::Header { buf, filled } => {
+                *filled += n;
+                debug_assert!(*filled <= HEADER_LEN);
+                if *filled < HEADER_LEN {
+                    return Ok(None);
+                }
+                let header = match decode_header(buf) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        self.state = DecodeState::Poisoned;
+                        return Err(e);
+                    }
+                };
+                if header.payload_len == 0 {
+                    self.state = DecodeState::Header { buf: [0; HEADER_LEN], filled: 0 };
+                    return finish(&mut self.state, &header, Bytes::new());
+                }
+                self.state = DecodeState::Payload {
+                    header,
+                    buf: vec![0; header.payload_len as usize],
+                    filled: 0,
+                };
+                Ok(None)
+            }
+            DecodeState::Payload { header, buf, filled } => {
+                *filled += n;
+                debug_assert!(*filled <= buf.len());
+                if *filled < buf.len() {
+                    return Ok(None);
+                }
+                let header = *header;
+                // Moving the Vec into a shared Bytes is an allocation
+                // transfer, not a copy: blob fields decoded out of it
+                // are sub-views, so the bytes read off the socket are
+                // the ones the store lands.
+                let payload = Bytes::from(std::mem::take(buf));
+                self.state = DecodeState::Header { buf: [0; HEADER_LEN], filled: 0 };
+                finish(&mut self.state, &header, payload)
+            }
+            DecodeState::Poisoned => Err(FrameError::Truncated),
+        }
+    }
+
+    /// Feed a chunk cut at an arbitrary byte boundary, appending every
+    /// frame it completes to `out`. On a malformed stream the frames
+    /// decoded before the error are kept in `out` and the typed error is
+    /// returned; further feeding keeps failing.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        out: &mut Vec<(NodeId, Frame)>,
+    ) -> Result<(), FrameError> {
+        while !chunk.is_empty() {
+            let spare = self.spare();
+            if spare.is_empty() {
+                return Err(FrameError::Truncated); // poisoned
+            }
+            let n = spare.len().min(chunk.len());
+            spare[..n].copy_from_slice(&chunk[..n]);
+            chunk = &chunk[n..];
+            if let Some(frame) = self.advance(n)? {
+                out.push(frame);
+            }
+        }
+        Ok(())
+    }
+
+    /// True when no partial frame is buffered (a clean stream end).
+    pub fn is_at_boundary(&self) -> bool {
+        matches!(self.state, DecodeState::Header { filled: 0, .. })
+    }
+}
+
+impl Default for StreamDecoder {
+    fn default() -> StreamDecoder {
+        StreamDecoder::new()
+    }
+}
+
+fn finish(
+    state: &mut DecodeState,
+    header: &Header,
+    payload: Bytes,
+) -> Result<Option<(NodeId, Frame)>, FrameError> {
+    match decode_payload(header, &payload) {
+        Ok(frame) => Ok(Some((header.sender, frame))),
+        Err(e) => {
+            *state = DecodeState::Poisoned;
+            Err(e)
+        }
+    }
+}
+
 /// Encode a [`Msg`] frame into a fresh buffer.
 pub fn encode_msg(sender: NodeId, msg: &Msg) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + 64);
@@ -1480,5 +1627,61 @@ mod tests {
         let mut bad = bytes.clone();
         *bad.last_mut().unwrap() ^= 0xff;
         assert!(matches!(decode_frame(&bad), Err(FrameError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_split_frames() {
+        let a = encode_msg(NodeId::from_index(1), &Msg::StatsQuery { req: 7 });
+        let b = encode_hello(NodeId::from_index(2), "127.0.0.1:9000");
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+        // Byte-at-a-time is the worst possible fragmentation.
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for byte in &wire {
+            dec.feed(std::slice::from_ref(byte), &mut out).unwrap();
+        }
+        assert!(dec.is_at_boundary());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, NodeId::from_index(1));
+        assert!(matches!(out[0].1, Frame::Msg(Msg::StatsQuery { req: 7 })));
+        assert_eq!(out[1].0, NodeId::from_index(2));
+        match &out[1].1 {
+            Frame::Hello { listen_addr } => assert_eq!(listen_addr, "127.0.0.1:9000"),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_decoder_poisons_on_corruption() {
+        let mut wire = encode_msg(NodeId::from_index(0), &Msg::StatsQuery { req: 1 });
+        *wire.last_mut().unwrap() ^= 0xff;
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        assert_eq!(dec.feed(&wire, &mut out), Err(FrameError::ChecksumMismatch));
+        assert!(out.is_empty());
+        // Once poisoned, it stays poisoned (connection must be dropped).
+        assert!(dec.feed(&[0u8; 4], &mut out).is_err());
+    }
+
+    #[test]
+    fn stream_decoder_spare_advance_matches_feed() {
+        let wire = encode_msg(NodeId::from_index(5), &Msg::StatsR { req: 2, json: "x".repeat(300) });
+        let mut dec = StreamDecoder::new();
+        let mut fed = 0usize;
+        let mut got = None;
+        while fed < wire.len() {
+            let spare = dec.spare();
+            assert!(!spare.is_empty());
+            let n = spare.len().min(wire.len() - fed).min(7); // ragged reads
+            spare[..n].copy_from_slice(&wire[fed..fed + n]);
+            fed += n;
+            if let Some(frame) = dec.advance(n).unwrap() {
+                got = Some(frame);
+            }
+        }
+        let (sender, frame) = got.expect("frame completed");
+        assert_eq!(sender, NodeId::from_index(5));
+        assert!(matches!(frame, Frame::Msg(Msg::StatsR { req: 2, .. })));
     }
 }

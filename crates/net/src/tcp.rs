@@ -1,66 +1,97 @@
-//! A std-only TCP mesh for Sorrento daemons.
+//! A std-only, readiness-driven TCP mesh for Sorrento daemons.
 //!
-//! Each node owns one listening socket, a reader thread per inbound
-//! connection feeding a bounded inbox, and — on the outbound side — one
-//! sender thread per peer behind a bounded queue of encoded frames.
-//! `Hello` frames register the sender's listen address, so a node only
-//! needs a seed peer list — everyone it has ever heard from becomes
-//! routable, which is how the runtime replaces the simulator's Ethernet
-//! multicast with peer-list fan-out.
+//! One event-loop thread per node owns *every* connection — the
+//! listening socket, all inbound connections, and all outbound
+//! connections — multiplexed through the in-repo [`epoll`] shim
+//! (raw `epoll_create1`/`epoll_ctl`/`epoll_wait` on Linux). A second,
+//! fixed thread dials outbound connections (blocking
+//! `connect_timeout` must not stall the loop). That is the whole
+//! census: **O(1) threads regardless of peer or connection count**,
+//! which is what lets one node hold tens of thousands of client
+//! sessions where the previous thread-per-connection design ran
+//! 2+ threads per peer.
 //!
-//! Outbound data path: `send` encodes the frame once into a buffer
-//! checked out of a [`BufPool`] and hands an `Arc` of it to the peer's
-//! queue (a multicast shares the same encoded frame across every
-//! queue). The sender thread drains its queue in batches and pushes
-//! them to the socket with vectored writes, so a burst of pipelined
-//! chunks coalesces into few syscalls. Crucially, no lock is held
-//! while a socket write is in flight: a peer that stops reading stalls
-//! only its own queue — other peers, and the caller, never block on it.
-//! When a queue fills, further frames to that peer are dropped and
-//! counted, mirroring the lossy-network semantics below.
+//! Receive path: sockets are nonblocking; on `EPOLLIN` the loop reads
+//! whatever bytes the kernel has into a per-connection
+//! [`frame::StreamDecoder`], which reassembles frames across arbitrary
+//! read boundaries (zero-copy: payload bytes land in the allocation
+//! that becomes the frame's shared `Bytes`). Complete messages go to a
+//! bounded inbox; `Hello` frames register the sender's listen address,
+//! so a node only needs a seed peer list — everyone it has ever heard
+//! from becomes routable.
+//!
+//! Send path: `send` encodes the frame once into a buffer checked out
+//! of a [`BufPool`] and pushes an `Arc` of it onto the peer's bounded
+//! queue (a multicast shares one encoded frame across every queue),
+//! then kicks the loop through an eventfd waker. The loop drains each
+//! queue into ≤32-frame vectored writes; when the socket's buffer
+//! fills it subscribes `EPOLLOUT` (counted — the backpressure gauge)
+//! and resumes exactly where the partial write stopped. Replies
+//! prefer the live inbound connection a peer's frames arrived on, so
+//! a client does not need its own listener to be answered.
 //!
 //! Delivery semantics deliberately mirror the simulator's lossy
-//! network: a send to a dead or unreachable peer is retried once after
-//! a short backoff and then dropped silently. The protocol already
-//! treats message loss as normal (RPC timeouts, repair scans), so the
-//! transport never needs to surface per-message errors.
+//! network: a send to a dead or unreachable peer gets one redial after
+//! a short backoff and is then dropped silently; a full queue drops
+//! the frame. The protocol already treats message loss as normal (RPC
+//! timeouts, repair scans), so the transport never surfaces
+//! per-message errors.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use epoll::{Interest, Poller, Token, Waker};
 use sorrento::proto::Msg;
 use sorrento_sim::{NodeId, TelemetryEvent};
 
 use crate::chaos::{Chaos, ChaosConfig, Fault};
 use crate::flight::FlightRecorder;
-use crate::frame::{self, Frame, HEADER_LEN};
+use crate::frame::{self, Frame, StreamDecoder};
 use crate::pool::{BufPool, PooledBuf};
 
 /// Most frames folded into one vectored write.
 const COALESCE_MAX: usize = 32;
 
-/// Consecutive queue-full drops to one peer before its sender (and the
-/// stalled connection it owns) is evicted and joined. A healthy peer
-/// never gets close; a wedged one is torn down within one queue's worth
-/// of traffic so its socket and thread are reclaimed.
+/// Consecutive queue-full drops to one peer before its connection is
+/// evicted (closed and redialed on the next send). A healthy peer never
+/// gets close; a wedged one is torn down within one queue's worth of
+/// traffic so its socket is reclaimed.
 const EVICT_AFTER_FULL: u32 = 64;
+
+/// Reads drained from one connection per readiness event before the
+/// loop moves on — fairness under a firehose from one peer
+/// (level-triggered epoll re-arms anything left).
+const READS_PER_EVENT: usize = 256;
+
+/// Bound on the parting flush at shutdown: frames enqueued just before
+/// `shutdown()` (a daemon's final replies) get this long to reach the
+/// kernel; whatever a wedged peer still holds after it is dropped, so
+/// the thread join stays bounded.
+const FLUSH_ON_SHUTDOWN: Duration = Duration::from_millis(100);
+
+/// Waker token.
+const TOK_WAKER: Token = 0;
+/// Listener token.
+const TOK_LISTENER: Token = 1;
+/// First connection token (= slot index + TOK_CONN0).
+const TOK_CONN0: Token = 2;
 
 /// Transport tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct MeshConfig {
-    /// Outbound connection establishment budget.
+    /// Outbound connection establishment budget (dialer thread).
     pub connect_timeout: Duration,
-    /// Socket read timeout (also the shutdown poll period for reader
-    /// and sender threads).
+    /// Upper bound on one event-loop sleep (shutdown responsiveness
+    /// backstop; the waker normally interrupts sleeps immediately).
     pub read_timeout: Duration,
-    /// Wait before the single resend attempt after a send failure.
+    /// Wait before the single redial attempt after a connect failure.
     pub retry_backoff: Duration,
     /// Bounded inbox depth; senders beyond it are dropped, not blocked.
     pub inbox_capacity: usize,
@@ -83,8 +114,8 @@ impl Default for MeshConfig {
 }
 
 /// Counters the mesh keeps about itself (drained into the node's
-/// metrics registry by the daemon loop). Atomics, because sender
-/// threads bump them concurrently.
+/// metrics registry by the daemon loop). Atomics, because the event
+/// loop and the daemon thread bump them concurrently.
 #[derive(Debug, Default)]
 struct MeshCounters {
     sent: AtomicU64,
@@ -94,6 +125,8 @@ struct MeshCounters {
     chaos_dropped: AtomicU64,
     chaos_duplicated: AtomicU64,
     chaos_delayed: AtomicU64,
+    epollout_waits: AtomicU64,
+    conns: AtomicU64,
 }
 
 /// A point-in-time copy of the mesh counters.
@@ -101,7 +134,8 @@ struct MeshCounters {
 pub struct MeshStats {
     /// Frames written to a socket successfully.
     pub sent: u64,
-    /// Frames dropped: peer unreachable after retry, or queue full.
+    /// Frames dropped: peer unreachable after redial, queue full, or
+    /// connection lost mid-write.
     pub send_failures: u64,
     /// Inbound messages dropped because the inbox was full.
     pub dropped_inbox_full: u64,
@@ -113,53 +147,60 @@ pub struct MeshStats {
     pub chaos_duplicated: u64,
     /// Frames delayed by injected chaos.
     pub chaos_delayed: u64,
+    /// Times a socket write filled the kernel buffer and the loop had
+    /// to wait for `EPOLLOUT` — the write-backpressure gauge.
+    pub epollout_waits: u64,
+    /// Live connections (inbound + outbound) owned by the event loop.
+    pub conns: u64,
+}
+
+/// One queued outbound frame: the shared encoded bytes plus the
+/// earliest instant it may hit the wire (chaos delay; `None` = now).
+struct QItem {
+    buf: Arc<PooledBuf>,
+    deliver_at: Option<Instant>,
+}
+
+/// State the daemon thread and the event loop agree on for one peer's
+/// outbound traffic. `kicked` lives under the queue mutex so the
+/// "queue drained, allow a new kick" / "frame pushed, kick needed"
+/// handoff has no lost-wakeup window.
+struct QueueInner {
+    q: VecDeque<QItem>,
+    kicked: bool,
+}
+
+struct PeerQueue {
+    inner: Mutex<QueueInner>,
+    depth: AtomicU64,
+}
+
+impl PeerQueue {
+    fn new() -> PeerQueue {
+        PeerQueue {
+            inner: Mutex::new(QueueInner { q: VecDeque::new(), kicked: false }),
+            depth: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Shared {
     /// NodeId → listen address, learned from config and `Hello` frames.
     peers: Mutex<HashMap<NodeId, SocketAddr>>,
-    /// Nodes whose listen address changed since we last dialed them: the
-    /// cached outbound stream points at a dead incarnation and must be
-    /// evicted before reuse, or the first write after the change is
-    /// silently buffered into a socket nobody reads.
-    stale: Mutex<HashSet<NodeId>>,
+    /// Per-peer bounded outbound queues (created on first send).
+    queues: Mutex<HashMap<NodeId, Arc<PeerQueue>>>,
     counters: MeshCounters,
     shutdown: AtomicBool,
 }
 
-/// Work for a peer's sender thread.
-enum OutItem {
-    /// A fully encoded frame (header + payload), shared so a multicast
-    /// encodes once, plus chaos-injected latency (zero = none; the
-    /// sender thread sleeps it off before writing, so the added delay is
-    /// in link order, like queueing delay on a real NIC). The buffer
-    /// returns to the pool when the last queue drops it.
-    Frame(Arc<PooledBuf>, Duration),
+/// Daemon-thread → event-loop commands (paired with a waker kick).
+enum Cmd {
+    /// Peer has queued frames to drain.
+    Kick(NodeId),
     /// Connect (and send our `Hello`) if not already connected.
-    EnsureConn,
-}
-
-struct PeerSender {
-    tx: SyncSender<OutItem>,
-    /// Per-sender stop flag: lets eviction and shutdown join the thread
-    /// promptly even while it is mid-retry against a stalled peer.
-    quit: Arc<AtomicBool>,
-    /// Frames queued but not yet picked up by the sender thread
-    /// (incremented at enqueue, decremented at dequeue): the per-peer
-    /// backlog gauge. A persistently high value marks a slow or wedged
-    /// link before eviction kicks in.
-    depth: Arc<AtomicU64>,
-    thread: JoinHandle<()>,
-}
-
-impl PeerSender {
-    /// Stop the sender thread and wait for it. Socket operations are all
-    /// bounded (connect/read/write timeouts), so the join is too.
-    fn stop(self) {
-        self.quit.store(true, Ordering::SeqCst);
-        drop(self.tx); // disconnect the queue: recv returns immediately
-        let _ = self.thread.join();
-    }
+    Ensure(NodeId),
+    /// Tear down the peer's connection and queued frames (wedged link).
+    Evict(NodeId),
 }
 
 /// The node's connection fabric.
@@ -170,9 +211,8 @@ pub struct Mesh {
     shared: Arc<Shared>,
     inbox: Receiver<(NodeId, Msg)>,
     pool: BufPool,
-    /// One sender thread + bounded queue per peer (only the daemon
-    /// thread enqueues).
-    senders: HashMap<NodeId, PeerSender>,
+    cmd_tx: Sender<Cmd>,
+    waker: Arc<Waker>,
     /// Consecutive queue-full drops per peer (eviction trigger).
     full_strikes: HashMap<NodeId, u32>,
     /// Installed fault-injection rules, if any (see [`crate::chaos`]).
@@ -180,12 +220,13 @@ pub struct Mesh {
     /// Flight recorder for chaos-injection telemetry (chaos verdicts
     /// happen here at the enqueue boundary, on the daemon thread).
     flight: Option<FlightRecorder>,
-    accept_thread: Option<JoinHandle<()>>,
+    loop_thread: Option<JoinHandle<()>>,
+    dial_thread: Option<JoinHandle<()>>,
 }
 
 impl Mesh {
     /// Start the mesh on an already-bound listener with a seed peer
-    /// list. The listener is taken over by an accept thread.
+    /// list. The listener is taken over by the event-loop thread.
     pub fn start(
         me: NodeId,
         listener: TcpListener,
@@ -194,29 +235,63 @@ impl Mesh {
     ) -> std::io::Result<Mesh> {
         let listen_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (tx, rx) = mpsc::sync_channel(cfg.inbox_capacity);
+        let (inbox_tx, inbox_rx) = mpsc::sync_channel(cfg.inbox_capacity);
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let (dial_req_tx, dial_req_rx) = mpsc::channel::<DialReq>();
+        let (dial_res_tx, dial_res_rx) = mpsc::channel::<DialRes>();
+        let waker = Arc::new(Waker::new()?);
         let shared = Arc::new(Shared {
             peers: Mutex::new(seed_peers),
-            stale: Mutex::new(HashSet::new()),
+            queues: Mutex::new(HashMap::new()),
             counters: MeshCounters::default(),
             shutdown: AtomicBool::new(false),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("sorrento-accept-{}", me.index()))
-            .spawn(move || accept_loop(listener, accept_shared, tx, cfg))?;
+
+        let dial_shared = Arc::clone(&shared);
+        let dial_waker = Arc::clone(&waker);
+        let dial_thread = std::thread::Builder::new()
+            .name(format!("sorrento-dial-{}", me.index()))
+            .spawn(move || {
+                dial_loop(dial_req_rx, dial_res_tx, dial_waker, dial_shared, cfg, me, listen_addr)
+            })?;
+
+        let mut el = EventLoop {
+            poller: Poller::new()?,
+            waker: Arc::clone(&waker),
+            listener,
+            shared: Arc::clone(&shared),
+            cfg,
+            inbox: inbox_tx,
+            cmd_rx,
+            dial_req: dial_req_tx,
+            dial_res: dial_res_rx,
+            conns: Vec::new(),
+            free: Vec::new(),
+            free_pending: Vec::new(),
+            route: HashMap::new(),
+            dialing: HashMap::new(),
+            timers: Vec::new(),
+        };
+        el.poller.add(waker.fd(), TOK_WAKER, Interest::READABLE)?;
+        el.poller.add(el.listener.as_raw_fd(), TOK_LISTENER, Interest::READABLE)?;
+        let loop_thread = std::thread::Builder::new()
+            .name(format!("sorrento-net-{}", me.index()))
+            .spawn(move || el.run())?;
+
         Ok(Mesh {
             me,
             listen_addr,
             cfg,
             shared,
-            inbox: rx,
+            inbox: inbox_rx,
             pool: BufPool::new(),
-            senders: HashMap::new(),
+            cmd_tx,
+            waker,
             full_strikes: HashMap::new(),
             chaos: None,
             flight: None,
-            accept_thread: Some(accept_thread),
+            loop_thread: Some(loop_thread),
+            dial_thread: Some(dial_thread),
         })
     }
 
@@ -241,7 +316,7 @@ impl Mesh {
         self.inbox.recv_timeout(timeout).ok()
     }
 
-    /// Send to one peer: best-effort, one retry after backoff, then the
+    /// Send to one peer: best-effort, one redial after backoff, then the
     /// message is dropped (the peer's death shows up as RPC timeouts,
     /// exactly as in the simulator). Never blocks the caller: the frame
     /// is encoded into a pooled buffer and queued; a full queue drops
@@ -285,7 +360,7 @@ impl Mesh {
     fn enqueue(&mut self, to: NodeId, frame: Arc<PooledBuf>) {
         // Chaos verdict first (daemon thread, frame order: the decision
         // stream is deterministic for a given seed and link).
-        let mut delay = Duration::ZERO;
+        let mut delay = None;
         let mut copies = 1u32;
         if let Some(chaos) = &mut self.chaos {
             let fault = chaos.decide(to);
@@ -309,87 +384,68 @@ impl Mesh {
                     self.shared.counters.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
                 }
                 Fault::Delay(d) => {
-                    delay = d;
+                    delay = Some(Instant::now() + d);
                     self.shared.counters.chaos_delayed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        let pq = {
+            let mut queues = self.shared.queues.lock().unwrap();
+            Arc::clone(queues.entry(to).or_insert_with(|| Arc::new(PeerQueue::new())))
+        };
         for _ in 0..copies {
-            let sender = self.sender_for(to);
-            let depth = Arc::clone(&sender.depth);
-            match sender.tx.try_send(OutItem::Frame(Arc::clone(&frame), delay)) {
-                Ok(()) => {
-                    depth.fetch_add(1, Ordering::Relaxed);
-                    self.full_strikes.remove(&to);
-                }
-                Err(TrySendError::Full(_)) => {
+            let need_kick = {
+                let mut g = pq.inner.lock().unwrap();
+                if g.q.len() >= self.cfg.outbound_queue {
+                    drop(g);
                     self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
                     // A queue that stays full means the peer's connection
                     // is wedged (TCP window exhausted by a non-reader, or
                     // a blackholed route): after enough consecutive
-                    // strikes, evict — stop and *join* the sender thread,
-                    // releasing its socket — so a later send starts over
-                    // on a fresh connection instead of feeding a dead one.
+                    // strikes, evict — the loop closes the socket and
+                    // drops the backlog — so a later send starts over on
+                    // a fresh connection instead of feeding a dead one.
                     let strikes = self.full_strikes.entry(to).or_insert(0);
                     *strikes += 1;
                     if *strikes >= EVICT_AFTER_FULL {
                         self.full_strikes.remove(&to);
-                        if let Some(s) = self.senders.remove(&to) {
-                            s.stop();
-                        }
+                        let _ = self.cmd_tx.send(Cmd::Evict(to));
+                        self.waker.wake();
                     }
+                    continue;
                 }
-                Err(TrySendError::Disconnected(_)) => {
-                    // Sender thread died (shutdown or panic): reap it —
-                    // the join is immediate since the thread already
-                    // exited — and let a later send respawn it.
-                    if let Some(s) = self.senders.remove(&to) {
-                        s.stop();
-                    }
-                    self.shared.counters.send_failures.fetch_add(1, Ordering::Relaxed);
-                }
+                g.q.push_back(QItem { buf: Arc::clone(&frame), deliver_at: delay });
+                self.full_strikes.remove(&to);
+                let kick = !g.kicked;
+                g.kicked = true;
+                kick
+            };
+            pq.depth.fetch_add(1, Ordering::Relaxed);
+            if need_kick {
+                let _ = self.cmd_tx.send(Cmd::Kick(to));
+                self.waker.wake();
             }
         }
-    }
-
-    fn sender_for(&mut self, to: NodeId) -> &PeerSender {
-        self.senders.entry(to).or_insert_with(|| {
-            let (tx, rx) = mpsc::sync_channel(self.cfg.outbound_queue);
-            let shared = Arc::clone(&self.shared);
-            let cfg = self.cfg;
-            let me = self.me;
-            let listen = self.listen_addr;
-            let quit = Arc::new(AtomicBool::new(false));
-            let quit_flag = Arc::clone(&quit);
-            let depth = Arc::new(AtomicU64::new(0));
-            let depth_flag = Arc::clone(&depth);
-            let thread = std::thread::Builder::new()
-                .name(format!("sorrento-send-{}-{}", me.index(), to.index()))
-                .spawn(move || sender_loop(to, rx, shared, cfg, me, listen, quit_flag, depth_flag))
-                .expect("spawn sender thread");
-            PeerSender { tx, quit, depth, thread }
-        })
     }
 
     /// Open a connection (which carries our `Hello`) to every known
     /// peer. A joining node calls this so daemons learn its listen
     /// address — and start multicasting to it — before it sends any
-    /// protocol traffic.
+    /// protocol traffic. Safe to call repeatedly (a boot-retry loop):
+    /// peers that are already connected are left untouched.
     pub fn hello_all(&mut self) {
         for peer in self.known_peers() {
-            let sender = self.sender_for(peer);
-            let _ = sender.tx.try_send(OutItem::EnsureConn);
+            let _ = self.cmd_tx.send(Cmd::Ensure(peer));
         }
+        self.waker.wake();
     }
 
-    /// Per-peer sender-queue depth: frames enqueued but not yet picked
-    /// up by each peer's sender thread.
+    /// Per-peer sender-queue depth: frames enqueued but not yet written
+    /// to (or dropped from) the peer's connection.
     pub fn queue_depths(&self) -> Vec<(NodeId, u64)> {
-        let mut depths: Vec<(NodeId, u64)> = self
-            .senders
-            .iter()
-            .map(|(&peer, s)| (peer, s.depth.load(Ordering::Relaxed)))
-            .collect();
+        let queues = self.shared.queues.lock().unwrap();
+        let mut depths: Vec<(NodeId, u64)> =
+            queues.iter().map(|(&peer, q)| (peer, q.depth.load(Ordering::Relaxed))).collect();
         depths.sort_by_key(|&(peer, _)| peer.index());
         depths
     }
@@ -405,11 +461,15 @@ impl Mesh {
             chaos_dropped: c.chaos_dropped.load(Ordering::Relaxed),
             chaos_duplicated: c.chaos_duplicated.load(Ordering::Relaxed),
             chaos_delayed: c.chaos_delayed.load(Ordering::Relaxed),
+            epollout_waits: c.epollout_waits.load(Ordering::Relaxed),
+            conns: c.conns.load(Ordering::Relaxed),
         }
     }
 
     /// Flush mesh counters into labeled metrics, including one
-    /// `net_queue_depth_<peer>` gauge per live sender queue.
+    /// `net_queue_depth_<peer>` gauge per live peer queue, the
+    /// live-connection gauge (`net_conns` — "mesh.conns" in DESIGN
+    /// terms) and the `EPOLLOUT` backpressure counter.
     pub fn export_metrics(&self, metrics: &mut sorrento_sim::Metrics) {
         let s = self.stats();
         metrics.gauge_set("net_sent", s.sent as f64);
@@ -419,6 +479,8 @@ impl Mesh {
         metrics.gauge_set("net_chaos_dropped", s.chaos_dropped as f64);
         metrics.gauge_set("net_chaos_duplicated", s.chaos_duplicated as f64);
         metrics.gauge_set("net_chaos_delayed", s.chaos_delayed as f64);
+        metrics.gauge_set("net_epollout_waits", s.epollout_waits as f64);
+        metrics.gauge_set("net_conns", s.conns as f64);
         let mut max_depth = 0u64;
         for (peer, depth) in self.queue_depths() {
             max_depth = max_depth.max(depth);
@@ -427,18 +489,19 @@ impl Mesh {
         metrics.gauge_set("net_queue_depth_max", max_depth as f64);
     }
 
-    /// Stop the accept thread, reader threads, and sender threads.
-    ///
-    /// Sender threads are *joined*, not abandoned: every socket
-    /// operation they perform is bounded by a timeout and they check
-    /// their stop flag between operations, so even a sender mid-write to
-    /// a stalled peer exits within one timeout period.
+    /// Stop and *join* the event-loop and dialer threads. Frames
+    /// already queued to connected peers get one bounded parting
+    /// flush (100 ms) so a reply sent just before the
+    /// stop is not silently stranded; every socket the loop owns is
+    /// nonblocking and the dialer's connect is timeout-bounded, so
+    /// the join is bounded too.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        for (_, sender) in self.senders.drain() {
-            sender.stop();
+        self.waker.wake();
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
         }
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.dial_thread.take() {
             let _ = t.join();
         }
     }
@@ -450,304 +513,669 @@ impl Drop for Mesh {
     }
 }
 
-// ------------------------------------------------------------- send side
+// ------------------------------------------------------------ dial thread
 
-/// Per-peer sender: owns the peer's outbound `TcpStream` outright, so
-/// connecting, `Hello`, retries, and the blocking writes themselves all
-/// happen outside any shared lock.
-#[allow(clippy::too_many_arguments)]
-fn sender_loop(
+struct DialReq {
     peer: NodeId,
-    rx: Receiver<OutItem>,
+    addr: SocketAddr,
+}
+
+struct DialRes {
+    peer: NodeId,
+    stream: Option<TcpStream>,
+}
+
+/// The one fixed dialer thread: blocking (timeout-bounded) connects and
+/// the `Hello` handshake happen here so the event loop never stalls on
+/// a dead address. Established streams are handed to the loop already
+/// nonblocking.
+fn dial_loop(
+    req_rx: Receiver<DialReq>,
+    res_tx: Sender<DialRes>,
+    waker: Arc<Waker>,
     shared: Arc<Shared>,
     cfg: MeshConfig,
     me: NodeId,
     listen_addr: SocketAddr,
-    quit: Arc<AtomicBool>,
-    depth: Arc<AtomicU64>,
 ) {
-    let mut conn: Option<TcpStream> = None;
-    let mut batch: Vec<Arc<PooledBuf>> = Vec::with_capacity(COALESCE_MAX);
-    let stopping = |quit: &AtomicBool, shared: &Shared| {
-        quit.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst)
-    };
-    loop {
-        if stopping(&quit, &shared) {
+    // The loop exiting drops `req_rx`'s sender, ending this thread.
+    while let Ok(req) = req_rx.recv() {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let first = match rx.recv_timeout(cfg.read_timeout) {
-            Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        // A stale marker means the peer's listen address changed: the
-        // cached stream points at a dead incarnation.
-        if shared.stale.lock().unwrap().remove(&peer) {
-            conn = None;
-        }
-        batch.clear();
-        let mut delay = Duration::ZERO;
-        match first {
-            OutItem::EnsureConn => {
-                ensure_conn(&mut conn, peer, &shared, cfg, me, listen_addr);
-                continue;
-            }
-            OutItem::Frame(f, d) => {
-                depth.fetch_sub(1, Ordering::Relaxed);
-                delay = delay.max(d);
-                batch.push(f);
-            }
-        }
-        // Coalesce whatever else is already queued into one vectored
-        // write (EnsureConn is implied by having frames to send). A
-        // chaos delay on any coalesced frame delays the whole batch —
-        // frames on one link stay in order, as on a real FIFO path.
-        while batch.len() < COALESCE_MAX {
-            match rx.try_recv() {
-                Ok(OutItem::Frame(f, d)) => {
-                    depth.fetch_sub(1, Ordering::Relaxed);
-                    delay = delay.max(d);
-                    batch.push(f);
-                }
-                Ok(OutItem::EnsureConn) => {}
-                Err(_) => break,
-            }
-        }
-        if !delay.is_zero() {
-            std::thread::sleep(delay);
-        }
-        let ok = write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr, &quit)
-            || {
-                // One retry on a fresh connection after a short backoff,
-                // then the batch is dropped (lossy-network semantics).
-                conn = None;
-                if stopping(&quit, &shared) {
-                    return;
-                }
-                std::thread::sleep(cfg.retry_backoff);
-                write_batch(&mut conn, &batch, peer, &shared, cfg, me, listen_addr, &quit)
-            };
-        if ok {
-            shared.counters.sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
-        } else {
-            conn = None;
-            shared.counters.send_failures.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let stream = connect_hello(req.addr, cfg, me, listen_addr);
+        let lost = res_tx.send(DialRes { peer: req.peer, stream }).is_err();
+        waker.wake();
+        if lost {
+            return;
         }
     }
 }
 
-fn ensure_conn(
-    conn: &mut Option<TcpStream>,
-    peer: NodeId,
-    shared: &Shared,
+/// Connect, introduce ourselves, and switch to nonblocking. Any failure
+/// yields `None` — the loop decides whether to retry.
+fn connect_hello(
+    addr: SocketAddr,
     cfg: MeshConfig,
     me: NodeId,
     listen_addr: SocketAddr,
-) -> bool {
-    if conn.is_some() {
-        return true;
-    }
-    let addr = match shared.peers.lock().unwrap().get(&peer).copied() {
-        Some(a) => a,
-        None => return false,
-    };
-    let mut stream = match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
-        Ok(s) => s,
-        Err(_) => return false,
-    };
+) -> Option<TcpStream> {
+    let mut stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout).ok()?;
     let _ = stream.set_nodelay(true);
-    // Bounded writes: a peer that stops draining its receive window must
-    // not pin this thread in `write` forever — the timeout lets the loop
-    // notice its stop flag, which is what makes eviction and shutdown
-    // able to *join* sender threads instead of leaking them.
-    let _ = stream.set_write_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.connect_timeout));
     // Introduce ourselves so the peer can route replies and multicasts
     // back without prior configuration.
     let hello = frame::encode_hello(me, &listen_addr.to_string());
-    if stream.write_all(&hello).is_err() {
-        return false;
-    }
-    *conn = Some(stream);
-    true
+    stream.write_all(&hello).ok()?;
+    stream.set_nonblocking(true).ok()?;
+    Some(stream)
 }
 
-/// Write a batch of frames with as few syscalls as possible. Any write
-/// error invalidates the connection (a partial frame cannot be resumed
-/// on a byte stream — the receiver resyncs by dropping the connection).
-#[allow(clippy::too_many_arguments)]
-fn write_batch(
-    conn: &mut Option<TcpStream>,
-    batch: &[Arc<PooledBuf>],
-    peer: NodeId,
-    shared: &Shared,
-    cfg: MeshConfig,
-    me: NodeId,
-    listen_addr: SocketAddr,
-    quit: &AtomicBool,
-) -> bool {
-    if !ensure_conn(conn, peer, shared, cfg, me, listen_addr) {
-        return false;
-    }
-    let stream = conn.as_mut().expect("conn just ensured");
-    let mut idx = 0;
-    let mut off = 0;
-    while idx < batch.len() {
-        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(batch.len() - idx);
-        slices.push(IoSlice::new(&batch[idx][off..]));
-        for b in &batch[idx + 1..] {
-            slices.push(IoSlice::new(b));
-        }
-        match stream.write_vectored(&slices) {
-            Ok(0) => {
-                *conn = None;
-                return false;
-            }
-            Ok(mut n) => {
-                while n > 0 {
-                    let rem = batch[idx].len() - off;
-                    if n >= rem {
-                        n -= rem;
-                        idx += 1;
-                        off = 0;
-                    } else {
-                        off += n;
-                        n = 0;
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // The peer's receive window is full. Keep trying — the
-                // window may drain — but stay joinable: on eviction or
-                // shutdown the partial frame is abandoned with the
-                // connection (a half-written frame cannot be resumed).
-                if quit.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
-                    *conn = None;
-                    return false;
-                }
-                continue;
-            }
-            Err(_) => {
-                *conn = None;
-                return false;
-            }
-        }
-    }
-    true
+// ------------------------------------------------------------ event loop
+
+/// One live connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+    /// The node on the other end: the dial target, or the sender of the
+    /// first frame received (inbound connections are anonymous until
+    /// their `Hello` arrives).
+    peer: Option<NodeId>,
+    /// Frames mid-write: front may be partially written (`front_off`).
+    batch: VecDeque<Arc<PooledBuf>>,
+    front_off: usize,
+    /// `EPOLLOUT` currently subscribed.
+    want_write: bool,
 }
 
-// ---------------------------------------------------------- receive side
+/// Loop-local timers (chaos-delayed frames, redial backoff).
+enum Timer {
+    Kick(NodeId),
+    Redial(NodeId),
+}
 
-fn accept_loop(
+struct EventLoop {
+    poller: Poller,
+    waker: Arc<Waker>,
     listener: TcpListener,
     shared: Arc<Shared>,
-    tx: SyncSender<(NodeId, Msg)>,
     cfg: MeshConfig,
-) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shared = Arc::clone(&shared);
-                let tx = tx.clone();
-                let _ = std::thread::Builder::new()
-                    .name("sorrento-reader".to_string())
-                    .spawn(move || reader_loop(stream, shared, tx, cfg));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
-        }
-    }
+    inbox: SyncSender<(NodeId, Msg)>,
+    cmd_rx: Receiver<Cmd>,
+    dial_req: Sender<DialReq>,
+    dial_res: Receiver<DialRes>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Slots freed during the current event batch; recycled only after
+    /// the batch so a stale event cannot hit a fresh connection.
+    free_pending: Vec<usize>,
+    /// Preferred connection for sending to a peer. Inbound connections
+    /// registered here on their `Hello` let replies flow back without a
+    /// reverse dial — a client does not need a listener of its own.
+    route: HashMap<NodeId, usize>,
+    /// Outstanding dial attempt count per peer (1 = first, 2 = redial).
+    dialing: HashMap<NodeId, u32>,
+    timers: Vec<(Instant, Timer)>,
 }
 
-fn reader_loop(
-    mut stream: TcpStream,
-    shared: Arc<Shared>,
-    tx: SyncSender<(NodeId, Msg)>,
-    cfg: MeshConfig,
-) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let mut header = [0u8; HEADER_LEN];
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match read_exact_polled(&mut stream, &mut header, &shared) {
-            ReadOutcome::Ok => {}
-            ReadOutcome::Closed => return,
-        }
-        let h = match frame::decode_header(&header) {
-            Ok(h) => h,
-            Err(_) => {
-                // The stream is out of sync; there is no resync point in
-                // a byte stream, so drop the connection.
-                shared.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return;
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<epoll::Event> = Vec::new();
+        let mut iter: u32 = 0;
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.drain_channels();
+            self.fire_timers();
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
             }
-        };
-        let mut payload = vec![0u8; h.payload_len as usize];
-        match read_exact_polled(&mut stream, &mut payload, &shared) {
-            ReadOutcome::Ok => {}
-            ReadOutcome::Closed => return,
-        }
-        // Moving the Vec into a shared Bytes is allocation-transfer,
-        // not a copy: blob fields decoded out of it are sub-views, so
-        // the buffer read off the socket is the one the store lands.
-        let payload = Bytes::from(payload);
-        match frame::decode_payload(&h, &payload) {
-            Ok(Frame::Hello { listen_addr }) => {
-                if let Ok(addr) = listen_addr.parse() {
-                    let prev = shared.peers.lock().unwrap().insert(h.sender, addr);
-                    if prev.is_some_and(|p| p != addr) {
-                        shared.stale.lock().unwrap().insert(h.sender);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    TOK_WAKER => self.waker.drain(),
+                    TOK_LISTENER => self.accept_ready(),
+                    tok => {
+                        let idx = (tok - TOK_CONN0) as usize;
+                        if ev.readable || ev.error {
+                            self.conn_readable(idx);
+                        }
+                        if ev.writable {
+                            self.conn_writable(idx);
+                        }
                     }
                 }
             }
-            Ok(Frame::Msg(msg)) => match tx.try_send((h.sender, msg)) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    shared.counters.dropped_inbox_full.fetch_add(1, Ordering::Relaxed);
+            self.free.append(&mut self.free_pending);
+            // Backstop sweep: any queue left non-empty with no kick in
+            // flight (a race lost at a quiescence edge, a registration
+            // failure) would otherwise wedge forever — its owner skips
+            // further kicks while `kicked` is set. Sweeping on idle
+            // ticks (and periodically under sustained load) bounds any
+            // such stall at roughly one `read_timeout`.
+            iter = iter.wrapping_add(1);
+            if events.is_empty() || iter.is_multiple_of(64) {
+                self.sweep_queues();
+            }
+        }
+        // Unregister before dropping so the poll(2) fallback stays tidy.
+        // The listener and waker go first so the parting flush only
+        // sees connection events (no new accepts on the way out).
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        let _ = self.poller.remove(self.waker.fd());
+        self.flush_before_close(&mut events);
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// Best-effort parting flush: a frame enqueued just before
+    /// `shutdown()` — a daemon's final reply — gets one bounded window
+    /// to reach the kernel instead of being silently stranded by
+    /// teardown. Only peers with a live connection are pumped (no
+    /// fresh dials on the way out), and a blocked socket is waited on
+    /// only until the deadline, so a wedged peer cannot hold the
+    /// thread join hostage. Whatever is still queued afterwards is
+    /// dropped exactly as before — lossy semantics unchanged.
+    fn flush_before_close(&mut self, events: &mut Vec<epoll::Event>) {
+        let deadline = Instant::now() + FLUSH_ON_SHUTDOWN;
+        loop {
+            let routed: Vec<NodeId> = {
+                let queues = self.shared.queues.lock().unwrap();
+                queues
+                    .iter()
+                    .filter(|(p, q)| {
+                        q.depth.load(Ordering::Relaxed) > 0 && self.route.contains_key(p)
+                    })
+                    .map(|(p, _)| *p)
+                    .collect()
+            };
+            for peer in &routed {
+                self.pump_peer(*peer);
+            }
+            let unflushed = self.conns.iter().flatten().any(|c| !c.batch.is_empty());
+            if !unflushed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline || self.poller.wait(events, Some(deadline - now)).is_err() {
+                break;
+            }
+            for ev in events.iter() {
+                if ev.token >= TOK_CONN0 && ev.writable {
+                    self.conn_writable((ev.token - TOK_CONN0) as usize);
                 }
-                Err(TrySendError::Disconnected(_)) => return,
-            },
-            Err(_) => {
-                shared.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            self.free.append(&mut self.free_pending);
+        }
+    }
+
+    /// Pump every peer whose queue has frames waiting (see `run`).
+    fn sweep_queues(&mut self) {
+        let pending: Vec<NodeId> = {
+            let queues = self.shared.queues.lock().unwrap();
+            queues
+                .iter()
+                .filter(|(_, q)| q.depth.load(Ordering::Relaxed) > 0)
+                .map(|(p, _)| *p)
+                .collect()
+        };
+        for peer in pending {
+            self.pump_peer(peer);
+        }
+    }
+
+    /// Commands from the daemon thread and results from the dialer.
+    fn drain_channels(&mut self) {
+        while let Ok(cmd) = self.cmd_rx.try_recv() {
+            match cmd {
+                Cmd::Kick(peer) => self.pump_peer(peer),
+                Cmd::Ensure(peer) => {
+                    if !self.connected(peer) && !self.dialing.contains_key(&peer) {
+                        self.start_dial(peer, 1);
+                    }
+                }
+                Cmd::Evict(peer) => self.evict(peer),
+            }
+        }
+        while let Ok(res) = self.dial_res.try_recv() {
+            self.dial_finished(res);
+        }
+    }
+
+    fn connected(&self, peer: NodeId) -> bool {
+        self.route.get(&peer).is_some_and(|&i| {
+            self.conns.get(i).is_some_and(|c| {
+                c.as_ref().is_some_and(|c| c.peer == Some(peer))
+            })
+        })
+    }
+
+    fn fire_timers(&mut self) {
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.timers.retain(|(at, t)| {
+            if *at <= now {
+                due.push(match t {
+                    Timer::Kick(p) => Timer::Kick(*p),
+                    Timer::Redial(p) => Timer::Redial(*p),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        for t in due {
+            match t {
+                Timer::Kick(peer) => self.pump_peer(peer),
+                Timer::Redial(peer) => {
+                    if let Some(addr) = self.addr_of(peer) {
+                        let _ = self.dial_req.send(DialReq { peer, addr });
+                    } else {
+                        self.dialing.remove(&peer);
+                        self.drop_backlog(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_timeout(&self) -> Duration {
+        let mut t = self.cfg.read_timeout;
+        let now = Instant::now();
+        for (at, _) in &self.timers {
+            t = t.min(at.saturating_duration_since(now).max(Duration::from_millis(1)));
+        }
+        t
+    }
+
+    fn addr_of(&self, peer: NodeId) -> Option<SocketAddr> {
+        self.shared.peers.lock().unwrap().get(&peer).copied()
+    }
+
+    // ---------------------------------------------------------- accept
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.register_conn(stream, None).is_err() {
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient (ECONNABORTED etc.): the next readiness
+                // event retries.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream, peer: Option<NodeId>) -> std::io::Result<usize> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let tok = TOK_CONN0 + idx as Token;
+        if let Err(e) = self.poller.add(stream.as_raw_fd(), tok, Interest::READABLE) {
+            self.free.push(idx);
+            return Err(e);
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            decoder: StreamDecoder::new(),
+            peer,
+            batch: VecDeque::new(),
+            front_off: 0,
+            want_write: false,
+        });
+        if let Some(p) = peer {
+            self.route.insert(p, idx);
+        }
+        self.shared.counters.conns.fetch_add(1, Ordering::Relaxed);
+        Ok(idx)
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else { return };
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        if !conn.batch.is_empty() {
+            self.shared
+                .counters
+                .send_failures
+                .fetch_add(conn.batch.len() as u64, Ordering::Relaxed);
+        }
+        if let Some(p) = conn.peer {
+            if self.route.get(&p) == Some(&idx) {
+                self.route.remove(&p);
+            }
+        }
+        self.free_pending.push(idx);
+        self.shared.counters.conns.fetch_sub(1, Ordering::Relaxed);
+        // Frames may still be queued for this peer: redial so they are
+        // either delivered on a fresh connection or dropped by the
+        // dial-failure path (lossy semantics, bounded retry).
+        if let Some(p) = conn.peer {
+            if self.backlog_pending(p) && !self.dialing.contains_key(&p) {
+                self.start_dial(p, 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ read
+
+    fn conn_readable(&mut self, idx: usize) {
+        for _ in 0..READS_PER_EVENT {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+            let spare = conn.decoder.spare();
+            if spare.is_empty() {
+                self.close_conn(idx);
                 return;
             }
-        }
-    }
-}
-
-enum ReadOutcome {
-    Ok,
-    Closed,
-}
-
-/// `read_exact` that keeps polling through read timeouts so the thread
-/// can notice shutdown, but treats EOF and hard errors as closed.
-fn read_exact_polled(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return ReadOutcome::Closed;
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // Mid-frame stalls are fine; keep waiting unless shutting
-                // down.
-                continue;
+            match conn.stream.read(spare) {
+                Ok(0) => {
+                    self.close_conn(idx);
+                    return;
+                }
+                Ok(n) => match conn.decoder.advance(n) {
+                    Ok(Some((sender, frame))) => self.on_frame(idx, sender, frame),
+                    Ok(None) => {}
+                    Err(_) => {
+                        // The stream is out of sync; there is no resync
+                        // point in a byte stream, so drop the connection.
+                        self.shared.counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        self.close_conn(idx);
+                        return;
+                    }
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => return ReadOutcome::Closed,
         }
     }
-    ReadOutcome::Ok
+
+    fn on_frame(&mut self, idx: usize, sender: NodeId, frame: Frame) {
+        // First frame pins the connection's peer identity; the
+        // connection becomes the preferred reply route if none exists
+        // (so listener-less clients can be answered over their own
+        // connection).
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        if conn.peer.is_none() {
+            conn.peer = Some(sender);
+        }
+        match frame {
+            Frame::Hello { listen_addr } => {
+                if let Ok(addr) = listen_addr.parse() {
+                    let prev = self.shared.peers.lock().unwrap().insert(sender, addr);
+                    if prev.is_some_and(|p| p != addr) {
+                        // The peer's listen address changed: a cached
+                        // outbound connection points at a dead
+                        // incarnation and must not swallow more frames.
+                        if let Some(&old) = self.route.get(&sender) {
+                            if old != idx {
+                                self.close_conn(old);
+                            }
+                        }
+                    }
+                }
+                // A Hello is a deliberate introduction: prefer this
+                // connection for replies from now on.
+                self.route.insert(sender, idx);
+                self.pump_peer(sender);
+            }
+            Frame::Msg(msg) => {
+                self.route.entry(sender).or_insert(idx);
+                match self.inbox.try_send((sender, msg)) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        self.shared.counters.dropped_inbox_full.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- write
+
+    fn queue_of(&self, peer: NodeId) -> Option<Arc<PeerQueue>> {
+        self.shared.queues.lock().unwrap().get(&peer).cloned()
+    }
+
+    fn backlog_pending(&self, peer: NodeId) -> bool {
+        self.queue_of(peer)
+            .is_some_and(|q| !q.inner.lock().unwrap().q.is_empty())
+    }
+
+    /// Drop every queued frame for `peer` (unreachable after redial, or
+    /// evicted), counting them as send failures, and re-arm kicks.
+    fn drop_backlog(&mut self, peer: NodeId) {
+        let Some(pq) = self.queue_of(peer) else { return };
+        let mut g = pq.inner.lock().unwrap();
+        let n = g.q.len() as u64;
+        g.q.clear();
+        g.kicked = false;
+        drop(g);
+        if n > 0 {
+            pq.depth.fetch_sub(n, Ordering::Relaxed);
+            self.shared.counters.send_failures.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Move queued frames for `peer` toward the wire: ensure a
+    /// connection (dialing if needed), refill the write batch, write
+    /// until done or the socket blocks.
+    fn pump_peer(&mut self, peer: NodeId) {
+        let Some(&idx) = self.route.get(&peer) else {
+            // No live connection: dial unless one is in progress.
+            if self.backlog_pending(peer) && !self.dialing.contains_key(&peer) {
+                self.start_dial(peer, 1);
+            }
+            return;
+        };
+        self.pump_conn(idx, peer);
+    }
+
+    fn pump_conn(&mut self, idx: usize, peer: NodeId) {
+        let Some(pq) = self.queue_of(peer) else { return };
+        loop {
+            // Refill the batch from the queue (chaos-delayed frames hold
+            // the link — FIFO order is preserved, like queueing delay on
+            // a real NIC).
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+            {
+                let now = Instant::now();
+                let mut g = pq.inner.lock().unwrap();
+                let mut took = 0u64;
+                while conn.batch.len() < COALESCE_MAX {
+                    match g.q.front() {
+                        Some(item) => {
+                            if let Some(at) = item.deliver_at {
+                                if at > now {
+                                    self.timers.push((at, Timer::Kick(peer)));
+                                    break;
+                                }
+                            }
+                        }
+                        None => break,
+                    }
+                    let item = g.q.pop_front().expect("front just checked");
+                    conn.batch.push_back(item.buf);
+                    took += 1;
+                }
+                if g.q.is_empty() && conn.batch.is_empty() {
+                    // Fully drained: the next enqueue must kick again.
+                    g.kicked = false;
+                }
+                drop(g);
+                if took > 0 {
+                    pq.depth.fetch_sub(took, Ordering::Relaxed);
+                }
+            }
+            if conn.batch.is_empty() {
+                self.set_want_write(idx, false);
+                return;
+            }
+            match self.write_batch(idx) {
+                WriteOutcome::Drained => continue,
+                WriteOutcome::Blocked => {
+                    self.set_want_write(idx, true);
+                    return;
+                }
+                WriteOutcome::Closed => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn conn_writable(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        let Some(peer) = conn.peer else { return };
+        self.pump_conn(idx, peer);
+    }
+
+    /// Write the connection's batch with as few syscalls as possible,
+    /// resuming mid-frame. Any hard write error invalidates the
+    /// connection (a partial frame cannot be resumed on a byte stream —
+    /// the receiver resyncs by dropping the connection).
+    fn write_batch(&mut self, idx: usize) -> WriteOutcome {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return WriteOutcome::Closed;
+        };
+        while !conn.batch.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(conn.batch.len());
+            for (i, b) in conn.batch.iter().enumerate() {
+                let bytes: &[u8] = b;
+                slices.push(IoSlice::new(if i == 0 { &bytes[conn.front_off..] } else { bytes }));
+            }
+            match conn.stream.write_vectored(&slices) {
+                Ok(0) => return WriteOutcome::Closed,
+                Ok(mut n) => {
+                    while n > 0 {
+                        let front_len = conn.batch.front().expect("batch nonempty").len();
+                        let rem = front_len - conn.front_off;
+                        if n >= rem {
+                            n -= rem;
+                            conn.batch.pop_front();
+                            conn.front_off = 0;
+                            self.shared.counters.sent.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            conn.front_off += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    return WriteOutcome::Blocked;
+                }
+                Err(_) => return WriteOutcome::Closed,
+            }
+        }
+        WriteOutcome::Drained
+    }
+
+    fn set_want_write(&mut self, idx: usize, want: bool) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else { return };
+        if conn.want_write == want {
+            return;
+        }
+        conn.want_write = want;
+        let interest = if want { Interest::BOTH } else { Interest::READABLE };
+        if want {
+            // The write-backpressure counter: each transition into an
+            // EPOLLOUT wait is one instance of "the kernel buffer is
+            // full and the peer is not draining fast enough".
+            self.shared.counters.epollout_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        let tok = TOK_CONN0 + idx as Token;
+        let _ = self.poller.modify(conn.stream.as_raw_fd(), tok, interest);
+    }
+
+    // ------------------------------------------------------------ dial
+
+    fn start_dial(&mut self, peer: NodeId, attempt: u32) {
+        let Some(addr) = self.addr_of(peer) else {
+            // Unroutable: nothing to dial, nothing will drain the queue.
+            self.drop_backlog(peer);
+            return;
+        };
+        self.dialing.insert(peer, attempt);
+        let _ = self.dial_req.send(DialReq { peer, addr });
+    }
+
+    fn dial_finished(&mut self, res: DialRes) {
+        let attempt = self.dialing.remove(&res.peer).unwrap_or(1);
+        match res.stream {
+            Some(stream) => match self.register_conn(stream, Some(res.peer)) {
+                Ok(idx) => self.pump_conn(idx, res.peer),
+                // Registration failure (fd exhaustion): without a
+                // connection nothing will ever drain the backlog.
+                Err(_) => self.drop_backlog(res.peer),
+            },
+            None => {
+                if attempt == 1 {
+                    // One redial after a short backoff, then the backlog
+                    // is dropped (lossy-network semantics).
+                    self.dialing.insert(res.peer, 2);
+                    self.timers
+                        .push((Instant::now() + self.cfg.retry_backoff, Timer::Redial(res.peer)));
+                } else {
+                    self.drop_backlog(res.peer);
+                }
+            }
+        }
+    }
+
+    fn evict(&mut self, peer: NodeId) {
+        if let Some(&idx) = self.route.get(&peer) {
+            self.close_conn(idx);
+        }
+        self.drop_backlog(peer);
+    }
+}
+
+enum WriteOutcome {
+    Drained,
+    Blocked,
+    Closed,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Instant;
+
+    /// Count live threads owned by `me`'s mesh: the event loop
+    /// (`sorrento-net-<idx>`) and the dialer (`sorrento-dial-<idx>`).
+    /// `/proc` thread names are truncated to 15 bytes, so the census is
+    /// exact as long as tests use distinct single-digit node indices.
+    #[cfg(target_os = "linux")]
+    fn mesh_threads_of(me: NodeId) -> usize {
+        let prefixes = [format!("sorrento-net-{}", me.index()), format!("sorrento-dial-{}", me.index())];
+        let prefixes: Vec<&str> = prefixes.iter().map(|p| &p[..p.len().min(15)]).collect();
+        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else { return 0 };
+        tasks
+            .flatten()
+            .filter_map(|t| std::fs::read_to_string(t.path().join("comm")).ok())
+            .filter(|comm| prefixes.contains(&comm.trim_end()))
+            .count()
+    }
 
     #[test]
     fn two_nodes_exchange_messages() {
@@ -781,8 +1209,8 @@ mod tests {
         let mut m0 =
             Mesh::start(n0, l0, HashMap::from([(n1, dead)]), MeshConfig::default()).unwrap();
         m0.send(n1, &Msg::StatsQuery { req: 1 });
-        // The failure is now recorded by the peer's sender thread after
-        // its connect + one retry, so poll for it.
+        // The failure is recorded by the event loop after the dialer's
+        // connect + one retry, so poll for it.
         let deadline = Instant::now() + Duration::from_secs(10);
         while m0.stats().send_failures == 0 {
             assert!(Instant::now() < deadline, "send failure never counted");
@@ -792,32 +1220,16 @@ mod tests {
         assert_eq!(m0.stats().sent, 0);
     }
 
-    /// Count live threads whose name marks them as `me`'s sender
-    /// threads (`/proc` thread names are truncated to 15 bytes, so the
-    /// prefix identifies the owning mesh as long as tests use distinct
-    /// single-digit node indices).
-    #[cfg(target_os = "linux")]
-    fn sender_threads_of(me: NodeId) -> usize {
-        let prefix = format!("sorrento-send-{}", me.index());
-        let prefix = &prefix[..prefix.len().min(15)];
-        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else { return 0 };
-        tasks
-            .flatten()
-            .filter_map(|t| std::fs::read_to_string(t.path().join("comm")).ok())
-            .filter(|comm| comm.trim_end() == prefix)
-            .count()
-    }
-
     /// One peer that accepts but never reads must not delay delivery to
     /// a healthy peer: its frames pile into its own queue (and
-    /// eventually drop), while the healthy peer's sender thread keeps
-    /// flowing. Under the old shared-connection-cache design the first
-    /// blocked `write_all` to the slow peer stalled every send.
+    /// eventually drop) while the event loop keeps the healthy peer's
+    /// connection flowing — a blocked socket costs an `EPOLLOUT`
+    /// subscription, never a stalled loop.
     ///
-    /// The shutdown half pins the sender-thread-leak fix: dropping the
-    /// mesh must *join* every sender thread — including the one wedged
-    /// mid-write against the never-reading peer — leaving no thread
-    /// growth behind.
+    /// The shutdown half pins the thread-join guarantee: dropping the
+    /// mesh joins the event loop and the dialer even while a socket is
+    /// wedged against the never-reading peer, leaving no thread growth
+    /// behind.
     #[test]
     fn slow_peer_does_not_stall_other_sends() {
         let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -825,11 +1237,12 @@ mod tests {
         let a_fast = l_fast.local_addr().unwrap();
         // The slow peer: a raw listener whose accept loop deliberately
         // never reads, so the sender's TCP window fills and its writes
-        // block.
+        // would block.
         let l_slow = TcpListener::bind("127.0.0.1:0").unwrap();
         let a_slow = l_slow.local_addr().unwrap();
         let slow_guard = std::thread::spawn(move || {
-            let conns: Vec<TcpStream> = (0..1).filter_map(|_| l_slow.accept().ok().map(|(s, _)| s)).collect();
+            let conns: Vec<TcpStream> =
+                (0..1).filter_map(|_| l_slow.accept().ok().map(|(s, _)| s)).collect();
             std::thread::sleep(Duration::from_secs(3));
             drop(conns);
         });
@@ -847,8 +1260,7 @@ mod tests {
             cfg,
         )
         .unwrap();
-        let m_fast =
-            Mesh::start(n_fast, l_fast, HashMap::new(), MeshConfig::default()).unwrap();
+        let m_fast = Mesh::start(n_fast, l_fast, HashMap::new(), MeshConfig::default()).unwrap();
 
         // Flood the slow peer with large frames until both the TCP
         // buffers and its bounded queue are saturated.
@@ -867,15 +1279,99 @@ mod tests {
             "healthy-peer delivery took {:?}",
             t0.elapsed()
         );
+        // The whole mesh — two live connections, one of them wedged —
+        // runs on exactly two threads.
         #[cfg(target_os = "linux")]
-        assert!(sender_threads_of(n0) >= 1, "sender threads should be live mid-test");
+        expect_census(n0, 2, "mesh must run O(1) threads");
         drop(m0);
-        // Shutdown joins the senders, so the census is zero right after
-        // the drop — a leaked (signalled but unjoined) thread would
-        // still be mid-write against the slow peer here.
+        // Shutdown joins both threads, so the census is zero right
+        // after the drop.
         #[cfg(target_os = "linux")]
-        assert_eq!(sender_threads_of(n0), 0, "sender threads leaked past mesh shutdown");
+        expect_census(n0, 0, "mesh threads leaked past shutdown");
         let _ = slow_guard.join();
+    }
+
+    /// Poll until the census reaches `expected` (threads name
+    /// themselves after spawn, so a fresh mesh needs a beat).
+    #[cfg(target_os = "linux")]
+    fn expect_census(me: NodeId, expected: usize, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let n = mesh_threads_of(me);
+            if n == expected {
+                return;
+            }
+            assert!(Instant::now() < deadline, "{what}: census {n}, expected {expected}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// The thread census is independent of how many peers the mesh
+    /// talks to: 2 threads with zero peers, 2 threads with three live
+    /// connections (under the old design this was 1 + peers·2).
+    #[test]
+    fn thread_count_is_constant_in_peer_count() {
+        let hub_id = NodeId::from_index(5);
+        let l_hub = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut hub = Mesh::start(hub_id, l_hub, HashMap::new(), MeshConfig::default()).unwrap();
+        #[cfg(target_os = "linux")]
+        expect_census(hub_id, 2, "census with zero peers");
+
+        let peers: Vec<Mesh> = (6..9)
+            .map(|i| {
+                let l = TcpListener::bind("127.0.0.1:0").unwrap();
+                let id = NodeId::from_index(i);
+                hub.add_peer(id, l.local_addr().unwrap());
+                Mesh::start(id, l, HashMap::new(), MeshConfig::default()).unwrap()
+            })
+            .collect();
+        for (i, peer) in peers.iter().enumerate() {
+            hub.send(NodeId::from_index(6 + i), &Msg::StatsQuery { req: i as u64 });
+            let (from, _) = peer.recv_timeout(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(from, hub_id);
+        }
+        assert!(hub.stats().conns >= 3, "expected 3 live connections");
+        #[cfg(target_os = "linux")]
+        expect_census(hub_id, 2, "census must not grow with connections");
+        drop(hub);
+        #[cfg(target_os = "linux")]
+        expect_census(hub_id, 0, "mesh threads leaked past shutdown");
+    }
+
+    /// A listener-less client (raw socket, `Hello` with an empty listen
+    /// address) must still be answerable: replies route over the live
+    /// inbound connection its frames arrived on. This is what lets
+    /// thousands of storm sessions hammer one daemon without a reverse
+    /// dial per session.
+    #[test]
+    fn replies_flow_over_the_inbound_connection() {
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a1 = l1.local_addr().unwrap();
+        let n1 = NodeId::from_index(8);
+        let client = NodeId::from_index(100);
+        let mut m1 = Mesh::start(n1, l1, HashMap::new(), MeshConfig::default()).unwrap();
+
+        let mut c = TcpStream::connect(a1).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        c.write_all(&frame::encode_hello(client, "")).unwrap();
+        c.write_all(&frame::encode_msg(client, &Msg::StatsQuery { req: 5 })).unwrap();
+
+        let (from, msg) = m1.recv_timeout(Duration::from_secs(5)).expect("request");
+        assert_eq!(from, client);
+        assert!(matches!(msg, Msg::StatsQuery { req: 5 }));
+
+        m1.send(client, &Msg::StatsR { req: 5, json: "ok".into() });
+        let mut dec = StreamDecoder::new();
+        loop {
+            let n = c.read(dec.spare()).expect("reply bytes");
+            assert_ne!(n, 0, "daemon closed the connection instead of replying");
+            if let Some((sender, Frame::Msg(msg))) = dec.advance(n).expect("clean frame") {
+                assert_eq!(sender, n1);
+                assert!(matches!(msg, Msg::StatsR { req: 5, .. }));
+                break;
+            }
+        }
+        assert_eq!(m1.stats().send_failures, 0, "reply must not need a reverse dial");
     }
 
     /// Chaos at 100% drop suppresses every frame (counted, nothing

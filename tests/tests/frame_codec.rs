@@ -18,7 +18,7 @@ use sorrento::types::{
 };
 use sorrento_net::frame::{
     decode_frame, decode_image_bytes, encode_hello, encode_image_bytes, encode_msg,
-    encode_msg_into, reference_encode_msg, Frame, FrameError, HEADER_LEN,
+    encode_msg_into, reference_encode_msg, Frame, FrameError, StreamDecoder, HEADER_LEN,
 };
 use sorrento_net::pool::BufPool;
 use sorrento_sim::NodeId;
@@ -496,5 +496,131 @@ proptest! {
     fn random_garbage_never_panics(junk in prop::collection::vec(any::<u8>(), 0..64)) {
         // Whatever the bytes, decoding must return — a panic fails the test.
         let _ = decode_frame(&junk);
+    }
+}
+
+/// Split `bytes` into nonempty chunks at boundaries chosen by `rng`.
+fn random_chunks(rng: &mut TestRng, bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        let take = rng.gen_range(1..=(bytes.len() - at).min(96));
+        chunks.push(bytes[at..at + take].to_vec());
+        at += take;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The incremental decoder, fed the whole corpus — every `Msg`
+    /// variant plus a `Hello` — as one byte stream cut at arbitrary
+    /// boundaries, must produce exactly the frames a one-shot decode of
+    /// each encoding produces, byte-identically (checked by re-encode),
+    /// in order. This is the property the event loop relies on: the
+    /// kernel hands it arbitrary prefixes, never whole frames.
+    #[test]
+    fn stream_decoder_matches_one_shot_at_any_split(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut stream = Vec::new();
+        let mut expected: Vec<(NodeId, Vec<u8>)> = Vec::new();
+        for tag in 0..MSG_VARIANTS {
+            let msg = arb_msg(tag, &mut rng);
+            let sender = arb_node(&mut rng);
+            let bytes = encode_msg(sender, &msg);
+            stream.extend_from_slice(&bytes);
+            expected.push((sender, bytes));
+        }
+        let hello_sender = arb_node(&mut rng);
+        let hello = encode_hello(hello_sender, &arb_string(&mut rng));
+        stream.extend_from_slice(&hello);
+        expected.push((hello_sender, hello));
+
+        let mut dec = StreamDecoder::new();
+        let mut got: Vec<(NodeId, Frame)> = Vec::new();
+        for chunk in random_chunks(&mut rng, &stream) {
+            dec.feed(&chunk, &mut got).unwrap_or_else(|e| panic!("clean stream errored: {e}"));
+        }
+        prop_assert!(dec.is_at_boundary(), "leftover bytes after the last frame");
+        prop_assert_eq!(got.len(), expected.len(), "frame count mismatch");
+        for (i, ((sender, frame), (want_sender, want_bytes))) in
+            got.into_iter().zip(expected).enumerate()
+        {
+            prop_assert_eq!(sender, want_sender, "frame {} sender", i);
+            let reencoded = match frame {
+                Frame::Msg(msg) => encode_msg(sender, &msg),
+                Frame::Hello { listen_addr } => encode_hello(sender, &listen_addr),
+            };
+            prop_assert_eq!(reencoded, want_bytes, "frame {} differs from one-shot decode", i);
+        }
+    }
+
+    /// A truncated tail is not an error — it is an incomplete frame the
+    /// decoder keeps waiting for. No frame is emitted and the decoder
+    /// reports mid-frame state for every cut except the empty one.
+    #[test]
+    fn stream_decoder_truncation_is_incomplete_not_an_error(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let tag = rng.gen_range(0..MSG_VARIANTS);
+        let bytes = encode_msg(arb_node(&mut rng), &arb_msg(tag, &mut rng));
+        let cut = rng.gen_range(0..bytes.len());
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for chunk in random_chunks(&mut rng, &bytes[..cut]) {
+            dec.feed(&chunk, &mut got)
+                .unwrap_or_else(|e| panic!("tag {tag} cut {cut}: truncation errored: {e}"));
+        }
+        prop_assert!(got.is_empty(), "tag {} cut {} emitted a frame", tag, cut);
+        prop_assert_eq!(dec.is_at_boundary(), cut == 0);
+        // Completing the stream later yields the frame after all.
+        dec.feed(&bytes[cut..], &mut got).unwrap();
+        prop_assert_eq!(got.len(), 1);
+        prop_assert!(dec.is_at_boundary());
+    }
+
+    /// Corruption anywhere surfaces as the same typed error the one-shot
+    /// decoder reports, regardless of how the bytes were chunked, and
+    /// poisons the decoder: a byte stream has no resync point, so every
+    /// subsequent feed must keep failing instead of emitting garbage.
+    #[test]
+    fn stream_decoder_corruption_is_a_typed_error(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let tag = rng.gen_range(0..MSG_VARIANTS);
+        let mut bytes = encode_msg(arb_node(&mut rng), &arb_msg(tag, &mut rng));
+        let at = rng.gen_range(HEADER_LEN..bytes.len());
+        bytes[at] ^= 1u8 << rng.gen_range(0..8u8);
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        let mut failed = None;
+        for chunk in random_chunks(&mut rng, &bytes) {
+            if let Err(e) = dec.feed(&chunk, &mut got) {
+                failed = Some(e);
+                break;
+            }
+        }
+        prop_assert!(
+            matches!(failed, Some(FrameError::ChecksumMismatch)),
+            "tag {} flip at {} reported {:?}", tag, at, failed
+        );
+        prop_assert!(got.is_empty());
+        prop_assert!(dec.feed(&[0u8], &mut got).is_err(), "poisoned decoder accepted bytes");
+    }
+
+    /// Arbitrary garbage through the streaming decoder returns typed
+    /// errors or waits for more bytes — it never panics and never
+    /// fabricates a frame from a stream whose one-shot decode fails.
+    #[test]
+    fn stream_decoder_never_panics_on_garbage(junk in prop::collection::vec(any::<u8>(), 0..96)) {
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for chunk in junk.chunks(7) {
+            if dec.feed(chunk, &mut got).is_err() {
+                break;
+            }
+        }
+        if !junk.is_empty() && decode_frame(&junk).is_err() {
+            prop_assert!(got.is_empty(), "garbage yielded a frame");
+        }
     }
 }
