@@ -27,6 +27,12 @@
 #                   then a loopback EC(4,2) cluster that loses two shard
 #                   holders mid-run — degraded reads must reconstruct and
 #                   the repair scan must restore the shard count on disk
+#   make ns-smoke   the metadata-plane drill: schema-check the committed
+#                   results/BENCH_ns.json (4-shard speedup >= 2.5x and a
+#                   3-interval failover sweep), run the sharded-namespace
+#                   simulator tests, boot a 2-shard loopback cluster with
+#                   hot standbys, kill a shard primary, and assert the
+#                   standby takes over and serves correct reads
 #   make docs       rustdoc for the whole workspace (warnings are errors)
 
 CARGO ?= cargo
@@ -35,7 +41,7 @@ CARGO ?= cargo
 # (the Arc that shares the pooled buffer across peer queues).
 BENCH_ALLOC_BOUND ?= 1.0
 
-.PHONY: check build test clippy check-net bench bench-smoke storm-smoke chaos-smoke obs-smoke ec-smoke docs
+.PHONY: check build test clippy check-net bench bench-smoke storm-smoke chaos-smoke obs-smoke ec-smoke ns-smoke docs
 
 check: build test clippy docs
 
@@ -63,6 +69,14 @@ obs-smoke:
 ec-smoke:
 	$(CARGO) test -p sorrento-tests --test ec_mode -- --nocapture
 
+ns-smoke:
+	$(CARGO) run --release -p sorrento-net --bin bench-ns -- \
+	  --validate results/BENCH_ns.json
+	$(CARGO) test -p sorrento-tests --test ns_shard -- --nocapture
+	$(CARGO) test -p sorrento-tests --test ns_failover -- --nocapture
+	$(CARGO) run --release -p sorrento-net --bin bench-ns -- \
+	  --smoke --out target/BENCH_ns.smoke.json
+
 bench:
 	for f in fig09_small_file_latency fig10_small_file_throughput \
 	         fig11_large_file_bandwidth fig12_trace_replay \
@@ -74,6 +88,8 @@ bench:
 bench-smoke:
 	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
 	  --validate results/BENCH_net.json --check-allocs $(BENCH_ALLOC_BOUND)
+	$(CARGO) run --release -p sorrento-net --bin bench-ns -- \
+	  --validate results/BENCH_ns.json
 	$(CARGO) run --release -p sorrento-net --bin bench-net -- \
 	  --smoke --out target/BENCH_net.smoke.json --check-allocs $(BENCH_ALLOC_BOUND)
 

@@ -350,6 +350,10 @@ impl NfsClient {
                 }
                 self.finish(ctx, None, 0, None);
             }
+            ClientOp::Rename { .. } => {
+                // Not in the NFS baseline's vocabulary.
+                self.finish(ctx, Some(Error::InvalidMode), 0, None);
+            }
             ClientOp::Think { dur } => {
                 ctx.set_timer(dur, NfsMsg::NextOp);
             }

@@ -561,6 +561,10 @@ impl PvfsClient {
                 let req = self.fresh();
                 self.send_rpc(ctx, self.mgr, PvfsMsg::MgrRemove { req, path }, 0);
             }
+            ClientOp::Rename { .. } => {
+                // Not in the PVFS baseline's vocabulary.
+                self.finish(ctx, Some(Error::InvalidMode), 0, None);
+            }
             ClientOp::Think { dur } => {
                 ctx.set_timer(dur, PvfsMsg::NextOp);
             }

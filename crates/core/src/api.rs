@@ -90,6 +90,15 @@ impl FsScript {
         Ok(())
     }
 
+    /// Rename a file (directories are refused server-side).
+    pub fn rename(&mut self, src: impl Into<String>, dst: impl Into<String>) -> Result<()> {
+        if self.current.is_some() {
+            return Err(Error::InvalidMode); // close the open file first
+        }
+        self.ops.push(ClientOp::Rename { src: src.into(), dst: dst.into() });
+        Ok(())
+    }
+
     /// Create a file (default options) and open it for writing.
     pub fn create(&mut self, path: impl Into<String>) -> Result<FileHandle> {
         if self.current.is_some() {

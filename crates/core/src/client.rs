@@ -42,6 +42,15 @@ pub enum ClientOp {
         /// Absolute pathname of the new directory.
         path: String,
     },
+    /// Rename a file (directories are refused by the server). Routed to
+    /// the source's namespace shard; a cross-shard destination is moved
+    /// with a two-shard handshake on the server side.
+    Rename {
+        /// Absolute source pathname.
+        src: String,
+        /// Absolute destination pathname.
+        dst: String,
+    },
     /// Create a file with default options and open it for writing.
     Create {
         /// Absolute pathname of the new file.
@@ -140,6 +149,7 @@ impl ClientOp {
     pub fn kind(&self) -> &'static str {
         match self {
             ClientOp::Mkdir { .. } => "mkdir",
+            ClientOp::Rename { .. } => "rename",
             ClientOp::Create { .. } | ClientOp::CreateWith { .. } => "create",
             ClientOp::Open { .. } => "open",
             ClientOp::Read { .. } => "read",
@@ -472,6 +482,16 @@ pub struct SorrentoClient {
     op_gen: u64,
     /// In-flight degraded read of an erasure-coded file, if any.
     ec_read: Option<EcRead>,
+    /// Namespace shard routing table. Empty (the default) means the
+    /// classic single-server deployment: every namespace RPC goes to
+    /// `ns`. When populated, requests route by the partition function in
+    /// [`crate::nsmap`] and the table is refreshed periodically like the
+    /// location tables.
+    ns_shards: crate::nsmap::NsShardMap,
+    /// Per-shard sticky failover flags: after an RPC to a shard's
+    /// primary times out, route that shard's traffic to its standby
+    /// (and back again on a standby timeout).
+    ns_use_standby: Vec<bool>,
 }
 
 impl SorrentoClient {
@@ -504,6 +524,73 @@ impl SorrentoClient {
             resends: HashMap::new(),
             op_gen: 0,
             ec_read: None,
+            ns_shards: crate::nsmap::NsShardMap::default(),
+            ns_use_standby: Vec::new(),
+        }
+    }
+
+    /// Install the namespace shard routing table (and reset the sticky
+    /// failover flags). An empty map restores classic single-server
+    /// routing to the bootstrap `ns` node.
+    pub fn set_ns_shards(&mut self, map: crate::nsmap::NsShardMap) {
+        self.ns_use_standby = vec![false; map.len()];
+        self.ns_shards = map;
+    }
+
+    /// The namespace server currently serving shard `k` (primary, or the
+    /// standby after a sticky failover flip).
+    fn ns_route(&self, k: usize) -> NodeId {
+        let Some(row) = self.ns_shards.get(k) else {
+            return self.ns;
+        };
+        if self.ns_use_standby.get(k).copied().unwrap_or(false) {
+            row.standby.unwrap_or(row.primary)
+        } else {
+            row.primary
+        }
+    }
+
+    /// The namespace server owning `path`'s entry.
+    fn ns_for(&self, path: &str) -> NodeId {
+        if self.ns_shards.is_empty() {
+            return self.ns;
+        }
+        self.ns_route(self.ns_shards.shard_for(path) as usize)
+    }
+
+    /// The namespace server holding directory `path`'s children (where
+    /// `ls` must go).
+    fn ns_for_dir(&self, path: &str) -> NodeId {
+        if self.ns_shards.is_empty() {
+            return self.ns;
+        }
+        let n = self.ns_shards.len() as u32;
+        self.ns_route(crate::nsmap::shard_of_dir(path, n) as usize)
+    }
+
+    /// Whether `id` is a namespace server (the bootstrap node or any
+    /// shard primary/standby). Namespace nodes are never evicted from
+    /// the provider membership view on timeouts.
+    fn is_ns_node(&self, id: NodeId) -> bool {
+        id == self.ns || self.ns_shards.contains(id)
+    }
+
+    /// A namespace RPC to `target` timed out: flip the owning shard's
+    /// sticky standby flag so the retry routes to the other server.
+    fn flip_ns_route(&mut self, target: NodeId) {
+        for (k, row) in self.ns_shards.iter() {
+            let k = k as usize;
+            let using_standby = self.ns_use_standby.get(k).copied().unwrap_or(false);
+            let current = if using_standby {
+                row.standby.unwrap_or(row.primary)
+            } else {
+                row.primary
+            };
+            if current == target {
+                if let Some(f) = self.ns_use_standby.get_mut(k) {
+                    *f = !using_standby && row.standby.is_some();
+                }
+            }
         }
     }
 
@@ -557,6 +644,7 @@ impl SorrentoClient {
             Msg::NsLookup { req, .. }
             | Msg::NsCreate { req, .. }
             | Msg::NsMkdir { req, .. }
+            | Msg::NsRename { req, .. }
             | Msg::NsRemove { req, .. }
             | Msg::NsList { req, .. }
             | Msg::NsCommitBegin { req, .. }
@@ -817,15 +905,25 @@ impl SorrentoClient {
         match op {
             ClientOp::Mkdir { path } => {
                 let req = self.fresh_req();
-                self.rpc(ctx, self.ns, Msg::NsMkdir { req, path }, Pending::Ns);
+                let to = self.ns_for(&path);
+                self.rpc(ctx, to, Msg::NsMkdir { req, path }, Pending::Ns);
+            }
+            ClientOp::Rename { src, dst } => {
+                let req = self.fresh_req();
+                let to = self.ns_for(&src);
+                self.rpc(ctx, to, Msg::NsRename { req, src, dst }, Pending::Ns);
             }
             ClientOp::Stat { path } => {
                 let req = self.fresh_req();
-                self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
+                let to = self.ns_for(&path);
+                self.rpc(ctx, to, Msg::NsLookup { req, path }, Pending::Ns);
             }
             ClientOp::List { path } => {
                 let req = self.fresh_req();
-                self.rpc(ctx, self.ns, Msg::NsList { req, path }, Pending::Ns);
+                // `ls` goes to the shard holding the directory's
+                // children, not the one holding the directory's entry.
+                let to = self.ns_for_dir(&path);
+                self.rpc(ctx, to, Msg::NsList { req, path }, Pending::Ns);
             }
             ClientOp::Create { path } => {
                 let options = self.default_options;
@@ -836,7 +934,8 @@ impl SorrentoClient {
             }
             ClientOp::Open { path, .. } => {
                 let req = self.fresh_req();
-                self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
+                let to = self.ns_for(&path);
+                self.rpc(ctx, to, Msg::NsLookup { req, path }, Pending::Ns);
             }
             ClientOp::Read { offset, len } => self.start_read(ctx, offset, len),
             ClientOp::Write { offset, payload } => self.start_write(ctx, offset, payload),
@@ -861,7 +960,8 @@ impl SorrentoClient {
                     };
                 }
                 let req = self.fresh_req();
-                self.rpc(ctx, self.ns, Msg::NsRemove { req, path }, Pending::Ns);
+                let to = self.ns_for(&path);
+                self.rpc(ctx, to, Msg::NsRemove { req, path }, Pending::Ns);
             }
             ClientOp::Think { .. } => {}
         }
@@ -870,9 +970,10 @@ impl SorrentoClient {
     fn start_create(&mut self, ctx: &mut impl Transport, path: String, options: FileOptions) {
         let file: FileId = self.fresh_seg(ctx).into();
         let req = self.fresh_req();
+        let to = self.ns_for(&path);
         self.rpc(
             ctx,
-            self.ns,
+            to,
             Msg::NsCreate {
                 req,
                 path,
@@ -2533,9 +2634,10 @@ impl SorrentoClient {
             *stage = CommitStage::Begin;
         }
         let req = self.fresh_req();
+        let to = self.ns_for(&path);
         self.rpc(
             ctx,
-            self.ns,
+            to,
             Msg::NsCommitBegin { req, span: self.cur_span, path, base },
             Pending::CommitBegin,
         );
@@ -2608,10 +2710,11 @@ impl SorrentoClient {
             .map(|f| (f.path.clone(), f.entry.version));
         if let Some((path, base)) = path_base {
             let req = self.fresh_req();
+            let to = self.ns_for(&path);
             // Fire-and-forget release (commit=false); no pending entry so
             // the reply is ignored.
             ctx.send(
-                self.ns,
+                to,
                 Msg::NsCommitEnd {
                     req,
                     span: self.cur_span,
@@ -2659,7 +2762,8 @@ impl SorrentoClient {
             *phase = Phase::NsSimple;
         }
         let req = self.fresh_req();
-        self.rpc(ctx, self.ns, Msg::NsLookup { req, path }, Pending::Ns);
+        let to = self.ns_for(&path);
+        self.rpc(ctx, to, Msg::NsLookup { req, path }, Pending::Ns);
     }
 
     fn issue_commit_end(&mut self, ctx: &mut impl Transport) {
@@ -2671,9 +2775,10 @@ impl SorrentoClient {
             *stage = CommitStage::End;
         }
         let req = self.fresh_req();
+        let to = self.ns_for(&path);
         self.rpc(
             ctx,
-            self.ns,
+            to,
             Msg::NsCommitEnd {
                 req,
                 span: self.cur_span,
@@ -2823,7 +2928,8 @@ impl SorrentoClient {
         };
         match (pending, msg) {
             // ---- namespace replies ----
-            (Pending::Ns, Msg::NsMkdirR { result, .. }) => {
+            (Pending::Ns, Msg::NsMkdirR { result, .. })
+            | (Pending::Ns, Msg::NsRenameR { result, .. }) => {
                 self.complete_op(ctx, result.err(), 0, None);
             }
             (Pending::Ns, Msg::NsListR { result, .. }) => match result {
@@ -3282,8 +3388,13 @@ impl SorrentoClient {
         // Suspect the unresponsive node: drop it from the local view (it
         // will be re-admitted by its next heartbeat if it is actually
         // alive) and from cached owner lists, so retries pick another
-        // replica instead of hammering a dead provider.
-        if target != self.ns && self.view.remove(target) {
+        // replica instead of hammering a dead provider. Namespace nodes
+        // are not providers — instead of view eviction, a timed-out
+        // shard server flips that shard's sticky standby flag so the
+        // retry reaches the survivor.
+        if self.is_ns_node(target) {
+            self.flip_ns_route(target);
+        } else if self.view.remove(target) {
             self.ring = HashRing::build(self.view.live());
         }
         if let Some(f) = &mut self.file {
@@ -3360,6 +3471,11 @@ impl SorrentoClient {
     pub fn handle_start(&mut self, ctx: &mut impl Transport) {
         self.my_machine = ctx.machine_of(ctx.id());
         ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Membership));
+        if !self.ns_shards.is_empty() {
+            // Sharded deployments only: unsharded seeded runs must stay
+            // byte-identical, so the refresh timer never exists there.
+            ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::ShardMapRefresh));
+        }
         self.pull_next_op(ctx);
     }
 
@@ -3412,7 +3528,31 @@ impl SorrentoClient {
                 }
             }
             Msg::Tick(Tick::BackupDeadline(req)) => self.on_backup_deadline(ctx, req),
+            Msg::Tick(Tick::ShardMapRefresh) => {
+                if !self.ns_shards.is_empty() {
+                    // Fire-and-forget: no pending entry, the periodic
+                    // timer is its own retry.
+                    let req = self.fresh_req();
+                    let to = self.ns_route(0);
+                    ctx.send(to, Msg::ShardMapQuery { req });
+                    ctx.set_timer(
+                        self.costs.heartbeat_interval,
+                        Msg::Tick(Tick::ShardMapRefresh),
+                    );
+                }
+            }
             Msg::Tick(_) => {}
+            Msg::ShardMapR { rows, .. } => {
+                if !rows.is_empty() && !self.ns_shards.is_empty() {
+                    let rows = rows
+                        .into_iter()
+                        .map(|(_, primary, standby)| crate::nsmap::ShardInfo { primary, standby })
+                        .collect();
+                    // A promoted standby now appears as its shard's
+                    // primary, so the sticky flips reset.
+                    self.set_ns_shards(crate::nsmap::NsShardMap::from_rows(rows));
+                }
+            }
             Msg::BackupQueryR { req, version, .. } => {
                 if let Some(hits) = self.backup_hits.get_mut(&req) {
                     hits.push((from, version));
@@ -3443,6 +3583,7 @@ fn reply_req(msg: &Msg) -> Option<ReqId> {
         Msg::NsLookupR { req, .. }
         | Msg::NsCreateR { req, .. }
         | Msg::NsMkdirR { req, .. }
+        | Msg::NsRenameR { req, .. }
         | Msg::NsRemoveR { req, .. }
         | Msg::NsListR { req, .. }
         | Msg::NsCommitBeginR { req, .. }

@@ -7,6 +7,7 @@ use sorrento_sim::{Dur, Metrics, NodeConfig, NodeId, SimTime, Simulation};
 use crate::client::{ClientOp, ClientStats, OpResult, SorrentoClient, Workload};
 use crate::costs::CostModel;
 use crate::namespace::NamespaceServer;
+use crate::nsmap::NsShardMap;
 use crate::proto::Msg;
 use crate::provider::StorageProvider;
 
@@ -21,6 +22,9 @@ pub struct ClusterBuilder {
     keep_versions: usize,
     warmup: Dur,
     racks: Option<usize>,
+    ns_shards: u32,
+    ns_standby: bool,
+    ns_checkpoint_every: Option<u64>,
 }
 
 impl Default for ClusterBuilder {
@@ -35,6 +39,9 @@ impl Default for ClusterBuilder {
             keep_versions: 2,
             warmup: Dur::secs(5),
             racks: None,
+            ns_shards: 1,
+            ns_standby: false,
+            ns_checkpoint_every: None,
         }
     }
 }
@@ -102,11 +109,77 @@ impl ClusterBuilder {
         self
     }
 
+    /// Shard the namespace over `n` primaries (default 1: the classic
+    /// single-server metadata plane, byte-identical to older builds).
+    pub fn ns_shards(mut self, n: u32) -> Self {
+        self.ns_shards = n.max(1);
+        self
+    }
+
+    /// Deploy a WAL-shipped hot standby behind every namespace shard.
+    pub fn ns_standby(mut self, yes: bool) -> Self {
+        self.ns_standby = yes;
+        self
+    }
+
+    /// Checkpoint the namespace kvdb every `n` applied batches (bounds
+    /// the WAL tail a standby must replay at failover).
+    pub fn ns_checkpoint_every(mut self, n: u64) -> Self {
+        self.ns_checkpoint_every = Some(n);
+        self
+    }
+
     /// Build the cluster and run the warmup period.
     pub fn build(self) -> Cluster {
         let mut sim = Simulation::new(self.seed);
         let ns_cfg = self.node_config; // namespace gets its own machine
-        let ns = sim.add_node(NamespaceServer::new(self.costs), ns_cfg);
+        let nshards = self.ns_shards.max(1);
+        let sharded = nshards > 1 || self.ns_standby;
+        let (ns, ns_nodes, ns_standbys, ns_map) = if !sharded {
+            let ns = sim.add_node(NamespaceServer::new(self.costs), ns_cfg);
+            (ns, vec![ns], Vec::new(), None)
+        } else {
+            // Each shard primary (and standby) gets its own machine, in a
+            // range that cannot collide with provider machines.
+            let mut primaries = Vec::with_capacity(nshards as usize);
+            for k in 0..nshards {
+                let cfg = ns_cfg.on_machine(2_000_000 + k);
+                primaries.push(
+                    sim.add_node(NamespaceServer::new_sharded(self.costs, k, nshards), cfg),
+                );
+            }
+            let mut standbys = Vec::new();
+            if self.ns_standby {
+                for k in 0..nshards {
+                    let cfg = ns_cfg.on_machine(3_000_000 + k);
+                    standbys.push(
+                        sim.add_node(NamespaceServer::new_standby(self.costs, k, nshards), cfg),
+                    );
+                }
+            }
+            let mut map = NsShardMap::new(primaries.clone());
+            for (k, &s) in standbys.iter().enumerate() {
+                map.set_standby(k, s);
+            }
+            for (k, &p) in primaries.iter().enumerate() {
+                let srv = sim.node_mut::<NamespaceServer>(p).expect("ns shard");
+                srv.set_shard_map(map.clone());
+                if let Some(&s) = standbys.get(k) {
+                    srv.set_standby(s);
+                }
+                if let Some(n) = self.ns_checkpoint_every {
+                    srv.set_checkpoint_every_batches(Some(n));
+                }
+            }
+            for &s in &standbys {
+                let srv = sim.node_mut::<NamespaceServer>(s).expect("ns standby");
+                srv.set_shard_map(map.clone());
+                if let Some(n) = self.ns_checkpoint_every {
+                    srv.set_checkpoint_every_batches(Some(n));
+                }
+            }
+            (primaries[0], primaries, standbys, Some(map))
+        };
         let mut providers = Vec::with_capacity(self.providers);
         for i in 0..self.providers {
             let cfg = self.node_config.with_capacity(self.capacity).on_machine(i as u32);
@@ -122,6 +195,9 @@ impl ClusterBuilder {
         let mut cluster = Cluster {
             sim,
             ns,
+            ns_nodes,
+            ns_standbys,
+            ns_map,
             providers,
             clients: Vec::new(),
             costs: self.costs,
@@ -138,6 +214,9 @@ pub struct Cluster {
     /// The underlying simulation (exposed for advanced harness control).
     pub sim: Simulation<Msg>,
     ns: NodeId,
+    ns_nodes: Vec<NodeId>,
+    ns_standbys: Vec<NodeId>,
+    ns_map: Option<NsShardMap>,
     providers: Vec<NodeId>,
     clients: Vec<NodeId>,
     costs: CostModel,
@@ -146,9 +225,25 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// The namespace server's node id.
+    /// The namespace server's node id (shard 0's primary when sharded).
     pub fn namespace(&self) -> NodeId {
         self.ns
+    }
+
+    /// Every namespace shard primary, in shard order.
+    pub fn ns_shard_nodes(&self) -> &[NodeId] {
+        &self.ns_nodes
+    }
+
+    /// Every namespace hot standby, in shard order (empty unless the
+    /// cluster was built with [`ClusterBuilder::ns_standby`]).
+    pub fn ns_standby_nodes(&self) -> &[NodeId] {
+        &self.ns_standbys
+    }
+
+    /// The namespace shard map installed at build time, if sharded.
+    pub fn ns_shard_map(&self) -> Option<&NsShardMap> {
+        self.ns_map.as_ref()
     }
 
     /// The storage providers' node ids.
@@ -187,6 +282,9 @@ impl Cluster {
     fn add_client_with<W: Workload>(&mut self, workload: W, cfg: NodeConfig) -> NodeId {
         let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
         client.default_options.replication = self.replication;
+        if let Some(map) = &self.ns_map {
+            client.set_ns_shards(map.clone());
+        }
         let id = self.sim.add_node(client, cfg);
         self.clients.push(id);
         id
@@ -203,6 +301,9 @@ impl Cluster {
         let cfg = self.node_config.on_machine(i as u32);
         let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
         client.default_options = options;
+        if let Some(map) = &self.ns_map {
+            client.set_ns_shards(map.clone());
+        }
         let id = self.sim.add_node(client, cfg);
         self.clients.push(id);
         id
@@ -217,6 +318,9 @@ impl Cluster {
         let cfg = self.node_config;
         let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
         client.default_options = options;
+        if let Some(map) = &self.ns_map {
+            client.set_ns_shards(map.clone());
+        }
         let id = self.sim.add_node(client, cfg);
         self.clients.push(id);
         id
@@ -278,6 +382,16 @@ impl Cluster {
         self.sim.node_ref::<NamespaceServer>(self.ns)
     }
 
+    /// Inspect shard `k`'s primary namespace server.
+    pub fn namespace_ref_of(&self, k: usize) -> Option<&NamespaceServer> {
+        self.sim.node_ref::<NamespaceServer>(*self.ns_nodes.get(k)?)
+    }
+
+    /// Inspect shard `k`'s hot standby.
+    pub fn ns_standby_ref_of(&self, k: usize) -> Option<&NamespaceServer> {
+        self.sim.node_ref::<NamespaceServer>(*self.ns_standbys.get(k)?)
+    }
+
     /// Bytes stored on each provider's disk (storage-balance reporting,
     /// Figure 14).
     pub fn provider_disk_usage(&self) -> Vec<(NodeId, u64, u64)> {
@@ -295,6 +409,14 @@ impl Cluster {
     /// Human-readable role of a node in this cluster (`ns`, `provider#i`,
     /// `client#i`), for trace rendering.
     pub fn role_of(&self, id: NodeId) -> String {
+        if self.ns_nodes.len() > 1 || !self.ns_standbys.is_empty() {
+            if let Some(k) = self.ns_nodes.iter().position(|&n| n == id) {
+                return format!("ns#{k}");
+            }
+            if let Some(k) = self.ns_standbys.iter().position(|&n| n == id) {
+                return format!("ns#{k}-sb");
+            }
+        }
         if id == self.ns {
             return "ns".to_string();
         }

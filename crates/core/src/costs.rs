@@ -79,6 +79,17 @@ pub struct CostModel {
     /// How long a client waits for backup-query replies before failing.
     pub backup_query_wait: Dur,
 
+    // -- namespace sharding & hot standby -----------------------------------
+    /// How often a shard primary drains its WAL-shipping tap to the hot
+    /// standby. Empty shipments double as liveness beacons, so this also
+    /// sets the standby's failure-detection resolution. Only read when a
+    /// standby is configured.
+    pub ns_ship_interval: Dur,
+    /// How long a standby tolerates ship silence before promoting itself
+    /// (assembling the shipped checkpoint + WAL tail and serving). Only
+    /// read on standby nodes.
+    pub ns_standby_grace: Dur,
+
     // -- repair/replication --------------------------------------------------
     /// Home hosts scan their location tables for under-replication and
     /// version discrepancies at this cadence (fast-path notifications
@@ -106,6 +117,8 @@ impl Default for CostModel {
             provider_op_cpu: Dur::micros(4500),
             client_op_cpu: Dur::micros(150),
             rpc_header_bytes: 120,
+            ns_ship_interval: Dur::millis(200),
+            ns_standby_grace: Dur::secs(2),
             rpc_timeout: Dur::secs(3),
             backup_query_wait: Dur::millis(500),
             repair_scan_interval: Dur::secs(5),
@@ -128,6 +141,8 @@ impl CostModel {
             migration_pacing: Dur::millis(300),
             repair_scan_interval: Dur::secs(1),
             rpc_timeout: Dur::millis(1500),
+            ns_ship_interval: Dur::millis(50),
+            ns_standby_grace: Dur::millis(400),
             ..CostModel::default()
         }
     }

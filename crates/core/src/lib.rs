@@ -73,6 +73,7 @@ pub mod layout;
 pub mod location;
 pub mod membership;
 pub mod namespace;
+pub mod nsmap;
 pub mod placement;
 pub mod proto;
 pub mod provider;

@@ -10,10 +10,36 @@
 //! commit with a stale base version is refused — plus short write-lock
 //! leases between commit-begin and commit-end so two cooperative writers
 //! never interleave 2PC windows.
+//!
+//! # Sharding (metadata plane)
+//!
+//! The namespace can be partitioned over several servers with the
+//! rendezvous partition function in [`crate::nsmap`]: the entry for path
+//! `p` lives on `shard_of_dir(parent(p))`, so `ls`, create-in-dir and
+//! the §3.5 commit check stay single-shard. A directory `d` additionally
+//! keeps a *stub* entry on `shard_of_dir(d)` — the shard holding its
+//! children — so a child's parent-existence check is local too. Only
+//! `mkdir`, directory `remove`, and cross-shard `rename` pay a
+//! two-shard handshake ([`Msg::NsShardInstall`] / [`Msg::NsShardDrop`]),
+//! driven by a pending table with resend-safe idempotent targets. With
+//! one shard every handshake degenerates to a local put and the server
+//! behaves byte-for-byte like the unsharded original.
+//!
+//! # Hot standby ("cheap recovery")
+//!
+//! A shard primary can ship its WAL to a hot standby: every
+//! [`CostModel::ns_ship_interval`] it drains the kvdb shipping tap into
+//! a [`Msg::NsWalShip`] (empty shipments double as liveness beacons).
+//! The standby *stores* the latest checkpoint image plus the record
+//! tail without applying them; when shipments fall silent for
+//! [`CostModel::ns_standby_grace`] it assembles the shipped state and
+//! replays the tail — takeover time is therefore bounded by the
+//! primary's uncheckpointed WAL tail, which the
+//! [`DbConfig::checkpoint_every_batches`] knob caps.
 
 use std::collections::HashMap;
 
-use sorrento_kvdb::{Db, DbConfig, MemBackend};
+use sorrento_kvdb::{assemble_shipped, Db, DbConfig, MemBackend};
 use sorrento_sim::{Ctx, DiskAccess, Node, NodeId, SimTime, TelemetryEvent};
 
 use crate::transport::Transport;
@@ -61,13 +87,52 @@ struct Lease {
     expires: SimTime,
 }
 
-/// The namespace server node.
+/// A two-shard handshake awaiting the peer shard's reply.
+#[derive(Debug, Clone)]
+struct Pending {
+    /// The client whose operation is suspended on this handshake.
+    client: NodeId,
+    /// The client's original request id (the final reply carries it).
+    req: ReqId,
+    op: PendingOp,
+}
+
+/// What to complete once the peer shard confirms.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// Cross-shard `mkdir`: stub installed remotely → put the real
+    /// entry locally and reply.
+    Mkdir { path: String, entry: FileEntry },
+    /// Cross-shard directory remove: the children's shard confirmed
+    /// empty and dropped the stub → drop the real entry and reply.
+    RemoveDir { path: String, entry: FileEntry },
+    /// Cross-shard rename: destination installed → drop the source
+    /// entry and reply.
+    Rename { src: String },
+}
+
+fn root_entry() -> FileEntry {
+    FileEntry {
+        file: FileId(0),
+        version: Version::INITIAL,
+        size: 0,
+        is_dir: true,
+        created_ns: 0,
+        modified_ns: 0,
+        options: FileOptions::default(),
+    }
+}
+
+/// The namespace server node: a shard primary (possibly the only
+/// shard), or a hot standby that promotes itself when its primary's
+/// WAL shipments fall silent.
 pub struct NamespaceServer {
     costs: CostModel,
-    /// `None` only transiently across a crash (state is parked in
-    /// `parked_backend`).
+    /// `None` transiently across a crash (state is parked in
+    /// `parked_backend`) and on a standby before promotion.
     db: Option<Db<MemBackend>>,
     parked_backend: Option<MemBackend>,
+    db_config: DbConfig,
     /// Commit locks: path → lease.
     leases: HashMap<String, Lease>,
     /// Operations served (observability).
@@ -77,31 +142,134 @@ pub struct NamespaceServer {
     /// Replies to recent mutations, replayed verbatim when a resilient
     /// client re-sends a request whose reply was lost.
     replies: ReplyCache,
+    // ---- sharding ----
+    shard: u32,
+    nshards: u32,
+    shard_map: crate::nsmap::NsShardMap,
+    /// In-flight two-shard handshakes, keyed by the internal request id
+    /// used on the shard-to-shard RPC.
+    pending: HashMap<ReqId, Pending>,
+    next_xreq: ReqId,
+    // ---- hot standby (primary side) ----
+    standby: Option<NodeId>,
+    ship_seq: u64,
+    // ---- hot standby (standby side) ----
+    standby_mode: bool,
+    shipped_ckpt: Option<Vec<u8>>,
+    shipped_recs: Vec<Vec<u8>>,
+    have_seq: u64,
+    /// Promote when `now` passes this without a shipment.
+    ship_deadline: SimTime,
+    /// WAL batches replayed at the last standby takeover (the measured
+    /// failover tail).
+    pub failover_replayed: usize,
 }
 
 impl NamespaceServer {
-    /// A fresh namespace server with the root directory pre-created.
+    /// A fresh unsharded namespace server with the root pre-created —
+    /// the classic single-server deployment.
     pub fn new(costs: CostModel) -> NamespaceServer {
-        let mut db = Db::open(MemBackend::new(), DbConfig::default()).expect("mem backend");
-        let root = FileEntry {
-            file: FileId(0),
-            version: Version::INITIAL,
-            size: 0,
-            is_dir: true,
-            created_ns: 0,
-            modified_ns: 0,
-            options: FileOptions::default(),
-        };
-        db.put(key_of("/"), encode_entry(&root)).expect("mem io");
+        NamespaceServer::new_sharded(costs, 0, 1)
+    }
+
+    /// Shard `shard` of an `nshards`-way partitioned namespace. The root
+    /// directory is pre-created on every shard so top-level parent
+    /// checks never cross shards.
+    pub fn new_sharded(costs: CostModel, shard: u32, nshards: u32) -> NamespaceServer {
+        let db_config = DbConfig::default();
+        let mut db = Db::open(MemBackend::new(), db_config).expect("mem backend");
+        db.put(key_of("/"), encode_entry(&root_entry())).expect("mem io");
         NamespaceServer {
             costs,
             db: Some(db),
             parked_backend: None,
+            db_config,
             leases: HashMap::new(),
             ops_served: 0,
             recovered_batches: 0,
             replies: ReplyCache::new(DEFAULT_REPLY_CACHE),
+            shard,
+            nshards: nshards.max(1),
+            shard_map: crate::nsmap::NsShardMap::default(),
+            pending: HashMap::new(),
+            // Internal handshake ids live far above any client's
+            // request counter so a target's reply can never be
+            // mistaken for a client reply.
+            next_xreq: 1 << 48,
+            standby: None,
+            ship_seq: 0,
+            standby_mode: false,
+            shipped_ckpt: None,
+            shipped_recs: Vec::new(),
+            have_seq: 0,
+            ship_deadline: SimTime::ZERO,
+            failover_replayed: 0,
         }
+    }
+
+    /// A hot standby for shard `shard`: stores shipped WAL state and
+    /// serves nothing until its primary's shipments fall silent.
+    pub fn new_standby(costs: CostModel, shard: u32, nshards: u32) -> NamespaceServer {
+        let mut ns = NamespaceServer::new_sharded(costs, shard, nshards);
+        ns.db = None;
+        ns.standby_mode = true;
+        ns
+    }
+
+    /// Install the volume's shard map (used to route the two-shard
+    /// handshakes and answer [`Msg::ShardMapQuery`]).
+    pub fn set_shard_map(&mut self, map: crate::nsmap::NsShardMap) {
+        self.shard_map = map;
+    }
+
+    /// Configure WAL shipping to a hot standby (primary side; takes
+    /// effect at the next start).
+    pub fn set_standby(&mut self, standby: NodeId) {
+        self.standby = Some(standby);
+    }
+
+    /// Bound the WAL replay tail — and therefore failover time — to at
+    /// most `every` batches between checkpoints.
+    pub fn set_checkpoint_every_batches(&mut self, every: Option<u64>) {
+        self.db_config.checkpoint_every_batches = every;
+        if let Some(db) = self.db.as_mut() {
+            db.set_checkpoint_every_batches(every);
+        }
+    }
+
+    /// Whether this node is an unpromoted standby.
+    pub fn is_standby(&self) -> bool {
+        self.standby_mode
+    }
+
+    /// This server's shard index.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Bytes currently in the WAL tail (0 on an unpromoted standby).
+    pub fn wal_tail_bytes(&self) -> usize {
+        self.db.as_ref().map_or(0, Db::wal_bytes)
+    }
+
+    /// Bulk-load one entry straight into the backend — no WAL record, no
+    /// shipping, no checkpoint trigger. Benchmark-harness seeding only:
+    /// it lets a scaling ablation stand up a multi-million-entry tree in
+    /// O(n) harness time instead of replaying n client creates. The
+    /// caller owns routing — insert each path on the shard that owns its
+    /// parent directory, and give a directory a stub copy on the shard
+    /// that owns its children (see the module docs).
+    pub fn preseed(&mut self, path: &str, file: FileId, is_dir: bool) {
+        let entry = FileEntry {
+            file,
+            version: Version::INITIAL,
+            size: 0,
+            is_dir,
+            created_ns: 0,
+            modified_ns: 0,
+            options: FileOptions::default(),
+        };
+        self.db_mut().load_unlogged(key_of(path), encode_entry(&entry));
     }
 
     fn db(&self) -> &Db<MemBackend> {
@@ -275,20 +443,422 @@ impl NamespaceServer {
         }
         Ok(())
     }
+
+    // ---- sharded operations ----
+
+    /// The shard holding `dir`'s children (and its stub).
+    fn child_shard(&self, dir: &str) -> u32 {
+        crate::nsmap::shard_of_dir(dir, self.nshards)
+    }
+
+    /// True when a handshake for this `(client, req)` is already in
+    /// flight (the client resent while we wait on the peer shard).
+    fn handshake_in_flight(&self, client: NodeId, req: ReqId) -> bool {
+        self.pending.values().any(|p| p.client == client && p.req == req)
+    }
+
+    fn alloc_xreq(&mut self) -> ReqId {
+        let x = self.next_xreq;
+        self.next_xreq += 1;
+        x
+    }
+
+    /// Start a two-shard handshake: send `msg` to shard `target`'s
+    /// primary and park the suspended operation. Returns `false` when
+    /// the target shard is unknown (no map installed).
+    fn start_handshake(
+        &mut self,
+        target: u32,
+        xreq: ReqId,
+        msg_of: impl FnOnce(ReqId) -> Msg,
+        pending: Pending,
+        ctx: &mut impl Transport,
+    ) -> bool {
+        let Some(primary) = self.shard_map.get(target as usize).map(|s| s.primary) else {
+            return false;
+        };
+        ctx.send(primary, msg_of(xreq));
+        ctx.set_timer(self.costs.rpc_timeout, Msg::Tick(Tick::XShardTimeout(xreq)));
+        self.pending.insert(xreq, pending);
+        true
+    }
+
+    /// `mkdir` with the directory's children on another shard: validate
+    /// locally, install the stub remotely, put the real entry when the
+    /// peer confirms. Returns `None` when suspended on the handshake.
+    fn mkdir_sharded(
+        &mut self,
+        path: &str,
+        client: NodeId,
+        req: ReqId,
+        now: SimTime,
+        ctx: &mut impl Transport,
+    ) -> Option<Result<(), Error>> {
+        if self.get(path).is_some() {
+            return Some(Err(Error::AlreadyExists));
+        }
+        let Some(parent) = parent_of(path) else {
+            return Some(Err(Error::NotFound));
+        };
+        let Some(pentry) = self.get(parent) else {
+            return Some(Err(Error::NotFound));
+        };
+        if !pentry.is_dir {
+            return Some(Err(Error::NotADirectory));
+        }
+        let entry = FileEntry {
+            file: FileId(0),
+            version: Version::INITIAL,
+            size: 0,
+            is_dir: true,
+            created_ns: now.nanos(),
+            modified_ns: now.nanos(),
+            options: FileOptions::default(),
+        };
+        let child_shard = self.child_shard(path);
+        if child_shard == self.shard {
+            // The real entry doubles as the stub: one local put.
+            self.put(path, &entry);
+            return Some(Ok(()));
+        }
+        if self.handshake_in_flight(client, req) {
+            return None; // client resend; first handshake still pending
+        }
+        let xreq = self.alloc_xreq();
+        let p = path.to_string();
+        let e = entry.clone();
+        let started = self.start_handshake(
+            child_shard,
+            xreq,
+            |x| Msg::NsShardInstall { req: x, path: p, entry: e, xfer: false },
+            Pending {
+                client,
+                req,
+                op: PendingOp::Mkdir { path: path.to_string(), entry },
+            },
+            ctx,
+        );
+        if started {
+            None
+        } else {
+            Some(Err(Error::Unavailable))
+        }
+    }
+
+    /// `remove` routed shard-aware: files and same-shard directories are
+    /// local; a directory whose children live elsewhere needs the peer
+    /// to confirm-empty and drop the stub first.
+    fn remove_sharded(
+        &mut self,
+        path: &str,
+        client: NodeId,
+        req: ReqId,
+        ctx: &mut impl Transport,
+    ) -> Option<Result<FileEntry, Error>> {
+        let Some(entry) = self.get(path) else {
+            return Some(Err(Error::NotFound));
+        };
+        if let Some(lease) = self.leases.get(path) {
+            if lease.holder != client {
+                return Some(Err(Error::LeaseHeld));
+            }
+        }
+        let child_shard = self.child_shard(path);
+        if !entry.is_dir || child_shard == self.shard {
+            return Some(self.remove(path, client));
+        }
+        if self.handshake_in_flight(client, req) {
+            return None;
+        }
+        let xreq = self.alloc_xreq();
+        let p = path.to_string();
+        let started = self.start_handshake(
+            child_shard,
+            xreq,
+            |x| Msg::NsShardDrop { req: x, path: p, check_empty: true },
+            Pending {
+                client,
+                req,
+                op: PendingOp::RemoveDir { path: path.to_string(), entry },
+            },
+            ctx,
+        );
+        if started {
+            None
+        } else {
+            Some(Err(Error::Unavailable))
+        }
+    }
+
+    /// File-only `rename`, routed to the source's shard. A same-shard
+    /// destination is one local transaction; otherwise the destination
+    /// shard installs the entry first and the source is dropped on its
+    /// confirmation.
+    fn rename_sharded(
+        &mut self,
+        src: &str,
+        dst: &str,
+        client: NodeId,
+        req: ReqId,
+        ctx: &mut impl Transport,
+    ) -> Option<Result<(), Error>> {
+        let Some(entry) = self.get(src) else {
+            return Some(Err(Error::NotFound));
+        };
+        if entry.is_dir {
+            // Directory renames would re-home every descendant's shard;
+            // refused (same stance as mode-illegal operations).
+            return Some(Err(Error::InvalidMode));
+        }
+        if let Some(lease) = self.leases.get(src) {
+            if lease.holder != client {
+                return Some(Err(Error::LeaseHeld));
+            }
+        }
+        let dst_shard = crate::nsmap::shard_of_path(dst, self.nshards);
+        if dst_shard == self.shard {
+            if self.get(dst).is_some() {
+                return Some(Err(Error::AlreadyExists));
+            }
+            let Some(parent) = parent_of(dst) else {
+                return Some(Err(Error::NotFound));
+            };
+            let Some(pentry) = self.get(parent) else {
+                return Some(Err(Error::NotFound));
+            };
+            if !pentry.is_dir {
+                return Some(Err(Error::NotADirectory));
+            }
+            self.put(dst, &entry);
+            self.db_mut().delete(key_of(src)).expect("mem io");
+            self.leases.remove(src);
+            return Some(Ok(()));
+        }
+        if self.handshake_in_flight(client, req) {
+            return None;
+        }
+        let xreq = self.alloc_xreq();
+        let d = dst.to_string();
+        let e = entry.clone();
+        let started = self.start_handshake(
+            dst_shard,
+            xreq,
+            |x| Msg::NsShardInstall { req: x, path: d, entry: e, xfer: true },
+            Pending {
+                client,
+                req,
+                op: PendingOp::Rename { src: src.to_string() },
+            },
+            ctx,
+        );
+        if started {
+            None
+        } else {
+            Some(Err(Error::Unavailable))
+        }
+    }
+
+    /// Peer-shard side of the handshakes: install a directory stub
+    /// (`xfer: false`, unconditional — idempotent under resends) or a
+    /// transferred rename destination (`xfer: true`, with local
+    /// destination checks).
+    fn shard_install(&mut self, path: &str, entry: &FileEntry, xfer: bool) -> Result<(), Error> {
+        if !xfer {
+            self.put(path, entry);
+            return Ok(());
+        }
+        if let Some(existing) = self.get(path) {
+            // An identical entry means this is a resend of a handshake
+            // we already completed: confirm instead of conflicting.
+            return if existing == *entry { Ok(()) } else { Err(Error::AlreadyExists) };
+        }
+        let parent = parent_of(path).ok_or(Error::NotFound)?;
+        let pentry = self.get(parent).ok_or(Error::NotFound)?;
+        if !pentry.is_dir {
+            return Err(Error::NotADirectory);
+        }
+        self.put(path, entry);
+        Ok(())
+    }
+
+    /// Peer-shard side of directory removal: confirm the directory has
+    /// no children here, then drop its stub. A missing stub is a
+    /// completed resend → confirm.
+    fn shard_drop(&mut self, path: &str, check_empty: bool) -> Result<(), Error> {
+        if self.get(path).is_none() {
+            return Ok(());
+        }
+        if check_empty && !self.list(path)?.is_empty() {
+            return Err(Error::NotEmpty);
+        }
+        self.db_mut().delete(key_of(path)).expect("mem io");
+        Ok(())
+    }
+
+    /// Complete a suspended operation when the peer shard's reply
+    /// arrives: apply the local half (on success) and release the
+    /// client's reply.
+    fn complete_handshake(
+        &mut self,
+        xreq: ReqId,
+        result: Result<(), Error>,
+        ctx: &mut impl Transport,
+    ) {
+        let Some(p) = self.pending.remove(&xreq) else {
+            return; // timed out and retried, or a duplicate reply
+        };
+        let reply = match p.op {
+            PendingOp::Mkdir { path, entry } => {
+                let result = result.map(|()| self.put(&path, &entry));
+                Msg::NsMkdirR { req: p.req, result }
+            }
+            PendingOp::RemoveDir { path, entry } => {
+                let result = result.map(|()| {
+                    self.db_mut().delete(key_of(&path)).expect("mem io");
+                    self.leases.remove(&path);
+                    entry
+                });
+                Msg::NsRemoveR { req: p.req, result }
+            }
+            PendingOp::Rename { src } => {
+                let result = result.map(|()| {
+                    self.db_mut().delete(key_of(&src)).expect("mem io");
+                    self.leases.remove(&src);
+                });
+                Msg::NsRenameR { req: p.req, result }
+            }
+        };
+        self.replies.put(p.client, p.req, reply.clone());
+        let done = ctx.cpu(self.costs.ns_op_cpu);
+        let disk_done = ctx.disk_submit(256, DiskAccess::Sequential);
+        ctx.send_at(done.max(disk_done), p.client, reply);
+    }
+
+    // ---- hot standby ----
+
+    /// Export this shard's heartbeat gauges (entries, ops, WAL tail,
+    /// failover tail).
+    pub fn export_gauges(&mut self, ctx: &mut impl Transport) {
+        let k = self.shard;
+        if let Some(db) = self.db.as_ref() {
+            ctx.metrics().gauge_set(&format!("ns{k}.entries"), db.len() as f64);
+            ctx.metrics()
+                .gauge_set(&format!("ns{k}.wal_tail_bytes"), db.wal_bytes() as f64);
+        }
+        ctx.metrics().gauge_set(&format!("ns{k}.ops"), self.ops_served as f64);
+        ctx.metrics().gauge_set(
+            &format!("ns{k}.failover_replayed"),
+            self.failover_replayed as f64,
+        );
+    }
+
+    /// Drain the shipping tap to the standby. Runs on every
+    /// [`Tick::NsShip`]; an empty shipment is still sent as a liveness
+    /// beacon.
+    fn ship_wal(&mut self, ctx: &mut impl Transport) {
+        let Some(standby) = self.standby else { return };
+        let Some(db) = self.db.as_mut() else { return };
+        let s = db.take_shipment();
+        self.ship_seq += 1;
+        ctx.send(
+            standby,
+            Msg::NsWalShip {
+                shard: self.shard,
+                seq: self.ship_seq,
+                ckpt: s.ckpt.map(bytes::Bytes::from),
+                recs: s.recs.into_iter().map(bytes::Bytes::from).collect(),
+            },
+        );
+        ctx.set_timer(self.costs.ns_ship_interval, Msg::Tick(Tick::NsShip));
+    }
+
+    /// Standby side: store a shipment without applying it. A sequence
+    /// gap (lost shipment or primary restart) triggers a catch-up
+    /// request for a fresh full image.
+    fn ingest_shipment(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        ckpt: Option<Vec<u8>>,
+        recs: Vec<Vec<u8>>,
+        ctx: &mut impl Transport,
+    ) {
+        if !self.standby_mode {
+            return; // already promoted; a straggler ship is stale
+        }
+        self.ship_deadline = ctx.now() + self.costs.ns_standby_grace;
+        if let Some(img) = ckpt {
+            // A full image subsumes everything stored so far and
+            // resynchronizes the sequence unconditionally.
+            self.shipped_ckpt = Some(img);
+            self.shipped_recs = recs;
+            self.have_seq = seq;
+        } else if seq == self.have_seq + 1 {
+            self.have_seq = seq;
+            self.shipped_recs.extend(recs);
+        } else {
+            ctx.send(
+                from,
+                Msg::NsCatchup { shard: self.shard, have_seq: self.have_seq },
+            );
+        }
+    }
+
+    /// Promote this standby: assemble the shipped checkpoint + tail,
+    /// replay the tail, and start serving as the shard primary. The
+    /// replayed-batch count is the measured failover tail.
+    fn promote(&mut self, ctx: &mut impl Transport) {
+        let backend = assemble_shipped(self.shipped_ckpt.as_deref(), &self.shipped_recs);
+        let mut db = Db::open(backend, self.db_config).expect("standby promote");
+        if !db.contains(key_of("/")) {
+            // Nothing was ever shipped: come up as an empty shard.
+            db.put(key_of("/"), encode_entry(&root_entry())).expect("mem io");
+        }
+        self.failover_replayed = db.recovered_batches();
+        self.recovered_batches = db.recovered_batches();
+        self.db = Some(db);
+        self.standby_mode = false;
+        self.shipped_ckpt = None;
+        self.shipped_recs = Vec::new();
+        // Serve as this shard's primary from now on (the map row is
+        // updated so ShardMapQuery answers point clients here).
+        if self.shard_map.get(self.shard as usize).is_some() {
+            self.shard_map.set_primary(self.shard as usize, ctx.id());
+        }
+        ctx.metrics().count("ns.failovers", 1);
+        ctx.metrics().gauge_set(
+            &format!("ns{}.failover_replayed", self.shard),
+            self.failover_replayed as f64,
+        );
+        ctx.set_timer(self.costs.commit_lease, Msg::Tick(Tick::LeaseSweep));
+    }
 }
 
 /// Runtime entry points: shared by the simulator (via the thin [`Node`]
 /// impl below) and the real-process runtime.
 impl NamespaceServer {
     /// Bring the server online: recover the metadata db, arm the lease
-    /// sweep.
+    /// sweep (primaries) or the ship-silence watchdog (standbys).
     pub fn handle_start(&mut self, ctx: &mut impl Transport) {
+        if self.standby_mode {
+            self.ship_deadline = ctx.now() + self.costs.ns_standby_grace;
+            ctx.set_timer(self.costs.ns_standby_grace, Msg::Tick(Tick::StandbyCheck));
+            return;
+        }
         // Recover from the parked backend after a crash.
         if let Some(backend) = self.parked_backend.take() {
-            let db = Db::open(backend, DbConfig::default()).expect("recovery");
+            let db = Db::open(backend, self.db_config).expect("recovery");
             self.recovered_batches = db.recovered_batches();
             self.db = Some(db);
             self.leases.clear();
+        }
+        if self.standby.is_some() {
+            // Prime the shipping tap with a full image so the standby
+            // starts from a complete base (also after our own restart).
+            let db = self.db_mut();
+            db.enable_shipping();
+            db.checkpoint().expect("mem io");
+            ctx.set_timer(self.costs.ns_ship_interval, Msg::Tick(Tick::NsShip));
         }
         ctx.set_timer(self.costs.commit_lease, Msg::Tick(Tick::LeaseSweep));
     }
@@ -302,6 +872,7 @@ impl NamespaceServer {
         }
         self.leases.clear();
         self.replies.clear();
+        self.pending.clear();
     }
 
     /// Process one delivered message or fired timer.
@@ -310,11 +881,74 @@ impl NamespaceServer {
         match msg {
             Msg::Tick(Tick::LeaseSweep) => {
                 self.leases.retain(|_, l| l.expires > now);
+                self.export_gauges(ctx);
                 ctx.set_timer(self.costs.commit_lease, Msg::Tick(Tick::LeaseSweep));
                 return;
             }
+            Msg::Tick(Tick::NsShip) => {
+                self.ship_wal(ctx);
+                return;
+            }
+            Msg::Tick(Tick::StandbyCheck) => {
+                if self.standby_mode {
+                    if now >= self.ship_deadline {
+                        self.promote(ctx);
+                    } else {
+                        ctx.set_timer(
+                            self.costs.ns_standby_grace,
+                            Msg::Tick(Tick::StandbyCheck),
+                        );
+                    }
+                }
+                return;
+            }
+            Msg::Tick(Tick::XShardTimeout(xreq)) => {
+                // Abandon the handshake: the client's own resend will
+                // start a fresh one (targets are idempotent).
+                self.pending.remove(&xreq);
+                return;
+            }
             Msg::Tick(_) | Msg::Heartbeat(_) => return,
+            Msg::NsWalShip { seq, ckpt, recs, .. } => {
+                self.ingest_shipment(
+                    from,
+                    seq,
+                    ckpt.map(|b| b.to_vec()),
+                    recs.into_iter().map(|b| b.to_vec()).collect(),
+                    ctx,
+                );
+                return;
+            }
+            Msg::NsCatchup { .. } => {
+                // The standby fell behind the shipped tail: force-ship a
+                // full image (which resynchronizes its sequence).
+                if self.standby.is_some() && self.db.is_some() {
+                    let db = self.db_mut();
+                    let _ = db.take_shipment(); // subsumed by the image
+                    let img = db.checkpoint_image();
+                    self.ship_seq += 1;
+                    ctx.send(
+                        from,
+                        Msg::NsWalShip {
+                            shard: self.shard,
+                            seq: self.ship_seq,
+                            ckpt: Some(bytes::Bytes::from(img)),
+                            recs: Vec::new(),
+                        },
+                    );
+                }
+                return;
+            }
+            Msg::NsShardInstallR { req, result } | Msg::NsShardDropR { req, result } => {
+                self.complete_handshake(req, result, ctx);
+                return;
+            }
             _ => {}
+        }
+        if self.standby_mode {
+            // Not promoted: a client that failed over here too eagerly
+            // gets silence and will retry its primary.
+            return;
         }
         // Replayed mutation (same-request resend after a lost reply)?
         // Answer from the cache without executing twice: the first
@@ -350,13 +984,47 @@ impl NamespaceServer {
                 let result = self.create(&path, file, options, now);
                 Msg::NsCreateR { req, result }
             }
-            Msg::NsMkdir { req, path } => Msg::NsMkdirR {
+            Msg::NsMkdir { req, path } => {
+                if self.nshards > 1 {
+                    match self.mkdir_sharded(&path, from, req, now, ctx) {
+                        Some(result) => Msg::NsMkdirR { req, result },
+                        None => return, // suspended on a two-shard handshake
+                    }
+                } else {
+                    Msg::NsMkdirR { req, result: self.mkdir(&path, now) }
+                }
+            }
+            Msg::NsRemove { req, path } => {
+                if self.nshards > 1 {
+                    match self.remove_sharded(&path, from, req, ctx) {
+                        Some(result) => Msg::NsRemoveR { req, result },
+                        None => return,
+                    }
+                } else {
+                    Msg::NsRemoveR { req, result: self.remove(&path, from) }
+                }
+            }
+            Msg::NsRename { req, src, dst } => {
+                match self.rename_sharded(&src, &dst, from, req, ctx) {
+                    Some(result) => Msg::NsRenameR { req, result },
+                    None => return,
+                }
+            }
+            Msg::NsShardInstall { req, path, entry, xfer } => Msg::NsShardInstallR {
                 req,
-                result: self.mkdir(&path, now),
+                result: self.shard_install(&path, &entry, xfer),
             },
-            Msg::NsRemove { req, path } => Msg::NsRemoveR {
+            Msg::NsShardDrop { req, path, check_empty } => Msg::NsShardDropR {
                 req,
-                result: self.remove(&path, from),
+                result: self.shard_drop(&path, check_empty),
+            },
+            Msg::ShardMapQuery { req } => Msg::ShardMapR {
+                req,
+                rows: self
+                    .shard_map
+                    .iter()
+                    .map(|(k, s)| (k, s.primary, s.standby))
+                    .collect(),
             },
             Msg::NsList { req, path } => Msg::NsListR {
                 req,
@@ -406,6 +1074,9 @@ impl NamespaceServer {
                 | Msg::NsMkdirR { .. }
                 | Msg::NsRemoveR { .. }
                 | Msg::NsCommitEndR { .. }
+                | Msg::NsRenameR { .. }
+                | Msg::NsShardInstallR { .. }
+                | Msg::NsShardDropR { .. }
         );
         let done = if mutating {
             let disk_done = ctx.disk_submit(256, DiskAccess::Sequential);
@@ -428,6 +1099,7 @@ fn dedup_key(msg: &Msg) -> Option<ReqId> {
         Msg::NsCreate { req, .. }
         | Msg::NsMkdir { req, .. }
         | Msg::NsRemove { req, .. }
+        | Msg::NsRename { req, .. }
         | Msg::NsCommitBegin { req, .. }
         | Msg::NsCommitEnd { req, .. } => Some(*req),
         _ => None,
@@ -584,6 +1256,44 @@ mod tests {
             n.commit_end("/f", true, Version(1), 10, node(1), t(12)),
             Err(Error::LeaseHeld)
         );
+    }
+
+    #[test]
+    fn shard_install_stub_is_idempotent() {
+        let mut n = ns();
+        let mut stub = root_entry();
+        stub.created_ns = 1;
+        n.shard_install("/d", &stub, false).unwrap();
+        n.shard_install("/d", &stub, false).unwrap(); // resend: still Ok
+        assert!(n.lookup("/d").unwrap().is_dir);
+    }
+
+    #[test]
+    fn shard_install_transfer_checks_destination() {
+        let mut n = ns();
+        n.mkdir("/d", t(0)).unwrap();
+        let fe = n.create("/seed", FileId(5), opts(), t(0)).unwrap();
+        n.remove("/seed", node(1)).unwrap();
+        n.shard_install("/d/f", &fe, true).unwrap();
+        // Identical resend confirms; a different entry conflicts.
+        n.shard_install("/d/f", &fe, true).unwrap();
+        let mut other = fe.clone();
+        other.file = FileId(6);
+        assert_eq!(n.shard_install("/d/f", &other, true), Err(Error::AlreadyExists));
+        // Missing destination parent is refused.
+        assert_eq!(n.shard_install("/nodir/f", &fe, true), Err(Error::NotFound));
+    }
+
+    #[test]
+    fn shard_drop_confirms_empty_and_tolerates_resends() {
+        let mut n = ns();
+        n.mkdir("/d", t(0)).unwrap();
+        n.create("/d/f", FileId(1), opts(), t(0)).unwrap();
+        assert_eq!(n.shard_drop("/d", true), Err(Error::NotEmpty));
+        n.remove("/d/f", node(1)).unwrap();
+        n.shard_drop("/d", true).unwrap();
+        n.shard_drop("/d", true).unwrap(); // stub already gone: confirm
+        assert_eq!(n.lookup("/d"), Err(Error::NotFound));
     }
 
     #[test]

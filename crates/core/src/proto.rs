@@ -98,6 +98,18 @@ pub enum Tick {
     /// Client: resend backoff elapsed; re-issue the pending request with
     /// this id to the same target (real runtime, `rpc_resends` > 0).
     RpcResend(ReqId),
+    /// Namespace primary: drain the WAL-shipping outbox to the hot
+    /// standby (an empty ship doubles as a liveness beacon).
+    NsShip,
+    /// Namespace standby: check whether the primary's ships stopped
+    /// arriving; promote when the grace window has elapsed.
+    StandbyCheck,
+    /// Client: periodic shard-map refresh (armed only when a shard
+    /// routing table is installed, so unsharded runs stay untouched).
+    ShardMapRefresh,
+    /// Namespace shard: a cross-shard handshake request timed out;
+    /// fail the held-up client op with `Unavailable`.
+    XShardTimeout(ReqId),
 }
 
 /// Every Sorrento message.
@@ -331,6 +343,50 @@ pub enum Msg {
     /// monotonic ns since process start, so `epoch_unix_ns + at_ns`
     /// places them on the shared wall clock.
     TraceR { req: ReqId, json: String },
+
+    // ---- namespace sharding & hot standby ----
+    /// Rename a file entry. Routed to the source's shard; same-shard
+    /// renames are local, cross-shard ones ride a
+    /// [`Msg::NsShardInstall`] handshake to the destination's shard.
+    /// Directories are refused (their children live on another shard).
+    NsRename { req: ReqId, src: String, dst: String },
+    /// Rename reply.
+    NsRenameR { req: ReqId, result: Result<(), Error> },
+    /// Shard → shard: install an entry on the receiving shard. With
+    /// `xfer` false this installs a directory *stub* (mkdir publishing
+    /// the new directory onto the shard that owns its children); with
+    /// `xfer` true it is a rename transfer (the destination must be
+    /// free and its parent present).
+    NsShardInstall { req: ReqId, path: String, entry: FileEntry, xfer: bool },
+    /// Install ack.
+    NsShardInstallR { req: ReqId, result: Result<(), Error> },
+    /// Shard → shard: drop `path`'s directory stub. With `check_empty`
+    /// the receiver first verifies no children exist locally (the
+    /// remove-directory handshake).
+    NsShardDrop { req: ReqId, path: String, check_empty: bool },
+    /// Drop ack.
+    NsShardDropR { req: ReqId, result: Result<(), Error> },
+    /// Ask a namespace server (or standby) for the shard rows it knows.
+    /// Clients refresh their routing table with this, like the §3.4
+    /// location tables.
+    ShardMapQuery { req: ReqId },
+    /// The responder's shard rows: `(shard, primary, standby)`.
+    ShardMapR { req: ReqId, rows: Vec<(u32, NodeId, Option<NodeId>)> },
+    /// Primary → standby WAL shipping: every record the primary's
+    /// database appended since the last ship, in order. `seq` numbers
+    /// ships so the standby detects gaps; `ckpt` (when present)
+    /// replaces the standby's base image and resets its tail. An empty
+    /// ship is a liveness beacon.
+    NsWalShip {
+        shard: u32,
+        seq: u64,
+        ckpt: Option<bytes::Bytes>,
+        recs: Vec<bytes::Bytes>,
+    },
+    /// Standby → primary: a ship-sequence gap was detected (or the
+    /// standby booted mid-stream); the primary answers with a full
+    /// checkpoint image in its next ship.
+    NsCatchup { shard: u32, have_seq: u64 },
 }
 
 /// Boxed replica image (large variant kept off the enum's inline size).
@@ -395,6 +451,16 @@ pub fn dbg_kind(msg: &Msg) -> &'static str {
         Msg::ChaosCtlR { .. } => "chaos_ctl_r",
         Msg::TraceQuery { .. } => "trace_query",
         Msg::TraceR { .. } => "trace_r",
+        Msg::NsRename { .. } => "ns_rename",
+        Msg::NsRenameR { .. } => "ns_rename_r",
+        Msg::NsShardInstall { .. } => "ns_shard_install",
+        Msg::NsShardInstallR { .. } => "ns_shard_install_r",
+        Msg::NsShardDrop { .. } => "ns_shard_drop",
+        Msg::NsShardDropR { .. } => "ns_shard_drop_r",
+        Msg::ShardMapQuery { .. } => "shard_map_query",
+        Msg::ShardMapR { .. } => "shard_map_r",
+        Msg::NsWalShip { .. } => "ns_wal_ship",
+        Msg::NsCatchup { .. } => "ns_catchup",
     }
 }
 
@@ -495,6 +561,19 @@ impl Payload for Msg {
             Msg::ChaosCtlR { .. } => 8,
             Msg::TraceQuery { .. } => 16,
             Msg::TraceR { json, .. } => 8 + json.len() as u64,
+            Msg::NsRename { src, dst, .. } => src.len() as u64 + dst.len() as u64 + 8,
+            Msg::NsRenameR { .. } => 16,
+            Msg::NsShardInstall { path, .. } => path.len() as u64 + 128,
+            Msg::NsShardInstallR { .. } => 16,
+            Msg::NsShardDrop { path, .. } => path.len() as u64 + 8,
+            Msg::NsShardDropR { .. } => 16,
+            Msg::ShardMapQuery { .. } => 8,
+            Msg::ShardMapR { rows, .. } => 8 + rows.len() as u64 * 16,
+            Msg::NsWalShip { ckpt, recs, .. } => {
+                24 + ckpt.as_ref().map_or(0, |c| c.len() as u64)
+                    + recs.iter().map(|r| r.len() as u64 + 4).sum::<u64>()
+            }
+            Msg::NsCatchup { .. } => 16,
         };
         RPC_HEADER + body
     }

@@ -55,6 +55,12 @@ impl Batch {
 pub struct DbConfig {
     /// Checkpoint automatically once the WAL exceeds this many bytes.
     pub checkpoint_wal_bytes: usize,
+    /// Checkpoint automatically every this many applied batches
+    /// (`None` = byte-threshold only). This is the knob that bounds the
+    /// replay tail — and therefore crash-recovery and hot-standby
+    /// failover time — by a fixed operation count instead of a byte
+    /// budget.
+    pub checkpoint_every_batches: Option<u64>,
 }
 
 impl Default for DbConfig {
@@ -63,8 +69,38 @@ impl Default for DbConfig {
             // Matches the spirit of BDB's default log regime: checkpoints
             // are rare relative to individual namespace operations.
             checkpoint_wal_bytes: 4 * 1024 * 1024,
+            checkpoint_every_batches: None,
         }
     }
+}
+
+/// What [`Db::take_shipment`] drains: the shipping tap's view of
+/// everything appended since the previous drain. When `ckpt` is present
+/// it subsumes all earlier records — the receiver replaces its base
+/// image with it and keeps only `recs` as the new tail.
+#[derive(Debug, Default)]
+pub struct Shipment {
+    /// A full checkpoint image (present when the source checkpointed
+    /// since the last drain).
+    pub ckpt: Option<Vec<u8>>,
+    /// Encoded WAL records appended after `ckpt` (or since the last
+    /// drain), in order.
+    pub recs: Vec<Vec<u8>>,
+}
+
+impl Shipment {
+    /// Whether the shipment carries anything.
+    pub fn is_empty(&self) -> bool {
+        self.ckpt.is_none() && self.recs.is_empty()
+    }
+}
+
+/// The WAL-shipping tap: a copy of every appended record (and each
+/// checkpoint image), queued for a replication consumer.
+#[derive(Debug, Default)]
+struct ShipTap {
+    pending_ckpt: Option<Vec<u8>>,
+    recs: Vec<Vec<u8>>,
 }
 
 const CKPT_FILE: &str = "checkpoint";
@@ -75,7 +111,9 @@ pub struct Db<B: Backend> {
     mem: BTreeMap<Vec<u8>, Vec<u8>>,
     backend: B,
     wal_bytes: usize,
+    batches_since_ckpt: u64,
     config: DbConfig,
+    ship: Option<ShipTap>,
     /// Batches recovered from the WAL at open time (observability/tests).
     recovered_batches: usize,
 }
@@ -103,7 +141,9 @@ impl<B: Backend> Db<B> {
             mem,
             backend,
             wal_bytes: wal_img.len(),
+            batches_since_ckpt: recovered_batches as u64,
             config,
+            ship: None,
             recovered_batches,
         })
     }
@@ -143,8 +183,17 @@ impl<B: Backend> Db<B> {
         let rec = wal::encode_record(&batch.ops);
         self.backend.append(WAL_FILE, &rec)?;
         self.wal_bytes += rec.len();
+        if let Some(tap) = &mut self.ship {
+            tap.recs.push(rec);
+        }
+        self.batches_since_ckpt += 1;
         apply_to(&mut self.mem, &batch.ops);
-        if self.wal_bytes >= self.config.checkpoint_wal_bytes {
+        let due_by_bytes = self.wal_bytes >= self.config.checkpoint_wal_bytes;
+        let due_by_count = self
+            .config
+            .checkpoint_every_batches
+            .is_some_and(|n| self.batches_since_ckpt >= n);
+        if due_by_bytes || due_by_count {
             self.checkpoint()?;
         }
         Ok(())
@@ -152,16 +201,69 @@ impl<B: Backend> Db<B> {
 
     /// Write a full snapshot and truncate the WAL.
     pub fn checkpoint(&mut self) -> io::Result<()> {
+        let img = self.checkpoint_image();
+        self.backend.write_atomic(CKPT_FILE, &img)?;
+        self.backend.truncate(WAL_FILE)?;
+        self.wal_bytes = 0;
+        self.batches_since_ckpt = 0;
+        if let Some(tap) = &mut self.ship {
+            // The image subsumes every record queued before it: the
+            // receiver replaces its base with the image and an empty tail.
+            tap.recs.clear();
+            tap.pending_ckpt = Some(img);
+        }
+        Ok(())
+    }
+
+    /// Encode the current contents as a single checkpoint record, without
+    /// touching the backend. Used to force-ship a full image to a standby
+    /// that has fallen behind the shipped tail.
+    pub fn checkpoint_image(&self) -> Vec<u8> {
         let ops: Vec<Op> = self
             .mem
             .iter()
             .map(|(k, v)| Op::Put(k.clone(), v.clone()))
             .collect();
-        let img = wal::encode_record(&ops);
-        self.backend.write_atomic(CKPT_FILE, &img)?;
-        self.backend.truncate(WAL_FILE)?;
-        self.wal_bytes = 0;
-        Ok(())
+        wal::encode_record(&ops)
+    }
+
+    /// Start taping every applied record (and each checkpoint image) for
+    /// [`Db::take_shipment`]. Idempotent; taping starts empty.
+    pub fn enable_shipping(&mut self) {
+        if self.ship.is_none() {
+            self.ship = Some(ShipTap::default());
+        }
+    }
+
+    /// Drain everything taped since the last drain. Empty shipments are
+    /// normal (nothing happened) and cheap.
+    pub fn take_shipment(&mut self) -> Shipment {
+        match &mut self.ship {
+            Some(tap) => Shipment {
+                ckpt: tap.pending_ckpt.take(),
+                recs: std::mem::take(&mut tap.recs),
+            },
+            None => Shipment::default(),
+        }
+    }
+
+    /// Insert a key into memory only — no WAL record, no shipping, no
+    /// checkpoint trigger. Bulk-preseed path for benchmarks: callers must
+    /// [`Db::checkpoint`] afterwards if they want the data durable.
+    pub fn load_unlogged(&mut self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>) {
+        self.mem
+            .insert(key.as_ref().to_vec(), value.as_ref().to_vec());
+    }
+
+    /// Batches applied since the last checkpoint — the replay tail a
+    /// crash-restart (or a standby takeover) would have to re-run.
+    pub fn batches_since_checkpoint(&self) -> u64 {
+        self.batches_since_ckpt
+    }
+
+    /// Change the batch-count checkpoint trigger on an open store.
+    pub fn set_checkpoint_every_batches(&mut self, every: Option<u64>) {
+        self.config.checkpoint_every_batches = every;
     }
 
     /// Iterate `(key, value)` pairs whose key starts with `prefix`, in
@@ -216,6 +318,23 @@ impl<B: Backend> Db<B> {
     pub fn backend(&self) -> &B {
         &self.backend
     }
+}
+
+/// Assemble a [`MemBackend`](crate::backend::MemBackend) from shipped
+/// state: the latest checkpoint image plus the WAL tail records that
+/// followed it. [`Db::open`] on the result replays exactly that tail —
+/// which is how a hot standby materialises the primary's store, and why
+/// its takeover time is bounded by the uncheckpointed tail length.
+pub fn assemble_shipped(ckpt: Option<&[u8]>, recs: &[Vec<u8>]) -> crate::backend::MemBackend {
+    let mut backend = crate::backend::MemBackend::new();
+    if let Some(img) = ckpt {
+        // MemBackend writes are infallible.
+        backend.write_atomic(CKPT_FILE, img).expect("mem write");
+    }
+    for rec in recs {
+        backend.append(WAL_FILE, rec).expect("mem append");
+    }
+    backend
 }
 
 fn apply_to(mem: &mut BTreeMap<Vec<u8>, Vec<u8>>, ops: &[Op]) {
@@ -312,6 +431,7 @@ mod tests {
             MemBackend::new(),
             DbConfig {
                 checkpoint_wal_bytes: 64,
+                ..DbConfig::default()
             },
         )
         .unwrap();
@@ -354,6 +474,99 @@ mod tests {
         let before = db.wal_bytes();
         db.apply(Batch::new()).unwrap();
         assert_eq!(db.wal_bytes(), before);
+    }
+
+    #[test]
+    fn checkpoint_interval_bounds_replay_tail() {
+        // Satellite: with checkpoint_every_batches = 8, a crash-restart
+        // never replays more than 8 batches no matter how much history
+        // accumulated before the crash.
+        let cfg = DbConfig {
+            checkpoint_every_batches: Some(8),
+            ..DbConfig::default()
+        };
+        let mut db = Db::open(MemBackend::new(), cfg).unwrap();
+        for i in 0..100u32 {
+            db.put(i.to_le_bytes(), [7u8; 16]).unwrap();
+        }
+        assert!(db.batches_since_checkpoint() < 8);
+        let db2 = Db::open(db.into_backend(), cfg).unwrap();
+        assert!(
+            db2.recovered_batches() < 8,
+            "replay tail {} not bounded by interval",
+            db2.recovered_batches()
+        );
+        assert_eq!(db2.len(), 100);
+    }
+
+    #[test]
+    fn shipping_mirrors_primary_state() {
+        let mut db = open_mem();
+        db.enable_shipping();
+        db.put("a", "1").unwrap();
+        db.put("b", "2").unwrap();
+        db.checkpoint().unwrap();
+        db.put("c", "3").unwrap();
+        db.delete("a").unwrap();
+        let s = db.take_shipment();
+        assert!(s.ckpt.is_some());
+        assert_eq!(s.recs.len(), 2); // only post-checkpoint records survive
+        let standby = Db::open(assemble_shipped(s.ckpt.as_deref(), &s.recs), DbConfig::default())
+            .unwrap();
+        assert_eq!(standby.recovered_batches(), 2);
+        assert_eq!(standby.get("a"), None);
+        assert_eq!(standby.get("b"), Some(&b"2"[..]));
+        assert_eq!(standby.get("c"), Some(&b"3"[..]));
+        // Subsequent drains only carry the delta.
+        db.put("d", "4").unwrap();
+        let s2 = db.take_shipment();
+        assert!(s2.ckpt.is_none());
+        assert_eq!(s2.recs.len(), 1);
+        assert!(db.take_shipment().is_empty());
+    }
+
+    #[test]
+    fn incremental_shipments_compose() {
+        // Apply every drained shipment in order onto a growing receiver
+        // image: the final replayed store equals the source.
+        let mut db = open_mem();
+        db.enable_shipping();
+        let (mut r_ckpt, mut r_recs): (Option<Vec<u8>>, Vec<Vec<u8>>) = (None, Vec::new());
+        for round in 0..6u32 {
+            db.put(format!("k{round}"), format!("v{round}")).unwrap();
+            if round == 3 {
+                db.checkpoint().unwrap();
+            }
+            let s = db.take_shipment();
+            if let Some(img) = s.ckpt {
+                r_ckpt = Some(img);
+                r_recs.clear();
+            }
+            r_recs.extend(s.recs);
+        }
+        let standby =
+            Db::open(assemble_shipped(r_ckpt.as_deref(), &r_recs), DbConfig::default()).unwrap();
+        assert_eq!(standby.len(), db.len());
+        for round in 0..6u32 {
+            assert_eq!(
+                standby.get(format!("k{round}")),
+                db.get(format!("k{round}"))
+            );
+        }
+    }
+
+    #[test]
+    fn load_unlogged_skips_wal_and_shipping() {
+        let mut db = open_mem();
+        db.enable_shipping();
+        db.load_unlogged("bulk", "x");
+        assert_eq!(db.get("bulk"), Some(&b"x"[..]));
+        assert_eq!(db.wal_bytes(), 0);
+        assert!(db.take_shipment().is_empty());
+        // Durable only after an explicit checkpoint.
+        db.checkpoint().unwrap();
+        let db2 = Db::open(db.into_backend(), DbConfig::default()).unwrap();
+        assert_eq!(db2.get("bulk"), Some(&b"x"[..]));
     }
 
     #[test]

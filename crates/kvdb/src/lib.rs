@@ -41,5 +41,5 @@ mod wal;
 
 pub use backend::{Backend, FileBackend, MemBackend};
 pub use crc::{crc32, Crc32};
-pub use db::{Batch, Db, DbConfig, Op};
+pub use db::{assemble_shipped, Batch, Db, DbConfig, Op, Shipment};
 pub use shared::SharedDb;

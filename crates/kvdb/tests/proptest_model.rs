@@ -36,7 +36,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
     #[test]
     fn db_matches_btreemap_model(actions in prop::collection::vec(action(), 1..60)) {
-        let mut db = Db::open(MemBackend::new(), DbConfig { checkpoint_wal_bytes: 512 }).unwrap();
+        let mut db = Db::open(MemBackend::new(), DbConfig { checkpoint_wal_bytes: 512, ..DbConfig::default() }).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for a in actions {
             match a {
@@ -71,7 +71,7 @@ proptest! {
                     // everything applied so far was WAL-synced, so nothing
                     // may be lost.
                     let backend = db.into_backend();
-                    db = Db::open(backend, DbConfig { checkpoint_wal_bytes: 512 }).unwrap();
+                    db = Db::open(backend, DbConfig { checkpoint_wal_bytes: 512, ..DbConfig::default() }).unwrap();
                 }
             }
             // Full-state equivalence after every action.
@@ -89,7 +89,7 @@ proptest! {
     ) {
         // Apply all puts, then tear off `tear_back` bytes from the WAL end:
         // recovery must yield a prefix of the batch sequence.
-        let mut db = Db::open(MemBackend::new(), DbConfig { checkpoint_wal_bytes: usize::MAX }).unwrap();
+        let mut db = Db::open(MemBackend::new(), DbConfig { checkpoint_wal_bytes: usize::MAX, ..DbConfig::default() }).unwrap();
         let mut prefix_states: Vec<BTreeMap<Vec<u8>, Vec<u8>>> = vec![BTreeMap::new()];
         let mut model = BTreeMap::new();
         for (k, v) in &puts {

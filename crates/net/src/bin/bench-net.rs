@@ -172,6 +172,10 @@ fn spawn_cluster(providers: usize, seed: u64) -> (Vec<DaemonHandle>, CtlConfig) 
                 costs: CostModel::fast_test(),
                 chaos: Default::default(),
                 metrics_interval_ms: None,
+                shard: 0,
+                ns_shards: 1,
+                ns_map: Vec::new(),
+                ns_checkpoint_batches: None,
                 peers: all_peers
                     .iter()
                     .enumerate()

@@ -92,6 +92,7 @@ fn main() -> ExitCode {
 
     let role = match cfg.role {
         Role::Namespace => "namespace",
+        Role::Standby => "standby",
         Role::Provider => "provider",
     };
     eprintln!(

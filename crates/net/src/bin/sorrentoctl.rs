@@ -8,6 +8,7 @@
 //! sorrentoctl --config <cluster.json> ls     <path>
 //! sorrentoctl --config <cluster.json> rm     <path>
 //! sorrentoctl --config <cluster.json> mkdir  <path>
+//! sorrentoctl --config <cluster.json> mv     <src> <dst>
 //! sorrentoctl --config <cluster.json> stats  <node-id>
 //! sorrentoctl --config <cluster.json> top
 //! sorrentoctl --config <cluster.json> trace  <span>
@@ -52,7 +53,7 @@ const PER_NODE: Duration = Duration::from_secs(5);
 /// up front; 256 MB ⇒ shard widths stay sane for CLI-scale files).
 const EC_MAX_SIZE: u64 = 256 << 20;
 const USAGE: &str = "usage: sorrentoctl --config <cluster.json> \
-    <create|write|read|stat|ls|rm|mkdir|stats|top|trace|chaos> [args]\n\
+    <create|write|read|stat|ls|rm|mkdir|mv|stats|top|trace|chaos> [args]\n\
     create <path> [--ec k,m]   erasure-coded instead of replicated";
 
 fn main() -> ExitCode {
@@ -193,6 +194,11 @@ fn run() -> Result<ExitCode, String> {
             fs.mkdir(path).map_err(|e| e.to_string())?;
             report(run_fs(&cfg, fs)?)
         }
+        ("mv", [src, dst]) => {
+            let mut fs = FsScript::new();
+            fs.rename(src, dst).map_err(|e| e.to_string())?;
+            report(run_fs(&cfg, fs)?)
+        }
         ("stats", [node]) => {
             let id: usize = node.parse().map_err(|_| "stats takes a node id")?;
             let json = ctl::fetch_stats(&cfg, NodeId::from_index(id), DEADLINE)
@@ -303,8 +309,8 @@ fn check_snapshot_version(json: &str, node: usize) {
 /// of `top` is seeing which nodes are sick.
 fn cmd_top(cfg: &CtlConfig) -> Result<ExitCode, String> {
     println!(
-        "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>6} {:>16} SLOWEST",
-        "NODE", "ROLE", "UP(s)", "EVENTS", "DROPPED", "CONNS", "QMAX", "CHAOS(d/D/~)"
+        "{:<6} {:<10} {:<6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>16} SLOWEST",
+        "NODE", "ROLE", "SHARD", "UP(s)", "EVENTS", "DROPPED", "CONNS", "QMAX", "CHAOS(d/D/~)"
     );
     let mut unhealthy = false;
     for peer in &cfg.peers {
@@ -363,10 +369,17 @@ fn cmd_top(cfg: &CtlConfig) -> Result<ExitCode, String> {
                     )
                 },
             );
+        // Namespace/standby snapshots carry their shard index;
+        // providers have none.
+        let shard = snap
+            .get("shard")
+            .and_then(Json::as_u64)
+            .map_or_else(|| "-".to_owned(), |k| format!("ns{k}"));
         println!(
-            "{:<6} {:<10} {:>8} {:>8} {:>8} {:>6} {:>6} {:>16} {}",
+            "{:<6} {:<10} {:<6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>16} {}",
             format!("n{idx}"),
             str_of("role"),
+            shard,
             snap.get("uptime_ms").and_then(Json::as_u64).unwrap_or(0) / 1000,
             flight("len"),
             flight("dropped"),

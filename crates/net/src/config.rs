@@ -28,14 +28,19 @@ use std::time::Duration;
 
 use crate::chaos::ChaosConfig;
 use sorrento::costs::CostModel;
+use sorrento::nsmap::ShardInfo;
 use sorrento_json::Json;
 use sorrento_sim::NodeId;
 
 /// What a daemon does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
-    /// Namespace server (pathname → entry, commit approval).
+    /// Namespace server (pathname → entry, commit approval). With a
+    /// shard map it serves one shard of the partitioned namespace.
     Namespace,
+    /// Hot standby for one namespace shard: applies shipped WAL and
+    /// promotes itself when the primary's shipments stop.
+    Standby,
     /// Storage provider (segments, shadows, replication).
     Provider,
 }
@@ -80,6 +85,16 @@ pub struct DaemonConfig {
     /// every this many milliseconds (`None` = off). Benches and chaos
     /// drills get post-hoc time series for free.
     pub metrics_interval_ms: Option<u64>,
+    /// Which namespace shard this node serves (namespace/standby roles).
+    pub shard: u32,
+    /// Total namespace shard count (1 = classic unsharded deployment).
+    pub ns_shards: u32,
+    /// The namespace shard map: per-shard primary and optional standby
+    /// node ids, in shard order. Empty means unsharded.
+    pub ns_map: Vec<ShardInfo>,
+    /// Checkpoint the namespace kvdb every this many applied batches
+    /// (bounds the WAL tail a standby replays at failover).
+    pub ns_checkpoint_batches: Option<u64>,
     /// Seed peers.
     pub peers: Vec<PeerSpec>,
 }
@@ -114,6 +129,7 @@ impl DaemonConfig {
         let node_id = req_u64(&j, "node_id")? as usize;
         let role = match req_str(&j, "role")? {
             "namespace" => Role::Namespace,
+            "standby" => Role::Standby,
             "provider" => Role::Provider,
             _ => return Err(ConfigError::Invalid("role")),
         };
@@ -143,6 +159,7 @@ impl DaemonConfig {
             }
         }
         let chaos = parse_chaos(&j)?;
+        let ns_map = parse_ns_map(&j)?;
         Ok(DaemonConfig {
             node_id: NodeId::from_index(node_id),
             role,
@@ -155,9 +172,37 @@ impl DaemonConfig {
             costs,
             chaos,
             metrics_interval_ms: opt_u64(&j, "metrics_interval_ms")?,
+            shard: opt_u64(&j, "shard")?.unwrap_or(0) as u32,
+            ns_shards: opt_u64(&j, "ns_shards")?.unwrap_or(1).max(1) as u32,
+            ns_map,
+            ns_checkpoint_batches: opt_u64(&j, "ns_checkpoint_batches")?,
             peers,
         })
     }
+}
+
+/// Parse an optional `"ns_map"` array — the namespace shard map, one
+/// row per shard in shard order:
+///
+/// ```json
+/// { "ns_map": [ { "primary": 0, "standby": 5 }, { "primary": 1 } ] }
+/// ```
+fn parse_ns_map(j: &Json) -> Result<Vec<ShardInfo>, ConfigError> {
+    let Some(arr) = j.get("ns_map") else { return Ok(Vec::new()) };
+    let mut rows = Vec::new();
+    for row in arr.as_arr().ok_or(ConfigError::Invalid("ns_map"))? {
+        let standby = match row.get("standby") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(NodeId::from_index(
+                v.as_u64().ok_or(ConfigError::Invalid("ns_map.standby"))? as usize,
+            )),
+        };
+        rows.push(ShardInfo {
+            primary: NodeId::from_index(req_u64(row, "primary")? as usize),
+            standby,
+        });
+    }
+    Ok(rows)
 }
 
 /// Parse an optional `"chaos"` object:
@@ -222,6 +267,9 @@ pub struct CtlConfig {
     /// finish in time fails with `Error::DeadlineExceeded` instead of
     /// retrying forever (`None` = no deadline).
     pub op_deadline_ms: Option<u64>,
+    /// The namespace shard map (same `"ns_map"` shape as the daemon
+    /// config). Empty means unsharded: route everything to `namespace`.
+    pub ns_map: Vec<ShardInfo>,
     /// All daemons in the cluster.
     pub peers: Vec<PeerSpec>,
 }
@@ -273,6 +321,7 @@ impl CtlConfig {
             write_window: opt_u64(&j, "write_window")?.unwrap_or(4) as usize,
             rpc_resends: opt_u64(&j, "rpc_resends")?.unwrap_or(0) as u32,
             op_deadline_ms: opt_u64(&j, "op_deadline_ms")?,
+            ns_map: parse_ns_map(&j)?,
             peers,
         })
     }
@@ -346,6 +395,39 @@ mod tests {
         .unwrap();
         assert_eq!(ctl.rpc_resends, 0);
         assert_eq!(ctl.op_deadline_ms, None);
+    }
+
+    #[test]
+    fn parses_metadata_plane_knobs() {
+        let cfg = DaemonConfig::parse(
+            r#"{"node_id": 5, "role": "standby", "listen": "127.0.0.1:0",
+                "shard": 1, "ns_shards": 2, "ns_checkpoint_batches": 256,
+                "ns_map": [{"primary": 0, "standby": 4}, {"primary": 1, "standby": 5}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.role, Role::Standby);
+        assert_eq!((cfg.shard, cfg.ns_shards), (1, 2));
+        assert_eq!(cfg.ns_checkpoint_batches, Some(256));
+        assert_eq!(cfg.ns_map.len(), 2);
+        assert_eq!(cfg.ns_map[1].primary, NodeId::from_index(1));
+        assert_eq!(cfg.ns_map[1].standby, Some(NodeId::from_index(5)));
+
+        // Defaults keep the classic unsharded deployment.
+        let cfg = DaemonConfig::parse(
+            r#"{"node_id": 0, "role": "namespace", "listen": "127.0.0.1:0"}"#,
+        )
+        .unwrap();
+        assert_eq!((cfg.shard, cfg.ns_shards), (0, 1));
+        assert!(cfg.ns_map.is_empty());
+        assert_eq!(cfg.ns_checkpoint_batches, None);
+
+        let ctl = CtlConfig::parse(
+            r#"{"namespace": 0, "ns_map": [{"primary": 0}, {"primary": 1}],
+                "peers": [{"id": 0, "addr": "x"}, {"id": 1, "addr": "y"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ctl.ns_map.len(), 2);
+        assert_eq!(ctl.ns_map[0].standby, None);
     }
 
     #[test]

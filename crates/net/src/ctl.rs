@@ -132,7 +132,17 @@ fn join_mesh(cfg: &CtlConfig) -> Result<(RealCtx, Mesh), CtlError> {
     let mut machines: HashMap<NodeId, u32> =
         cfg.peers.iter().map(|p| (p.id, p.machine)).collect();
     machines.insert(me, u32::MAX); // the ctl node is on no provider machine
-    let ctx = RealCtx::new(me, cfg.seed, 1 << 30, machines);
+    // Every session gets its own RNG stream for the same reason it gets
+    // its own request-id range (below): segment ids carry an RNG salt,
+    // and two sessions replaying the same seed from the same ctl node id
+    // mint *colliding* segment ids — a later session's create would then
+    // fail 2PC with a spurious VersionConflict against the earlier
+    // session's committed index segment.
+    let session_salt = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    let ctx = RealCtx::new(me, cfg.seed ^ session_salt, 1 << 30, machines);
     ctx.flight().set_role("ctl");
     let seed_peers: HashMap<NodeId, SocketAddr> = cfg
         .peers
@@ -194,6 +204,11 @@ pub fn run_script(
     };
     let mut client = SorrentoClient::new(cfg.namespace, cfg.costs, Box::new(workload));
     client.default_options.replication = cfg.replication;
+    if !cfg.ns_map.is_empty() {
+        // Sharded metadata plane: route each path to its shard's
+        // primary (failing over to the standby on timeouts).
+        client.set_ns_shards(sorrento::nsmap::NsShardMap::from_rows(cfg.ns_map.clone()));
+    }
     client.write_chunk = cfg.write_chunk;
     client.write_window = cfg.write_window;
     client.rpc_resends = cfg.rpc_resends;

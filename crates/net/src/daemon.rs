@@ -26,6 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sorrento::namespace::NamespaceServer;
+use sorrento::nsmap::NsShardMap;
 use sorrento::provider::StorageProvider;
 use sorrento::proto::{self, Msg, Tick};
 use sorrento::types::{SegId, Version};
@@ -125,11 +126,18 @@ impl SlowOps {
 /// in place (existing consumers keep reading `counters`/`gauges` at the
 /// top level) with identity, uptime, flight-ring usage and the slow-op
 /// table.
-fn build_snapshot(ctx: &mut RealCtx, mesh: &Mesh, role: &'static str, slow: &SlowOps) -> Json {
+fn build_snapshot(
+    ctx: &mut RealCtx,
+    mesh: &Mesh,
+    role: &'static str,
+    shard: Option<u32>,
+    slow: &SlowOps,
+) -> Json {
     mesh.export_metrics(ctx.metrics());
     let uptime_ms = ctx.now().nanos() / 1_000_000;
     let (flight_len, flight_dropped) = ctx.flight().usage();
-    ctx.metrics_ref()
+    let snap = ctx
+        .metrics_ref()
         .to_json()
         .with("v", STATS_SCHEMA_V)
         .with("node", ctx.id().index() as u64)
@@ -139,7 +147,11 @@ fn build_snapshot(ctx: &mut RealCtx, mesh: &Mesh, role: &'static str, slow: &Slo
             "flight",
             Json::obj().with("len", flight_len as u64).with("dropped", flight_dropped),
         )
-        .with("slow_ops", slow.to_json())
+        .with("slow_ops", slow.to_json());
+    match shard {
+        Some(k) => snap.with("shard", u64::from(k)),
+        None => snap,
+    }
 }
 
 /// A handle to an in-process daemon (integration tests, embedding).
@@ -235,7 +247,12 @@ fn run_loop(
 
     let role_str = match cfg.role {
         Role::Namespace => "namespace",
+        Role::Standby => "standby",
         Role::Provider => "provider",
+    };
+    let shard = match cfg.role {
+        Role::Namespace | Role::Standby => Some(cfg.shard),
+        Role::Provider => None,
     };
     let flight = ctx.flight();
     flight.set_role(role_str);
@@ -257,7 +274,21 @@ fn run_loop(
     }
 
     let mut machine = match cfg.role {
-        Role::Namespace => Machine::Ns(Box::new(NamespaceServer::new(cfg.costs))),
+        Role::Namespace if cfg.ns_shards > 1 || !cfg.ns_map.is_empty() => {
+            let mut ns = NamespaceServer::new_sharded(cfg.costs, cfg.shard, cfg.ns_shards);
+            install_ns_plane(&mut ns, &cfg);
+            Machine::Ns(Box::new(ns))
+        }
+        Role::Namespace => {
+            let mut ns = NamespaceServer::new(cfg.costs);
+            ns.set_checkpoint_every_batches(cfg.ns_checkpoint_batches);
+            Machine::Ns(Box::new(ns))
+        }
+        Role::Standby => {
+            let mut ns = NamespaceServer::new_standby(cfg.costs, cfg.shard, cfg.ns_shards);
+            install_ns_plane(&mut ns, &cfg);
+            Machine::Ns(Box::new(ns))
+        }
         Role::Provider => {
             Machine::Prov(Box::new(StorageProvider::new(cfg.costs, 2).with_rack(cfg.rack)))
         }
@@ -316,7 +347,7 @@ fn run_loop(
         if let Some((from, msg)) = mesh.recv_timeout(POLL) {
             match msg {
                 Msg::StatsQuery { req } => {
-                    let json = build_snapshot(&mut ctx, &mesh, role_str, &slow).encode();
+                    let json = build_snapshot(&mut ctx, &mesh, role_str, shard, &slow).encode();
                     mesh.send(from, &Msg::StatsR { req, json });
                 }
                 // Span tracing: serve the local flight ring (filtered to
@@ -369,7 +400,7 @@ fn run_loop(
         if let (Some(every), Some(file)) = (metrics_every, metrics_file.as_mut()) {
             if last_metrics.elapsed() >= every {
                 last_metrics = Instant::now();
-                let snap = build_snapshot(&mut ctx, &mesh, role_str, &slow);
+                let snap = build_snapshot(&mut ctx, &mesh, role_str, shard, &slow);
                 let _ = writeln!(file, "{}", snap.encode());
             }
         }
@@ -425,6 +456,20 @@ fn flush(ctx: &mut RealCtx, mesh: &mut Mesh, machine: &mut Machine) {
             }
         }
     }
+}
+
+/// Install the shard map, standby link and checkpoint knob a sharded
+/// (or standby) namespace machine needs before `handle_start` runs.
+fn install_ns_plane(ns: &mut NamespaceServer, cfg: &DaemonConfig) {
+    if !cfg.ns_map.is_empty() {
+        ns.set_shard_map(NsShardMap::from_rows(cfg.ns_map.clone()));
+        if cfg.role == Role::Namespace {
+            if let Some(standby) = cfg.ns_map.get(cfg.shard as usize).and_then(|r| r.standby) {
+                ns.set_standby(standby);
+            }
+        }
+    }
+    ns.set_checkpoint_every_batches(cfg.ns_checkpoint_batches);
 }
 
 fn key_of(seg: SegId) -> Vec<u8> {

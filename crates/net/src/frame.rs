@@ -851,6 +851,13 @@ fn write_tick(w: &mut Writer, t: &Tick) {
             w.u8(15);
             w.u64(*req);
         }
+        Tick::NsShip => w.u8(16),
+        Tick::StandbyCheck => w.u8(17),
+        Tick::ShardMapRefresh => w.u8(18),
+        Tick::XShardTimeout(req) => {
+            w.u8(19);
+            w.u64(*req);
+        }
     }
 }
 
@@ -872,6 +879,10 @@ fn read_tick(r: &mut Reader<'_>) -> Result<Tick, FrameError> {
         13 => Tick::LeaseSweep,
         14 => Tick::OpDeadline(r.u64()?),
         15 => Tick::RpcResend(r.u64()?),
+        16 => Tick::NsShip,
+        17 => Tick::StandbyCheck,
+        18 => Tick::ShardMapRefresh,
+        19 => Tick::XShardTimeout(r.u64()?),
         tag => return Err(FrameError::UnknownTag { what: "tick", tag }),
     })
 }
@@ -1251,6 +1262,69 @@ fn write_msg(w: &mut Writer, msg: &Msg) {
             w.u64(*req);
             w.string(json);
         }
+        Msg::NsRename { req, src, dst } => {
+            w.u8(54);
+            w.u64(*req);
+            w.string(src);
+            w.string(dst);
+        }
+        Msg::NsRenameR { req, result } => {
+            w.u8(55);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::NsShardInstall { req, path, entry, xfer } => {
+            w.u8(56);
+            w.u64(*req);
+            w.string(path);
+            write_entry(w, entry);
+            w.boolean(*xfer);
+        }
+        Msg::NsShardInstallR { req, result } => {
+            w.u8(57);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::NsShardDrop { req, path, check_empty } => {
+            w.u8(58);
+            w.u64(*req);
+            w.string(path);
+            w.boolean(*check_empty);
+        }
+        Msg::NsShardDropR { req, result } => {
+            w.u8(59);
+            w.u64(*req);
+            write_result(w, result, |_, ()| {});
+        }
+        Msg::ShardMapQuery { req } => {
+            w.u8(60);
+            w.u64(*req);
+        }
+        Msg::ShardMapR { req, rows } => {
+            w.u8(61);
+            w.u64(*req);
+            w.u32(rows.len() as u32);
+            for (shard, primary, standby) in rows {
+                w.u32(*shard);
+                w.node(*primary);
+                write_opt(w, standby, |w, n| w.node(*n));
+            }
+        }
+        Msg::NsWalShip { shard, seq, ckpt, recs } => {
+            w.u8(62);
+            w.u32(*shard);
+            w.u64(*seq);
+            write_opt(w, ckpt, |w, c| w.bytes(c));
+            w.u32(recs.len() as u32);
+            for rec in recs {
+                w.bytes(rec);
+            }
+        }
+        Msg::NsCatchup { shard, have_seq } => {
+            w.u8(63);
+            w.u32(*shard);
+            w.u64(*have_seq);
+        }
     }
 }
 
@@ -1441,6 +1515,43 @@ fn read_msg(r: &mut Reader<'_>) -> Result<Msg, FrameError> {
             seg: SegId(r.u128()?),
             result: read_result(r, |_| Ok(()))?,
         },
+        54 => Msg::NsRename { req: r.u64()?, src: r.string()?, dst: r.string()? },
+        55 => Msg::NsRenameR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        56 => Msg::NsShardInstall {
+            req: r.u64()?,
+            path: r.string()?,
+            entry: read_entry(r)?,
+            xfer: r.boolean()?,
+        },
+        57 => Msg::NsShardInstallR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        58 => Msg::NsShardDrop { req: r.u64()?, path: r.string()?, check_empty: r.boolean()? },
+        59 => Msg::NsShardDropR { req: r.u64()?, result: read_result(r, |_| Ok(()))? },
+        60 => Msg::ShardMapQuery { req: r.u64()? },
+        61 => Msg::ShardMapR {
+            req: r.u64()?,
+            rows: {
+                let n = r.u32()? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push((r.u32()?, r.node()?, read_opt(r, |r| r.node())?));
+                }
+                rows
+            },
+        },
+        62 => Msg::NsWalShip {
+            shard: r.u32()?,
+            seq: r.u64()?,
+            ckpt: read_opt(r, |r| r.bytes())?,
+            recs: {
+                let n = r.u32()? as usize;
+                let mut recs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    recs.push(r.bytes()?);
+                }
+                recs
+            },
+        },
+        63 => Msg::NsCatchup { shard: r.u32()?, have_seq: r.u64()? },
         tag => return Err(FrameError::UnknownTag { what: "msg", tag }),
     })
 }
@@ -1555,6 +1666,46 @@ mod tests {
         // New error variants travel inside any Result-bearing reply.
         roundtrip(Msg::WriteShadowR { req: 1, result: Err(Error::Unavailable) });
         roundtrip(Msg::CommitR { req: 2, result: Err(Error::DeadlineExceeded) });
+    }
+
+    #[test]
+    fn sharding_and_standby_messages_round_trip() {
+        let entry = FileEntry {
+            file: FileId(11),
+            version: Version(2),
+            size: 0,
+            is_dir: true,
+            created_ns: 5,
+            modified_ns: 6,
+            options: FileOptions::default(),
+        };
+        roundtrip(Msg::NsRename { req: 1, src: "/a/x".into(), dst: "/b/y".into() });
+        roundtrip(Msg::NsRenameR { req: 1, result: Ok(()) });
+        roundtrip(Msg::NsRenameR { req: 2, result: Err(Error::NotFound) });
+        roundtrip(Msg::NsShardInstall { req: 3, path: "/a".into(), entry, xfer: false });
+        roundtrip(Msg::NsShardInstallR { req: 3, result: Err(Error::AlreadyExists) });
+        roundtrip(Msg::NsShardDrop { req: 4, path: "/a".into(), check_empty: true });
+        roundtrip(Msg::NsShardDropR { req: 4, result: Err(Error::NotEmpty) });
+        roundtrip(Msg::ShardMapQuery { req: 5 });
+        roundtrip(Msg::ShardMapR {
+            req: 5,
+            rows: vec![
+                (0, NodeId::from_index(0), Some(NodeId::from_index(9))),
+                (1, NodeId::from_index(1), None),
+            ],
+        });
+        roundtrip(Msg::NsWalShip {
+            shard: 1,
+            seq: 7,
+            ckpt: Some(vec![1, 2, 3].into()),
+            recs: vec![vec![4, 5].into(), Vec::new().into()],
+        });
+        roundtrip(Msg::NsWalShip { shard: 0, seq: 8, ckpt: None, recs: Vec::new() });
+        roundtrip(Msg::NsCatchup { shard: 1, have_seq: 6 });
+        roundtrip(Msg::Tick(Tick::NsShip));
+        roundtrip(Msg::Tick(Tick::StandbyCheck));
+        roundtrip(Msg::Tick(Tick::ShardMapRefresh));
+        roundtrip(Msg::Tick(Tick::XShardTimeout(12)));
     }
 
     #[test]

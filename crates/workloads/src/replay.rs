@@ -129,7 +129,7 @@ fn op_to_trace(op: &ClientOp) -> Option<TraceOp> {
         ClientOp::Unlink { path } => TraceOp::Unlink { path: path.clone() },
         ClientOp::Mkdir { path } => TraceOp::Mkdir { path: path.clone() },
         ClientOp::Think { dur } => TraceOp::Gap { ns: dur.as_nanos() },
-        ClientOp::Stat { .. } | ClientOp::List { .. } => return None,
+        ClientOp::Stat { .. } | ClientOp::List { .. } | ClientOp::Rename { .. } => return None,
     })
 }
 

@@ -51,6 +51,10 @@ fn daemon_cfg(
         costs: CostModel::fast_test(),
         chaos: Default::default(),
         metrics_interval_ms: None,
+        shard: 0,
+        ns_shards: 1,
+        ns_map: Vec::new(),
+        ns_checkpoint_batches: None,
         peers: all_peers
             .iter()
             .enumerate()
@@ -169,6 +173,7 @@ fn run_drill(seed: u64) {
         write_window: 4,
         rpc_resends: 2,
         op_deadline_ms: Some(20_000),
+        ns_map: Vec::new(),
         peers: all_peers.clone(),
     };
 

@@ -309,6 +309,10 @@ fn drill_daemon_cfg(
         costs: drill_costs(),
         chaos: Default::default(),
         metrics_interval_ms: None,
+        shard: 0,
+        ns_shards: 1,
+        ns_map: Vec::new(),
+        ns_checkpoint_batches: None,
         peers: all_peers
             .iter()
             .enumerate()
@@ -427,6 +431,7 @@ fn run_ec_drill(seed: u64) {
         write_window: 4,
         rpc_resends: 2,
         op_deadline_ms: Some(20_000),
+        ns_map: Vec::new(),
         peers: all_peers.clone(),
     };
 

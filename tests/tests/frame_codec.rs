@@ -24,7 +24,7 @@ use sorrento_net::pool::BufPool;
 use sorrento_sim::NodeId;
 
 /// Number of `Msg` variants; every tag below this is generated.
-const MSG_VARIANTS: u8 = 54;
+const MSG_VARIANTS: u8 = 64;
 
 fn arb_u128(rng: &mut TestRng) -> u128 {
     ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128
@@ -169,7 +169,7 @@ fn arb_image(rng: &mut TestRng) -> ReplicaImage {
 }
 
 fn arb_tick(rng: &mut TestRng) -> Tick {
-    match rng.gen_range(0..16u8) {
+    match rng.gen_range(0..20u8) {
         0 => Tick::Heartbeat,
         1 => Tick::LocationRefresh,
         2 => Tick::JoinRefresh(arb_node(rng)),
@@ -185,7 +185,11 @@ fn arb_tick(rng: &mut TestRng) -> Tick {
         12 => Tick::CommitBeginRetry,
         13 => Tick::LeaseSweep,
         14 => Tick::OpDeadline(rng.gen()),
-        _ => Tick::RpcResend(rng.gen()),
+        15 => Tick::RpcResend(rng.gen()),
+        16 => Tick::NsShip,
+        17 => Tick::StandbyCheck,
+        18 => Tick::ShardMapRefresh,
+        _ => Tick::XShardTimeout(rng.gen()),
     }
 }
 
@@ -371,6 +375,44 @@ fn arb_msg(tag: u8, rng: &mut TestRng) -> Msg {
             seg: SegId(arb_u128(rng)),
             result: arb_result(rng, |_| ()),
         },
+        54 => Msg::NsRename { req: rng.gen(), src: arb_string(rng), dst: arb_string(rng) },
+        55 => Msg::NsRenameR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        56 => Msg::NsShardInstall {
+            req: rng.gen(),
+            path: arb_string(rng),
+            entry: arb_entry(rng),
+            xfer: rng.gen(),
+        },
+        57 => Msg::NsShardInstallR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        58 => Msg::NsShardDrop {
+            req: rng.gen(),
+            path: arb_string(rng),
+            check_empty: rng.gen(),
+        },
+        59 => Msg::NsShardDropR { req: rng.gen(), result: arb_result(rng, |_| ()) },
+        60 => Msg::ShardMapQuery { req: rng.gen() },
+        61 => Msg::ShardMapR {
+            req: rng.gen(),
+            rows: {
+                let n = rng.gen_range(0..5usize);
+                (0..n)
+                    .map(|i| {
+                        let standby = if rng.gen() { Some(arb_node(rng)) } else { None };
+                        (i as u32, arb_node(rng), standby)
+                    })
+                    .collect()
+            },
+        },
+        62 => Msg::NsWalShip {
+            shard: rng.gen(),
+            seq: rng.gen(),
+            ckpt: if rng.gen() { Some(arb_bytes(rng).into()) } else { None },
+            recs: {
+                let n = rng.gen_range(0..4usize);
+                (0..n).map(|_| arb_bytes(rng).into()).collect()
+            },
+        },
+        63 => Msg::NsCatchup { shard: rng.gen(), have_seq: rng.gen() },
         _ => unreachable!("tag out of range"),
     }
 }

@@ -1,0 +1,174 @@
+//! Real-loopback metadata-plane drill: a 2-shard namespace with hot
+//! standbys over actual TCP daemons. Kill one shard's primary, assert
+//! the standby notices the stalled WAL shipments, promotes itself, and
+//! serves correct reads — the game-day script from RUNBOOK.md, as a
+//! test (and the backing check for `make ns-smoke`).
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use sorrento::api::FsScript;
+use sorrento::costs::CostModel;
+use sorrento::nsmap::{shard_of_dir, ShardInfo};
+use sorrento_json::Json;
+use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
+use sorrento_net::ctl;
+use sorrento_net::daemon::{self, DaemonHandle};
+use sorrento_sim::NodeId;
+
+const DEADLINE: Duration = Duration::from_secs(60);
+const NSHARDS: u32 = 2;
+
+/// Node layout: 0..NSHARDS are shard primaries, NSHARDS..2*NSHARDS are
+/// their standbys, the rest are providers.
+fn spawn_sharded_cluster(providers: usize) -> (Vec<DaemonHandle>, CtlConfig) {
+    let ns = NSHARDS as usize;
+    let n = 2 * ns + providers;
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let all_peers: Vec<PeerSpec> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| PeerSpec {
+            id: NodeId::from_index(i),
+            addr: l.local_addr().unwrap().to_string(),
+            machine: i as u32,
+        })
+        .collect();
+    let ns_map: Vec<ShardInfo> = (0..ns)
+        .map(|k| ShardInfo {
+            primary: NodeId::from_index(k),
+            standby: Some(NodeId::from_index(ns + k)),
+        })
+        .collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let (role, shard) = if i < ns {
+                (Role::Namespace, i as u32)
+            } else if i < 2 * ns {
+                (Role::Standby, (i - ns) as u32)
+            } else {
+                (Role::Provider, 0)
+            };
+            let cfg = DaemonConfig {
+                node_id: NodeId::from_index(i),
+                role,
+                listen: all_peers[i].addr.clone(),
+                data_dir: None,
+                seed: 500 + i as u64,
+                capacity: 1 << 30,
+                machine: i as u32,
+                rack: i as u32,
+                costs: CostModel::fast_test(),
+                chaos: Default::default(),
+                metrics_interval_ms: None,
+                shard,
+                ns_shards: NSHARDS,
+                ns_map: ns_map.clone(),
+                ns_checkpoint_batches: Some(8),
+                peers: all_peers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+            };
+            daemon::spawn_with_listener(cfg, listener).expect("spawn daemon")
+        })
+        .collect();
+    let ctl_cfg = CtlConfig {
+        ctl_id: NodeId::from_index(1000),
+        namespace: NodeId::from_index(0),
+        seed: 7,
+        replication: 1,
+        costs: CostModel::fast_test(),
+        write_chunk: None,
+        write_window: 4,
+        rpc_resends: 0,
+        op_deadline_ms: None,
+        ns_map,
+        peers: all_peers,
+    };
+    (handles, ctl_cfg)
+}
+
+/// A root-level directory whose children live on shard `k`.
+fn dir_on_shard(k: u32) -> String {
+    (0..)
+        .map(|i| format!("/d{i}"))
+        .find(|d| shard_of_dir(d, NSHARDS) == k)
+        .unwrap()
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 37 % 251) as u8).collect()
+}
+
+#[test]
+fn sharded_namespace_fails_over_to_the_standby() {
+    let (mut handles, cfg) = spawn_sharded_cluster(2);
+    let d0 = dir_on_shard(0);
+    let d1 = dir_on_shard(1);
+    let data = payload(16 * 1024);
+
+    // Seed state on both shards through the primaries.
+    let mut fs = FsScript::new();
+    fs.mkdir(&d0).unwrap();
+    fs.mkdir(&d1).unwrap();
+    for (d, name) in [(&d0, "a"), (&d0, "b"), (&d1, "c")] {
+        let h = fs.create(format!("{d}/{name}")).unwrap();
+        fs.write(h, 0, data.clone()).unwrap();
+        fs.close(h).unwrap();
+    }
+    let out = ctl::run_script(&cfg, fs.into_ops(), 2, DEADLINE).expect("seed script");
+    assert_eq!(out.stats.failed_ops, 0, "seed failed: {:?}", out.stats.last_error);
+
+    // Cross-shard rename while both primaries are up.
+    let mut fs = FsScript::new();
+    fs.rename(format!("{d0}/b"), format!("{d1}/b2")).unwrap();
+    fs.stat(format!("{d1}/b2")).unwrap();
+    let out = ctl::run_script(&cfg, fs.into_ops(), 1, DEADLINE).expect("rename script");
+    assert_eq!(out.stats.failed_ops, 0, "rename failed: {:?}", out.stats.last_error);
+
+    // Give the WAL shipper a couple of intervals to drain, then kill
+    // shard 0's primary the way a crash would (no clean shutdown).
+    std::thread::sleep(Duration::from_millis(300));
+    handles.remove(0).kill().expect("kill primary");
+
+    // The standby promotes after its grace period; ops against shard 0
+    // time out at the dead primary, flip to the standby, and succeed.
+    let mut fs = FsScript::new();
+    fs.stat(format!("{d0}/a")).unwrap();
+    let h = fs.open(format!("{d0}/a"), false).unwrap();
+    fs.read(h, 0, data.len() as u64).unwrap();
+    fs.close(h).unwrap();
+    fs.stat(format!("{d1}/c")).unwrap(); // untouched shard still serves
+    let h = fs.create(format!("{d0}/post-failover")).unwrap();
+    fs.close(h).unwrap();
+    let out = ctl::run_script(&cfg, fs.into_ops(), 2, DEADLINE).expect("failover script");
+    assert_eq!(out.stats.failed_ops, 0, "post-failover ops failed: {:?}", out.stats.last_error);
+    assert_eq!(out.stats.last_read.as_deref(), Some(&data[..]), "readback mismatch");
+
+    // The promoted standby's snapshot says so: it serves shard 0, its
+    // failover counter ticked, and the replayed-tail gauge is present.
+    let sb = NodeId::from_index(NSHARDS as usize);
+    let json = ctl::fetch_stats(&cfg, sb, DEADLINE).expect("standby stats");
+    let snap = Json::parse(&json).expect("snapshot parses");
+    assert_eq!(snap.get("shard").and_then(Json::as_u64), Some(0));
+    let counter = |k: &str| {
+        snap.get("counters").and_then(|c| c.get(k)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    assert_eq!(counter("ns.failovers"), 1, "snapshot: {json}");
+    let gauges = snap.get("gauges").expect("gauges section");
+    assert!(
+        gauges.get("ns0.failover_replayed").is_some(),
+        "missing failover_replayed gauge: {json}"
+    );
+
+    for h in handles {
+        h.stop().expect("clean shutdown");
+    }
+}

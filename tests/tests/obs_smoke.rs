@@ -59,6 +59,10 @@ fn obs_smoke() {
                 costs: CostModel::fast_test(),
                 chaos: Default::default(),
                 metrics_interval_ms: if i == 0 { None } else { Some(100) },
+                shard: 0,
+                ns_shards: 1,
+                ns_map: Vec::new(),
+                ns_checkpoint_batches: None,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -79,6 +83,7 @@ fn obs_smoke() {
         write_window: 4,
         rpc_resends: 0,
         op_deadline_ms: None,
+        ns_map: Vec::new(),
         peers: all_peers,
     };
 

@@ -62,6 +62,10 @@ fn spawn_cluster(
                 costs: CostModel::fast_test(),
                 chaos: Default::default(),
                 metrics_interval_ms: None,
+                shard: 0,
+                ns_shards: 1,
+                ns_map: Vec::new(),
+                ns_checkpoint_batches: None,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -82,6 +86,7 @@ fn spawn_cluster(
         write_window: 4,
         rpc_resends: 2,
         op_deadline_ms: Some(20_000),
+        ns_map: Vec::new(),
         peers: all_peers,
     };
     (handles, ctl_cfg)
