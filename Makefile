@@ -33,6 +33,14 @@
 #                   simulator tests, boot a 2-shard loopback cluster with
 #                   hot standbys, kill a shard primary, and assert the
 #                   standby takes over and serves correct reads
+#   make membership-smoke  the gossip-membership drill: schema-check the
+#                   committed results/BENCH_membership.json (detection
+#                   latency under 10% loss, zero false evictions, plus
+#                   the ring/rendezvous/asura placement ablation), run
+#                   the SWIM simulator suite (false-positive-freedom,
+#                   refutation, 500-provider detection bound, gossip
+#                   convergence), then a live loopback suspect/confirm
+#                   drill with a kill -9'd provider
 #   make docs       rustdoc for the whole workspace (warnings are errors)
 
 CARGO ?= cargo
@@ -41,7 +49,7 @@ CARGO ?= cargo
 # (the Arc that shares the pooled buffer across peer queues).
 BENCH_ALLOC_BOUND ?= 1.0
 
-.PHONY: check build test clippy check-net bench bench-smoke storm-smoke chaos-smoke obs-smoke ec-smoke ns-smoke docs
+.PHONY: check build test clippy check-net bench bench-smoke storm-smoke chaos-smoke obs-smoke ec-smoke ns-smoke membership-smoke docs
 
 check: build test clippy docs
 
@@ -76,6 +84,14 @@ ns-smoke:
 	$(CARGO) test -p sorrento-tests --test ns_failover -- --nocapture
 	$(CARGO) run --release -p sorrento-net --bin bench-ns -- \
 	  --smoke --out target/BENCH_ns.smoke.json
+
+membership-smoke:
+	$(CARGO) run --release -p sorrento-net --bin bench-membership -- \
+	  --validate results/BENCH_membership.json
+	$(CARGO) test -p sorrento-tests --test membership -- --nocapture
+	$(CARGO) test -p sorrento-tests --test membership_live -- --nocapture
+	$(CARGO) run --release -p sorrento-net --bin bench-membership -- \
+	  --smoke --out target/BENCH_membership.smoke.json
 
 bench:
 	for f in fig09_small_file_latency fig10_small_file_throughput \

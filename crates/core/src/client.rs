@@ -22,7 +22,8 @@ use crate::layout::{Extent, IndexSegment, WritePlan};
 use crate::membership::MembershipView;
 use crate::placement::{candidates_from_view, select_provider};
 use crate::proto::{decode_index, encode_index, FileEntry, Msg, ReadReply, ReqId, Tick};
-use crate::ring::HashRing;
+use crate::locator::{LocationScheme, Locator};
+use crate::swim::{MembershipMode, SwimState};
 use crate::store::{SegMeta, ShadowId, WritePayload};
 use crate::types::{Error, FileId, FileOptions, PlacementPolicy, SegId, Version};
 
@@ -427,7 +428,7 @@ pub struct SorrentoClient {
     /// Aggregate statistics.
     pub stats: ClientStats,
     view: MembershipView,
-    ring: HashRing,
+    ring: Locator,
     file: Option<OpenFile>,
     op: Option<(ClientOp, SimTime, Phase, u32 /* attempts */)>,
     pending: HashMap<ReqId, (NodeId, Pending)>,
@@ -492,6 +493,16 @@ pub struct SorrentoClient {
     /// primary times out, route that shard's traffic to its standby
     /// (and back again on a standby timeout).
     ns_use_standby: Vec<bool>,
+    /// How this client learns provider liveness: heartbeat multicast
+    /// (default) or digest pulls from SWIM gossipers.
+    membership_mode: MembershipMode,
+    /// Providers to pull membership digests from in SWIM mode
+    /// (round-robin via `members_peer`).
+    swim_seeds: Vec<NodeId>,
+    members_peer: usize,
+    members_req: ReqId,
+    /// Which SegID → home-host scheme the locator uses.
+    location: LocationScheme,
 }
 
 impl SorrentoClient {
@@ -504,7 +515,7 @@ impl SorrentoClient {
             workload,
             stats: ClientStats::default(),
             view: MembershipView::new(),
-            ring: HashRing::default(),
+            ring: Locator::default(),
             file: None,
             op: None,
             pending: HashMap::new(),
@@ -526,7 +537,30 @@ impl SorrentoClient {
             ec_read: None,
             ns_shards: crate::nsmap::NsShardMap::default(),
             ns_use_standby: Vec::new(),
+            membership_mode: MembershipMode::Heartbeat,
+            swim_seeds: Vec::new(),
+            members_peer: 0,
+            members_req: 0,
+            location: LocationScheme::Ring,
         }
+    }
+
+    /// Choose the membership mechanism before the client starts. In
+    /// [`MembershipMode::Swim`] the client hears no heartbeat multicast;
+    /// it learns liveness by pulling membership digests from `seeds`
+    /// (the configured providers) in round-robin.
+    pub fn set_membership(&mut self, mode: MembershipMode, seeds: Vec<NodeId>) {
+        self.membership_mode = mode;
+        self.swim_seeds = seeds;
+    }
+
+    /// Choose the SegID → home-host scheme before the client starts.
+    pub fn set_location(&mut self, scheme: LocationScheme) {
+        self.location = scheme;
+    }
+
+    fn rebuild_ring(&mut self) {
+        self.ring = Locator::build(self.location, self.view.live());
     }
 
     /// Install the namespace shard routing table (and reset the sticky
@@ -3395,7 +3429,7 @@ impl SorrentoClient {
         if self.is_ns_node(target) {
             self.flip_ns_route(target);
         } else if self.view.remove(target) {
-            self.ring = HashRing::build(self.view.live());
+            self.rebuild_ring();
         }
         if let Some(f) = &mut self.file {
             for owners in f.owners.values_mut() {
@@ -3476,6 +3510,11 @@ impl SorrentoClient {
             // byte-identical, so the refresh timer never exists there.
             ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::ShardMapRefresh));
         }
+        if self.membership_mode == MembershipMode::Swim {
+            // Gossip deployments only (same byte-identical rule): no
+            // heartbeats will arrive, so pull digests instead.
+            ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::MembersRefresh));
+        }
         self.pull_next_op(ctx);
     }
 
@@ -3484,14 +3523,45 @@ impl SorrentoClient {
         match msg {
             Msg::Heartbeat(hb) => {
                 self.view.observe(from, hb, ctx.now());
-                self.ring = HashRing::build(self.view.live());
+                self.rebuild_ring();
             }
             Msg::Tick(Tick::Membership) => {
                 let departed = self.view.expire(ctx.now(), self.costs.heartbeat_interval);
                 if !departed.is_empty() {
-                    self.ring = HashRing::build(self.view.live());
+                    self.rebuild_ring();
                 }
                 ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Membership));
+            }
+            Msg::Tick(Tick::MembersRefresh) => {
+                // SWIM mode: pull a membership digest from the next
+                // configured provider (skipping none — dead ones simply
+                // don't answer and the next round moves on).
+                if !self.swim_seeds.is_empty() {
+                    let peer = self.swim_seeds[self.members_peer % self.swim_seeds.len()];
+                    self.members_peer += 1;
+                    self.members_req += 1;
+                    ctx.send(peer, Msg::MembersPull { req: self.members_req });
+                }
+                ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::MembersRefresh));
+            }
+            Msg::MembersDigest { req: _, updates } => {
+                // Fold the gossiper's table into the local view: alive
+                // members with payloads refresh the view, dead ones are
+                // evicted. Suspects stay (they may yet refute).
+                let now = ctx.now();
+                for u in &updates {
+                    match u.state {
+                        SwimState::Alive | SwimState::Suspect => {
+                            if let Some(hb) = u.payload {
+                                self.view.observe(u.node, hb, now);
+                            }
+                        }
+                        SwimState::Dead => {
+                            self.view.remove(u.node);
+                        }
+                    }
+                }
+                self.rebuild_ring();
             }
             Msg::Tick(Tick::NextOp) => {
                 // Think finished, or we were waiting for providers.

@@ -6,10 +6,12 @@ use sorrento_sim::{Dur, Metrics, NodeConfig, NodeId, SimTime, Simulation};
 
 use crate::client::{ClientOp, ClientStats, OpResult, SorrentoClient, Workload};
 use crate::costs::CostModel;
+use crate::locator::LocationScheme;
 use crate::namespace::NamespaceServer;
 use crate::nsmap::NsShardMap;
 use crate::proto::Msg;
 use crate::provider::StorageProvider;
+use crate::swim::MembershipMode;
 
 /// Builder for a Sorrento deployment.
 pub struct ClusterBuilder {
@@ -25,6 +27,9 @@ pub struct ClusterBuilder {
     ns_shards: u32,
     ns_standby: bool,
     ns_checkpoint_every: Option<u64>,
+    membership: MembershipMode,
+    location: LocationScheme,
+    loss: Option<(u32, u64)>,
 }
 
 impl Default for ClusterBuilder {
@@ -42,6 +47,9 @@ impl Default for ClusterBuilder {
             ns_shards: 1,
             ns_standby: false,
             ns_checkpoint_every: None,
+            membership: MembershipMode::Heartbeat,
+            location: LocationScheme::Ring,
+            loss: None,
         }
     }
 }
@@ -129,9 +137,33 @@ impl ClusterBuilder {
         self
     }
 
+    /// Membership mechanism: multicast heartbeats (default) or SWIM
+    /// gossip. Gossip deployments seed every provider and client with
+    /// the full provider list.
+    pub fn membership(mut self, mode: MembershipMode) -> Self {
+        self.membership = mode;
+        self
+    }
+
+    /// SegID → home-host scheme (default: the paper's hash ring).
+    pub fn location(mut self, scheme: LocationScheme) -> Self {
+        self.location = scheme;
+        self
+    }
+
+    /// Drop `permille`/1000 of wire messages at random (seeded
+    /// independently of the protocol RNGs). Default: lossless.
+    pub fn loss(mut self, permille: u32, seed: u64) -> Self {
+        self.loss = Some((permille, seed));
+        self
+    }
+
     /// Build the cluster and run the warmup period.
     pub fn build(self) -> Cluster {
         let mut sim = Simulation::new(self.seed);
+        if let Some((permille, seed)) = self.loss {
+            sim.set_loss(permille, seed);
+        }
         let ns_cfg = self.node_config; // namespace gets its own machine
         let nshards = self.ns_shards.max(1);
         let sharded = nshards > 1 || self.ns_standby;
@@ -188,9 +220,20 @@ impl ClusterBuilder {
                 None => i as u32, // one rack per provider
             };
             providers.push(sim.add_node(
-                StorageProvider::new(self.costs, self.keep_versions).with_rack(rack),
+                StorageProvider::new(self.costs, self.keep_versions)
+                    .with_rack(rack)
+                    .with_location(self.location),
                 cfg,
             ));
+        }
+        if self.membership == MembershipMode::Swim {
+            // Every provider bootstraps from the full provider list; the
+            // start events queued above have not run yet, so this lands
+            // before any handle_start.
+            for &p in &providers {
+                let prov = sim.node_mut::<StorageProvider>(p).expect("provider");
+                prov.set_membership(MembershipMode::Swim, providers.clone());
+            }
         }
         let mut cluster = Cluster {
             sim,
@@ -203,6 +246,8 @@ impl ClusterBuilder {
             costs: self.costs,
             replication: self.replication,
             node_config: self.node_config,
+            membership: self.membership,
+            location: self.location,
         };
         cluster.run_for(self.warmup);
         cluster
@@ -222,6 +267,8 @@ pub struct Cluster {
     costs: CostModel,
     replication: u32,
     node_config: NodeConfig,
+    membership: MembershipMode,
+    location: LocationScheme,
 }
 
 impl Cluster {
@@ -282,12 +329,22 @@ impl Cluster {
     fn add_client_with<W: Workload>(&mut self, workload: W, cfg: NodeConfig) -> NodeId {
         let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
         client.default_options.replication = self.replication;
-        if let Some(map) = &self.ns_map {
-            client.set_ns_shards(map.clone());
-        }
+        self.configure_client(&mut client);
         let id = self.sim.add_node(client, cfg);
         self.clients.push(id);
         id
+    }
+
+    /// Apply the cluster-wide routing knobs (shard map, membership
+    /// mechanism, location scheme) to a client before it starts.
+    fn configure_client(&self, client: &mut SorrentoClient) {
+        if let Some(map) = &self.ns_map {
+            client.set_ns_shards(map.clone());
+        }
+        if self.membership == MembershipMode::Swim {
+            client.set_membership(MembershipMode::Swim, self.providers.clone());
+        }
+        client.set_location(self.location);
     }
 
     /// Add a client co-located with provider `i`, with explicit default
@@ -301,9 +358,7 @@ impl Cluster {
         let cfg = self.node_config.on_machine(i as u32);
         let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
         client.default_options = options;
-        if let Some(map) = &self.ns_map {
-            client.set_ns_shards(map.clone());
-        }
+        self.configure_client(&mut client);
         let id = self.sim.add_node(client, cfg);
         self.clients.push(id);
         id
@@ -318,9 +373,7 @@ impl Cluster {
         let cfg = self.node_config;
         let mut client = SorrentoClient::new(self.ns, self.costs, Box::new(workload));
         client.default_options = options;
-        if let Some(map) = &self.ns_map {
-            client.set_ns_shards(map.clone());
-        }
+        self.configure_client(&mut client);
         let id = self.sim.add_node(client, cfg);
         self.clients.push(id);
         id
@@ -331,9 +384,13 @@ impl Cluster {
     pub fn add_provider_at(&mut self, at: SimTime, capacity: u64) -> NodeId {
         let machine = 1000 + self.providers.len() as u32;
         let cfg = self.node_config.with_capacity(capacity).on_machine(machine);
-        let id = self
-            .sim
-            .add_node_offline(StorageProvider::new(self.costs, 2), cfg);
+        let mut prov = StorageProvider::new(self.costs, 2).with_location(self.location);
+        if self.membership == MembershipMode::Swim {
+            // The newcomer bootstraps from the existing providers; they
+            // learn about it from its own probes' piggybacked self-update.
+            prov = prov.with_membership(MembershipMode::Swim, self.providers.iter().copied());
+        }
+        let id = self.sim.add_node_offline(prov, cfg);
         self.sim.start_at(at, id);
         self.providers.push(id);
         id

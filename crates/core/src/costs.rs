@@ -16,6 +16,22 @@ pub struct CostModel {
     /// value; 2 s gives the ~10 s failure detection visible in Figure 13.
     pub heartbeat_interval: Dur,
 
+    // -- SWIM gossip membership (opt-in; see crate::swim) ------------------
+    /// One SWIM probe round per this interval. Only read in
+    /// [`crate::swim::MembershipMode::Swim`].
+    pub swim_probe_interval: Dur,
+    /// Direct-ack window before the indirect fallback fires; the whole
+    /// probe round is allowed 3× this.
+    pub swim_ack_timeout: Dur,
+    /// How long a suspicion stands unrefuted before the node is
+    /// confirmed dead. Sized at ~8 probe rounds so a live accused has
+    /// several independent chances to refute even under packet loss.
+    pub swim_suspect_timeout: Dur,
+    /// Indirect-probe fan-out (peers asked to relay a probe).
+    pub swim_indirect_k: usize,
+    /// Anti-entropy cadence: pull one random peer's full member table.
+    pub swim_sync_interval: Dur,
+
     // -- location tables (§3.4.1) -----------------------------------------
     /// Periodic content refreshing cycle ("we set the table refreshing
     /// cycle to 15 minutes").
@@ -101,6 +117,11 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             heartbeat_interval: Dur::secs(2),
+            swim_probe_interval: Dur::secs(1),
+            swim_ack_timeout: Dur::millis(300),
+            swim_suspect_timeout: Dur::secs(8),
+            swim_indirect_k: 3,
+            swim_sync_interval: Dur::secs(10),
             refresh_interval: Dur::minutes(15),
             join_refresh_delay_max: Dur::secs(20),
             location_gc_age: Dur::minutes(30),
@@ -127,11 +148,28 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// The SWIM-knob slice of this model, in the shape
+    /// [`crate::swim::SwimDetector`] consumes.
+    pub fn swim(&self) -> crate::swim::SwimConfig {
+        crate::swim::SwimConfig {
+            probe_interval: self.swim_probe_interval,
+            ack_timeout: self.swim_ack_timeout,
+            suspect_timeout: self.swim_suspect_timeout,
+            indirect_k: self.swim_indirect_k,
+            sync_interval: self.swim_sync_interval,
+            max_piggyback: 8,
+        }
+    }
+
     /// A model with aggressive timers for fast unit tests (all the same
     /// protocol logic; just tighter cycles).
     pub fn fast_test() -> CostModel {
         CostModel {
             heartbeat_interval: Dur::millis(500),
+            swim_probe_interval: Dur::millis(200),
+            swim_ack_timeout: Dur::millis(60),
+            swim_suspect_timeout: Dur::millis(1600),
+            swim_sync_interval: Dur::secs(2),
             refresh_interval: Dur::secs(30),
             join_refresh_delay_max: Dur::secs(2),
             location_gc_age: Dur::secs(90),

@@ -12,9 +12,13 @@
 //! The crate implements every component of the paper's Figure 2:
 //!
 //! * [`membership`] — soft-state live-provider set from multicast
-//!   heartbeats carrying load and free-space information (§3.3);
+//!   heartbeats carrying load and free-space information (§3.3), with
+//!   [`swim`] as the opt-in gossip failure detector that replaces the
+//!   multicast at 1000+-provider scale (ROADMAP item 4);
 //! * [`ring`] + [`location`] — consistent-hashing home hosts and
 //!   soft-state location tables with age-based garbage purging (§3.4);
+//!   [`locator`] makes the home-host scheme pluggable (ring /
+//!   rendezvous / ASURA-style slot walk);
 //! * [`layout`] — Linear / Striped / Hybrid file organization with the
 //!   paper's exponential segment sizing and small-file attachment (§3.2);
 //! * [`store`] — the per-provider segment store: immutable committed
@@ -71,6 +75,7 @@ pub mod costs;
 pub mod dedup;
 pub mod layout;
 pub mod location;
+pub mod locator;
 pub mod membership;
 pub mod namespace;
 pub mod nsmap;
@@ -79,6 +84,7 @@ pub mod proto;
 pub mod provider;
 pub mod ring;
 pub mod store;
+pub mod swim;
 pub mod transport;
 pub mod types;
 

@@ -908,6 +908,14 @@ impl NamespaceServer {
                 self.pending.remove(&xreq);
                 return;
             }
+            Msg::SwimPing { seq, origin, .. } => {
+                // Namespace nodes are not gossip members (they carry no
+                // load/capacity payload), but they answer probes so a
+                // SWIM deployment can seed every daemon with every peer
+                // without role bookkeeping.
+                ctx.send(from, Msg::SwimAck { seq, origin, updates: Vec::new() });
+                return;
+            }
             Msg::Tick(_) | Msg::Heartbeat(_) => return,
             Msg::NsWalShip { seq, ckpt, recs, .. } => {
                 self.ingest_shipment(

@@ -110,6 +110,28 @@ pub enum Tick {
     /// Namespace shard: a cross-shard handshake request timed out;
     /// fail the held-up client op with `Unavailable`.
     XShardTimeout(ReqId),
+    /// Provider (SWIM mode): start the next probe round.
+    SwimProbe,
+    /// Provider (SWIM mode): the direct-ack window for probe `seq`
+    /// elapsed; fall back to indirect probes via k peers.
+    SwimAckTimeout(u64),
+    /// Provider (SWIM mode): the whole probe window for `seq` elapsed
+    /// with no ack (direct or forwarded); suspect the target.
+    SwimProbeTimeout(u64),
+    /// Provider (SWIM mode): the suspicion window for `(node,
+    /// incarnation)` elapsed unrefuted; confirm the node dead.
+    SwimSuspectTimeout(NodeId, u64),
+    /// Provider (SWIM mode): periodic anti-entropy — pull a full
+    /// membership digest from one random peer.
+    SwimSync,
+    /// Provider (SWIM mode): export the periodic gauges that the
+    /// heartbeat tick used to carry (`nN.segments`, `nN.stored_bytes`,
+    /// ...). Armed only when gossip replaces the heartbeat tick, so
+    /// heartbeat-mode event streams are untouched.
+    GaugeExport,
+    /// Client (SWIM mode): refresh the provider view by pulling a
+    /// membership digest (providers no longer multicast heartbeats).
+    MembersRefresh,
 }
 
 /// Every Sorrento message.
@@ -387,6 +409,39 @@ pub enum Msg {
     /// standby booted mid-stream); the primary answers with a full
     /// checkpoint image in its next ship.
     NsCatchup { shard: u32, have_seq: u64 },
+
+    // ---- SWIM gossip membership ----
+    /// Direct or indirect probe. `origin` is the node whose probe round
+    /// this is (equal to the sender for direct probes; the requester
+    /// for probes relayed through a [`Msg::SwimPingReq`] intermediary).
+    /// `updates` piggybacks pending membership rumors.
+    SwimPing { seq: u64, origin: NodeId, updates: Vec<crate::swim::SwimUpdate> },
+    /// Probe acknowledgement, sent to the pinging node. An intermediary
+    /// receiving an ack whose `origin` is not itself forwards it to
+    /// `origin`, completing the indirect path.
+    SwimAck { seq: u64, origin: NodeId, updates: Vec<crate::swim::SwimUpdate> },
+    /// Ask the receiver to probe `target` on `origin`'s behalf (the
+    /// indirect-probe leg that routes around a failed direct path).
+    SwimPingReq {
+        seq: u64,
+        target: NodeId,
+        origin: NodeId,
+        updates: Vec<crate::swim::SwimUpdate>,
+    },
+    /// Pull the responder's full membership table (anti-entropy sync
+    /// between providers; the client's provider-discovery path when
+    /// gossip replaces multicast heartbeats).
+    MembersPull { req: ReqId },
+    /// Full-table reply to [`Msg::MembersPull`]: one update per known
+    /// member, payloads included where known.
+    MembersDigest { req: ReqId, updates: Vec<crate::swim::SwimUpdate> },
+    /// Ask a node for its membership table as JSON
+    /// (`sorrentoctl members`). Answered by the state machine from its
+    /// live view; never sent inside default-mode sims.
+    MembersQuery { req: ReqId },
+    /// The membership table, JSON-encoded (`{"v":1,"mode":..,
+    /// "members":[..]}`).
+    MembersR { req: ReqId, json: String },
 }
 
 /// Boxed replica image (large variant kept off the enum's inline size).
@@ -461,6 +516,13 @@ pub fn dbg_kind(msg: &Msg) -> &'static str {
         Msg::ShardMapR { .. } => "shard_map_r",
         Msg::NsWalShip { .. } => "ns_wal_ship",
         Msg::NsCatchup { .. } => "ns_catchup",
+        Msg::SwimPing { .. } => "swim_ping",
+        Msg::SwimAck { .. } => "swim_ack",
+        Msg::SwimPingReq { .. } => "swim_ping_req",
+        Msg::MembersPull { .. } => "members_pull",
+        Msg::MembersDigest { .. } => "members_digest",
+        Msg::MembersQuery { .. } => "members_query",
+        Msg::MembersR { .. } => "members_r",
     }
 }
 
@@ -574,6 +636,16 @@ impl Payload for Msg {
                     + recs.iter().map(|r| r.len() as u64 + 4).sum::<u64>()
             }
             Msg::NsCatchup { .. } => 16,
+            // One SwimUpdate ≈ node + state + incarnation + beat +
+            // optional heartbeat payload.
+            Msg::SwimPing { updates, .. } | Msg::SwimAck { updates, .. } => {
+                24 + updates.len() as u64 * 56
+            }
+            Msg::SwimPingReq { updates, .. } => 32 + updates.len() as u64 * 56,
+            Msg::MembersPull { .. } => 8,
+            Msg::MembersDigest { updates, .. } => 8 + updates.len() as u64 * 56,
+            Msg::MembersQuery { .. } => 8,
+            Msg::MembersR { json, .. } => 8 + json.len() as u64,
         };
         RPC_HEADER + body
     }

@@ -18,11 +18,12 @@ use crate::costs::CostModel;
 use crate::dedup::{ReplyCache, DEFAULT_REPLY_CACHE};
 use crate::layout::IndexSegment;
 use crate::location::LocationTable;
+use crate::locator::{LocationScheme, Locator};
 use crate::membership::{Ewma, Heartbeat, MembershipEvent, MembershipView};
 use crate::placement::{candidates_from_view, select_provider, Candidate};
 use crate::proto::{decode_index, Msg, ReadReply, ReqId, Tick};
-use crate::ring::HashRing;
 use crate::store::{LocalStore, ReplicaImage, SegMeta};
+use crate::swim::{MembershipMode, SwimDetector, SwimEvent};
 use crate::types::{Error, PlacementPolicy, SegId, Version};
 
 /// Why a replica fetch was queued.
@@ -106,8 +107,23 @@ pub struct StorageProvider {
     pub store: LocalStore,
     // ---- soft state (dropped on crash) ----
     view: MembershipView,
-    ring: HashRing,
+    ring: Locator,
+    /// The ring lags `view` after joins; rebuilt lazily at first use so
+    /// a join storm (SWIM convergence at scale) costs one rebuild, not
+    /// one per member.
+    ring_dirty: bool,
     loc: LocationTable,
+    /// How liveness is tracked: multicast heartbeats (default) or SWIM
+    /// gossip. Fixed at construction; seeded sims stay byte-identical
+    /// because no SWIM timer is armed in heartbeat mode.
+    membership_mode: MembershipMode,
+    /// The SWIM detector, present only in [`MembershipMode::Swim`] while
+    /// the provider is up (rebuilt from `swim_seeds` on restart).
+    swim: Option<SwimDetector>,
+    /// Bootstrap peer set for the SWIM detector.
+    swim_seeds: Vec<NodeId>,
+    /// Which SegID → home-host scheme the locator uses.
+    location: LocationScheme,
     load_ewma: Ewma,
     /// Replica fetches are serialized: at most one in flight, the rest
     /// queued (the paper's one-active-migration-per-node rule, applied to
@@ -155,8 +171,13 @@ impl StorageProvider {
             costs,
             store: LocalStore::new(keep_versions),
             view: MembershipView::new(),
-            ring: HashRing::default(),
+            ring: Locator::default(),
+            ring_dirty: false,
             loc: LocationTable::new(),
+            membership_mode: MembershipMode::Heartbeat,
+            swim: None,
+            swim_seeds: Vec::new(),
+            location: LocationScheme::Ring,
             load_ewma: Ewma::new(costs.load_ewma_alpha),
             fetch_queue: VecDeque::new(),
             fetch_inflight: None,
@@ -181,6 +202,42 @@ impl StorageProvider {
     pub fn with_rack(mut self, rack: u32) -> StorageProvider {
         self.rack = rack;
         self
+    }
+
+    /// Choose the membership mechanism before the provider starts. In
+    /// [`MembershipMode::Swim`], `seeds` are the peers assumed alive at
+    /// boot (typically every configured provider).
+    pub fn with_membership(
+        mut self,
+        mode: MembershipMode,
+        seeds: impl IntoIterator<Item = NodeId>,
+    ) -> StorageProvider {
+        self.membership_mode = mode;
+        self.swim_seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Choose the SegID → home-host scheme before the provider starts.
+    pub fn with_location(mut self, scheme: LocationScheme) -> StorageProvider {
+        self.location = scheme;
+        self
+    }
+
+    /// Setter form of [`StorageProvider::with_membership`], for nodes
+    /// already handed to the simulator but not yet started.
+    pub fn set_membership(&mut self, mode: MembershipMode, seeds: Vec<NodeId>) {
+        self.membership_mode = mode;
+        self.swim_seeds = seeds;
+    }
+
+    /// Setter form of [`StorageProvider::with_location`].
+    pub fn set_location(&mut self, scheme: LocationScheme) {
+        self.location = scheme;
+    }
+
+    /// The SWIM detector's current incarnation (gossip mode only).
+    pub fn swim_incarnation(&self) -> Option<u64> {
+        self.swim.as_ref().map(|s| s.incarnation())
     }
 
     fn fresh_req(&mut self) -> ReqId {
@@ -231,7 +288,17 @@ impl StorageProvider {
     }
 
     fn rebuild_ring(&mut self) {
-        self.ring = HashRing::build(self.view.live());
+        self.ring = Locator::build(self.location, self.view.live());
+        self.ring_dirty = false;
+    }
+
+    /// The placement ring, rebuilt first if membership changed since the
+    /// last use.
+    fn ring(&mut self) -> &Locator {
+        if self.ring_dirty {
+            self.rebuild_ring();
+        }
+        &self.ring
     }
 
     /// Send a location update for one of our segments to its home host
@@ -246,7 +313,7 @@ impl StorageProvider {
     ) {
         let me = ctx.id();
         let bytes = self.store.stored_bytes(seg);
-        let Some(home) = self.ring.home(seg) else {
+        let Some(home) = self.ring().home(seg) else {
             return;
         };
         if home == me {
@@ -278,7 +345,7 @@ impl StorageProvider {
         // BTreeMap: refresh messages go out in deterministic home order.
         let mut per_home: BTreeMap<NodeId, Vec<(SegId, Version, u32, u64)>> = BTreeMap::new();
         for (seg, version) in self.store.list_segments() {
-            let Some(home) = self.ring.home(seg) else {
+            let Some(home) = self.ring().home(seg) else {
                 continue;
             };
             if let Some(h) = only_home {
@@ -474,7 +541,7 @@ impl StorageProvider {
         if ix.segments.len() != p.k as usize || ix.parity.len() != p.m as usize {
             return;
         }
-        let Some(home) = self.ring.home(index_seg) else {
+        let Some(home) = self.ring().home(index_seg) else {
             return;
         };
         let guard_req = self.fresh_req();
@@ -549,7 +616,7 @@ impl StorageProvider {
         let mut pending: Vec<(ReqId, usize)> = Vec::new();
         let mut owners: Vec<Option<Vec<NodeId>>> = vec![None; slots.len()];
         for (slot, &seg) in slots.iter().enumerate() {
-            let Some(home) = self.ring.home(seg) else {
+            let Some(home) = self.ring().home(seg) else {
                 owners[slot] = Some(Vec::new());
                 continue;
             };
@@ -1141,10 +1208,9 @@ impl StorageProvider {
             match ev {
                 MembershipEvent::Joined(p) => {
                     ctx.record(TelemetryEvent::MemberJoin { of: p });
-                    let old_ring = self.ring.clone();
-                    self.rebuild_ring();
-                    let _ = old_ring; // joins shift homes toward p; the
-                                      // delayed refresh below covers them
+                    // Joins shift homes toward p; the delayed refresh
+                    // below covers them, so the rebuild can wait.
+                    self.ring_dirty = true;
                     if p != ctx.id() && !self.join_refresh_pending.contains(&p) {
                         self.join_refresh_pending.push(p);
                         // "the refreshing event is scheduled after a short
@@ -1157,7 +1223,7 @@ impl StorageProvider {
                 MembershipEvent::Departed(p) => {
                     ctx.record(TelemetryEvent::DeathDeclared { of: p });
                     ctx.record(TelemetryEvent::MemberLeave { of: p });
-                    let old_ring = self.ring.clone();
+                    let old_ring = self.ring().clone();
                     self.rebuild_ring();
                     self.join_refresh_pending.retain(|&x| x != p);
                     // Event 3: drop the departed owner everywhere; the
@@ -1178,7 +1244,7 @@ impl StorageProvider {
                         if old_ring.home(seg) != Some(p) {
                             continue;
                         }
-                        let Some(new_home) = self.ring.home(seg) else {
+                        let Some(new_home) = self.ring().home(seg) else {
                             continue;
                         };
                         let replication =
@@ -1202,6 +1268,103 @@ impl StorageProvider {
                 }
             }
         }
+    }
+
+    /// Export the provider's health gauges. Heartbeat mode calls this
+    /// from the heartbeat tick; gossip mode from its own
+    /// [`Tick::GaugeExport`] timer (same gauges, same order).
+    fn export_gauges(&mut self, ctx: &mut impl Transport) {
+        let me = ctx.id();
+        ctx.metrics()
+            .gauge_set(&format!("{me}.live_providers"), self.view.len() as f64);
+        ctx.metrics()
+            .gauge_set(&format!("{me}.loc_entries"), self.loc.len() as f64);
+        ctx.metrics()
+            .gauge_set(&format!("{me}.fetch_queue"), self.fetch_queue.len() as f64);
+        ctx.metrics()
+            .gauge_set(&format!("{me}.segments"), self.store.list_segments().len() as f64);
+        ctx.metrics()
+            .gauge_set(&format!("{me}.stored_bytes"), self.store.total_stored_bytes() as f64);
+    }
+
+    /// Fold what the SWIM detector learned into the membership view, so
+    /// every downstream consumer (ring, placement, repair, migration)
+    /// sees exactly the events the heartbeat path would have produced.
+    fn fold_swim_events(&mut self, ctx: &mut impl Transport, events: Vec<SwimEvent>) {
+        for ev in events {
+            match ev {
+                SwimEvent::Alive { node, payload } => {
+                    let joined = self.view.observe(node, payload, ctx.now());
+                    self.on_membership_events(ctx, joined.into_iter().collect());
+                }
+                SwimEvent::Suspect { node, incarnation } => {
+                    ctx.record(TelemetryEvent::SwimSuspect { of: node, incarnation });
+                }
+                SwimEvent::Refuted { incarnation } => {
+                    ctx.record(TelemetryEvent::SwimRefute { incarnation });
+                }
+                SwimEvent::Dead { node } => {
+                    if self.view.remove(node) {
+                        self.on_membership_events(
+                            ctx,
+                            vec![MembershipEvent::Departed(node)],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `sorrentoctl members` report: this node's membership view —
+    /// the SWIM table (with states and incarnations) in gossip mode, the
+    /// heartbeat view otherwise.
+    fn members_json(&self, ctx: &mut impl Transport) -> String {
+        use sorrento_json::Json;
+        let mut members = Json::arr();
+        match &self.swim {
+            Some(swim) => {
+                for u in swim.snapshot() {
+                    let state = match u.state {
+                        crate::swim::SwimState::Alive => "alive",
+                        crate::swim::SwimState::Suspect => "suspect",
+                        crate::swim::SwimState::Dead => "dead",
+                    };
+                    let mut m = Json::obj()
+                        .with("node", u.node.index())
+                        .with("state", state)
+                        .with("incarnation", u.incarnation);
+                    if let Some(hb) = u.payload {
+                        m = m
+                            .with("load", hb.load)
+                            .with("available", hb.available)
+                            .with("capacity", hb.capacity);
+                    }
+                    members.push(m);
+                }
+            }
+            None => {
+                for (id, info) in self.view.entries() {
+                    members.push(
+                        Json::obj()
+                            .with("node", id.index())
+                            .with("state", "alive")
+                            .with("load", info.heartbeat.load)
+                            .with("available", info.heartbeat.available)
+                            .with("capacity", info.heartbeat.capacity),
+                    );
+                }
+            }
+        }
+        Json::obj()
+            .with("node", ctx.id().index())
+            .with(
+                "mode",
+                if self.swim.is_some() { "swim" } else { "heartbeat" },
+            )
+            .with("location", self.location.name())
+            .with("live", self.view.len())
+            .with("members", members)
+            .encode()
     }
 
     /// Serve a read against the local store, or redirect via the
@@ -1290,10 +1453,25 @@ impl StorageProvider {
         let hb = self.heartbeat_payload(ctx);
         self.view.observe(ctx.id(), hb, ctx.now());
         self.rebuild_ring();
-        self.hb_seq += 1;
-        ctx.record(TelemetryEvent::HeartbeatSend { seq: self.hb_seq });
-        ctx.multicast(Msg::Heartbeat(hb));
-        ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Heartbeat));
+        match self.membership_mode {
+            MembershipMode::Heartbeat => {
+                self.hb_seq += 1;
+                ctx.record(TelemetryEvent::HeartbeatSend { seq: self.hb_seq });
+                ctx.multicast(Msg::Heartbeat(hb));
+                ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Heartbeat));
+            }
+            MembershipMode::Swim => {
+                let mut swim =
+                    SwimDetector::new(ctx.id(), self.swim_seeds.iter().copied(), self.costs.swim());
+                swim.set_self_payload(hb);
+                swim.start(ctx);
+                self.swim = Some(swim);
+                // Heartbeat-mode gauges ride the heartbeat tick; gossip
+                // mode keeps them on a dedicated timer so observability
+                // does not die with the multicast.
+                ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::GaugeExport));
+            }
+        }
         // Stagger the first full refresh so a cold cluster doesn't refresh
         // in lockstep.
         let stagger =
@@ -1309,7 +1487,9 @@ impl StorageProvider {
     pub fn handle_crash(&mut self) {
         // Soft state dies with the process; the store ("disk") survives.
         self.view = MembershipView::new();
-        self.ring = HashRing::default();
+        self.ring = Locator::build(self.location, []);
+        self.ring_dirty = false;
+        self.swim = None;
         self.loc.clear();
         self.fetch_queue.clear();
         self.fetch_inflight = None;
@@ -1369,17 +1549,44 @@ impl StorageProvider {
                 }
                 let departed = self.view.expire(now, self.costs.heartbeat_interval);
                 self.on_membership_events(ctx, departed);
-                ctx.metrics()
-                    .gauge_set(&format!("{me}.live_providers"), self.view.len() as f64);
-                ctx.metrics()
-                    .gauge_set(&format!("{me}.loc_entries"), self.loc.len() as f64);
-                ctx.metrics()
-                    .gauge_set(&format!("{me}.fetch_queue"), self.fetch_queue.len() as f64);
-                ctx.metrics()
-                    .gauge_set(&format!("{me}.segments"), self.store.list_segments().len() as f64);
-                ctx.metrics()
-                    .gauge_set(&format!("{me}.stored_bytes"), self.store.total_stored_bytes() as f64);
+                self.export_gauges(ctx);
                 ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::Heartbeat));
+            }
+            Msg::Tick(Tick::GaugeExport) => {
+                // Gossip mode's stand-in for the gauge export that rides
+                // the heartbeat tick: same gauges, own timer.
+                self.export_gauges(ctx);
+                ctx.set_timer(self.costs.heartbeat_interval, Msg::Tick(Tick::GaugeExport));
+            }
+            Msg::Tick(Tick::SwimProbe) => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let hb = self.heartbeat_payload(ctx);
+                swim.set_self_payload(hb);
+                self.view.observe(ctx.id(), hb, now);
+                swim.on_probe_tick(ctx);
+                self.swim = Some(swim);
+            }
+            Msg::Tick(Tick::SwimAckTimeout(seq)) => {
+                let Some(mut swim) = self.swim.take() else { return };
+                swim.on_ack_timeout(seq, ctx);
+                self.swim = Some(swim);
+            }
+            Msg::Tick(Tick::SwimProbeTimeout(seq)) => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let events = swim.on_probe_timeout(seq, ctx);
+                self.swim = Some(swim);
+                self.fold_swim_events(ctx, events);
+            }
+            Msg::Tick(Tick::SwimSuspectTimeout(node, incarnation)) => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let events = swim.on_suspect_timeout(node, incarnation, ctx);
+                self.swim = Some(swim);
+                self.fold_swim_events(ctx, events);
+            }
+            Msg::Tick(Tick::SwimSync) => {
+                let Some(mut swim) = self.swim.take() else { return };
+                swim.on_sync_tick(ctx);
+                self.swim = Some(swim);
             }
             Msg::Tick(Tick::LocationRefresh) => {
                 self.refresh_locations(ctx, None);
@@ -1431,6 +1638,40 @@ impl StorageProvider {
             Msg::Heartbeat(hb) => {
                 let joined = self.view.observe(from, hb, now);
                 self.on_membership_events(ctx, joined.into_iter().collect());
+            }
+            Msg::SwimPing { seq, origin, updates } => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let events = swim.on_ping(from, seq, origin, &updates, ctx);
+                self.swim = Some(swim);
+                self.fold_swim_events(ctx, events);
+            }
+            Msg::SwimAck { seq, origin, updates } => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let events = swim.on_ack(seq, origin, &updates, ctx);
+                self.swim = Some(swim);
+                self.fold_swim_events(ctx, events);
+            }
+            Msg::SwimPingReq { seq, target, origin, updates } => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let events = swim.on_ping_req(seq, target, origin, &updates, ctx);
+                self.swim = Some(swim);
+                self.fold_swim_events(ctx, events);
+            }
+            Msg::MembersPull { req } => {
+                if let Some(mut swim) = self.swim.take() {
+                    swim.on_members_pull(from, req, ctx);
+                    self.swim = Some(swim);
+                }
+            }
+            Msg::MembersDigest { req: _, updates } => {
+                let Some(mut swim) = self.swim.take() else { return };
+                let events = swim.on_digest(&updates, ctx);
+                self.swim = Some(swim);
+                self.fold_swim_events(ctx, events);
+            }
+            Msg::MembersQuery { req } => {
+                let json = self.members_json(ctx);
+                ctx.send(from, Msg::MembersR { req, json });
             }
 
             // ---------------- location protocol ----------------

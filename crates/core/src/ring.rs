@@ -25,14 +25,14 @@ pub struct HashRing {
 
 /// 64-bit mix (splitmix64 finalizer): cheap, well-distributed, and
 /// deterministic across nodes.
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
 }
 
-fn hash_segid(seg: SegId) -> u64 {
+pub(crate) fn hash_segid(seg: SegId) -> u64 {
     mix(seg.0 as u64 ^ mix((seg.0 >> 64) as u64))
 }
 
@@ -86,6 +86,11 @@ impl HashRing {
     /// Whether the ring has no providers.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// Number of hash points (virtual nodes) on the ring.
+    pub(crate) fn point_count(&self) -> usize {
+        self.points.len()
     }
 }
 

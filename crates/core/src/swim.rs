@@ -1,0 +1,688 @@
+//! SWIM-style gossip failure detection (ROADMAP item 4).
+//!
+//! The paper's multicast heartbeats cost every provider O(n) receives
+//! per interval and melt at four-digit provider counts. This module
+//! replaces them (behind [`MembershipMode::Swim`]) with the SWIM
+//! protocol: each round a node probes *one* random peer; an unanswered
+//! probe falls back to indirect probes relayed through `k` other peers;
+//! only when every path stays silent is the target *suspected*, and
+//! only when the suspicion survives a refutation window unchallenged is
+//! it *confirmed* dead. Membership rumors ride piggybacked on the probe
+//! traffic itself, so per-node network load is O(1) per interval
+//! regardless of cluster size.
+//!
+//! Incarnation numbers make suspicion refutable: a node that hears
+//! itself suspected at incarnation `i` re-announces itself alive at
+//! `i + 1`, which supersedes the rumor everywhere it spreads. A
+//! restarted node that finds a `dead` tombstone about itself refutes it
+//! the same way, so rejoin needs no out-of-band reset.
+//!
+//! The detector is a sans-IO state machine in the same discipline as
+//! [`crate::provider`]: every entry point takes the [`Transport`]
+//! context, so identical code runs under the deterministic simulator
+//! and the real TCP runtime. Timers arrive back as
+//! [`Tick::SwimProbe`]-family messages; the owning provider routes them
+//! here and folds the returned [`SwimEvent`]s into its
+//! [`crate::membership::MembershipView`], which keeps every downstream
+//! consumer (placement, migration, repair) unchanged.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use sorrento_sim::{Dur, NodeId};
+
+use crate::membership::Heartbeat;
+use crate::proto::Msg;
+use crate::proto::Tick;
+use crate::transport::Transport;
+
+/// How a node's live-provider set is maintained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MembershipMode {
+    /// The paper's §3.3 design: multicast heartbeats, five missed
+    /// intervals ⇒ dead. The default; seeded sims stay byte-identical.
+    #[default]
+    Heartbeat,
+    /// SWIM gossip: probe → indirect probe → suspect → confirm, rumors
+    /// piggybacked on probe traffic.
+    Swim,
+}
+
+/// A member's lifecycle state as gossiped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwimState {
+    /// Responding to probes (or vouched for by a fresher incarnation).
+    Alive,
+    /// Unreachable on every probed path; awaiting refutation.
+    Suspect,
+    /// Suspicion expired unrefuted; treated as departed.
+    Dead,
+}
+
+/// One membership rumor, as piggybacked on probe traffic and shipped in
+/// anti-entropy digests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwimUpdate {
+    /// The member the rumor is about.
+    pub node: NodeId,
+    /// Its gossiped state.
+    pub state: SwimState,
+    /// The incarnation the rumor names. Only `node` itself ever bumps
+    /// its incarnation (to refute suspicion); rumors about a higher
+    /// incarnation supersede rumors about a lower one.
+    pub incarnation: u64,
+    /// Monotonic freshness counter for `payload` within one
+    /// incarnation (the heartbeat-sequence equivalent).
+    pub beat: u64,
+    /// The member's last known load/capacity announcement; `None` until
+    /// one has been gossiped this far.
+    pub payload: Option<Heartbeat>,
+}
+
+/// Protocol timing/fan-out knobs, sliced out of
+/// [`crate::costs::CostModel`] by [`crate::costs::CostModel::swim`].
+#[derive(Debug, Clone, Copy)]
+pub struct SwimConfig {
+    /// One probe round per this interval.
+    pub probe_interval: Dur,
+    /// How long a direct probe may go unacked before the indirect
+    /// fallback fires (the whole round is allowed 3× this: direct
+    /// window + two legs of relay).
+    pub ack_timeout: Dur,
+    /// How long a suspicion may stand unrefuted before confirmation.
+    pub suspect_timeout: Dur,
+    /// Number of peers asked to probe indirectly.
+    pub indirect_k: usize,
+    /// Anti-entropy cadence: pull one random peer's full table.
+    pub sync_interval: Dur,
+    /// Max rumors piggybacked per message (the sender's own alive
+    /// announcement rides for free on top).
+    pub max_piggyback: usize,
+}
+
+/// What the detector learned; folded into the provider's
+/// [`crate::membership::MembershipView`] by the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwimEvent {
+    /// `node` is alive and announced this payload (observe it).
+    Alive {
+        /// The live member.
+        node: NodeId,
+        /// Its load/capacity announcement.
+        payload: Heartbeat,
+    },
+    /// `node` came under suspicion at `incarnation`.
+    Suspect {
+        /// The suspected member.
+        node: NodeId,
+        /// The suspected incarnation.
+        incarnation: u64,
+    },
+    /// This node heard itself suspected and bumped its incarnation.
+    Refuted {
+        /// The new incarnation now gossiped as alive.
+        incarnation: u64,
+    },
+    /// `node`'s suspicion expired unrefuted: remove it from the view.
+    Dead {
+        /// The confirmed-dead member.
+        node: NodeId,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    state: SwimState,
+    incarnation: u64,
+    beat: u64,
+    payload: Option<Heartbeat>,
+}
+
+/// The per-node SWIM failure detector.
+#[derive(Debug)]
+pub struct SwimDetector {
+    me: NodeId,
+    cfg: SwimConfig,
+    members: BTreeMap<NodeId, Member>,
+    /// Shuffled probe order; rebuilt (and reshuffled) when exhausted.
+    order: Vec<NodeId>,
+    pos: usize,
+    /// Probe awaiting an ack: `(seq, target)`.
+    inflight: Option<(u64, NodeId)>,
+    seq: u64,
+    sync_req: u64,
+    incarnation: u64,
+    beat: u64,
+    payload: Option<Heartbeat>,
+    /// Pending rumors with their remaining retransmit budget.
+    gossip: Vec<(SwimUpdate, u32)>,
+    /// Suspicions whose timer already fired once and got a last-chance
+    /// direct verify; a second expiry at the same incarnation confirms.
+    graced: std::collections::BTreeSet<(NodeId, u64)>,
+}
+
+impl SwimDetector {
+    /// A detector for `me` that bootstraps from `seeds` (peers assumed
+    /// alive at incarnation 0 until gossip says otherwise).
+    pub fn new(me: NodeId, seeds: impl IntoIterator<Item = NodeId>, cfg: SwimConfig) -> Self {
+        let members = seeds
+            .into_iter()
+            .filter(|&s| s != me)
+            .map(|s| {
+                (s, Member { state: SwimState::Alive, incarnation: 0, beat: 0, payload: None })
+            })
+            .collect();
+        SwimDetector {
+            me,
+            cfg,
+            members,
+            order: Vec::new(),
+            pos: 0,
+            inflight: None,
+            seq: 0,
+            sync_req: 0,
+            incarnation: 0,
+            beat: 0,
+            payload: None,
+            gossip: Vec::new(),
+            graced: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Arm the periodic probe and anti-entropy timers, staggered so a
+    /// simultaneously booted cluster does not probe in lockstep.
+    pub fn start(&mut self, ctx: &mut impl Transport) {
+        let probe_ns = self.cfg.probe_interval.as_nanos().max(1);
+        let stagger = Dur::nanos(ctx.rng().gen_range(0..probe_ns));
+        ctx.set_timer(stagger, Msg::Tick(Tick::SwimProbe));
+        let sync_ns = self.cfg.sync_interval.as_nanos().max(1);
+        let stagger = Dur::nanos(ctx.rng().gen_range(0..sync_ns));
+        ctx.set_timer(stagger, Msg::Tick(Tick::SwimSync));
+    }
+
+    /// Refresh this node's own announcement (attached to every outgoing
+    /// message); call once per probe round with current load/capacity.
+    pub fn set_self_payload(&mut self, hb: Heartbeat) {
+        self.payload = Some(hb);
+    }
+
+    /// This node's current incarnation.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The full member table (self first) as gossipable updates — the
+    /// anti-entropy digest body, also the `sorrentoctl members` source.
+    pub fn snapshot(&self) -> Vec<SwimUpdate> {
+        let mut out = Vec::with_capacity(self.members.len() + 1);
+        out.push(self.self_update());
+        out.extend(self.members.iter().map(|(&node, m)| SwimUpdate {
+            node,
+            state: m.state,
+            incarnation: m.incarnation,
+            beat: m.beat,
+            payload: m.payload,
+        }));
+        out
+    }
+
+    fn self_update(&self) -> SwimUpdate {
+        SwimUpdate {
+            node: self.me,
+            state: SwimState::Alive,
+            incarnation: self.incarnation,
+            beat: self.beat,
+            payload: self.payload,
+        }
+    }
+
+    /// Retransmit budget for a fresh rumor: ~3·log₂(n), the classic
+    /// SWIM dissemination bound.
+    fn budget(&self) -> u32 {
+        let n = self.members.len() as u32 + 2;
+        3 * (32 - n.leading_zeros())
+    }
+
+    fn enqueue(&mut self, u: SwimUpdate) {
+        let budget = self.budget();
+        // Newest rumor about a node replaces any older queued one.
+        if let Some(slot) = self.gossip.iter_mut().find(|(q, _)| q.node == u.node) {
+            *slot = (u, budget);
+        } else {
+            self.gossip.push((u, budget));
+        }
+    }
+
+    /// Self announcement plus up to `max_piggyback` queued rumors,
+    /// rotated so every rumor gets wire time.
+    fn piggyback(&mut self) -> Vec<SwimUpdate> {
+        let mut out = vec![self.self_update()];
+        let take = self.cfg.max_piggyback.min(self.gossip.len());
+        for _ in 0..take {
+            let (u, left) = self.gossip.remove(0);
+            out.push(u);
+            if left > 1 {
+                self.gossip.push((u, left - 1));
+            }
+        }
+        out
+    }
+
+    fn alive_members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members
+            .iter()
+            .filter(|(_, m)| m.state != SwimState::Dead)
+            .map(|(&id, _)| id)
+    }
+
+    /// Pick `k` distinct random non-dead members, excluding `not`.
+    fn random_members(
+        &self,
+        k: usize,
+        not: NodeId,
+        ctx: &mut impl Transport,
+    ) -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = self.alive_members().filter(|&id| id != not).collect();
+        let mut out = Vec::with_capacity(k.min(pool.len()));
+        while out.len() < k && !pool.is_empty() {
+            let i = ctx.rng().gen_range(0..pool.len());
+            out.push(pool.swap_remove(i));
+        }
+        out
+    }
+
+    /// One probe round: pick the next target in shuffled round-robin
+    /// order, ping it, open the ack window, re-arm the round timer.
+    pub fn on_probe_tick(&mut self, ctx: &mut impl Transport) {
+        ctx.set_timer(self.cfg.probe_interval, Msg::Tick(Tick::SwimProbe));
+        self.beat += 1;
+        if self.pos >= self.order.len() {
+            self.order = self.alive_members().collect();
+            self.pos = 0;
+            // Fisher–Yates off the deterministic RNG.
+            for i in (1..self.order.len()).rev() {
+                let j = ctx.rng().gen_range(0..=i);
+                self.order.swap(i, j);
+            }
+        }
+        let Some(&target) = self.order.get(self.pos) else { return };
+        self.pos += 1;
+        // Skip members that died since the order was shuffled.
+        if self.members.get(&target).is_none_or(|m| m.state == SwimState::Dead) {
+            return;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        self.inflight = Some((seq, target));
+        let updates = self.piggyback();
+        ctx.send(target, Msg::SwimPing { seq, origin: self.me, updates });
+        ctx.set_timer(self.cfg.ack_timeout, Msg::Tick(Tick::SwimAckTimeout(seq)));
+    }
+
+    /// Direct-ack window elapsed: fan out indirect probes via `k` peers
+    /// and open the round's final window.
+    pub fn on_ack_timeout(&mut self, seq: u64, ctx: &mut impl Transport) {
+        let Some((inflight, target)) = self.inflight else { return };
+        if inflight != seq {
+            return;
+        }
+        for peer in self.random_members(self.cfg.indirect_k, target, ctx) {
+            let updates = self.piggyback();
+            ctx.send(peer, Msg::SwimPingReq { seq, target, origin: self.me, updates });
+        }
+        // Two relay legs plus the ack hop: allow twice the direct window.
+        ctx.set_timer(self.cfg.ack_timeout * 2, Msg::Tick(Tick::SwimProbeTimeout(seq)));
+    }
+
+    /// Whole probe window elapsed silent: suspect the target.
+    pub fn on_probe_timeout(&mut self, seq: u64, ctx: &mut impl Transport) -> Vec<SwimEvent> {
+        let Some((inflight, target)) = self.inflight else { return Vec::new() };
+        if inflight != seq {
+            return Vec::new();
+        }
+        self.inflight = None;
+        let Some(m) = self.members.get(&target) else { return Vec::new() };
+        if m.state != SwimState::Alive {
+            return Vec::new();
+        }
+        let incarnation = m.incarnation;
+        let suspicion = SwimUpdate {
+            node: target,
+            state: SwimState::Suspect,
+            incarnation,
+            beat: 0,
+            payload: None,
+        };
+        let mut events = Vec::new();
+        self.apply_update(suspicion, ctx, &mut events);
+        events
+    }
+
+    /// Suspicion window elapsed unrefuted. The first expiry sends one
+    /// last-chance direct verify (a ping carrying the suspicion, so a
+    /// live accused refutes in its ack) and holds the verdict for one
+    /// relay window; a second expiry at the same incarnation confirms
+    /// dead.
+    pub fn on_suspect_timeout(
+        &mut self,
+        node: NodeId,
+        incarnation: u64,
+        ctx: &mut impl Transport,
+    ) -> Vec<SwimEvent> {
+        let still = self
+            .members
+            .get(&node)
+            .is_some_and(|m| m.state == SwimState::Suspect && m.incarnation == incarnation);
+        if !still {
+            self.graced.remove(&(node, incarnation));
+            return Vec::new();
+        }
+        if self.graced.insert((node, incarnation)) {
+            self.seq += 1;
+            let seq = self.seq;
+            let mut updates = self.piggyback();
+            if !updates.iter().any(|p| p.node == node) {
+                updates.push(SwimUpdate {
+                    node,
+                    state: SwimState::Suspect,
+                    incarnation,
+                    beat: 0,
+                    payload: None,
+                });
+            }
+            ctx.send(node, Msg::SwimPing { seq, origin: self.me, updates });
+            ctx.set_timer(
+                self.cfg.ack_timeout * 3,
+                Msg::Tick(Tick::SwimSuspectTimeout(node, incarnation)),
+            );
+            return Vec::new();
+        }
+        self.graced.remove(&(node, incarnation));
+        let mut events = Vec::new();
+        self.apply_update(
+            SwimUpdate { node, state: SwimState::Dead, incarnation, beat: 0, payload: None },
+            ctx,
+            &mut events,
+        );
+        events
+    }
+
+    /// Anti-entropy round: pull a full digest from one random peer.
+    pub fn on_sync_tick(&mut self, ctx: &mut impl Transport) {
+        ctx.set_timer(self.cfg.sync_interval, Msg::Tick(Tick::SwimSync));
+        let peers = self.random_members(1, self.me, ctx);
+        let Some(&peer) = peers.first() else { return };
+        self.sync_req += 1;
+        ctx.send(peer, Msg::MembersPull { req: self.sync_req });
+    }
+
+    /// Incoming probe: absorb rumors, ack back to the *sender* (the
+    /// relay on the indirect path), echoing the probe's origin.
+    pub fn on_ping(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        origin: NodeId,
+        updates: &[SwimUpdate],
+        ctx: &mut impl Transport,
+    ) -> Vec<SwimEvent> {
+        let events = self.apply_updates(updates, ctx);
+        let reply = self.piggyback();
+        ctx.send(from, Msg::SwimAck { seq, origin, updates: reply });
+        events
+    }
+
+    /// Relay leg: probe `target` on `origin`'s behalf.
+    pub fn on_ping_req(
+        &mut self,
+        seq: u64,
+        target: NodeId,
+        origin: NodeId,
+        updates: &[SwimUpdate],
+        ctx: &mut impl Transport,
+    ) -> Vec<SwimEvent> {
+        let events = self.apply_updates(updates, ctx);
+        let relay = self.piggyback();
+        ctx.send(target, Msg::SwimPing { seq, origin, updates: relay });
+        events
+    }
+
+    /// An ack arrived: close the probe if it is ours, forward it toward
+    /// its origin if we were the relay.
+    pub fn on_ack(
+        &mut self,
+        seq: u64,
+        origin: NodeId,
+        updates: &[SwimUpdate],
+        ctx: &mut impl Transport,
+    ) -> Vec<SwimEvent> {
+        let events = self.apply_updates(updates, ctx);
+        if origin == self.me {
+            if self.inflight.is_some_and(|(s, _)| s == seq) {
+                self.inflight = None;
+            }
+        } else {
+            let fwd = self.piggyback();
+            ctx.send(origin, Msg::SwimAck { seq, origin, updates: fwd });
+        }
+        events
+    }
+
+    /// Answer an anti-entropy pull with the full table.
+    pub fn on_members_pull(&mut self, from: NodeId, req: u64, ctx: &mut impl Transport) {
+        let updates = self.snapshot();
+        ctx.send(from, Msg::MembersDigest { req, updates });
+    }
+
+    /// Absorb a digest (the pull reply).
+    pub fn on_digest(
+        &mut self,
+        updates: &[SwimUpdate],
+        ctx: &mut impl Transport,
+    ) -> Vec<SwimEvent> {
+        self.apply_updates(updates, ctx)
+    }
+
+    fn apply_updates(
+        &mut self,
+        updates: &[SwimUpdate],
+        ctx: &mut impl Transport,
+    ) -> Vec<SwimEvent> {
+        let mut events = Vec::new();
+        for &u in updates {
+            self.apply_update(u, ctx, &mut events);
+        }
+        events
+    }
+
+    /// The SWIM merge rule. Accepted rumors are re-gossiped; rumors
+    /// about this node's own demise are refuted by incarnation bump.
+    fn apply_update(
+        &mut self,
+        u: SwimUpdate,
+        ctx: &mut impl Transport,
+        events: &mut Vec<SwimEvent>,
+    ) {
+        if u.node == self.me {
+            if u.state != SwimState::Alive && u.incarnation >= self.incarnation {
+                self.incarnation = u.incarnation + 1;
+                let refute = self.self_update();
+                self.enqueue(refute);
+                events.push(SwimEvent::Refuted { incarnation: self.incarnation });
+            }
+            return;
+        }
+        let entry = self.members.entry(u.node).or_insert(Member {
+            state: SwimState::Dead, // placeholder; any first rumor supersedes
+            incarnation: 0,
+            beat: 0,
+            payload: None,
+        });
+        let known = entry.incarnation;
+        let accepted = match (u.state, entry.state) {
+            // A beat-only refresh keeps load info flowing without
+            // re-gossip; state/incarnation changes spread as rumors.
+            (SwimState::Alive, SwimState::Alive) => {
+                if u.incarnation > known || (u.incarnation == known && u.beat > entry.beat) {
+                    entry.incarnation = u.incarnation;
+                    entry.beat = u.beat;
+                    if u.payload.is_some() {
+                        entry.payload = u.payload;
+                    }
+                    if let Some(hb) = entry.payload {
+                        events.push(SwimEvent::Alive { node: u.node, payload: hb });
+                    }
+                    u.incarnation > known
+                } else {
+                    false
+                }
+            }
+            (SwimState::Alive, SwimState::Suspect | SwimState::Dead) => {
+                if u.incarnation > known {
+                    entry.state = SwimState::Alive;
+                    entry.incarnation = u.incarnation;
+                    entry.beat = u.beat;
+                    if u.payload.is_some() {
+                        entry.payload = u.payload;
+                    }
+                    if let Some(hb) = entry.payload {
+                        events.push(SwimEvent::Alive { node: u.node, payload: hb });
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            (SwimState::Suspect, SwimState::Alive) => {
+                if u.incarnation >= known {
+                    entry.state = SwimState::Suspect;
+                    entry.incarnation = u.incarnation;
+                    events.push(SwimEvent::Suspect { node: u.node, incarnation: u.incarnation });
+                    ctx.set_timer(
+                        self.cfg.suspect_timeout,
+                        Msg::Tick(Tick::SwimSuspectTimeout(u.node, u.incarnation)),
+                    );
+                    true
+                } else {
+                    false
+                }
+            }
+            (SwimState::Suspect, SwimState::Suspect) => {
+                if u.incarnation > known {
+                    entry.incarnation = u.incarnation;
+                    events.push(SwimEvent::Suspect { node: u.node, incarnation: u.incarnation });
+                    ctx.set_timer(
+                        self.cfg.suspect_timeout,
+                        Msg::Tick(Tick::SwimSuspectTimeout(u.node, u.incarnation)),
+                    );
+                    true
+                } else {
+                    false
+                }
+            }
+            (SwimState::Suspect, SwimState::Dead) => false,
+            (SwimState::Dead, SwimState::Dead) => false,
+            // A verdict only lands at the incarnation it judged: a node
+            // that refuted at i+1 must not be re-killed by a stale
+            // Dead(i) still circulating.
+            (SwimState::Dead, SwimState::Alive | SwimState::Suspect) => {
+                if u.incarnation >= known {
+                    entry.state = SwimState::Dead;
+                    entry.incarnation = u.incarnation;
+                    events.push(SwimEvent::Dead { node: u.node });
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if accepted {
+            let m = self.members[&u.node];
+            self.enqueue(SwimUpdate {
+                node: u.node,
+                state: m.state,
+                incarnation: m.incarnation,
+                beat: m.beat,
+                payload: m.payload,
+            });
+            // Adopted a suspicion: verify with the accused directly
+            // rather than waiting for the rumor to random-walk there.
+            // Piggybacked gossip alone needs ~log₂(n) rounds to reach
+            // the accused — often longer than the refutation window
+            // under loss — and a live accused refutes in its ack, so
+            // every suspecting node clears its suspicion independently
+            // of the others.
+            if u.state == SwimState::Suspect {
+                self.seq += 1;
+                let seq = self.seq;
+                let mut updates = self.piggyback();
+                if !updates.iter().any(|p| p.node == u.node) {
+                    updates.push(SwimUpdate {
+                        node: u.node,
+                        state: SwimState::Suspect,
+                        incarnation: u.incarnation,
+                        beat: 0,
+                        payload: None,
+                    });
+                }
+                ctx.send(u.node, Msg::SwimPing { seq, origin: self.me, updates });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_is_copy_and_ordered_by_precedence_rules() {
+        // `SwimUpdate` must stay `Copy`: updates are piggybacked into
+        // many messages without allocation.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<SwimUpdate>();
+        assert_copy::<SwimEvent>();
+    }
+
+    #[test]
+    fn budget_grows_logarithmically() {
+        let cfg = SwimConfig {
+            probe_interval: Dur::secs(1),
+            ack_timeout: Dur::millis(200),
+            suspect_timeout: Dur::secs(3),
+            indirect_k: 3,
+            sync_interval: Dur::secs(10),
+            max_piggyback: 8,
+        };
+        let few = SwimDetector::new(
+            NodeId::from_index(0),
+            (1..4).map(NodeId::from_index),
+            cfg,
+        );
+        let many = SwimDetector::new(
+            NodeId::from_index(0),
+            (1..500).map(NodeId::from_index),
+            cfg,
+        );
+        assert!(few.budget() < many.budget());
+        assert!(many.budget() <= 3 * 9); // 3·⌈log₂(501)⌉
+    }
+
+    #[test]
+    fn seeds_exclude_self_and_snapshot_leads_with_self() {
+        let cfg = SwimConfig {
+            probe_interval: Dur::secs(1),
+            ack_timeout: Dur::millis(200),
+            suspect_timeout: Dur::secs(3),
+            indirect_k: 3,
+            sync_interval: Dur::secs(10),
+            max_piggyback: 8,
+        };
+        let me = NodeId::from_index(2);
+        let d = SwimDetector::new(me, (0..4).map(NodeId::from_index), cfg);
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), 4); // self + 3 seeds
+        assert_eq!(snap[0].node, me);
+        assert!(snap.iter().skip(1).all(|u| u.node != me));
+    }
+}

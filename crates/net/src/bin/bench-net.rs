@@ -36,6 +36,8 @@ use std::time::{Duration, Instant};
 
 use sorrento::api::FsScript;
 use sorrento::costs::CostModel;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento::proto::Msg;
 use sorrento::store::{SegMeta, WritePayload};
 use sorrento::types::{PlacementPolicy, SegId};
@@ -176,6 +178,8 @@ fn spawn_cluster(providers: usize, seed: u64) -> (Vec<DaemonHandle>, CtlConfig) 
                 ns_shards: 1,
                 ns_map: Vec::new(),
                 ns_checkpoint_batches: None,
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
                 peers: all_peers
                     .iter()
                     .enumerate()

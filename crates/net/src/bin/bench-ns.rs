@@ -32,6 +32,8 @@ use sorrento::api::FsScript;
 use sorrento::client::ClientOp;
 use sorrento::cluster::{Cluster, ClusterBuilder, FnWorkload};
 use sorrento::costs::CostModel;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento::namespace::NamespaceServer;
 use sorrento::nsmap::{shard_of_dir, ShardInfo};
 use sorrento::types::FileId;
@@ -250,6 +252,8 @@ fn spawn_sharded_cluster(
                 ns_shards: NSHARDS,
                 ns_map: ns_map.clone(),
                 ns_checkpoint_batches: Some(checkpoint_every),
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -271,6 +275,8 @@ fn spawn_sharded_cluster(
         rpc_resends: 0,
         op_deadline_ms: None,
         ns_map,
+        membership: MembershipMode::Heartbeat,
+        location: LocationScheme::Ring,
         peers: all_peers,
     };
     (handles, ctl_cfg)

@@ -10,6 +10,7 @@
 //! sorrentoctl --config <cluster.json> mkdir  <path>
 //! sorrentoctl --config <cluster.json> mv     <src> <dst>
 //! sorrentoctl --config <cluster.json> stats  <node-id>
+//! sorrentoctl --config <cluster.json> members <node-id>
 //! sorrentoctl --config <cluster.json> top
 //! sorrentoctl --config <cluster.json> trace  <span>
 //! sorrentoctl --config <cluster.json> chaos  <node-id> off
@@ -23,6 +24,10 @@
 //! explicit length stats the file first and reads to EOF. `stats`
 //! fetches a daemon's metrics registry as JSON; `top` polls every node
 //! and renders a cluster-wide table from the versioned snapshots.
+//! `members` asks one provider for its membership view — under gossip
+//! (`"membership": "swim"`) the SWIM table with per-member state
+//! (alive/suspect) and incarnation, under heartbeats the classic
+//! liveness view — and renders it as a table.
 //! `trace <span>` asks every node's flight recorder for that span's
 //! events and renders the merged causal chain on the wall-clock
 //! timeline. `chaos` installs (or, with `off`, clears) deterministic
@@ -53,8 +58,9 @@ const PER_NODE: Duration = Duration::from_secs(5);
 /// up front; 256 MB ⇒ shard widths stay sane for CLI-scale files).
 const EC_MAX_SIZE: u64 = 256 << 20;
 const USAGE: &str = "usage: sorrentoctl --config <cluster.json> \
-    <create|write|read|stat|ls|rm|mkdir|mv|stats|top|trace|chaos> [args]\n\
-    create <path> [--ec k,m]   erasure-coded instead of replicated";
+    <create|write|read|stat|ls|rm|mkdir|mv|stats|members|top|trace|chaos> [args]\n\
+    create <path> [--ec k,m]   erasure-coded instead of replicated\n\
+    members <node-id>          one provider's membership view";
 
 fn main() -> ExitCode {
     match run() {
@@ -207,6 +213,12 @@ fn run() -> Result<ExitCode, String> {
             println!("{json}");
             Ok(ExitCode::SUCCESS)
         }
+        ("members", [node]) => {
+            let id: usize = node.parse().map_err(|_| "members takes a node id")?;
+            let json = ctl::fetch_members(&cfg, NodeId::from_index(id), DEADLINE)
+                .map_err(|e| e.to_string())?;
+            cmd_members(&json, id)
+        }
         ("top", []) => cmd_top(&cfg),
         ("trace", [span]) => cmd_trace(&cfg, parse_span(span)?),
         ("chaos", [node, rule @ ..]) if !rule.is_empty() => {
@@ -302,6 +314,45 @@ fn check_snapshot_version(json: &str, node: usize) {
         ),
         None => eprintln!("sorrentoctl: n{node} snapshot has no version field (pre-v1 daemon?)"),
     }
+}
+
+/// Render one provider's membership view (`sorrentoctl members`).
+/// Exits non-zero when any member is suspect or dead, so game-day
+/// scripts can poll for "suspicion formed" / "cluster healthy again".
+fn cmd_members(json: &str, node: usize) -> Result<ExitCode, String> {
+    let Ok(view) = Json::parse(json) else {
+        return Err(format!("n{node} sent an unparseable members reply"));
+    };
+    let str_of = |j: &Json, k: &str| j.get(k).and_then(Json::as_str).unwrap_or("?").to_owned();
+    println!(
+        "=== n{node} membership (mode {}, location {}, {} live) ===",
+        str_of(&view, "mode"),
+        str_of(&view, "location"),
+        view.get("live").and_then(Json::as_u64).unwrap_or(0),
+    );
+    println!("{:<6} {:<8} {:>5} {:>6} {:>10} {:>10}", "NODE", "STATE", "INC", "LOAD", "AVAIL", "CAP");
+    let mut unhealthy = false;
+    for m in view.get("members").and_then(Json::as_arr).unwrap_or(&[]) {
+        let state = str_of(m, "state");
+        unhealthy |= state != "alive";
+        let num = |k: &str| {
+            m.get(k)
+                .and_then(Json::as_u64)
+                .map_or_else(|| "-".to_owned(), |v| v.to_string())
+        };
+        println!(
+            "{:<6} {:<8} {:>5} {:>6} {:>10} {:>10}",
+            format!("n{}", m.get("node").and_then(Json::as_u64).unwrap_or(0)),
+            state,
+            num("incarnation"),
+            m.get("load")
+                .and_then(Json::as_f64)
+                .map_or_else(|| "-".to_owned(), |l| format!("{l:.2}")),
+            num("available"),
+            num("capacity"),
+        );
+    }
+    Ok(if unhealthy { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 /// Poll every node's versioned stats snapshot and render one table row

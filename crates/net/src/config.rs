@@ -28,7 +28,9 @@ use std::time::Duration;
 
 use crate::chaos::ChaosConfig;
 use sorrento::costs::CostModel;
+use sorrento::locator::LocationScheme;
 use sorrento::nsmap::ShardInfo;
+use sorrento::swim::MembershipMode;
 use sorrento_json::Json;
 use sorrento_sim::NodeId;
 
@@ -95,6 +97,14 @@ pub struct DaemonConfig {
     /// Checkpoint the namespace kvdb every this many applied batches
     /// (bounds the WAL tail a standby replays at failover).
     pub ns_checkpoint_batches: Option<u64>,
+    /// How providers learn about each other: `"heartbeat"` (default,
+    /// periodic multicast) or `"swim"` (gossip failure detector with
+    /// indirect probes and suspect/confirm).
+    pub membership: MembershipMode,
+    /// Segment-home location strategy: `"ring"` (default, consistent
+    /// hashing), `"rendezvous"` (highest random weight) or `"asura"`
+    /// (seeded random walk over a slot table).
+    pub location: LocationScheme,
     /// Seed peers.
     pub peers: Vec<PeerSpec>,
 }
@@ -176,8 +186,32 @@ impl DaemonConfig {
             ns_shards: opt_u64(&j, "ns_shards")?.unwrap_or(1).max(1) as u32,
             ns_map,
             ns_checkpoint_batches: opt_u64(&j, "ns_checkpoint_batches")?,
+            membership: parse_membership(&j)?,
+            location: parse_location(&j)?,
             peers,
         })
+    }
+}
+
+/// Parse the optional `"membership"` knob (`"heartbeat"` | `"swim"`).
+fn parse_membership(j: &Json) -> Result<MembershipMode, ConfigError> {
+    match j.get("membership") {
+        None | Some(Json::Null) => Ok(MembershipMode::Heartbeat),
+        Some(v) => match v.as_str().ok_or(ConfigError::Invalid("membership"))? {
+            "heartbeat" => Ok(MembershipMode::Heartbeat),
+            "swim" => Ok(MembershipMode::Swim),
+            _ => Err(ConfigError::Invalid("membership")),
+        },
+    }
+}
+
+/// Parse the optional `"location"` knob (`"ring"` | `"rendezvous"` |
+/// `"asura"`).
+fn parse_location(j: &Json) -> Result<LocationScheme, ConfigError> {
+    match j.get("location") {
+        None | Some(Json::Null) => Ok(LocationScheme::Ring),
+        Some(v) => LocationScheme::parse(v.as_str().ok_or(ConfigError::Invalid("location"))?)
+            .ok_or(ConfigError::Invalid("location")),
     }
 }
 
@@ -270,6 +304,12 @@ pub struct CtlConfig {
     /// The namespace shard map (same `"ns_map"` shape as the daemon
     /// config). Empty means unsharded: route everything to `namespace`.
     pub ns_map: Vec<ShardInfo>,
+    /// Cluster membership mode — must match the daemons' `membership`
+    /// knob so the client refreshes its provider view the same way.
+    pub membership: MembershipMode,
+    /// Cluster location strategy — must match the daemons' `location`
+    /// knob so client-side segment homing agrees with the providers.
+    pub location: LocationScheme,
     /// All daemons in the cluster.
     pub peers: Vec<PeerSpec>,
 }
@@ -322,6 +362,8 @@ impl CtlConfig {
             rpc_resends: opt_u64(&j, "rpc_resends")?.unwrap_or(0) as u32,
             op_deadline_ms: opt_u64(&j, "op_deadline_ms")?,
             ns_map: parse_ns_map(&j)?,
+            membership: parse_membership(&j)?,
+            location: parse_location(&j)?,
             peers,
         })
     }
@@ -428,6 +470,50 @@ mod tests {
         .unwrap();
         assert_eq!(ctl.ns_map.len(), 2);
         assert_eq!(ctl.ns_map[0].standby, None);
+    }
+
+    #[test]
+    fn parses_membership_and_location_knobs() {
+        let cfg = DaemonConfig::parse(
+            r#"{"node_id": 2, "role": "provider", "listen": "127.0.0.1:0",
+                "membership": "swim", "location": "rendezvous"}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.membership, MembershipMode::Swim);
+        assert_eq!(cfg.location, LocationScheme::Rendezvous);
+
+        // Defaults keep the classic heartbeat + ring deployment.
+        let cfg = DaemonConfig::parse(
+            r#"{"node_id": 2, "role": "provider", "listen": "127.0.0.1:0"}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.membership, MembershipMode::Heartbeat);
+        assert_eq!(cfg.location, LocationScheme::Ring);
+
+        let ctl = CtlConfig::parse(
+            r#"{"namespace": 0, "membership": "swim", "location": "asura",
+                "peers": [{"id": 0, "addr": "x"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(ctl.membership, MembershipMode::Swim);
+        assert_eq!(ctl.location, LocationScheme::Asura);
+
+        assert_eq!(
+            DaemonConfig::parse(
+                r#"{"node_id": 2, "role": "provider", "listen": "x",
+                    "membership": "carrier-pigeon"}"#,
+            )
+            .unwrap_err(),
+            ConfigError::Invalid("membership")
+        );
+        assert_eq!(
+            DaemonConfig::parse(
+                r#"{"node_id": 2, "role": "provider", "listen": "x",
+                    "location": "phonebook"}"#,
+            )
+            .unwrap_err(),
+            ConfigError::Invalid("location")
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use sorrento::client::{ClientOp, ClientStats, OpResult, SorrentoClient, Workload};
 use sorrento::cluster::ScriptedWorkload;
 use sorrento::proto::{self, Msg};
+use sorrento::swim::MembershipMode;
 use sorrento::types::Error;
 use sorrento::Transport;
 use sorrento_sim::{EventRecord, NodeId, SimTime, SpanId, TelemetryEvent};
@@ -209,6 +210,12 @@ pub fn run_script(
         // primary (failing over to the standby on timeouts).
         client.set_ns_shards(sorrento::nsmap::NsShardMap::from_rows(cfg.ns_map.clone()));
     }
+    client.set_location(cfg.location);
+    if cfg.membership == MembershipMode::Swim {
+        // Gossip clusters have no multicast heartbeats; the client keeps
+        // its provider view fresh by pulling membership digests instead.
+        client.set_membership(MembershipMode::Swim, cfg.peers.iter().map(|p| p.id).collect());
+    }
     client.write_chunk = cfg.write_chunk;
     client.write_window = cfg.write_window;
     client.rpc_resends = cfg.rpc_resends;
@@ -239,6 +246,7 @@ pub fn run_script(
     let deadline_at = Instant::now() + deadline;
     let mut hello_backoff = HELLO_RETRY_MIN;
     let mut next_hello = Instant::now() + hello_backoff;
+    let mut warm_req = 0u64;
     while client.known_providers() < min_providers {
         if let Some((from, msg)) = mesh.recv_timeout(POLL) {
             client.handle_message(from, msg, &mut ctx);
@@ -247,6 +255,16 @@ pub fn run_script(
         let now = Instant::now();
         if now >= next_hello {
             mesh.hello_all();
+            if cfg.membership == MembershipMode::Swim {
+                // No heartbeats to absorb under gossip: pull membership
+                // digests from every peer instead. Providers answer with
+                // their view (payloads included); non-providers ignore
+                // the pull, so the replies that land are authoritative.
+                warm_req += 1;
+                for p in &cfg.peers {
+                    mesh.send(p.id, &Msg::MembersPull { req: warm_req });
+                }
+            }
             hello_backoff = (hello_backoff * 2).min(HELLO_RETRY_MAX);
             next_hello = now + hello_backoff;
         }
@@ -337,6 +355,39 @@ pub fn fetch_trace(
             next_send = Instant::now() + RESEND_EVERY;
         }
         if let Some((from, Msg::TraceR { json, .. })) = mesh.recv_timeout(POLL) {
+            if from == target {
+                return Ok(json);
+            }
+        }
+    }
+    Err(CtlError::StatsTimeout)
+}
+
+/// Fetch a provider's membership view as a JSON string — under gossip
+/// the SWIM table (state, incarnation, last payload per member), under
+/// heartbeats the classic liveness view.
+///
+/// Same resend discipline as [`fetch_stats`]: the query is repeated
+/// until the reply lands, because the transport is lossy by design.
+/// Only providers answer; pointing this at a namespace node times out.
+pub fn fetch_members(
+    cfg: &CtlConfig,
+    target: NodeId,
+    timeout: Duration,
+) -> Result<String, CtlError> {
+    const RESEND_EVERY: Duration = Duration::from_millis(300);
+    let (_ctx, mut mesh) = join_mesh(cfg)?;
+    let deadline_at = Instant::now() + timeout;
+    let mut req = 0u64;
+    let mut next_send = Instant::now();
+    while Instant::now() <= deadline_at {
+        if Instant::now() >= next_send {
+            req += 1;
+            mesh.hello_all(); // no-op when connected; redials a daemon that refused at boot
+            mesh.send(target, &Msg::MembersQuery { req });
+            next_send = Instant::now() + RESEND_EVERY;
+        }
+        if let Some((from, Msg::MembersR { json, .. })) = mesh.recv_timeout(POLL) {
             if from == target {
                 return Ok(json);
             }

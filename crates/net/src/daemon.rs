@@ -290,7 +290,17 @@ fn run_loop(
             Machine::Ns(Box::new(ns))
         }
         Role::Provider => {
-            Machine::Prov(Box::new(StorageProvider::new(cfg.costs, 2).with_rack(cfg.rack)))
+            // In swim mode the seed list is every configured peer; the
+            // detector probes them all, and non-providers (namespace,
+            // standby) passively ack pings without ever gossiping a
+            // heartbeat payload, so they never enter the membership view.
+            let seeds: Vec<NodeId> = cfg.peers.iter().map(|p| p.id).collect();
+            Machine::Prov(Box::new(
+                StorageProvider::new(cfg.costs, 2)
+                    .with_rack(cfg.rack)
+                    .with_location(cfg.location)
+                    .with_membership(cfg.membership, seeds),
+            ))
         }
     };
 
@@ -335,9 +345,10 @@ fn run_loop(
     while !shutdown.load(Ordering::SeqCst) {
         for msg in ctx.due_timers() {
             // Satellite of the observability plane: refresh the mesh
-            // gauges on every heartbeat tick, so a stats snapshot is
-            // never staler than one heartbeat period.
-            if matches!(msg, Msg::Tick(Tick::Heartbeat)) {
+            // gauges on every heartbeat tick — or, under swim
+            // membership, on the gauge-export tick that replaces it —
+            // so a stats snapshot is never staler than one period.
+            if matches!(msg, Msg::Tick(Tick::Heartbeat | Tick::GaugeExport)) {
                 mesh.export_metrics(ctx.metrics());
             }
             machine.handle_message(me, msg, &mut ctx);

@@ -35,6 +35,7 @@
 use bytes::Bytes;
 use sorrento::membership::Heartbeat;
 use sorrento::proto::{FileEntry, Msg, ReadReply, Tick};
+use sorrento::swim::{SwimState, SwimUpdate};
 use sorrento::store::{ReplicaImage, SegMeta, ShadowId, WritePayload};
 use sorrento::types::{
     EcParams, Error, FileId, FileOptions, Organization, PlacementPolicy, SegId, Version,
@@ -46,8 +47,11 @@ use sorrento_sim::NodeId;
 pub const MAGIC: [u8; 4] = *b"SRTO";
 /// Current wire-format version. v2 added the erasure-coding fields
 /// (`FileOptions::ec`, `SegMeta::ec`) and the `EcInstall`/`EcInstallR`
-/// shard-repair messages; v1 peers are refused at the header.
-pub const VERSION: u8 = 2;
+/// shard-repair messages; v3 added the SWIM gossip messages
+/// (`SwimPing`/`SwimAck`/`SwimPingReq`) and the membership pull/query
+/// family (`MembersPull`/`MembersDigest`/`MembersQuery`/`MembersR`).
+/// Older peers are refused at the header.
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 18;
 /// Largest accepted payload (a full segment plus slack); guards the
@@ -818,6 +822,41 @@ fn read_heartbeat(r: &mut Reader<'_>) -> Result<Heartbeat, FrameError> {
     })
 }
 
+fn write_swim_updates(w: &mut Writer, updates: &[SwimUpdate]) {
+    w.u32(updates.len() as u32);
+    for u in updates {
+        w.node(u.node);
+        w.u8(match u.state {
+            SwimState::Alive => 0,
+            SwimState::Suspect => 1,
+            SwimState::Dead => 2,
+        });
+        w.u64(u.incarnation);
+        w.u64(u.beat);
+        write_opt(w, &u.payload, write_heartbeat);
+    }
+}
+
+fn read_swim_updates(r: &mut Reader<'_>) -> Result<Vec<SwimUpdate>, FrameError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(SwimUpdate {
+            node: r.node()?,
+            state: match r.u8()? {
+                0 => SwimState::Alive,
+                1 => SwimState::Suspect,
+                2 => SwimState::Dead,
+                tag => return Err(FrameError::UnknownTag { what: "swim state", tag }),
+            },
+            incarnation: r.u64()?,
+            beat: r.u64()?,
+            payload: read_opt(r, read_heartbeat)?,
+        });
+    }
+    Ok(out)
+}
+
 fn write_tick(w: &mut Writer, t: &Tick) {
     match t {
         Tick::Heartbeat => w.u8(0),
@@ -858,6 +897,23 @@ fn write_tick(w: &mut Writer, t: &Tick) {
             w.u8(19);
             w.u64(*req);
         }
+        Tick::SwimProbe => w.u8(20),
+        Tick::SwimAckTimeout(seq) => {
+            w.u8(21);
+            w.u64(*seq);
+        }
+        Tick::SwimProbeTimeout(seq) => {
+            w.u8(22);
+            w.u64(*seq);
+        }
+        Tick::SwimSuspectTimeout(node, incarnation) => {
+            w.u8(23);
+            w.node(*node);
+            w.u64(*incarnation);
+        }
+        Tick::SwimSync => w.u8(24),
+        Tick::GaugeExport => w.u8(25),
+        Tick::MembersRefresh => w.u8(26),
     }
 }
 
@@ -883,6 +939,13 @@ fn read_tick(r: &mut Reader<'_>) -> Result<Tick, FrameError> {
         17 => Tick::StandbyCheck,
         18 => Tick::ShardMapRefresh,
         19 => Tick::XShardTimeout(r.u64()?),
+        20 => Tick::SwimProbe,
+        21 => Tick::SwimAckTimeout(r.u64()?),
+        22 => Tick::SwimProbeTimeout(r.u64()?),
+        23 => Tick::SwimSuspectTimeout(r.node()?, r.u64()?),
+        24 => Tick::SwimSync,
+        25 => Tick::GaugeExport,
+        26 => Tick::MembersRefresh,
         tag => return Err(FrameError::UnknownTag { what: "tick", tag }),
     })
 }
@@ -1325,6 +1388,43 @@ fn write_msg(w: &mut Writer, msg: &Msg) {
             w.u32(*shard);
             w.u64(*have_seq);
         }
+        Msg::SwimPing { seq, origin, updates } => {
+            w.u8(64);
+            w.u64(*seq);
+            w.node(*origin);
+            write_swim_updates(w, updates);
+        }
+        Msg::SwimAck { seq, origin, updates } => {
+            w.u8(65);
+            w.u64(*seq);
+            w.node(*origin);
+            write_swim_updates(w, updates);
+        }
+        Msg::SwimPingReq { seq, target, origin, updates } => {
+            w.u8(66);
+            w.u64(*seq);
+            w.node(*target);
+            w.node(*origin);
+            write_swim_updates(w, updates);
+        }
+        Msg::MembersPull { req } => {
+            w.u8(67);
+            w.u64(*req);
+        }
+        Msg::MembersDigest { req, updates } => {
+            w.u8(68);
+            w.u64(*req);
+            write_swim_updates(w, updates);
+        }
+        Msg::MembersQuery { req } => {
+            w.u8(69);
+            w.u64(*req);
+        }
+        Msg::MembersR { req, json } => {
+            w.u8(70);
+            w.u64(*req);
+            w.string(json);
+        }
     }
 }
 
@@ -1552,6 +1652,26 @@ fn read_msg(r: &mut Reader<'_>) -> Result<Msg, FrameError> {
             },
         },
         63 => Msg::NsCatchup { shard: r.u32()?, have_seq: r.u64()? },
+        64 => Msg::SwimPing {
+            seq: r.u64()?,
+            origin: r.node()?,
+            updates: read_swim_updates(r)?,
+        },
+        65 => Msg::SwimAck {
+            seq: r.u64()?,
+            origin: r.node()?,
+            updates: read_swim_updates(r)?,
+        },
+        66 => Msg::SwimPingReq {
+            seq: r.u64()?,
+            target: r.node()?,
+            origin: r.node()?,
+            updates: read_swim_updates(r)?,
+        },
+        67 => Msg::MembersPull { req: r.u64()? },
+        68 => Msg::MembersDigest { req: r.u64()?, updates: read_swim_updates(r)? },
+        69 => Msg::MembersQuery { req: r.u64()? },
+        70 => Msg::MembersR { req: r.u64()?, json: r.string()? },
         tag => return Err(FrameError::UnknownTag { what: "msg", tag }),
     })
 }
@@ -1706,6 +1826,62 @@ mod tests {
         roundtrip(Msg::Tick(Tick::StandbyCheck));
         roundtrip(Msg::Tick(Tick::ShardMapRefresh));
         roundtrip(Msg::Tick(Tick::XShardTimeout(12)));
+    }
+
+    #[test]
+    fn membership_messages_round_trip() {
+        let hb = Heartbeat { load: 0.5, available: 100, capacity: 200, machine: 3, rack: 1 };
+        let updates = vec![
+            SwimUpdate {
+                node: NodeId::from_index(1),
+                state: SwimState::Alive,
+                incarnation: 2,
+                beat: 17,
+                payload: Some(hb),
+            },
+            SwimUpdate {
+                node: NodeId::from_index(4),
+                state: SwimState::Suspect,
+                incarnation: 0,
+                beat: 0,
+                payload: None,
+            },
+            SwimUpdate {
+                node: NodeId::from_index(9),
+                state: SwimState::Dead,
+                incarnation: 7,
+                beat: 3,
+                payload: None,
+            },
+        ];
+        roundtrip(Msg::SwimPing {
+            seq: 1,
+            origin: NodeId::from_index(2),
+            updates: updates.clone(),
+        });
+        roundtrip(Msg::SwimPing { seq: 2, origin: NodeId::from_index(2), updates: Vec::new() });
+        roundtrip(Msg::SwimAck {
+            seq: 1,
+            origin: NodeId::from_index(2),
+            updates: updates.clone(),
+        });
+        roundtrip(Msg::SwimPingReq {
+            seq: 3,
+            target: NodeId::from_index(5),
+            origin: NodeId::from_index(2),
+            updates: updates.clone(),
+        });
+        roundtrip(Msg::MembersPull { req: 8 });
+        roundtrip(Msg::MembersDigest { req: 8, updates });
+        roundtrip(Msg::MembersQuery { req: 9 });
+        roundtrip(Msg::MembersR { req: 9, json: "{\"mode\":\"swim\"}".into() });
+        roundtrip(Msg::Tick(Tick::SwimProbe));
+        roundtrip(Msg::Tick(Tick::SwimAckTimeout(4)));
+        roundtrip(Msg::Tick(Tick::SwimProbeTimeout(5)));
+        roundtrip(Msg::Tick(Tick::SwimSuspectTimeout(NodeId::from_index(6), 2)));
+        roundtrip(Msg::Tick(Tick::SwimSync));
+        roundtrip(Msg::Tick(Tick::GaugeExport));
+        roundtrip(Msg::Tick(Tick::MembersRefresh));
     }
 
     #[test]

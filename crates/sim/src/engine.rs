@@ -6,7 +6,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::disk::{DiskConfig, DiskState};
 use crate::net::{NetConfig, Nic};
@@ -135,6 +135,11 @@ pub(crate) struct EngineState<M: Payload> {
     next_seq: u64,
     pub(crate) rng: SmallRng,
     pub(crate) metrics: Metrics,
+    /// Seeded wire-loss injection: `(permille, dedicated RNG)`. `None`
+    /// (the default) draws nothing, so lossless seeded runs are
+    /// byte-identical to builds without the feature. Loopback delivery
+    /// (same node or machine) is never lossy.
+    loss: Option<(u32, SmallRng)>,
 }
 
 impl<M: Payload> EngineState<M> {
@@ -142,6 +147,13 @@ impl<M: Payload> EngineState<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    fn drop_on_wire(&mut self) -> bool {
+        match &mut self.loss {
+            Some((permille, rng)) => rng.gen_range(0..1000u32) < *permille,
+            None => false,
+        }
     }
 
     pub(crate) fn unicast(&mut self, at: SimTime, from: NodeId, dst: NodeId, msg: M) {
@@ -152,6 +164,11 @@ impl<M: Payload> EngineState<M> {
         }
         let size = msg.wire_size();
         let tx_end = self.slots[from.index()].nic.transmit(at, size);
+        if self.drop_on_wire() {
+            // The sender still spent its NIC time; the bytes just never
+            // arrive.
+            return;
+        }
         let latency = self.slots[from.index()].nic.config.latency;
         let deliver = self.slots[dst.index()].nic.receive(at, tx_end + latency, size);
         self.push(deliver, Ev::Deliver { from, dst, msg });
@@ -166,6 +183,9 @@ impl<M: Payload> EngineState<M> {
             .filter(|&n| n != from && self.slots[n.index()].alive)
             .collect();
         for dst in targets {
+            if self.drop_on_wire() {
+                continue;
+            }
             let deliver = self.slots[dst.index()]
                 .nic
                 .receive(at, tx_end + latency, size);
@@ -220,8 +240,18 @@ impl<M: Payload> Simulation<M> {
                 next_seq: 0,
                 rng: SmallRng::seed_from_u64(seed),
                 metrics: Metrics::new(),
+                loss: None,
             },
         }
+    }
+
+    /// Drop `permille`/1000 of wire messages (unicast and multicast;
+    /// never loopback) using a dedicated RNG seeded with `seed`, so the
+    /// loss pattern is reproducible and independent of protocol RNG
+    /// draws. `permille = 0` restores lossless delivery.
+    pub fn set_loss(&mut self, permille: u32, seed: u64) {
+        self.state.loss = (permille > 0)
+            .then(|| (permille.min(1000), SmallRng::seed_from_u64(seed)));
     }
 
     /// Add a node that comes online immediately (its

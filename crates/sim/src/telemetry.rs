@@ -88,6 +88,21 @@ pub enum TelemetryEvent {
         /// The node declared dead.
         of: NodeId,
     },
+    /// The SWIM detector put `of` under suspicion (probe and indirect
+    /// probes all went unanswered).
+    SwimSuspect {
+        /// The suspected node.
+        of: NodeId,
+        /// The incarnation the suspicion names; an `alive` with a higher
+        /// incarnation refutes it.
+        incarnation: u64,
+    },
+    /// This node heard itself suspected and refuted the rumor by
+    /// bumping its incarnation.
+    SwimRefute {
+        /// The new (post-bump) incarnation now gossiped as alive.
+        incarnation: u64,
+    },
     /// `of` joined (or re-joined) the membership view.
     MemberJoin {
         /// The joining node.
@@ -276,6 +291,8 @@ impl TelemetryEvent {
             TelemetryEvent::HeartbeatSend { .. } => "hb.send",
             TelemetryEvent::HeartbeatMiss { .. } => "hb.miss",
             TelemetryEvent::DeathDeclared { .. } => "hb.death",
+            TelemetryEvent::SwimSuspect { .. } => "swim.suspect",
+            TelemetryEvent::SwimRefute { .. } => "swim.refute",
             TelemetryEvent::MemberJoin { .. } => "member.join",
             TelemetryEvent::MemberLeave { .. } => "member.leave",
             TelemetryEvent::LocRefresh { .. } => "loc.refresh",
@@ -365,6 +382,12 @@ impl fmt::Display for TelemetryEvent {
                 write!(f, "hb.miss of={of} missed={missed}")
             }
             TelemetryEvent::DeathDeclared { of } => write!(f, "hb.death of={of}"),
+            TelemetryEvent::SwimSuspect { of, incarnation } => {
+                write!(f, "swim.suspect of={of} inc={incarnation}")
+            }
+            TelemetryEvent::SwimRefute { incarnation } => {
+                write!(f, "swim.refute inc={incarnation}")
+            }
             TelemetryEvent::MemberJoin { of } => write!(f, "member.join of={of}"),
             TelemetryEvent::MemberLeave { of } => write!(f, "member.leave of={of}"),
             TelemetryEvent::LocRefresh { added, total } => {

@@ -14,6 +14,8 @@ use sorrento::costs::CostModel;
 use sorrento::types::{FileOptions, SegId};
 use sorrento_kvdb::{Db, DbConfig, FileBackend};
 use sorrento_net::chaos::ChaosConfig;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
 use sorrento_net::ctl;
 use sorrento_net::daemon::{self, DaemonHandle};
@@ -313,6 +315,8 @@ fn drill_daemon_cfg(
         ns_shards: 1,
         ns_map: Vec::new(),
         ns_checkpoint_batches: None,
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
         peers: all_peers
             .iter()
             .enumerate()
@@ -432,6 +436,8 @@ fn run_ec_drill(seed: u64) {
         rpc_resends: 2,
         op_deadline_ms: Some(20_000),
         ns_map: Vec::new(),
+        membership: MembershipMode::Heartbeat,
+        location: LocationScheme::Ring,
         peers: all_peers.clone(),
     };
 

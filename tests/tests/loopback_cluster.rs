@@ -11,6 +11,8 @@ use sorrento::api::FsScript;
 use sorrento::costs::CostModel;
 use sorrento::types::FileOptions;
 use sorrento_kvdb::{Db, DbConfig, FileBackend};
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
 use sorrento_net::ctl;
 use sorrento_net::daemon::{self, DaemonHandle};
@@ -60,6 +62,8 @@ fn spawn_cluster(
                 ns_shards: 1,
                 ns_map: Vec::new(),
                 ns_checkpoint_batches: None,
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -81,6 +85,8 @@ fn spawn_cluster(
         rpc_resends: 0,
         op_deadline_ms: None,
         ns_map: Vec::new(),
+        membership: MembershipMode::Heartbeat,
+        location: LocationScheme::Ring,
         peers: all_peers,
     };
     (handles, ctl_cfg)

@@ -1,0 +1,164 @@
+//! Live-cluster membership drill: real daemons over loopback TCP in
+//! SWIM gossip mode. Kill a provider and watch the survivors walk it
+//! through suspect → confirm; the healthy majority must stay `alive`
+//! throughout (no false evictions from losing one peer).
+//!
+//! This is the `make membership-smoke` end-to-end leg; the protocol
+//! properties themselves are exercised at scale in the simulator suite
+//! (`tests/tests/membership.rs`).
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use sorrento::costs::CostModel;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
+use sorrento_json::Json;
+use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
+use sorrento_net::ctl;
+use sorrento_net::daemon::{self, DaemonHandle};
+use sorrento_sim::NodeId;
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// Boot a namespace daemon (node 0) plus `providers` provider daemons,
+/// all in SWIM membership mode, on ephemeral loopback ports.
+fn spawn_swim_cluster(providers: usize) -> (Vec<DaemonHandle>, CtlConfig) {
+    let n = providers + 1;
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let all_peers: Vec<PeerSpec> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| PeerSpec {
+            id: NodeId::from_index(i),
+            addr: l.local_addr().unwrap().to_string(),
+            machine: i as u32,
+        })
+        .collect();
+    let handles = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let cfg = DaemonConfig {
+                node_id: NodeId::from_index(i),
+                role: if i == 0 { Role::Namespace } else { Role::Provider },
+                listen: all_peers[i].addr.clone(),
+                data_dir: None,
+                seed: 900 + i as u64,
+                capacity: 1 << 30,
+                machine: i as u32,
+                rack: i as u32,
+                costs: CostModel::fast_test(),
+                chaos: Default::default(),
+                metrics_interval_ms: None,
+                shard: 0,
+                ns_shards: 1,
+                ns_map: Vec::new(),
+                ns_checkpoint_batches: None,
+                membership: MembershipMode::Swim,
+                location: LocationScheme::Ring,
+                peers: all_peers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+            };
+            daemon::spawn_with_listener(cfg, listener).expect("spawn daemon")
+        })
+        .collect();
+    let ctl_cfg = CtlConfig {
+        ctl_id: NodeId::from_index(1000),
+        namespace: NodeId::from_index(0),
+        seed: 7,
+        replication: 1,
+        costs: CostModel::fast_test(),
+        write_chunk: None,
+        write_window: 4,
+        rpc_resends: 2,
+        op_deadline_ms: Some(20_000),
+        ns_map: Vec::new(),
+        membership: MembershipMode::Swim,
+        location: LocationScheme::Ring,
+        peers: all_peers,
+    };
+    (handles, ctl_cfg)
+}
+
+/// Parse a `members` reply and return the reported state of `node`
+/// (`None` if the member is not in the view at all).
+fn state_of(json: &str, node: NodeId) -> Option<String> {
+    let v = Json::parse(json).expect("members reply parses");
+    for m in v.get("members").and_then(Json::as_arr)? {
+        if m.get("node").and_then(Json::as_u64) == Some(node.index() as u64) {
+            return m.get("state").and_then(Json::as_str).map(str::to_owned);
+        }
+    }
+    None
+}
+
+/// Poll `observer`'s view of `victim` until `pred` holds, failing after
+/// the deadline with the last view seen.
+fn wait_for_state(
+    cfg: &CtlConfig,
+    observer: NodeId,
+    victim: NodeId,
+    pred: impl Fn(Option<&str>) -> bool,
+    what: &str,
+) -> String {
+    let start = Instant::now();
+    let mut last = String::from("(no reply yet)");
+    while start.elapsed() < DEADLINE {
+        if let Ok(json) = ctl::fetch_members(cfg, observer, Duration::from_secs(5)) {
+            let st = state_of(&json, victim);
+            if pred(st.as_deref()) {
+                return json;
+            }
+            last = format!("victim state {st:?}");
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    panic!("timed out waiting for {what}; last: {last}");
+}
+
+#[test]
+fn live_suspect_confirm_drill() {
+    let (mut handles, ctl_cfg) = spawn_swim_cluster(3);
+    let observer = NodeId::from_index(1);
+    let victim = NodeId::from_index(3);
+
+    // Gossip must first converge: the observer's view shows the victim
+    // alive (seeds start alive, so also wait for a real payload-carrying
+    // table entry via the members report being complete).
+    wait_for_state(&ctl_cfg, observer, victim, |s| s == Some("alive"), "initial convergence");
+
+    // Kill the last provider without ceremony.
+    handles.pop().unwrap().kill().expect("kill provider");
+
+    // The survivor must walk the victim to dead (a fast poll can catch
+    // the intermediate `suspect`, but timing may skip past it — only
+    // the verdict is asserted).
+    let json = wait_for_state(
+        &ctl_cfg,
+        observer,
+        victim,
+        |s| s == Some("dead"),
+        "suspect→confirm of the killed provider",
+    );
+
+    // No collateral damage: every other member is still alive.
+    let v = Json::parse(&json).unwrap();
+    for m in v.get("members").and_then(Json::as_arr).unwrap() {
+        let node = m.get("node").and_then(Json::as_u64).unwrap();
+        let state = m.get("state").and_then(Json::as_str).unwrap();
+        if node != victim.index() as u64 {
+            assert_eq!(state, "alive", "live node n{node} was {state}");
+        }
+    }
+
+    for h in handles {
+        let _ = h.stop();
+    }
+}

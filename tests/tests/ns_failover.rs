@@ -11,6 +11,8 @@ use sorrento::api::FsScript;
 use sorrento::costs::CostModel;
 use sorrento::nsmap::{shard_of_dir, ShardInfo};
 use sorrento_json::Json;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
 use sorrento_net::ctl;
 use sorrento_net::daemon::{self, DaemonHandle};
@@ -69,6 +71,8 @@ fn spawn_sharded_cluster(providers: usize) -> (Vec<DaemonHandle>, CtlConfig) {
                 ns_shards: NSHARDS,
                 ns_map: ns_map.clone(),
                 ns_checkpoint_batches: Some(8),
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -90,6 +94,8 @@ fn spawn_sharded_cluster(providers: usize) -> (Vec<DaemonHandle>, CtlConfig) {
         rpc_resends: 0,
         op_deadline_ms: None,
         ns_map,
+        membership: MembershipMode::Heartbeat,
+        location: LocationScheme::Ring,
         peers: all_peers,
     };
     (handles, ctl_cfg)

@@ -13,6 +13,8 @@ use std::time::{Duration, Instant};
 use sorrento::api::FsScript;
 use sorrento::costs::CostModel;
 use sorrento_json::Json;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
 use sorrento_net::ctl;
 use sorrento_net::daemon;
@@ -63,6 +65,8 @@ fn obs_smoke() {
                 ns_shards: 1,
                 ns_map: Vec::new(),
                 ns_checkpoint_batches: None,
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -84,6 +88,8 @@ fn obs_smoke() {
         rpc_resends: 0,
         op_deadline_ms: None,
         ns_map: Vec::new(),
+        membership: MembershipMode::Heartbeat,
+        location: LocationScheme::Ring,
         peers: all_peers,
     };
 

@@ -14,6 +14,8 @@ use sorrento::costs::CostModel;
 use sorrento::types::FileOptions;
 use sorrento_json::Json;
 use sorrento_net::chaos::ChaosConfig;
+use sorrento::locator::LocationScheme;
+use sorrento::swim::MembershipMode;
 use sorrento_net::config::{CtlConfig, DaemonConfig, PeerSpec, Role};
 use sorrento_net::ctl;
 use sorrento_net::daemon::{self, DaemonHandle};
@@ -66,6 +68,8 @@ fn spawn_cluster(
                 ns_shards: 1,
                 ns_map: Vec::new(),
                 ns_checkpoint_batches: None,
+                membership: MembershipMode::Heartbeat,
+                location: LocationScheme::Ring,
                 peers: all_peers
                     .iter()
                     .enumerate()
@@ -87,6 +91,8 @@ fn spawn_cluster(
         rpc_resends: 2,
         op_deadline_ms: Some(20_000),
         ns_map: Vec::new(),
+        membership: MembershipMode::Heartbeat,
+        location: LocationScheme::Ring,
         peers: all_peers,
     };
     (handles, ctl_cfg)
